@@ -1,0 +1,32 @@
+//! Micro-benchmark: dual-norm concretization of Multi-norm Zonotope bounds
+//! (Theorem 1), the innermost hot loop of every element-wise transformer.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+
+fn zono(vars: usize, syms: usize, p: PNorm) -> Zonotope {
+    let center = vec![0.1; vars];
+    let phi = Matrix::from_fn(vars, 16, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.01 - 0.06);
+    let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 17 + c * 3) % 11) as f64 * 0.01 - 0.05);
+    Zonotope::from_parts(vars, 1, center, phi, eps, p)
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bounds");
+    g.sample_size(20);
+    for &syms in &[256usize, 1024, 4096] {
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            let z = zono(128, syms, p);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{p}"), syms),
+                &z,
+                |b, z| b.iter(|| black_box(z.bounds())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmark: one full certification query per verifier family —
+//! the cost side of the precision/performance trade-off (§6.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deept_core::PNorm;
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_verifier::crown::{self, CrownConfig, CrownInput};
+use deept_verifier::deept::{self, DeepTConfig};
+use deept_verifier::network::{t1_region, VerifiableTransformer};
+use rand::SeedableRng;
+
+fn bench_verifiers(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 20,
+            max_len: 8,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    let net = VerifiableTransformer::from(&model);
+    let tokens = [1usize, 2, 3, 4, 5, 6];
+    let emb = model.embed(&tokens);
+    let label = model.predict(&tokens);
+
+    let mut g = c.benchmark_group("certify_query");
+    g.sample_size(10);
+    g.bench_function("deept_fast", |b| {
+        let cfg = DeepTConfig::fast(1000);
+        b.iter(|| {
+            let region = t1_region(&emb, 2, 0.01, PNorm::L2);
+            black_box(deept::certify(&net, &region, label, &cfg))
+        })
+    });
+    g.bench_function("deept_precise", |b| {
+        let cfg = DeepTConfig::precise(128);
+        b.iter(|| {
+            let region = t1_region(&emb, 2, 0.01, PNorm::Linf);
+            black_box(deept::certify(&net, &region, label, &cfg))
+        })
+    });
+    g.bench_function("crown_baf", |b| {
+        let cfg = CrownConfig::baf();
+        b.iter(|| {
+            let input = CrownInput::t1(&emb, 2, 0.01, PNorm::L2);
+            black_box(crown::certify(&net, &input, label, &cfg))
+        })
+    });
+    g.bench_function("crown_backward", |b| {
+        let cfg = CrownConfig::backward();
+        b.iter(|| {
+            let input = CrownInput::t1(&emb, 2, 0.01, PNorm::L2);
+            black_box(crown::certify(&net, &input, label, &cfg))
+        })
+    });
+    g.bench_function("interval", |b| {
+        let cfg = CrownConfig::interval();
+        b.iter(|| {
+            let input = CrownInput::t1(&emb, 2, 0.01, PNorm::L2);
+            black_box(crown::certify(&net, &input, label, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_verifiers);
+criterion_main!(benches);

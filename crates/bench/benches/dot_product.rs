@@ -1,0 +1,36 @@
+//! Micro-benchmark: the dot-product abstract transformer (§4.8), Fast vs
+//! Precise, across noise-symbol counts. The paper's complexity claims are
+//! O(N(E_p + E_∞)) for Fast and O(N·E_∞²) for Precise; the scaling across
+//! the symbol axis here exhibits exactly that gap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::dot::{zono_matmul, DotConfig};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+
+fn operand(rows: usize, cols: usize, syms: usize, seed: usize) -> Zonotope {
+    let n = rows * cols;
+    let center = (0..n).map(|i| ((i * 7 + seed) % 9) as f64 * 0.1).collect();
+    let phi = Matrix::from_fn(n, 8, |r, c| ((r + c * 3 + seed) % 7) as f64 * 0.01);
+    let eps = Matrix::from_fn(n, syms, |r, c| ((r * 5 + c + seed) % 11) as f64 * 0.005);
+    Zonotope::from_parts(rows, cols, center, phi, eps, PNorm::L2)
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_product");
+    g.sample_size(10);
+    for &syms in &[64usize, 128, 256] {
+        let a = operand(6, 8, syms, 1);
+        let b = operand(8, 6, syms, 2);
+        g.bench_with_input(BenchmarkId::new("fast", syms), &syms, |bch, _| {
+            bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::fast())))
+        });
+        g.bench_with_input(BenchmarkId::new("precise", syms), &syms, |bch, _| {
+            bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::precise())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot);
+criterion_main!(benches);

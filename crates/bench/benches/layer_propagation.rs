@@ -1,0 +1,47 @@
+//! Micro-benchmark: per-layer DeepT-Fast propagation cost as depth grows.
+//! The paper claims DeepT-Fast scales *linearly* with depth thanks to the
+//! noise-symbol budget; total time across the depth axis here should grow
+//! ~proportionally.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::PNorm;
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_verifier::deept::{propagate, DeepTConfig};
+use deept_verifier::network::{t1_region, VerifiableTransformer};
+use rand::SeedableRng;
+
+fn model(layers: usize) -> TransformerClassifier {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 20,
+            max_len: 8,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layer_propagation");
+    g.sample_size(10);
+    for &m in &[1usize, 2, 4] {
+        let model = model(m);
+        let net = VerifiableTransformer::from(&model);
+        let emb = model.embed(&[1, 2, 3, 4, 5, 6]);
+        let region = t1_region(&emb, 2, 0.01, PNorm::L2);
+        let cfg = DeepTConfig::fast(1000);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(propagate(&net, &region, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_depth);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Micro-benchmark: DecorrelateMin_k noise-symbol reduction (§5.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise_reduction");
+    g.sample_size(10);
+    for &syms in &[1024usize, 4096, 8192] {
+        let vars = 128;
+        let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 13 + c * 7) % 17) as f64 * 0.003);
+        let z = Zonotope::from_parts(
+            vars,
+            1,
+            vec![0.0; vars],
+            Matrix::zeros(vars, 8),
+            eps,
+            PNorm::L2,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(syms), &z, |b, z| {
+            b.iter(|| black_box(z.reduced(syms / 4, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation bench: DecorrelateMin_k (scored, §5.1) vs unscored box-all
+//! reduction — measures both the cost and, via a margin probe printed by
+//! the companion test suite, justifies the scored heuristic.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::reduce::{reduce_box_all, reduce_eps};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+
+fn zono(vars: usize, syms: usize) -> Zonotope {
+    let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 13 + c * 7) % 17) as f64 * 0.003);
+    Zonotope::from_parts(vars, 1, vec![0.0; vars], Matrix::zeros(vars, 8), eps, PNorm::L2)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_ablation");
+    g.sample_size(10);
+    for &syms in &[2048usize, 8192] {
+        let z = zono(96, syms);
+        g.bench_with_input(BenchmarkId::new("decorrelate_min_k", syms), &z, |b, z| {
+            b.iter(|| black_box(reduce_eps(z, syms / 4, 0)))
+        });
+        g.bench_with_input(BenchmarkId::new("box_all", syms), &z, |b, z| {
+            b.iter(|| black_box(reduce_box_all(z, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Micro-benchmark: the softmax abstract transformer (§5.2) with and without
+//! the sum-constraint refinement (§5.3), across row widths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+
+fn scores(n: usize, syms: usize) -> Zonotope {
+    let vars = n * n;
+    let center = (0..vars).map(|i| ((i % 7) as f64 - 3.0) * 0.2).collect();
+    let phi = Matrix::from_fn(vars, 8, |r, c| ((r + c) % 5) as f64 * 0.01);
+    let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 3 + c) % 9) as f64 * 0.004);
+    Zonotope::from_parts(n, n, center, phi, eps, PNorm::L2)
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax");
+    g.sample_size(10);
+    for &n in &[4usize, 8, 12] {
+        let z = scores(n, 256);
+        g.bench_with_input(BenchmarkId::new("refined", n), &z, |b, z| {
+            b.iter(|| black_box(softmax_rows(z, SoftmaxConfig::default())))
+        });
+        g.bench_with_input(BenchmarkId::new("plain", n), &z, |b, z| {
+            b.iter(|| black_box(softmax_rows(z, SoftmaxConfig::without_refinement())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_softmax);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table 10 (Appendix A.2): the complete branch-and-bound verifier
+//! (GeoCert role) vs the Multi-norm Zonotope verifier on a binary MLP with
+//! the paper's 10-50-10 hidden sizes. The complete method certifies larger
+//! (exact) radii at a much higher cost; the zonotope is orders of magnitude
+//! faster. (Our complete search runs on ℓ∞ boxes — see DESIGN.md
+//! substitution 5; both columns use ℓ∞.)
+
+use deept_bench::models::a2_mlp;
+use deept_bench::report::{min_avg, save_results, timed};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_geocert::{max_robust_radius_linf, zonotope_radius, BnbConfig};
+use deept_nn::train::accuracy;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct A2Row {
+    verifier: String,
+    min: f64,
+    avg: f64,
+    time_s: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (mlp, data) = a2_mlp(scale);
+    println!("[table10] MLP accuracy {:.3}", accuracy(&mlp, &data));
+    let points: Vec<&(Vec<f64>, usize)> = data
+        .iter()
+        .filter(|(x, y)| mlp.predict(x) == *y)
+        .take(if scale == Scale::Quick { 4 } else { 15 })
+        .collect();
+
+    let cfg = BnbConfig {
+        max_nodes: if scale == Scale::Quick { 120 } else { 1500 },
+    };
+    let iters = if scale == Scale::Quick { 8 } else { 12 };
+    let (complete_radii, complete_time) = timed(|| {
+        points
+            .iter()
+            .map(|(x, y)| max_robust_radius_linf(&mlp, x, *y, &cfg, iters))
+            .collect::<Vec<f64>>()
+    });
+    let (zono_radii, zono_time) = timed(|| {
+        points
+            .iter()
+            .map(|(x, y)| zonotope_radius(&mlp, x, PNorm::Linf, *y, 20))
+            .collect::<Vec<f64>>()
+    });
+    let mut rows = Vec::new();
+    for (name, radii, time) in [
+        ("Complete-BnB (GeoCert role)", &complete_radii, complete_time),
+        ("DeepT (zonotope)", &zono_radii, zono_time),
+    ] {
+        let (min, avg) = min_avg(radii);
+        println!("{name:<28} min {min:.4}  avg {avg:.4}  time {time:.2}s");
+        rows.push(A2Row {
+            verifier: name.to_string(),
+            min,
+            avg,
+            time_s: time,
+        });
+    }
+    for (c, z) in complete_radii.iter().zip(&zono_radii) {
+        assert!(c + 1e-6 >= *z, "complete radius below zonotope radius");
+    }
+    save_results("table10", &rows);
+}

@@ -1,0 +1,95 @@
+//! Table 11 (Appendix A.3): DeepT-Fast certification of a Vision
+//! Transformer classifying synthetic digit-like images, against ℓ1/ℓ2/ℓ∞
+//! pixel perturbations mapped through the patch embedding.
+
+use deept_bench::models::a3_vit;
+use deept_bench::report::{min_avg, save_results, timed};
+use deept_bench::Scale;
+use deept_core::{PNorm, Zonotope};
+use deept_nn::train::accuracy;
+use deept_tensor::Matrix;
+use deept_verifier::deept::{certify, DeepTConfig};
+use deept_verifier::network::VerifiableTransformer;
+use deept_verifier::radius::max_certified_radius;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct VitRow {
+    norm: String,
+    min: f64,
+    avg: f64,
+    time_s: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (vit, data) = a3_vit(scale);
+    println!("[table11] ViT accuracy {:.3}", accuracy(&vit, &data));
+    let net = VerifiableTransformer::from(&vit);
+    let cfg = DeepTConfig::fast(scale.fast_budget());
+    let images: Vec<&(Vec<f64>, usize)> = data
+        .iter()
+        .filter(|(x, y)| vit.predict(x) == *y)
+        .take(if scale == Scale::Quick { 5 } else { 12 })
+        .collect();
+
+    let mut rows = Vec::new();
+    for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+        let (radii, time) = timed(|| {
+            images
+                .iter()
+                .map(|(pixels, label)| {
+                    max_certified_radius(
+                        |r| {
+                            // Pixel-space ball, pushed through the (affine)
+                            // patch embedding — exact in the domain.
+                            let px = Matrix::row_vector(pixels.to_vec());
+                            let region = Zonotope::from_lp_ball(&px, r, p, &[0]);
+                            let tokens = vit.patches.num_tokens();
+                            let pdim = vit.patches.patch_dim();
+                            // Rearrange pixels into the patch matrix.
+                            let perm = patch_permutation(&vit.patches);
+                            let patches = region.linear_vars(&perm, tokens, pdim);
+                            let embedded = patches
+                                .matmul_right(&vit.patch_w)
+                                .add_row_bias(vit.patch_b.row(0))
+                                .add_const(&vit.pos_embed);
+                            certify(&net, &embedded, *label, &cfg).certified
+                        },
+                        0.01,
+                        scale.radius_iters(),
+                    )
+                })
+                .collect::<Vec<f64>>()
+        });
+        let (min, avg) = min_avg(&radii);
+        println!("{p:<5} min {min:.4}  avg {avg:.4}  time {time:.2}s");
+        rows.push(VitRow {
+            norm: p.to_string(),
+            min,
+            avg,
+            time_s: time,
+        });
+    }
+    save_results("table11", &rows);
+}
+
+/// Permutation matrix mapping flat row-major pixels to the flattened patch
+/// layout used by the ViT embedder.
+fn patch_permutation(cfg: &deept_nn::PatchConfig) -> Matrix {
+    let n = cfg.image_h * cfg.image_w;
+    // Reuse the concrete extractor on indicator images to build the matrix.
+    let mut perm = Matrix::zeros(n, n);
+    let mut unit = vec![0.0; n];
+    for i in 0..n {
+        unit[i] = 1.0;
+        let p = cfg.patches(&unit);
+        for (dst, &v) in p.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                perm.set(dst, i, v);
+            }
+        }
+        unit[i] = 0.0;
+    }
+    perm
+}

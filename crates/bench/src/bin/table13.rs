@@ -1,0 +1,57 @@
+//! Table 13 (Appendix A.5): ablation of the softmax-sum zonotope
+//! refinement (§5.3) — DeepT-Fast with vs without the constraint.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences(), 12);
+        for kind in [VerifierKind::DeepTFast, VerifierKind::DeepTFastNoRefine] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &norms,
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table("Table 13 — softmax sum refinement ablation", &rows);
+    for layers in scale.depths() {
+        for norm in ["l1", "l2", "linf"] {
+            let with = rows
+                .iter()
+                .find(|r| r.layers == layers && r.norm == norm && !r.verifier.contains("no-ref"))
+                .map(|r| r.avg)
+                .unwrap_or(0.0);
+            let without = rows
+                .iter()
+                .find(|r| r.layers == layers && r.norm == norm && r.verifier.contains("no-ref"))
+                .map(|r| r.avg)
+                .unwrap_or(0.0);
+            if without > 0.0 {
+                println!(
+                    "M = {layers}, {norm}: refinement change {:+.3}%",
+                    100.0 * (with - without) / without
+                );
+            }
+        }
+    }
+    save_results("table13", &rows);
+}

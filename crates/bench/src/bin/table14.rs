@@ -1,0 +1,39 @@
+//! Table 14 (Appendix A.6): the Combined DeepT verifier (Precise dot
+//! product in the last layer only) against CROWN-Backward under ℓ∞.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    // The paper's A.6 evaluates the 6- and 12-layer networks; we take the
+    // deeper two of the depth progression.
+    let depths = scale.depths();
+    for &layers in &depths[1..] {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
+        for kind in [VerifierKind::DeepTCombined, VerifierKind::CrownBackward] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &[PNorm::Linf],
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table("Table 14 — Combined DeepT vs CROWN-Backward (linf)", &rows);
+    save_results("table14", &rows);
+}

@@ -1,0 +1,46 @@
+//! Table 2: DeepT-Fast vs CROWN-BaF on the larger Yelp-like corpus
+//! (longer sentences, bigger vocabulary), across depth and norms.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Yelp,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        println!(
+            "[table2] M = {layers}: test accuracy {:.3}",
+            trained.accuracy
+        );
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences(), 12);
+        for kind in [VerifierKind::DeepTFast, VerifierKind::CrownBaf] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &norms,
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    // Order rows (M, norm, verifier) so the ratio column compares
+    // DeepT-Fast (first) against CROWN-BaF, as in the paper.
+    rows.sort_by(|a, b| {
+        (a.layers, &a.norm, &a.verifier).partial_cmp(&(b.layers, &b.norm, &b.verifier)).unwrap()
+    });
+    print_radius_table("Table 2 — DeepT-Fast vs CROWN-BaF (Yelp-like)", &rows);
+    save_results("table2", &rows);
+}

@@ -1,0 +1,48 @@
+//! Table 3: DeepT-Fast vs CROWN-BaF on wide Transformers (2x embedding,
+//! 4x hidden size — mirroring the paper's 256/512 setting). The paper's
+//! CROWN-BaF fails with out-of-memory at M = 12; our linear-bound variant
+//! does not share that blow-up (documented deviation), so both columns run.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Wide,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        println!(
+            "[table3] M = {layers}: test accuracy {:.3}",
+            trained.accuracy
+        );
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences(), 12);
+        for kind in [VerifierKind::DeepTFast, VerifierKind::CrownBaf] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &norms,
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    // Order rows (M, norm, verifier) so the ratio column compares
+    // DeepT-Fast (first) against CROWN-BaF, as in the paper.
+    rows.sort_by(|a, b| {
+        (a.layers, &a.norm, &a.verifier).partial_cmp(&(b.layers, &b.norm, &b.verifier)).unwrap()
+    });
+    print_radius_table("Table 3 — wide networks (2x embed, 4x hidden)", &rows);
+    save_results("table3", &rows);
+}

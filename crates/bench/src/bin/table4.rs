@@ -1,0 +1,48 @@
+//! Table 4 / Table 12 (Appendix A.4): the precision–performance trade-off
+//! under ℓ∞ perturbations — DeepT-Fast, CROWN-BaF, DeepT-Precise and
+//! CROWN-Backward on the same networks.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        println!("[table4] M = {layers}: test accuracy {:.3}", trained.accuracy);
+        // The paper evaluates one random position per sentence for the slow
+        // verifiers; we keep the same (reduced) position budget for all.
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
+        for kind in [
+            VerifierKind::DeepTFast,
+            VerifierKind::CrownBaf,
+            VerifierKind::DeepTPrecise,
+            VerifierKind::CrownBackward,
+        ] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &[PNorm::Linf],
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table(
+        "Table 4 / Table 12 — precision vs performance (linf)",
+        &rows,
+    );
+    save_results("table4", &rows);
+}

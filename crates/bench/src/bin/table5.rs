@@ -1,0 +1,41 @@
+//! Table 5: ℓ1 and ℓ2 comparison of DeepT-Fast against both CROWN-BaF and
+//! CROWN-Backward.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        println!("[table5] M = {layers}: test accuracy {:.3}", trained.accuracy);
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
+        for kind in [
+            VerifierKind::DeepTFast,
+            VerifierKind::CrownBaf,
+            VerifierKind::CrownBackward,
+        ] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &[PNorm::L1, PNorm::L2],
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table("Table 5 — l1/l2 vs CROWN-BaF and CROWN-Backward", &rows);
+    save_results("table5", &rows);
+}

@@ -1,0 +1,58 @@
+//! Table 6: dual-norm application order ablation for the Fast dot-product
+//! transformer (§6.5) — collapse the ℓ∞ operand first vs the ℓp operand
+//! first, on ℓ1 and ℓ2 perturbations.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::NoStd,
+            scale,
+        });
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences(), 12);
+        for kind in [VerifierKind::DeepTFast, VerifierKind::DeepTFastPFirst] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &[PNorm::L1, PNorm::L2],
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table("Table 6 — dual-norm order (inf-first vs p-first)", &rows);
+    // Also report the per-setting average change, as the paper does.
+    let mut changes = Vec::new();
+    for layers in scale.depths() {
+        for norm in ["l1", "l2"] {
+            let a = rows
+                .iter()
+                .find(|r| r.layers == layers && r.norm == norm && r.verifier.ends_with("Fast"))
+                .map(|r| r.avg)
+                .unwrap_or(0.0);
+            let b = rows
+                .iter()
+                .find(|r| r.layers == layers && r.norm == norm && r.verifier.contains("p-first"))
+                .map(|r| r.avg)
+                .unwrap_or(0.0);
+            if b > 0.0 {
+                let pct = 100.0 * (a - b) / b;
+                println!("M = {layers}, {norm}: inf-first avg change {pct:+.2}%");
+                changes.push(pct);
+            }
+        }
+    }
+    save_results("table6", &rows);
+}

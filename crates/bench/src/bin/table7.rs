@@ -1,0 +1,43 @@
+//! Table 7: certification of Transformers trained *with* the standard
+//! layer normalization (division by the standard deviation, §6.6) — the
+//! setting the paper shows is much harder to certify than the no-std
+//! variant.
+
+use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
+use deept_bench::report::{print_radius_table, save_results};
+use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::Scale;
+use deept_core::PNorm;
+use deept_nn::LayerNormKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    let mut rows = Vec::new();
+    for layers in scale.depths() {
+        let trained = sentiment_model(SentimentPreset {
+            corpus: Corpus::Sst,
+            layers,
+            width: Width::Base,
+            layer_norm: LayerNormKind::Std { epsilon: 1e-5 },
+            scale,
+        });
+        println!(
+            "[table7] M = {layers} (std layer norm): test accuracy {:.3}",
+            trained.accuracy
+        );
+        let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
+        for kind in [VerifierKind::DeepTFast, VerifierKind::CrownBaf] {
+            rows.extend(radius_sweep(
+                &trained.model,
+                &sentences,
+                &norms,
+                kind,
+                scale,
+                layers,
+            ));
+        }
+    }
+    print_radius_table("Table 7 — standard layer normalization", &rows);
+    save_results("table7", &rows);
+}

@@ -1,0 +1,123 @@
+//! Table 8: certification against synonym attacks (threat model T2, §6.7) —
+//! certified-sentence counts and per-sentence time for DeepT-Fast and
+//! CROWN-BaF, plus the enumeration baseline's measured throughput and the
+//! implied cost of exhausting the combination space.
+
+use std::time::Instant;
+
+use deept_bench::models::t2_model;
+use deept_bench::report::save_results;
+use deept_bench::Scale;
+use deept_verifier::crown::CrownConfig;
+use deept_verifier::deept::DeepTConfig;
+use deept_verifier::synonym;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct T2Row {
+    verifier: String,
+    certified: usize,
+    total: usize,
+    rate: f64,
+    avg_time_s: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (trained, synonyms) = t2_model(scale);
+    println!("[table8] network accuracy {:.3}", trained.accuracy);
+
+    // Evaluation sentences: correctly classified, with a non-trivial number
+    // of synonym combinations (the paper targets ≥ 32 000 at its scale).
+    let min_combos: u128 = if scale == Scale::Quick { 1024 } else { 32_000 };
+    let mut sentences: Vec<(Vec<usize>, usize)> = trained
+        .dataset
+        .test
+        .iter()
+        .chain(trained.dataset.train.iter())
+        .filter(|(t, l)| {
+            trained.model.predict(t) == *l && synonyms.combinations(t) >= min_combos
+        })
+        .take(if scale == Scale::Quick { 15 } else { 60 })
+        .cloned()
+        .collect();
+    // Hardest first, so the printed examples are the interesting ones.
+    sentences.sort_by_key(|(t, _)| std::cmp::Reverse(synonyms.combinations(t)));
+    println!(
+        "[table8] {} sentences, combination counts {:?}…",
+        sentences.len(),
+        sentences
+            .iter()
+            .take(5)
+            .map(|(t, _)| synonyms.combinations(t))
+            .collect::<Vec<_>>()
+    );
+
+    let mut rows = Vec::new();
+    let deept_cfg = DeepTConfig::fast(scale.fast_budget());
+    let crown_cfg = CrownConfig::baf();
+    for verifier in ["DeepT-Fast", "CROWN-BaF"] {
+        let start = Instant::now();
+        let mut certified = 0;
+        for (tokens, label) in &sentences {
+            let ok = match verifier {
+                "DeepT-Fast" => {
+                    synonym::certify_deept(&trained.model, tokens, &synonyms, *label, &deept_cfg)
+                        .certified
+                }
+                _ => synonym::certify_crown(&trained.model, tokens, &synonyms, *label, &crown_cfg)
+                    .certified,
+            };
+            certified += usize::from(ok);
+        }
+        let avg = start.elapsed().as_secs_f64() / sentences.len().max(1) as f64;
+        println!(
+            "{verifier:<12} certified {certified}/{} ({:.0}%), avg {:.3}s/sentence",
+            sentences.len(),
+            100.0 * certified as f64 / sentences.len().max(1) as f64,
+            avg
+        );
+        rows.push(T2Row {
+            verifier: verifier.to_string(),
+            certified,
+            total: sentences.len(),
+            rate: certified as f64 / sentences.len().max(1) as f64,
+            avg_time_s: avg,
+        });
+    }
+
+    // Enumeration baseline: measure classification throughput on a bounded
+    // sample, then report the implied cost of the full combination space.
+    let limit = 2000u64;
+    let start = Instant::now();
+    let mut enumerated = 0u64;
+    for (tokens, label) in &sentences {
+        let out = synonym::enumerate(&trained.model, tokens, &synonyms, *label, limit);
+        enumerated += out.checked;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let per_combo = elapsed / enumerated.max(1) as f64;
+    let total_combos: f64 = sentences
+        .iter()
+        .map(|(t, _)| synonyms.combinations(t) as f64)
+        .sum();
+    println!(
+        "Enumeration: {:.1} combos/s measured; exhausting all {:.3e} combinations would take ≈ {:.1}s \
+         ({:.1}x the DeepT-Fast total)",
+        1.0 / per_combo,
+        total_combos,
+        per_combo * total_combos,
+        per_combo * total_combos / (rows[0].avg_time_s * sentences.len() as f64).max(1e-9),
+    );
+    if let Some((hardest, _)) = sentences.first() {
+        let c = synonyms.combinations(hardest) as f64;
+        println!(
+            "Hardest sentence: {c:.3e} combinations → enumeration ≈ {:.1}s vs one abstract \
+             certification ≈ {:.2}s ({:.0}x)",
+            per_combo * c,
+            rows[0].avg_time_s,
+            per_combo * c / rows[0].avg_time_s.max(1e-9),
+        );
+    }
+    save_results("table8", &rows);
+}

@@ -1,0 +1,48 @@
+//! Table 9: a qualitative example — one certifiable sentence with its
+//! per-position synonym sets and the size of the combination space that
+//! enumeration would have to cover.
+
+use deept_bench::models::t2_model;
+use deept_bench::Scale;
+use deept_verifier::deept::DeepTConfig;
+use deept_verifier::synonym;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (trained, synonyms) = t2_model(scale);
+    let cfg = DeepTConfig::fast(scale.fast_budget());
+    // The sentence with the largest combination count that still certifies.
+    let mut best: Option<(&(Vec<usize>, usize), u128)> = None;
+    for ex in trained.dataset.test.iter().take(150) {
+        let (tokens, label) = ex;
+        if trained.model.predict(tokens) != *label {
+            continue;
+        }
+        let combos = synonyms.combinations(tokens);
+        if best.as_ref().is_some_and(|&(_, c)| combos <= c) {
+            continue;
+        }
+        if synonym::certify_deept(&trained.model, tokens, &synonyms, *label, &cfg).certified {
+            best = Some((ex, combos));
+        }
+    }
+    let Some(((tokens, label), combos)) = best else {
+        println!("no certifiable sentence found at this scale — rerun with --full");
+        return;
+    };
+    println!("Certified sentence (label = {label}) with {combos} synonym combinations:");
+    println!("{:<10} {:<12} {}", "Token", "#Synonyms", "Synonyms");
+    for &t in tokens {
+        let names: Vec<&str> = synonyms
+            .of(t)
+            .iter()
+            .map(|&s| trained.dataset.vocab.token(s).name.as_str())
+            .collect();
+        println!(
+            "{:<10} {:<12} {}",
+            trained.dataset.vocab.token(t).name,
+            names.len(),
+            if names.is_empty() { "∅".to_string() } else { names.join(", ") }
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared machinery for the experiment binaries (`table1` … `table14`) that
+//! regenerate the tables of the DeepT paper, and for the Criterion
+//! micro-benchmarks.
+//!
+//! Every binary accepts `--quick` (default) or `--full`; the scale of each
+//! preset and every substitution relative to the paper's setup is documented
+//! in DESIGN.md and EXPERIMENTS.md. Trained models are cached as JSON under
+//! `artifacts/models/` so tables can be re-run instantly.
+
+pub mod models;
+pub mod report;
+pub mod t1;
+
+/// Run scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small models, few examples — minutes per table.
+    Quick,
+    /// Larger models and sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Parses process arguments (`--full` selects [`Scale::Full`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// The encoder depths standing in for the paper's `M ∈ {3, 6, 12}`
+    /// progression (scaled down in quick mode; the *trend* across the
+    /// progression is the claim under reproduction).
+    pub fn depths(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 2, 4],
+            Scale::Full => vec![3, 6, 12],
+        }
+    }
+
+    /// Number of evaluation sentences per table.
+    pub fn sentences(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Number of perturbed positions evaluated per sentence.
+    pub fn positions(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 4,
+        }
+    }
+
+    /// Binary-search iterations for the certified radius.
+    pub fn radius_iters(self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 18,
+        }
+    }
+
+    /// Noise-symbol budget for DeepT-Fast (the paper uses 14 000 at its
+    /// scale; ours is proportional to our layer widths).
+    pub fn fast_budget(self) -> usize {
+        match self {
+            Scale::Quick => 1500,
+            Scale::Full => 3000,
+        }
+    }
+
+    /// Noise-symbol budget for DeepT-Precise (paper: 10 000).
+    pub fn precise_budget(self) -> usize {
+        match self {
+            Scale::Quick => 192,
+            Scale::Full => 384,
+        }
+    }
+
+    /// Cache-key suffix.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Repository-level artifact directory (models, result JSON).
+pub fn artifact_dir() -> std::path::PathBuf {
+    let root = std::env::var("DEEPT_ARTIFACTS").unwrap_or_else(|_| {
+        format!("{}/artifacts", env!("CARGO_MANIFEST_DIR").replace("/crates/bench", ""))
+    });
+    std::path::PathBuf::from(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets_are_ordered() {
+        assert!(Scale::Quick.sentences() <= Scale::Full.sentences());
+        assert!(Scale::Quick.fast_budget() <= Scale::Full.fast_budget());
+        assert_eq!(Scale::Quick.depths().len(), 3);
+        assert_eq!(Scale::Full.depths(), vec![3, 6, 12]);
+    }
+
+    #[test]
+    fn artifact_dir_is_absolute_or_env_driven() {
+        let d = artifact_dir();
+        assert!(d.to_string_lossy().contains("artifacts"));
+    }
+}

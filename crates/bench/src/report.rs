@@ -1,0 +1,117 @@
+//! Result rows, table rendering and JSON persistence for the experiment
+//! binaries.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// One row of a certified-radius table (the layout of Tables 1–7).
+#[derive(Debug, Clone, Serialize)]
+pub struct RadiusRow {
+    /// Encoder depth.
+    pub layers: usize,
+    /// Perturbation norm label (`l1`, `l2`, `linf`).
+    pub norm: String,
+    /// Verifier name.
+    pub verifier: String,
+    /// Minimum certified radius over the evaluation set.
+    pub min: f64,
+    /// Average certified radius.
+    pub avg: f64,
+    /// Total wall-clock seconds for the sweep.
+    pub time_s: f64,
+}
+
+/// Renders radius rows grouped per (layers, norm) with a ratio column
+/// between the first verifier and each other, mirroring the paper's table
+/// format.
+pub fn print_radius_table(title: &str, rows: &[RadiusRow]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<4} {:<5} {:<18} {:>12} {:>12} {:>9} {:>8}",
+        "M", "lp", "verifier", "min", "avg", "time[s]", "ratio"
+    );
+    let mut keys: Vec<(usize, String)> = Vec::new();
+    for r in rows {
+        let key = (r.layers, r.norm.clone());
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    for (layers, norm) in keys {
+        let group: Vec<&RadiusRow> = rows
+            .iter()
+            .filter(|r| r.layers == layers && r.norm == norm)
+            .collect();
+        // Ratio column: the first DeepT verifier's average over this row's
+        // average, matching the paper's "Ratio" convention.
+        let base = group
+            .iter()
+            .find(|r| r.verifier.starts_with("DeepT"))
+            .or(group.first())
+            .map(|r| r.avg)
+            .unwrap_or(0.0);
+        for r in group {
+            let ratio = if r.avg > 0.0 { base / r.avg } else { f64::INFINITY };
+            println!(
+                "{:<4} {:<5} {:<18} {:>12.3e} {:>12.3e} {:>9.2} {:>8.2}",
+                r.layers, r.norm, r.verifier, r.min, r.avg, r.time_s, ratio
+            );
+        }
+    }
+}
+
+/// Saves any serializable result set under `artifacts/results/<name>.json`.
+pub fn save_results<T: Serialize>(name: &str, value: &T) {
+    let dir = crate::artifact_dir().join("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("[report] could not write {}: {e}", path.display());
+                } else {
+                    println!("[report] results saved to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[report] serialization failed: {e}"),
+        }
+    }
+}
+
+/// Times a closure, returning its value and elapsed seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64())
+}
+
+/// Summary statistics of a set of radii.
+pub fn min_avg(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let avg = values.iter().sum::<f64>() / values.len() as f64;
+    (min, avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_avg_basics() {
+        assert_eq!(min_avg(&[]), (0.0, 0.0));
+        let (min, avg) = min_avg(&[1.0, 3.0]);
+        assert_eq!(min, 1.0);
+        assert_eq!(avg, 2.0);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, t) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The shared T1 sweep: maximum certified radius per (sentence, position,
+//! norm, verifier), the engine behind Tables 1–7.
+
+use deept_core::{NormOrder, PNorm};
+use deept_nn::TransformerClassifier;
+use deept_verifier::crown::{self, CrownConfig, CrownInput};
+use deept_verifier::deept::{self, DeepTConfig};
+use deept_verifier::network::{t1_region, VerifiableTransformer};
+use deept_verifier::radius::max_certified_radius;
+
+use crate::report::{min_avg, RadiusRow};
+use crate::Scale;
+
+/// Verifier under test in a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VerifierKind {
+    /// DeepT with the Fast dot product.
+    DeepTFast,
+    /// DeepT-Fast with the ℓp-first dual-norm order (§6.5 ablation).
+    DeepTFastPFirst,
+    /// DeepT-Fast without the softmax sum refinement (A.5 ablation).
+    DeepTFastNoRefine,
+    /// DeepT with the Precise dot product.
+    DeepTPrecise,
+    /// The Combined variant (Precise last layer only, A.6).
+    DeepTCombined,
+    /// CROWN-BaF-role linear bounds (collapse at attention scores).
+    CrownBaf,
+    /// CROWN-Backward-role linear bounds (no collapse).
+    CrownBackward,
+    /// Interval bound propagation.
+    Interval,
+}
+
+impl VerifierKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifierKind::DeepTFast => "DeepT-Fast",
+            VerifierKind::DeepTFastPFirst => "DeepT-Fast(p-first)",
+            VerifierKind::DeepTFastNoRefine => "DeepT-Fast(no-ref)",
+            VerifierKind::DeepTPrecise => "DeepT-Precise",
+            VerifierKind::DeepTCombined => "DeepT-Combined",
+            VerifierKind::CrownBaf => "CROWN-BaF",
+            VerifierKind::CrownBackward => "CROWN-Backward",
+            VerifierKind::Interval => "Interval",
+        }
+    }
+
+    fn deept_config(self, scale: Scale) -> Option<DeepTConfig> {
+        match self {
+            VerifierKind::DeepTFast => Some(DeepTConfig::fast(scale.fast_budget())),
+            VerifierKind::DeepTFastPFirst => {
+                Some(DeepTConfig::fast(scale.fast_budget()).with_norm_order(NormOrder::PFirst))
+            }
+            VerifierKind::DeepTFastNoRefine => {
+                Some(DeepTConfig::fast(scale.fast_budget()).with_softmax_refinement(false))
+            }
+            VerifierKind::DeepTPrecise => Some(DeepTConfig::precise(scale.precise_budget())),
+            VerifierKind::DeepTCombined => Some(DeepTConfig::combined(scale.precise_budget())),
+            _ => None,
+        }
+    }
+
+    fn crown_config(self) -> Option<CrownConfig> {
+        match self {
+            VerifierKind::CrownBaf => Some(CrownConfig::baf()),
+            VerifierKind::CrownBackward => Some(CrownConfig::backward()),
+            VerifierKind::Interval => Some(CrownConfig::interval()),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum certified radius for one (sentence, position, norm) query.
+pub fn certified_radius(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    label: usize,
+    position: usize,
+    p: PNorm,
+    kind: VerifierKind,
+    scale: Scale,
+) -> f64 {
+    let net = VerifiableTransformer::from(model);
+    let emb = model.embed(tokens);
+    let iters = scale.radius_iters();
+    if let Some(cfg) = kind.deept_config(scale) {
+        max_certified_radius(
+            |r| {
+                let region = t1_region(&emb, position, r, p);
+                deept::certify(&net, &region, label, &cfg).certified
+            },
+            0.01,
+            iters,
+        )
+    } else {
+        let cfg = kind.crown_config().expect("crown kind");
+        max_certified_radius(
+            |r| {
+                let input = CrownInput::t1(&emb, position, r, p);
+                crown::certify(&net, &input, label, &cfg).certified
+            },
+            0.01,
+            iters,
+        )
+    }
+}
+
+/// Runs the full sweep for one model: all sentences × positions × norms,
+/// parallelized across queries. Returns one row per norm.
+pub fn radius_sweep(
+    model: &TransformerClassifier,
+    sentences: &[(Vec<usize>, usize)],
+    norms: &[PNorm],
+    kind: VerifierKind,
+    scale: Scale,
+    layers: usize,
+) -> Vec<RadiusRow> {
+    let mut rows = Vec::new();
+    for &p in norms {
+        let queries: Vec<(usize, usize)> = sentences
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (tokens, _))| {
+                let n_pos = scale.positions().min(tokens.len());
+                // Spread evaluated positions across the sentence.
+                (0..n_pos).map(move |k| (si, k * tokens.len() / n_pos))
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let radii = parallel_map(&queries, |&(si, pos)| {
+            let (tokens, label) = &sentences[si];
+            certified_radius(model, tokens, *label, pos, p, kind, scale)
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let (min, avg) = min_avg(&radii);
+        rows.push(RadiusRow {
+            layers,
+            norm: p.to_string(),
+            verifier: kind.name().to_string(),
+            min,
+            avg,
+            time_s: elapsed,
+        });
+    }
+    rows
+}
+
+/// Simple fork-join map over a slice using scoped threads.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let results: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *results[i].lock() = Some(f(&items[i]));
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn verifier_names_are_distinct() {
+        let kinds = [
+            VerifierKind::DeepTFast,
+            VerifierKind::DeepTPrecise,
+            VerifierKind::DeepTCombined,
+            VerifierKind::CrownBaf,
+            VerifierKind::CrownBackward,
+            VerifierKind::Interval,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,513 @@
+//! Element-wise abstract transformers (§4.3–§4.6 of the paper).
+//!
+//! Each transformer maps a zonotope variable `x` with concrete bounds
+//! `[l, u]` to `y = λ·x + μ + β·ε_new` where `ε_new` is a fresh ℓ∞ noise
+//! symbol. The choices of `λ, μ, β` below are the minimal-area sound
+//! relaxations of ReLU, tanh, exp and reciprocal (Theorem 3); exp and
+//! reciprocal additionally guarantee a **positive** concrete lower bound of
+//! `y`, which the downstream reciprocal/softmax machinery requires.
+//!
+//! ## Paper deviation (documented in DESIGN.md)
+//!
+//! For the reciprocal the paper prints `t_opt = min(t_crit, 0.5u + ε̃)`.
+//! The tangent value at `x = u` is `(2t − u)/t²`, *increasing* in `t`, so
+//! positivity requires `t ≥ u/2` and the correct clamp is `max`, which is
+//! what we implement. We also derive the new-symbol magnitude from
+//! `max(gap(l), gap(u))`, which coincides with the paper's closed forms at
+//! `t_opt = t_crit` and stays sound when the positivity clamp moves `t_opt`.
+
+use deept_tensor::Matrix;
+
+use crate::Zonotope;
+
+/// The small positive constant `ε̃` of §4.5/§4.6 that keeps the exp and
+/// reciprocal output bounds strictly positive.
+pub const POSITIVITY_MARGIN: f64 = 0.01;
+
+/// Width below which an input interval is treated as a single point and the
+/// transformer returns the exact function value.
+const POINT_WIDTH: f64 = 1e-12;
+
+/// A per-variable relaxation `y = λ·x + μ + β·ε_new` (with the degenerate
+/// cases of the ReLU handled as exact constants / identity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relaxation {
+    /// Slope applied to the input expression.
+    pub lambda: f64,
+    /// Added constant.
+    pub mu: f64,
+    /// Coefficient of the fresh ℓ∞ noise symbol (`0` for exact cases).
+    pub beta: f64,
+}
+
+impl Relaxation {
+    /// A poisoned relaxation propagating NaN: emitted when bounds have
+    /// already blown up (overflow) so the verifier can fail gracefully via
+    /// [`crate::Zonotope::has_non_finite`] instead of panicking.
+    pub(crate) fn poisoned() -> Self {
+        Relaxation {
+            lambda: 0.0,
+            mu: f64::NAN,
+            beta: 0.0,
+        }
+    }
+
+    fn exact_const(v: f64) -> Self {
+        Relaxation {
+            lambda: 0.0,
+            mu: v,
+            beta: 0.0,
+        }
+    }
+
+    fn identity() -> Self {
+        Relaxation {
+            lambda: 1.0,
+            mu: 0.0,
+            beta: 0.0,
+        }
+    }
+}
+
+/// Relaxation of `ReLU(x) = max(0, x)` on `[l, u]` (§4.3, Eq. 2).
+pub fn relu_relaxation(l: f64, u: f64) -> Relaxation {
+    debug_assert!(l <= u);
+    if u <= 0.0 {
+        Relaxation::exact_const(0.0)
+    } else if l >= 0.0 {
+        Relaxation::identity()
+    } else {
+        let lambda = u / (u - l);
+        let m = 0.5 * (-lambda * l).max((1.0 - lambda) * u);
+        Relaxation {
+            lambda,
+            mu: m,
+            beta: m,
+        }
+    }
+}
+
+/// Relaxation of `tanh(x)` on `[l, u]` (§4.4).
+pub fn tanh_relaxation(l: f64, u: f64) -> Relaxation {
+    debug_assert!(l <= u);
+    if u - l < POINT_WIDTH {
+        return Relaxation::exact_const(((l + u) * 0.5).tanh());
+    }
+    let tl = l.tanh();
+    let tu = u.tanh();
+    let lambda = (1.0 - tl * tl).min(1.0 - tu * tu);
+    let mu = 0.5 * (tu + tl - lambda * (u + l));
+    let beta = (0.5 * (tu - tl - lambda * (u - l))).max(0.0);
+    Relaxation { lambda, mu, beta }
+}
+
+/// Relaxation of `exp(x)` on `[l, u]` (§4.5), guaranteeing a positive
+/// concrete lower bound of the output.
+pub fn exp_relaxation(l: f64, u: f64) -> Relaxation {
+    debug_assert!(!(l > u));
+    // e^u would overflow (or the bounds already blew up): poison the output
+    // rather than produce a spuriously finite band.
+    if !l.is_finite() || !u.is_finite() || u > 709.0 {
+        return Relaxation::poisoned();
+    }
+    let w = u - l;
+    if w < POINT_WIDTH {
+        return Relaxation::exact_const(((l + u) * 0.5).exp());
+    }
+    // t_crit = log((e^u − e^l)/(u − l)), computed stably as
+    // l + log(expm1(w)/w); t_crit,2 = l + 1 − ε̃ keeps the tangent value at
+    // x = l (the output lower bound) positive.
+    let t_crit = l + (w.exp_m1() / w).ln();
+    let t_crit2 = l + 1.0 - POSITIVITY_MARGIN;
+    let t_opt = t_crit.min(t_crit2);
+    let lambda = t_opt.exp();
+    convex_tangent_relaxation(f64::exp, lambda, t_opt, l, u)
+}
+
+/// Relaxation of `1/x` on `[l, u]` with `l > 0` (§4.6), guaranteeing a
+/// positive concrete lower bound of the output.
+///
+/// # Panics
+///
+/// Panics if `l <= 0`: the reciprocal transformer is only defined for
+/// strictly positive inputs (which the exp transformer guarantees inside
+/// the softmax).
+pub fn reciprocal_relaxation(l: f64, u: f64) -> Relaxation {
+    if !l.is_finite() || !u.is_finite() {
+        return Relaxation::poisoned();
+    }
+    assert!(
+        l > 0.0,
+        "reciprocal transformer requires a positive input lower bound, got l = {l}"
+    );
+    debug_assert!(l <= u);
+    if u - l < POINT_WIDTH {
+        return Relaxation::exact_const(1.0 / ((l + u) * 0.5));
+    }
+    let t_crit = (u * l).sqrt();
+    // Positivity clamp: tangent(u) = (2t − u)/t² > 0 needs t > u/2.
+    // (`max`, not the paper's printed `min`; see module docs.)
+    let t_crit2 = 0.5 * u + POSITIVITY_MARGIN * u;
+    let t_opt = t_crit.max(t_crit2);
+    let lambda = -1.0 / (t_opt * t_opt);
+    convex_tangent_relaxation(|x| 1.0 / x, lambda, t_opt, l, u)
+}
+
+/// Relaxation of `√x` on `[l, u]` with `l > 0`.
+///
+/// The paper's networks avoid the standard-deviation division, but the
+/// Table 7 experiment certifies networks *with* standard layer norm, which
+/// needs `√(var + ε)`. `√` is concave, so we relax its negation with the
+/// shared convex-tangent construction and mirror the result; the output
+/// lower bound is the chord, which is `≥ √l > 0` with no extra clamp.
+///
+/// # Panics
+///
+/// Panics if `l <= 0` (callers add the layer-norm `ε` first).
+pub fn sqrt_relaxation(l: f64, u: f64) -> Relaxation {
+    if !l.is_finite() || !u.is_finite() {
+        return Relaxation::poisoned();
+    }
+    assert!(
+        l > 0.0,
+        "sqrt transformer requires a positive input lower bound, got l = {l}"
+    );
+    debug_assert!(l <= u);
+    if u - l < POINT_WIDTH {
+        return Relaxation::exact_const(((l + u) * 0.5).sqrt());
+    }
+    // Chord-parallel tangency point of −√ on [l, u]: t = ((√l + √u)/2)².
+    let t_opt = (0.5 * (l.sqrt() + u.sqrt())).powi(2);
+    let lambda_neg = -1.0 / (2.0 * t_opt.sqrt());
+    let r = convex_tangent_relaxation(|x| -x.sqrt(), lambda_neg, t_opt, l, u);
+    Relaxation {
+        lambda: -r.lambda,
+        mu: -r.mu,
+        beta: r.beta,
+    }
+}
+
+/// Shared construction for convex functions: the tangent at `t_opt` is the
+/// lower envelope; the band is widened by the larger endpoint gap.
+fn convex_tangent_relaxation(
+    f: impl Fn(f64) -> f64,
+    lambda: f64,
+    t_opt: f64,
+    l: f64,
+    u: f64,
+) -> Relaxation {
+    let intercept = f(t_opt) - lambda * t_opt;
+    let gap_l = f(l) - (lambda * l + intercept);
+    let gap_u = f(u) - (lambda * u + intercept);
+    let delta = gap_l.max(gap_u).max(0.0);
+    Relaxation {
+        lambda,
+        mu: intercept + 0.5 * delta,
+        beta: 0.5 * delta,
+    }
+}
+
+/// Which element-wise function to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// `tanh(x)`.
+    Tanh,
+    /// `exp(x)`.
+    Exp,
+    /// `1/x` for `x > 0`.
+    Reciprocal,
+    /// `√x` for `x > 0`.
+    Sqrt,
+}
+
+impl Activation {
+    /// The relaxation of this activation on `[l, u]`.
+    pub fn relaxation(self, l: f64, u: f64) -> Relaxation {
+        match self {
+            Activation::Relu => relu_relaxation(l, u),
+            Activation::Tanh => tanh_relaxation(l, u),
+            Activation::Exp => exp_relaxation(l, u),
+            Activation::Reciprocal => reciprocal_relaxation(l, u),
+            Activation::Sqrt => sqrt_relaxation(l, u),
+        }
+    }
+
+    /// The concrete function (used by the soundness test suites).
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Exp => x.exp(),
+            Activation::Reciprocal => 1.0 / x,
+            Activation::Sqrt => x.sqrt(),
+        }
+    }
+}
+
+/// Applies an element-wise abstract transformer to every variable of `z`,
+/// appending one fresh ℓ∞ noise symbol per variable whose relaxation has
+/// `β ≠ 0`.
+///
+/// # Panics
+///
+/// Panics if `act` is [`Activation::Reciprocal`] and some variable's lower
+/// bound is not strictly positive.
+pub fn apply(z: &Zonotope, act: Activation) -> Zonotope {
+    apply_floored(z, act, f64::NEG_INFINITY)
+}
+
+/// Like [`apply`], but computes each relaxation on
+/// `[max(l, floor), max(u, floor)]`. Sound whenever the *true* values of the
+/// variables are known to be `≥ floor` on domain grounds (e.g. a variance
+/// plus ε is `≥ ε` even though McCormick-squared abstract bounds can dip
+/// below zero).
+pub fn apply_floored(z: &Zonotope, act: Activation, floor: f64) -> Zonotope {
+    let n = z.n_vars();
+    let (lo, hi) = z.bounds();
+    let relax: Vec<Relaxation> = (0..n)
+        .map(|k| act.relaxation(lo[k].max(floor), hi[k].max(floor)))
+        .collect();
+
+    let mut center = Vec::with_capacity(n);
+    let mut phi = Matrix::zeros(n, z.num_phi());
+    let mut eps_old = Matrix::zeros(n, z.num_eps());
+    let fresh: Vec<usize> = (0..n).filter(|&k| relax[k].beta != 0.0).collect();
+    let mut eps_new = Matrix::zeros(n, fresh.len());
+    for k in 0..n {
+        let r = relax[k];
+        center.push(r.lambda * z.center()[k] + r.mu);
+        if r.lambda != 0.0 {
+            for (dst, &src) in phi.row_mut(k).iter_mut().zip(z.phi().row(k)) {
+                *dst = r.lambda * src;
+            }
+            for (dst, &src) in eps_old.row_mut(k).iter_mut().zip(z.eps().row(k)) {
+                *dst = r.lambda * src;
+            }
+        }
+    }
+    for (s, &k) in fresh.iter().enumerate() {
+        eps_new.set(k, s, relax[k].beta);
+    }
+    Zonotope::from_parts(
+        z.rows(),
+        z.cols(),
+        center,
+        phi,
+        eps_old.hstack(&eps_new),
+        z.p(),
+    )
+}
+
+/// Convenience wrappers mirroring the paper's transformer names.
+impl Zonotope {
+    /// ReLU abstract transformer (§4.3).
+    pub fn relu(&self) -> Zonotope {
+        apply(self, Activation::Relu)
+    }
+
+    /// tanh abstract transformer (§4.4).
+    pub fn tanh(&self) -> Zonotope {
+        apply(self, Activation::Tanh)
+    }
+
+    /// Exponential abstract transformer (§4.5).
+    pub fn exp(&self) -> Zonotope {
+        apply(self, Activation::Exp)
+    }
+
+    /// Reciprocal abstract transformer (§4.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable may be non-positive.
+    pub fn reciprocal(&self) -> Zonotope {
+        apply(self, Activation::Reciprocal)
+    }
+
+    /// Square-root abstract transformer (standard layer norm support).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable may be non-positive.
+    pub fn sqrt(&self) -> Zonotope {
+        apply(self, Activation::Sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PNorm;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_relaxation_sound(act: Activation, l: f64, u: f64) {
+        let r = act.relaxation(l, u);
+        let steps = 64;
+        for i in 0..=steps {
+            let x = l + (u - l) * i as f64 / steps as f64;
+            let y = act.eval(x);
+            let lo = r.lambda * x + r.mu - r.beta;
+            let hi = r.lambda * x + r.mu + r.beta;
+            let tol = 1e-9 * (1.0 + y.abs());
+            assert!(
+                y >= lo - tol && y <= hi + tol,
+                "{act:?} on [{l},{u}] at x={x}: {y} not in [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_cases() {
+        assert_eq!(relu_relaxation(-3.0, -1.0), Relaxation::exact_const(0.0));
+        assert_eq!(relu_relaxation(1.0, 3.0), Relaxation::identity());
+        let r = relu_relaxation(-1.0, 3.0);
+        assert!((r.lambda - 0.75).abs() < 1e-12);
+        assert!((r.mu - 0.375).abs() < 1e-12);
+        assert_eq!(r.mu, r.beta);
+        check_relaxation_sound(Activation::Relu, -1.0, 3.0);
+    }
+
+    #[test]
+    fn tanh_soundness_on_mixed_intervals() {
+        for (l, u) in [(-2.0, 1.0), (-0.5, 0.5), (0.1, 4.0), (-4.0, -0.1)] {
+            check_relaxation_sound(Activation::Tanh, l, u);
+        }
+    }
+
+    #[test]
+    fn exp_soundness_and_positivity() {
+        for (l, u) in [(-3.0, 2.0), (-0.1, 0.1), (1.0, 5.0), (-10.0, -9.5)] {
+            check_relaxation_sound(Activation::Exp, l, u);
+            let r = exp_relaxation(l, u);
+            // Output lower bound is the tangent at l; must be positive.
+            let lower = r.lambda * l + r.mu - r.beta;
+            assert!(lower > 0.0, "exp lower bound {lower} not positive on [{l},{u}]");
+        }
+    }
+
+    #[test]
+    fn reciprocal_soundness_and_positivity() {
+        for (l, u) in [(0.5, 2.0), (1.0, 1.5), (0.01, 10.0), (3.0, 3.1)] {
+            check_relaxation_sound(Activation::Reciprocal, l, u);
+            let r = reciprocal_relaxation(l, u);
+            let lower = r.lambda * u + r.mu - r.beta;
+            assert!(lower > 0.0, "reciprocal lower bound {lower} not positive on [{l},{u}]");
+        }
+    }
+
+    #[test]
+    fn reciprocal_positivity_in_the_paper_min_failure_regime() {
+        // l < u/4: the paper's printed `min` clamp would put the tangent at
+        // √(ul) < u/2 and produce a negative lower bound; our `max` clamp
+        // keeps it positive.
+        let (l, u) = (0.1f64, 10.0f64);
+        assert!((u * l).sqrt() < u / 2.0);
+        let r = reciprocal_relaxation(l, u);
+        assert!(r.lambda * u + r.mu - r.beta > 0.0);
+        check_relaxation_sound(Activation::Reciprocal, l, u);
+    }
+
+    #[test]
+    fn sqrt_soundness_and_positivity() {
+        for (l, u) in [(0.5, 2.0), (1.0, 1.5), (0.01, 10.0), (3.0, 3.1)] {
+            check_relaxation_sound(Activation::Sqrt, l, u);
+            let r = sqrt_relaxation(l, u);
+            // Lower envelope (the chord) stays positive.
+            assert!(r.lambda * l + r.mu - r.beta > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive input lower bound")]
+    fn sqrt_rejects_nonpositive_inputs() {
+        sqrt_relaxation(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive input lower bound")]
+    fn reciprocal_rejects_nonpositive_inputs() {
+        reciprocal_relaxation(-0.5, 1.0);
+    }
+
+    #[test]
+    fn point_intervals_are_exact() {
+        let r = exp_relaxation(1.5, 1.5);
+        assert_eq!(r.lambda, 0.0);
+        assert!((r.mu - 1.5f64.exp()).abs() < 1e-12);
+        assert_eq!(r.beta, 0.0);
+        let r = tanh_relaxation(0.7, 0.7);
+        assert!((r.mu - 0.7f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_is_sound_on_zonotope_samples() {
+        let c = deept_tensor::Matrix::from_rows(&[&[0.5, -0.5, 2.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.7, PNorm::L2, &[0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for act in [Activation::Relu, Activation::Tanh, Activation::Exp] {
+            let out = apply(&z, act);
+            assert!(out.num_eps() >= z.num_eps());
+            for _ in 0..200 {
+                let (p, e) = out.sample_noise(&mut rng);
+                let x = z.evaluate(&p, &e[..z.num_eps()]);
+                let (lo, hi) = out.bounds();
+                for k in 0..3 {
+                    let y = act.eval(x[k]);
+                    assert!(y >= lo[k] - 1e-9 && y <= hi[k] + 1e-9, "{act:?} var {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relu_exact_cases_add_no_symbols() {
+        let c = deept_tensor::Matrix::from_rows(&[&[5.0, -5.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.1, PNorm::Linf, &[0]);
+        let out = z.relu();
+        assert_eq!(out.num_eps(), z.num_eps());
+        let (lo, hi) = out.bounds();
+        assert!((lo[0] - 4.9).abs() < 1e-12 && (hi[0] - 5.1).abs() < 1e-12);
+        assert_eq!((lo[1], hi[1]), (0.0, 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_relaxations_sound(
+            l in -5.0f64..5.0,
+            w in 0.0f64..6.0,
+        ) {
+            let u = l + w;
+            check_relaxation_sound(Activation::Relu, l, u);
+            check_relaxation_sound(Activation::Tanh, l, u);
+            check_relaxation_sound(Activation::Exp, l, u);
+        }
+
+        #[test]
+        fn prop_reciprocal_sound(
+            l in 0.01f64..5.0,
+            w in 0.0f64..20.0,
+        ) {
+            let u = l + w;
+            check_relaxation_sound(Activation::Reciprocal, l, u);
+            let r = reciprocal_relaxation(l, u);
+            prop_assert!(r.lambda * u + r.mu - r.beta > 0.0);
+        }
+
+        #[test]
+        fn prop_sqrt_sound(l in 0.01f64..5.0, w in 0.0f64..20.0) {
+            let u = l + w;
+            check_relaxation_sound(Activation::Sqrt, l, u);
+        }
+
+        #[test]
+        fn prop_exp_output_positive(l in -20.0f64..5.0, w in 0.0f64..10.0) {
+            let u = l + w;
+            let r = exp_relaxation(l, u);
+            prop_assert!(r.lambda * l + r.mu - r.beta > 0.0);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Exact geometry of two-variable zonotope projections: vertex enumeration
+//! and area.
+//!
+//! The paper's optimality results (Theorem 3) are stated in terms of the
+//! *area* of the input–output relaxation; this module makes such areas
+//! measurable so tightness can be asserted in tests rather than taken on
+//! faith. It also powers the Figure 4 rendering.
+//!
+//! Only the classical (ε) symbols admit exact polytope geometry; for the
+//! ℓp-bounded φ symbols (`p ∈ {1, 2}`) the projection is a Minkowski sum
+//! with an ellipse/cross-polytope shadow, which we handle by support-function
+//! sampling.
+
+use crate::Zonotope;
+
+#[cfg(test)]
+use crate::PNorm;
+#[cfg(test)]
+use deept_tensor::Matrix;
+
+/// The support function `h(d) = sup { d·(x, y) }` of the projection of `z`
+/// onto variables `(i, j)` — exact for every direction.
+pub fn support_2d(z: &Zonotope, i: usize, j: usize, dir: (f64, f64)) -> f64 {
+    let (dx, dy) = dir;
+    let c = dx * z.center()[i] + dy * z.center()[j];
+    // Generator contributions: ε part is an ℓ∞ box over symbols (sum of
+    // |coefficients|); φ part is bounded by the dual norm (Lemma 1).
+    let mut eps_sum = 0.0;
+    for (a, b) in z.eps().row(i).iter().zip(z.eps().row(j)) {
+        eps_sum += (dx * a + dy * b).abs();
+    }
+    let phi_coeffs: Vec<f64> = z
+        .phi()
+        .row(i)
+        .iter()
+        .zip(z.phi().row(j))
+        .map(|(a, b)| dx * a + dy * b)
+        .collect();
+    c + eps_sum + z.p().dual_norm(&phi_coeffs)
+}
+
+/// Vertices of the projection of a **classical** zonotope (no φ symbols)
+/// onto variables `(i, j)`, in counter-clockwise order.
+///
+/// Uses the standard generator-angle sweep: a 2-D zonotope with `m`
+/// generators is a centrally-symmetric polygon with at most `2m` vertices.
+///
+/// # Panics
+///
+/// Panics if the zonotope has φ symbols (project them away first or use
+/// [`support_2d`] sampling).
+pub fn vertices_2d(z: &Zonotope, i: usize, j: usize) -> Vec<(f64, f64)> {
+    assert_eq!(
+        z.num_phi(),
+        0,
+        "exact vertex enumeration requires a classical zonotope"
+    );
+    let cx = z.center()[i];
+    let cy = z.center()[j];
+    // Orient every generator into the upper half-plane and sort by angle.
+    let mut gens: Vec<(f64, f64)> = z
+        .eps()
+        .row(i)
+        .iter()
+        .zip(z.eps().row(j))
+        .map(|(&a, &b)| if b < 0.0 || (b == 0.0 && a < 0.0) { (-a, -b) } else { (a, b) })
+        .filter(|&(a, b)| a != 0.0 || b != 0.0)
+        .collect();
+    if gens.is_empty() {
+        return vec![(cx, cy)];
+    }
+    gens.sort_by(|p, q| {
+        p.1.atan2(p.0)
+            .partial_cmp(&q.1.atan2(q.0))
+            .expect("finite angles")
+    });
+    // Start at the vertex maximizing x (all generators at −1 for the
+    // upper-halfplane orientation with positive x... construct by walking).
+    let mut x = cx - gens.iter().map(|g| g.0).sum::<f64>();
+    let mut y = cy - gens.iter().map(|g| g.1).sum::<f64>();
+    let mut verts = Vec::with_capacity(2 * gens.len());
+    verts.push((x, y));
+    for &(a, b) in &gens {
+        x += 2.0 * a;
+        y += 2.0 * b;
+        verts.push((x, y));
+    }
+    for &(a, b) in &gens {
+        x -= 2.0 * a;
+        y -= 2.0 * b;
+        verts.push((x, y));
+    }
+    verts.pop(); // closes back on the start
+    verts
+}
+
+/// Area of the projection of a classical zonotope onto `(i, j)` — the sum
+/// of the generator cross products: `4 · Σ_{k<l} |g_k × g_l|`.
+///
+/// # Panics
+///
+/// Panics if the zonotope has φ symbols.
+pub fn area_2d(z: &Zonotope, i: usize, j: usize) -> f64 {
+    assert_eq!(z.num_phi(), 0, "exact area requires a classical zonotope");
+    let gi = z.eps().row(i);
+    let gj = z.eps().row(j);
+    let m = gi.len();
+    let mut area = 0.0;
+    for k in 0..m {
+        for l in k + 1..m {
+            area += (gi[k] * gj[l] - gi[l] * gj[k]).abs();
+        }
+    }
+    4.0 * area
+}
+
+/// Area of the polygon given by counter-clockwise vertices (shoelace).
+pub fn polygon_area(verts: &[(f64, f64)]) -> f64 {
+    if verts.len() < 3 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for k in 0..verts.len() {
+        let (x0, y0) = verts[k];
+        let (x1, y1) = verts[(k + 1) % verts.len()];
+        s += x0 * y1 - x1 * y0;
+    }
+    0.5 * s.abs()
+}
+
+/// Approximate area of an arbitrary Multi-norm Zonotope projection via
+/// support-function sampling over `n` directions (an over-approximating
+/// circumscribed polygon).
+pub fn approx_area_2d(z: &Zonotope, i: usize, j: usize, n: usize) -> f64 {
+    assert!(n >= 3, "need at least 3 directions");
+    // Intersect the half-planes d·x ≤ h(d): for adjacent directions the
+    // vertex is the intersection of consecutive support lines.
+    let dirs: Vec<(f64, f64)> = (0..n)
+        .map(|k| {
+            let t = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            (t.cos(), t.sin())
+        })
+        .collect();
+    let hs: Vec<f64> = dirs.iter().map(|&d| support_2d(z, i, j, d)).collect();
+    let mut verts = Vec::with_capacity(n);
+    for k in 0..n {
+        let (a1, b1) = dirs[k];
+        let (a2, b2) = dirs[(k + 1) % n];
+        let (h1, h2) = (hs[k], hs[(k + 1) % n]);
+        let det = a1 * b2 - a2 * b1;
+        if det.abs() > 1e-12 {
+            verts.push(((h1 * b2 - h2 * b1) / det, (a1 * h2 - a2 * h1) / det));
+        }
+    }
+    polygon_area(&verts)
+}
+
+/// A rasterized membership test used by plots: `(x, y)` is inside the
+/// projection iff it is inside every sampled support half-plane.
+pub fn contains_2d(z: &Zonotope, i: usize, j: usize, point: (f64, f64), n_dirs: usize) -> bool {
+    (0..n_dirs).all(|k| {
+        let t = 2.0 * std::f64::consts::PI * k as f64 / n_dirs as f64;
+        let d = (t.cos(), t.sin());
+        d.0 * point.0 + d.1 * point.1 <= support_2d(z, i, j, d) + 1e-9
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn classical(i_coeffs: &[f64], j_coeffs: &[f64], cx: f64, cy: f64) -> Zonotope {
+        let m = i_coeffs.len();
+        let mut eps = Matrix::zeros(2, m);
+        for (k, (&a, &b)) in i_coeffs.iter().zip(j_coeffs).enumerate() {
+            eps.set(0, k, a);
+            eps.set(1, k, b);
+        }
+        Zonotope::from_parts(2, 1, vec![cx, cy], Matrix::zeros(2, 0), eps, PNorm::Linf)
+    }
+
+    #[test]
+    fn box_vertices_and_area() {
+        // Two axis-aligned generators: a 2×4 rectangle centred at (1, 2).
+        let z = classical(&[1.0, 0.0], &[0.0, 2.0], 1.0, 2.0);
+        let verts = vertices_2d(&z, 0, 1);
+        assert_eq!(verts.len(), 4);
+        assert!((area_2d(&z, 0, 1) - 8.0).abs() < 1e-12);
+        assert!((polygon_area(&verts) - 8.0).abs() < 1e-12);
+        for (x, y) in verts {
+            assert!((x - 1.0).abs() <= 1.0 + 1e-12 && (y - 2.0).abs() <= 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hexagon_from_three_generators() {
+        let z = classical(&[1.0, 0.5, 0.0], &[0.0, 0.5, 1.0], 0.0, 0.0);
+        let verts = vertices_2d(&z, 0, 1);
+        assert_eq!(verts.len(), 6);
+        assert!((polygon_area(&verts) - area_2d(&z, 0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shoelace_matches_cross_product_formula_randomized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        use rand::Rng;
+        for _ in 0..30 {
+            let m = rng.gen_range(1..6);
+            let gi: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let gj: Vec<f64> = (0..m).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let z = classical(&gi, &gj, rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0));
+            let by_verts = polygon_area(&vertices_2d(&z, 0, 1));
+            let by_cross = area_2d(&z, 0, 1);
+            assert!(
+                (by_verts - by_cross).abs() < 1e-9 * (1.0 + by_cross),
+                "{by_verts} vs {by_cross}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_lie_inside_support_halfplanes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let z = Zonotope::from_parts(
+            2,
+            1,
+            vec![4.0, 3.0],
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+            Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, 1.0]]),
+            PNorm::L2,
+        );
+        for _ in 0..300 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let v = z.evaluate(&phi, &eps);
+            assert!(contains_2d(&z, 0, 1, (v[0], v[1]), 32));
+        }
+    }
+
+    #[test]
+    fn approx_area_over_approximates_and_converges() {
+        // For a classical zonotope the support-sampled polygon circumscribes
+        // the true polygon and converges to its area.
+        let z = classical(&[1.0, 0.5], &[0.2, 0.8], 0.0, 0.0);
+        let exact = area_2d(&z, 0, 1);
+        let coarse = approx_area_2d(&z, 0, 1, 8);
+        let fine = approx_area_2d(&z, 0, 1, 512);
+        assert!(coarse >= exact - 1e-9);
+        assert!(fine >= exact - 1e-9);
+        assert!((fine - exact) < (coarse - exact) + 1e-12);
+        assert!((fine - exact) / exact < 0.01, "512 directions should be within 1%");
+    }
+
+    #[test]
+    fn multi_norm_shadow_is_larger_than_classical_part() {
+        // Dropping the φ symbols shrinks the region (Figure 4's nesting).
+        let full = Zonotope::from_parts(
+            2,
+            1,
+            vec![0.0, 0.0],
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            Matrix::from_rows(&[&[0.5], &[0.5]]),
+            PNorm::L2,
+        );
+        let classical_only = Zonotope::from_parts(
+            2,
+            1,
+            vec![0.0, 0.0],
+            Matrix::zeros(2, 0),
+            Matrix::from_rows(&[&[0.5], &[0.5]]),
+            PNorm::L2,
+        );
+        let a_full = approx_area_2d(&full, 0, 1, 256);
+        let a_classical = approx_area_2d(&classical_only, 0, 1, 256);
+        assert!(a_full > a_classical);
+    }
+
+    #[test]
+    fn degenerate_zonotope_is_a_point() {
+        let z = classical(&[], &[], 3.0, -1.0);
+        assert_eq!(vertices_2d(&z, 0, 1), vec![(3.0, -1.0)]);
+        assert_eq!(area_2d(&z, 0, 1), 0.0);
+    }
+}

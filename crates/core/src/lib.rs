@@ -1,0 +1,62 @@
+//! The **Multi-norm Zonotope** abstract domain of the DeepT paper
+//! (*Fast and Precise Certification of Transformers*, PLDI 2021).
+//!
+//! A Multi-norm Zonotope abstracts a set of `n` real variables as
+//!
+//! ```text
+//! x = c + A·φ + B·ε      with  ‖φ‖_p ≤ 1  and  ε_j ∈ [−1, 1],
+//! ```
+//!
+//! i.e. a classical zonotope (the `ε` part) extended with noise symbols `φ`
+//! that are *jointly* bounded by an ℓp norm. ℓ1 and ℓ2 input perturbation
+//! balls are then expressible exactly, while a classical zonotope would have
+//! to over-approximate them by a box.
+//!
+//! This crate provides the domain ([`Zonotope`]) together with every
+//! abstract transformer the paper needs to push a perturbation region
+//! through an encoder Transformer:
+//!
+//! * exact affine transformers ([`Zonotope::matmul_right`] and friends, §4.2),
+//! * minimal-area element-wise transformers for ReLU, tanh, exp and
+//!   reciprocal ([`elementwise`], §4.3–4.6),
+//! * the dot-product transformer in its *Fast* (dual-norm, Eq. 5) and
+//!   *Precise* (ε–ε interval analysis, Eq. 6) variants ([`dot`], §4.8),
+//! * the numerically-favourable softmax `1/Σ exp(ν_j − ν_i)` ([`softmax`], §5.2),
+//! * the softmax-sum zonotope refinement ([`refine`], §5.3 + Appendix A.1),
+//! * `DecorrelateMin_k` noise-symbol reduction ([`reduce`], §5.1).
+//!
+//! # Example
+//!
+//! ```
+//! use deept_core::{PNorm, Zonotope};
+//! use deept_tensor::Matrix;
+//!
+//! // A 2-dimensional ℓ2 ball of radius 0.1 around (1, 2).
+//! let z = Zonotope::from_lp_ball(
+//!     &Matrix::from_rows(&[&[1.0, 2.0]]),
+//!     0.1,
+//!     PNorm::L2,
+//!     &[0],
+//! );
+//! let (lo, hi) = z.bounds();
+//! assert!((lo[0] - 0.9).abs() < 1e-12 && (hi[0] - 1.1).abs() < 1e-12);
+//!
+//! // Affine maps are exact: rotate the ball, bounds stay radius 0.1.
+//! let w = Matrix::from_rows(&[&[0.6, -0.8], &[0.8, 0.6]]);
+//! let (lo, hi) = z.matmul_right(&w).bounds();
+//! assert!((hi[0] - lo[0] - 0.2).abs() < 1e-9);
+//! ```
+
+pub mod dot;
+pub mod elementwise;
+pub mod geometry;
+mod norm;
+pub mod reduce;
+pub mod refine;
+pub mod softmax;
+mod zonotope;
+
+pub use dot::{DotConfig, DotVariant, NormOrder};
+pub use norm::PNorm;
+pub use softmax::SoftmaxConfig;
+pub use zonotope::Zonotope;

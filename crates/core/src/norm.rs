@@ -1,0 +1,125 @@
+//! ℓp norms and their duals (§3.3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The ℓp norm bounding the `φ` noise symbols of a [`crate::Zonotope`].
+///
+/// The dual norm ℓq (with `1/p + 1/q = 1`) turns joint constraints on `φ`
+/// into concrete interval bounds: by Lemma 1 of the paper,
+/// `|α · φ| ≤ ‖α‖_q` whenever `‖φ‖_p ≤ 1`, and the bound is tight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PNorm {
+    /// ℓ1; dual is ℓ∞.
+    L1,
+    /// ℓ2; self-dual.
+    L2,
+    /// ℓ∞; dual is ℓ1. A Multi-norm Zonotope with `p = ∞` is a classical
+    /// zonotope (the `φ` symbols behave exactly like `ε` symbols).
+    Linf,
+}
+
+impl PNorm {
+    /// The numeric value of `p` (`f64::INFINITY` for ℓ∞).
+    pub fn p(self) -> f64 {
+        match self {
+            PNorm::L1 => 1.0,
+            PNorm::L2 => 2.0,
+            PNorm::Linf => f64::INFINITY,
+        }
+    }
+
+    /// The dual norm ℓq with `1/p + 1/q = 1`.
+    pub fn dual(self) -> PNorm {
+        match self {
+            PNorm::L1 => PNorm::Linf,
+            PNorm::L2 => PNorm::L2,
+            PNorm::Linf => PNorm::L1,
+        }
+    }
+
+    /// `‖v‖_p`.
+    pub fn norm(self, v: &[f64]) -> f64 {
+        match self {
+            PNorm::L1 => deept_tensor::l1_norm(v),
+            PNorm::L2 => deept_tensor::l2_norm(v),
+            PNorm::Linf => deept_tensor::linf_norm(v),
+        }
+    }
+
+    /// `‖v‖_q`, the tight bound of `sup { v·x : ‖x‖_p ≤ 1 }` (Lemma 1).
+    pub fn dual_norm(self, v: &[f64]) -> f64 {
+        self.dual().norm(v)
+    }
+
+    /// Parses `"1"`, `"2"` or `"inf"`.
+    pub fn parse(s: &str) -> Option<PNorm> {
+        match s {
+            "1" | "l1" | "L1" => Some(PNorm::L1),
+            "2" | "l2" | "L2" => Some(PNorm::L2),
+            "inf" | "linf" | "Linf" | "oo" => Some(PNorm::Linf),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for PNorm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PNorm::L1 => write!(f, "l1"),
+            PNorm::L2 => write!(f, "l2"),
+            PNorm::Linf => write!(f, "linf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duals() {
+        assert_eq!(PNorm::L1.dual(), PNorm::Linf);
+        assert_eq!(PNorm::L2.dual(), PNorm::L2);
+        assert_eq!(PNorm::Linf.dual(), PNorm::L1);
+    }
+
+    #[test]
+    fn dual_norm_bounds_inner_product() {
+        // For a few random-ish vectors x with ‖x‖_p ≤ 1, check v·x ≤ ‖v‖_q.
+        let v = [1.0, -2.0, 0.5];
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            let bound = p.dual_norm(&v);
+            let candidates: [[f64; 3]; 4] = [
+                [1.0, 0.0, 0.0],
+                [0.5, -0.5, 0.0],
+                [0.3, 0.3, 0.3],
+                [0.0, -1.0, 0.0],
+            ];
+            for x in candidates {
+                let xn = p.norm(&x);
+                if xn <= 1.0 + 1e-12 {
+                    let ip: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+                    assert!(ip.abs() <= bound + 1e-12, "{p:?}: {ip} vs {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_norm_is_tight_for_l2() {
+        // The supremum of v·x over ‖x‖₂ ≤ 1 is ‖v‖₂, achieved at x = v/‖v‖₂.
+        let v = [3.0, 4.0];
+        let bound = PNorm::L2.dual_norm(&v);
+        let n = deept_tensor::l2_norm(&v);
+        let achieved: f64 = v.iter().map(|a| a * a / n).sum();
+        assert!((achieved - bound).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parsing_and_display() {
+        assert_eq!(PNorm::parse("2"), Some(PNorm::L2));
+        assert_eq!(PNorm::parse("inf"), Some(PNorm::Linf));
+        assert_eq!(PNorm::parse("bogus"), None);
+        assert_eq!(PNorm::L1.to_string(), "l1");
+    }
+}

@@ -1,0 +1,284 @@
+//! `DecorrelateMin_k` noise-symbol reduction (§5.1).
+//!
+//! Repeated abstract transformers keep appending fresh ℓ∞ symbols; without
+//! intervention memory and per-operation cost grow with network depth. The
+//! reduction keeps the `k` most influential ε symbols — scored by
+//! `m_j = Σᵢ |B_{i,j}|` — and replaces the rest with one *independent* fresh
+//! symbol per variable carrying the eliminated mass
+//! `Σ_{j ∈ dropped} |β_{i,j}|`. This is a sound box over-approximation of
+//! the dropped directions and bounds memory use independently of depth,
+//! giving the paper's tunable precision/performance trade-off.
+//!
+//! `φ` symbols are never reduced: they encode the input perturbation region
+//! itself.
+
+use deept_tensor::Matrix;
+
+use crate::Zonotope;
+
+/// Outcome statistics of a reduction, useful for instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// ε symbols before the reduction.
+    pub before: usize,
+    /// ε symbols after the reduction (kept + fresh per-variable symbols).
+    pub after: usize,
+    /// Symbols folded away.
+    pub dropped: usize,
+}
+
+/// Reduces the ε symbols of `z` to at most `budget` kept symbols (plus one
+/// fresh symbol per variable with eliminated mass), never touching columns
+/// `< protect`.
+///
+/// Returns the reduced zonotope and statistics. If the zonotope is already
+/// within budget it is returned unchanged.
+///
+/// # Panics
+///
+/// Panics if `protect > budget`.
+pub fn reduce_eps(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, ReduceStats) {
+    assert!(
+        protect <= budget,
+        "protect ({protect}) exceeds budget ({budget})"
+    );
+    let e = z.num_eps();
+    if e <= budget {
+        return (
+            z.clone(),
+            ReduceStats {
+                before: e,
+                after: e,
+                dropped: 0,
+            },
+        );
+    }
+    let n = z.n_vars();
+    let scores = z.eps().col_abs_sums();
+    // Rank the unprotected symbols by influence, descending.
+    let mut order: Vec<usize> = (protect..e).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let keep_free = budget - protect;
+    let mut kept: Vec<usize> = (0..protect).collect();
+    kept.extend(order.iter().take(keep_free).copied());
+    kept.sort_unstable(); // preserve relative order of kept symbols
+    let dropped: Vec<usize> = order.iter().skip(keep_free).copied().collect();
+
+    let kept_eps = z.eps().select_cols(&kept);
+    // Per-variable eliminated mass.
+    let mut mass = vec![0.0; n];
+    for i in 0..n {
+        let row = z.eps().row(i);
+        mass[i] = dropped.iter().map(|&j| row[j].abs()).sum();
+    }
+    let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
+    let mut eps_new = Matrix::zeros(n, fresh.len());
+    for (s, &i) in fresh.iter().enumerate() {
+        eps_new.set(i, s, mass[i]);
+    }
+    let out = Zonotope::from_parts(
+        z.rows(),
+        z.cols(),
+        z.center().to_vec(),
+        z.phi().clone(),
+        kept_eps.hstack(&eps_new),
+        z.p(),
+    );
+    let after = out.num_eps();
+    (
+        out,
+        ReduceStats {
+            before: e,
+            after,
+            dropped: dropped.len(),
+        },
+    )
+}
+
+/// The naive alternative to `DecorrelateMin_k`: drop **every** unprotected
+/// ε symbol and box each variable independently, ignoring influence scores.
+///
+/// This is the ablation counterpart justifying the paper's heuristic: it
+/// has the same worst-case memory bound but destroys *all* cross-variable
+/// correlation beyond the protected prefix, so downstream dot products and
+/// margins widen. The `reduction` ablation bench measures the gap.
+pub fn reduce_box_all(z: &Zonotope, protect: usize) -> Zonotope {
+    let e = z.num_eps();
+    if e <= protect {
+        return z.clone();
+    }
+    let n = z.n_vars();
+    let kept: Vec<usize> = (0..protect).collect();
+    let kept_eps = z.eps().select_cols(&kept);
+    let mut mass = vec![0.0; n];
+    for i in 0..n {
+        mass[i] = z.eps().row(i)[protect..].iter().map(|x| x.abs()).sum();
+    }
+    let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
+    let mut eps_new = Matrix::zeros(n, fresh.len());
+    for (s, &i) in fresh.iter().enumerate() {
+        eps_new.set(i, s, mass[i]);
+    }
+    Zonotope::from_parts(
+        z.rows(),
+        z.cols(),
+        z.center().to_vec(),
+        z.phi().clone(),
+        kept_eps.hstack(&eps_new),
+        z.p(),
+    )
+}
+
+impl Zonotope {
+    /// Convenience wrapper around [`reduce_eps`] discarding the statistics.
+    pub fn reduced(&self, budget: usize, protect: usize) -> Zonotope {
+        reduce_eps(self, budget, protect).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PNorm;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_zono(seed: u64, n: usize, e_eps: usize) -> Zonotope {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let center: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let phi = Matrix::from_fn(n, 2, |_, _| rng.gen_range(-0.3..0.3));
+        let eps = Matrix::from_fn(n, e_eps, |_, _| rng.gen_range(-0.3..0.3));
+        Zonotope::from_parts(n, 1, center, phi, eps, PNorm::L2)
+    }
+
+    #[test]
+    fn within_budget_is_identity() {
+        let z = random_zono(1, 4, 5);
+        let (out, stats) = reduce_eps(&z, 10, 0);
+        assert_eq!(out, z);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn reduction_is_sound_overapproximation() {
+        // Every point of the original region must lie within the reduced
+        // region's bounds, and the per-variable residual must fit in the
+        // fresh symbol's coefficient.
+        let z = random_zono(2, 5, 12);
+        let (out, stats) = reduce_eps(&z, 6, 0);
+        assert_eq!(stats.dropped, 6);
+        assert!(out.num_eps() <= 6 + z.n_vars());
+        let (lo, hi) = out.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..500 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let v = z.evaluate(&phi, &eps);
+            for k in 0..z.n_vars() {
+                assert!(
+                    v[k] >= lo[k] - 1e-12 && v[k] <= hi[k] + 1e-12,
+                    "var {k}: {} outside [{}, {}]",
+                    v[k],
+                    lo[k],
+                    hi[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_keeps_most_influential_symbols() {
+        // One dominant symbol must survive a harsh reduction.
+        let mut eps = Matrix::zeros(3, 5);
+        for i in 0..3 {
+            eps.set(i, 2, 10.0); // symbol 2 dominates
+            eps.set(i, 4, 0.01);
+        }
+        let z = Zonotope::from_parts(3, 1, vec![0.0; 3], Matrix::zeros(3, 0), eps, PNorm::L2);
+        let (out, _) = reduce_eps(&z, 1, 0);
+        // The kept symbol is the dominant one: correlated structure retained,
+        // so variable widths stay 2·10 + small.
+        let (lo, hi) = out.bounds();
+        for k in 0..3 {
+            assert!((hi[k] - lo[k] - 2.0 * (10.0 + 0.01)).abs() < 1e-9);
+        }
+        // And the difference x0 − x1 stays tight (0 ± small) because the
+        // dominant symbol is still shared, not boxed.
+        let l = Matrix::from_rows(&[&[1.0, -1.0, 0.0]]);
+        let d = out.linear_vars(&l, 1, 1);
+        let (dl, dh) = d.bounds();
+        assert!(dh[0] - dl[0] <= 2.0 * 0.02 + 1e-9);
+    }
+
+    #[test]
+    fn protect_keeps_prefix_columns_in_place() {
+        let z = random_zono(4, 4, 10);
+        let (out, _) = reduce_eps(&z, 5, 3);
+        // The first `protect` columns must be bit-identical.
+        for i in 0..z.n_vars() {
+            for j in 0..3 {
+                assert_eq!(out.eps().at(i, j), z.eps().at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn widths_never_shrink_but_grow_boundedly() {
+        let z = random_zono(5, 6, 20);
+        let (out, _) = reduce_eps(&z, 8, 0);
+        let (lo, hi) = z.bounds();
+        let (rlo, rhi) = out.bounds();
+        for k in 0..z.n_vars() {
+            let w = hi[k] - lo[k];
+            let rw = rhi[k] - rlo[k];
+            // Per-variable width is preserved exactly by DecorrelateMin_k
+            // (only cross-variable correlation is lost).
+            assert!((rw - w).abs() < 1e-9, "width changed: {w} -> {rw}");
+        }
+    }
+
+    #[test]
+    fn box_all_is_sound_but_looser_than_decorrelate() {
+        let z = random_zono(7, 6, 20);
+        let boxed = reduce_box_all(&z, 0);
+        let (lo, hi) = boxed.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..300 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let v = z.evaluate(&phi, &eps);
+            for k in 0..z.n_vars() {
+                assert!(v[k] >= lo[k] - 1e-12 && v[k] <= hi[k] + 1e-12);
+            }
+        }
+        // On a correlated functional (difference of variables), the scored
+        // reduction with a non-trivial budget must be at least as tight.
+        let l = Matrix::from_rows(&[&[1.0, -1.0, 0.0, 0.0, 0.0, 0.0]]);
+        let (scored, _) = reduce_eps(&z, 10, 0);
+        let d_scored = scored.linear_vars(&l, 1, 1);
+        let d_boxed = boxed.linear_vars(&l, 1, 1);
+        let w = |d: &Zonotope| {
+            let (a, b) = d.bounds_of(0);
+            b - a
+        };
+        assert!(w(&d_scored) <= w(&d_boxed) + 1e-9);
+    }
+
+    #[test]
+    fn box_all_respects_protect() {
+        let z = random_zono(9, 4, 10);
+        let out = reduce_box_all(&z, 4);
+        for i in 0..z.n_vars() {
+            for j in 0..4 {
+                assert_eq!(out.eps().at(i, j), z.eps().at(i, j));
+            }
+        }
+        assert!(out.num_eps() <= 4 + z.n_vars());
+    }
+
+    #[test]
+    #[should_panic(expected = "protect")]
+    fn protect_above_budget_panics() {
+        let z = random_zono(6, 3, 8);
+        let _ = reduce_eps(&z, 2, 3);
+    }
+}

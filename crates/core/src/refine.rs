@@ -1,0 +1,429 @@
+//! Softmax-sum zonotope refinement (§5.3) and the associated
+//! `O(E log E)` coefficient-minimization of Appendix A.1.
+//!
+//! Softmax outputs always satisfy `Σᵢ yᵢ = 1`, but the zonotope produced by
+//! the softmax abstract transformer contains noise instantiations violating
+//! that equality. Following Ghorbal et al.'s logical-product construction,
+//! we intersect the zonotope with the constraint in three steps:
+//!
+//! 1. refine `y₁` using the equality `y₁ = 1 − (y₂ + … + y_N)`, choosing the
+//!    free coefficient `β'_k` that minimizes `‖α'‖₁ + ‖β'‖₁`;
+//! 2. substitute the solved noise symbol `ε_k` into `y₂ … y_N`;
+//! 3. tighten the ranges of the remaining `ε` symbols from the residual sum
+//!    constraint and re-center them onto fresh `[−1, 1]` symbols.
+//!
+//! **Shared-symbol safety.** The refinement rewrites noise symbols, which
+//! would desynchronize other zonotopes sharing them. We therefore restrict
+//! the eliminated / tightened symbols to columns `≥ protect`, i.e. the
+//! symbols created inside the current softmax, which no other live zonotope
+//! references. This forgoes a little tightening relative to the paper but
+//! keeps the positional-symbol discipline intact (see DESIGN.md).
+
+use deept_tensor::Matrix;
+
+use crate::Zonotope;
+
+/// Relative coefficient threshold below which a symbol is considered absent
+/// from an expression.
+const COEFF_TOL: f64 = 1e-12;
+
+/// An affine expression `c + α·φ + β·ε` used internally by the refinement.
+#[derive(Debug, Clone)]
+struct AffineExpr {
+    c: f64,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+}
+
+impl AffineExpr {
+    fn of_var(z: &Zonotope, k: usize) -> Self {
+        AffineExpr {
+            c: z.center()[k],
+            alpha: z.phi().row(k).to_vec(),
+            beta: z.eps().row(k).to_vec(),
+        }
+    }
+}
+
+/// Minimizes `Σ_t |r_t + s_t·v|` over `v` (Appendix A.1).
+///
+/// Each term is indexed by whether it stems from an ℓp (`is_phi`) symbol;
+/// candidate minimizers that would zero out a φ coefficient are excluded, as
+/// the paper prescribes, via a linear search around the weighted median.
+///
+/// Returns the chosen `v`.
+pub(crate) fn minimize_abs_sum(terms: &[(f64, f64, bool)]) -> f64 {
+    // Breakpoints −r/s of terms with s ≠ 0, with weight |s|.
+    let mut bps: Vec<(f64, f64, bool)> = terms
+        .iter()
+        .filter(|(_, s, _)| s.abs() > COEFF_TOL)
+        .map(|&(r, s, is_phi)| (-r / s, s.abs(), is_phi))
+        .collect();
+    if bps.is_empty() {
+        return 0.0;
+    }
+    bps.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite breakpoints"));
+    let total: f64 = bps.iter().map(|b| b.1).sum();
+    // Weighted median: first index where the cumulative weight reaches half
+    // the total — the slope of the objective changes sign there.
+    let mut acc = 0.0;
+    let mut median = bps.len() - 1;
+    for (i, b) in bps.iter().enumerate() {
+        acc += b.1;
+        if 2.0 * acc >= total {
+            median = i;
+            break;
+        }
+    }
+    let objective = |v: f64| -> f64 { terms.iter().map(|(r, s, _)| (r + s * v).abs()).sum() };
+    if !bps[median].2 {
+        return bps[median].0;
+    }
+    // The optimum would eliminate a φ symbol: evaluate the nearest non-φ
+    // breakpoints on either side and keep the better one (linear search, as
+    // in Appendix A.1).
+    let left = bps[..median].iter().rev().find(|b| !b.2);
+    let right = bps[median + 1..].iter().find(|b| !b.2);
+    match (left, right) {
+        (Some(l), Some(r)) => {
+            if objective(l.0) <= objective(r.0) {
+                l.0
+            } else {
+                r.0
+            }
+        }
+        (Some(l), None) => l.0,
+        (None, Some(r)) => r.0,
+        // Every symbol is a φ symbol: fall back to the unconstrained
+        // optimum rather than destroy relational information elsewhere.
+        (None, None) => bps[median].0,
+    }
+}
+
+/// Refines a zonotope whose variables are known to satisfy
+/// `Σᵢ xᵢ = target`, touching only ε symbols with column index `≥ protect`.
+///
+/// Returns the refined zonotope (same shape and symbol layout). If no
+/// eligible pivot symbol exists the input is returned unchanged.
+pub fn refine_sum(z: &Zonotope, target: f64, protect: usize, tighten_eps: bool) -> Zonotope {
+    let n = z.n_vars();
+    if n < 2 {
+        return z.clone();
+    }
+    let e_eps = z.num_eps();
+
+    // z1 = x₀ ; z2 = target − Σ_{i≥1} xᵢ. The constraint is z1 = z2.
+    let z1 = AffineExpr::of_var(z, 0);
+    let mut z2 = AffineExpr {
+        c: target,
+        alpha: vec![0.0; z.num_phi()],
+        beta: vec![0.0; e_eps],
+    };
+    for i in 1..n {
+        z2.c -= z.center()[i];
+        for (a, &x) in z2.alpha.iter_mut().zip(z.phi().row(i)) {
+            *a -= x;
+        }
+        for (b, &x) in z2.beta.iter_mut().zip(z.eps().row(i)) {
+            *b -= x;
+        }
+    }
+
+    // Pivot: the eligible symbol with the largest |β1_k − β2_k|.
+    let mut pivot = None;
+    let mut best = 0.0;
+    for k in protect..e_eps {
+        let d = (z1.beta[k] - z2.beta[k]).abs();
+        if d > best {
+            best = d;
+            pivot = Some(k);
+        }
+    }
+    let Some(k) = pivot else {
+        return z.clone();
+    };
+    if best <= COEFF_TOL {
+        return z.clone();
+    }
+    // ε_k = [(c2 − c1) + (α2 − α1)·φ + Σ_{i≠k}(β2 − β1)ᵢ εᵢ] / (β1_k − β2_k)
+    let denom = z1.beta[k] - z2.beta[k];
+    let sub_c = (z2.c - z1.c) / denom;
+    let sub_alpha: Vec<f64> = z1
+        .alpha
+        .iter()
+        .zip(&z2.alpha)
+        .map(|(&a1, &a2)| (a2 - a1) / denom)
+        .collect();
+    let mut sub_beta: Vec<f64> = z1
+        .beta
+        .iter()
+        .zip(&z2.beta)
+        .map(|(&b1, &b2)| (b2 - b1) / denom)
+        .collect();
+    sub_beta[k] = 0.0;
+
+    // Step 1: refined x₀ with the free coefficient v = β'_k chosen by the
+    // Appendix A.1 minimization. Writing q = (v − β2_k)/(β2_k − β1_k), the
+    // Eq. 7–9 coefficients are c' = c2 + q (c2 − c1), α' = α2 + q (α2 − α1),
+    // β'_I = β2_I + q (β2_I − β1_I): every coefficient is affine in v.
+    let dq = 1.0 / (z2.beta[k] - z1.beta[k]); // dq = ∂q/∂v
+    let mut terms: Vec<(f64, f64, bool)> = Vec::with_capacity(z.num_phi() + e_eps);
+    for (t, (&a1, &a2)) in z1.alpha.iter().zip(&z2.alpha).enumerate() {
+        let _ = t;
+        let base = a2 + (a2 - a1) * (-z2.beta[k]) * dq;
+        let slope = (a2 - a1) * dq;
+        terms.push((base, slope, true));
+    }
+    for (t, (&b1, &b2)) in z1.beta.iter().zip(&z2.beta).enumerate() {
+        if t == k {
+            continue;
+        }
+        let base = b2 + (b2 - b1) * (-z2.beta[k]) * dq;
+        let slope = (b2 - b1) * dq;
+        terms.push((base, slope, false));
+    }
+    terms.push((0.0, 1.0, false)); // |β'_k| = |v|
+    let v = minimize_abs_sum(&terms);
+    let q = (v - z2.beta[k]) * dq;
+    let refined_c = z2.c + q * (z2.c - z1.c);
+    let refined_alpha: Vec<f64> = z1
+        .alpha
+        .iter()
+        .zip(&z2.alpha)
+        .map(|(&a1, &a2)| a2 + q * (a2 - a1))
+        .collect();
+    let mut refined_beta: Vec<f64> = z1
+        .beta
+        .iter()
+        .zip(&z2.beta)
+        .map(|(&b1, &b2)| b2 + q * (b2 - b1))
+        .collect();
+    refined_beta[k] = v;
+
+    // Assemble: variable 0 replaced, variables ≥ 1 get ε_k substituted away
+    // (Step 2).
+    let mut center = z.center().to_vec();
+    let mut phi = z.phi().clone();
+    let mut eps = z.eps().clone();
+    center[0] = refined_c;
+    phi.row_mut(0).copy_from_slice(&refined_alpha);
+    eps.row_mut(0).copy_from_slice(&refined_beta);
+    for i in 1..n {
+        let coeff = eps.at(i, k);
+        if coeff == 0.0 {
+            continue;
+        }
+        center[i] += coeff * sub_c;
+        for (dst, &s) in phi.row_mut(i).iter_mut().zip(&sub_alpha) {
+            *dst += coeff * s;
+        }
+        for (dst, &s) in eps.row_mut(i).iter_mut().zip(&sub_beta) {
+            *dst += coeff * s;
+        }
+        eps.set(i, k, 0.0);
+    }
+
+    let mut out = Zonotope::from_parts(z.rows(), z.cols(), center, phi, eps, z.p());
+    if tighten_eps {
+        out = tighten_from_sum(&out, target, protect);
+    }
+    out
+}
+
+/// Step 3: uses the residual constraint `target − Σᵢ xᵢ = 0` to restrict the
+/// range of tail ε symbols, re-centering each restricted symbol onto a fresh
+/// `[−1, 1]` symbol occupying the same column.
+fn tighten_from_sum(z: &Zonotope, target: f64, protect: usize) -> Zonotope {
+    let n = z.n_vars();
+    let e_eps = z.num_eps();
+    // S = target − Σ xᵢ  =  c_S + α_S·φ + β_S·ε  =  0.
+    let mut c_s = target;
+    let mut alpha_s = vec![0.0; z.num_phi()];
+    let mut beta_s = vec![0.0; e_eps];
+    for i in 0..n {
+        c_s -= z.center()[i];
+        for (a, &x) in alpha_s.iter_mut().zip(z.phi().row(i)) {
+            *a -= x;
+        }
+        for (b, &x) in beta_s.iter_mut().zip(z.eps().row(i)) {
+            *b -= x;
+        }
+    }
+    let alpha_norm = z.p().dual_norm(&alpha_s);
+    let beta_total: f64 = deept_tensor::l1_norm(&beta_s);
+    let mut center = z.center().to_vec();
+    let mut eps = z.eps().clone();
+    for m in protect..e_eps {
+        let bm = beta_s[m].abs();
+        if bm <= COEFF_TOL {
+            continue;
+        }
+        // ε_m = −(c_S + α_S·φ + β_S^I·ε^I)/β_S^m with the numerator bounded
+        // by c_S ± (‖α_S‖_q + ‖β_S^I‖₁).
+        let spread = alpha_norm + (beta_total - bm);
+        let (mut a, mut b) = {
+            let lo = (-(c_s + spread)) / beta_s[m];
+            let hi = (-(c_s - spread)) / beta_s[m];
+            (lo.min(hi), lo.max(hi))
+        };
+        a = a.max(-1.0);
+        b = b.min(1.0);
+        if a > b || (a <= -1.0 + COEFF_TOL && b >= 1.0 - COEFF_TOL) {
+            continue; // empty (numerical) or no tightening
+        }
+        let mid = 0.5 * (a + b);
+        let half = 0.5 * (b - a);
+        for i in 0..n {
+            let coeff = eps.at(i, m);
+            if coeff == 0.0 {
+                continue;
+            }
+            center[i] += coeff * mid;
+            eps.set(i, m, coeff * half);
+        }
+    }
+    Zonotope::from_parts(z.rows(), z.cols(), center, eps_phi(z), eps, z.p())
+}
+
+fn eps_phi(z: &Zonotope) -> Matrix {
+    z.phi().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PNorm;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A zonotope whose variables sum to `1` for every instantiation that
+    /// satisfies the constraint used in the refinement tests.
+    fn softmax_like_zono() -> Zonotope {
+        // Three variables roughly forming a distribution; their sum is NOT
+        // syntactically 1, mimicking post-softmax over-approximation.
+        Zonotope::from_parts(
+            3,
+            1,
+            vec![0.5, 0.3, 0.25],
+            Matrix::from_rows(&[&[0.02], &[-0.01], &[0.0]]),
+            Matrix::from_rows(&[
+                &[0.05, 0.01, 0.0],
+                &[0.0, 0.04, 0.01],
+                &[0.01, 0.0, 0.03],
+            ]),
+            PNorm::L2,
+        )
+    }
+
+    #[test]
+    fn minimize_abs_sum_simple() {
+        // |v| + |v − 2| is minimized anywhere in [0, 2]; breakpoint search
+        // returns one of the breakpoints.
+        let v = minimize_abs_sum(&[(0.0, 1.0, false), (-2.0, 1.0, false)]);
+        assert!((0.0..=2.0).contains(&v));
+        // |v − 1| + |v − 1| + |v + 5|: weighted median at 1.
+        let v = minimize_abs_sum(&[(-1.0, 1.0, false), (-1.0, 1.0, false), (5.0, 1.0, false)]);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimize_abs_sum_avoids_phi_elimination() {
+        // The unconstrained optimum (v = 1, median breakpoint) belongs to a φ
+        // term; the refinement must pick the best non-φ breakpoint instead.
+        let terms = [
+            (-1.0, 1.0, true),
+            (-1.0, 1.0, true),
+            (-1.0, 1.0, true),
+            (-0.5, 1.0, false),
+            (3.0, 1.0, false),
+        ];
+        let v = minimize_abs_sum(&terms);
+        assert!((v - 0.5).abs() < 1e-12 || (v + 3.0).abs() < 1e-12);
+        assert!((v - 1.0).abs() > 1e-9);
+    }
+
+    #[test]
+    fn refinement_preserves_constrained_semantics() {
+        // For any noise instantiation satisfying the sum constraint, the
+        // refined variables must take exactly the same values as the
+        // originals.
+        let z = softmax_like_zono();
+        let refined = refine_sum(&z, 1.0, 0, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut tested = 0;
+        for _ in 0..2000 {
+            let (phi, mut eps) = z.sample_noise(&mut rng);
+            // Solve for ε_k (the pivot is whichever symbol the refinement
+            // used; brute-force: adjust the last symbol to satisfy the sum).
+            // Σ xᵢ(φ, ε) = 1 ⇔ ε_m = (1 − rest)/coef.
+            let m = 2;
+            let coef: f64 = (0..3).map(|i| z.eps().at(i, m)).sum();
+            if coef.abs() < 1e-9 {
+                continue;
+            }
+            eps[m] = 0.0;
+            let vals = z.evaluate(&phi, &eps);
+            let rest: f64 = vals.iter().sum();
+            let fix = (1.0 - rest) / coef;
+            if fix.abs() > 1.0 {
+                continue;
+            }
+            eps[m] = fix;
+            let original = z.evaluate(&phi, &eps);
+            assert!((original.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let new = refined.evaluate(&phi, &eps);
+            for (a, b) in original.iter().zip(&new) {
+                assert!((a - b).abs() < 1e-9, "refined value drifted: {a} vs {b}");
+            }
+            tested += 1;
+        }
+        assert!(tested > 100, "too few constrained samples ({tested})");
+    }
+
+    #[test]
+    fn refinement_reduces_first_variable_width() {
+        let z = softmax_like_zono();
+        let refined = refine_sum(&z, 1.0, 0, false);
+        let (lo, hi) = z.bounds();
+        let (rlo, rhi) = refined.bounds();
+        // The refined x₀ should not be wider; typically strictly tighter.
+        assert!(rhi[0] - rlo[0] <= hi[0] - lo[0] + 1e-12);
+    }
+
+    #[test]
+    fn refinement_respects_protect() {
+        let z = softmax_like_zono();
+        let refined = refine_sum(&z, 1.0, 3, true);
+        // All symbols are protected: nothing may change.
+        assert_eq!(&refined, &z);
+    }
+
+    #[test]
+    fn tightening_shrinks_tail_symbol_influence() {
+        // A blatant case: x₀ = ε₀, x₁ = 1 (sum must be 1 ⇒ ε₀ = 0).
+        let z = Zonotope::from_parts(
+            2,
+            1,
+            vec![0.0, 1.0],
+            Matrix::zeros(2, 0),
+            Matrix::from_rows(&[&[1.0], &[0.0]]),
+            PNorm::L2,
+        );
+        let refined = refine_sum(&z, 1.0, 0, true);
+        let (lo, hi) = refined.bounds();
+        assert!(hi[0] - lo[0] < 1e-9, "x0 should collapse to 0, got [{},{}]", lo[0], hi[0]);
+    }
+
+    #[test]
+    fn single_variable_is_returned_unchanged() {
+        let z = Zonotope::from_parts(
+            1,
+            1,
+            vec![1.0],
+            Matrix::zeros(1, 0),
+            Matrix::from_rows(&[&[0.5]]),
+            PNorm::L2,
+        );
+        assert_eq!(refine_sum(&z, 1.0, 0, true), z);
+    }
+}

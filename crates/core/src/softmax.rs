@@ -1,0 +1,251 @@
+//! The softmax abstract transformer (§5.2) with the optional sum-constraint
+//! refinement (§5.3).
+//!
+//! Rather than composing `exp → sum → reciprocal → multiply` on the raw
+//! definition `σᵢ = e^{νᵢ} / Σⱼ e^{νⱼ}`, DeepT rewrites the softmax as
+//!
+//! ```text
+//! σᵢ(ν) = 1 / Σⱼ exp(νⱼ − νᵢ)
+//! ```
+//!
+//! which (a) lets the noise symbols of `νᵢ` cancel exactly against those of
+//! `νⱼ` inside the affine difference, (b) avoids the multiplication
+//! transformer entirely, and (c) keeps every output within `[0, 1]` by
+//! construction (the denominator is ≥ 1 since the `j = i` term is exactly 1).
+
+use deept_tensor::Matrix;
+
+use crate::{refine, Zonotope};
+
+/// Configuration of the softmax abstract transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SoftmaxConfig {
+    /// Apply the §5.3 sum-constraint refinement after each row's softmax.
+    pub refine_sum: bool,
+    /// Within the refinement, also tighten tail ε symbol ranges (Step 3).
+    pub tighten_eps: bool,
+}
+
+impl Default for SoftmaxConfig {
+    fn default() -> Self {
+        SoftmaxConfig {
+            refine_sum: true,
+            tighten_eps: true,
+        }
+    }
+}
+
+impl SoftmaxConfig {
+    /// Softmax without the sum refinement (the ablation of Appendix A.5).
+    pub fn without_refinement() -> Self {
+        SoftmaxConfig {
+            refine_sum: false,
+            tighten_eps: false,
+        }
+    }
+}
+
+/// Applies the softmax abstract transformer across each logical row of `z`.
+///
+/// Fresh ℓ∞ symbols are appended for every exponential (`C·(C−1)` per row,
+/// the diagonal difference being exactly zero) and every reciprocal (`C` per
+/// row).
+pub fn softmax_rows(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
+    let (rows, c) = (z.rows(), z.cols());
+    let base = z.num_eps();
+
+    // Pairwise-difference map: d_{(j,j')} = s_{j'} − s_j.
+    let mut l_diff = Matrix::zeros(c * c, c);
+    for j in 0..c {
+        for jp in 0..c {
+            if j != jp {
+                l_diff.set(j * c + jp, jp, 1.0);
+                l_diff.set(j * c + jp, j, -1.0);
+            }
+        }
+    }
+    // Row-sum map: S_j = Σ_{j'} e_{(j,j')}.
+    let mut l_sum = Matrix::zeros(c, c * c);
+    for j in 0..c {
+        for jp in 0..c {
+            l_sum.set(j, j * c + jp, 1.0);
+        }
+    }
+
+    let mut parts: Vec<(Zonotope, usize)> = Vec::with_capacity(rows);
+    let mut total_tail = 0;
+    for i in 0..rows {
+        let s = z.select_rows(&[i]).reshape(c, 1);
+        let d = s.linear_vars(&l_diff, c, c);
+        let e = d.exp();
+        let sums = e.linear_vars(&l_sum, c, 1);
+        // The true denominator Σ_j exp(ν_j − ν_i) is ≥ 1 (the j = i term is
+        // exactly 1), so flooring the reciprocal's input bounds at 1 is
+        // domain-sound; it also shields against catastrophic cancellation
+        // of huge exp bounds under extreme input radii.
+        let mut y = crate::elementwise::apply_floored(
+            &sums,
+            crate::elementwise::Activation::Reciprocal,
+            1.0,
+        );
+        if cfg.refine_sum {
+            y = refine::refine_sum(&y, 1.0, base, cfg.tighten_eps);
+        }
+        let tail = y.num_eps() - base;
+        parts.push((y.reshape(1, c), total_tail));
+        total_tail += tail;
+    }
+    assemble_with_offsets(z, base, total_tail, &parts)
+}
+
+/// Stacks per-row zonotopes whose ε symbols share a `base`-column prefix and
+/// own disjoint tail ranges starting at `base + offset`.
+fn assemble_with_offsets(
+    input: &Zonotope,
+    base: usize,
+    total_tail: usize,
+    parts: &[(Zonotope, usize)],
+) -> Zonotope {
+    let rows = parts.len();
+    let c = parts.first().map_or(0, |(p, _)| p.cols());
+    let n = rows * c;
+    let e_phi = input.num_phi();
+    let mut center = Vec::with_capacity(n);
+    let mut phi = Matrix::zeros(n, e_phi);
+    let mut eps = Matrix::zeros(n, base + total_tail);
+    for (i, (part, offset)) in parts.iter().enumerate() {
+        debug_assert_eq!(part.cols(), c);
+        debug_assert_eq!(part.rows(), 1);
+        let tail = part.num_eps() - base;
+        for j in 0..c {
+            let dst = i * c + j;
+            center.push(part.center()[j]);
+            phi.row_mut(dst).copy_from_slice(part.phi().row(j));
+            let src = part.eps().row(j);
+            eps.row_mut(dst)[..base].copy_from_slice(&src[..base]);
+            eps.row_mut(dst)[base + offset..base + offset + tail]
+                .copy_from_slice(&src[base..]);
+        }
+    }
+    Zonotope::from_parts(rows, c, center, phi, eps, input.p())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PNorm;
+    use deept_tensor::ops::softmax_in_place;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check_softmax_sound(z: &Zonotope, cfg: SoftmaxConfig, seed: u64) {
+        let out = softmax_rows(z, cfg);
+        let (lo, hi) = out.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..300 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let vals = z.evaluate(&phi, &eps);
+            for i in 0..z.rows() {
+                let mut row: Vec<f64> =
+                    (0..z.cols()).map(|j| vals[i * z.cols() + j]).collect();
+                softmax_in_place(&mut row);
+                for j in 0..z.cols() {
+                    let k = i * z.cols() + j;
+                    assert!(
+                        row[j] >= lo[k] - 1e-9 && row[j] <= hi[k] + 1e-9,
+                        "softmax({i},{j}) = {} not in [{}, {}]",
+                        row[j],
+                        lo[k],
+                        hi[k]
+                    );
+                }
+            }
+        }
+    }
+
+    fn scores_zono(p: PNorm) -> Zonotope {
+        let c = Matrix::from_rows(&[&[0.5, -0.2, 0.1], &[1.0, 1.0, -1.0]]);
+        Zonotope::from_lp_ball(&c, 0.15, p, &[0, 1])
+    }
+
+    #[test]
+    fn softmax_sound_all_norms_with_and_without_refinement() {
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            let z = scores_zono(p);
+            check_softmax_sound(&z, SoftmaxConfig::default(), 1);
+            check_softmax_sound(&z, SoftmaxConfig::without_refinement(), 2);
+        }
+    }
+
+    #[test]
+    fn softmax_outputs_within_unit_interval() {
+        let z = scores_zono(PNorm::L2);
+        let out = softmax_rows(&z, SoftmaxConfig::without_refinement());
+        let (lo, hi) = out.bounds();
+        for k in 0..out.n_vars() {
+            assert!(lo[k] > 0.0, "softmax lower bound must be positive");
+            assert!(hi[k] <= 1.0 + 1e-9, "softmax upper bound must be ≤ 1, got {}", hi[k]);
+        }
+    }
+
+    #[test]
+    fn softmax_of_constant_is_exact() {
+        let c = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let z = Zonotope::constant(&c, PNorm::L2);
+        let out = softmax_rows(&z, SoftmaxConfig::default());
+        let mut expected = [1.0, 2.0, 3.0];
+        softmax_in_place(&mut expected);
+        let (lo, hi) = out.bounds();
+        for j in 0..3 {
+            assert!((lo[j] - expected[j]).abs() < 1e-9);
+            assert!((hi[j] - expected[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refinement_width_stays_comparable() {
+        // The §5.3 refinement trades per-variable width for constraint
+        // information: the refined first variable tightens while the
+        // substitution can slightly widen the others (the paper reports
+        // small net certification gains, Table 13). Here we only check the
+        // total width stays in the same ballpark; net certification effect
+        // is measured end-to-end by the table13 bench.
+        let z = scores_zono(PNorm::L2);
+        let plain = softmax_rows(&z, SoftmaxConfig::without_refinement());
+        let refined = softmax_rows(&z, SoftmaxConfig::default());
+        let (pl, ph) = plain.bounds();
+        let (rl, rh) = refined.bounds();
+        let plain_width: f64 = ph.iter().zip(&pl).map(|(h, l)| h - l).sum();
+        let refined_width: f64 = rh.iter().zip(&rl).map(|(h, l)| h - l).sum();
+        assert!(
+            refined_width <= 1.10 * plain_width,
+            "refined {refined_width} vs plain {plain_width}"
+        );
+    }
+
+    #[test]
+    fn rows_are_processed_independently() {
+        // Changing one row's scores must not affect the other row's outputs.
+        let c1 = Matrix::from_rows(&[&[0.5, -0.2], &[1.0, 1.0]]);
+        let c2 = Matrix::from_rows(&[&[0.5, -0.2], &[9.0, -9.0]]);
+        let z1 = Zonotope::from_lp_ball(&c1, 0.1, PNorm::L2, &[0]);
+        let z2 = Zonotope::from_lp_ball(&c2, 0.1, PNorm::L2, &[0]);
+        let o1 = softmax_rows(&z1, SoftmaxConfig::default());
+        let o2 = softmax_rows(&z2, SoftmaxConfig::default());
+        let (l1, h1) = o1.bounds();
+        let (l2, h2) = o2.bounds();
+        for j in 0..2 {
+            assert!((l1[j] - l2[j]).abs() < 1e-12);
+            assert!((h1[j] - h2[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symbol_bookkeeping_appends_only() {
+        let z = scores_zono(PNorm::L2);
+        let out = softmax_rows(&z, SoftmaxConfig::without_refinement());
+        // Per row: C(C−1) = 6 exp symbols + C = 3 reciprocal symbols.
+        assert_eq!(out.num_eps(), z.num_eps() + 2 * (6 + 3));
+        assert_eq!(out.num_phi(), z.num_phi());
+    }
+}

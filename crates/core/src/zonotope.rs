@@ -1,0 +1,886 @@
+//! The Multi-norm Zonotope data structure, its constructors, concrete
+//! bounds (Theorem 1) and the exact affine transformers (§4.2).
+
+use deept_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::PNorm;
+
+/// A Multi-norm Zonotope over a logical `rows × cols` matrix of variables.
+///
+/// Every variable `x_k` is an affine expression
+/// `x_k = c_k + α_k · φ + β_k · ε` with `‖φ‖_p ≤ 1` and `ε_j ∈ [−1, 1]`
+/// (Eq. 4 of the paper). Variables are stored row-major: the variable at
+/// logical position `(i, j)` has flat index `i * cols + j`.
+///
+/// # Noise-symbol discipline
+///
+/// `φ` symbols are created **only** by the input constructors; every
+/// abstract transformer preserves them, so two zonotopes derived from the
+/// same input always agree on `φ` columns. `ε` symbols are *positional*:
+/// transformers only ever append new `ε` columns, so a symbol's column index
+/// is a stable identity and two zonotopes derived from the same input can be
+/// combined after zero-padding the shorter `ε` matrix
+/// ([`Zonotope::pad_eps`]). This is what makes residual connections exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zonotope {
+    rows: usize,
+    cols: usize,
+    center: Vec<f64>,
+    phi: Matrix,
+    eps: Matrix,
+    p: PNorm,
+}
+
+impl Zonotope {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A zonotope with no uncertainty: every variable equals its center.
+    pub fn constant(center: &Matrix, p: PNorm) -> Self {
+        let n = center.len();
+        Self {
+            rows: center.rows(),
+            cols: center.cols(),
+            center: center.as_slice().to_vec(),
+            phi: Matrix::zeros(n, 0),
+            eps: Matrix::zeros(n, 0),
+            p,
+        }
+    }
+
+    /// An ℓp ball of radius `radius` around `center`, perturbing only the
+    /// logical rows listed in `perturbed_rows` (threat model T1: an ℓp
+    /// perturbation of one or more word embeddings).
+    ///
+    /// For `p ∈ {1, 2}` each perturbed variable receives its own `φ` symbol
+    /// (jointly ℓp-bounded); for `p = ∞` it receives its own `ε` symbol,
+    /// recovering the classical zonotope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row index is out of range.
+    pub fn from_lp_ball(center: &Matrix, radius: f64, p: PNorm, perturbed_rows: &[usize]) -> Self {
+        let (rows, cols) = center.shape();
+        let n = center.len();
+        for &r in perturbed_rows {
+            assert!(r < rows, "perturbed row {r} out of range ({rows} rows)");
+        }
+        let n_sym = perturbed_rows.len() * cols;
+        let mut coeff = Matrix::zeros(n, n_sym);
+        let mut s = 0;
+        for &r in perturbed_rows {
+            for j in 0..cols {
+                coeff.set(r * cols + j, s, radius);
+                s += 1;
+            }
+        }
+        let (phi, eps) = match p {
+            PNorm::Linf => (Matrix::zeros(n, 0), coeff),
+            _ => (coeff, Matrix::zeros(n, 0)),
+        };
+        Self {
+            rows,
+            cols,
+            center: center.as_slice().to_vec(),
+            phi,
+            eps,
+            p,
+        }
+    }
+
+    /// A box region: variable `k` ranges over `center_k ± radii_k`.
+    ///
+    /// Each variable with a non-zero radius gets its own independent `ε`
+    /// symbol. This is the region used for synonym certification (threat
+    /// model T2): an ℓ∞ box covering the embeddings of all synonyms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radii` and `center` shapes differ or any radius is
+    /// negative.
+    pub fn from_box(center: &Matrix, radii: &Matrix, p: PNorm) -> Self {
+        assert_eq!(center.shape(), radii.shape(), "box shape mismatch");
+        let n = center.len();
+        let nz: Vec<usize> = (0..n).filter(|&k| radii.as_slice()[k] != 0.0).collect();
+        let mut eps = Matrix::zeros(n, nz.len());
+        for (s, &k) in nz.iter().enumerate() {
+            let r = radii.as_slice()[k];
+            assert!(r > 0.0, "negative box radius");
+            eps.set(k, s, r);
+        }
+        Self {
+            rows: center.rows(),
+            cols: center.cols(),
+            center: center.as_slice().to_vec(),
+            phi: Matrix::zeros(n, 0),
+            eps,
+            p,
+        }
+    }
+
+    /// Builds a zonotope from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of `phi`/`eps` differ from
+    /// `center.len() == rows * cols`.
+    pub fn from_parts(rows: usize, cols: usize, center: Vec<f64>, phi: Matrix, eps: Matrix, p: PNorm) -> Self {
+        assert_eq!(center.len(), rows * cols, "center length mismatch");
+        assert_eq!(phi.rows(), center.len(), "phi rows mismatch");
+        assert_eq!(eps.rows(), center.len(), "eps rows mismatch");
+        Self {
+            rows,
+            cols,
+            center,
+            phi,
+            eps,
+            p,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of logical rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of logical columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of abstracted variables (`rows * cols`).
+    pub fn n_vars(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Number of ℓp-bounded `φ` noise symbols.
+    pub fn num_phi(&self) -> usize {
+        self.phi.cols()
+    }
+
+    /// Number of ℓ∞ `ε` noise symbols.
+    pub fn num_eps(&self) -> usize {
+        self.eps.cols()
+    }
+
+    /// The norm bounding the `φ` symbols.
+    pub fn p(&self) -> PNorm {
+        self.p
+    }
+
+    /// Center coefficients, flat row-major.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// Center as a `rows × cols` matrix.
+    pub fn center_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.center.clone()).expect("consistent shape")
+    }
+
+    /// The `φ` coefficient matrix (`n_vars × num_phi`).
+    pub fn phi(&self) -> &Matrix {
+        &self.phi
+    }
+
+    /// The `ε` coefficient matrix (`n_vars × num_eps`).
+    pub fn eps(&self) -> &Matrix {
+        &self.eps
+    }
+
+    /// Flat variable index of logical position `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn var_index(&self, i: usize, j: usize) -> usize {
+        assert!(i < self.rows && j < self.cols, "var index out of range");
+        i * self.cols + j
+    }
+
+    // ------------------------------------------------------------------
+    // Concrete bounds (Theorem 1)
+    // ------------------------------------------------------------------
+
+    /// Sound and tight concrete interval bounds of every variable:
+    /// `l_k = c_k − ‖α_k‖_q − ‖β_k‖₁`, `u_k = c_k + ‖α_k‖_q + ‖β_k‖₁`.
+    pub fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n_vars();
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for k in 0..n {
+            let dev = self.deviation(k);
+            lo.push(self.center[k] - dev);
+            hi.push(self.center[k] + dev);
+        }
+        (lo, hi)
+    }
+
+    /// Bounds of a single variable.
+    pub fn bounds_of(&self, k: usize) -> (f64, f64) {
+        let dev = self.deviation(k);
+        (self.center[k] - dev, self.center[k] + dev)
+    }
+
+    /// Half-width `‖α_k‖_q + ‖β_k‖₁` of variable `k`.
+    pub fn deviation(&self, k: usize) -> f64 {
+        self.p.dual_norm(self.phi.row(k)) + deept_tensor::l1_norm(self.eps.row(k))
+    }
+
+    /// Maximum half-width over all variables.
+    pub fn max_deviation(&self) -> f64 {
+        (0..self.n_vars()).map(|k| self.deviation(k)).fold(0.0, f64::max)
+    }
+
+    /// `true` if any coefficient is NaN or infinite (certification should
+    /// then be reported as failed).
+    pub fn has_non_finite(&self) -> bool {
+        self.center.iter().any(|x| !x.is_finite())
+            || self.phi.has_non_finite()
+            || self.eps.has_non_finite()
+    }
+
+    // ------------------------------------------------------------------
+    // Symbol alignment
+    // ------------------------------------------------------------------
+
+    /// Extends the `ε` matrix with zero columns up to `n_cols` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zonotope already has more than `n_cols` symbols.
+    pub fn pad_eps(&mut self, n_cols: usize) {
+        let cur = self.eps.cols();
+        assert!(cur <= n_cols, "pad_eps would truncate ({cur} > {n_cols})");
+        if cur < n_cols {
+            self.eps = self.eps.hstack(&Matrix::zeros(self.n_vars(), n_cols - cur));
+        }
+    }
+
+    fn assert_compatible(&self, other: &Zonotope) {
+        assert_eq!(self.p, other.p, "mixing zonotopes with different p-norms");
+        assert_eq!(
+            self.phi.cols(),
+            other.phi.cols(),
+            "mixing zonotopes with different phi symbol sets"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Exact affine transformers (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum of two zonotopes over the same symbols (exact).
+    ///
+    /// The `ε` matrices are zero-padded to the longer width first, which is
+    /// sound because `ε` symbols are positional (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape, norm or `φ`-set mismatch.
+    pub fn add(&self, other: &Zonotope) -> Zonotope {
+        self.assert_compatible(other);
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let w = a.eps.cols().max(b.eps.cols());
+        a.pad_eps(w);
+        b.pad_eps(w);
+        Zonotope {
+            rows: a.rows,
+            cols: a.cols,
+            center: deept_tensor::vec_add(&a.center, &b.center),
+            phi: a.phi.add(&b.phi),
+            eps: a.eps.add(&b.eps),
+            p: a.p,
+        }
+    }
+
+    /// Element-wise difference (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape, norm or `φ`-set mismatch.
+    pub fn sub(&self, other: &Zonotope) -> Zonotope {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Scales every variable by `s` (exact).
+    pub fn scale(&self, s: f64) -> Zonotope {
+        Zonotope {
+            rows: self.rows,
+            cols: self.cols,
+            center: deept_tensor::vec_scale(&self.center, s),
+            phi: self.phi.scale(s),
+            eps: self.eps.scale(s),
+            p: self.p,
+        }
+    }
+
+    /// Adds a constant matrix to the centers (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_const(&self, c: &Matrix) -> Zonotope {
+        assert_eq!(c.shape(), (self.rows, self.cols), "add_const shape mismatch");
+        let mut out = self.clone();
+        for (o, &x) in out.center.iter_mut().zip(c.as_slice()) {
+            *o += x;
+        }
+        out
+    }
+
+    /// Adds the row vector `bias` to every logical row (exact). This is the
+    /// usual dense-layer bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_bias(&self, bias: &[f64]) -> Zonotope {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.center[i * self.cols + j] += bias[j];
+            }
+        }
+        out
+    }
+
+    /// Multiplies every logical row element-wise by the constant vector `w`
+    /// (exact). This is the layer-norm `γ` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != cols`.
+    pub fn mul_row_weights(&self, w: &[f64]) -> Zonotope {
+        assert_eq!(w.len(), self.cols, "weight length mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let k = i * self.cols + j;
+                out.center[k] *= w[j];
+                for e in 0..out.phi.cols() {
+                    *out.phi.at_mut(k, e) *= w[j];
+                }
+                for e in 0..out.eps.cols() {
+                    *out.eps.at_mut(k, e) *= w[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Right-multiplies the logical variable matrix by a constant matrix:
+    /// `X (rows × cols) ↦ X · W (rows × d)` (exact). This is the dense
+    /// layer / query-key-value projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `W.rows() != cols`.
+    pub fn matmul_right(&self, w: &Matrix) -> Zonotope {
+        assert_eq!(w.rows(), self.cols, "matmul_right shape mismatch");
+        let d = w.cols();
+        let center = self.center_matrix().matmul(w);
+        let map_coeffs = |coeff: &Matrix| -> Matrix {
+            let e = coeff.cols();
+            let mut out = Matrix::zeros(self.rows * d, e);
+            for i in 0..self.rows {
+                let block = coeff.slice_rows(i * self.cols, (i + 1) * self.cols);
+                let mapped = w.transpose_a_matmul(&block); // (d × e)
+                for r in 0..d {
+                    out.row_mut(i * d + r).copy_from_slice(mapped.row(r));
+                }
+            }
+            out
+        };
+        Zonotope {
+            rows: self.rows,
+            cols: d,
+            center: center.into_vec(),
+            phi: map_coeffs(&self.phi),
+            eps: map_coeffs(&self.eps),
+            p: self.p,
+        }
+    }
+
+    /// Left-multiplies the logical variable matrix by a constant matrix:
+    /// `X (rows × cols) ↦ P · X (m × cols)` (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `P.cols() != rows`.
+    pub fn matmul_left(&self, p_mat: &Matrix) -> Zonotope {
+        assert_eq!(p_mat.cols(), self.rows, "matmul_left shape mismatch");
+        let m = p_mat.rows();
+        let center = p_mat.matmul(&self.center_matrix());
+        let map_coeffs = |coeff: &Matrix| -> Matrix {
+            let e = coeff.cols();
+            let mut out = Matrix::zeros(m * self.cols, e);
+            for mi in 0..m {
+                for i in 0..self.rows {
+                    let s = p_mat.at(mi, i);
+                    if s == 0.0 {
+                        continue;
+                    }
+                    for j in 0..self.cols {
+                        let src = coeff.row(i * self.cols + j);
+                        let dst = out.row_mut(mi * self.cols + j);
+                        for (d, &x) in dst.iter_mut().zip(src) {
+                            *d += s * x;
+                        }
+                    }
+                }
+            }
+            out
+        };
+        Zonotope {
+            rows: m,
+            cols: self.cols,
+            center: center.into_vec(),
+            phi: map_coeffs(&self.phi),
+            eps: map_coeffs(&self.eps),
+            p: self.p,
+        }
+    }
+
+    /// Applies an arbitrary linear map to the *flat variable vector*:
+    /// the output has `l.rows()` variables, reshaped to
+    /// `out_rows × out_cols`, with `y = L x` (exact).
+    ///
+    /// This is the general-purpose affine transformer used by the softmax
+    /// machinery (pairwise differences, sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l.cols() != n_vars()` or the output shape does not match
+    /// `l.rows()`.
+    pub fn linear_vars(&self, l: &Matrix, out_rows: usize, out_cols: usize) -> Zonotope {
+        assert_eq!(l.cols(), self.n_vars(), "linear_vars shape mismatch");
+        assert_eq!(l.rows(), out_rows * out_cols, "linear_vars output shape mismatch");
+        Zonotope {
+            rows: out_rows,
+            cols: out_cols,
+            center: l.matvec(&self.center),
+            phi: l.matmul(&self.phi),
+            eps: l.matmul(&self.eps),
+            p: self.p,
+        }
+    }
+
+    /// Subtracts from every logical row its mean (the paper's layer
+    /// normalization without division by the standard deviation, §3.1).
+    /// Exact, since it is the affine map `X ↦ X (I − (1/cols) 11ᵀ)`.
+    pub fn subtract_row_mean(&self) -> Zonotope {
+        let c = self.cols;
+        let w = Matrix::from_fn(c, c, |i, j| {
+            let id = if i == j { 1.0 } else { 0.0 };
+            id - 1.0 / c as f64
+        });
+        self.matmul_right(&w)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Transposes the logical variable matrix (a permutation of variables;
+    /// exact).
+    pub fn transpose(&self) -> Zonotope {
+        let perm: Vec<usize> = (0..self.cols)
+            .flat_map(|j| (0..self.rows).map(move |i| i * self.cols + j))
+            .collect();
+        self.permute_vars(&perm, self.cols, self.rows)
+    }
+
+    /// Keeps the logical rows listed in `idx`, in that order (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn select_rows(&self, idx: &[usize]) -> Zonotope {
+        let perm: Vec<usize> = idx
+            .iter()
+            .flat_map(|&i| {
+                assert!(i < self.rows, "row index out of range");
+                (0..self.cols).map(move |j| i * self.cols + j)
+            })
+            .collect();
+        self.permute_vars(&perm, idx.len(), self.cols)
+    }
+
+    /// Keeps the logical columns listed in `idx`, in that order (exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn select_cols(&self, idx: &[usize]) -> Zonotope {
+        let perm: Vec<usize> = (0..self.rows)
+            .flat_map(|i| {
+                idx.iter().map(move |&j| {
+                    assert!(j < self.cols, "col index out of range");
+                    i * self.cols + j
+                })
+            })
+            .collect();
+        self.permute_vars(&perm, self.rows, idx.len())
+    }
+
+    /// Reinterprets the logical shape without moving data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r * c != n_vars()`.
+    pub fn reshape(&self, r: usize, c: usize) -> Zonotope {
+        assert_eq!(r * c, self.n_vars(), "reshape size mismatch");
+        let mut out = self.clone();
+        out.rows = r;
+        out.cols = c;
+        out
+    }
+
+    fn permute_vars(&self, perm: &[usize], rows: usize, cols: usize) -> Zonotope {
+        let pick_rows = |m: &Matrix| -> Matrix {
+            let mut out = Matrix::zeros(perm.len(), m.cols());
+            for (r, &src) in perm.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(m.row(src));
+            }
+            out
+        };
+        Zonotope {
+            rows,
+            cols,
+            center: perm.iter().map(|&k| self.center[k]).collect(),
+            phi: pick_rows(&self.phi),
+            eps: pick_rows(&self.eps),
+            p: self.p,
+        }
+    }
+
+    /// Vertically concatenates zonotopes over the same symbol sets (exact).
+    /// All parts are `ε`-padded to the widest part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parts disagree on logical column count, `p`, or `φ` width,
+    /// or if `parts` is empty.
+    pub fn concat_rows(parts: &[Zonotope]) -> Zonotope {
+        assert!(!parts.is_empty(), "concat_rows of no parts");
+        let cols = parts[0].cols;
+        let w = parts.iter().map(|z| z.eps.cols()).max().unwrap_or(0);
+        let mut acc: Option<Zonotope> = None;
+        for part in parts {
+            parts[0].assert_compatible(part);
+            assert_eq!(part.cols, cols, "concat_rows col mismatch");
+            let mut p = part.clone();
+            p.pad_eps(w);
+            acc = Some(match acc {
+                None => p,
+                Some(a) => Zonotope {
+                    rows: a.rows + p.rows,
+                    cols,
+                    center: {
+                        let mut c = a.center;
+                        c.extend_from_slice(&p.center);
+                        c
+                    },
+                    phi: a.phi.vstack(&p.phi),
+                    eps: a.eps.vstack(&p.eps),
+                    p: a.p,
+                },
+            });
+        }
+        acc.expect("non-empty parts")
+    }
+
+    /// Horizontally concatenates zonotopes (exact). Used to assemble
+    /// multi-head attention outputs before the output projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parts disagree on row count, `p` or `φ` width, or if
+    /// `parts` is empty.
+    pub fn concat_cols(parts: &[Zonotope]) -> Zonotope {
+        assert!(!parts.is_empty(), "concat_cols of no parts");
+        let transposed: Vec<Zonotope> = parts.iter().map(Zonotope::transpose).collect();
+        Zonotope::concat_rows(&transposed).transpose()
+    }
+
+    // ------------------------------------------------------------------
+    // Concrete instantiation (used heavily by the soundness test suites)
+    // ------------------------------------------------------------------
+
+    /// Evaluates every variable at a concrete noise instantiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise vectors have the wrong lengths (`φ` may be
+    /// shorter than `num_phi` only if the missing coefficients are unused;
+    /// we require exact lengths for clarity).
+    pub fn evaluate(&self, phi: &[f64], eps: &[f64]) -> Vec<f64> {
+        assert_eq!(phi.len(), self.num_phi(), "phi instantiation length");
+        assert_eq!(eps.len(), self.num_eps(), "eps instantiation length");
+        (0..self.n_vars())
+            .map(|k| {
+                self.center[k]
+                    + deept_tensor::dot(self.phi.row(k), phi)
+                    + deept_tensor::dot(self.eps.row(k), eps)
+            })
+            .collect()
+    }
+
+    /// Samples a valid noise instantiation (`‖φ‖_p ≤ 1`, `ε ∈ [−1,1]`).
+    ///
+    /// Not uniform over the region — it only needs to produce *valid*
+    /// points for soundness testing.
+    pub fn sample_noise(&self, rng: &mut impl rand::Rng) -> (Vec<f64>, Vec<f64>) {
+        let mut phi: Vec<f64> = (0..self.num_phi()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        let n = self.p.norm(&phi);
+        if n > 1.0 {
+            let target: f64 = rng.gen_range(0.0..=1.0);
+            for x in &mut phi {
+                *x *= target / n;
+            }
+        }
+        let eps: Vec<f64> = (0..self.num_eps()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        (phi, eps)
+    }
+
+    /// Samples an extreme noise instantiation: `ε ∈ {−1, +1}` and `φ` on the
+    /// unit ℓp sphere. Useful for probing bound tightness.
+    pub fn sample_extreme_noise(&self, rng: &mut impl rand::Rng) -> (Vec<f64>, Vec<f64>) {
+        let mut phi: Vec<f64> = (0..self.num_phi()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        let n = self.p.norm(&phi);
+        if n > 0.0 {
+            for x in &mut phi {
+                *x /= n;
+            }
+        }
+        let eps: Vec<f64> = (0..self.num_eps())
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        (phi, eps)
+    }
+}
+
+impl std::fmt::Display for Zonotope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Zonotope {}x{} (p = {}, {} phi symbols, {} eps symbols)",
+            self.rows,
+            self.cols,
+            self.p,
+            self.num_phi(),
+            self.num_eps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_zono() -> Zonotope {
+        // The Figure 4 zonotope: x = 4 + φ1 + φ2 − ε1 + 2ε2,
+        // y = 3 + φ1 + φ2 + ε1 + ε2, ‖φ‖₂ ≤ 1.
+        Zonotope::from_parts(
+            2,
+            1,
+            vec![4.0, 3.0],
+            Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+            Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, 1.0]]),
+            PNorm::L2,
+        )
+    }
+
+    #[test]
+    fn figure4_bounds() {
+        let z = sample_zono();
+        let (lo, hi) = z.bounds();
+        // x: 4 ± (√2 + 3), y: 3 ± (√2 + 2)
+        let s2 = 2f64.sqrt();
+        assert!((lo[0] - (4.0 - s2 - 3.0)).abs() < 1e-12);
+        assert!((hi[0] - (4.0 + s2 + 3.0)).abs() < 1e-12);
+        assert!((lo[1] - (3.0 - s2 - 2.0)).abs() < 1e-12);
+        assert!((hi[1] - (3.0 + s2 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_respects_bounds() {
+        let z = sample_zono();
+        let (lo, hi) = z.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let v = z.evaluate(&phi, &eps);
+            for k in 0..z.n_vars() {
+                assert!(v[k] >= lo[k] - 1e-12 && v[k] <= hi[k] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_ball_construction() {
+        let c = Matrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.5, PNorm::L1, &[1]);
+        assert_eq!(z.num_phi(), 2);
+        assert_eq!(z.num_eps(), 0);
+        let (lo, hi) = z.bounds();
+        // Unperturbed row is exact.
+        assert_eq!((lo[0], hi[0]), (0.0, 0.0));
+        // Perturbed row: ±0.5 in each coordinate (ℓ1 ball bounds).
+        assert_eq!((lo[2], hi[2]), (4.5, 5.5));
+        // ℓ∞ variant uses eps symbols.
+        let zi = Zonotope::from_lp_ball(&c, 0.5, PNorm::Linf, &[1]);
+        assert_eq!(zi.num_phi(), 0);
+        assert_eq!(zi.num_eps(), 2);
+    }
+
+    #[test]
+    fn l1_ball_joint_constraint_is_tighter_than_box() {
+        // Under an ℓ1 ball, x + y has half-width r (not 2r as a box would).
+        let c = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let z = Zonotope::from_lp_ball(&c, 1.0, PNorm::L1, &[0]);
+        let sum = z.matmul_right(&Matrix::from_rows(&[&[1.0], &[1.0]]));
+        let (lo, hi) = sum.bounds();
+        assert!((hi[0] - 1.0).abs() < 1e-12 && (lo[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_construction_skips_zero_radius() {
+        let c = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let r = Matrix::from_rows(&[&[0.1, 0.0, 0.2]]);
+        let z = Zonotope::from_box(&c, &r, PNorm::L2);
+        assert_eq!(z.num_eps(), 2);
+        let (lo, hi) = z.bounds();
+        assert_eq!((lo[1], hi[1]), (2.0, 2.0));
+        assert!((lo[2] - 2.8).abs() < 1e-12 && (hi[2] - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn affine_ops_are_exact_on_samples() {
+        let z = sample_zono().reshape(1, 2);
+        let w = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[3.0, 0.0, -1.0]]);
+        let out = z.matmul_right(&w);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let x = z.evaluate(&phi, &eps);
+            let y = out.evaluate(&phi, &eps);
+            let expected = Matrix::row_vector(x).matmul(&w);
+            for (a, b) in y.iter().zip(expected.as_slice()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_left_matches_samples() {
+        let z = sample_zono(); // 2x1
+        let p = Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 0.5], &[1.0, 0.0]]);
+        let out = z.matmul_left(&p);
+        assert_eq!((out.rows(), out.cols()), (3, 1));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let x = z.evaluate(&phi, &eps);
+            let y = out.evaluate(&phi, &eps);
+            for r in 0..3 {
+                let expected = p.at(r, 0) * x[0] + p.at(r, 1) * x[1];
+                assert!((y[r] - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn add_aligns_eps_symbols() {
+        let a = sample_zono();
+        let mut b = sample_zono();
+        b.pad_eps(4);
+        let s = a.add(&b);
+        assert_eq!(s.num_eps(), 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (phi, eps) = s.sample_noise(&mut rng);
+        let v = s.evaluate(&phi, &eps);
+        let va = a.evaluate(&phi, &eps[..2]);
+        let vb = b.evaluate(&phi, &eps);
+        assert!((v[0] - va[0] - vb[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtract_row_mean_centres() {
+        let c = Matrix::from_rows(&[&[1.0, 2.0, 6.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.1, PNorm::L2, &[0]);
+        let n = z.subtract_row_mean();
+        let mean = (1.0 + 2.0 + 6.0) / 3.0;
+        assert!((n.center()[0] - (1.0 - mean)).abs() < 1e-12);
+        // Row of the centred zonotope sums to 0 for any instantiation.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (phi, eps) = n.sample_noise(&mut rng);
+        let v = n.evaluate(&phi, &eps);
+        assert!(v.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_and_select() {
+        let c = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.1, PNorm::L2, &[0, 2]);
+        let t = z.transpose();
+        assert_eq!((t.rows(), t.cols()), (2, 3));
+        assert_eq!(t.center()[t.var_index(1, 2)], 6.0);
+        let s = z.select_rows(&[2, 0]);
+        assert_eq!(s.center(), &[5.0, 6.0, 1.0, 2.0]);
+        let sc = z.select_cols(&[1]);
+        assert_eq!(sc.center(), &[2.0, 4.0, 6.0]);
+        // Double transpose is identity.
+        assert_eq!(t.transpose(), z);
+    }
+
+    #[test]
+    fn concat_rows_and_cols() {
+        let a = Zonotope::from_lp_ball(&Matrix::from_rows(&[&[1.0, 2.0]]), 0.1, PNorm::L2, &[0]);
+        let b = a.scale(2.0);
+        let v = Zonotope::concat_rows(&[a.clone(), b.clone()]);
+        assert_eq!((v.rows(), v.cols()), (2, 2));
+        assert_eq!(v.center(), &[1.0, 2.0, 2.0, 4.0]);
+        let h = Zonotope::concat_cols(&[a.clone(), b]);
+        assert_eq!((h.rows(), h.cols()), (1, 4));
+        assert_eq!(h.center(), &[1.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_vars_pairwise_differences() {
+        let z = sample_zono(); // vars x, y
+        let l = Matrix::from_rows(&[&[1.0, -1.0], &[-1.0, 1.0]]);
+        let d = z.linear_vars(&l, 2, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (phi, eps) = z.sample_noise(&mut rng);
+        let v = z.evaluate(&phi, &eps);
+        let dv = d.evaluate(&phi, &eps);
+        assert!((dv[0] - (v[0] - v[1])).abs() < 1e-12);
+        assert!((dv[1] - (v[1] - v[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad_eps would truncate")]
+    fn pad_eps_cannot_truncate() {
+        let mut z = sample_zono();
+        z.pad_eps(1);
+    }
+
+    #[test]
+    fn display_mentions_symbol_counts() {
+        let s = sample_zono().to_string();
+        assert!(s.contains("2 phi symbols") && s.contains("2 eps symbols"));
+    }
+}

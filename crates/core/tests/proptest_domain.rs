@@ -1,0 +1,153 @@
+//! Property tests of the fundamental domain invariant: every concrete point
+//! reachable from a valid noise instantiation stays inside the abstract
+//! output of every transformer.
+
+use deept_core::dot::{zono_matmul, DotConfig};
+use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn norm_of(i: u8) -> PNorm {
+    [PNorm::L1, PNorm::L2, PNorm::Linf][(i % 3) as usize]
+}
+
+fn zono_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Zonotope> {
+    let n = rows * cols;
+    (
+        proptest::collection::vec(-2.0f64..2.0, n),
+        proptest::collection::vec(-0.4f64..0.4, n * 2),
+        proptest::collection::vec(-0.4f64..0.4, n * 3),
+        0u8..3,
+    )
+        .prop_map(move |(c, phi, eps, p)| {
+            Zonotope::from_parts(
+                rows,
+                cols,
+                c,
+                Matrix::from_vec(n, 2, phi).expect("sized"),
+                Matrix::from_vec(n, 3, eps).expect("sized"),
+                norm_of(p),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bounds_contain_samples(z in zono_strategy(2, 3), seed in 0u64..500) {
+        let (lo, hi) = z.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            for (k, v) in z.evaluate(&phi, &eps).iter().enumerate() {
+                prop_assert!(*v >= lo[k] - 1e-10 && *v <= hi[k] + 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_tanh_exp_chain_is_sound(z in zono_strategy(2, 2), seed in 0u64..500) {
+        let out = z.relu().tanh().exp();
+        let (lo, hi) = out.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let (phi, mut eps) = out.sample_noise(&mut rng);
+            for e in eps.iter_mut().skip(z.num_eps()) {
+                *e = 0.0;
+            }
+            let x = z.evaluate(&phi, &eps[..z.num_eps()]);
+            for (k, &xv) in x.iter().enumerate() {
+                let y = xv.max(0.0).tanh().exp();
+                prop_assert!(
+                    y >= lo[k] - 1e-8 && y <= hi[k] + 1e-8,
+                    "chain output {} outside [{}, {}]", y, lo[k], hi[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_preserves_membership(z in zono_strategy(3, 2), budget in 1usize..3, seed in 0u64..500) {
+        let reduced = z.reduced(budget, 0);
+        let (lo, hi) = reduced.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            for (k, v) in z.evaluate(&phi, &eps).iter().enumerate() {
+                prop_assert!(*v >= lo[k] - 1e-10 && *v <= hi[k] + 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sound_on_random_zonotopes(z in zono_strategy(2, 3), seed in 0u64..500) {
+        let out = softmax_rows(&z, SoftmaxConfig::default());
+        let (lo, hi) = out.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let (phi, eps) = z.sample_noise(&mut rng);
+            let vals = z.evaluate(&phi, &eps);
+            for i in 0..2 {
+                let mut row = [vals[i * 3], vals[i * 3 + 1], vals[i * 3 + 2]];
+                deept_tensor::ops::softmax_in_place(&mut row);
+                for j in 0..3 {
+                    let k = i * 3 + j;
+                    prop_assert!(row[j] >= lo[k] - 1e-8 && row[j] <= hi[k] + 1e-8);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_then_affine_chain_sound(
+        a in zono_strategy(2, 3),
+        b in zono_strategy(3, 2),
+        seed in 0u64..500,
+    ) {
+        // Operands must share the φ norm; align b's onto a's.
+        let b = Zonotope::from_parts(
+            3,
+            2,
+            b.center().to_vec(),
+            b.phi().clone(),
+            b.eps().clone(),
+            a.p(),
+        );
+        // a·b then a row bias then scaling: the composite must contain the
+        // concrete composite.
+        let prod = zono_matmul(&a, &b, DotConfig::fast());
+        let out = prod.add_row_bias(&[0.5, -0.5]).scale(2.0);
+        let (lo, hi) = out.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let width = a.num_eps().max(b.num_eps());
+        for _ in 0..30 {
+            let (phi, mut eps) = out.sample_noise(&mut rng);
+            for e in eps.iter_mut().skip(width) {
+                *e = 0.0;
+            }
+            let va = a.evaluate(&phi, &eps[..a.num_eps()]);
+            let vb = b.evaluate(&phi, &eps[..b.num_eps()]);
+            let am = Matrix::from_vec(2, 3, va).expect("sized");
+            let bm = Matrix::from_vec(3, 2, vb).expect("sized");
+            let exact = am.matmul(&bm).add_row_broadcast(&[0.5, -0.5]).scale(2.0);
+            for (k, v) in exact.as_slice().iter().enumerate() {
+                prop_assert!(*v >= lo[k] - 1e-8 && *v <= hi[k] + 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_commutes_with_scale(z in zono_strategy(2, 3), s in -3.0f64..3.0) {
+        prop_assert_eq!(z.transpose().scale(s), z.scale(s).transpose());
+    }
+
+    #[test]
+    fn concat_then_select_is_identity(z in zono_strategy(2, 3)) {
+        let stacked = Zonotope::concat_rows(&[z.clone(), z.scale(2.0)]);
+        prop_assert_eq!(stacked.select_rows(&[0, 1]), z);
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic image datasets standing in for MNIST (DESIGN.md,
+//! substitution 4), used by the Appendix A.2 (binary MLP) and A.3 (Vision
+//! Transformer) experiments.
+//!
+//! Each class is a deterministic oriented-grating template; examples add
+//! pixel noise and a small random phase shift, so the task is learnable but
+//! not trivial.
+
+use rand::Rng;
+
+/// A labelled image: row-major pixels in `[0, 1]` and a class id.
+pub type Image = (Vec<f64>, usize);
+
+/// Parameters of the image generators.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageSpec {
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Examples per class.
+    pub per_class: usize,
+    /// Pixel-noise amplitude.
+    pub noise: f64,
+}
+
+/// The class template: an oriented grating whose angle encodes the class.
+pub fn template(spec: &ImageSpec, class: usize, phase: f64) -> Vec<f64> {
+    let theta = std::f64::consts::PI * class as f64 / spec.classes as f64;
+    let (s, c) = theta.sin_cos();
+    let freq = 2.0 * std::f64::consts::PI / (spec.w as f64 / 2.0);
+    let mut out = Vec::with_capacity(spec.h * spec.w);
+    for y in 0..spec.h {
+        for x in 0..spec.w {
+            let proj = x as f64 * c + y as f64 * s;
+            let v = 0.5 + 0.5 * (freq * proj + phase).sin();
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Generates a labelled dataset of noisy class templates.
+pub fn generate(spec: ImageSpec, rng: &mut impl Rng) -> Vec<Image> {
+    let mut out = Vec::with_capacity(spec.classes * spec.per_class);
+    for class in 0..spec.classes {
+        for _ in 0..spec.per_class {
+            // Jitter around π/2 keeps the grating polarity stable — a phase
+            // near 0 would invert the pattern sign and make the classes
+            // linearly inseparable.
+            let phase: f64 = std::f64::consts::FRAC_PI_2 + rng.gen_range(-0.4..0.4);
+            let mut pixels = template(&spec, class, phase);
+            for p in &mut pixels {
+                *p = (*p + rng.gen_range(-spec.noise..spec.noise)).clamp(0.0, 1.0);
+            }
+            out.push((pixels, class));
+        }
+    }
+    out
+}
+
+/// The binary "1 vs 7"-style dataset of Appendix A.2: two well-separated
+/// classes on small images, suitable for a complete verifier.
+pub fn binary_spec(side: usize, per_class: usize) -> ImageSpec {
+    ImageSpec {
+        h: side,
+        w: side,
+        classes: 2,
+        per_class,
+        noise: 0.15,
+    }
+}
+
+/// The 10-class dataset of Appendix A.3 for the Vision Transformer.
+pub fn digits_spec(side: usize, per_class: usize) -> ImageSpec {
+    ImageSpec {
+        h: side,
+        w: side,
+        classes: 10,
+        per_class,
+        noise: 0.1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generation_shapes_and_ranges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let spec = digits_spec(8, 5);
+        let data = generate(spec, &mut rng);
+        assert_eq!(data.len(), 50);
+        for (px, label) in &data {
+            assert_eq!(px.len(), 64);
+            assert!(*label < 10);
+            assert!(px.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn templates_differ_between_classes() {
+        let spec = digits_spec(8, 1);
+        let a = template(&spec, 0, 0.0);
+        let b = template(&spec, 5, 0.0);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "class templates too similar: {diff}");
+    }
+
+    #[test]
+    fn same_class_examples_are_similar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let spec = binary_spec(8, 4);
+        let data = generate(spec, &mut rng);
+        let class0: Vec<&Vec<f64>> = data.iter().filter(|(_, l)| *l == 0).map(|(p, _)| p).collect();
+        let d_within: f64 = class0[0]
+            .iter()
+            .zip(class0[1])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let class1: Vec<&Vec<f64>> = data.iter().filter(|(_, l)| *l == 1).map(|(p, _)| p).collect();
+        let d_between: f64 = class0[0]
+            .iter()
+            .zip(class1[0])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(d_within < d_between, "{d_within} vs {d_between}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic datasets for the DeepT-rs reproduction.
+//!
+//! The paper evaluates on SST, Yelp and MNIST with counter-fitted synonym
+//! attacks; those artifacts are proprietary-adjacent or external, so this
+//! crate generates structurally equivalent synthetic data (each substitution
+//! is documented in DESIGN.md):
+//!
+//! * [`vocab`] / [`sentiment`] — sentiment corpora with latent polarity,
+//!   negators, intensifiers and planted synonym groups (SST-like and
+//!   Yelp-like presets);
+//! * [`synonyms`] — k-nearest-neighbour synonym sets in the learned
+//!   embedding space, the construction of the paper's reference [1];
+//! * [`images`] — oriented-grating image classes (MNIST-like) for the
+//!   Appendix A.2/A.3 experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let ds = deept_data::sentiment::generate(deept_data::sentiment::sst_spec(), &mut rng);
+//! assert!(!ds.train.is_empty());
+//! let (tokens, label) = &ds.train[0];
+//! assert!(*label <= 1 && !tokens.is_empty());
+//! ```
+
+pub mod images;
+pub mod sentiment;
+pub mod synonyms;
+pub mod vocab;
+
+pub use sentiment::SentimentDataset;
+pub use synonyms::SynonymSets;
+pub use vocab::{TokenKind, Vocab, VocabSpec};

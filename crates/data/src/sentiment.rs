@@ -1,0 +1,209 @@
+//! Synthetic sentiment corpora standing in for SST and Yelp (DESIGN.md,
+//! substitution 2).
+//!
+//! Sentences are sampled from a [`Vocab`]; the label is the sign of the
+//! latent polarity score, with negators flipping and intensifiers scaling
+//! the next sentiment word — enough compositional structure that a bag-of-
+//! words model cannot solve the task perfectly, while a small Transformer
+//! can.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::vocab::{TokenKind, Vocab, VocabSpec};
+
+/// One labelled example: token ids and a binary sentiment label.
+pub type Example = (Vec<usize>, usize);
+
+/// A generated corpus with its vocabulary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SentimentDataset {
+    /// The vocabulary the token ids index into.
+    pub vocab: Vocab,
+    /// Training examples.
+    pub train: Vec<Example>,
+    /// Held-out examples.
+    pub test: Vec<Example>,
+}
+
+/// Parameters of [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    /// Vocabulary shape.
+    pub vocab: VocabSpec,
+    /// Minimum sentence length.
+    pub min_len: usize,
+    /// Maximum sentence length.
+    pub max_len: usize,
+    /// Training set size.
+    pub train: usize,
+    /// Test set size.
+    pub test: usize,
+    /// Probability that a sampled token is a sentiment word.
+    pub sentiment_density: f64,
+    /// Minimum |score| for a sentence to be kept (label margin).
+    pub margin: f64,
+}
+
+/// The SST-like preset: short sentences, compact vocabulary.
+pub fn sst_spec() -> CorpusSpec {
+    CorpusSpec {
+        vocab: VocabSpec {
+            positive_groups: 12,
+            negative_groups: 12,
+            group_size: 4,
+            neutral: 60,
+            intensifiers: 4,
+            negators: 4,
+        },
+        min_len: 4,
+        max_len: 12,
+        train: 1400,
+        test: 300,
+        sentiment_density: 0.35,
+        margin: 0.3,
+    }
+}
+
+/// The Yelp-like preset: longer sentences, larger vocabulary.
+pub fn yelp_spec() -> CorpusSpec {
+    CorpusSpec {
+        vocab: VocabSpec {
+            positive_groups: 24,
+            negative_groups: 24,
+            group_size: 5,
+            neutral: 160,
+            intensifiers: 6,
+            negators: 6,
+        },
+        min_len: 6,
+        max_len: 16,
+        train: 1800,
+        test: 300,
+        sentiment_density: 0.3,
+        margin: 0.3,
+    }
+}
+
+/// Computes the latent polarity score of a token sequence.
+pub fn score(vocab: &Vocab, tokens: &[usize]) -> f64 {
+    let mut total = 0.0;
+    let mut modifier = 1.0;
+    for &t in tokens {
+        let info = vocab.token(t);
+        match info.kind {
+            TokenKind::Positive | TokenKind::Negative => {
+                total += modifier * info.polarity;
+                modifier = 1.0;
+            }
+            TokenKind::Intensifier => modifier *= 1.8,
+            TokenKind::Negator => modifier *= -1.0,
+            TokenKind::Neutral => {}
+        }
+    }
+    total
+}
+
+/// Generates a corpus from a spec.
+pub fn generate(spec: CorpusSpec, rng: &mut impl Rng) -> SentimentDataset {
+    let vocab = Vocab::generate(spec.vocab, rng);
+    let sentiment: Vec<usize> = vocab
+        .ids_of_kind(TokenKind::Positive)
+        .into_iter()
+        .chain(vocab.ids_of_kind(TokenKind::Negative))
+        .collect();
+    let neutral = vocab.ids_of_kind(TokenKind::Neutral);
+    let modifiers: Vec<usize> = vocab
+        .ids_of_kind(TokenKind::Intensifier)
+        .into_iter()
+        .chain(vocab.ids_of_kind(TokenKind::Negator))
+        .collect();
+
+    let sample_sentence = |rng: &mut dyn rand::RngCore| -> Example {
+        loop {
+            let len = rng.gen_range(spec.min_len..=spec.max_len);
+            let mut toks = Vec::with_capacity(len);
+            for _ in 0..len {
+                let r: f64 = rng.gen();
+                let pool = if r < spec.sentiment_density {
+                    &sentiment
+                } else if r < spec.sentiment_density + 0.08 && !modifiers.is_empty() {
+                    &modifiers
+                } else {
+                    &neutral
+                };
+                toks.push(pool[rng.gen_range(0..pool.len())]);
+            }
+            let s = score(&vocab, &toks);
+            if s.abs() >= spec.margin {
+                return (toks, usize::from(s > 0.0));
+            }
+        }
+    };
+
+    let train: Vec<Example> = (0..spec.train).map(|_| sample_sentence(rng)).collect();
+    let test: Vec<Example> = (0..spec.test).map(|_| sample_sentence(rng)).collect();
+    SentimentDataset { vocab, train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn corpus_shapes_and_label_consistency() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let spec = sst_spec();
+        let ds = generate(spec, &mut rng);
+        assert_eq!(ds.train.len(), spec.train);
+        assert_eq!(ds.test.len(), spec.test);
+        for (toks, label) in ds.train.iter().chain(&ds.test) {
+            assert!(toks.len() >= spec.min_len && toks.len() <= spec.max_len);
+            let s = score(&ds.vocab, toks);
+            assert!(s.abs() >= spec.margin);
+            assert_eq!(*label, usize::from(s > 0.0));
+        }
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let ds = generate(sst_spec(), &mut rng);
+        let pos = ds.train.iter().filter(|(_, l)| *l == 1).count();
+        let frac = pos as f64 / ds.train.len() as f64;
+        assert!((0.3..0.7).contains(&frac), "imbalanced labels: {frac}");
+    }
+
+    #[test]
+    fn negators_flip_scores() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ds = generate(sst_spec(), &mut rng);
+        let pos = ds.vocab.ids_of_kind(TokenKind::Positive)[0];
+        let negator = ds.vocab.ids_of_kind(TokenKind::Negator)[0];
+        let plain = score(&ds.vocab, &[pos]);
+        let negated = score(&ds.vocab, &[negator, pos]);
+        assert!(plain > 0.0 && (negated + plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensifiers_scale_scores() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ds = generate(sst_spec(), &mut rng);
+        let pos = ds.vocab.ids_of_kind(TokenKind::Positive)[0];
+        let int = ds.vocab.ids_of_kind(TokenKind::Intensifier)[0];
+        assert!(score(&ds.vocab, &[int, pos]) > score(&ds.vocab, &[pos]));
+    }
+
+    #[test]
+    fn yelp_is_larger_than_sst() {
+        let s = sst_spec();
+        let y = yelp_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let vs = Vocab::generate(s.vocab, &mut rng);
+        let vy = Vocab::generate(y.vocab, &mut rng);
+        assert!(vy.len() > vs.len());
+        assert!(y.max_len > s.max_len);
+    }
+}

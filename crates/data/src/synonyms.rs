@@ -1,0 +1,244 @@
+//! Synonym-set construction for threat model T2.
+//!
+//! Following the attack of Alzantot et al. (the paper's reference [1]),
+//! synonym candidates for a word are its nearest neighbours in the *learned*
+//! embedding space, subject to a distance threshold. The planted vocabulary
+//! groups make these neighbourhoods non-trivial after training.
+
+use deept_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Counter-fits an embedding table toward its planted synonym groups, the
+/// role of the counter-fitted word vectors of Mrkšić et al. (the paper's
+/// reference [40]): each group member moves fraction `alpha` of the way to
+/// its group centroid, so genuine synonyms end up close in embedding space
+/// while unrelated words stay apart.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `[0, 1]` or the table's row count differs
+/// from the vocabulary size.
+pub fn counter_fit(embeddings: &mut Matrix, vocab: &crate::vocab::Vocab, alpha: f64) {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    assert_eq!(embeddings.rows(), vocab.len(), "embedding/vocab size mismatch");
+    let e = embeddings.cols();
+    for g in 0..vocab.num_groups() {
+        let members = vocab.group_members(g);
+        if members.len() < 2 {
+            continue;
+        }
+        let mut centroid = vec![0.0; e];
+        for &m in &members {
+            for (c, &v) in centroid.iter_mut().zip(embeddings.row(m)) {
+                *c += v;
+            }
+        }
+        for c in &mut centroid {
+            *c /= members.len() as f64;
+        }
+        for &m in &members {
+            let row = embeddings.row_mut(m);
+            for (v, &c) in row.iter_mut().zip(&centroid) {
+                *v = (1.0 - alpha) * *v + alpha * c;
+            }
+        }
+    }
+}
+
+/// Synonym sets over a vocabulary: `sets[token]` lists the admissible
+/// replacement token ids (never including the token itself).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynonymSets {
+    sets: Vec<Vec<usize>>,
+}
+
+impl SynonymSets {
+    /// Builds synonym sets as k-nearest neighbours in embedding space within
+    /// `max_dist` (ℓ2), exactly like the embedding-neighbourhood attack of
+    /// the paper's reference [1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embeddings` has no rows.
+    pub fn from_embeddings(embeddings: &Matrix, k: usize, max_dist: f64) -> Self {
+        assert!(embeddings.rows() > 0, "empty embedding table");
+        let n = embeddings.rows();
+        let mut sets = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dists: Vec<(usize, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let d = deept_tensor::l2_norm(&deept_tensor::vec_sub(
+                        embeddings.row(i),
+                        embeddings.row(j),
+                    ));
+                    (j, d)
+                })
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            sets.push(
+                dists
+                    .into_iter()
+                    .take(k)
+                    .filter(|&(_, d)| d <= max_dist)
+                    .map(|(j, _)| j)
+                    .collect(),
+            );
+        }
+        SynonymSets { sets }
+    }
+
+    /// Builds synonym sets directly from planted vocabulary groups.
+    pub fn from_groups(vocab: &crate::vocab::Vocab) -> Self {
+        let n = vocab.len();
+        let mut sets = vec![Vec::new(); n];
+        for g in 0..vocab.num_groups() {
+            let members = vocab.group_members(g);
+            for &m in &members {
+                sets[m] = members.iter().copied().filter(|&x| x != m).collect();
+            }
+        }
+        SynonymSets { sets }
+    }
+
+    /// Synonyms of `token`.
+    pub fn of(&self, token: usize) -> &[usize] {
+        &self.sets[token]
+    }
+
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether no synonym sets exist.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Number of synonym combinations of a sentence: `Π (1 + |syn(tᵢ)|)`,
+    /// saturating at `u128::MAX`.
+    pub fn combinations(&self, tokens: &[usize]) -> u128 {
+        tokens.iter().fold(1u128, |acc, &t| {
+            acc.saturating_mul(1 + self.sets[t].len() as u128)
+        })
+    }
+
+    /// Restricts each set to at most `k` synonyms (used to bound
+    /// enumeration baselines).
+    pub fn truncated(&self, k: usize) -> SynonymSets {
+        SynonymSets {
+            sets: self
+                .sets
+                .iter()
+                .map(|s| s.iter().copied().take(k).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{Vocab, VocabSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn knn_synonyms_respect_distance_threshold() {
+        // Three clustered points and one far away.
+        let emb = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 10.0],
+        ]);
+        let syn = SynonymSets::from_embeddings(&emb, 3, 0.5);
+        assert_eq!(syn.of(0), &[1, 2]);
+        assert!(syn.of(3).is_empty());
+        // Token never lists itself.
+        for t in 0..4 {
+            assert!(!syn.of(t).contains(&t));
+        }
+    }
+
+    #[test]
+    fn knn_limits_to_k() {
+        let emb = Matrix::from_rows(&[&[0.0], &[0.01], &[0.02], &[0.03]]);
+        let syn = SynonymSets::from_embeddings(&emb, 2, 1.0);
+        assert_eq!(syn.of(0).len(), 2);
+    }
+
+    #[test]
+    fn group_synonyms_cover_groups() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let v = Vocab::generate(
+            VocabSpec {
+                positive_groups: 2,
+                negative_groups: 1,
+                group_size: 4,
+                neutral: 3,
+                intensifiers: 0,
+                negators: 0,
+            },
+            &mut rng,
+        );
+        let syn = SynonymSets::from_groups(&v);
+        let g0 = v.group_members(0);
+        for &m in &g0 {
+            assert_eq!(syn.of(m).len(), 3);
+        }
+        // Neutral tokens have no synonyms.
+        for i in v.ids_of_kind(crate::vocab::TokenKind::Neutral) {
+            assert!(syn.of(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn counter_fit_pulls_groups_together() {
+        use crate::vocab::{Vocab, VocabSpec};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let v = Vocab::generate(
+            VocabSpec {
+                positive_groups: 2,
+                negative_groups: 2,
+                group_size: 3,
+                neutral: 4,
+                intensifiers: 0,
+                negators: 0,
+            },
+            &mut rng,
+        );
+        use rand::Rng;
+        let mut emb = Matrix::from_fn(v.len(), 8, |_, _| rng.gen_range(-1.0..1.0));
+        let within = |emb: &Matrix| -> f64 {
+            let m = v.group_members(0);
+            deept_tensor::l2_norm(&deept_tensor::vec_sub(emb.row(m[0]), emb.row(m[1])))
+        };
+        let before = within(&emb);
+        counter_fit(&mut emb, &v, 0.9);
+        let after = within(&emb);
+        assert!(after < 0.2 * before, "counter-fitting barely moved: {before} -> {after}");
+        // alpha = 1 collapses the group exactly.
+        counter_fit(&mut emb, &v, 1.0);
+        assert!(within(&emb) < 1e-12);
+        // Ungrouped (neutral) tokens are untouched by construction: check
+        // one stays where alpha=0 would leave it.
+        let neutral = v.ids_of_kind(crate::vocab::TokenKind::Neutral)[0];
+        let snapshot = emb.row(neutral).to_vec();
+        counter_fit(&mut emb, &v, 0.5);
+        assert_eq!(emb.row(neutral), &snapshot[..]);
+    }
+
+    #[test]
+    fn combination_counting() {
+        let emb = Matrix::from_rows(&[&[0.0], &[0.01], &[0.02], &[5.0]]);
+        let syn = SynonymSets::from_embeddings(&emb, 2, 0.1);
+        // tokens 0,1,2 mutually close (each has 2 synonyms), token 3 isolated.
+        assert_eq!(syn.combinations(&[0, 3]), 3);
+        assert_eq!(syn.combinations(&[0, 1, 2]), 27);
+        let t = syn.truncated(1);
+        assert_eq!(t.combinations(&[0, 1, 2]), 8);
+    }
+}

@@ -1,0 +1,223 @@
+//! A synthetic sentiment vocabulary with planted synonym groups.
+//!
+//! This stands in for the SST / Yelp vocabularies (see DESIGN.md,
+//! substitution 2): tokens carry a latent polarity used by the sentence
+//! generator to produce learnable labels, and synonym *groups* of tokens
+//! share (approximately) the same polarity, mirroring real synonyms.
+
+use serde::{Deserialize, Serialize};
+
+/// The grammatical/semantic role of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Carries positive sentiment.
+    Positive,
+    /// Carries negative sentiment.
+    Negative,
+    /// No sentiment contribution.
+    Neutral,
+    /// Scales the polarity of the next sentiment token ("very").
+    Intensifier,
+    /// Flips the polarity of the next sentiment token ("not").
+    Negator,
+}
+
+/// One vocabulary entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenInfo {
+    /// Surface form (synthetic, e.g. `pos3_2`).
+    pub name: String,
+    /// Latent polarity in `[−1, 1]`.
+    pub polarity: f64,
+    /// Role.
+    pub kind: TokenKind,
+    /// Planted synonym group id, if any.
+    pub group: Option<usize>,
+}
+
+/// A synthetic vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<TokenInfo>,
+    num_groups: usize,
+}
+
+/// Parameters of [`Vocab::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabSpec {
+    /// Number of positive synonym groups.
+    pub positive_groups: usize,
+    /// Number of negative synonym groups.
+    pub negative_groups: usize,
+    /// Tokens per synonym group.
+    pub group_size: usize,
+    /// Number of neutral filler tokens.
+    pub neutral: usize,
+    /// Number of intensifier tokens.
+    pub intensifiers: usize,
+    /// Number of negator tokens.
+    pub negators: usize,
+}
+
+impl Vocab {
+    /// Generates a vocabulary: synonym groups of sentiment words, plus
+    /// neutral fillers, intensifiers and negators.
+    pub fn generate(spec: VocabSpec, rng: &mut impl rand::Rng) -> Self {
+        let mut tokens = Vec::new();
+        let mut group_id = 0;
+        for sign in [1.0, -1.0] {
+            let groups = if sign > 0.0 {
+                spec.positive_groups
+            } else {
+                spec.negative_groups
+            };
+            let prefix = if sign > 0.0 { "pos" } else { "neg" };
+            for g in 0..groups {
+                let base: f64 = rng.gen_range(0.4..1.0) * sign;
+                for m in 0..spec.group_size {
+                    tokens.push(TokenInfo {
+                        name: format!("{prefix}{g}_{m}"),
+                        polarity: (base + rng.gen_range(-0.05..0.05)).clamp(-1.0, 1.0),
+                        kind: if sign > 0.0 {
+                            TokenKind::Positive
+                        } else {
+                            TokenKind::Negative
+                        },
+                        group: Some(group_id),
+                    });
+                }
+                group_id += 1;
+            }
+        }
+        for i in 0..spec.neutral {
+            tokens.push(TokenInfo {
+                name: format!("neu{i}"),
+                polarity: 0.0,
+                kind: TokenKind::Neutral,
+                group: None,
+            });
+        }
+        for i in 0..spec.intensifiers {
+            tokens.push(TokenInfo {
+                name: format!("int{i}"),
+                polarity: 0.0,
+                kind: TokenKind::Intensifier,
+                group: None,
+            });
+        }
+        for i in 0..spec.negators {
+            tokens.push(TokenInfo {
+                name: format!("not{i}"),
+                polarity: 0.0,
+                kind: TokenKind::Negator,
+                group: None,
+            });
+        }
+        Vocab {
+            tokens,
+            num_groups: group_id,
+        }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of planted synonym groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Token metadata by id.
+    pub fn token(&self, id: usize) -> &TokenInfo {
+        &self.tokens[id]
+    }
+
+    /// Iterator over all tokens.
+    pub fn iter(&self) -> impl Iterator<Item = &TokenInfo> {
+        self.tokens.iter()
+    }
+
+    /// Ids of all members of a planted synonym group.
+    pub fn group_members(&self, group: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.tokens[i].group == Some(group))
+            .collect()
+    }
+
+    /// Ids of tokens of a given kind.
+    pub fn ids_of_kind(&self, kind: TokenKind) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.tokens[i].kind == kind)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec() -> VocabSpec {
+        VocabSpec {
+            positive_groups: 4,
+            negative_groups: 4,
+            group_size: 3,
+            neutral: 10,
+            intensifiers: 2,
+            negators: 2,
+        }
+    }
+
+    #[test]
+    fn counts_and_groups() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let v = Vocab::generate(spec(), &mut rng);
+        assert_eq!(v.len(), 8 * 3 + 10 + 2 + 2);
+        assert_eq!(v.num_groups(), 8);
+        for g in 0..8 {
+            assert_eq!(v.group_members(g).len(), 3);
+        }
+    }
+
+    #[test]
+    fn group_members_share_polarity_sign() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = Vocab::generate(spec(), &mut rng);
+        for g in 0..v.num_groups() {
+            let members = v.group_members(g);
+            let signs: Vec<f64> = members.iter().map(|&m| v.token(m).polarity.signum()).collect();
+            assert!(signs.windows(2).all(|w| w[0] == w[1]));
+            // Members are near-synonyms: polarities within 0.1 of each other.
+            let pols: Vec<f64> = members.iter().map(|&m| v.token(m).polarity).collect();
+            let spread = pols.iter().cloned().fold(f64::MIN, f64::max)
+                - pols.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread <= 0.11);
+        }
+    }
+
+    #[test]
+    fn kinds_partition_vocabulary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let v = Vocab::generate(spec(), &mut rng);
+        let total: usize = [
+            TokenKind::Positive,
+            TokenKind::Negative,
+            TokenKind::Neutral,
+            TokenKind::Intensifier,
+            TokenKind::Negator,
+        ]
+        .iter()
+        .map(|&k| v.ids_of_kind(k).len())
+        .sum();
+        assert_eq!(total, v.len());
+        assert!(v.ids_of_kind(TokenKind::Negator).iter().all(|&i| v.token(i).name.starts_with("not")));
+    }
+}

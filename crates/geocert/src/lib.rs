@@ -1,0 +1,509 @@
+//! Complete robustness verification of small ReLU MLPs — the GeoCert-role
+//! baseline of Appendix A.2 (see DESIGN.md, substitution 5).
+//!
+//! GeoCert computes exact pointwise robustness by geometric search over the
+//! union of activation polytopes. We obtain the same *completeness*
+//! guarantee with branch-and-bound over ReLU activation states:
+//!
+//! 1. at each node, a linear program (triangle relaxation for unstable
+//!    neurons, exact constraints for fixed ones) lower-bounds the
+//!    classification margin over an ℓ∞ box;
+//! 2. a positive bound proves the subtree; otherwise the LP optimizer is
+//!    replayed through the concrete network to look for a real
+//!    counterexample, and the widest unstable neuron is split.
+//!
+//! With every neuron fixed the LP is exact, so the procedure is complete
+//! (up to the node budget). The paper's GeoCert comparison uses ℓ2 balls;
+//! our complete search is over ℓ∞ boxes — polyhedral, hence LP-expressible —
+//! and the A.2 reproduction compares both verifiers on ℓ∞ (documented in
+//! DESIGN.md/EXPERIMENTS.md).
+
+use deept_core::{PNorm, Zonotope};
+use deept_lp::{Constraint, Problem, Rel, Solution};
+use deept_nn::Mlp;
+use deept_tensor::Matrix;
+
+/// Activation status of a hidden neuron at a branch-and-bound node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Sign undetermined: triangle relaxation.
+    Unstable,
+    /// Fixed non-negative pre-activation (by bounds or by split).
+    Active,
+    /// Fixed non-positive pre-activation.
+    Inactive,
+}
+
+/// Branch-and-bound configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BnbConfig {
+    /// Maximum number of explored nodes before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig { max_nodes: 2000 }
+    }
+}
+
+/// Outcome of a complete verification query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Every point of the region classifies as the true label.
+    Robust,
+    /// A concrete counterexample was found.
+    Falsified {
+        /// The adversarial input.
+        input: Vec<f64>,
+    },
+    /// The node budget was exhausted before deciding.
+    Unknown,
+}
+
+/// Interval bounds of all pre-activations given the current statuses.
+fn preact_bounds(
+    mlp: &Mlp,
+    x0: &[f64],
+    radius: f64,
+    statuses: &[Vec<Status>],
+) -> Vec<(Vec<f64>, Vec<f64>)> {
+    let mut lo: Vec<f64> = x0.iter().map(|&v| v - radius).collect();
+    let mut hi: Vec<f64> = x0.iter().map(|&v| v + radius).collect();
+    let mut out = Vec::new();
+    for (li, (w, b)) in mlp.weights.iter().zip(&mlp.biases).enumerate() {
+        let mut pl = vec![0.0; w.cols()];
+        let mut ph = vec![0.0; w.cols()];
+        for j in 0..w.cols() {
+            let mut l = b.at(0, j);
+            let mut h = b.at(0, j);
+            for k in 0..w.rows() {
+                let c = w.at(k, j);
+                if c >= 0.0 {
+                    l += c * lo[k];
+                    h += c * hi[k];
+                } else {
+                    l += c * hi[k];
+                    h += c * lo[k];
+                }
+            }
+            pl[j] = l;
+            ph[j] = h;
+        }
+        out.push((pl.clone(), ph.clone()));
+        if li + 1 < mlp.weights.len() {
+            // Post-activation bounds under the node's statuses.
+            lo = pl
+                .iter()
+                .zip(&statuses[li])
+                .map(|(&l, &s)| match s {
+                    Status::Inactive => 0.0,
+                    _ => l.max(0.0),
+                })
+                .collect();
+            hi = ph
+                .iter()
+                .zip(&statuses[li])
+                .map(|(&h, &s)| match s {
+                    Status::Inactive => 0.0,
+                    _ => h.max(0.0),
+                })
+                .collect();
+        }
+    }
+    out
+}
+
+/// LP margin lower bound (and its optimizer's input part) for one
+/// adversarial class at a node. Returns `None` if the node's constraint
+/// system is infeasible (the split region is empty — subtree vacuously
+/// robust).
+#[allow(clippy::too_many_arguments)]
+fn node_margin(
+    mlp: &Mlp,
+    x0: &[f64],
+    radius: f64,
+    true_label: usize,
+    adv_label: usize,
+    statuses: &[Vec<Status>],
+    bounds: &[(Vec<f64>, Vec<f64>)],
+) -> Option<(f64, Vec<f64>)> {
+    let d = mlp.input_dim();
+    let hidden_layers = mlp.num_layers() - 1;
+    // Variables: x (d), then post-activations of each hidden layer.
+    let mut var_bounds: Vec<(f64, f64)> = x0.iter().map(|&v| (v - radius, v + radius)).collect();
+    let mut layer_offsets = Vec::new();
+    for li in 0..hidden_layers {
+        layer_offsets.push(var_bounds.len());
+        let (_, ph) = &bounds[li];
+        for (j, &h) in ph.iter().enumerate() {
+            let cap = match statuses[li][j] {
+                Status::Inactive => 0.0,
+                _ => h.max(0.0),
+            };
+            var_bounds.push((0.0, cap));
+        }
+    }
+    let n_vars = var_bounds.len();
+    let mut constraints = Vec::new();
+
+    // Per-neuron constraints; pre_j = w_col_j · prev + b_j where prev is x
+    // (layer 0) or the previous layer's post-activation variables.
+    for li in 0..hidden_layers {
+        let w = &mlp.weights[li];
+        let b = &mlp.biases[li];
+        let prev_off = if li == 0 { 0 } else { layer_offsets[li - 1] };
+        let prev_dim = w.rows();
+        let off = layer_offsets[li];
+        let (pl, ph) = &bounds[li];
+        for j in 0..w.cols() {
+            let mut pre = vec![0.0; n_vars];
+            for k in 0..prev_dim {
+                pre[prev_off + k] = w.at(k, j);
+            }
+            let bj = b.at(0, j);
+            match statuses[li][j] {
+                Status::Active => {
+                    // y = pre, and pre ≥ 0.
+                    let mut eq = pre.clone();
+                    eq[off + j] -= 1.0;
+                    constraints.push(Constraint::new(eq, Rel::Eq, -bj));
+                    constraints.push(Constraint::new(pre, Rel::Ge, -bj));
+                }
+                Status::Inactive => {
+                    // y = 0 (via bounds) and pre ≤ 0.
+                    constraints.push(Constraint::new(pre, Rel::Le, -bj));
+                }
+                Status::Unstable => {
+                    let (l, u) = (pl[j], ph[j]);
+                    debug_assert!(l < 0.0 && u > 0.0);
+                    // y ≥ pre  ⇔  y − pre ≥ 0.
+                    let mut ge = pre.clone();
+                    for v in ge.iter_mut() {
+                        *v = -*v;
+                    }
+                    ge[off + j] += 1.0;
+                    constraints.push(Constraint::new(ge, Rel::Ge, bj));
+                    // y ≤ λ (pre − l): y − λ·pre ≤ λ(b_j − l).
+                    let lam = u / (u - l);
+                    let mut le = pre.clone();
+                    for v in le.iter_mut() {
+                        *v *= -lam;
+                    }
+                    le[off + j] += 1.0;
+                    constraints.push(Constraint::new(le, Rel::Le, lam * (bj - l)));
+                }
+            }
+        }
+    }
+
+    // Objective: minimize logit_t − logit_f, affine in the last hidden
+    // layer's variables (or directly in x for a linear model).
+    let wl = mlp.weights.last().expect("non-empty");
+    let bl = mlp.biases.last().expect("non-empty");
+    let prev_off = if hidden_layers == 0 {
+        0
+    } else {
+        layer_offsets[hidden_layers - 1]
+    };
+    let mut objective = vec![0.0; n_vars];
+    for k in 0..wl.rows() {
+        objective[prev_off + k] = wl.at(k, true_label) - wl.at(k, adv_label);
+    }
+    let bias_term = bl.at(0, true_label) - bl.at(0, adv_label);
+
+    match deept_lp::solve(&Problem {
+        objective,
+        constraints,
+        bounds: var_bounds,
+    }) {
+        Solution::Optimal { x, value } => Some((value + bias_term, x[..d].to_vec())),
+        Solution::Infeasible => None,
+    }
+}
+
+/// Complete verification of `mlp` on the ℓ∞ box of `radius` around `x0`.
+pub fn verify_linf(
+    mlp: &Mlp,
+    x0: &[f64],
+    radius: f64,
+    true_label: usize,
+    cfg: &BnbConfig,
+) -> Verdict {
+    let hidden_layers = mlp.num_layers() - 1;
+    let hidden_dims: Vec<usize> = (0..hidden_layers).map(|l| mlp.weights[l].cols()).collect();
+    let root: Vec<Vec<Status>> = hidden_dims.iter().map(|&d| vec![Status::Unstable; d]).collect();
+    let mut stack = vec![root];
+    let mut explored = 0usize;
+    while let Some(mut statuses) = stack.pop() {
+        explored += 1;
+        if explored > cfg.max_nodes {
+            return Verdict::Unknown;
+        }
+        let bounds = preact_bounds(mlp, x0, radius, &statuses);
+        // Fix neurons whose interval sign is already determined.
+        for li in 0..hidden_layers {
+            for j in 0..hidden_dims[li] {
+                if statuses[li][j] == Status::Unstable {
+                    let (l, u) = (bounds[li].0[j], bounds[li].1[j]);
+                    if l >= 0.0 {
+                        statuses[li][j] = Status::Active;
+                    } else if u <= 0.0 {
+                        statuses[li][j] = Status::Inactive;
+                    }
+                }
+            }
+        }
+        let bounds = preact_bounds(mlp, x0, radius, &statuses);
+        let mut worst: Option<(f64, Vec<f64>)> = None;
+        let mut feasible = false;
+        for adv in 0..mlp.output_dim() {
+            if adv == true_label {
+                continue;
+            }
+            if let Some((margin, xin)) =
+                node_margin(mlp, x0, radius, true_label, adv, &statuses, &bounds)
+            {
+                feasible = true;
+                if worst.as_ref().map_or(true, |(m, _)| margin < *m) {
+                    worst = Some((margin, xin));
+                }
+            }
+        }
+        if !feasible {
+            continue; // split region empty: subtree vacuously safe
+        }
+        let (margin, xin) = worst.expect("feasible node has a margin");
+        if margin > 0.0 {
+            continue; // subtree verified
+        }
+        // Candidate counterexample from the LP optimizer.
+        let clipped: Vec<f64> = xin
+            .iter()
+            .zip(x0)
+            .map(|(&v, &c)| v.clamp(c - radius, c + radius))
+            .collect();
+        if mlp.predict(&clipped) != true_label {
+            return Verdict::Falsified { input: clipped };
+        }
+        // Branch on the widest unstable neuron.
+        let mut pick = None;
+        let mut best_width = 0.0;
+        for li in 0..hidden_layers {
+            for j in 0..hidden_dims[li] {
+                if statuses[li][j] == Status::Unstable {
+                    let w = bounds[li].1[j] - bounds[li].0[j];
+                    if w > best_width {
+                        best_width = w;
+                        pick = Some((li, j));
+                    }
+                }
+            }
+        }
+        match pick {
+            Some((li, j)) => {
+                let mut a = statuses.clone();
+                a[li][j] = Status::Active;
+                let mut b = statuses;
+                b[li][j] = Status::Inactive;
+                stack.push(a);
+                stack.push(b);
+            }
+            None => {
+                // All neurons fixed: the LP is exact, so a non-positive
+                // margin pins an actual boundary point; numerically it may
+                // classify either way. If it does not flip, treat the leaf
+                // as robust (margin 0 boundary).
+                if mlp.predict(&clipped) != true_label {
+                    return Verdict::Falsified { input: clipped };
+                }
+            }
+        }
+    }
+    Verdict::Robust
+}
+
+/// Largest ℓ∞ radius certified robust by the complete verifier, via binary
+/// search.
+pub fn max_robust_radius_linf(
+    mlp: &Mlp,
+    x0: &[f64],
+    true_label: usize,
+    cfg: &BnbConfig,
+    iters: usize,
+) -> f64 {
+    bracketed_radius(
+        |r| matches!(verify_linf(mlp, x0, r, true_label, cfg), Verdict::Robust),
+        0.01,
+        iters,
+    )
+}
+
+// A tiny local bracketing binary search, duplicated here to avoid a
+// dependency cycle with `deept-verifier`.
+fn bracketed_radius(mut verify: impl FnMut(f64) -> bool, start: f64, iters: usize) -> f64 {
+    if !verify(0.0) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0, start);
+    let mut grow = 0;
+    while verify(hi) && grow < 30 {
+        lo = hi;
+        hi *= 2.0;
+        grow += 1;
+    }
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if verify(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Incomplete zonotope (DeepT-style) margin for the same MLP and ℓp ball —
+/// the DeepT side of the Table 10 comparison.
+pub fn zonotope_margin(mlp: &Mlp, x0: &[f64], radius: f64, p: PNorm, true_label: usize) -> f64 {
+    let center = Matrix::row_vector(x0.to_vec());
+    let mut z = Zonotope::from_lp_ball(&center, radius, p, &[0]);
+    let n = mlp.num_layers();
+    for (i, (w, b)) in mlp.weights.iter().zip(&mlp.biases).enumerate() {
+        z = z.matmul_right(w).add_row_bias(b.row(0));
+        if i + 1 < n {
+            z = z.relu();
+        }
+    }
+    let c = mlp.output_dim();
+    let mut worst = f64::INFINITY;
+    for adv in 0..c {
+        if adv == true_label {
+            continue;
+        }
+        let mut l = Matrix::zeros(1, c);
+        l.set(0, true_label, 1.0);
+        l.set(0, adv, -1.0);
+        worst = worst.min(z.linear_vars(&l, 1, 1).bounds_of(0).0);
+    }
+    worst
+}
+
+/// Largest ℓp radius certified by the zonotope verifier on the MLP.
+pub fn zonotope_radius(mlp: &Mlp, x0: &[f64], p: PNorm, true_label: usize, iters: usize) -> f64 {
+    bracketed_radius(
+        |r| zonotope_margin(mlp, x0, r, p, true_label) > 0.0,
+        0.01,
+        iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn trained_toy_mlp() -> (Mlp, Vec<(Vec<f64>, usize)>) {
+        use deept_nn::train::{train, TrainConfig};
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[2, 6, 2], &mut rng);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            let y: f64 = rng.gen_range(-1.0..1.0);
+            data.push((vec![x, y], usize::from(x + 0.5 * y > 0.0)));
+        }
+        train(
+            &mut mlp,
+            &data,
+            TrainConfig {
+                epochs: 30,
+                batch_size: 16,
+                lr: 0.01,
+            },
+            &mut rng,
+        );
+        (mlp, data)
+    }
+
+    #[test]
+    fn complete_verifier_certified_box_has_no_flips() {
+        let (mlp, _) = trained_toy_mlp();
+        let x0 = vec![0.6, 0.4];
+        let label = mlp.predict(&x0);
+        let cfg = BnbConfig::default();
+        let r = max_robust_radius_linf(&mlp, &x0, label, &cfg, 24);
+        assert!(r > 0.0, "a confidently classified point must have r > 0");
+        let steps = 12;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let dx = -r + 2.0 * r * i as f64 / steps as f64;
+                let dy = -r + 2.0 * r * j as f64 / steps as f64;
+                let p = vec![x0[0] + dx * 0.999, x0[1] + dy * 0.999];
+                assert_eq!(mlp.predict(&p), label, "flip inside certified box at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_beats_or_matches_zonotope() {
+        let (mlp, data) = trained_toy_mlp();
+        for (x0, _) in data.iter().take(5) {
+            let label = mlp.predict(x0);
+            let cfg = BnbConfig::default();
+            let complete = max_robust_radius_linf(&mlp, x0, label, &cfg, 16);
+            let zono = zonotope_radius(&mlp, x0, PNorm::Linf, label, 16);
+            assert!(
+                complete >= zono - 1e-6,
+                "complete {complete} < zonotope {zono} — incomplete method overshot"
+            );
+        }
+    }
+
+    #[test]
+    fn misclassified_point_has_zero_radius() {
+        let (mlp, data) = trained_toy_mlp();
+        if let Some((x, y)) = data.iter().find(|(x, y)| mlp.predict(x) != *y) {
+            let cfg = BnbConfig::default();
+            assert_eq!(max_robust_radius_linf(&mlp, x, *y, &cfg, 10), 0.0);
+        }
+    }
+
+    #[test]
+    fn falsification_finds_real_attacks() {
+        let (mlp, _) = trained_toy_mlp();
+        let x0 = vec![0.05, 0.0]; // near the decision boundary x + y/2 = 0
+        let label = mlp.predict(&x0);
+        let verdict = verify_linf(&mlp, &x0, 0.5, label, &BnbConfig::default());
+        match verdict {
+            Verdict::Falsified { input } => assert_ne!(mlp.predict(&input), label),
+            Verdict::Robust => panic!("0.5 box around a boundary point cannot be robust"),
+            Verdict::Unknown => {} // budget exhausted is acceptable
+        }
+    }
+
+    #[test]
+    fn zonotope_margin_is_sound_on_samples() {
+        use rand::Rng;
+        let (mlp, _) = trained_toy_mlp();
+        let x0 = vec![0.5, 0.5];
+        let label = mlp.predict(&x0);
+        let r = 0.1;
+        let m = zonotope_margin(&mlp, &x0, r, PNorm::L2, label);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..300 {
+            let mut d: [f64; 2] = [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)];
+            let n = (d[0] * d[0] + d[1] * d[1]).sqrt();
+            if n > 1.0 {
+                d[0] /= n;
+                d[1] /= n;
+            }
+            let p = vec![x0[0] + r * d[0], x0[1] + r * d[1]];
+            let logits = mlp.logits(&p);
+            let true_margin = logits.at(0, label) - logits.at(0, 1 - label);
+            assert!(true_margin >= m - 1e-9, "margin bound violated");
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! A dense two-phase simplex linear-programming solver.
+//!
+//! This is the substrate for the complete robustness verifier
+//! (`deept-geocert`), which plays the role of GeoCert in the Appendix A.2
+//! comparison: it bounds output margins of ReLU networks subject to box and
+//! triangle-relaxation constraints.
+//!
+//! Scope: dense problems with a few hundred variables/constraints, finite
+//! variable bounds, minimization objective. Bland's rule guards against
+//! cycling; no effort is spent on sparse or revised-simplex performance —
+//! the verifier's LPs are small.
+//!
+//! # Example
+//!
+//! ```
+//! use deept_lp::{Constraint, Problem, Rel, Solution};
+//!
+//! // min −x − y  s.t.  x + y ≤ 1,  0 ≤ x,y ≤ 1.
+//! let p = Problem {
+//!     objective: vec![-1.0, -1.0],
+//!     constraints: vec![Constraint::new(vec![1.0, 1.0], Rel::Le, 1.0)],
+//!     bounds: vec![(0.0, 1.0), (0.0, 1.0)],
+//! };
+//! match deept_lp::solve(&p) {
+//!     Solution::Optimal { value, .. } => assert!((value + 1.0).abs() < 1e-9),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+    /// `coeffs · x = rhs`
+    Eq,
+}
+
+/// One linear constraint `coeffs · x REL rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Coefficients, one per problem variable.
+    pub coeffs: Vec<f64>,
+    /// Relation.
+    pub rel: Rel,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, rel: Rel, rhs: f64) -> Self {
+        Constraint { coeffs, rel, rhs }
+    }
+}
+
+/// A minimization LP with finite box bounds on every variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    /// Objective coefficients (minimized).
+    pub objective: Vec<f64>,
+    /// Linear constraints.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable `(lower, upper)` bounds; must be finite with
+    /// `lower ≤ upper`.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+/// The outcome of [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Solution {
+    /// An optimal vertex.
+    Optimal {
+        /// Optimal assignment.
+        x: Vec<f64>,
+        /// Objective value at `x`.
+        value: f64,
+    },
+    /// The constraint system has no feasible point.
+    Infeasible,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the problem with two-phase dense simplex.
+///
+/// Because every variable is box-bounded, the problem is never unbounded.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent or a bound is infinite/inverted.
+pub fn solve(p: &Problem) -> Solution {
+    let n = p.objective.len();
+    assert_eq!(p.bounds.len(), n, "bounds/objective length mismatch");
+    for (i, &(l, u)) in p.bounds.iter().enumerate() {
+        assert!(
+            l.is_finite() && u.is_finite() && l <= u,
+            "variable {i} has invalid bounds [{l}, {u}]"
+        );
+    }
+    for c in &p.constraints {
+        assert_eq!(c.coeffs.len(), n, "constraint arity mismatch");
+    }
+
+    // Shift x = l + x' so x' ≥ 0, and add upper-bound rows x' ≤ u − l.
+    let mut rows: Vec<(Vec<f64>, Rel, f64)> = Vec::new();
+    for c in &p.constraints {
+        let shift: f64 = c
+            .coeffs
+            .iter()
+            .zip(&p.bounds)
+            .map(|(&a, &(l, _))| a * l)
+            .sum();
+        rows.push((c.coeffs.clone(), c.rel, c.rhs - shift));
+    }
+    for (i, &(l, u)) in p.bounds.iter().enumerate() {
+        let mut coeffs = vec![0.0; n];
+        coeffs[i] = 1.0;
+        if u - l > 0.0 {
+            rows.push((coeffs, Rel::Le, u - l));
+        } else {
+            rows.push((coeffs, Rel::Eq, 0.0));
+        }
+    }
+
+    // Normalize rhs ≥ 0.
+    for row in &mut rows {
+        if row.2 < 0.0 {
+            for a in &mut row.0 {
+                *a = -*a;
+            }
+            row.2 = -row.2;
+            row.1 = match row.1 {
+                Rel::Le => Rel::Ge,
+                Rel::Ge => Rel::Le,
+                Rel::Eq => Rel::Eq,
+            };
+        }
+    }
+    let m = rows.len();
+    let n_slack = rows
+        .iter()
+        .filter(|r| matches!(r.1, Rel::Le | Rel::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|r| matches!(r.1, Rel::Ge | Rel::Eq))
+        .count();
+    let cols = n + n_slack + n_art;
+    let mut tab = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut s_idx = n;
+    let mut a_idx = n + n_slack;
+    let mut artificials = Vec::new();
+    for (r, (coeffs, rel, rhs)) in rows.iter().enumerate() {
+        tab[r][..n].copy_from_slice(coeffs);
+        tab[r][cols] = *rhs;
+        match rel {
+            Rel::Le => {
+                tab[r][s_idx] = 1.0;
+                basis[r] = s_idx;
+                s_idx += 1;
+            }
+            Rel::Ge => {
+                tab[r][s_idx] = -1.0;
+                s_idx += 1;
+                tab[r][a_idx] = 1.0;
+                basis[r] = a_idx;
+                artificials.push(a_idx);
+                a_idx += 1;
+            }
+            Rel::Eq => {
+                tab[r][a_idx] = 1.0;
+                basis[r] = a_idx;
+                artificials.push(a_idx);
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    if !artificials.is_empty() {
+        let mut cost = vec![0.0; cols];
+        for &a in &artificials {
+            cost[a] = 1.0;
+        }
+        let phase1 = run_simplex(&mut tab, &mut basis, &cost, cols);
+        if phase1 > 1e-7 {
+            return Solution::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for r in 0..m {
+            if artificials.contains(&basis[r]) {
+                if let Some(j) = (0..n + n_slack).find(|&j| tab[r][j].abs() > EPS) {
+                    pivot(&mut tab, &mut basis, r, j, cols);
+                }
+            }
+        }
+        // Erase artificial columns so phase 2 cannot re-enter them.
+        for row in tab.iter_mut() {
+            for &a in &artificials {
+                row[a] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: minimize the real objective.
+    let mut cost = vec![0.0; cols];
+    cost[..n].copy_from_slice(&p.objective);
+    let _ = run_simplex(&mut tab, &mut basis, &cost, cols);
+
+    let mut x_shift = vec![0.0; cols];
+    for (r, &b) in basis.iter().enumerate() {
+        x_shift[b] = tab[r][cols];
+    }
+    let x: Vec<f64> = (0..n).map(|i| x_shift[i] + p.bounds[i].0).collect();
+    let value: f64 = p.objective.iter().zip(&x).map(|(&c, &v)| c * v).sum();
+    Solution::Optimal { x, value }
+}
+
+/// Runs primal simplex (minimization) on the tableau with Bland's rule;
+/// returns the final objective value of `cost`.
+fn run_simplex(tab: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], cols: usize) -> f64 {
+    let m = tab.len();
+    let mut iter = 0usize;
+    let mut in_basis = vec![false; cols];
+    loop {
+        iter += 1;
+        assert!(iter < 200_000, "simplex iteration limit exceeded");
+        for b in in_basis.iter_mut() {
+            *b = false;
+        }
+        for &b in basis.iter() {
+            in_basis[b] = true;
+        }
+        let cb: Vec<f64> = basis.iter().map(|&b| cost[b]).collect();
+        // Bland's rule: enter the smallest-index column with negative
+        // reduced cost.
+        let mut entering = None;
+        for j in 0..cols {
+            if in_basis[j] {
+                continue;
+            }
+            let mut rc = cost[j];
+            for r in 0..m {
+                if cb[r] != 0.0 {
+                    rc -= cb[r] * tab[r][j];
+                }
+            }
+            if rc < -EPS {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let mut obj = 0.0;
+            for r in 0..m {
+                obj += cb[r] * tab[r][cols];
+            }
+            return obj;
+        };
+        // Ratio test (Bland tie-break on basis index).
+        let mut leave: Option<(usize, f64)> = None;
+        for r in 0..m {
+            if tab[r][j] > EPS {
+                let ratio = tab[r][cols] / tab[r][j];
+                match leave {
+                    None => leave = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < lratio - EPS
+                            || (ratio < lratio + EPS && basis[r] < basis[lr])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = leave else {
+            // Unbounded direction: impossible with box bounds, but guard by
+            // reporting the current objective.
+            let mut obj = 0.0;
+            for rr in 0..m {
+                obj += cb[rr] * tab[rr][cols];
+            }
+            return obj;
+        };
+        pivot(tab, basis, r, j, cols);
+    }
+}
+
+fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], r: usize, j: usize, cols: usize) {
+    let pv = tab[r][j];
+    debug_assert!(pv.abs() > EPS, "pivot on ~zero element");
+    for v in tab[r].iter_mut() {
+        *v /= pv;
+    }
+    for rr in 0..tab.len() {
+        if rr == r {
+            continue;
+        }
+        let f = tab[rr][j];
+        if f == 0.0 {
+            continue;
+        }
+        let (pivot_row, other_row) = if rr < r {
+            let (a, b) = tab.split_at_mut(r);
+            (&b[0], &mut a[rr])
+        } else {
+            let (a, b) = tab.split_at_mut(rr);
+            (&a[r], &mut b[0])
+        };
+        for c in 0..=cols {
+            other_row[c] -= f * pivot_row[c];
+        }
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(p: &Problem) -> (Vec<f64>, f64) {
+        match solve(p) {
+            Solution::Optimal { x, value } => (x, value),
+            Solution::Infeasible => panic!("unexpectedly infeasible"),
+        }
+    }
+
+    #[test]
+    fn simple_box_minimum() {
+        // min x − y over the unit box: x = 0, y = 1.
+        let p = Problem {
+            objective: vec![1.0, -1.0],
+            constraints: vec![],
+            bounds: vec![(0.0, 1.0), (0.0, 1.0)],
+        };
+        let (x, v) = optimal(&p);
+        assert!((v + 1.0).abs() < 1e-9);
+        assert!((x[0] - 0.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_lp() {
+        // max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 (min of negation).
+        let p = Problem {
+            objective: vec![-3.0, -5.0],
+            constraints: vec![
+                Constraint::new(vec![1.0, 0.0], Rel::Le, 4.0),
+                Constraint::new(vec![0.0, 2.0], Rel::Le, 12.0),
+                Constraint::new(vec![3.0, 2.0], Rel::Le, 18.0),
+            ],
+            bounds: vec![(0.0, 100.0), (0.0, 100.0)],
+        };
+        let (x, v) = optimal(&p);
+        assert!((v + 36.0).abs() < 1e-7, "value {v}");
+        assert!((x[0] - 2.0).abs() < 1e-7 && (x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 2, x − y = 0 → x = y = 1.
+        let p = Problem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Rel::Eq, 2.0),
+                Constraint::new(vec![1.0, -1.0], Rel::Eq, 0.0),
+            ],
+            bounds: vec![(-10.0, 10.0), (-10.0, 10.0)],
+        };
+        let (x, v) = optimal(&p);
+        assert!((v - 2.0).abs() < 1e-7);
+        assert!((x[0] - 1.0).abs() < 1e-7 && (x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_and_negative_bounds() {
+        // min y s.t. y ≥ x + 1, y ≥ −x + 1, x ∈ [−5, 5] → y = 1.
+        let p = Problem {
+            objective: vec![0.0, 1.0],
+            constraints: vec![
+                Constraint::new(vec![-1.0, 1.0], Rel::Ge, 1.0),
+                Constraint::new(vec![1.0, 1.0], Rel::Ge, 1.0),
+            ],
+            bounds: vec![(-5.0, 5.0), (-100.0, 100.0)],
+        };
+        let (_, v) = optimal(&p);
+        assert!((v - 1.0).abs() < 1e-7, "value {v}");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = Problem {
+            objective: vec![0.0],
+            constraints: vec![
+                Constraint::new(vec![1.0], Rel::Ge, 5.0),
+                Constraint::new(vec![1.0], Rel::Le, 1.0),
+            ],
+            bounds: vec![(0.0, 10.0)],
+        };
+        assert_eq!(solve(&p), Solution::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_via_bounds() {
+        let p = Problem {
+            objective: vec![1.0],
+            constraints: vec![Constraint::new(vec![1.0], Rel::Ge, 5.0)],
+            bounds: vec![(0.0, 1.0)],
+        };
+        assert_eq!(solve(&p), Solution::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_fixed_variable() {
+        let p = Problem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![Constraint::new(vec![1.0, 1.0], Rel::Ge, 2.0)],
+            bounds: vec![(1.5, 1.5), (0.0, 10.0)],
+        };
+        let (x, v) = optimal(&p);
+        assert!((x[0] - 1.5).abs() < 1e-9);
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solution_satisfies_constraints_randomized() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..6);
+            let p = Problem {
+                objective: (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                constraints: (0..m)
+                    .map(|_| {
+                        Constraint::new(
+                            (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                            [Rel::Le, Rel::Ge][rng.gen_range(0..2)],
+                            rng.gen_range(-1.0..1.0),
+                        )
+                    })
+                    .collect(),
+                bounds: vec![(-3.0, 3.0); n],
+            };
+            if let Solution::Optimal { x, value } = solve(&p) {
+                for (i, &(l, u)) in p.bounds.iter().enumerate() {
+                    assert!(x[i] >= l - 1e-6 && x[i] <= u + 1e-6);
+                }
+                for c in &p.constraints {
+                    let lhs: f64 = c.coeffs.iter().zip(&x).map(|(&a, &v)| a * v).sum();
+                    match c.rel {
+                        Rel::Le => assert!(lhs <= c.rhs + 1e-6, "{lhs} > {}", c.rhs),
+                        Rel::Ge => assert!(lhs >= c.rhs - 1e-6, "{lhs} < {}", c.rhs),
+                        Rel::Eq => assert!((lhs - c.rhs).abs() < 1e-6),
+                    }
+                }
+                // Optimality spot check: random feasible candidates are no
+                // better.
+                for _ in 0..20 {
+                    let cand: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+                    let feasible = p.constraints.iter().all(|c| {
+                        let lhs: f64 =
+                            c.coeffs.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
+                        match c.rel {
+                            Rel::Le => lhs <= c.rhs,
+                            Rel::Ge => lhs >= c.rhs,
+                            Rel::Eq => (lhs - c.rhs).abs() < 1e-9,
+                        }
+                    });
+                    if feasible {
+                        let cv: f64 =
+                            p.objective.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
+                        assert!(cv >= value - 1e-6, "found better point: {cv} < {value}");
+                    }
+                }
+            }
+        }
+    }
+}

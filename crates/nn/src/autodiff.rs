@@ -1,0 +1,624 @@
+//! A small reverse-mode automatic-differentiation tape over [`Matrix`]
+//! values.
+//!
+//! The paper trains its Transformer networks from scratch; this module is
+//! the training substrate that makes that possible without an external ML
+//! framework. It covers exactly the operation set a classification
+//! Transformer needs (matrix products, row broadcasts, softmax, layer
+//! normalization, embedding gathers, head slicing and cross-entropy loss).
+//!
+//! # Example
+//!
+//! ```
+//! use deept_nn::autodiff::Tape;
+//! use deept_tensor::Matrix;
+//!
+//! let mut t = Tape::new();
+//! let x = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = t.leaf(Matrix::from_rows(&[&[3.0], &[4.0]]));
+//! let y = t.matmul(x, w); // y = 1·3 + 2·4 = 11
+//! t.backward(y);
+//! assert_eq!(t.grad(w).as_slice(), &[1.0, 2.0]); // dy/dw = x
+//! ```
+
+use deept_tensor::{ops, Matrix};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Scale(Var, f64),
+    Hadamard(Var, Var),
+    Matmul(Var, Var),
+    MatmulTransposeB(Var, Var),
+    Relu(Var),
+    Tanh(Var),
+    SoftmaxRows(Var),
+    AddRowBroadcast(Var, Var),
+    MulRowBroadcast(Var, Var),
+    SubRowMean(Var),
+    NormalizeRowStd(Var, f64),
+    GatherRows(Var, Vec<usize>),
+    SliceCols(Var, usize, usize),
+    SliceRows(Var, usize, usize),
+    ConcatCols(Vec<Var>),
+    CrossEntropyLogits(Var, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Matrix,
+    op: Op,
+}
+
+/// A gradient tape: records every operation and replays them in reverse for
+/// back-propagation.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records an input (leaf) value. Gradients accumulate into leaves during
+    /// [`Tape::backward`].
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`Tape::backward`] target with respect to
+    /// `v`.
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].grad
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { value, grad, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn val(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    // ------------------------------------------------------------------
+    // Forward operations
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.val(a).add(self.val(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.val(a).sub(self.val(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.val(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.val(a).hadamard(self.val(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.val(a).matmul(self.val(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Matrix product `a · bᵀ` (the attention score pattern).
+    pub fn matmul_transpose_b(&mut self, a: Var, b: Var) -> Var {
+        let v = self.val(a).matmul_transpose_b(self.val(b));
+        self.push(v, Op::MatmulTransposeB(a, b))
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = ops::relu(self.val(a));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Element-wise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = ops::tanh(self.val(a));
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = ops::softmax_rows(self.val(a));
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Adds a `1 × C` bias row to every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.val(x).add_row_broadcast(self.val(bias).row(0));
+        self.push(v, Op::AddRowBroadcast(x, bias))
+    }
+
+    /// Multiplies every row of `x` element-wise by a `1 × C` weight row.
+    pub fn mul_row_broadcast(&mut self, x: Var, w: Var) -> Var {
+        let v = self.val(x).mul_row_broadcast(self.val(w).row(0));
+        self.push(v, Op::MulRowBroadcast(x, w))
+    }
+
+    /// Subtracts from every row its mean (the paper's no-std layer norm).
+    pub fn sub_row_mean(&mut self, x: Var) -> Var {
+        let m = self.val(x);
+        let means = m.row_means();
+        let mut v = m.clone();
+        for r in 0..v.rows() {
+            let mu = means[r];
+            for e in v.row_mut(r) {
+                *e -= mu;
+            }
+        }
+        self.push(v, Op::SubRowMean(x))
+    }
+
+    /// Divides every row by `sqrt(mean(row²) + eps)`. Applied after
+    /// [`Tape::sub_row_mean`] this is the standard layer normalization.
+    pub fn normalize_row_std(&mut self, x: Var, eps: f64) -> Var {
+        let m = self.val(x);
+        let mut v = m.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let ms = row.iter().map(|a| a * a).sum::<f64>() / row.len() as f64;
+            let s = (ms + eps).sqrt();
+            for e in row {
+                *e /= s;
+            }
+        }
+        self.push(v, Op::NormalizeRowStd(x, eps))
+    }
+
+    /// Gathers rows of `table` by index (embedding lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn gather_rows(&mut self, table: Var, idx: &[usize]) -> Var {
+        let t = self.val(table);
+        let mut v = Matrix::zeros(idx.len(), t.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(t.row(i));
+        }
+        self.push(v, Op::GatherRows(table, idx.to_vec()))
+    }
+
+    /// Column slice `[c0, c1)` (head split).
+    pub fn slice_cols(&mut self, x: Var, c0: usize, c1: usize) -> Var {
+        let v = self.val(x).slice_cols(c0, c1);
+        self.push(v, Op::SliceCols(x, c0, c1))
+    }
+
+    /// Row slice `[r0, r1)` (pooling).
+    pub fn slice_rows(&mut self, x: Var, r0: usize, r1: usize) -> Var {
+        let v = self.val(x).slice_rows(r0, r1);
+        self.push(v, Op::SliceRows(x, r0, r1))
+    }
+
+    /// Horizontal concatenation (head merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn concat_cols(&mut self, xs: &[Var]) -> Var {
+        assert!(!xs.is_empty(), "concat_cols of no vars");
+        let mut v = self.val(xs[0]).clone();
+        for &x in &xs[1..] {
+            v = v.hstack(self.val(x));
+        }
+        self.push(v, Op::ConcatCols(xs.to_vec()))
+    }
+
+    /// Cross-entropy of a `1 × C` logits row against `label`, as a `1 × 1`
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not a single row or `label` is out of range.
+    pub fn cross_entropy_logits(&mut self, logits: Var, label: usize) -> Var {
+        let z = self.val(logits);
+        assert_eq!(z.rows(), 1, "cross_entropy_logits expects a 1×C row");
+        assert!(label < z.cols(), "label out of range");
+        let max = z.row(0).iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+        let lse = max + z.row(0).iter().map(|&x| (x - max).exp()).sum::<f64>().ln();
+        let loss = lse - z.at(0, label);
+        self.push(
+            Matrix::from_rows(&[&[loss]]),
+            Op::CrossEntropyLogits(logits, label),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Back-propagates from `target` (which must be `1 × 1`), filling the
+    /// gradients of every node reachable from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a scalar node.
+    pub fn backward(&mut self, target: Var) {
+        assert_eq!(
+            self.nodes[target.0].value.shape(),
+            (1, 1),
+            "backward target must be scalar"
+        );
+        for n in &mut self.nodes {
+            n.grad = Matrix::zeros(n.value.rows(), n.value.cols());
+        }
+        self.nodes[target.0].grad = Matrix::from_rows(&[&[1.0]]);
+        for i in (0..=target.0).rev() {
+            let g = self.nodes[i].grad.clone();
+            if g.max_abs() == 0.0 {
+                continue;
+            }
+            match self.nodes[i].op.clone() {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&g);
+                    self.nodes[b.0].grad.add_assign(&g);
+                }
+                Op::Sub(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&g);
+                    self.nodes[b.0].grad.add_scaled_assign(&g, -1.0);
+                }
+                Op::Scale(a, s) => {
+                    self.nodes[a.0].grad.add_scaled_assign(&g, s);
+                }
+                Op::Hadamard(a, b) => {
+                    let da = g.hadamard(self.val(b));
+                    let db = g.hadamard(self.val(a));
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Matmul(a, b) => {
+                    let da = g.matmul_transpose_b(self.val(b));
+                    let db = self.val(a).transpose_a_matmul(&g);
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::MatmulTransposeB(a, b) => {
+                    // y = a bᵀ: da = g b, db = gᵀ a.
+                    let da = g.matmul(self.val(b));
+                    let db = g.transpose_a_matmul(self.val(a));
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Relu(a) => {
+                    let mask = self.val(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    self.nodes[a.0].grad.add_assign(&g.hadamard(&mask));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let d = y.map(|t| 1.0 - t * t);
+                    self.nodes[a.0].grad.add_assign(&g.hadamard(&d));
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = self.nodes[i].value.clone();
+                    let mut da = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f64 = g.row(r).iter().zip(y.row(r)).map(|(a, b)| a * b).sum();
+                        for c in 0..y.cols() {
+                            da.set(r, c, y.at(r, c) * (g.at(r, c) - dot));
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                }
+                Op::AddRowBroadcast(x, bias) => {
+                    self.nodes[x.0].grad.add_assign(&g);
+                    let sums = g.col_sums();
+                    let db = Matrix::row_vector(sums);
+                    self.nodes[bias.0].grad.add_assign(&db);
+                }
+                Op::MulRowBroadcast(x, w) => {
+                    let wv = self.val(w).row(0).to_vec();
+                    let dx = g.mul_row_broadcast(&wv);
+                    let dw = Matrix::row_vector(g.hadamard(self.val(x)).col_sums());
+                    self.nodes[x.0].grad.add_assign(&dx);
+                    self.nodes[w.0].grad.add_assign(&dw);
+                }
+                Op::SubRowMean(x) => {
+                    // Jacobian (I − J/E) is symmetric.
+                    let mut dx = g.clone();
+                    let means = dx.row_means();
+                    for r in 0..dx.rows() {
+                        let mu = means[r];
+                        for e in dx.row_mut(r) {
+                            *e -= mu;
+                        }
+                    }
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::NormalizeRowStd(x, eps) => {
+                    let xm = self.val(x).clone();
+                    let mut dx = Matrix::zeros(xm.rows(), xm.cols());
+                    for r in 0..xm.rows() {
+                        let row = xm.row(r);
+                        let e = row.len() as f64;
+                        let ms = row.iter().map(|a| a * a).sum::<f64>() / e;
+                        let s = (ms + eps).sqrt();
+                        let gx: f64 = g.row(r).iter().zip(row).map(|(a, b)| a * b).sum();
+                        for c in 0..row.len() {
+                            let v = g.at(r, c) / s - row[c] * gx / (e * s * s * s);
+                            dx.set(r, c, v);
+                        }
+                    }
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::GatherRows(table, idx) => {
+                    for (r, &src) in idx.iter().enumerate() {
+                        let grow = g.row(r).to_vec();
+                        let trow = self.nodes[table.0].grad.row_mut(src);
+                        for (t, &x) in trow.iter_mut().zip(&grow) {
+                            *t += x;
+                        }
+                    }
+                }
+                Op::SliceCols(x, c0, _c1) => {
+                    for r in 0..g.rows() {
+                        let grow = g.row(r).to_vec();
+                        let xrow = self.nodes[x.0].grad.row_mut(r);
+                        for (c, &v) in grow.iter().enumerate() {
+                            xrow[c0 + c] += v;
+                        }
+                    }
+                }
+                Op::SliceRows(x, r0, _r1) => {
+                    for r in 0..g.rows() {
+                        let grow = g.row(r).to_vec();
+                        let xrow = self.nodes[x.0].grad.row_mut(r0 + r);
+                        for (t, &v) in xrow.iter_mut().zip(&grow) {
+                            *t += v;
+                        }
+                    }
+                }
+                Op::ConcatCols(xs) => {
+                    let mut c0 = 0;
+                    for x in xs {
+                        let w = self.nodes[x.0].value.cols();
+                        let part = g.slice_cols(c0, c0 + w);
+                        self.nodes[x.0].grad.add_assign(&part);
+                        c0 += w;
+                    }
+                }
+                Op::CrossEntropyLogits(logits, label) => {
+                    let mut p = self.val(logits).clone();
+                    deept_tensor::ops::softmax_in_place(p.row_mut(0));
+                    *p.at_mut(0, label) -= 1.0;
+                    self.nodes[logits.0].grad.add_scaled_assign(&p, g.at(0, 0));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of `d loss / d input` for a scalar-producing
+    /// computation.
+    fn check_grads(build: impl Fn(&mut Tape, Var) -> Var, input: Matrix) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x).clone();
+        let h = 1e-6;
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let eval = |delta: f64| -> f64 {
+                    let mut m = input.clone();
+                    *m.at_mut(r, c) += delta;
+                    let mut t = Tape::new();
+                    let v = t.leaf(m);
+                    let l = build(&mut t, v);
+                    t.value(l).at(0, 0)
+                };
+                let num = (eval(h) - eval(-h)) / (2.0 * h);
+                let ana = analytic.at(r, c);
+                assert!(
+                    (num - ana).abs() < 1e-4 * (1.0 + num.abs()),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    fn sum_all(t: &mut Tape, x: Var) -> Var {
+        // Reduce to scalar via matmuls with ones.
+        let (r, c) = t.value(x).shape();
+        let ones_r = t.leaf(Matrix::full(1, r, 1.0));
+        let ones_c = t.leaf(Matrix::full(c, 1, 1.0));
+        let rowsum = t.matmul(ones_r, x);
+        t.matmul(rowsum, ones_c)
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let w = Matrix::from_rows(&[&[0.5, -1.0], &[2.0, 0.3], &[0.1, 0.9]]);
+        check_grads(
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let y = t.matmul(x, wv);
+                sum_all(t, y)
+            },
+            Matrix::from_rows(&[&[1.0, 2.0, -1.0], &[0.5, 0.0, 3.0]]),
+        );
+    }
+
+    #[test]
+    fn grad_matmul_transpose_b() {
+        let b = Matrix::from_rows(&[&[0.5, -1.0, 0.2], &[2.0, 0.3, -0.7]]);
+        check_grads(
+            move |t, x| {
+                let bv = t.leaf(b.clone());
+                let y = t.matmul_transpose_b(x, bv);
+                sum_all(t, y)
+            },
+            Matrix::from_rows(&[&[1.0, 2.0, -1.0], &[0.5, 0.0, 3.0]]),
+        );
+    }
+
+    #[test]
+    fn grad_softmax_attention_block() {
+        check_grads(
+            |t, x| {
+                let s = t.softmax_rows(x);
+                let y = t.matmul_transpose_b(s, x);
+                sum_all(t, y)
+            },
+            Matrix::from_rows(&[&[0.1, -0.4, 0.8], &[1.2, 0.0, -0.6], &[0.3, 0.3, 0.3]]),
+        );
+    }
+
+    #[test]
+    fn grad_elementwise_ops() {
+        check_grads(
+            |t, x| {
+                let r = t.relu(x);
+                let th = t.tanh(r);
+                let sc = t.scale(th, 1.7);
+                sum_all(t, sc)
+            },
+            Matrix::from_rows(&[&[0.5, -0.8], &[1.5, 0.2]]),
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm_ops() {
+        check_grads(
+            |t, x| {
+                let c = t.sub_row_mean(x);
+                let n = t.normalize_row_std(c, 1e-5);
+                sum_all(t, n)
+            },
+            Matrix::from_rows(&[&[0.5, -0.8, 0.1], &[1.5, 0.2, -2.0]]),
+        );
+        // Weight/bias broadcast path.
+        check_grads(
+            |t, x| {
+                let gamma = t.leaf(Matrix::from_rows(&[&[1.1, 0.9, -0.5]]));
+                let beta = t.leaf(Matrix::from_rows(&[&[0.1, -0.2, 0.3]]));
+                let c = t.sub_row_mean(x);
+                let s = t.mul_row_broadcast(c, gamma);
+                let y = t.add_row_broadcast(s, beta);
+                sum_all(t, y)
+            },
+            Matrix::from_rows(&[&[0.5, -0.8, 0.1], &[1.5, 0.2, -2.0]]),
+        );
+    }
+
+    #[test]
+    fn grad_broadcast_weights_and_bias() {
+        // Gradient w.r.t. the broadcast parameters themselves.
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        check_grads(
+            move |t, w| {
+                let xv = t.leaf(x.clone());
+                let y = t.mul_row_broadcast(xv, w);
+                sum_all(t, y)
+            },
+            Matrix::from_rows(&[&[0.5, -1.5]]),
+        );
+    }
+
+    #[test]
+    fn grad_gather_and_slice() {
+        check_grads(
+            |t, table| {
+                let g = t.gather_rows(table, &[2, 0, 2]);
+                let s = t.slice_cols(g, 1, 3);
+                let r = t.slice_rows(s, 0, 2);
+                sum_all(t, r)
+            },
+            Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]),
+        );
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        check_grads(
+            |t, x| {
+                let a = t.slice_cols(x, 0, 1);
+                let b = t.slice_cols(x, 1, 3);
+                let c = t.concat_cols(&[b, a]);
+                let th = t.tanh(c);
+                sum_all(t, th)
+            },
+            Matrix::from_rows(&[&[0.3, -0.2, 0.9]]),
+        );
+    }
+
+    #[test]
+    fn grad_cross_entropy() {
+        check_grads(
+            |t, x| t.cross_entropy_logits(x, 1),
+            Matrix::from_rows(&[&[0.2, -0.7, 1.3]]),
+        );
+    }
+
+    #[test]
+    fn cross_entropy_value_matches_definition() {
+        let mut t = Tape::new();
+        let z = t.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let l = t.cross_entropy_logits(z, 0);
+        let p0 = 1.0f64.exp() / (1.0f64.exp() + 2.0f64.exp());
+        assert!((t.value(l).at(0, 0) + p0.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::zeros(2, 2));
+        let y = t.relu(x);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut t2 = Tape::new();
+            let x2 = t2.leaf(Matrix::zeros(2, 2));
+            let y2 = t2.relu(x2);
+            t2.backward(y2);
+        }));
+        assert!(result.is_err());
+        let _ = y;
+        let _ = t;
+    }
+}

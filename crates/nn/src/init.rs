@@ -1,0 +1,39 @@
+//! Weight initialization helpers.
+
+use deept_tensor::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: entries drawn from
+/// `U(−√(6/(fan_in + fan_out)), +√(6/(fan_in + fan_out)))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound))
+}
+
+/// Small-scale normal-ish initialization for embeddings: `U(−s, s)`.
+pub fn uniform(rows: usize, cols: usize, scale: f64, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let bound = (6.0f64 / 30.0).sqrt();
+        assert!(m.max_abs() <= bound);
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn uniform_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = uniform(5, 5, 0.1, &mut rng);
+        assert!(m.max_abs() <= 0.1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Model (de)serialization helpers: trained models are cached on disk as
+//! JSON so the benchmark harness can reuse them across table binaries.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{de::DeserializeOwned, Serialize};
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem failure.
+    Fs(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Fs(e) => write!(f, "filesystem error: {e}"),
+            IoError::Json(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Fs(e) => Some(e),
+            IoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Fs(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Saves any serializable model as JSON, creating parent directories.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_json<T: Serialize>(model: &T, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string(model)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a JSON-serialized model.
+///
+/// # Errors
+///
+/// Returns [`IoError`] if the file is missing or malformed.
+pub fn load_json<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, IoError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Loads a cached model if present; otherwise builds it with `make` and
+/// saves it for next time.
+///
+/// # Errors
+///
+/// Returns [`IoError`] if saving the freshly built model fails.
+pub fn load_or_build<T: Serialize + DeserializeOwned>(
+    path: impl AsRef<Path>,
+    make: impl FnOnce() -> T,
+) -> Result<T, IoError> {
+    let path = path.as_ref();
+    if path.exists() {
+        if let Ok(model) = load_json(path) {
+            return Ok(model);
+        }
+    }
+    let model = make();
+    save_json(&model, path)?;
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Mlp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn round_trip_and_cache() {
+        let dir = std::env::temp_dir().join(format!("deept-io-test-{}", std::process::id()));
+        let path = dir.join("mlp.json");
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&[3, 4, 2], &mut rng);
+        save_json(&mlp, &path).expect("save");
+        let back: Mlp = load_json(&path).expect("load");
+        assert_eq!(mlp, back);
+        // load_or_build must hit the cache, not rebuild.
+        let cached: Mlp = load_or_build(&path, || panic!("should not rebuild")).expect("cache");
+        assert_eq!(cached, mlp);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let r: Result<Mlp, _> = load_json("/definitely/not/here.json");
+        assert!(r.is_err());
+        assert!(r.unwrap_err().to_string().contains("filesystem"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Neural networks and training for the DeepT-rs reproduction.
+//!
+//! The paper certifies *trained* encoder Transformers; this crate provides
+//! everything needed to produce them from scratch in pure Rust:
+//!
+//! * [`autodiff`] — a reverse-mode gradient tape over matrices;
+//! * [`transformer`] — the encoder Transformer for sequence classification
+//!   (§3.1 of the paper), with both layer-normalization flavours;
+//! * [`vit`] — the Vision Transformer of Appendix A.3;
+//! * [`mlp`] — the feed-forward ReLU network of Appendix A.2;
+//! * [`train`] — Adam and a mini-batch training loop over the common
+//!   [`train::Classifier`] abstraction;
+//! * [`io`] — JSON model persistence used by the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use deept_nn::mlp::Mlp;
+//! use deept_nn::train::{accuracy, train, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut model = Mlp::new(&[2, 8, 2], &mut rng);
+//! let data = vec![(vec![1.0, 1.0], 1), (vec![-1.0, -1.0], 0)];
+//! train(&mut model, &data, TrainConfig::default(), &mut rng);
+//! assert!(accuracy(&model, &data) > 0.0);
+//! ```
+
+pub mod autodiff;
+pub mod init;
+pub mod io;
+pub mod mlp;
+pub mod train;
+pub mod transformer;
+pub mod vit;
+
+pub use mlp::Mlp;
+pub use transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+pub use vit::{PatchConfig, VisionTransformer};

@@ -1,0 +1,151 @@
+//! A plain feed-forward ReLU network, used by the Appendix A.2 experiment
+//! (the GeoCert comparison on binary MNIST-like data).
+
+use deept_tensor::{ops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::autodiff::{Tape, Var};
+use crate::init;
+
+/// A fully-connected ReLU classifier: linear layers with ReLU between them
+/// and raw logits at the output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Weight matrices, layer `i` mapping `dims[i] → dims[i+1]`.
+    pub weights: Vec<Matrix>,
+    /// Biases, `1 × dims[i+1]`.
+    pub biases: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Creates a randomly initialized MLP with the given layer sizes
+    /// (`dims[0]` inputs, `dims.last()` outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(dims: &[usize], rng: &mut impl Rng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output sizes");
+        let weights = dims
+            .windows(2)
+            .map(|w| init::xavier_uniform(w[0], w[1], rng))
+            .collect();
+        let biases = dims[1..].iter().map(|&d| Matrix::zeros(1, d)).collect();
+        Mlp { weights, biases }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.weights[0].rows()
+    }
+
+    /// Output (class) dimension.
+    pub fn output_dim(&self) -> usize {
+        self.weights.last().expect("non-empty").cols()
+    }
+
+    /// Number of layers (linear maps).
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Logits for an input row vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != input_dim()`.
+    pub fn logits(&self, x: &[f64]) -> Matrix {
+        let mut h = Matrix::row_vector(x.to_vec());
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            h = h.matmul(w).add_row_broadcast(b.row(0));
+            if i + 1 < self.weights.len() {
+                h = ops::relu(&h);
+            }
+        }
+        h
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        ops::argmax(self.logits(x).row(0))
+    }
+
+    /// Trainable parameters in a stable order (`w0, b0, w1, b1, …`).
+    pub fn params(&self) -> Vec<&Matrix> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .flat_map(|(w, b)| [w, b])
+            .collect()
+    }
+
+    /// Mutable parameters, same order as [`Mlp::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        self.weights
+            .iter_mut()
+            .zip(self.biases.iter_mut())
+            .flat_map(|(w, b)| [w, b])
+            .collect()
+    }
+
+    /// Tape forward pass returning `(logits, parameter_vars)`.
+    pub fn logits_tape(&self, tape: &mut Tape, x: &[f64]) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::new();
+        let mut h = tape.leaf(Matrix::row_vector(x.to_vec()));
+        let n = self.weights.len();
+        for (i, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let wv = tape.leaf(w.clone());
+            let bv = tape.leaf(b.clone());
+            pvars.extend([wv, bv]);
+            h = tape.matmul(h, wv);
+            h = tape.add_row_broadcast(h, bv);
+            if i + 1 < n {
+                h = tape.relu(h);
+            }
+        }
+        (h, pvars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shapes_and_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mlp = Mlp::new(&[4, 8, 3], &mut rng);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        assert_eq!(mlp.num_layers(), 2);
+        let y = mlp.logits(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(y.shape(), (1, 3));
+        assert!(mlp.predict(&[0.0; 4]) < 3);
+    }
+
+    #[test]
+    fn tape_matches_concrete() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mlp = Mlp::new(&[5, 7, 7, 2], &mut rng);
+        let x = [0.3, -0.1, 0.8, 0.0, -0.9];
+        let mut tape = Tape::new();
+        let (y, pvars) = mlp.logits_tape(&mut tape, &x);
+        assert_eq!(pvars.len(), mlp.params().len());
+        let concrete = mlp.logits(&x);
+        for (a, b) in concrete.as_slice().iter().zip(tape.value(y).as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mlp = Mlp::new(&[3, 4, 2], &mut rng);
+        let json = serde_json::to_string(&mlp).expect("serialize");
+        let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(mlp, back);
+    }
+}

@@ -1,0 +1,625 @@
+//! The encoder Transformer for sequence classification (§3.1 of the paper):
+//! embedding + positional encoding, `M` layers of multi-head self-attention
+//! and feed-forward blocks with residual connections and layer
+//! normalization, followed by first-token pooling, a tanh hidden layer and a
+//! linear classifier (Figure 2 / Figure 3).
+//!
+//! Two layer-normalization variants are supported, matching the paper's
+//! experiments: the default *no-std* normalization (`x − mean`, no division
+//! by the standard deviation — §3.1, better certifiability) and the
+//! *standard* normalization used in the Table 7 study.
+
+use deept_tensor::{ops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::autodiff::{Tape, Var};
+use crate::init;
+
+/// Layer-normalization flavour (§3.1 vs §6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerNormKind {
+    /// `(x − mean) ∘ γ + β` — the paper's default.
+    NoStd,
+    /// `((x − mean)/√(var + ε)) ∘ γ + β` — standard layer norm (Table 7).
+    Std {
+        /// Variance-smoothing epsilon.
+        epsilon: f64,
+    },
+}
+
+/// Architecture hyper-parameters of a [`TransformerClassifier`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerConfig {
+    /// Vocabulary size (token models).
+    pub vocab_size: usize,
+    /// Maximum sequence length (size of the positional table).
+    pub max_len: usize,
+    /// Embedding dimension `E`.
+    pub embed_dim: usize,
+    /// Number of attention heads `A` (must divide `embed_dim`).
+    pub num_heads: usize,
+    /// Feed-forward hidden size `H`.
+    pub hidden_dim: usize,
+    /// Number of Transformer layers `M`.
+    pub num_layers: usize,
+    /// Number of output classes (2 for sentiment).
+    pub num_classes: usize,
+    /// Layer-normalization flavour.
+    pub layer_norm: LayerNormKind,
+}
+
+impl TransformerConfig {
+    /// Per-head key/value dimension `d_k = E / A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads` does not divide `embed_dim`.
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.embed_dim % self.num_heads == 0,
+            "num_heads must divide embed_dim"
+        );
+        self.embed_dim / self.num_heads
+    }
+}
+
+/// One attention head's projection matrices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionHead {
+    /// Query projection `E × d_k`.
+    pub wq: Matrix,
+    /// Key projection `E × d_k`.
+    pub wk: Matrix,
+    /// Value projection `E × d_v`.
+    pub wv: Matrix,
+}
+
+/// Multi-head self-attention block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelfAttention {
+    /// The `A` heads.
+    pub heads: Vec<AttentionHead>,
+    /// Output projection `(A·d_v) × E`.
+    pub w0: Matrix,
+    /// Output bias `1 × E`.
+    pub b0: Matrix,
+}
+
+/// Layer-normalization parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNorm {
+    /// Per-feature scale `1 × E`.
+    pub gamma: Matrix,
+    /// Per-feature shift `1 × E`.
+    pub beta: Matrix,
+}
+
+/// The position-wise feed-forward network (one hidden ReLU layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeedForward {
+    /// `E × H`.
+    pub w1: Matrix,
+    /// `1 × H`.
+    pub b1: Matrix,
+    /// `H × E`.
+    pub w2: Matrix,
+    /// `1 × E`.
+    pub b2: Matrix,
+}
+
+/// One Transformer layer (Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderLayer {
+    /// Multi-head self-attention.
+    pub attention: SelfAttention,
+    /// Normalization after the attention residual.
+    pub ln1: LayerNorm,
+    /// Feed-forward network.
+    pub ffn: FeedForward,
+    /// Normalization after the FFN residual.
+    pub ln2: LayerNorm,
+}
+
+/// Pooling + classification head (Figure 2): first-token pooling, a tanh
+/// hidden layer, then a linear classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierHead {
+    /// Pooler weight `E × E`.
+    pub wp: Matrix,
+    /// Pooler bias `1 × E`.
+    pub bp: Matrix,
+    /// Classifier weight `E × num_classes`.
+    pub wc: Matrix,
+    /// Classifier bias `1 × num_classes`.
+    pub bc: Matrix,
+}
+
+/// A full Transformer sequence classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransformerClassifier {
+    /// Hyper-parameters.
+    pub config: TransformerConfig,
+    /// Token embedding table `vocab × E`.
+    pub token_embed: Matrix,
+    /// Positional embedding table `max_len × E`.
+    pub pos_embed: Matrix,
+    /// The `M` encoder layers.
+    pub layers: Vec<EncoderLayer>,
+    /// Pooling and classification head.
+    pub head: ClassifierHead,
+}
+
+impl TransformerClassifier {
+    /// Creates a randomly initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_heads` does not divide `embed_dim`.
+    pub fn new(config: TransformerConfig, rng: &mut impl Rng) -> Self {
+        let e = config.embed_dim;
+        let dk = config.head_dim();
+        let layers = (0..config.num_layers)
+            .map(|_| EncoderLayer {
+                attention: SelfAttention {
+                    heads: (0..config.num_heads)
+                        .map(|_| AttentionHead {
+                            wq: init::xavier_uniform(e, dk, rng),
+                            wk: init::xavier_uniform(e, dk, rng),
+                            wv: init::xavier_uniform(e, dk, rng),
+                        })
+                        .collect(),
+                    w0: init::xavier_uniform(config.num_heads * dk, e, rng),
+                    b0: Matrix::zeros(1, e),
+                },
+                ln1: LayerNorm {
+                    gamma: Matrix::full(1, e, 1.0),
+                    beta: Matrix::zeros(1, e),
+                },
+                ffn: FeedForward {
+                    w1: init::xavier_uniform(e, config.hidden_dim, rng),
+                    b1: Matrix::zeros(1, config.hidden_dim),
+                    w2: init::xavier_uniform(config.hidden_dim, e, rng),
+                    b2: Matrix::zeros(1, e),
+                },
+                ln2: LayerNorm {
+                    gamma: Matrix::full(1, e, 1.0),
+                    beta: Matrix::zeros(1, e),
+                },
+            })
+            .collect();
+        TransformerClassifier {
+            token_embed: init::uniform(config.vocab_size, e, 0.5, rng),
+            pos_embed: init::uniform(config.max_len, e, 0.1, rng),
+            head: ClassifierHead {
+                wp: init::xavier_uniform(e, e, rng),
+                bp: Matrix::zeros(1, e),
+                wc: init::xavier_uniform(e, config.num_classes, rng),
+                bc: Matrix::zeros(1, config.num_classes),
+            },
+            layers,
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Concrete forward pass
+    // ------------------------------------------------------------------
+
+    /// Embeds a token sequence: token embedding + positional encoding
+    /// (`N × E`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is longer than `max_len` or a token id is out
+    /// of range.
+    pub fn embed(&self, tokens: &[usize]) -> Matrix {
+        assert!(tokens.len() <= self.config.max_len, "sequence too long");
+        let e = self.config.embed_dim;
+        let mut x = Matrix::zeros(tokens.len(), e);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.config.vocab_size, "token id out of range");
+            let row = deept_tensor::vec_add(self.token_embed.row(t), self.pos_embed.row(i));
+            x.row_mut(i).copy_from_slice(&row);
+        }
+        x
+    }
+
+    /// Runs the encoder stack on an embedded sequence.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        let mut x = x.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x, self.config.layer_norm, self.config.head_dim());
+        }
+        x
+    }
+
+    /// Pools the first output embedding and classifies it (`1 × classes`).
+    pub fn classify(&self, encoded: &Matrix) -> Matrix {
+        let pooled = encoded.slice_rows(0, 1);
+        let hidden = ops::tanh(&pooled.matmul(&self.head.wp).add_row_broadcast(self.head.bp.row(0)));
+        hidden.matmul(&self.head.wc).add_row_broadcast(self.head.bc.row(0))
+    }
+
+    /// Full forward pass: logits for a token sequence.
+    pub fn logits(&self, tokens: &[usize]) -> Matrix {
+        self.classify(&self.encode(&self.embed(tokens)))
+    }
+
+    /// Predicted class for a token sequence.
+    pub fn predict(&self, tokens: &[usize]) -> usize {
+        ops::argmax(self.logits(tokens).row(0))
+    }
+
+    // ------------------------------------------------------------------
+    // Parameter plumbing
+    // ------------------------------------------------------------------
+
+    /// All trainable parameters, in a stable order.
+    pub fn params(&self) -> Vec<&Matrix> {
+        let mut p: Vec<&Matrix> = vec![&self.token_embed, &self.pos_embed];
+        for l in &self.layers {
+            l.collect_params(&mut p);
+        }
+        p.extend([&self.head.wp, &self.head.bp, &self.head.wc, &self.head.bc]);
+        p
+    }
+
+    /// All trainable parameters, mutably, in the same order as
+    /// [`TransformerClassifier::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p: Vec<&mut Matrix> = vec![&mut self.token_embed, &mut self.pos_embed];
+        for l in &mut self.layers {
+            l.collect_params_mut(&mut p);
+        }
+        p.extend([
+            &mut self.head.wp,
+            &mut self.head.bp,
+            &mut self.head.wc,
+            &mut self.head.bc,
+        ]);
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Tape forward pass (training)
+    // ------------------------------------------------------------------
+
+    /// Like [`TransformerClassifier::logits_tape`] but starting from an
+    /// already-embedded sequence (`N × E`). The embedding tables are *not*
+    /// placed on the tape, so the returned parameter vars align with
+    /// [`TransformerClassifier::params_without_embeddings_mut`]. Used by
+    /// robust-training loops that perturb embeddings before the forward
+    /// pass.
+    pub fn logits_tape_from_embeddings(
+        &self,
+        tape: &mut Tape,
+        embedded: &Matrix,
+    ) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::new();
+        let mut x = tape.leaf(embedded.clone());
+        let dk = self.config.head_dim();
+        for layer in &self.layers {
+            x = layer.forward_tape(tape, x, self.config.layer_norm, dk, &mut pvars);
+        }
+        let wp = tape.leaf(self.head.wp.clone());
+        let bp = tape.leaf(self.head.bp.clone());
+        let wc = tape.leaf(self.head.wc.clone());
+        let bc = tape.leaf(self.head.bc.clone());
+        pvars.extend([wp, bp, wc, bc]);
+        let pooled = tape.slice_rows(x, 0, 1);
+        let h = tape.matmul(pooled, wp);
+        let h = tape.add_row_broadcast(h, bp);
+        let h = tape.tanh(h);
+        let logits = tape.matmul(h, wc);
+        let logits = tape.add_row_broadcast(logits, bc);
+        (logits, pvars)
+    }
+
+    /// Mutable parameters excluding the embedding tables, aligned with
+    /// [`TransformerClassifier::logits_tape_from_embeddings`].
+    pub fn params_without_embeddings_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p: Vec<&mut Matrix> = Vec::new();
+        for l in &mut self.layers {
+            l.collect_params_mut(&mut p);
+        }
+        p.extend([
+            &mut self.head.wp,
+            &mut self.head.bp,
+            &mut self.head.wc,
+            &mut self.head.bc,
+        ]);
+        p
+    }
+
+    /// Builds the forward computation on a tape and returns
+    /// `(logits_var, parameter_vars)` with the parameter vars aligned to
+    /// [`TransformerClassifier::params`].
+    pub fn logits_tape(&self, tape: &mut Tape, tokens: &[usize]) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::new();
+        let tok = tape.leaf(self.token_embed.clone());
+        let pos = tape.leaf(self.pos_embed.clone());
+        pvars.push(tok);
+        pvars.push(pos);
+
+        let emb = tape.gather_rows(tok, tokens);
+        let idx: Vec<usize> = (0..tokens.len()).collect();
+        let pemb = tape.gather_rows(pos, &idx);
+        let mut x = tape.add(emb, pemb);
+
+        let dk = self.config.head_dim();
+        for layer in &self.layers {
+            x = layer.forward_tape(tape, x, self.config.layer_norm, dk, &mut pvars);
+        }
+
+        let wp = tape.leaf(self.head.wp.clone());
+        let bp = tape.leaf(self.head.bp.clone());
+        let wc = tape.leaf(self.head.wc.clone());
+        let bc = tape.leaf(self.head.bc.clone());
+        pvars.extend([wp, bp, wc, bc]);
+        let pooled = tape.slice_rows(x, 0, 1);
+        let h = tape.matmul(pooled, wp);
+        let h = tape.add_row_broadcast(h, bp);
+        let h = tape.tanh(h);
+        let logits = tape.matmul(h, wc);
+        let logits = tape.add_row_broadcast(logits, bc);
+        (logits, pvars)
+    }
+}
+
+impl EncoderLayer {
+    /// Concrete forward pass of one layer.
+    pub fn forward(&self, x: &Matrix, ln: LayerNormKind, head_dim: usize) -> Matrix {
+        let z = self.attention.forward(x, head_dim);
+        let x = apply_layer_norm(&x.add(&z), &self.ln1, ln);
+        let h = ops::relu(&x.matmul(&self.ffn.w1).add_row_broadcast(self.ffn.b1.row(0)));
+        let y = h.matmul(&self.ffn.w2).add_row_broadcast(self.ffn.b2.row(0));
+        apply_layer_norm(&x.add(&y), &self.ln2, ln)
+    }
+
+    fn collect_params<'a>(&'a self, p: &mut Vec<&'a Matrix>) {
+        for h in &self.attention.heads {
+            p.extend([&h.wq, &h.wk, &h.wv]);
+        }
+        p.extend([&self.attention.w0, &self.attention.b0]);
+        p.extend([&self.ln1.gamma, &self.ln1.beta]);
+        p.extend([&self.ffn.w1, &self.ffn.b1, &self.ffn.w2, &self.ffn.b2]);
+        p.extend([&self.ln2.gamma, &self.ln2.beta]);
+    }
+
+    fn collect_params_mut<'a>(&'a mut self, p: &mut Vec<&'a mut Matrix>) {
+        for h in &mut self.attention.heads {
+            p.extend([&mut h.wq, &mut h.wk, &mut h.wv]);
+        }
+        p.extend([&mut self.attention.w0, &mut self.attention.b0]);
+        p.extend([&mut self.ln1.gamma, &mut self.ln1.beta]);
+        p.extend([
+            &mut self.ffn.w1,
+            &mut self.ffn.b1,
+            &mut self.ffn.w2,
+            &mut self.ffn.b2,
+        ]);
+        p.extend([&mut self.ln2.gamma, &mut self.ln2.beta]);
+    }
+
+    fn forward_tape(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        ln: LayerNormKind,
+        head_dim: usize,
+        pvars: &mut Vec<Var>,
+    ) -> Var {
+        // Multi-head self-attention.
+        let mut head_outputs = Vec::with_capacity(self.attention.heads.len());
+        for h in &self.attention.heads {
+            let wq = tape.leaf(h.wq.clone());
+            let wk = tape.leaf(h.wk.clone());
+            let wv = tape.leaf(h.wv.clone());
+            pvars.extend([wq, wk, wv]);
+            let q = tape.matmul(x, wq);
+            let k = tape.matmul(x, wk);
+            let v = tape.matmul(x, wv);
+            let scores = tape.matmul_transpose_b(q, k);
+            let scaled = tape.scale(scores, 1.0 / (head_dim as f64).sqrt());
+            let attn = tape.softmax_rows(scaled);
+            head_outputs.push(tape.matmul(attn, v));
+        }
+        let w0 = tape.leaf(self.attention.w0.clone());
+        let b0 = tape.leaf(self.attention.b0.clone());
+        pvars.extend([w0, b0]);
+        let merged = tape.concat_cols(&head_outputs);
+        let z = tape.matmul(merged, w0);
+        let z = tape.add_row_broadcast(z, b0);
+
+        let res1 = tape.add(x, z);
+        let x = apply_layer_norm_tape(tape, res1, &self.ln1, ln, pvars);
+
+        let w1 = tape.leaf(self.ffn.w1.clone());
+        let b1 = tape.leaf(self.ffn.b1.clone());
+        let w2 = tape.leaf(self.ffn.w2.clone());
+        let b2 = tape.leaf(self.ffn.b2.clone());
+        pvars.extend([w1, b1, w2, b2]);
+        let h = tape.matmul(x, w1);
+        let h = tape.add_row_broadcast(h, b1);
+        let h = tape.relu(h);
+        let y = tape.matmul(h, w2);
+        let y = tape.add_row_broadcast(y, b2);
+
+        let res2 = tape.add(x, y);
+        apply_layer_norm_tape(tape, res2, &self.ln2, ln, pvars)
+    }
+}
+
+impl SelfAttention {
+    /// Concrete multi-head self-attention (Eq. 1).
+    pub fn forward(&self, x: &Matrix, head_dim: usize) -> Matrix {
+        let scale = 1.0 / (head_dim as f64).sqrt();
+        let mut outputs = Vec::with_capacity(self.heads.len());
+        for h in &self.heads {
+            let q = x.matmul(&h.wq);
+            let k = x.matmul(&h.wk);
+            let v = x.matmul(&h.wv);
+            let scores = q.matmul_transpose_b(&k).scale(scale);
+            let attn = ops::softmax_rows(&scores);
+            outputs.push(attn.matmul(&v));
+        }
+        let mut merged = outputs[0].clone();
+        for o in &outputs[1..] {
+            merged = merged.hstack(o);
+        }
+        merged.matmul(&self.w0).add_row_broadcast(self.b0.row(0))
+    }
+}
+
+fn apply_layer_norm(x: &Matrix, ln: &LayerNorm, kind: LayerNormKind) -> Matrix {
+    match kind {
+        LayerNormKind::NoStd => ops::layer_norm_no_std(x, ln.gamma.row(0), ln.beta.row(0)),
+        LayerNormKind::Std { epsilon } => {
+            ops::layer_norm_std(x, ln.gamma.row(0), ln.beta.row(0), epsilon)
+        }
+    }
+}
+
+fn apply_layer_norm_tape(
+    tape: &mut Tape,
+    x: Var,
+    ln: &LayerNorm,
+    kind: LayerNormKind,
+    pvars: &mut Vec<Var>,
+) -> Var {
+    let gamma = tape.leaf(ln.gamma.clone());
+    let beta = tape.leaf(ln.beta.clone());
+    pvars.extend([gamma, beta]);
+    let centred = tape.sub_row_mean(x);
+    let normed = match kind {
+        LayerNormKind::NoStd => centred,
+        LayerNormKind::Std { epsilon } => tape.normalize_row_std(centred, epsilon),
+    };
+    let scaled = tape.mul_row_broadcast(normed, gamma);
+    tape.add_row_broadcast(scaled, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    pub(crate) fn tiny_config(ln: LayerNormKind) -> TransformerConfig {
+        TransformerConfig {
+            vocab_size: 11,
+            max_len: 8,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 12,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: ln,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let logits = model.logits(&[1, 2, 3, 4]);
+        assert_eq!(logits.shape(), (1, 2));
+        assert!(!logits.has_non_finite());
+        assert!(model.predict(&[1, 2, 3]) < 2);
+    }
+
+    #[test]
+    fn tape_forward_matches_concrete_forward() {
+        for ln in [LayerNormKind::NoStd, LayerNormKind::Std { epsilon: 1e-5 }] {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let model = TransformerClassifier::new(tiny_config(ln), &mut rng);
+            let tokens = [3usize, 7, 1, 0, 9];
+            let concrete = model.logits(&tokens);
+            let mut tape = Tape::new();
+            let (logits, pvars) = model.logits_tape(&mut tape, &tokens);
+            assert_eq!(pvars.len(), model.params().len());
+            let taped = tape.value(logits);
+            for (a, b) in concrete.as_slice().iter().zip(taped.as_slice()) {
+                assert!((a - b).abs() < 1e-10, "tape/concrete divergence: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn params_round_trip_order() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let shapes: Vec<(usize, usize)> = model.params().iter().map(|m| m.shape()).collect();
+        let shapes_mut: Vec<(usize, usize)> =
+            model.params_mut().iter().map(|m| m.shape()).collect();
+        assert_eq!(shapes, shapes_mut);
+        // 2 embeddings + per layer (3·heads + 2 attn + 2 ln + 4 ffn + 2 ln) + 4 head
+        let per_layer = 3 * 2 + 2 + 2 + 4 + 2;
+        assert_eq!(shapes.len(), 2 + 2 * per_layer + 4);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let mut tape = Tape::new();
+        let (logits, pvars) = model.logits_tape(&mut tape, &[1, 2, 3]);
+        let loss = tape.cross_entropy_logits(logits, 0);
+        tape.backward(loss);
+        let mut nonzero = 0;
+        for &v in &pvars {
+            if tape.grad(v).max_abs() > 0.0 {
+                nonzero += 1;
+            }
+        }
+        // Everything except possibly unused embedding rows must receive
+        // gradient; we require the vast majority to be non-zero.
+        assert!(
+            nonzero as f64 >= 0.9 * pvars.len() as f64,
+            "only {nonzero}/{} params got gradient",
+            pvars.len()
+        );
+    }
+
+    #[test]
+    fn tape_from_embeddings_matches_full_pipeline() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let tokens = [2usize, 4, 6];
+        let emb = model.embed(&tokens);
+        let mut tape = Tape::new();
+        let (logits, pvars) = model.logits_tape_from_embeddings(&mut tape, &emb);
+        let concrete = model.logits(&tokens);
+        for (a, b) in concrete.as_slice().iter().zip(tape.value(logits).as_slice()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Parameter alignment with the embedding-free mutable view.
+        let shapes: Vec<(usize, usize)> =
+            pvars.iter().map(|&v| tape.value(v).shape()).collect();
+        let expected: Vec<(usize, usize)> = model
+            .params_without_embeddings_mut()
+            .iter()
+            .map(|m| m.shape())
+            .collect();
+        assert_eq!(shapes, expected);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let json = serde_json::to_string(&model).expect("serialize");
+        let back: TransformerClassifier = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence too long")]
+    fn embed_rejects_long_sequences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = TransformerClassifier::new(tiny_config(LayerNormKind::NoStd), &mut rng);
+        let tokens: Vec<usize> = vec![0; 9];
+        let _ = model.embed(&tokens);
+    }
+}

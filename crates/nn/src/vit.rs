@@ -1,0 +1,359 @@
+//! A Vision Transformer for image classification (Appendix A.3): the image
+//! is split into square patches, each patch is linearly embedded and given a
+//! positional encoding, and the resulting token sequence runs through the
+//! same encoder stack and classification head as the NLP model.
+
+use deept_tensor::{ops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::autodiff::{Tape, Var};
+use crate::init;
+use crate::transformer::{ClassifierHead, EncoderLayer, LayerNormKind, TransformerConfig};
+
+/// Patch-embedding geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchConfig {
+    /// Image height in pixels.
+    pub image_h: usize,
+    /// Image width in pixels.
+    pub image_w: usize,
+    /// Side length of the square patches (must divide both dimensions).
+    pub patch: usize,
+}
+
+impl PatchConfig {
+    /// Number of patch tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch size does not divide the image dimensions.
+    pub fn num_tokens(&self) -> usize {
+        assert!(
+            self.image_h % self.patch == 0 && self.image_w % self.patch == 0,
+            "patch size must divide image dimensions"
+        );
+        (self.image_h / self.patch) * (self.image_w / self.patch)
+    }
+
+    /// Flattened patch dimension.
+    pub fn patch_dim(&self) -> usize {
+        self.patch * self.patch
+    }
+
+    /// Extracts the patch matrix (`tokens × patch_dim`) of an image given
+    /// row-major pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != image_h * image_w`.
+    pub fn patches(&self, pixels: &[f64]) -> Matrix {
+        assert_eq!(pixels.len(), self.image_h * self.image_w, "pixel count mismatch");
+        let ph = self.image_h / self.patch;
+        let pw = self.image_w / self.patch;
+        let mut out = Matrix::zeros(ph * pw, self.patch_dim());
+        for pr in 0..ph {
+            for pc in 0..pw {
+                let row = out.row_mut(pr * pw + pc);
+                for dy in 0..self.patch {
+                    for dx in 0..self.patch {
+                        let y = pr * self.patch + dy;
+                        let x = pc * self.patch + dx;
+                        row[dy * self.patch + dx] = pixels[y * self.image_w + x];
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A Vision Transformer classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VisionTransformer {
+    /// Encoder hyper-parameters (`vocab_size` is unused).
+    pub config: TransformerConfig,
+    /// Patch geometry.
+    pub patches: PatchConfig,
+    /// Patch embedding `patch_dim × E`.
+    pub patch_w: Matrix,
+    /// Patch embedding bias `1 × E`.
+    pub patch_b: Matrix,
+    /// Positional embedding `tokens × E`.
+    pub pos_embed: Matrix,
+    /// Encoder layers.
+    pub layers: Vec<EncoderLayer>,
+    /// Pooling and classification head.
+    pub head: ClassifierHead,
+}
+
+impl VisionTransformer {
+    /// Creates a randomly initialized Vision Transformer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patch size does not divide the image dimensions or the
+    /// head count does not divide the embedding size.
+    pub fn new(config: TransformerConfig, patches: PatchConfig, rng: &mut impl Rng) -> Self {
+        let e = config.embed_dim;
+        // Reuse the NLP constructor for the encoder stack and head.
+        let proto = crate::transformer::TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 1,
+                max_len: patches.num_tokens(),
+                ..config.clone()
+            },
+            rng,
+        );
+        VisionTransformer {
+            patch_w: init::xavier_uniform(patches.patch_dim(), e, rng),
+            patch_b: Matrix::zeros(1, e),
+            pos_embed: init::uniform(patches.num_tokens(), e, 0.1, rng),
+            layers: proto.layers,
+            head: proto.head,
+            config,
+            patches,
+        }
+    }
+
+    /// Embeds an image into its token sequence (`tokens × E`).
+    pub fn embed(&self, pixels: &[f64]) -> Matrix {
+        let p = self.patches.patches(pixels);
+        p.matmul(&self.patch_w)
+            .add_row_broadcast(self.patch_b.row(0))
+            .add(&self.pos_embed)
+    }
+
+    /// Runs the encoder stack on embedded patches.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        let mut x = x.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x, self.config.layer_norm, self.config.head_dim());
+        }
+        x
+    }
+
+    /// Pools and classifies.
+    pub fn classify(&self, encoded: &Matrix) -> Matrix {
+        let pooled = encoded.slice_rows(0, 1);
+        let hidden =
+            ops::tanh(&pooled.matmul(&self.head.wp).add_row_broadcast(self.head.bp.row(0)));
+        hidden.matmul(&self.head.wc).add_row_broadcast(self.head.bc.row(0))
+    }
+
+    /// Logits for a raw image.
+    pub fn logits(&self, pixels: &[f64]) -> Matrix {
+        self.classify(&self.encode(&self.embed(pixels)))
+    }
+
+    /// Predicted class.
+    pub fn predict(&self, pixels: &[f64]) -> usize {
+        ops::argmax(self.logits(pixels).row(0))
+    }
+
+    /// Trainable parameters in a stable order.
+    pub fn params(&self) -> Vec<&Matrix> {
+        let mut p: Vec<&Matrix> = vec![&self.patch_w, &self.patch_b, &self.pos_embed];
+        for l in &self.layers {
+            let mut lp: Vec<&Matrix> = Vec::new();
+            for h in &l.attention.heads {
+                lp.extend([&h.wq, &h.wk, &h.wv]);
+            }
+            lp.extend([&l.attention.w0, &l.attention.b0]);
+            lp.extend([&l.ln1.gamma, &l.ln1.beta]);
+            lp.extend([&l.ffn.w1, &l.ffn.b1, &l.ffn.w2, &l.ffn.b2]);
+            lp.extend([&l.ln2.gamma, &l.ln2.beta]);
+            p.extend(lp);
+        }
+        p.extend([&self.head.wp, &self.head.bp, &self.head.wc, &self.head.bc]);
+        p
+    }
+
+    /// Mutable parameters, same order as [`VisionTransformer::params`].
+    pub fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p: Vec<&mut Matrix> =
+            vec![&mut self.patch_w, &mut self.patch_b, &mut self.pos_embed];
+        for l in &mut self.layers {
+            for h in &mut l.attention.heads {
+                p.extend([&mut h.wq, &mut h.wk, &mut h.wv]);
+            }
+            p.extend([&mut l.attention.w0, &mut l.attention.b0]);
+            p.extend([&mut l.ln1.gamma, &mut l.ln1.beta]);
+            p.extend([&mut l.ffn.w1, &mut l.ffn.b1, &mut l.ffn.w2, &mut l.ffn.b2]);
+            p.extend([&mut l.ln2.gamma, &mut l.ln2.beta]);
+        }
+        p.extend([
+            &mut self.head.wp,
+            &mut self.head.bp,
+            &mut self.head.wc,
+            &mut self.head.bc,
+        ]);
+        p
+    }
+
+    /// Tape forward pass returning `(logits, parameter_vars)`.
+    pub fn logits_tape(&self, tape: &mut Tape, pixels: &[f64]) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::new();
+        let pw = tape.leaf(self.patch_w.clone());
+        let pb = tape.leaf(self.patch_b.clone());
+        let pos = tape.leaf(self.pos_embed.clone());
+        pvars.extend([pw, pb, pos]);
+        let patches = tape.leaf(self.patches.patches(pixels));
+        let emb = tape.matmul(patches, pw);
+        let emb = tape.add_row_broadcast(emb, pb);
+        let mut x = tape.add(emb, pos);
+
+        let dk = self.config.head_dim();
+        for layer in &self.layers {
+            x = layer_forward_tape(layer, tape, x, self.config.layer_norm, dk, &mut pvars);
+        }
+
+        let wp = tape.leaf(self.head.wp.clone());
+        let bp = tape.leaf(self.head.bp.clone());
+        let wc = tape.leaf(self.head.wc.clone());
+        let bc = tape.leaf(self.head.bc.clone());
+        pvars.extend([wp, bp, wc, bc]);
+        let pooled = tape.slice_rows(x, 0, 1);
+        let h = tape.matmul(pooled, wp);
+        let h = tape.add_row_broadcast(h, bp);
+        let h = tape.tanh(h);
+        let logits = tape.matmul(h, wc);
+        let logits = tape.add_row_broadcast(logits, bc);
+        (logits, pvars)
+    }
+}
+
+/// Mirrors `EncoderLayer::forward_tape`, which is crate-private to the
+/// transformer module; re-implemented here on the public pieces.
+fn layer_forward_tape(
+    layer: &EncoderLayer,
+    tape: &mut Tape,
+    x: Var,
+    ln: LayerNormKind,
+    head_dim: usize,
+    pvars: &mut Vec<Var>,
+) -> Var {
+    let mut head_outputs = Vec::with_capacity(layer.attention.heads.len());
+    for h in &layer.attention.heads {
+        let wq = tape.leaf(h.wq.clone());
+        let wk = tape.leaf(h.wk.clone());
+        let wv = tape.leaf(h.wv.clone());
+        pvars.extend([wq, wk, wv]);
+        let q = tape.matmul(x, wq);
+        let k = tape.matmul(x, wk);
+        let v = tape.matmul(x, wv);
+        let scores = tape.matmul_transpose_b(q, k);
+        let scaled = tape.scale(scores, 1.0 / (head_dim as f64).sqrt());
+        let attn = tape.softmax_rows(scaled);
+        head_outputs.push(tape.matmul(attn, v));
+    }
+    let w0 = tape.leaf(layer.attention.w0.clone());
+    let b0 = tape.leaf(layer.attention.b0.clone());
+    pvars.extend([w0, b0]);
+    let merged = tape.concat_cols(&head_outputs);
+    let z = tape.matmul(merged, w0);
+    let z = tape.add_row_broadcast(z, b0);
+
+    let res1 = tape.add(x, z);
+    let x = ln_tape(tape, res1, &layer.ln1, ln, pvars);
+
+    let w1 = tape.leaf(layer.ffn.w1.clone());
+    let b1 = tape.leaf(layer.ffn.b1.clone());
+    let w2 = tape.leaf(layer.ffn.w2.clone());
+    let b2 = tape.leaf(layer.ffn.b2.clone());
+    pvars.extend([w1, b1, w2, b2]);
+    let h = tape.matmul(x, w1);
+    let h = tape.add_row_broadcast(h, b1);
+    let h = tape.relu(h);
+    let y = tape.matmul(h, w2);
+    let y = tape.add_row_broadcast(y, b2);
+
+    let res2 = tape.add(x, y);
+    ln_tape(tape, res2, &layer.ln2, ln, pvars)
+}
+
+fn ln_tape(
+    tape: &mut Tape,
+    x: Var,
+    ln: &crate::transformer::LayerNorm,
+    kind: LayerNormKind,
+    pvars: &mut Vec<Var>,
+) -> Var {
+    let gamma = tape.leaf(ln.gamma.clone());
+    let beta = tape.leaf(ln.beta.clone());
+    pvars.extend([gamma, beta]);
+    let centred = tape.sub_row_mean(x);
+    let normed = match kind {
+        LayerNormKind::NoStd => centred,
+        LayerNormKind::Std { epsilon } => tape.normalize_row_std(centred, epsilon),
+    };
+    let scaled = tape.mul_row_broadcast(normed, gamma);
+    tape.add_row_broadcast(scaled, beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_vit() -> VisionTransformer {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        VisionTransformer::new(
+            TransformerConfig {
+                vocab_size: 0,
+                max_len: 16,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 16,
+                num_layers: 1,
+                num_classes: 10,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            PatchConfig {
+                image_h: 8,
+                image_w: 8,
+                patch: 4,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn patch_extraction_layout() {
+        let cfg = PatchConfig {
+            image_h: 4,
+            image_w: 4,
+            patch: 2,
+        };
+        assert_eq!(cfg.num_tokens(), 4);
+        let pixels: Vec<f64> = (0..16).map(|x| x as f64).collect();
+        let p = cfg.patches(&pixels);
+        // Top-left patch: pixels (0,0),(0,1),(1,0),(1,1) = 0,1,4,5.
+        assert_eq!(p.row(0), &[0.0, 1.0, 4.0, 5.0]);
+        // Bottom-right patch: 10,11,14,15.
+        assert_eq!(p.row(3), &[10.0, 11.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let vit = tiny_vit();
+        let pixels = vec![0.5; 64];
+        let logits = vit.logits(&pixels);
+        assert_eq!(logits.shape(), (1, 10));
+        assert!(!logits.has_non_finite());
+    }
+
+    #[test]
+    fn tape_matches_concrete() {
+        let vit = tiny_vit();
+        let pixels: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let concrete = vit.logits(&pixels);
+        let mut tape = Tape::new();
+        let (y, pvars) = vit.logits_tape(&mut tape, &pixels);
+        assert_eq!(pvars.len(), vit.params().len());
+        for (a, b) in concrete.as_slice().iter().zip(tape.value(y).as_slice()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

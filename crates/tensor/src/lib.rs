@@ -1,0 +1,53 @@
+//! Dense `f64` matrix and vector algebra.
+//!
+//! This crate is the numerical substrate of the DeepT-rs workspace. It
+//! provides a row-major dense [`Matrix`] with the operations required by
+//! both the concrete Transformer networks (`deept-nn`) and the Multi-norm
+//! Zonotope abstract domain (`deept-core`): matrix products (including
+//! transposed variants), element-wise maps, row/column views, norms and
+//! stacking.
+//!
+//! Everything is `f64`: certification must over-approximate real arithmetic
+//! and the extra mantissa bits of `f64` keep the (undocumented-in-the-paper)
+//! floating-point slack negligible at the scales we evaluate.
+//!
+//! # Example
+//!
+//! ```
+//! use deept_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! assert_eq!(a.row(1), &[3.0, 4.0]);
+//! ```
+
+mod matrix;
+pub mod ops;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use vector::{
+    dot, l1_norm, l2_norm, linf_norm, lp_norm, scale as vec_scale, vec_add, vec_sub,
+};
+
+/// Error produced by shape-checked fallible constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    msg: String,
+}
+
+impl ShapeError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shape mismatch: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ShapeError {}

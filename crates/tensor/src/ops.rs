@@ -1,0 +1,162 @@
+//! Concrete (non-abstract) neural-network primitives over [`Matrix`].
+//!
+//! These implement the exact forward semantics that the abstract
+//! transformers of `deept-core` over-approximate; the soundness test suites
+//! compare abstract outputs against these functions.
+
+use crate::Matrix;
+
+/// Element-wise ReLU.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Element-wise tanh.
+pub fn tanh(m: &Matrix) -> Matrix {
+    m.map(f64::tanh)
+}
+
+/// Element-wise exponential.
+pub fn exp(m: &Matrix) -> Matrix {
+    m.map(f64::exp)
+}
+
+/// Row-wise numerically-stable softmax.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Numerically-stable softmax of a single slice, in place.
+pub fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// The paper's layer normalization *without* division by the standard
+/// deviation (§3.1): each row is centred to zero mean, then scaled by
+/// `gamma` and shifted by `beta` per feature.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `m.cols()`.
+pub fn layer_norm_no_std(m: &Matrix, gamma: &[f64], beta: &[f64]) -> Matrix {
+    assert_eq!(gamma.len(), m.cols());
+    assert_eq!(beta.len(), m.cols());
+    let means = m.row_means();
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let mean = means[r];
+        for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+            *v = (*v - mean) * gamma[c] + beta[c];
+        }
+    }
+    out
+}
+
+/// Standard layer normalization (with division by the standard deviation),
+/// used by the Table 7 experiment.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `m.cols()`.
+pub fn layer_norm_std(m: &Matrix, gamma: &[f64], beta: &[f64], epsilon: f64) -> Matrix {
+    assert_eq!(gamma.len(), m.cols());
+    assert_eq!(beta.len(), m.cols());
+    let means = m.row_means();
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let mean = means[r];
+        let row = out.row_mut(r);
+        let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / row.len() as f64;
+        let denom = (var + epsilon).sqrt();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) / denom * gamma[c] + beta[c];
+        }
+    }
+    out
+}
+
+/// Index of the maximum entry of a slice (first on ties).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn argmax(v: &[f64]) -> usize {
+    assert!(!v.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_tanh() {
+        let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        assert_eq!(relu(&m), Matrix::from_rows(&[&[0.0, 2.0]]));
+        assert!((tanh(&m).at(0, 1) - 2.0f64.tanh()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[100.0, 100.0, 100.0]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!(s.at(0, 2) > s.at(0, 1) && s.at(0, 1) > s.at(0, 0));
+        assert!((s.at(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = [1000.0, 1001.0];
+        softmax_in_place(&mut a);
+        let mut b = [0.0, 1.0];
+        softmax_in_place(&mut b);
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        assert!(a.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn layer_norm_no_std_centres_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[10.0, -10.0]]);
+        let out = layer_norm_no_std(&m, &[1.0, 1.0], &[0.0, 0.0]);
+        assert_eq!(out, Matrix::from_rows(&[&[-1.0, 1.0], &[10.0, -10.0]]));
+        let out2 = layer_norm_no_std(&m, &[2.0, 2.0], &[1.0, 1.0]);
+        assert_eq!(out2, Matrix::from_rows(&[&[-1.0, 3.0], &[21.0, -19.0]]));
+    }
+
+    #[test]
+    fn layer_norm_std_normalizes_variance() {
+        let m = Matrix::from_rows(&[&[0.0, 2.0, 4.0, 6.0]]);
+        let out = layer_norm_std(&m, &[1.0; 4], &[0.0; 4], 0.0);
+        let mean: f64 = out.row(0).iter().sum::<f64>() / 4.0;
+        let var: f64 = out.row(0).iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Free functions over `&[f64]` vectors.
+//!
+//! These are used pervasively by the abstract domain, where per-variable
+//! coefficient rows are plain slices.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// ℓ1 norm (sum of absolute values).
+pub fn l1_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// ℓ2 (Euclidean) norm.
+pub fn l2_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// ℓ∞ norm (maximum absolute value); `0.0` for an empty slice.
+pub fn linf_norm(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// General ℓp norm for `p ≥ 1`; `p = f64::INFINITY` gives the max norm.
+///
+/// # Panics
+///
+/// Panics if `p < 1`.
+pub fn lp_norm(a: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "lp_norm requires p >= 1, got {p}");
+    if p.is_infinite() {
+        linf_norm(a)
+    } else if p == 1.0 {
+        l1_norm(a)
+    } else if p == 2.0 {
+        l2_norm(a)
+    } else {
+        a.iter().map(|x| x.abs().powf(p)).sum::<f64>().powf(1.0 / p)
+    }
+}
+
+/// Element-wise sum.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn vec_add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_add length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Element-wise difference.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn vec_sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_sub length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Copy scaled by `s`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|&x| x * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let v = [3.0, -4.0];
+        assert_eq!(l1_norm(&v), 7.0);
+        assert_eq!(l2_norm(&v), 5.0);
+        assert_eq!(linf_norm(&v), 4.0);
+        assert_eq!(lp_norm(&v, 1.0), 7.0);
+        assert_eq!(lp_norm(&v, 2.0), 5.0);
+        assert_eq!(lp_norm(&v, f64::INFINITY), 4.0);
+        // p = 3 checked against a hand computation.
+        let p3 = (27.0f64 + 64.0).powf(1.0 / 3.0);
+        assert!((lp_norm(&v, 3.0) - p3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_norms_are_zero() {
+        assert_eq!(l1_norm(&[]), 0.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+        assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(vec_add(&[1.0], &[2.0]), vec![3.0]);
+        assert_eq!(vec_sub(&[1.0], &[2.0]), vec![-1.0]);
+        assert_eq!(scale(&[1.0, -2.0], -2.0), vec![-2.0, 4.0]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the matrix substrate: algebraic identities that the
+//! abstract domain silently relies on.
+
+use deept_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix(3, 4),
+        b in matrix(4, 2),
+        c in matrix(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(2, 4)) {
+        // a · bᵀ computed directly equals the explicit transpose product.
+        let direct = a.matmul_transpose_b(&b);
+        let explicit = a.matmul(&b.transpose());
+        prop_assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn hstack_slice_round_trip(a in matrix(3, 2), b in matrix(3, 4)) {
+        let h = a.hstack(&b);
+        prop_assert_eq!(h.slice_cols(0, 2), a);
+        prop_assert_eq!(h.slice_cols(2, 6), b);
+    }
+
+    #[test]
+    fn vecmat_matches_matvec_of_transpose(a in matrix(3, 4), v in proptest::collection::vec(-5.0f64..5.0, 3)) {
+        let lhs = a.vecmat(&v);
+        let rhs = a.transpose().matvec(&v);
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_abs_sums_bound_row_sums(a in matrix(4, 4)) {
+        for (abs, plain) in a.row_abs_sums().iter().zip(a.row_sums()) {
+            prop_assert!(*abs + 1e-12 >= plain.abs());
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Randomized adversarial search inside a perturbation region.
+//!
+//! Not part of the certification pipeline — this is the *falsification*
+//! counterpart used by the test suites and experiments: a certified region
+//! must never contain a point this attack can find, and the gap between the
+//! certified radius and the smallest successful attack radius measures
+//! verifier tightness.
+
+use deept_core::PNorm;
+use deept_nn::TransformerClassifier;
+use deept_tensor::Matrix;
+use rand::Rng;
+
+/// Attempts to flip the classification of `tokens` by perturbing the
+/// embedding at `position` within an ℓp ball of `radius`, using random
+/// sampling plus coordinate-sign probing.
+///
+/// Returns the adversarial embedding matrix if an attack is found.
+pub fn attack_t1(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    position: usize,
+    radius: f64,
+    p: PNorm,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Option<Matrix> {
+    let emb = model.embed(tokens);
+    let label = model.predict(tokens);
+    let e = emb.cols();
+    let classify = |x: &Matrix| -> usize {
+        deept_tensor::ops::argmax(model.classify(&model.encode(x)).row(0))
+    };
+    let try_delta = |delta: &[f64]| -> Option<Matrix> {
+        let mut x = emb.clone();
+        for (d, &dv) in delta.iter().enumerate() {
+            *x.at_mut(position, d) += dv;
+        }
+        (classify(&x) != label).then_some(x)
+    };
+    for s in 0..samples {
+        let mut delta: Vec<f64> = (0..e).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        if s % 2 == 0 {
+            // Half the samples probe the sphere's surface (extreme points).
+            for d in &mut delta {
+                *d = d.signum();
+            }
+        }
+        let n = p.norm(&delta).max(1e-12);
+        for d in &mut delta {
+            *d *= radius / n;
+        }
+        if let Some(adv) = try_delta(&delta) {
+            return Some(adv);
+        }
+    }
+    None
+}
+
+/// Smallest radius (within the budget) at which [`attack_t1`] succeeds,
+/// searched over a geometric grid. Returns `None` if no attack is found up
+/// to `max_radius`. Upper-bounds the true robustness radius.
+pub fn min_attack_radius(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    position: usize,
+    max_radius: f64,
+    p: PNorm,
+    samples_per_radius: usize,
+    rng: &mut impl Rng,
+) -> Option<f64> {
+    let mut r = max_radius;
+    let mut found = None;
+    for _ in 0..24 {
+        if attack_t1(model, tokens, position, r, p, samples_per_radius, rng).is_some() {
+            found = Some(r);
+            r *= 0.8;
+        } else {
+            break;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_nn::transformer::{LayerNormKind, TransformerConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn model() -> TransformerClassifier {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 10,
+                max_len: 5,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 8,
+                num_layers: 1,
+                num_classes: 2,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn huge_radius_finds_attacks_tiny_radius_does_not() {
+        let m = model();
+        let tokens = [1usize, 2, 3];
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // A random network almost surely flips under enormous perturbations.
+        let big = attack_t1(&m, &tokens, 0, 1000.0, PNorm::L2, 200, &mut rng);
+        assert!(big.is_some(), "no attack found even at radius 1000");
+        let tiny = attack_t1(&m, &tokens, 0, 1e-9, PNorm::L2, 50, &mut rng);
+        assert!(tiny.is_none(), "attack at an infinitesimal radius");
+    }
+
+    #[test]
+    fn attack_respects_the_ball() {
+        let m = model();
+        let tokens = [1usize, 2, 3];
+        let emb = m.embed(&tokens);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        if let Some(adv) = attack_t1(&m, &tokens, 1, 0.7, PNorm::L2, 400, &mut rng) {
+            let delta = deept_tensor::vec_sub(adv.row(1), emb.row(1));
+            assert!(deept_tensor::l2_norm(&delta) <= 0.7 + 1e-9);
+            // Unattacked rows are untouched.
+            assert_eq!(adv.row(0), emb.row(0));
+        }
+    }
+}

@@ -1,0 +1,1053 @@
+//! CROWN-style linear-relaxation baselines (the paper's comparison points,
+//! [47]) plus interval bound propagation.
+//!
+//! Every variable carries *linear* lower/upper bounds in the input
+//! perturbation symbols `δ`:
+//! `lw·δ + lb ≤ x ≤ uw·δ + ub`, concretized through the dual norm of the
+//! input region. Nonlinearities substitute sound linear relaxation lines;
+//! products use McCormick envelopes; the softmax is composed as
+//! `exp → sum → reciprocal → multiply` — the baseline's composition (§5.4),
+//! *not* DeepT's favourable rewriting.
+//!
+//! Three collapse policies realize the three baselines:
+//!
+//! * [`CollapsePolicy::Never`] — bounds stay linear in `δ` end-to-end,
+//!   i.e. every concretization is a full backsubstitution to the input.
+//!   This plays the role of **CROWN-Backward**. (Deviation from the
+//!   original: we maintain input-linear forms eagerly rather than running a
+//!   per-neuron backward pass, so our memory/time do not blow up the way
+//!   the paper reports for large sentences; precision behaviour matches.)
+//! * [`CollapsePolicy::PerLayer`] — at every layer boundary the bound basis
+//!   is *re-based*: the current variables' concrete intervals become a
+//!   fresh box of input symbols, so relational information is kept within
+//!   a layer but not across layers. This models CROWN-BaF's early-stopped
+//!   backsubstitution: identical to Backward at depth 1, degrading with
+//!   depth — the paper's observed behaviour.
+//! * [`CollapsePolicy::Always`] — collapse after every operation: plain
+//!   interval bound propagation (IBP), a sanity baseline.
+
+use deept_core::elementwise::{
+    exp_relaxation, reciprocal_relaxation, sqrt_relaxation, tanh_relaxation,
+};
+use deept_core::PNorm;
+use deept_nn::transformer::{EncoderLayer, LayerNorm, LayerNormKind};
+use deept_tensor::Matrix;
+
+use crate::network::{CertResult, VerifiableTransformer};
+
+/// When linear bounds are collapsed to constant intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollapsePolicy {
+    /// Never collapse: full input-linear bounds end-to-end (a forward
+    /// LiRPA-style analysis).
+    Never,
+    /// Re-base the symbol basis at every layer boundary (CROWN-BaF role).
+    PerLayer,
+    /// Run both [`CollapsePolicy::Never`] and [`CollapsePolicy::PerLayer`]
+    /// and keep the tighter margin per query (CROWN-Backward role: true
+    /// backsubstitution dominates both forward analyses; taking their meet
+    /// is our sound, slower stand-in — see DESIGN.md).
+    Best,
+    /// Collapse after every operation (interval propagation).
+    Always,
+}
+
+/// The input perturbation region for the linear domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrownInput {
+    /// Embedded sequence center (`N × E`).
+    pub center: Matrix,
+    /// `(flat variable index, radius)` of each perturbation symbol.
+    pub symbols: Vec<(usize, f64)>,
+    /// Norm jointly bounding the symbols (for `p ∈ {1,2}` all radii must be
+    /// equal; for `p = ∞` the region is a box with per-symbol radii).
+    pub p: PNorm,
+}
+
+impl CrownInput {
+    /// T1: an ℓp ball of `radius` around the word at `position`.
+    pub fn t1(center: &Matrix, position: usize, radius: f64, p: PNorm) -> Self {
+        let e = center.cols();
+        let symbols = (0..e).map(|d| (position * e + d, radius)).collect();
+        CrownInput {
+            center: center.clone(),
+            symbols,
+            p,
+        }
+    }
+
+    /// T2: a per-dimension box (`p = ∞`) with the given radii over flat
+    /// variable indices.
+    pub fn boxed(center: &Matrix, radii: &[(usize, f64)]) -> Self {
+        CrownInput {
+            center: center.clone(),
+            symbols: radii.to_vec(),
+            p: PNorm::Linf,
+        }
+    }
+
+    /// `sup { w · δ }` over the region, for a coefficient row `w` aligned
+    /// with `symbols`.
+    fn sup(&self, w: &[f64]) -> f64 {
+        match self.p {
+            PNorm::Linf => w
+                .iter()
+                .zip(&self.symbols)
+                .map(|(&c, &(_, r))| c.abs() * r)
+                .sum(),
+            p => {
+                let r = self.symbols.first().map_or(0.0, |&(_, r)| r);
+                debug_assert!(
+                    self.symbols.iter().all(|&(_, ri)| (ri - r).abs() < 1e-12),
+                    "lp ball requires uniform radii"
+                );
+                r * p.dual_norm(w)
+            }
+        }
+    }
+}
+
+/// Linear lower/upper bounds of a matrix of variables in the input symbols.
+#[derive(Debug, Clone)]
+pub struct LinBounds {
+    rows: usize,
+    cols: usize,
+    lw: Matrix,
+    lb: Vec<f64>,
+    uw: Matrix,
+    ub: Vec<f64>,
+}
+
+impl LinBounds {
+    /// Bounds of the input region itself.
+    pub fn from_input(input: &CrownInput) -> Self {
+        let n = input.center.len();
+        let s = input.symbols.len();
+        let mut w = Matrix::zeros(n, s);
+        for (j, &(var, _)) in input.symbols.iter().enumerate() {
+            w.set(var, j, 1.0);
+        }
+        LinBounds {
+            rows: input.center.rows(),
+            cols: input.center.cols(),
+            lw: w.clone(),
+            lb: input.center.as_slice().to_vec(),
+            uw: w,
+            ub: input.center.as_slice().to_vec(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.lb.len()
+    }
+
+    /// Logical shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Concrete interval bounds of every variable. NaNs (arising from
+    /// `0 · ∞` after an upstream overflow) are sanitized to `±∞`: "no
+    /// information" rather than a poisoned comparison.
+    pub fn bounds(&self, input: &CrownInput) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n_vars();
+        let mut lo = Vec::with_capacity(n);
+        let mut hi = Vec::with_capacity(n);
+        for k in 0..n {
+            let l = self.lb[k] - input.sup(self.lw.row(k));
+            let u = self.ub[k] + input.sup(self.uw.row(k));
+            lo.push(if l.is_nan() { f64::NEG_INFINITY } else { l });
+            hi.push(if u.is_nan() { f64::INFINITY } else { u });
+        }
+        (lo, hi)
+    }
+
+    /// Replaces linear bounds by their concrete intervals (loses all
+    /// relational information).
+    pub fn collapse(&self, input: &CrownInput) -> LinBounds {
+        let (lo, hi) = self.bounds(input);
+        LinBounds {
+            rows: self.rows,
+            cols: self.cols,
+            lw: Matrix::zeros(self.n_vars(), self.lw.cols()),
+            lb: lo,
+            uw: Matrix::zeros(self.n_vars(), self.uw.cols()),
+            ub: hi,
+        }
+    }
+
+    /// Builds each output variable as a constant-coefficient affine
+    /// combination of input variables: `y_o = Σ_k coeffs(o, k)·x_k + bias_o`,
+    /// selecting the lower/upper parent expressions by coefficient sign.
+    fn affine_map(
+        &self,
+        out_rows: usize,
+        out_cols: usize,
+        bias: &[f64],
+        terms: impl Fn(usize) -> Vec<(usize, f64)>,
+    ) -> LinBounds {
+        let n_out = out_rows * out_cols;
+        let s = self.lw.cols();
+        let mut lw = Matrix::zeros(n_out, s);
+        let mut uw = Matrix::zeros(n_out, s);
+        let mut lb = vec![0.0; n_out];
+        let mut ub = vec![0.0; n_out];
+        for o in 0..n_out {
+            lb[o] = bias[o];
+            ub[o] = bias[o];
+            for (k, c) in terms(o) {
+                if c == 0.0 {
+                    continue;
+                }
+                let (wsrc_l, bsrc_l, wsrc_u, bsrc_u) = if c > 0.0 {
+                    (self.lw.row(k), self.lb[k], self.uw.row(k), self.ub[k])
+                } else {
+                    (self.uw.row(k), self.ub[k], self.lw.row(k), self.lb[k])
+                };
+                for (d, &x) in lw.row_mut(o).iter_mut().zip(wsrc_l) {
+                    *d += c * x;
+                }
+                lb[o] += c * bsrc_l;
+                for (d, &x) in uw.row_mut(o).iter_mut().zip(wsrc_u) {
+                    *d += c * x;
+                }
+                ub[o] += c * bsrc_u;
+            }
+        }
+        LinBounds {
+            rows: out_rows,
+            cols: out_cols,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+
+    /// `X ↦ X · W` (+ optional row bias).
+    pub fn matmul_right(&self, w: &Matrix, bias: Option<&[f64]>) -> LinBounds {
+        assert_eq!(w.rows(), self.cols, "matmul_right shape mismatch");
+        let d = w.cols();
+        let bias_vec: Vec<f64> = match bias {
+            Some(b) => {
+                assert_eq!(b.len(), d);
+                (0..self.rows).flat_map(|_| b.iter().copied()).collect()
+            }
+            None => vec![0.0; self.rows * d],
+        };
+        let cols = self.cols;
+        self.affine_map(self.rows, d, &bias_vec, |o| {
+            let (i, dd) = (o / d, o % d);
+            (0..cols).map(|j| (i * cols + j, w.at(j, dd))).collect()
+        })
+    }
+
+    /// Element-wise sum of two bound sets.
+    pub fn add(&self, other: &LinBounds) -> LinBounds {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        LinBounds {
+            rows: self.rows,
+            cols: self.cols,
+            lw: self.lw.add(&other.lw),
+            lb: deept_tensor::vec_add(&self.lb, &other.lb),
+            uw: self.uw.add(&other.uw),
+            ub: deept_tensor::vec_add(&self.ub, &other.ub),
+        }
+    }
+
+    /// Scales all variables by `s`.
+    pub fn scale(&self, s: f64) -> LinBounds {
+        if s >= 0.0 {
+            LinBounds {
+                rows: self.rows,
+                cols: self.cols,
+                lw: self.lw.scale(s),
+                lb: deept_tensor::vec_scale(&self.lb, s),
+                uw: self.uw.scale(s),
+                ub: deept_tensor::vec_scale(&self.ub, s),
+            }
+        } else {
+            LinBounds {
+                rows: self.rows,
+                cols: self.cols,
+                lw: self.uw.scale(s),
+                lb: deept_tensor::vec_scale(&self.ub, s),
+                uw: self.lw.scale(s),
+                ub: deept_tensor::vec_scale(&self.lb, s),
+            }
+        }
+    }
+
+    /// Multiplies each column `j` by the constant `w[j]` (sign-aware).
+    pub fn mul_row_weights(&self, w: &[f64]) -> LinBounds {
+        assert_eq!(w.len(), self.cols);
+        let cols = self.cols;
+        self.affine_map(self.rows, self.cols, &vec![0.0; self.n_vars()], |o| {
+            vec![(o, w[o % cols])]
+        })
+    }
+
+    /// Adds the row vector `b` to every logical row.
+    pub fn add_row_bias(&self, b: &[f64]) -> LinBounds {
+        assert_eq!(b.len(), self.cols);
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.lb[i * self.cols + j] += b[j];
+                out.ub[i * self.cols + j] += b[j];
+            }
+        }
+        out
+    }
+
+    /// Subtracts from every logical row its mean (exact affine).
+    pub fn subtract_row_mean(&self) -> LinBounds {
+        let c = self.cols;
+        let w = Matrix::from_fn(c, c, |i, j| {
+            (if i == j { 1.0 } else { 0.0 }) - 1.0 / c as f64
+        });
+        self.matmul_right(&w, None)
+    }
+
+    /// Keeps the listed logical rows.
+    pub fn select_rows(&self, idx: &[usize]) -> LinBounds {
+        let pick = |m: &Matrix, v: &[f64]| {
+            let mut w = Matrix::zeros(idx.len() * self.cols, m.cols());
+            let mut b = Vec::with_capacity(idx.len() * self.cols);
+            for (r, &i) in idx.iter().enumerate() {
+                for j in 0..self.cols {
+                    w.row_mut(r * self.cols + j)
+                        .copy_from_slice(m.row(i * self.cols + j));
+                    b.push(v[i * self.cols + j]);
+                }
+            }
+            (w, b)
+        };
+        let (lw, lb) = pick(&self.lw, &self.lb);
+        let (uw, ub) = pick(&self.uw, &self.ub);
+        LinBounds {
+            rows: idx.len(),
+            cols: self.cols,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(parts: &[LinBounds]) -> LinBounds {
+        assert!(!parts.is_empty());
+        let rows = parts[0].rows;
+        let s = parts[0].lw.cols();
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let n = rows * cols;
+        let mut lw = Matrix::zeros(n, s);
+        let mut uw = Matrix::zeros(n, s);
+        let mut lb = vec![0.0; n];
+        let mut ub = vec![0.0; n];
+        for i in 0..rows {
+            let mut j0 = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "concat_cols row mismatch");
+                for j in 0..p.cols {
+                    let dst = i * cols + j0 + j;
+                    let src = i * p.cols + j;
+                    lw.row_mut(dst).copy_from_slice(p.lw.row(src));
+                    uw.row_mut(dst).copy_from_slice(p.uw.row(src));
+                    lb[dst] = p.lb[src];
+                    ub[dst] = p.ub[src];
+                }
+                j0 += p.cols;
+            }
+        }
+        LinBounds {
+            rows,
+            cols,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+
+    /// Applies per-variable linear relaxation lines
+    /// `lo_line(x) ≤ f(x) ≤ up_line(x)` given as `(λ, μ)` pairs.
+    fn apply_lines(&self, lines: impl Fn(usize) -> ((f64, f64), (f64, f64))) -> LinBounds {
+        let n = self.n_vars();
+        let s = self.lw.cols();
+        let mut lw = Matrix::zeros(n, s);
+        let mut uw = Matrix::zeros(n, s);
+        let mut lb = vec![0.0; n];
+        let mut ub = vec![0.0; n];
+        for k in 0..n {
+            let ((ll, lm), (ul, um)) = lines(k);
+            let (src_w, src_b) = if ll >= 0.0 {
+                (self.lw.row(k), self.lb[k])
+            } else {
+                (self.uw.row(k), self.ub[k])
+            };
+            for (d, &x) in lw.row_mut(k).iter_mut().zip(src_w) {
+                *d = ll * x;
+            }
+            lb[k] = ll * src_b + lm;
+            let (src_w, src_b) = if ul >= 0.0 {
+                (self.uw.row(k), self.ub[k])
+            } else {
+                (self.lw.row(k), self.lb[k])
+            };
+            for (d, &x) in uw.row_mut(k).iter_mut().zip(src_w) {
+                *d = ul * x;
+            }
+            ub[k] = ul * src_b + um;
+        }
+        LinBounds {
+            rows: self.rows,
+            cols: self.cols,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+
+    /// ReLU with the CROWN relaxation pair (chord above, `x` or `0` below).
+    pub fn relu(&self, input: &CrownInput) -> LinBounds {
+        let (lo, hi) = self.bounds(input);
+        self.apply_lines(|k| {
+            let (l, u) = (lo[k], hi[k]);
+            if !l.is_finite() || !u.is_finite() {
+                return ((0.0, f64::NEG_INFINITY), (0.0, f64::INFINITY));
+            }
+            if u <= 0.0 {
+                ((0.0, 0.0), (0.0, 0.0))
+            } else if l >= 0.0 {
+                ((1.0, 0.0), (1.0, 0.0))
+            } else {
+                let lam = u / (u - l);
+                let lower = if u >= -l { (1.0, 0.0) } else { (0.0, 0.0) };
+                (lower, (lam, -lam * l))
+            }
+        })
+    }
+
+    fn relaxed(
+        &self,
+        input: &CrownInput,
+        relax: impl Fn(f64, f64) -> deept_core::elementwise::Relaxation,
+    ) -> LinBounds {
+        let (lo, hi) = self.bounds(input);
+        self.apply_lines(|k| {
+            if !lo[k].is_finite() || !hi[k].is_finite() {
+                return ((0.0, f64::NEG_INFINITY), (0.0, f64::INFINITY));
+            }
+            let r = relax(lo[k], hi[k]);
+            ((r.lambda, r.mu - r.beta), (r.lambda, r.mu + r.beta))
+        })
+    }
+
+    /// tanh relaxation.
+    pub fn tanh(&self, input: &CrownInput) -> LinBounds {
+        self.relaxed(input, tanh_relaxation)
+    }
+
+    /// exp relaxation (positive lower bound).
+    pub fn exp(&self, input: &CrownInput) -> LinBounds {
+        self.relaxed(input, exp_relaxation)
+    }
+
+    /// Reciprocal relaxation (requires positive inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable may be non-positive.
+    pub fn reciprocal(&self, input: &CrownInput) -> LinBounds {
+        self.relaxed(input, reciprocal_relaxation)
+    }
+
+    /// Square-root relaxation (requires positive inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable may be non-positive.
+    pub fn sqrt(&self, input: &CrownInput) -> LinBounds {
+        self.relaxed(input, sqrt_relaxation)
+    }
+
+    /// Square-root relaxation over bounds floored at `floor`, for inputs
+    /// known on domain grounds to be `≥ floor` (e.g. variance + ε).
+    pub fn sqrt_floored(&self, input: &CrownInput, floor: f64) -> LinBounds {
+        self.relaxed(input, move |l, u| sqrt_relaxation(l.max(floor), u.max(floor)))
+    }
+
+    /// Linear-bound matrix product `a (N×K) · b (K×M)` via per-term
+    /// McCormick envelopes: each product `x·y` is bounded below by the
+    /// better of the two lower envelopes and above by the better of the two
+    /// upper envelopes (chosen by concretized value).
+    pub fn matmul_mccormick(&self, other: &LinBounds, input: &CrownInput) -> LinBounds {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension mismatch");
+        let (n, kk, m) = (self.rows, self.cols, other.cols);
+        let (alo, ahi) = self.bounds(input);
+        let (blo, bhi) = other.bounds(input);
+        let s = self.lw.cols();
+        let n_out = n * m;
+        let mut lw = Matrix::zeros(n_out, s);
+        let mut uw = Matrix::zeros(n_out, s);
+        let mut lb = vec![0.0; n_out];
+        let mut ub = vec![0.0; n_out];
+
+        for i in 0..n {
+            for j in 0..m {
+                let o = i * m + j;
+                for k in 0..kk {
+                    let xa = i * kk + k;
+                    let yb = k * m + j;
+                    let (lx, ux) = (alo[xa], ahi[xa]);
+                    let (ly, uy) = (blo[yb], bhi[yb]);
+                    if !(lx.is_finite() && ux.is_finite() && ly.is_finite() && uy.is_finite()) {
+                        lb[o] = f64::NEG_INFINITY;
+                        ub[o] = f64::INFINITY;
+                        continue;
+                    }
+                    // Lower envelopes: xy ≥ uy·x + ux·y − ux·uy and
+                    // xy ≥ ly·x + lx·y − lx·ly. Pick the one with the larger
+                    // concretized worst case.
+                    let cand_l = [(uy, ux, -ux * uy), (ly, lx, -lx * ly)];
+                    let best_l = cand_l
+                        .iter()
+                        .map(|&(cx, cy, c)| {
+                            let v = worst_lower(self, xa, cx, input)
+                                + worst_lower(other, yb, cy, input)
+                                + c;
+                            (v, (cx, cy, c))
+                        })
+                        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                        .expect("two candidates")
+                        .1;
+                    accumulate_pair(
+                        self, other, xa, yb, best_l.0, best_l.1, best_l.2, false, &mut lw, &mut lb, o,
+                    );
+                    // Upper envelopes: xy ≤ uy·x + lx·y − lx·uy and
+                    // xy ≤ ly·x + ux·y − ux·ly.
+                    let cand_u = [(uy, lx, -lx * uy), (ly, ux, -ux * ly)];
+                    let best_u = cand_u
+                        .iter()
+                        .map(|&(cx, cy, c)| {
+                            let v = worst_upper(self, xa, cx, input)
+                                + worst_upper(other, yb, cy, input)
+                                + c;
+                            (v, (cx, cy, c))
+                        })
+                        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                        .expect("two candidates")
+                        .1;
+                    accumulate_pair(
+                        self, other, xa, yb, best_u.0, best_u.1, best_u.2, true, &mut uw, &mut ub, o,
+                    );
+                }
+            }
+        }
+        LinBounds {
+            rows: n,
+            cols: m,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+
+    /// CROWN-composed softmax across each logical row (§5.4 baseline
+    /// composition: exp, sum, reciprocal, multiply).
+    pub fn softmax_rows(&self, input: &CrownInput) -> LinBounds {
+        let e = self.exp(input);
+        // Row sums: S_i = Σ_j e_{ij}, as a (rows × 1) affine map.
+        let cols = self.cols;
+        let sums = e.affine_map(self.rows, 1, &vec![0.0; self.rows], |o| {
+            (0..cols).map(|j| (o * cols + j, 1.0)).collect()
+        });
+        // The true denominator Σ_j e^{ν_j} is strictly positive but its
+        // abstract lower bound can cancel to ≤ 0 under huge radii; floor it
+        // at a tiny positive value (domain-sound).
+        let recip = sums.relaxed(input, |l, u| {
+            reciprocal_relaxation(l.max(1e-9), u.max(1e-9))
+        });
+        // Broadcast recip across the row, then multiply element-wise:
+        // y_{ij} = e_{ij} · r_i, via a 1×1-blocked McCormick product.
+        let ones = Matrix::full(1, cols, 1.0);
+        let recip_b = recip.matmul_right(&ones, None);
+        e.mul_elementwise(&recip_b, input)
+    }
+
+    /// Element-wise McCormick product of equal-shaped bound sets.
+    pub fn mul_elementwise(&self, other: &LinBounds, input: &CrownInput) -> LinBounds {
+        assert_eq!(self.shape(), other.shape(), "mul shape mismatch");
+        // Reuse matmul with K = 1 per variable: treat each variable pair as
+        // a 1×1 product and stitch results.
+        let (alo, ahi) = self.bounds(input);
+        let (blo, bhi) = other.bounds(input);
+        let n = self.n_vars();
+        let s = self.lw.cols();
+        let mut lw = Matrix::zeros(n, s);
+        let mut uw = Matrix::zeros(n, s);
+        let mut lb = vec![0.0; n];
+        let mut ub = vec![0.0; n];
+        for k in 0..n {
+            let (lx, ux) = (alo[k], ahi[k]);
+            let (ly, uy) = (blo[k], bhi[k]);
+            if !(lx.is_finite() && ux.is_finite() && ly.is_finite() && uy.is_finite()) {
+                lb[k] = f64::NEG_INFINITY;
+                ub[k] = f64::INFINITY;
+                continue;
+            }
+            let cand_l = [(uy, ux, -ux * uy), (ly, lx, -lx * ly)];
+            let (cx, cy, c) = cand_l
+                .iter()
+                .map(|&(cx, cy, c)| {
+                    let v = worst_lower(self, k, cx, input)
+                        + worst_lower(other, k, cy, input)
+                        + c;
+                    (v, (cx, cy, c))
+                })
+                .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                .expect("candidates")
+                .1;
+            accumulate_pair(self, other, k, k, cx, cy, c, false, &mut lw, &mut lb, k);
+            let cand_u = [(uy, lx, -lx * uy), (ly, ux, -ux * ly)];
+            let (cx, cy, c) = cand_u
+                .iter()
+                .map(|&(cx, cy, c)| {
+                    let v = worst_upper(self, k, cx, input)
+                        + worst_upper(other, k, cy, input)
+                        + c;
+                    (v, (cx, cy, c))
+                })
+                .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+                .expect("candidates")
+                .1;
+            accumulate_pair(self, other, k, k, cx, cy, c, true, &mut uw, &mut ub, k);
+        }
+        LinBounds {
+            rows: self.rows,
+            cols: self.cols,
+            lw,
+            lb,
+            uw,
+            ub,
+        }
+    }
+}
+
+/// Concretized lower bound of `coef · var_k`.
+fn worst_lower(b: &LinBounds, k: usize, coef: f64, input: &CrownInput) -> f64 {
+    if coef >= 0.0 {
+        coef * (b.lb[k] - input.sup(b.lw.row(k)))
+    } else {
+        coef * (b.ub[k] + input.sup(b.uw.row(k)))
+    }
+}
+
+/// Concretized upper bound of `coef · var_k`.
+fn worst_upper(b: &LinBounds, k: usize, coef: f64, input: &CrownInput) -> f64 {
+    if coef >= 0.0 {
+        coef * (b.ub[k] + input.sup(b.uw.row(k)))
+    } else {
+        coef * (b.lb[k] - input.sup(b.lw.row(k)))
+    }
+}
+
+/// Adds the linearized product term `cx·a_ka + cy·b_kb + c` into output row
+/// `o` of `(w, bias)`, selecting each parent's lower or upper expression so
+/// the result stays a sound lower (`upper = false`) or upper bound.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_pair(
+    a: &LinBounds,
+    b: &LinBounds,
+    ka: usize,
+    kb: usize,
+    cx: f64,
+    cy: f64,
+    c: f64,
+    upper: bool,
+    w: &mut Matrix,
+    bias: &mut [f64],
+    o: usize,
+) {
+    fn pick(src: &LinBounds, k: usize, coef: f64, upper: bool) -> (Vec<f64>, f64) {
+        if (coef >= 0.0) == !upper {
+            (src.lw.row(k).to_vec(), src.lb[k])
+        } else {
+            (src.uw.row(k).to_vec(), src.ub[k])
+        }
+    }
+    let (wx, bx) = pick(a, ka, cx, upper);
+    let (wy, by) = pick(b, kb, cy, upper);
+    let row = w.row_mut(o);
+    for ((d, x), y) in row.iter_mut().zip(wx).zip(wy) {
+        *d += cx * x + cy * y;
+    }
+    bias[o] += cx * bx + cy * by + c;
+}
+
+/// Configuration of the linear-relaxation verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrownConfig {
+    /// Collapse policy selecting the baseline variant.
+    pub collapse: CollapsePolicy,
+}
+
+impl CrownConfig {
+    /// CROWN-BaF role.
+    pub fn baf() -> Self {
+        CrownConfig {
+            collapse: CollapsePolicy::PerLayer,
+        }
+    }
+
+    /// CROWN-Backward role (meet of the two forward analyses).
+    pub fn backward() -> Self {
+        CrownConfig {
+            collapse: CollapsePolicy::Best,
+        }
+    }
+
+    /// Forward LiRPA-style bounds with no collapse.
+    pub fn forward() -> Self {
+        CrownConfig {
+            collapse: CollapsePolicy::Never,
+        }
+    }
+
+    /// Interval propagation.
+    pub fn interval() -> Self {
+        CrownConfig {
+            collapse: CollapsePolicy::Always,
+        }
+    }
+}
+
+/// Propagates linear bounds through the network, returning the logits
+/// bounds together with the symbol basis they are expressed in (the basis
+/// differs from `input` under [`CollapsePolicy::PerLayer`]).
+pub fn propagate(
+    net: &VerifiableTransformer,
+    input: &CrownInput,
+    cfg: &CrownConfig,
+) -> (LinBounds, CrownInput) {
+    // `Best` is resolved in `certify`; a bare propagate falls back to the
+    // never-collapse analysis.
+    let policy = if cfg.collapse == CollapsePolicy::Best {
+        CollapsePolicy::Never
+    } else {
+        cfg.collapse
+    };
+    let mut x = LinBounds::from_input(input);
+    let mut basis = input.clone();
+    let layers = net.layers.len();
+    for (i, layer) in net.layers.iter().enumerate() {
+        x = encoder_layer(&x, layer, net, &basis, policy);
+        if policy == CollapsePolicy::PerLayer && i + 1 < layers {
+            let (nx, nb) = rebase(&x, &basis);
+            x = nx;
+            basis = nb;
+        }
+    }
+    let pooled = x.select_rows(&[0]);
+    let hidden = pooled
+        .matmul_right(&net.head.wp, Some(net.head.bp.row(0)))
+        .tanh(&basis);
+    let logits = hidden.matmul_right(&net.head.wc, Some(net.head.bc.row(0)));
+    (logits, basis)
+}
+
+/// Replaces the symbol basis: each variable's concrete interval becomes a
+/// fresh box symbol, keeping nothing but intervals across the boundary.
+fn rebase(b: &LinBounds, basis: &CrownInput) -> (LinBounds, CrownInput) {
+    let (lo, hi) = b.bounds(basis);
+    let (rows, cols) = b.shape();
+    let mut center = Matrix::zeros(rows, cols);
+    let mut radii = Vec::new();
+    for k in 0..b.n_vars() {
+        let (l, u) = (lo[k], hi[k]);
+        if l.is_finite() && u.is_finite() {
+            center.as_mut_slice()[k] = 0.5 * (l + u);
+            let r = 0.5 * (u - l);
+            if r > 0.0 {
+                radii.push((k, r));
+            }
+        } else {
+            // Unbounded variable: keep a huge but finite box so downstream
+            // arithmetic stays NaN-free; certification will fail anyway.
+            center.as_mut_slice()[k] = 0.0;
+            radii.push((k, 1e30));
+        }
+    }
+    let input = CrownInput::boxed(&center, &radii);
+    (LinBounds::from_input(&input), input)
+}
+
+fn encoder_layer(
+    x: &LinBounds,
+    layer: &EncoderLayer,
+    net: &VerifiableTransformer,
+    input: &CrownInput,
+    policy: CollapsePolicy,
+) -> LinBounds {
+    let always = |b: LinBounds| -> LinBounds {
+        if policy == CollapsePolicy::Always {
+            b.collapse(input)
+        } else {
+            b
+        }
+    };
+    let scale = 1.0 / (net.head_dim as f64).sqrt();
+    let mut heads = Vec::with_capacity(layer.attention.heads.len());
+    for h in &layer.attention.heads {
+        let q = x.matmul_right(&h.wq, None).scale(scale);
+        let k = x.matmul_right(&h.wk, None);
+        let v = x.matmul_right(&h.wv, None);
+        let kt = transpose(&k);
+        let scores = always(q.matmul_mccormick(&kt, input));
+        let attn = always(scores.softmax_rows(input));
+        heads.push(always(attn.matmul_mccormick(&v, input)));
+    }
+    let merged = LinBounds::concat_cols(&heads);
+    let z = always(merged.matmul_right(&layer.attention.w0, Some(layer.attention.b0.row(0))));
+
+    let x1 = always(layer_norm(&x.add(&z), &layer.ln1, net.layer_norm, input));
+
+    let h = always(
+        x1.matmul_right(&layer.ffn.w1, Some(layer.ffn.b1.row(0)))
+            .relu(input),
+    );
+    let y = always(h.matmul_right(&layer.ffn.w2, Some(layer.ffn.b2.row(0))));
+    always(layer_norm(&x1.add(&y), &layer.ln2, net.layer_norm, input))
+}
+
+fn transpose(b: &LinBounds) -> LinBounds {
+    let (r, c) = b.shape();
+    b.affine_map(c, r, &vec![0.0; r * c], |o| {
+        let (j, i) = (o / r, o % r);
+        vec![(i * c + j, 1.0)]
+    })
+}
+
+fn layer_norm(
+    x: &LinBounds,
+    ln: &LayerNorm,
+    kind: LayerNormKind,
+    input: &CrownInput,
+) -> LinBounds {
+    let centred = x.subtract_row_mean();
+    let normed = match kind {
+        LayerNormKind::NoStd => centred,
+        LayerNormKind::Std { epsilon } => {
+            let e = x.shape().1;
+            let sq = centred.mul_elementwise(&centred, input);
+            let mean_w = Matrix::full(e, 1, 1.0 / e as f64);
+            let var = sq.matmul_right(&mean_w, None);
+            let var = var.add_row_bias(&[epsilon]);
+            // 1/√(var), concretized: interval bounds of var (floored at ε —
+            // the true variance is non-negative) through the monotone 1/√·.
+            // Composing the sqrt and reciprocal relaxation lines instead
+            // would inherit the spuriously negative abstract inputs of the
+            // McCormick square.
+            let (lv, uv) = var.bounds(input);
+            let n = var.n_vars();
+            let mut inv = var.collapse(input);
+            for k in 0..n {
+                let l = lv[k].max(epsilon);
+                let u = uv[k].max(epsilon);
+                inv.lb[k] = 1.0 / u.sqrt();
+                inv.ub[k] = 1.0 / l.sqrt();
+            }
+            let ones = Matrix::full(1, e, 1.0);
+            let inv_b = inv.matmul_right(&ones, None);
+            centred.mul_elementwise(&inv_b, input)
+        }
+    };
+    normed
+        .mul_row_weights(ln.gamma.row(0))
+        .add_row_bias(ln.beta.row(0))
+}
+
+/// Certifies `true_label` over the input region, forming each margin
+/// `y_t − y_f` inside the linear domain before concretizing.
+pub fn certify(
+    net: &VerifiableTransformer,
+    input: &CrownInput,
+    true_label: usize,
+    cfg: &CrownConfig,
+) -> CertResult {
+    if cfg.collapse == CollapsePolicy::Best {
+        let a = certify(net, input, true_label, &CrownConfig::forward());
+        let b = certify(net, input, true_label, &CrownConfig::baf());
+        let margins = a
+            .margins
+            .iter()
+            .zip(&b.margins)
+            .map(|(&x, &y)| x.max(y))
+            .collect();
+        return CertResult::from_margins(margins);
+    }
+    let (logits, basis) = propagate(net, input, cfg);
+    let c = logits.shape().1;
+    assert!(true_label < c, "true label out of range");
+    let mut margins = vec![f64::INFINITY; c];
+    for f in 0..c {
+        if f == true_label {
+            continue;
+        }
+        // lower(y_t − y_f) = lb_t − ub_f − sup((uw_f − lw_t)·δ), in the
+        // final symbol basis.
+        let w = deept_tensor::vec_sub(logits.lw.row(true_label), logits.uw.row(f));
+        let m = logits.lb[true_label] - logits.ub[f] - basis.sup(&w);
+        margins[f] = if m.is_nan() { f64::NEG_INFINITY } else { m };
+    }
+    CertResult::from_margins(margins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_nn::transformer::{TransformerClassifier, TransformerConfig};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model(ln: LayerNormKind) -> TransformerClassifier {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 13,
+                max_len: 6,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 12,
+                num_layers: 2,
+                num_classes: 2,
+                layer_norm: ln,
+            },
+            &mut rng,
+        )
+    }
+
+    fn check_sound(ln: LayerNormKind, p: PNorm, cfg: &CrownConfig, seed: u64) {
+        let model = tiny_model(ln);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let input = CrownInput::t1(&emb, 1, 0.04, p);
+        let (logits, basis) = propagate(&net, &input, cfg);
+        let (lo, hi) = logits.bounds(&basis);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let e = emb.cols();
+        for _ in 0..60 {
+            // Sample a perturbation inside the ball.
+            let mut delta: Vec<f64> = (0..e).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let n = p.norm(&delta);
+            if n > 1.0 {
+                for d in &mut delta {
+                    *d /= n;
+                }
+            }
+            let mut x = emb.clone();
+            for (d, &dv) in delta.iter().enumerate() {
+                *x.at_mut(1, d) += 0.04 * dv;
+            }
+            let out = model.classify(&model.encode(&x));
+            for c in 0..2 {
+                assert!(
+                    out.at(0, c) >= lo[c] - 1e-7 && out.at(0, c) <= hi[c] + 1e-7,
+                    "{ln:?}/{p:?}: logit {c} = {} outside [{}, {}]",
+                    out.at(0, c),
+                    lo[c],
+                    hi[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crown_backward_sound_all_norms() {
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            check_sound(LayerNormKind::NoStd, p, &CrownConfig::backward(), 1);
+        }
+    }
+
+    #[test]
+    fn crown_baf_and_interval_sound() {
+        check_sound(LayerNormKind::NoStd, PNorm::L2, &CrownConfig::baf(), 2);
+        check_sound(LayerNormKind::NoStd, PNorm::L2, &CrownConfig::interval(), 3);
+    }
+
+    #[test]
+    fn crown_sound_std_layer_norm() {
+        check_sound(
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::L2,
+            &CrownConfig::backward(),
+            4,
+        );
+    }
+
+    #[test]
+    fn precision_ordering_backward_baf_interval() {
+        // McCormick line selection is locally greedy, so strict per-query
+        // dominance between Backward and the rebasing BaF is not a theorem;
+        // we check the robust facts: both dominate pure interval
+        // propagation, and averaged over queries Backward is at least as
+        // tight as BaF.
+        let model = tiny_model(LayerNormKind::NoStd);
+        let net = VerifiableTransformer::from(&model);
+        let pred_tokens: [[usize; 4]; 3] = [[1, 5, 9, 2], [3, 7, 0, 4], [8, 2, 6, 1]];
+        let mut sum_b = 0.0;
+        let mut sum_f = 0.0;
+        for tokens in pred_tokens {
+            let emb = model.embed(&tokens);
+            let pred = model.predict(&tokens);
+            let input = CrownInput::t1(&emb, 1, 0.02, PNorm::L2);
+            let mb = certify(&net, &input, pred, &CrownConfig::backward()).margins[1 - pred];
+            let mf = certify(&net, &input, pred, &CrownConfig::baf()).margins[1 - pred];
+            let mi = certify(&net, &input, pred, &CrownConfig::interval()).margins[1 - pred];
+            assert!(mb >= mi - 1e-9, "backward {mb} < interval {mi}");
+            assert!(mf >= mi - 1e-9, "baf {mf} < interval {mi}");
+            sum_b += mb;
+            sum_f += mf;
+        }
+        assert!(sum_b >= sum_f - 1e-9, "backward below baf: {sum_b} vs {sum_f}");
+    }
+
+    #[test]
+    fn zero_radius_is_exact() {
+        let model = tiny_model(LayerNormKind::NoStd);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [3usize, 4, 5];
+        let emb = model.embed(&tokens);
+        let input = CrownInput::t1(&emb, 0, 0.0, PNorm::L2);
+        let (logits, basis) = propagate(&net, &input, &CrownConfig::backward());
+        let (lo, hi) = logits.bounds(&basis);
+        let exact = model.classify(&model.encode(&emb));
+        for c in 0..2 {
+            assert!((lo[c] - exact.at(0, c)).abs() < 1e-6, "lo {} vs {}", lo[c], exact.at(0, c));
+            assert!((hi[c] - exact.at(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mccormick_product_is_sound_elementwise() {
+        // x ∈ [1±0.5] linear in δ, y ∈ [2±0.5]: xy bounds must contain all
+        // products.
+        let center = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let input = CrownInput::boxed(&center, &[(0, 0.5), (1, 0.5)]);
+        let b = LinBounds::from_input(&input);
+        let x = b.select_rows(&[0]); // both vars
+        let y = x.mul_elementwise(&x, &input);
+        let (lo, hi) = y.bounds(&input);
+        // x² over [0.5, 1.5] ⊆ [lo0, hi0]
+        assert!(lo[0] <= 0.25 + 1e-9 && hi[0] >= 2.25 - 1e-9);
+        // Sound but not wildly loose.
+        assert!(lo[0] >= -1.0 && hi[0] <= 4.0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The DeepT verifier: propagates a Multi-norm Zonotope through an encoder
+//! Transformer (§5), in its Fast, Precise and Combined configurations.
+
+use deept_core::dot::{zono_matmul, DotConfig, DotVariant};
+use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::{NormOrder, Zonotope};
+use deept_nn::transformer::{EncoderLayer, LayerNorm, LayerNormKind};
+use deept_tensor::Matrix;
+
+use crate::network::{margins_from_zonotope, CertResult, VerifiableTransformer};
+
+/// Configuration of the DeepT verifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepTConfig {
+    /// Dot-product transformer configuration (Fast / Precise, norm order).
+    pub dot: DotConfig,
+    /// Softmax configuration (sum refinement on/off).
+    pub softmax: SoftmaxConfig,
+    /// ℓ∞ noise-symbol budget enforced at every layer input (§5.1 / §6.1);
+    /// `None` disables reduction.
+    pub reduction_budget: Option<usize>,
+    /// Use the Precise dot product only in the last layer and Fast elsewhere
+    /// (the Combined verifier of Appendix A.6). When set, `dot.variant`
+    /// applies to the last layer and Fast is used before it.
+    pub precise_last_layer_only: bool,
+}
+
+impl DeepTConfig {
+    /// DeepT-Fast with the paper's defaults (ℓ∞-first dual-norm order,
+    /// softmax sum refinement on).
+    pub fn fast(reduction_budget: usize) -> Self {
+        DeepTConfig {
+            dot: DotConfig::fast(),
+            softmax: SoftmaxConfig::default(),
+            reduction_budget: Some(reduction_budget),
+            precise_last_layer_only: false,
+        }
+    }
+
+    /// DeepT-Precise: the pairwise ε–ε dot-product bound everywhere.
+    pub fn precise(reduction_budget: usize) -> Self {
+        DeepTConfig {
+            dot: DotConfig::precise(),
+            softmax: SoftmaxConfig::default(),
+            reduction_budget: Some(reduction_budget),
+            precise_last_layer_only: false,
+        }
+    }
+
+    /// The Combined verifier of Appendix A.6: Fast in all layers except the
+    /// last, Precise in the last.
+    pub fn combined(reduction_budget: usize) -> Self {
+        DeepTConfig {
+            dot: DotConfig::precise(),
+            softmax: SoftmaxConfig::default(),
+            reduction_budget: Some(reduction_budget),
+            precise_last_layer_only: true,
+        }
+    }
+
+    /// Overrides the dual-norm application order (§6.5 ablation).
+    pub fn with_norm_order(mut self, order: NormOrder) -> Self {
+        self.dot.order = order;
+        self
+    }
+
+    /// Disables or re-enables the softmax sum refinement (Appendix A.5
+    /// ablation).
+    pub fn with_softmax_refinement(mut self, on: bool) -> Self {
+        self.softmax = if on {
+            SoftmaxConfig::default()
+        } else {
+            SoftmaxConfig::without_refinement()
+        };
+        self
+    }
+}
+
+/// Propagates an input-region zonotope through the whole network and returns
+/// the logits zonotope (`1 × classes`).
+pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfig) -> Zonotope {
+    let mut x = input.clone();
+    let last = net.layers.len().saturating_sub(1);
+    for (i, layer) in net.layers.iter().enumerate() {
+        // Noise-symbol reduction at every layer input, before the residual
+        // branch splits (§5.1).
+        if let Some(budget) = cfg.reduction_budget {
+            x = x.reduced(budget.max(1), 0);
+        }
+        let dot = if cfg.precise_last_layer_only && i != last {
+            DotConfig {
+                variant: DotVariant::Fast,
+                ..cfg.dot
+            }
+        } else {
+            cfg.dot
+        };
+        x = encoder_layer(&x, layer, net.layer_norm, net.head_dim, dot, cfg.softmax);
+        if x.has_non_finite() {
+            // Bounds blew up (e.g. exp overflow): report unbounded logits so
+            // certification fails gracefully.
+            let inf = Matrix::full(1, net.num_classes, f64::INFINITY);
+            return Zonotope::constant(&inf, x.p());
+        }
+    }
+    // Pooling: first output embedding only (Figure 2).
+    let pooled = x.select_rows(&[0]);
+    let hidden = pooled
+        .matmul_right(&net.head.wp)
+        .add_row_bias(net.head.bp.row(0))
+        .tanh();
+    hidden
+        .matmul_right(&net.head.wc)
+        .add_row_bias(net.head.bc.row(0))
+}
+
+/// Certifies that every point of the input region classifies as
+/// `true_label`.
+pub fn certify(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    true_label: usize,
+    cfg: &DeepTConfig,
+) -> CertResult {
+    let logits = propagate(net, input, cfg);
+    CertResult::from_margins(margins_from_zonotope(&logits, true_label))
+}
+
+/// One encoder layer in the abstract domain.
+fn encoder_layer(
+    x: &Zonotope,
+    layer: &EncoderLayer,
+    ln: LayerNormKind,
+    head_dim: usize,
+    dot: DotConfig,
+    softmax: SoftmaxConfig,
+) -> Zonotope {
+    // Multi-head self-attention (Eq. 1).
+    let scale = 1.0 / (head_dim as f64).sqrt();
+    let mut heads = Vec::with_capacity(layer.attention.heads.len());
+    for h in &layer.attention.heads {
+        let q = x.matmul_right(&h.wq).scale(scale);
+        let k = x.matmul_right(&h.wk);
+        let v = x.matmul_right(&h.wv);
+        let scores = zono_matmul(&q, &k.transpose(), dot);
+        let attn = softmax_rows(&scores, softmax);
+        heads.push(zono_matmul(&attn, &v, dot));
+    }
+    let merged = Zonotope::concat_cols(&heads);
+    let z = merged
+        .matmul_right(&layer.attention.w0)
+        .add_row_bias(layer.attention.b0.row(0));
+
+    // Residual + normalization.
+    let x = layer_norm_abstract(&x.add(&z), &layer.ln1, ln, dot);
+
+    // Feed-forward network.
+    let h = x
+        .matmul_right(&layer.ffn.w1)
+        .add_row_bias(layer.ffn.b1.row(0))
+        .relu();
+    let y = h
+        .matmul_right(&layer.ffn.w2)
+        .add_row_bias(layer.ffn.b2.row(0));
+    layer_norm_abstract(&x.add(&y), &layer.ln2, ln, dot)
+}
+
+/// Abstract layer normalization.
+///
+/// The no-std flavour is purely affine (exact). The standard flavour
+/// composes mean subtraction, element-wise squaring (multiplication
+/// transformer), the √ and reciprocal transformers, and a final
+/// multiplication by the broadcast inverse standard deviation.
+fn layer_norm_abstract(
+    x: &Zonotope,
+    ln: &LayerNorm,
+    kind: LayerNormKind,
+    dot: DotConfig,
+) -> Zonotope {
+    let centred = x.subtract_row_mean();
+    let normed = match kind {
+        LayerNormKind::NoStd => centred,
+        LayerNormKind::Std { epsilon } => {
+            let e = x.cols();
+            // var = mean(centred²) per row.
+            let sq = deept_core::dot::mul_elementwise(&centred, &centred, dot);
+            let mean_w = Matrix::full(e, 1, 1.0 / e as f64);
+            let var = sq.matmul_right(&mean_w); // (N × 1)
+            let var = var.add_const(&Matrix::full(var.rows(), 1, epsilon));
+            // 1/√(var): the abstract square can dip below zero while the
+            // true variance is ≥ 0, so the composed sqrt→reciprocal
+            // expression would inherit spuriously negative inputs. We
+            // therefore concretize here: interval bounds of var (floored at
+            // ε on domain grounds), mapped through the monotone 1/√·, give
+            // a per-row interval represented with one fresh ε symbol.
+            let (lv, uv) = var.bounds();
+            let n_rows = var.rows();
+            let mut center = Matrix::zeros(n_rows, 1);
+            let mut radii = Matrix::zeros(n_rows, 1);
+            for r in 0..n_rows {
+                let l = lv[r].max(epsilon);
+                let u = uv[r].max(epsilon);
+                let (hi, lo) = (1.0 / l.sqrt(), 1.0 / u.sqrt());
+                center.set(r, 0, 0.5 * (hi + lo));
+                radii.set(r, 0, 0.5 * (hi - lo));
+            }
+            let boxed = Zonotope::from_box(&center, &radii, x.p());
+            // Align symbol spaces: the boxed interval shares no φ/ε with x,
+            // so lift it into x's symbol layout with its fresh symbols at
+            // the tail.
+            let mut phi_pad = Matrix::zeros(n_rows, centred.num_phi());
+            let _ = &mut phi_pad;
+            let mut eps_lift = Matrix::zeros(n_rows, centred.num_eps() + boxed.num_eps());
+            for r in 0..n_rows {
+                let src = boxed.eps().row(r);
+                eps_lift.row_mut(r)[centred.num_eps()..].copy_from_slice(src);
+            }
+            let inv_std = Zonotope::from_parts(
+                n_rows,
+                1,
+                boxed.center().to_vec(),
+                phi_pad,
+                eps_lift,
+                x.p(),
+            );
+            // Broadcast to (N × E) and multiply element-wise.
+            let ones = Matrix::full(1, e, 1.0);
+            let inv_b = inv_std.matmul_right(&ones);
+            let mut centred_padded = centred.clone();
+            centred_padded.pad_eps(inv_b.num_eps());
+            deept_core::dot::mul_elementwise(&centred_padded, &inv_b, dot)
+        }
+    };
+    normed
+        .mul_row_weights(ln.gamma.row(0))
+        .add_row_bias(ln.beta.row(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_core::PNorm;
+    use deept_nn::transformer::{TransformerClassifier, TransformerConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model(ln: LayerNormKind, layers: usize) -> TransformerClassifier {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 13,
+                max_len: 6,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 12,
+                num_layers: layers,
+                num_classes: 2,
+                layer_norm: ln,
+            },
+            &mut rng,
+        )
+    }
+
+    fn check_propagation_sound(ln: LayerNormKind, p: PNorm, cfg: &DeepTConfig, seed: u64) {
+        let model = tiny_model(ln, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let region = crate::network::t1_region(&emb, 1, 0.05, p);
+        let logits = propagate(&net, &region, cfg);
+        let (lo, hi) = logits.bounds();
+        // Sample concrete embeddings from the region, run the concrete
+        // network, check containment.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..60 {
+            let (phi, eps) = region.sample_noise(&mut rng);
+            let x = region.evaluate(&phi, &eps);
+            let xm = Matrix::from_vec(emb.rows(), emb.cols(), x).unwrap();
+            let out = model.classify(&model.encode(&xm));
+            for c in 0..2 {
+                assert!(
+                    out.at(0, c) >= lo[c] - 1e-7 && out.at(0, c) <= hi[c] + 1e-7,
+                    "{ln:?}/{p:?}: logit {c} = {} outside [{}, {}]",
+                    out.at(0, c),
+                    lo[c],
+                    hi[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn propagation_sound_no_std_all_norms() {
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            check_propagation_sound(LayerNormKind::NoStd, p, &DeepTConfig::fast(4000), 1);
+        }
+    }
+
+    #[test]
+    fn propagation_sound_std_layer_norm() {
+        check_propagation_sound(
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::L2,
+            &DeepTConfig::fast(4000),
+            2,
+        );
+    }
+
+    #[test]
+    fn propagation_sound_precise_and_combined() {
+        check_propagation_sound(LayerNormKind::NoStd, PNorm::Linf, &DeepTConfig::precise(500), 3);
+        check_propagation_sound(LayerNormKind::NoStd, PNorm::Linf, &DeepTConfig::combined(500), 4);
+    }
+
+    #[test]
+    fn propagation_sound_with_reduction_pressure() {
+        // A harsh budget forces reductions at every layer.
+        check_propagation_sound(LayerNormKind::NoStd, PNorm::L2, &DeepTConfig::fast(16), 5);
+    }
+
+    #[test]
+    fn zero_radius_certifies_correct_class() {
+        let model = tiny_model(LayerNormKind::NoStd, 1);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [3usize, 4, 5];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        let region = crate::network::t1_region(&emb, 0, 0.0, PNorm::L2);
+        let res = certify(&net, &region, pred, &DeepTConfig::fast(4000));
+        assert!(res.certified, "zero radius must certify: {:?}", res.margins);
+        // And certifying the wrong label must fail.
+        let res_wrong = certify(&net, &region, 1 - pred, &DeepTConfig::fast(4000));
+        assert!(!res_wrong.certified);
+    }
+
+    #[test]
+    fn certification_is_monotone_in_radius() {
+        let model = tiny_model(LayerNormKind::NoStd, 1);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [3usize, 4, 5];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        let cfg = DeepTConfig::fast(4000);
+        let margin = |r: f64| {
+            let region = crate::network::t1_region(&emb, 1, r, PNorm::L2);
+            certify(&net, &region, pred, &cfg).margins[1 - pred]
+        };
+        let m0 = margin(0.001);
+        let m1 = margin(0.01);
+        let m2 = margin(0.1);
+        assert!(m0 >= m1 && m1 >= m2, "margins not monotone: {m0} {m1} {m2}");
+    }
+
+    #[test]
+    fn precise_never_worse_than_fast_on_linf() {
+        let model = tiny_model(LayerNormKind::NoStd, 1);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 2, 3];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        let region = crate::network::t1_region(&emb, 1, 0.02, PNorm::Linf);
+        let fast = certify(&net, &region, pred, &DeepTConfig::fast(100_000));
+        let precise = certify(&net, &region, pred, &DeepTConfig::precise(100_000));
+        assert!(
+            precise.margins[1 - pred] >= fast.margins[1 - pred] - 1e-9,
+            "precise {} < fast {}",
+            precise.margins[1 - pred],
+            fast.margins[1 - pred]
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Robustness verifiers for Transformer classifiers.
+//!
+//! This crate assembles the DeepT verifier of the paper and the baselines it
+//! is evaluated against:
+//!
+//! * [`deept`] — Multi-norm Zonotope propagation (DeepT-Fast, DeepT-Precise
+//!   and the Combined variant of Appendix A.6);
+//! * [`crown`] — linear-relaxation baselines in the roles of CROWN-Backward
+//!   and CROWN-BaF, plus interval propagation;
+//! * [`synonym`] — threat model T2 certification and the enumeration
+//!   baseline (§6.7);
+//! * [`radius`] — binary search for the maximum certified radius;
+//! * [`attack`] — randomized falsification, used to sanity-check soundness
+//!   and measure tightness;
+//! * [`network`] — the verifier-facing network view and input regions.
+//!
+//! # Example
+//!
+//! ```
+//! use deept_core::PNorm;
+//! use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+//! use deept_verifier::deept::{certify, DeepTConfig};
+//! use deept_verifier::network::{t1_region, VerifiableTransformer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let model = TransformerClassifier::new(
+//!     TransformerConfig {
+//!         vocab_size: 10, max_len: 4, embed_dim: 8, num_heads: 2,
+//!         hidden_dim: 8, num_layers: 1, num_classes: 2,
+//!         layer_norm: LayerNormKind::NoStd,
+//!     },
+//!     &mut rng,
+//! );
+//! let tokens = [1, 2, 3];
+//! let pred = model.predict(&tokens);
+//! let region = t1_region(&model.embed(&tokens), 0, 1e-4, PNorm::L2);
+//! let result = certify(
+//!     &VerifiableTransformer::from(&model),
+//!     &region,
+//!     pred,
+//!     &DeepTConfig::fast(4000),
+//! );
+//! assert!(result.certified);
+//! ```
+
+pub mod attack;
+pub mod crown;
+pub mod deept;
+pub mod network;
+pub mod radius;
+pub mod synonym;
+
+pub use deept::DeepTConfig;
+pub use network::{CertResult, VerifiableTransformer};
+pub use radius::max_certified_radius;

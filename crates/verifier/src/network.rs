@@ -1,0 +1,209 @@
+//! A verifier-facing view of a trained network plus input-region builders.
+//!
+//! Both the NLP Transformer and the Vision Transformer reduce to the same
+//! verification problem: an embedded token matrix perturbed inside a region,
+//! pushed through encoder layers, pooling and the classification head. The
+//! [`VerifiableTransformer`] captures that common part; the constructors
+//! translate each threat model into a [`Zonotope`] input region.
+
+use deept_core::{PNorm, Zonotope};
+use deept_nn::transformer::{ClassifierHead, EncoderLayer, LayerNormKind};
+use deept_nn::{TransformerClassifier, VisionTransformer};
+use deept_tensor::Matrix;
+
+/// The encoder + head of a Transformer, detached from its embedder.
+#[derive(Debug, Clone)]
+pub struct VerifiableTransformer {
+    /// Encoder layers.
+    pub layers: Vec<EncoderLayer>,
+    /// Pooling/classification head.
+    pub head: ClassifierHead,
+    /// Layer-normalization flavour.
+    pub layer_norm: LayerNormKind,
+    /// Per-head dimension `d_k`.
+    pub head_dim: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl From<&TransformerClassifier> for VerifiableTransformer {
+    fn from(m: &TransformerClassifier) -> Self {
+        VerifiableTransformer {
+            layers: m.layers.clone(),
+            head: m.head.clone(),
+            layer_norm: m.config.layer_norm,
+            head_dim: m.config.head_dim(),
+            num_classes: m.config.num_classes,
+        }
+    }
+}
+
+impl From<&VisionTransformer> for VerifiableTransformer {
+    fn from(m: &VisionTransformer) -> Self {
+        VerifiableTransformer {
+            layers: m.layers.clone(),
+            head: m.head.clone(),
+            layer_norm: m.config.layer_norm,
+            head_dim: m.config.head_dim(),
+            num_classes: m.config.num_classes,
+        }
+    }
+}
+
+/// Threat model T1: an ℓp ball of radius `radius` around the embedding of
+/// the word at `position` (§2 / §6.1).
+pub fn t1_region(
+    embedded: &Matrix,
+    position: usize,
+    radius: f64,
+    p: PNorm,
+) -> Zonotope {
+    Zonotope::from_lp_ball(embedded, radius, p, &[position])
+}
+
+/// Threat model T2: for each position, an ℓ∞ box covering the embeddings of
+/// the original word and all of its synonyms (§6.7). Positions with no
+/// synonyms stay exact.
+///
+/// `embedding_rows[i]` lists the embedding vectors admissible at position
+/// `i` (original first). Positional encodings must already be folded into
+/// `embedded`; the synonym embeddings are token embeddings only, so the same
+/// positional row is added to each alternative before computing the box.
+pub fn t2_region(embedded: &Matrix, alternatives: &[Vec<Vec<f64>>]) -> Zonotope {
+    let (n, e) = embedded.shape();
+    assert_eq!(alternatives.len(), n, "one alternative set per position");
+    let mut center = embedded.clone();
+    let mut radii = Matrix::zeros(n, e);
+    for (i, alts) in alternatives.iter().enumerate() {
+        if alts.is_empty() {
+            continue;
+        }
+        // The box covers the original embedding row plus each alternative
+        // (alternatives are full embedding rows at this position).
+        let mut lo = embedded.row(i).to_vec();
+        let mut hi = embedded.row(i).to_vec();
+        for alt in alts {
+            assert_eq!(alt.len(), e, "alternative embedding dimension mismatch");
+            for (d, &v) in alt.iter().enumerate() {
+                lo[d] = lo[d].min(v);
+                hi[d] = hi[d].max(v);
+            }
+        }
+        for d in 0..e {
+            center.set(i, d, 0.5 * (lo[d] + hi[d]));
+            radii.set(i, d, 0.5 * (hi[d] - lo[d]));
+        }
+    }
+    Zonotope::from_box(&center, &radii, PNorm::Linf)
+}
+
+/// Result of a certification query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertResult {
+    /// Whether robustness was proven.
+    pub certified: bool,
+    /// Lower bounds of `y_true − y_other` for every other class, in class
+    /// order (the true class's own slot holds `f64::INFINITY`).
+    pub margins: Vec<f64>,
+}
+
+impl CertResult {
+    /// Builds the result from margin lower bounds.
+    pub fn from_margins(margins: Vec<f64>) -> Self {
+        CertResult {
+            certified: margins.iter().all(|&m| m > 0.0),
+            margins,
+        }
+    }
+}
+
+/// Computes margin lower bounds `lb(y_t − y_f)` for all `f ≠ t` from a
+/// logits zonotope (`1 × classes`), exploiting the shared noise symbols —
+/// the difference is formed *inside* the abstract domain (§3.2).
+pub fn margins_from_zonotope(logits: &Zonotope, true_label: usize) -> Vec<f64> {
+    let c = logits.cols();
+    assert!(true_label < c, "true label out of range");
+    let mut margins = vec![f64::INFINITY; c];
+    if logits.has_non_finite() {
+        for (f, m) in margins.iter_mut().enumerate() {
+            if f != true_label {
+                *m = f64::NEG_INFINITY;
+            }
+        }
+        return margins;
+    }
+    for f in 0..c {
+        if f == true_label {
+            continue;
+        }
+        let mut l = Matrix::zeros(1, c);
+        l.set(0, true_label, 1.0);
+        l.set(0, f, -1.0);
+        let diff = logits.linear_vars(&l, 1, 1);
+        margins[f] = diff.bounds_of(0).0;
+    }
+    margins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_region_shape() {
+        let emb = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let z = t1_region(&emb, 1, 0.5, PNorm::L2);
+        assert_eq!(z.num_phi(), 2);
+        let (lo, hi) = z.bounds();
+        assert_eq!((lo[0], hi[0]), (1.0, 1.0));
+        assert!((lo[2] - 2.5).abs() < 1e-12 && (hi[2] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t2_region_covers_all_alternatives() {
+        let emb = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let alts = vec![
+            vec![vec![0.5, -0.5], vec![-0.3, 0.2]],
+            vec![],
+        ];
+        let z = t2_region(&emb, &alts);
+        let (lo, hi) = z.bounds();
+        // Position 0 box must cover original (0,0) and both alternatives.
+        assert!(lo[0] <= -0.3 + 1e-12 && hi[0] >= 0.5 - 1e-12);
+        assert!(lo[1] <= -0.5 + 1e-12 && hi[1] >= 0.2 - 1e-12);
+        // Position 1 is exact.
+        assert_eq!((lo[2], hi[2]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn margins_use_relational_information() {
+        // Logits y0 = ε, y1 = ε: y0 − y1 = 0 exactly; naive interval
+        // subtraction would give ±2.
+        let z = Zonotope::from_parts(
+            1,
+            2,
+            vec![0.0, 0.0],
+            Matrix::zeros(2, 0),
+            Matrix::from_rows(&[&[1.0], &[1.0]]),
+            PNorm::Linf,
+        );
+        let m = margins_from_zonotope(&z, 0);
+        assert_eq!(m[1], 0.0);
+        assert_eq!(m[0], f64::INFINITY);
+        assert!(!CertResult::from_margins(m).certified);
+    }
+
+    #[test]
+    fn non_finite_logits_fail_certification() {
+        let z = Zonotope::from_parts(
+            1,
+            2,
+            vec![f64::INFINITY, 0.0],
+            Matrix::zeros(2, 0),
+            Matrix::zeros(2, 0),
+            PNorm::Linf,
+        );
+        let m = margins_from_zonotope(&z, 0);
+        assert_eq!(m[1], f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,72 @@
+//! Maximum certified radius via binary search (§6.1).
+
+/// Finds (a lower bound on) the largest radius `r` for which `verify(r)`
+/// holds, assuming `verify` is monotone (certifiable at `r` implies
+/// certifiable below `r` — true for all verifiers in this crate).
+///
+/// The search first grows an upper bracket exponentially from `start`, then
+/// bisects for `iters` rounds. Returns `0.0` if even an infinitesimal radius
+/// fails (e.g. the point is misclassified).
+pub fn max_certified_radius(mut verify: impl FnMut(f64) -> bool, start: f64, iters: usize) -> f64 {
+    assert!(start > 0.0, "start radius must be positive");
+    if !verify(0.0) {
+        return 0.0;
+    }
+    let mut lo = 0.0;
+    let mut hi = start;
+    let mut grow = 0;
+    while verify(hi) && grow < 40 {
+        lo = hi;
+        hi *= 2.0;
+        grow += 1;
+    }
+    if grow == 40 {
+        return lo; // effectively unbounded; report the bracket
+    }
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if verify(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold() {
+        // verify(r) = r <= 0.37
+        let r = max_certified_radius(|r| r <= 0.37, 0.01, 40);
+        assert!((r - 0.37).abs() < 1e-6);
+    }
+
+    #[test]
+    fn misclassified_point_gives_zero() {
+        assert_eq!(max_certified_radius(|_| false, 0.1, 20), 0.0);
+    }
+
+    #[test]
+    fn threshold_below_start_is_found() {
+        let r = max_certified_radius(|r| r <= 0.003, 0.1, 40);
+        assert!((r - 0.003).abs() < 1e-6);
+    }
+
+    #[test]
+    fn counts_calls_reasonably() {
+        let mut calls = 0;
+        let _ = max_certified_radius(
+            |r| {
+                calls += 1;
+                r <= 0.25
+            },
+            0.01,
+            20,
+        );
+        assert!(calls < 70, "too many verifier calls: {calls}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The Figure 4 Multi-norm Zonotope, rendered as ASCII art.
+//!
+//! `x = 4 + φ₁ + φ₂ − ε₁ + 2ε₂`, `y = 3 + φ₁ + φ₂ + ε₁ + ε₂` with
+//! `‖φ‖₂ ≤ 1` and `ε ∈ [−1, 1]²`. The plot shows the multi-norm region (`·`)
+//! and, inside it, the classical zonotope obtained by dropping the φ
+//! symbols (`#`) — illustrating the extra expressiveness of the ℓ2-bounded
+//! symbols.
+//!
+//! Run with `cargo run --release --example figure4_zonotope`.
+
+use deept::tensor::Matrix;
+use deept::zonotope::{PNorm, Zonotope};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let full = Zonotope::from_parts(
+        2,
+        1,
+        vec![4.0, 3.0],
+        Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]),
+        Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, 1.0]]),
+        PNorm::L2,
+    );
+    let classical = Zonotope::from_parts(
+        2,
+        1,
+        vec![4.0, 3.0],
+        Matrix::zeros(2, 0),
+        Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, 1.0]]),
+        PNorm::L2,
+    );
+    let (lo, hi) = full.bounds();
+    println!("x ∈ [{:.3}, {:.3}], y ∈ [{:.3}, {:.3}]", lo[0], hi[0], lo[1], hi[1]);
+
+    // Rasterize by sampling noise instantiations of both regions.
+    const W: usize = 64;
+    const H: usize = 28;
+    let (x0, x1) = (-0.5f64, 8.5f64);
+    let (y0, y1) = (-0.5f64, 6.5f64);
+    let mut grid = vec![[0u8; W]; H];
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut paint = |z: &Zonotope, mark: u8, rng: &mut ChaCha8Rng| {
+        for _ in 0..300_000 {
+            let (mut phi, mut eps) = z.sample_noise(rng);
+            // Push samples outward for better coverage of the boundary.
+            if rng.gen_bool(0.5) {
+                let n = deept::tensor::lp_norm(&phi, 2.0);
+                if n > 0.0 {
+                    for p in &mut phi {
+                        *p /= n;
+                    }
+                }
+                for e in &mut eps {
+                    *e = e.signum();
+                }
+            }
+            let v = z.evaluate(&phi, &eps);
+            let cx = ((v[0] - x0) / (x1 - x0) * (W as f64 - 1.0)).round();
+            let cy = ((v[1] - y0) / (y1 - y0) * (H as f64 - 1.0)).round();
+            if (0.0..W as f64).contains(&cx) && (0.0..H as f64).contains(&cy) {
+                let cell = &mut grid[H - 1 - cy as usize][cx as usize];
+                *cell = (*cell).max(mark);
+            }
+        }
+    };
+    paint(&full, 1, &mut rng);
+    paint(&classical, 2, &mut rng);
+
+    for row in &grid {
+        let line: String = row
+            .iter()
+            .map(|&c| match c {
+                0 => ' ',
+                1 => '·',
+                _ => '#',
+            })
+            .collect();
+        println!("{line}");
+    }
+    println!("·  multi-norm zonotope (φ symbols, ‖φ‖₂ ≤ 1)    # classical zonotope (ε only)");
+}

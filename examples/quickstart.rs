@@ -1,0 +1,81 @@
+//! Quickstart: train a tiny Transformer sentiment classifier from scratch,
+//! then certify one sentence against an ℓ2 perturbation of its second word
+//! and find the maximum certified radius.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use deept::data::sentiment;
+use deept::nn::train::{accuracy, train, TrainConfig};
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::PNorm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+
+    // 1. A small synthetic sentiment corpus (an SST stand-in).
+    let mut spec = sentiment::sst_spec();
+    spec.train = 600;
+    spec.test = 150;
+    spec.max_len = 8;
+    let ds = sentiment::generate(spec, &mut rng);
+    println!("corpus: {} train / {} test, vocab {}", ds.train.len(), ds.test.len(), ds.vocab.len());
+
+    // 2. Train a 2-layer encoder Transformer from scratch.
+    let mut model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: ds.vocab.len(),
+            max_len: 8,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    train(
+        &mut model,
+        &ds.train,
+        TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 2e-3,
+        },
+        &mut rng,
+    );
+    println!("test accuracy: {:.3}", accuracy(&model, &ds.test));
+
+    // 3. Certify a correctly classified sentence under threat model T1.
+    let (tokens, label) = ds
+        .test
+        .iter()
+        .find(|(t, l)| model.predict(t) == *l && t.len() >= 4)
+        .expect("some test sentence classifies correctly");
+    let words: Vec<&str> = tokens.iter().map(|&t| ds.vocab.token(t).name.as_str()).collect();
+    println!("sentence: {} (label {})", words.join(" "), label);
+
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(tokens);
+    let cfg = DeepTConfig::fast(2000);
+
+    let result = certify(&net, &t1_region(&emb, 1, 0.01, PNorm::L2), *label, &cfg);
+    println!(
+        "radius 0.01 around word 2: certified = {} (margin {:.4})",
+        result.certified,
+        result.margins[1 - label]
+    );
+
+    // 4. Maximum certified radius via binary search.
+    let r = max_certified_radius(
+        |radius| certify(&net, &t1_region(&emb, 1, radius, PNorm::L2), *label, &cfg).certified,
+        0.01,
+        16,
+    );
+    println!("maximum certified l2 radius for word 2: {r:.5}");
+}

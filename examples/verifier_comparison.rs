@@ -1,0 +1,97 @@
+//! Head-to-head verifier comparison on one trained network: DeepT-Fast,
+//! DeepT-Precise, CROWN-Backward, CROWN-BaF and interval propagation,
+//! with the randomized attack as an upper bound on the true radius.
+//!
+//! Run with `cargo run --release --example verifier_comparison`.
+
+use deept::data::sentiment;
+use deept::nn::train::{accuracy, train, TrainConfig};
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept::verifier::attack::min_attack_radius;
+use deept::verifier::crown::{self, CrownConfig, CrownInput};
+use deept::verifier::deept as deept_v;
+use deept::verifier::deept::DeepTConfig;
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::PNorm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut spec = sentiment::sst_spec();
+    spec.train = 700;
+    spec.test = 150;
+    spec.max_len = 8;
+    let ds = sentiment::generate(spec, &mut rng);
+
+    let mut model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: ds.vocab.len(),
+            max_len: 8,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    train(
+        &mut model,
+        &ds.train,
+        TrainConfig {
+            epochs: 5,
+            batch_size: 16,
+            lr: 2e-3,
+        },
+        &mut rng,
+    );
+    println!("test accuracy: {:.3}\n", accuracy(&model, &ds.test));
+
+    let (tokens, label) = ds
+        .test
+        .iter()
+        .find(|(t, l)| model.predict(t) == *l && t.len() >= 4)
+        .expect("correctly classified sentence");
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(tokens);
+    let position = 1;
+    let p = PNorm::Linf;
+
+    println!("{:<18} {:>12} {:>9}", "verifier", "radius", "time[ms]");
+    let report = |name: &str, verify: &mut dyn FnMut(f64) -> bool| {
+        let start = std::time::Instant::now();
+        let r = max_certified_radius(verify, 0.005, 14);
+        println!(
+            "{name:<18} {r:>12.6} {:>9.1}",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        r
+    };
+
+    let fast = DeepTConfig::fast(2000);
+    report("DeepT-Fast", &mut |r| {
+        deept_v::certify(&net, &t1_region(&emb, position, r, p), *label, &fast).certified
+    });
+    let precise = DeepTConfig::precise(192);
+    report("DeepT-Precise", &mut |r| {
+        deept_v::certify(&net, &t1_region(&emb, position, r, p), *label, &precise).certified
+    });
+    for (name, cfg) in [
+        ("CROWN-Backward", CrownConfig::backward()),
+        ("CROWN-BaF", CrownConfig::baf()),
+        ("Interval", CrownConfig::interval()),
+    ] {
+        report(name, &mut |r| {
+            crown::certify(&net, &CrownInput::t1(&emb, position, r, p), *label, &cfg).certified
+        });
+    }
+
+    // Upper bound from the randomized attack.
+    match min_attack_radius(&model, tokens, position, 2.0, p, 400, &mut rng) {
+        Some(r) => println!("{:<18} {r:>12.6} (smallest successful attack)", "Attack"),
+        None => println!("{:<18} {:>12} (no attack found up to 2.0)", "Attack", "-"),
+    }
+}

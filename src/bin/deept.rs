@@ -1,0 +1,298 @@
+//! `deept` — command-line certification of Transformer sentiment
+//! classifiers.
+//!
+//! ```text
+//! deept train   --out model.json [--layers 2] [--yelp] [--std-ln] [--epochs 6]
+//! deept certify --model model.json --sentence "pos0_1 neu3 not0 neg2_0" \
+//!               [--position 1] [--norm l2] [--radius 0.05]
+//! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
+//! ```
+//!
+//! `train` produces a JSON bundle (model + vocabulary); `certify` reports
+//! the classification, then either checks one radius or binary-searches the
+//! maximum certified radius; `synonyms` certifies threat model T2 against
+//! embedding-space nearest-neighbour substitutions and cross-checks with
+//! bounded enumeration.
+
+use std::process::ExitCode;
+
+use deept::data::sentiment;
+use deept::data::{SynonymSets, Vocab};
+use deept::nn::train::{accuracy, train, TrainConfig};
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::verifier::synonym;
+use deept::zonotope::PNorm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to certify sentences later: the weights and the
+/// vocabulary that token names resolve against.
+#[derive(Serialize, Deserialize)]
+struct Bundle {
+    model: TransformerClassifier,
+    vocab: Vocab,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("certify") => cmd_certify(&args[1..]),
+        Some("synonyms") => cmd_synonyms(&args[1..]),
+        _ => {
+            eprintln!("usage: deept <train|certify|synonyms> [options]  (see --help in source)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").ok_or("--out <path> is required")?;
+    let layers: usize = flag(args, "--layers")
+        .map(|s| s.parse().map_err(|_| "--layers must be a number"))
+        .transpose()?
+        .unwrap_or(2);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|s| s.parse().map_err(|_| "--epochs must be a number"))
+        .transpose()?
+        .unwrap_or(6);
+    let mut spec = if has(args, "--yelp") {
+        sentiment::yelp_spec()
+    } else {
+        sentiment::sst_spec()
+    };
+    spec.train = spec.train.min(900);
+    spec.test = spec.test.min(200);
+    spec.max_len = spec.max_len.min(10);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+    );
+    let ds = sentiment::generate(spec, &mut rng);
+    let layer_norm = if has(args, "--std-ln") {
+        LayerNormKind::Std { epsilon: 1e-5 }
+    } else {
+        LayerNormKind::NoStd
+    };
+    let mut model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: ds.vocab.len(),
+            max_len: spec.max_len,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm,
+        },
+        &mut rng,
+    );
+    eprintln!("training {layers}-layer transformer ({epochs} epochs)…");
+    train(
+        &mut model,
+        &ds.train,
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            lr: 2e-3,
+        },
+        &mut rng,
+    );
+    println!("test accuracy: {:.3}", accuracy(&model, &ds.test));
+    let bundle = Bundle {
+        model,
+        vocab: ds.vocab,
+    };
+    deept::nn::io::save_json(&bundle, &out).map_err(|e| e.to_string())?;
+    println!("saved bundle to {out}");
+    // Print a few example sentences so the user has valid token names.
+    print!("example sentence: ");
+    let (toks, _) = &ds.test[0];
+    let names: Vec<&str> = toks.iter().map(|&t| bundle_token_name(&bundle, t)).collect();
+    println!("{}", names.join(" "));
+    Ok(())
+}
+
+fn bundle_token_name(b: &Bundle, id: usize) -> &str {
+    b.vocab.token(id).name.as_str()
+}
+
+fn load_bundle(args: &[String]) -> Result<Bundle, String> {
+    let path = flag(args, "--model").ok_or("--model <path> is required")?;
+    deept::nn::io::load_json(&path).map_err(|e| e.to_string())
+}
+
+fn parse_sentence(bundle: &Bundle, args: &[String]) -> Result<Vec<usize>, String> {
+    let raw = flag(args, "--sentence").ok_or("--sentence \"tok tok …\" is required")?;
+    raw.split_whitespace()
+        .map(|w| {
+            (0..bundle.vocab.len())
+                .find(|&i| bundle.vocab.token(i).name == w)
+                .ok_or_else(|| format!("unknown token {w:?}"))
+        })
+        .collect()
+}
+
+fn cmd_certify(args: &[String]) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let tokens = parse_sentence(&bundle, args)?;
+    let position: usize = flag(args, "--position")
+        .map(|s| s.parse().map_err(|_| "--position must be a number"))
+        .transpose()?
+        .unwrap_or(0);
+    if position >= tokens.len() {
+        return Err("--position out of range".into());
+    }
+    let p = PNorm::parse(&flag(args, "--norm").unwrap_or_else(|| "l2".into()))
+        .ok_or("--norm must be 1, 2 or inf")?;
+    let label = bundle.model.predict(&tokens);
+    println!(
+        "prediction: {} ({})",
+        label,
+        if label == 1 { "positive" } else { "negative" }
+    );
+    let net = VerifiableTransformer::from(&bundle.model);
+    let emb = bundle.model.embed(&tokens);
+    let cfg = DeepTConfig::fast(2000);
+    if let Some(radius) = flag(args, "--radius") {
+        let radius: f64 = radius.parse().map_err(|_| "--radius must be a number")?;
+        let res = certify(&net, &t1_region(&emb, position, radius, p), label, &cfg);
+        println!(
+            "radius {radius} ({p}) at position {position}: certified = {} (margin {:.5})",
+            res.certified,
+            res.margins[1 - label]
+        );
+    } else {
+        let r = max_certified_radius(
+            |radius| {
+                certify(&net, &t1_region(&emb, position, radius, p), label, &cfg).certified
+            },
+            0.01,
+            16,
+        );
+        println!("maximum certified {p} radius at position {position}: {r:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_synonyms(args: &[String]) -> Result<(), String> {
+    let bundle = load_bundle(args)?;
+    let tokens = parse_sentence(&bundle, args)?;
+    let k: usize = flag(args, "--k")
+        .map(|s| s.parse().map_err(|_| "--k must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let dist: f64 = flag(args, "--dist")
+        .map(|s| s.parse().map_err(|_| "--dist must be a number"))
+        .transpose()?
+        .unwrap_or(0.8);
+    let synonyms = SynonymSets::from_embeddings(&bundle.model.token_embed, k, dist);
+    let label = bundle.model.predict(&tokens);
+    println!("prediction: {label}, {} synonym combinations", synonyms.combinations(&tokens));
+    for &t in &tokens {
+        let names: Vec<&str> = synonyms
+            .of(t)
+            .iter()
+            .map(|&s| bundle_token_name(&bundle, s))
+            .collect();
+        println!(
+            "  {:<10} → {}",
+            bundle_token_name(&bundle, t),
+            if names.is_empty() { "∅".into() } else { names.join(", ") }
+        );
+    }
+    let cfg = DeepTConfig::fast(2000);
+    let res = synonym::certify_deept(&bundle.model, &tokens, &synonyms, label, &cfg);
+    println!("T2 certified: {}", res.certified);
+    let enu = synonym::enumerate(&bundle.model, &tokens, &synonyms, label, 50_000);
+    println!(
+        "enumeration cross-check: robust = {} ({} combinations checked{})",
+        enu.robust,
+        enu.checked,
+        if enu.exhausted { ", exhausted" } else { ", budget hit" }
+    );
+    if res.certified && enu.exhausted {
+        assert!(enu.robust, "certificate contradicted by enumeration");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["--model", "m.json", "--norm", "inf"]);
+        assert_eq!(flag(&a, "--model").as_deref(), Some("m.json"));
+        assert_eq!(flag(&a, "--norm").as_deref(), Some("inf"));
+        assert_eq!(flag(&a, "--missing"), None);
+        assert!(!has(&a, "--yelp"));
+        assert!(has(&args(&["--yelp"]), "--yelp"));
+    }
+
+    #[test]
+    fn certify_requires_model() {
+        let err = cmd_certify(&args(&["--sentence", "x"])).unwrap_err();
+        assert!(err.contains("--model"));
+    }
+
+    #[test]
+    fn unknown_tokens_are_rejected() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut spec = sentiment::sst_spec();
+        spec.train = 1;
+        spec.test = 1;
+        let ds = sentiment::generate(spec, &mut rng);
+        let bundle = Bundle {
+            model: TransformerClassifier::new(
+                TransformerConfig {
+                    vocab_size: ds.vocab.len(),
+                    max_len: 6,
+                    embed_dim: 8,
+                    num_heads: 2,
+                    hidden_dim: 8,
+                    num_layers: 1,
+                    num_classes: 2,
+                    layer_norm: LayerNormKind::NoStd,
+                },
+                &mut rng,
+            ),
+            vocab: ds.vocab,
+        };
+        let err =
+            parse_sentence(&bundle, &args(&["--sentence", "definitely_not_a_token"]))
+                .unwrap_err();
+        assert!(err.contains("unknown token"));
+        // And a real token resolves.
+        let name = bundle.vocab.token(0).name.clone();
+        let ids = parse_sentence(&bundle, &args(&["--sentence", &name])).unwrap();
+        assert_eq!(ids, vec![0]);
+    }
+}

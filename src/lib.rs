@@ -1,0 +1,50 @@
+//! **DeepT-rs** — a Rust reproduction of *Fast and Precise Certification of
+//! Transformers* (Bonaert et al., PLDI 2021).
+//!
+//! This umbrella crate re-exports the workspace members under one roof:
+//!
+//! * [`tensor`] — dense `f64` matrix algebra;
+//! * [`nn`] — Transformer/ViT/MLP networks, autodiff and training;
+//! * [`data`] — synthetic sentiment corpora, synonym sets and images;
+//! * [`zonotope`] — the Multi-norm Zonotope abstract domain (the paper's
+//!   core contribution);
+//! * [`verifier`] — the DeepT verifier plus CROWN-style, interval and
+//!   enumeration baselines;
+//! * [`lp`] — a dense simplex solver;
+//! * [`geocert`] — complete ReLU-MLP verification (GeoCert role).
+//!
+//! See the `examples/` directory for runnable entry points and
+//! `crates/bench` for the binaries that regenerate every table of the
+//! paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deept::verifier::deept::{certify, DeepTConfig};
+//! use deept::verifier::network::{t1_region, VerifiableTransformer};
+//! use deept::zonotope::PNorm;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let model = deept::nn::TransformerClassifier::new(
+//!     deept::nn::TransformerConfig {
+//!         vocab_size: 12, max_len: 6, embed_dim: 8, num_heads: 2,
+//!         hidden_dim: 16, num_layers: 1, num_classes: 2,
+//!         layer_norm: deept::nn::LayerNormKind::NoStd,
+//!     },
+//!     &mut rng,
+//! );
+//! let tokens = [1, 2, 3];
+//! let label = model.predict(&tokens);
+//! let region = t1_region(&model.embed(&tokens), 1, 1e-4, PNorm::L2);
+//! let net = VerifiableTransformer::from(&model);
+//! assert!(certify(&net, &region, label, &DeepTConfig::fast(2000)).certified);
+//! ```
+
+pub use deept_core as zonotope;
+pub use deept_data as data;
+pub use deept_geocert as geocert;
+pub use deept_lp as lp;
+pub use deept_nn as nn;
+pub use deept_tensor as tensor;
+pub use deept_verifier as verifier;

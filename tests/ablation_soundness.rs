@@ -1,0 +1,69 @@
+//! Soundness of every verifier *configuration* knob: whatever the ablation
+//! (norm order, refinement, budgets, combined variant), certified regions
+//! must resist attack.
+
+mod common;
+
+use deept::verifier::attack::attack_t1;
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::{NormOrder, PNorm};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn all_configurations_certify_soundly() {
+    let (model, ds) = common::trained_transformer(2, 90);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let mut rng = ChaCha8Rng::seed_from_u64(91);
+    let configs: Vec<(&str, DeepTConfig)> = vec![
+        ("fast", DeepTConfig::fast(1500)),
+        ("fast-pfirst", DeepTConfig::fast(1500).with_norm_order(NormOrder::PFirst)),
+        ("fast-norefine", DeepTConfig::fast(1500).with_softmax_refinement(false)),
+        ("fast-tiny-budget", DeepTConfig::fast(8)),
+        ("precise", DeepTConfig::precise(96)),
+        ("combined", DeepTConfig::combined(96)),
+    ];
+    for (name, cfg) in configs {
+        let r = max_certified_radius(
+            |radius| {
+                certify(&net, &t1_region(&emb, 1, radius, PNorm::L2), label, &cfg).certified
+            },
+            0.01,
+            10,
+        );
+        assert!(r > 0.0, "{name}: no positive certified radius");
+        let adv = attack_t1(&model, &tokens, 1, r * 0.999, PNorm::L2, 250, &mut rng);
+        assert!(adv.is_none(), "{name}: attack inside certified radius {r}");
+    }
+}
+
+#[test]
+fn budget_trades_precision_not_soundness() {
+    // Shrinking the noise-symbol budget may shrink the certified radius but
+    // never flips an uncertifiable query to certified unsoundly.
+    let (model, ds) = common::trained_transformer(2, 92);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let radius_for = |budget: usize| {
+        let cfg = DeepTConfig::fast(budget);
+        max_certified_radius(
+            |r| certify(&net, &t1_region(&emb, 1, r, PNorm::L2), label, &cfg).certified,
+            0.01,
+            12,
+        )
+    };
+    let tight = radius_for(8);
+    let generous = radius_for(100_000);
+    // More symbols retained = no less precision (DecorrelateMin_k only
+    // loses correlation when it drops symbols).
+    assert!(
+        generous >= tight * 0.8,
+        "generous budget much worse than tight: {generous} vs {tight}"
+    );
+    assert!(tight > 0.0);
+}

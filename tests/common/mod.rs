@@ -1,0 +1,53 @@
+//! Shared fixtures for the integration tests: small trained models.
+
+use deept::data::sentiment::{self, SentimentDataset};
+use deept::nn::train::{train, TrainConfig};
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A small trained sentiment transformer plus its corpus (deterministic).
+pub fn trained_transformer(layers: usize, seed: u64) -> (TransformerClassifier, SentimentDataset) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut spec = sentiment::sst_spec();
+    spec.train = 350;
+    spec.test = 80;
+    spec.max_len = 7;
+    let ds = sentiment::generate(spec, &mut rng);
+    let mut model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: ds.vocab.len(),
+            max_len: 7,
+            embed_dim: 12,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    train(
+        &mut model,
+        &ds.train,
+        TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 2e-3,
+        },
+        &mut rng,
+    );
+    (model, ds)
+}
+
+/// First correctly classified test sentence.
+pub fn correct_sentence(
+    model: &TransformerClassifier,
+    ds: &SentimentDataset,
+) -> (Vec<usize>, usize) {
+    ds.test
+        .iter()
+        .find(|(t, l)| model.predict(t) == *l && t.len() >= 4)
+        .cloned()
+        .expect("some sentence classifies correctly")
+}

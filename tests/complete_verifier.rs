@@ -1,0 +1,82 @@
+//! The complete branch-and-bound verifier against the incomplete zonotope
+//! verifier and against brute-force attacks, on a trained image MLP.
+
+use deept::data::images;
+use deept::geocert::{max_robust_radius_linf, verify_linf, zonotope_radius, BnbConfig, Verdict};
+use deept::nn::train::{accuracy, train, TrainConfig};
+use deept::nn::Mlp;
+use deept::zonotope::PNorm;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn trained_image_mlp() -> (Mlp, Vec<(Vec<f64>, usize)>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(50);
+    let spec = images::binary_spec(4, 40);
+    let data = images::generate(spec, &mut rng);
+    let mut mlp = Mlp::new(&[16, 8, 2], &mut rng);
+    train(
+        &mut mlp,
+        &data,
+        TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            lr: 3e-3,
+        },
+        &mut rng,
+    );
+    (mlp, data)
+}
+
+#[test]
+fn complete_radius_dominates_zonotope_and_resists_sampling() {
+    let (mlp, data) = trained_image_mlp();
+    assert!(accuracy(&mlp, &data) > 0.9, "image MLP failed to train");
+    let cfg = BnbConfig { max_nodes: 600 };
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let mut checked = 0;
+    for (x0, y) in data.iter().take(4) {
+        if mlp.predict(x0) != *y {
+            continue;
+        }
+        checked += 1;
+        let complete = max_robust_radius_linf(&mlp, x0, *y, &cfg, 14);
+        let zono = zonotope_radius(&mlp, x0, PNorm::Linf, *y, 14);
+        assert!(complete >= zono - 1e-6, "complete {complete} < zonotope {zono}");
+        // Random points inside the certified box never flip.
+        for _ in 0..200 {
+            let p: Vec<f64> = x0
+                .iter()
+                .map(|&c| c + rng.gen_range(-1.0..1.0) * complete * 0.999)
+                .collect();
+            assert_eq!(mlp.predict(&p), *y, "flip inside complete-certified box");
+        }
+    }
+    assert!(checked >= 2, "too few correctly classified points");
+}
+
+#[test]
+fn falsification_returns_genuine_adversarial_inputs() {
+    let (mlp, data) = trained_image_mlp();
+    let (x0, y) = data.iter().find(|(x, y)| mlp.predict(x) == *y).expect("correct point");
+    // A huge box must contain an attack for a non-constant classifier.
+    match verify_linf(&mlp, x0, 3.0, *y, &BnbConfig { max_nodes: 3000 }) {
+        Verdict::Falsified { input } => {
+            assert_ne!(mlp.predict(&input), *y);
+            for (v, c) in input.iter().zip(x0) {
+                assert!((v - c).abs() <= 3.0 + 1e-9);
+            }
+        }
+        Verdict::Robust => {
+            // Only possible if the classifier is constant on the box —
+            // check that claim by sampling.
+            let mut rng = ChaCha8Rng::seed_from_u64(52);
+            for _ in 0..500 {
+                let p: Vec<f64> =
+                    x0.iter().map(|&c| c + rng.gen_range(-3.0..3.0)).collect();
+                assert_eq!(mlp.predict(&p), *y, "robust verdict contradicted by sampling");
+            }
+        }
+        Verdict::Unknown => {}
+    }
+}

@@ -1,0 +1,67 @@
+//! End-to-end soundness: a certified region must contain no adversarial
+//! example — checked with the randomized attack and with exhaustive
+//! sampling of the concrete network.
+
+mod common;
+
+use deept::verifier::attack::attack_t1;
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::PNorm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn certified_radius_resists_randomized_attack() {
+    let (model, ds) = common::trained_transformer(2, 10);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(1500);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+        let position = 1;
+        let r = max_certified_radius(
+            |radius| certify(&net, &t1_region(&emb, position, radius, p), label, &cfg).certified,
+            0.01,
+            14,
+        );
+        assert!(r > 0.0, "certified radius must be positive for {p:?}");
+        // The attack gets many tries strictly inside the certified ball.
+        let adv = attack_t1(&model, &tokens, position, r * 0.999, p, 500, &mut rng);
+        assert!(
+            adv.is_none(),
+            "attack succeeded inside certified {p:?} ball of radius {r}"
+        );
+    }
+}
+
+#[test]
+fn certification_fails_beyond_the_attack_radius() {
+    // If a real attack exists at radius r, certification at radius r must
+    // fail (contrapositive of soundness).
+    let (model, ds) = common::trained_transformer(1, 11);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(1500);
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    if let Some(_adv) = attack_t1(&model, &tokens, 1, 5.0, PNorm::L2, 500, &mut rng) {
+        let res = certify(&net, &t1_region(&emb, 1, 5.0, PNorm::L2), label, &cfg);
+        assert!(!res.certified, "certified a region containing a real attack");
+    }
+}
+
+#[test]
+fn margins_match_concrete_network_at_zero_radius() {
+    let (model, ds) = common::trained_transformer(1, 12);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(1500);
+    let res = certify(&net, &t1_region(&emb, 0, 0.0, PNorm::L2), label, &cfg);
+    let logits = model.logits(&tokens);
+    let concrete_margin = logits.at(0, label) - logits.at(0, 1 - label);
+    assert!((res.margins[1 - label] - concrete_margin).abs() < 1e-6);
+}

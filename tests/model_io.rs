@@ -1,0 +1,37 @@
+//! Persistence round-trips: a model saved and reloaded must verify
+//! identically (bit-for-bit margins).
+
+mod common;
+
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::zonotope::PNorm;
+
+#[test]
+fn verification_is_identical_after_reload() {
+    let (model, ds) = common::trained_transformer(2, 40);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let dir = std::env::temp_dir().join(format!("deept-io-{}", std::process::id()));
+    let path = dir.join("model.json");
+    deept::nn::io::save_json(&model, &path).expect("save");
+    let reloaded: deept::nn::TransformerClassifier =
+        deept::nn::io::load_json(&path).expect("load");
+    assert_eq!(model, reloaded);
+
+    let cfg = DeepTConfig::fast(1500);
+    let emb = model.embed(&tokens);
+    let r1 = certify(
+        &VerifiableTransformer::from(&model),
+        &t1_region(&emb, 1, 0.02, PNorm::L2),
+        label,
+        &cfg,
+    );
+    let r2 = certify(
+        &VerifiableTransformer::from(&reloaded),
+        &t1_region(&reloaded.embed(&tokens), 1, 0.02, PNorm::L2),
+        label,
+        &cfg,
+    );
+    assert_eq!(r1.margins, r2.margins, "margins drifted across a save/load");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,89 @@
+//! Cross-verifier precision ordering on identical queries:
+//! Interval ⊑ CROWN-BaF ⊑ CROWN-Backward, and DeepT-Fast ⊑ DeepT-Precise
+//! (ℓ∞); DeepT-Fast must dominate interval propagation.
+
+mod common;
+
+use deept::verifier::crown::{self, CrownConfig, CrownInput};
+use deept::verifier::deept::{self as deept_v, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::PNorm;
+
+fn crown_radius(
+    model: &deept::nn::TransformerClassifier,
+    tokens: &[usize],
+    label: usize,
+    p: PNorm,
+    cfg: &CrownConfig,
+) -> f64 {
+    let net = VerifiableTransformer::from(model);
+    let emb = model.embed(tokens);
+    max_certified_radius(
+        |r| crown::certify(&net, &CrownInput::t1(&emb, 1, r, p), label, cfg).certified,
+        0.01,
+        14,
+    )
+}
+
+fn deept_radius(
+    model: &deept::nn::TransformerClassifier,
+    tokens: &[usize],
+    label: usize,
+    p: PNorm,
+    cfg: &DeepTConfig,
+) -> f64 {
+    let net = VerifiableTransformer::from(model);
+    let emb = model.embed(tokens);
+    max_certified_radius(
+        |r| deept_v::certify(&net, &t1_region(&emb, 1, r, p), label, cfg).certified,
+        0.01,
+        14,
+    )
+}
+
+#[test]
+fn linear_domain_ordering() {
+    // Interval propagation is dominated by both linear-bound variants;
+    // Backward dominates BaF on average (per-query strictness is not a
+    // theorem because McCormick line choices are locally greedy).
+    let (model, ds) = common::trained_transformer(2, 20);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    for p in [PNorm::L2, PNorm::Linf] {
+        let interval = crown_radius(&model, &tokens, label, p, &CrownConfig::interval());
+        let baf = crown_radius(&model, &tokens, label, p, &CrownConfig::baf());
+        let backward = crown_radius(&model, &tokens, label, p, &CrownConfig::backward());
+        assert!(baf >= interval * 0.9, "BaF {baf} < interval {interval}");
+        // Backward takes the meet of both forward analyses, so it dominates
+        // BaF by construction.
+        assert!(backward >= baf * 0.999, "backward {backward} < BaF {baf}");
+    }
+}
+
+#[test]
+fn deept_precise_dominates_fast_on_linf() {
+    let (model, ds) = common::trained_transformer(1, 21);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    // Same (generous) budget for both so only the dot product differs.
+    let fast = deept_radius(&model, &tokens, label, PNorm::Linf, &DeepTConfig::fast(100_000));
+    let precise =
+        deept_radius(&model, &tokens, label, PNorm::Linf, &DeepTConfig::precise(100_000));
+    assert!(
+        precise >= fast * 0.999,
+        "precise {precise} < fast {fast}"
+    );
+}
+
+#[test]
+fn deept_fast_dominates_interval() {
+    let (model, ds) = common::trained_transformer(2, 22);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+        let deept = deept_radius(&model, &tokens, label, p, &DeepTConfig::fast(3000));
+        let interval = crown_radius(&model, &tokens, label, p, &CrownConfig::interval());
+        assert!(
+            deept >= interval * 0.999,
+            "{p:?}: DeepT-Fast {deept} < interval {interval}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Threat model T2 end-to-end: abstract certification of synonym boxes must
+//! agree with exhaustive enumeration, and the box region must cover every
+//! concrete synonym combination's embedding.
+
+mod common;
+
+use deept::data::SynonymSets;
+use deept::verifier::deept::DeepTConfig;
+use deept::verifier::synonym;
+
+#[test]
+fn certified_sentences_survive_enumeration() {
+    let (model, ds) = common::trained_transformer(1, 30);
+    let synonyms = SynonymSets::from_embeddings(&model.token_embed, 3, 0.8);
+    let cfg = DeepTConfig::fast(1500);
+    let mut tried = 0;
+    let mut certified = 0;
+    for (tokens, label) in ds.test.iter().take(40) {
+        if model.predict(tokens) != *label {
+            continue;
+        }
+        tried += 1;
+        let cert = synonym::certify_deept(&model, tokens, &synonyms, *label, &cfg);
+        if cert.certified {
+            certified += 1;
+            let enu = synonym::enumerate(&model, tokens, &synonyms, *label, 200_000);
+            assert!(
+                enu.robust,
+                "abstractly certified sentence has a concrete synonym attack"
+            );
+        }
+    }
+    assert!(tried >= 10, "too few evaluable sentences");
+    // Non-vacuity: with tight synonym balls some sentences should certify.
+    assert!(certified > 0, "no sentence certified — test is vacuous");
+}
+
+#[test]
+fn enumeration_exhausts_small_spaces() {
+    let (model, ds) = common::trained_transformer(1, 31);
+    let synonyms = SynonymSets::from_embeddings(&model.token_embed, 2, 0.8).truncated(1);
+    let (tokens, label) = common::correct_sentence(&model, &ds);
+    let combos = synonyms.combinations(&tokens);
+    let out = synonym::enumerate(&model, &tokens, &synonyms, label, u64::MAX);
+    if out.robust {
+        assert!(out.exhausted);
+        assert_eq!(out.checked as u128, combos);
+    } else {
+        assert!((out.checked as u128) <= combos);
+    }
+}
+
+#[test]
+fn t2_region_contains_every_combination_embedding() {
+    use deept::verifier::network::t2_region;
+    let (model, ds) = common::trained_transformer(1, 32);
+    let synonyms = SynonymSets::from_embeddings(&model.token_embed, 3, 1.0);
+    let (tokens, _) = common::correct_sentence(&model, &ds);
+    let emb = model.embed(&tokens);
+    let alts = synonym::alternatives(&model, &tokens, &synonyms);
+    let region = t2_region(&emb, &alts);
+    let (lo, hi) = region.bounds();
+    // Every single-word substitution's embedding row must lie in the box.
+    for (i, &t) in tokens.iter().enumerate() {
+        for &s in synonyms.of(t) {
+            let mut swapped = tokens.clone();
+            swapped[i] = s;
+            let e2 = model.embed(&swapped);
+            for d in 0..emb.cols() {
+                let k = i * emb.cols() + d;
+                let v = e2.at(i, d);
+                assert!(
+                    v >= lo[k] - 1e-9 && v <= hi[k] + 1e-9,
+                    "synonym embedding escapes the T2 box"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Vision-Transformer certification soundness: abstract pixel-space bounds
+//! must contain the concrete logits of sampled perturbed images.
+
+use deept::nn::{LayerNormKind, PatchConfig, TransformerConfig, VisionTransformer};
+use deept::tensor::Matrix;
+use deept::verifier::deept::{propagate, DeepTConfig};
+use deept::verifier::network::VerifiableTransformer;
+use deept::zonotope::{PNorm, Zonotope};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn vit_pixel_region_propagation_is_sound() {
+    let mut rng = ChaCha8Rng::seed_from_u64(60);
+    let patches = PatchConfig {
+        image_h: 8,
+        image_w: 8,
+        patch: 4,
+    };
+    let vit = VisionTransformer::new(
+        TransformerConfig {
+            vocab_size: 0,
+            max_len: 4,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: 1,
+            num_classes: 3,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        patches,
+        &mut rng,
+    );
+    let pixels: Vec<f64> = (0..64).map(|i| (i as f64 * 0.13).sin() * 0.5 + 0.5).collect();
+    let radius = 0.02;
+
+    // Build the pixel permutation into patches, then the embedded region.
+    let n = 64;
+    let mut perm = Matrix::zeros(n, n);
+    let mut unit = vec![0.0; n];
+    for i in 0..n {
+        unit[i] = 1.0;
+        let p = vit.patches.patches(&unit);
+        for (dst, &v) in p.as_slice().iter().enumerate() {
+            if v != 0.0 {
+                perm.set(dst, i, v);
+            }
+        }
+        unit[i] = 0.0;
+    }
+    let px = Matrix::row_vector(pixels.clone());
+    let ball = Zonotope::from_lp_ball(&px, radius, PNorm::Linf, &[0]);
+    let embedded = ball
+        .linear_vars(&perm, 4, 16)
+        .matmul_right(&vit.patch_w)
+        .add_row_bias(vit.patch_b.row(0))
+        .add_const(&vit.pos_embed);
+
+    let net = VerifiableTransformer::from(&vit);
+    let logits = propagate(&net, &embedded, &DeepTConfig::fast(2000));
+    let (lo, hi) = logits.bounds();
+
+    for _ in 0..100 {
+        let perturbed: Vec<f64> = pixels
+            .iter()
+            .map(|&p| p + rng.gen_range(-radius..=radius))
+            .collect();
+        let out = vit.logits(&perturbed);
+        for c in 0..3 {
+            assert!(
+                out.at(0, c) >= lo[c] - 1e-7 && out.at(0, c) <= hi[c] + 1e-7,
+                "ViT logit {c} = {} escapes [{}, {}]",
+                out.at(0, c),
+                lo[c],
+                hi[c]
+            );
+        }
+    }
+}
