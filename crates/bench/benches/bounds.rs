@@ -7,8 +7,12 @@ use deept_tensor::Matrix;
 
 fn zono(vars: usize, syms: usize, p: PNorm) -> Zonotope {
     let center = vec![0.1; vars];
-    let phi = Matrix::from_fn(vars, 16, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.01 - 0.06);
-    let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 17 + c * 3) % 11) as f64 * 0.01 - 0.05);
+    let phi = Matrix::from_fn(vars, 16, |r, c| {
+        ((r * 31 + c * 7) % 13) as f64 * 0.01 - 0.06
+    });
+    let eps = Matrix::from_fn(vars, syms, |r, c| {
+        ((r * 17 + c * 3) % 11) as f64 * 0.01 - 0.05
+    });
     Zonotope::from_parts(vars, 1, center, phi, eps, p)
 }
 
@@ -18,11 +22,9 @@ fn bench_bounds(c: &mut Criterion) {
     for &syms in &[256usize, 1024, 4096] {
         for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
             let z = zono(128, syms, p);
-            g.bench_with_input(
-                BenchmarkId::new(format!("{p}"), syms),
-                &z,
-                |b, z| b.iter(|| black_box(z.bounds())),
-            );
+            g.bench_with_input(BenchmarkId::new(format!("{p}"), syms), &z, |b, z| {
+                b.iter(|| black_box(z.bounds()))
+            });
         }
     }
     g.finish();

@@ -9,7 +9,14 @@ use deept_tensor::Matrix;
 
 fn zono(vars: usize, syms: usize) -> Zonotope {
     let eps = Matrix::from_fn(vars, syms, |r, c| ((r * 13 + c * 7) % 17) as f64 * 0.003);
-    Zonotope::from_parts(vars, 1, vec![0.0; vars], Matrix::zeros(vars, 8), eps, PNorm::L2)
+    Zonotope::from_parts(
+        vars,
+        1,
+        vec![0.0; vars],
+        Matrix::zeros(vars, 8),
+        eps,
+        PNorm::L2,
+    )
 }
 
 fn bench_ablation(c: &mut Criterion) {

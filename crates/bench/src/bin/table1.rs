@@ -4,7 +4,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -13,6 +13,7 @@ fn main() {
     let scale = Scale::from_args();
     let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
     let mut rows = Vec::new();
+    let mut deepest = None;
     for layers in scale.depths() {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Sst,
@@ -36,12 +37,25 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     // Order rows (M, norm, verifier) so the ratio column compares
     // DeepT-Fast (first) against CROWN-BaF, as in the paper.
     rows.sort_by(|a, b| {
-        (a.layers, &a.norm, &a.verifier).partial_cmp(&(b.layers, &b.norm, &b.verifier)).unwrap()
+        (a.layers, &a.norm, &a.verifier)
+            .partial_cmp(&(b.layers, &b.norm, &b.verifier))
+            .unwrap()
     });
     print_radius_table("Table 1 — DeepT-Fast vs CROWN-BaF (SST-like)", &rows);
     save_results("table1", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table1",
+            model,
+            sentences,
+            PNorm::L2,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+    }
 }

@@ -49,7 +49,11 @@ fn main() {
     });
     let mut rows = Vec::new();
     for (name, radii, time) in [
-        ("Complete-BnB (GeoCert role)", &complete_radii, complete_time),
+        (
+            "Complete-BnB (GeoCert role)",
+            &complete_radii,
+            complete_time,
+        ),
         ("DeepT (zonotope)", &zono_radii, zono_time),
     ] {
         let (min, avg) = min_avg(radii);

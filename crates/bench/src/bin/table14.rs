@@ -3,7 +3,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -14,6 +14,7 @@ fn main() {
     // The paper's A.6 evaluates the 6- and 12-layer networks; we take the
     // deeper two of the depth progression.
     let depths = scale.depths();
+    let mut deepest = None;
     for &layers in &depths[1..] {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Sst,
@@ -33,7 +34,18 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     print_radius_table("Table 14 — Combined DeepT vs CROWN-Backward (linf)", &rows);
     save_results("table14", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table14",
+            model,
+            sentences,
+            PNorm::Linf,
+            VerifierKind::DeepTCombined,
+            scale,
+        );
+    }
 }

@@ -3,7 +3,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -12,6 +12,7 @@ fn main() {
     let scale = Scale::from_args();
     let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
     let mut rows = Vec::new();
+    let mut deepest = None;
     for layers in scale.depths() {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Yelp,
@@ -35,12 +36,25 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     // Order rows (M, norm, verifier) so the ratio column compares
     // DeepT-Fast (first) against CROWN-BaF, as in the paper.
     rows.sort_by(|a, b| {
-        (a.layers, &a.norm, &a.verifier).partial_cmp(&(b.layers, &b.norm, &b.verifier)).unwrap()
+        (a.layers, &a.norm, &a.verifier)
+            .partial_cmp(&(b.layers, &b.norm, &b.verifier))
+            .unwrap()
     });
     print_radius_table("Table 2 — DeepT-Fast vs CROWN-BaF (Yelp-like)", &rows);
     save_results("table2", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table2",
+            model,
+            sentences,
+            PNorm::L2,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+    }
 }

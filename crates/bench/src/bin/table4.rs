@@ -4,7 +4,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -12,6 +12,7 @@ use deept_nn::LayerNormKind;
 fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
+    let mut deepest = None;
     for layers in scale.depths() {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Sst,
@@ -20,7 +21,10 @@ fn main() {
             layer_norm: LayerNormKind::NoStd,
             scale,
         });
-        println!("[table4] M = {layers}: test accuracy {:.3}", trained.accuracy);
+        println!(
+            "[table4] M = {layers}: test accuracy {:.3}",
+            trained.accuracy
+        );
         // The paper evaluates one random position per sentence for the slow
         // verifiers; we keep the same (reduced) position budget for all.
         let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
@@ -39,10 +43,21 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     print_radius_table(
         "Table 4 / Table 12 — precision vs performance (linf)",
         &rows,
     );
     save_results("table4", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table4",
+            model,
+            sentences,
+            PNorm::Linf,
+            VerifierKind::DeepTPrecise,
+            scale,
+        );
+    }
 }

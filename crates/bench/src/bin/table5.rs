@@ -3,7 +3,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -11,6 +11,7 @@ use deept_nn::LayerNormKind;
 fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
+    let mut deepest = None;
     for layers in scale.depths() {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Sst,
@@ -19,7 +20,10 @@ fn main() {
             layer_norm: LayerNormKind::NoStd,
             scale,
         });
-        println!("[table5] M = {layers}: test accuracy {:.3}", trained.accuracy);
+        println!(
+            "[table5] M = {layers}: test accuracy {:.3}",
+            trained.accuracy
+        );
         let sentences = deept_bench::models::eval_sentences(&trained, scale.sentences().min(3), 10);
         for kind in [
             VerifierKind::DeepTFast,
@@ -35,7 +39,18 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     print_radius_table("Table 5 — l1/l2 vs CROWN-BaF and CROWN-Backward", &rows);
     save_results("table5", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table5",
+            model,
+            sentences,
+            PNorm::L1,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+    }
 }

@@ -4,7 +4,7 @@
 
 use deept_bench::models::{sentiment_model, Corpus, SentimentPreset, Width};
 use deept_bench::report::{print_radius_table, save_results};
-use deept_bench::t1::{radius_sweep, VerifierKind};
+use deept_bench::t1::{emit_table_trace, radius_sweep, VerifierKind};
 use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_nn::LayerNormKind;
@@ -12,6 +12,7 @@ use deept_nn::LayerNormKind;
 fn main() {
     let scale = Scale::from_args();
     let mut rows = Vec::new();
+    let mut deepest = None;
     for layers in scale.depths() {
         let trained = sentiment_model(SentimentPreset {
             corpus: Corpus::Sst,
@@ -31,6 +32,7 @@ fn main() {
                 layers,
             ));
         }
+        deepest = Some((trained.model, sentences));
     }
     print_radius_table("Table 6 — dual-norm order (inf-first vs p-first)", &rows);
     // Also report the per-setting average change, as the paper does.
@@ -55,4 +57,14 @@ fn main() {
         }
     }
     save_results("table6", &rows);
+    if let Some((model, sentences)) = &deepest {
+        emit_table_trace(
+            "table6",
+            model,
+            sentences,
+            PNorm::L2,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+    }
 }

@@ -35,9 +35,7 @@ fn main() {
         .test
         .iter()
         .chain(trained.dataset.train.iter())
-        .filter(|(t, l)| {
-            trained.model.predict(t) == *l && synonyms.combinations(t) >= min_combos
-        })
+        .filter(|(t, l)| trained.model.predict(t) == *l && synonyms.combinations(t) >= min_combos)
         .take(if scale == Scale::Quick { 15 } else { 60 })
         .cloned()
         .collect();
@@ -65,8 +63,10 @@ fn main() {
                     synonym::certify_deept(&trained.model, tokens, &synonyms, *label, &deept_cfg)
                         .certified
                 }
-                _ => synonym::certify_crown(&trained.model, tokens, &synonyms, *label, &crown_cfg)
-                    .certified,
+                _ => {
+                    synonym::certify_crown(&trained.model, tokens, &synonyms, *label, &crown_cfg)
+                        .certified
+                }
             };
             certified += usize::from(ok);
         }

@@ -42,7 +42,11 @@ fn main() {
             "{:<10} {:<12} {}",
             trained.dataset.vocab.token(t).name,
             names.len(),
-            if names.is_empty() { "∅".to_string() } else { names.join(", ") }
+            if names.is_empty() {
+                "∅".to_string()
+            } else {
+                names.join(", ")
+            }
         );
     }
 }

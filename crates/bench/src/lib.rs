@@ -93,7 +93,10 @@ impl Scale {
 /// Repository-level artifact directory (models, result JSON).
 pub fn artifact_dir() -> std::path::PathBuf {
     let root = std::env::var("DEEPT_ARTIFACTS").unwrap_or_else(|_| {
-        format!("{}/artifacts", env!("CARGO_MANIFEST_DIR").replace("/crates/bench", ""))
+        format!(
+            "{}/artifacts",
+            env!("CARGO_MANIFEST_DIR").replace("/crates/bench", "")
+        )
     });
     std::path::PathBuf::from(root)
 }

@@ -64,7 +64,11 @@ impl SentimentPreset {
             LayerNormKind::NoStd => "nostd",
             LayerNormKind::Std { .. } => "std",
         };
-        format!("{corpus}_m{}_{width}_{ln}_{}", self.layers, self.scale.tag())
+        format!(
+            "{corpus}_m{}_{width}_{ln}_{}",
+            self.layers,
+            self.scale.tag()
+        )
     }
 
     fn transformer_config(&self, vocab: usize, max_len: usize) -> TransformerConfig {
@@ -121,7 +125,12 @@ pub fn sentiment_model(preset: SentimentPreset) -> TrainedSentimentModel {
         .join(format!("{}.json", preset.cache_key()));
     let cfg = preset.transformer_config(
         dataset.vocab.len(),
-        dataset.train.iter().map(|(t, _)| t.len()).max().unwrap_or(16),
+        dataset
+            .train
+            .iter()
+            .map(|(t, _)| t.len())
+            .max()
+            .unwrap_or(16),
     );
     let model: TransformerClassifier = deept_nn::io::load_or_build(&path, || {
         let mut rng = ChaCha8Rng::seed_from_u64(7 + preset.layers as u64);
@@ -130,7 +139,11 @@ pub fn sentiment_model(preset: SentimentPreset) -> TrainedSentimentModel {
             Scale::Quick => 6,
             Scale::Full => 10,
         };
-        eprintln!("[models] training {} ({epochs} epochs)…", preset.cache_key());
+        deept_telemetry::info!(
+            "models",
+            "training {} ({epochs} epochs)…",
+            preset.cache_key()
+        );
         let stats = train(
             &mut model,
             &dataset.train,
@@ -142,8 +155,9 @@ pub fn sentiment_model(preset: SentimentPreset) -> TrainedSentimentModel {
             &mut rng,
         );
         if let Some(last) = stats.last() {
-            eprintln!(
-                "[models] {} train acc {:.3}, loss {:.3}",
+            deept_telemetry::info!(
+                "models",
+                "{} train acc {:.3}, loss {:.3}",
                 preset.cache_key(),
                 last.accuracy,
                 last.loss
@@ -152,7 +166,10 @@ pub fn sentiment_model(preset: SentimentPreset) -> TrainedSentimentModel {
         model
     })
     .expect("model cache");
-    assert_eq!(model.config, cfg, "stale model cache: delete artifacts/models");
+    assert_eq!(
+        model.config, cfg,
+        "stale model cache: delete artifacts/models"
+    );
     let acc = accuracy(&model, &dataset.test);
     TrainedSentimentModel {
         model,
@@ -179,7 +196,12 @@ pub fn t2_model(scale: Scale) -> (TrainedSentimentModel, SynonymSets) {
     }
     .transformer_config(
         dataset.vocab.len(),
-        dataset.train.iter().map(|(t, _)| t.len()).max().unwrap_or(16),
+        dataset
+            .train
+            .iter()
+            .map(|(t, _)| t.len())
+            .max()
+            .unwrap_or(16),
     );
     let model: TransformerClassifier = deept_nn::io::load_or_build(&path, || {
         let mut rng = ChaCha8Rng::seed_from_u64(33);
@@ -198,7 +220,7 @@ pub fn t2_model(scale: Scale) -> (TrainedSentimentModel, SynonymSets) {
                 augmented.push((t, *label));
             }
         }
-        eprintln!("[models] training t2_{} (augmented ×3)…", scale.tag());
+        deept_telemetry::info!("models", "training t2_{} (augmented ×3)…", scale.tag());
         train(
             &mut model,
             &augmented,
@@ -274,7 +296,7 @@ pub fn a2_mlp(scale: Scale) -> (Mlp, Vec<(Vec<f64>, usize)>) {
     let mlp: Mlp = deept_nn::io::load_or_build(&path, || {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let mut mlp = Mlp::new(&dims, &mut rng);
-        eprintln!("[models] training a2_mlp_{}…", scale.tag());
+        deept_telemetry::info!("models", "training a2_mlp_{}…", scale.tag());
         train(
             &mut mlp,
             &data,
@@ -319,7 +341,7 @@ pub fn a3_vit(scale: Scale) -> (VisionTransformer, Vec<(Vec<f64>, usize)>) {
             },
             &mut rng,
         );
-        eprintln!("[models] training a3_vit_{}…", scale.tag());
+        deept_telemetry::info!("models", "training a3_vit_{}…", scale.tag());
         train(
             &mut vit,
             &data,

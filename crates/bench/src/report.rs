@@ -3,6 +3,7 @@
 
 use std::time::Instant;
 
+use deept_telemetry::VerificationTrace;
 use serde::Serialize;
 
 /// One row of a certified-radius table (the layout of Tables 1–7).
@@ -52,7 +53,11 @@ pub fn print_radius_table(title: &str, rows: &[RadiusRow]) {
             .map(|r| r.avg)
             .unwrap_or(0.0);
         for r in group {
-            let ratio = if r.avg > 0.0 { base / r.avg } else { f64::INFINITY };
+            let ratio = if r.avg > 0.0 {
+                base / r.avg
+            } else {
+                f64::INFINITY
+            };
             println!(
                 "{:<4} {:<5} {:<18} {:>12.3e} {:>12.3e} {:>9.2} {:>8.2}",
                 r.layers, r.norm, r.verifier, r.min, r.avg, r.time_s, ratio
@@ -69,12 +74,31 @@ pub fn save_results<T: Serialize>(name: &str, value: &T) {
         match serde_json::to_string_pretty(value) {
             Ok(json) => {
                 if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("[report] could not write {}: {e}", path.display());
+                    deept_telemetry::info!("report", "could not write {}: {e}", path.display());
                 } else {
-                    println!("[report] results saved to {}", path.display());
+                    deept_telemetry::info!("report", "results saved to {}", path.display());
                 }
             }
-            Err(e) => eprintln!("[report] serialization failed: {e}"),
+            Err(e) => deept_telemetry::info!("report", "serialization failed: {e}"),
+        }
+    }
+}
+
+/// Prints a trace's hotspot summary (top-`top_k` span groups by self time)
+/// and per-layer width-growth table to stdout, next to the result tables.
+pub fn print_trace_summary(title: &str, trace: &VerificationTrace, top_k: usize) {
+    println!("\n== {title}: telemetry ==");
+    println!("{}", trace.render_summary(top_k));
+}
+
+/// Saves a verification trace under `artifacts/results/<name>.json`.
+pub fn save_trace(name: &str, trace: &VerificationTrace) {
+    let dir = crate::artifact_dir().join("results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match trace.save_json(&path) {
+            Ok(()) => deept_telemetry::info!("report", "trace saved to {}", path.display()),
+            Err(e) => deept_telemetry::info!("report", "could not write {}: {e}", path.display()),
         }
     }
 }

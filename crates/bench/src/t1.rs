@@ -3,10 +3,11 @@
 
 use deept_core::{NormOrder, PNorm};
 use deept_nn::TransformerClassifier;
+use deept_telemetry::{TraceCollector, VerificationTrace};
 use deept_verifier::crown::{self, CrownConfig, CrownInput};
 use deept_verifier::deept::{self, DeepTConfig};
 use deept_verifier::network::{t1_region, VerifiableTransformer};
-use deept_verifier::radius::max_certified_radius;
+use deept_verifier::radius::{max_certified_radius, max_certified_radius_probed};
 
 use crate::report::{min_avg, RadiusRow};
 use crate::Scale;
@@ -107,6 +108,78 @@ pub fn certified_radius(
     }
 }
 
+/// Runs one representative radius search under an active [`TraceCollector`]
+/// and returns the assembled trace: per-iteration and per-layer spans,
+/// noise-symbol counts, width growth and the radius query sequence.
+///
+/// Used by the table binaries to emit a hotspot summary and a structured
+/// trace JSON next to their result tables. The probed run is bitwise
+/// identical to the plain one, so sampling one query does not perturb the
+/// benchmark.
+pub fn sample_trace(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    label: usize,
+    position: usize,
+    p: PNorm,
+    kind: VerifierKind,
+    scale: Scale,
+) -> VerificationTrace {
+    let net = VerifiableTransformer::from(model);
+    let emb = model.embed(tokens);
+    let iters = scale.radius_iters();
+    let collector = TraceCollector::new();
+    if let Some(cfg) = kind.deept_config(scale) {
+        max_certified_radius_probed(
+            |r| {
+                let region = t1_region(&emb, position, r, p);
+                deept::certify_probed(&net, &region, label, &cfg, &collector).certified
+            },
+            0.01,
+            iters,
+            &collector,
+        );
+    } else {
+        let cfg = kind.crown_config().expect("crown kind");
+        max_certified_radius_probed(
+            |r| {
+                let input = CrownInput::t1(&emb, position, r, p);
+                crown::certify_probed(&net, &input, label, &cfg, &collector).certified
+            },
+            0.01,
+            iters,
+            &collector,
+        );
+    }
+    let mut trace = collector.finish();
+    trace.set_meta("verifier", kind.name());
+    trace.set_meta("norm", &p.to_string());
+    trace.set_meta("position", &position.to_string());
+    trace.set_meta("tokens", &tokens.len().to_string());
+    trace
+}
+
+/// Traces one representative query for a table binary — the first
+/// evaluation sentence, perturbed at position 0 — then prints the hotspot
+/// summary next to the table output and saves the structured trace as
+/// `artifacts/results/<name>_trace.json`. No-op on an empty sentence set.
+pub fn emit_table_trace(
+    name: &str,
+    model: &TransformerClassifier,
+    sentences: &[(Vec<usize>, usize)],
+    p: PNorm,
+    kind: VerifierKind,
+    scale: Scale,
+) {
+    let Some((tokens, label)) = sentences.first() else {
+        return;
+    };
+    let mut trace = sample_trace(model, tokens, *label, 0, p, kind, scale);
+    trace.set_meta("table", name);
+    crate::report::print_trace_summary(&format!("{name} — {}", kind.name()), &trace, 5);
+    crate::report::save_trace(&format!("{name}_trace"), &trace);
+}
+
 /// Runs the full sweep for one model: all sentences × positions × norms,
 /// parallelized across queries. Returns one row per norm.
 pub fn radius_sweep(
@@ -156,8 +229,9 @@ pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
-    let results: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..items.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<R>>> = (0..items.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {

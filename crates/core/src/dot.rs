@@ -16,6 +16,7 @@
 //! that collapsing the ℓ∞ operand first is slightly better on average, which
 //! is our [`NormOrder::InfFirst`] default.
 
+use deept_telemetry::{NoopProbe, Probe, SpanKind};
 use deept_tensor::Matrix;
 
 use crate::{PNorm, Zonotope};
@@ -161,6 +162,30 @@ fn interaction_bound(
 ///
 /// Panics if the inner dimensions, `p`-norms or `φ` symbol sets disagree.
 pub fn zono_matmul(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
+    zono_matmul_probed(a, b, cfg, &NoopProbe)
+}
+
+/// [`zono_matmul`] wrapped in a telemetry span: reports the duration, the
+/// output-zonotope stats (probe enabled only) and the number of fresh ℓ∞
+/// symbols introduced for the noise–noise interaction.
+///
+/// The probe only observes — the returned zonotope is bitwise identical to
+/// the unprobed result.
+pub fn zono_matmul_probed(
+    a: &Zonotope,
+    b: &Zonotope,
+    cfg: DotConfig,
+    probe: &dyn Probe,
+) -> Zonotope {
+    probe.span_enter(SpanKind::DotProduct);
+    let out = zono_matmul_impl(a, b, cfg);
+    let created = out.num_eps() - a.num_eps().max(b.num_eps());
+    let stats = probe.enabled().then(|| out.telemetry_stats());
+    probe.span_exit(SpanKind::DotProduct, stats, created);
+    out
+}
+
+fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     assert_eq!(a.cols(), b.rows(), "zono_matmul inner dimension mismatch");
     assert_eq!(a.p(), b.p(), "zono_matmul p-norm mismatch");
     assert_eq!(a.num_phi(), b.num_phi(), "zono_matmul phi symbol mismatch");
@@ -317,8 +342,10 @@ mod tests {
             ea.truncate(a.num_eps());
             let va = a.evaluate(&phi, &ea);
             let vb = b.evaluate(&phi, &eps[..b.num_eps()]);
-            let am = Matrix::from_vec(a.rows(), a.cols(), va).unwrap();
-            let bm = Matrix::from_vec(b.rows(), b.cols(), vb).unwrap();
+            let am = Matrix::from_vec(a.rows(), a.cols(), va)
+                .expect("Zonotope::evaluate yields rows*cols values for a rows x cols zonotope");
+            let bm = Matrix::from_vec(b.rows(), b.cols(), vb)
+                .expect("Zonotope::evaluate yields rows*cols values for a rows x cols zonotope");
             let exact = am.matmul(&bm);
             let approx = out.evaluate(&phi, &eps);
             for v in 0..out.n_vars() {

@@ -385,7 +385,10 @@ mod tests {
             let r = exp_relaxation(l, u);
             // Output lower bound is the tangent at l; must be positive.
             let lower = r.lambda * l + r.mu - r.beta;
-            assert!(lower > 0.0, "exp lower bound {lower} not positive on [{l},{u}]");
+            assert!(
+                lower > 0.0,
+                "exp lower bound {lower} not positive on [{l},{u}]"
+            );
         }
     }
 
@@ -395,7 +398,10 @@ mod tests {
             check_relaxation_sound(Activation::Reciprocal, l, u);
             let r = reciprocal_relaxation(l, u);
             let lower = r.lambda * u + r.mu - r.beta;
-            assert!(lower > 0.0, "reciprocal lower bound {lower} not positive on [{l},{u}]");
+            assert!(
+                lower > 0.0,
+                "reciprocal lower bound {lower} not positive on [{l},{u}]"
+            );
         }
     }
 

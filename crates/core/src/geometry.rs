@@ -63,7 +63,13 @@ pub fn vertices_2d(z: &Zonotope, i: usize, j: usize) -> Vec<(f64, f64)> {
         .row(i)
         .iter()
         .zip(z.eps().row(j))
-        .map(|(&a, &b)| if b < 0.0 || (b == 0.0 && a < 0.0) { (-a, -b) } else { (a, b) })
+        .map(|(&a, &b)| {
+            if b < 0.0 || (b == 0.0 && a < 0.0) {
+                (-a, -b)
+            } else {
+                (a, b)
+            }
+        })
         .filter(|&(a, b)| a != 0.0 || b != 0.0)
         .collect();
     if gens.is_empty() {
@@ -249,7 +255,10 @@ mod tests {
         assert!(coarse >= exact - 1e-9);
         assert!(fine >= exact - 1e-9);
         assert!((fine - exact) < (coarse - exact) + 1e-12);
-        assert!((fine - exact) / exact < 0.01, "512 directions should be within 1%");
+        assert!(
+            (fine - exact) / exact < 0.01,
+            "512 directions should be within 1%"
+        );
     }
 
     #[test]

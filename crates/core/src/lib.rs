@@ -25,6 +25,11 @@
 //! * the softmax-sum zonotope refinement ([`refine`], §5.3 + Appendix A.1),
 //! * `DecorrelateMin_k` noise-symbol reduction ([`reduce`], §5.1).
 //!
+//! The expensive transformers (`dot`, `softmax`, `reduce`) also come in
+//! `*_probed` variants that report spans and precision metrics to a
+//! [`deept_telemetry::Probe`]; the plain variants delegate to them with the
+//! no-op probe and are bit-for-bit unaffected.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +51,8 @@
 //! let (lo, hi) = z.matmul_right(&w).bounds();
 //! assert!((hi[0] - lo[0] - 0.2).abs() < 1e-9);
 //! ```
+
+#![deny(clippy::print_stdout)]
 
 pub mod dot;
 pub mod elementwise;

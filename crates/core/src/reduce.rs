@@ -12,6 +12,7 @@
 //! `φ` symbols are never reduced: they encode the input perturbation region
 //! itself.
 
+use deept_telemetry::{NoopProbe, Probe, ReduceEvent, SpanKind};
 use deept_tensor::Matrix;
 
 use crate::Zonotope;
@@ -38,6 +39,31 @@ pub struct ReduceStats {
 ///
 /// Panics if `protect > budget`.
 pub fn reduce_eps(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, ReduceStats) {
+    reduce_eps_probed(z, budget, protect, &NoopProbe)
+}
+
+/// [`reduce_eps`] wrapped in a telemetry span: reports the duration, the
+/// reduced zonotope's stats (probe enabled only) and a [`ReduceEvent`] with
+/// the before/after/dropped symbol counts.
+pub fn reduce_eps_probed(
+    z: &Zonotope,
+    budget: usize,
+    protect: usize,
+    probe: &dyn Probe,
+) -> (Zonotope, ReduceStats) {
+    probe.span_enter(SpanKind::Reduction);
+    let (out, stats) = reduce_eps_impl(z, budget, protect);
+    probe.reduction(ReduceEvent {
+        before: stats.before,
+        after: stats.after,
+        dropped: stats.dropped,
+    });
+    let snapshot = probe.enabled().then(|| out.telemetry_stats());
+    probe.span_exit(SpanKind::Reduction, snapshot, 0);
+    (out, stats)
+}
+
+fn reduce_eps_impl(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, ReduceStats) {
     assert!(
         protect <= budget,
         "protect ({protect}) exceeds budget ({budget})"

@@ -306,11 +306,7 @@ mod tests {
             1,
             vec![0.5, 0.3, 0.25],
             Matrix::from_rows(&[&[0.02], &[-0.01], &[0.0]]),
-            Matrix::from_rows(&[
-                &[0.05, 0.01, 0.0],
-                &[0.0, 0.04, 0.01],
-                &[0.01, 0.0, 0.03],
-            ]),
+            Matrix::from_rows(&[&[0.05, 0.01, 0.0], &[0.0, 0.04, 0.01], &[0.01, 0.0, 0.03]]),
             PNorm::L2,
         )
     }
@@ -411,7 +407,12 @@ mod tests {
         );
         let refined = refine_sum(&z, 1.0, 0, true);
         let (lo, hi) = refined.bounds();
-        assert!(hi[0] - lo[0] < 1e-9, "x0 should collapse to 0, got [{},{}]", lo[0], hi[0]);
+        assert!(
+            hi[0] - lo[0] < 1e-9,
+            "x0 should collapse to 0, got [{},{}]",
+            lo[0],
+            hi[0]
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! transformer entirely, and (c) keeps every output within `[0, 1]` by
 //! construction (the denominator is ≥ 1 since the `j = i` term is exactly 1).
 
+use deept_telemetry::{NoopProbe, Probe, SpanKind};
 use deept_tensor::Matrix;
 
 use crate::{refine, Zonotope};
@@ -51,6 +52,22 @@ impl SoftmaxConfig {
 /// the diagonal difference being exactly zero) and every reciprocal (`C` per
 /// row).
 pub fn softmax_rows(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
+    softmax_rows_probed(z, cfg, &NoopProbe)
+}
+
+/// [`softmax_rows`] wrapped in a telemetry span: reports the duration, the
+/// output-zonotope stats (probe enabled only) and the number of fresh ℓ∞
+/// symbols appended for the exponentials and reciprocals.
+pub fn softmax_rows_probed(z: &Zonotope, cfg: SoftmaxConfig, probe: &dyn Probe) -> Zonotope {
+    probe.span_enter(SpanKind::Softmax);
+    let out = softmax_rows_impl(z, cfg);
+    let created = out.num_eps() - z.num_eps();
+    let stats = probe.enabled().then(|| out.telemetry_stats());
+    probe.span_exit(SpanKind::Softmax, stats, created);
+    out
+}
+
+fn softmax_rows_impl(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
     let (rows, c) = (z.rows(), z.cols());
     let base = z.num_eps();
 
@@ -123,8 +140,7 @@ fn assemble_with_offsets(
             phi.row_mut(dst).copy_from_slice(part.phi().row(j));
             let src = part.eps().row(j);
             eps.row_mut(dst)[..base].copy_from_slice(&src[..base]);
-            eps.row_mut(dst)[base + offset..base + offset + tail]
-                .copy_from_slice(&src[base..]);
+            eps.row_mut(dst)[base + offset..base + offset + tail].copy_from_slice(&src[base..]);
         }
     }
     Zonotope::from_parts(rows, c, center, phi, eps, input.p())
@@ -146,8 +162,7 @@ mod tests {
             let (phi, eps) = z.sample_noise(&mut rng);
             let vals = z.evaluate(&phi, &eps);
             for i in 0..z.rows() {
-                let mut row: Vec<f64> =
-                    (0..z.cols()).map(|j| vals[i * z.cols() + j]).collect();
+                let mut row: Vec<f64> = (0..z.cols()).map(|j| vals[i * z.cols() + j]).collect();
                 softmax_in_place(&mut row);
                 for j in 0..z.cols() {
                     let k = i * z.cols() + j;
@@ -184,7 +199,11 @@ mod tests {
         let (lo, hi) = out.bounds();
         for k in 0..out.n_vars() {
             assert!(lo[k] > 0.0, "softmax lower bound must be positive");
-            assert!(hi[k] <= 1.0 + 1e-9, "softmax upper bound must be ≤ 1, got {}", hi[k]);
+            assert!(
+                hi[k] <= 1.0 + 1e-9,
+                "softmax upper bound must be ≤ 1, got {}",
+                hi[k]
+            );
         }
     }
 

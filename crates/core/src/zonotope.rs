@@ -126,7 +126,14 @@ impl Zonotope {
     ///
     /// Panics if the row counts of `phi`/`eps` differ from
     /// `center.len() == rows * cols`.
-    pub fn from_parts(rows: usize, cols: usize, center: Vec<f64>, phi: Matrix, eps: Matrix, p: PNorm) -> Self {
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        center: Vec<f64>,
+        phi: Matrix,
+        eps: Matrix,
+        p: PNorm,
+    ) -> Self {
         assert_eq!(center.len(), rows * cols, "center length mismatch");
         assert_eq!(phi.rows(), center.len(), "phi rows mismatch");
         assert_eq!(eps.rows(), center.len(), "eps rows mismatch");
@@ -235,7 +242,41 @@ impl Zonotope {
 
     /// Maximum half-width over all variables.
     pub fn max_deviation(&self) -> f64 {
-        (0..self.n_vars()).map(|k| self.deviation(k)).fold(0.0, f64::max)
+        (0..self.n_vars())
+            .map(|k| self.deviation(k))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean and maximum concrete interval width (`u_k − l_k`) over all
+    /// variables. One pass over the coefficient matrices; used by the
+    /// telemetry probes, so it is only computed when a probe is enabled.
+    pub fn width_stats(&self) -> (f64, f64) {
+        let n = self.n_vars();
+        if n == 0 {
+            return (0.0, 0.0);
+        }
+        let mut sum = 0.0;
+        let mut max = 0.0f64;
+        for k in 0..n {
+            let w = 2.0 * self.deviation(k);
+            sum += w;
+            max = max.max(w);
+        }
+        (sum / n as f64, max)
+    }
+
+    /// Snapshot of this zonotope's shape, symbol counts and widths for the
+    /// telemetry layer.
+    pub fn telemetry_stats(&self) -> deept_telemetry::ZonotopeStats {
+        let (mean_width, max_width) = self.width_stats();
+        deept_telemetry::ZonotopeStats {
+            rows: self.rows,
+            cols: self.cols,
+            num_phi: self.num_phi(),
+            num_eps: self.num_eps(),
+            mean_width,
+            max_width,
+        }
     }
 
     /// `true` if any coefficient is NaN or infinite (certification should
@@ -286,7 +327,11 @@ impl Zonotope {
     /// Panics on shape, norm or `φ`-set mismatch.
     pub fn add(&self, other: &Zonotope) -> Zonotope {
         self.assert_compatible(other);
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
         let mut a = self.clone();
         let mut b = other.clone();
         let w = a.eps.cols().max(b.eps.cols());
@@ -329,7 +374,11 @@ impl Zonotope {
     ///
     /// Panics on shape mismatch.
     pub fn add_const(&self, c: &Matrix) -> Zonotope {
-        assert_eq!(c.shape(), (self.rows, self.cols), "add_const shape mismatch");
+        assert_eq!(
+            c.shape(),
+            (self.rows, self.cols),
+            "add_const shape mismatch"
+        );
         let mut out = self.clone();
         for (o, &x) in out.center.iter_mut().zip(c.as_slice()) {
             *o += x;
@@ -464,7 +513,11 @@ impl Zonotope {
     /// `l.rows()`.
     pub fn linear_vars(&self, l: &Matrix, out_rows: usize, out_cols: usize) -> Zonotope {
         assert_eq!(l.cols(), self.n_vars(), "linear_vars shape mismatch");
-        assert_eq!(l.rows(), out_rows * out_cols, "linear_vars output shape mismatch");
+        assert_eq!(
+            l.rows(),
+            out_rows * out_cols,
+            "linear_vars output shape mismatch"
+        );
         Zonotope {
             rows: out_rows,
             cols: out_cols,
@@ -627,13 +680,17 @@ impl Zonotope {
     pub fn evaluate(&self, phi: &[f64], eps: &[f64]) -> Vec<f64> {
         assert_eq!(phi.len(), self.num_phi(), "phi instantiation length");
         assert_eq!(eps.len(), self.num_eps(), "eps instantiation length");
-        (0..self.n_vars())
+        let out: Vec<f64> = (0..self.n_vars())
             .map(|k| {
                 self.center[k]
                     + deept_tensor::dot(self.phi.row(k), phi)
                     + deept_tensor::dot(self.eps.row(k), eps)
             })
-            .collect()
+            .collect();
+        // Callers reshape this into a rows × cols matrix; the invariant they
+        // rely on is exactly one value per abstracted variable.
+        debug_assert_eq!(out.len(), self.rows * self.cols);
+        out
     }
 
     /// Samples a valid noise instantiation (`‖φ‖_p ≤ 1`, `ε ∈ [−1,1]`).
@@ -641,7 +698,9 @@ impl Zonotope {
     /// Not uniform over the region — it only needs to produce *valid*
     /// points for soundness testing.
     pub fn sample_noise(&self, rng: &mut impl rand::Rng) -> (Vec<f64>, Vec<f64>) {
-        let mut phi: Vec<f64> = (0..self.num_phi()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        let mut phi: Vec<f64> = (0..self.num_phi())
+            .map(|_| rng.gen_range(-1.0..=1.0))
+            .collect();
         let n = self.p.norm(&phi);
         if n > 1.0 {
             let target: f64 = rng.gen_range(0.0..=1.0);
@@ -649,14 +708,18 @@ impl Zonotope {
                 *x *= target / n;
             }
         }
-        let eps: Vec<f64> = (0..self.num_eps()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        let eps: Vec<f64> = (0..self.num_eps())
+            .map(|_| rng.gen_range(-1.0..=1.0))
+            .collect();
         (phi, eps)
     }
 
     /// Samples an extreme noise instantiation: `ε ∈ {−1, +1}` and `φ` on the
     /// unit ℓp sphere. Useful for probing bound tightness.
     pub fn sample_extreme_noise(&self, rng: &mut impl rand::Rng) -> (Vec<f64>, Vec<f64>) {
-        let mut phi: Vec<f64> = (0..self.num_phi()).map(|_| rng.gen_range(-1.0..=1.0)).collect();
+        let mut phi: Vec<f64> = (0..self.num_phi())
+            .map(|_| rng.gen_range(-1.0..=1.0))
+            .collect();
         let n = self.p.norm(&phi);
         if n > 0.0 {
             for x in &mut phi {

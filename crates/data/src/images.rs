@@ -117,14 +117,22 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let spec = binary_spec(8, 4);
         let data = generate(spec, &mut rng);
-        let class0: Vec<&Vec<f64>> = data.iter().filter(|(_, l)| *l == 0).map(|(p, _)| p).collect();
+        let class0: Vec<&Vec<f64>> = data
+            .iter()
+            .filter(|(_, l)| *l == 0)
+            .map(|(p, _)| p)
+            .collect();
         let d_within: f64 = class0[0]
             .iter()
             .zip(class0[1])
             .map(|(a, b)| (a - b).powi(2))
             .sum::<f64>()
             .sqrt();
-        let class1: Vec<&Vec<f64>> = data.iter().filter(|(_, l)| *l == 1).map(|(p, _)| p).collect();
+        let class1: Vec<&Vec<f64>> = data
+            .iter()
+            .filter(|(_, l)| *l == 1)
+            .map(|(p, _)| p)
+            .collect();
         let d_between: f64 = class0[0]
             .iter()
             .zip(class1[0])

@@ -20,7 +20,11 @@ use serde::{Deserialize, Serialize};
 /// from the vocabulary size.
 pub fn counter_fit(embeddings: &mut Matrix, vocab: &crate::vocab::Vocab, alpha: f64) {
     assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
-    assert_eq!(embeddings.rows(), vocab.len(), "embedding/vocab size mismatch");
+    assert_eq!(
+        embeddings.rows(),
+        vocab.len(),
+        "embedding/vocab size mismatch"
+    );
     let e = embeddings.cols();
     for g in 0..vocab.num_groups() {
         let members = vocab.group_members(g);
@@ -147,12 +151,7 @@ mod tests {
     #[test]
     fn knn_synonyms_respect_distance_threshold() {
         // Three clustered points and one far away.
-        let emb = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[0.1, 0.0],
-            &[0.0, 0.1],
-            &[10.0, 10.0],
-        ]);
+        let emb = Matrix::from_rows(&[&[0.0, 0.0], &[0.1, 0.0], &[0.0, 0.1], &[10.0, 10.0]]);
         let syn = SynonymSets::from_embeddings(&emb, 3, 0.5);
         assert_eq!(syn.of(0), &[1, 2]);
         assert!(syn.of(3).is_empty());
@@ -219,7 +218,10 @@ mod tests {
         let before = within(&emb);
         counter_fit(&mut emb, &v, 0.9);
         let after = within(&emb);
-        assert!(after < 0.2 * before, "counter-fitting barely moved: {before} -> {after}");
+        assert!(
+            after < 0.2 * before,
+            "counter-fitting barely moved: {before} -> {after}"
+        );
         // alpha = 1 collapses the group exactly.
         counter_fit(&mut emb, &v, 1.0);
         assert!(within(&emb) < 1e-12);

@@ -193,7 +193,10 @@ mod tests {
         let v = Vocab::generate(spec(), &mut rng);
         for g in 0..v.num_groups() {
             let members = v.group_members(g);
-            let signs: Vec<f64> = members.iter().map(|&m| v.token(m).polarity.signum()).collect();
+            let signs: Vec<f64> = members
+                .iter()
+                .map(|&m| v.token(m).polarity.signum())
+                .collect();
             assert!(signs.windows(2).all(|w| w[0] == w[1]));
             // Members are near-synonyms: polarities within 0.1 of each other.
             let pols: Vec<f64> = members.iter().map(|&m| v.token(m).polarity).collect();
@@ -218,6 +221,9 @@ mod tests {
         .map(|&k| v.ids_of_kind(k).len())
         .sum();
         assert_eq!(total, v.len());
-        assert!(v.ids_of_kind(TokenKind::Negator).iter().all(|&i| v.token(i).name.starts_with("not")));
+        assert!(v
+            .ids_of_kind(TokenKind::Negator)
+            .iter()
+            .all(|&i| v.token(i).name.starts_with("not")));
     }
 }

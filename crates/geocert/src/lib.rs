@@ -232,7 +232,10 @@ pub fn verify_linf(
 ) -> Verdict {
     let hidden_layers = mlp.num_layers() - 1;
     let hidden_dims: Vec<usize> = (0..hidden_layers).map(|l| mlp.weights[l].cols()).collect();
-    let root: Vec<Vec<Status>> = hidden_dims.iter().map(|&d| vec![Status::Unstable; d]).collect();
+    let root: Vec<Vec<Status>> = hidden_dims
+        .iter()
+        .map(|&d| vec![Status::Unstable; d])
+        .collect();
     let mut stack = vec![root];
     let mut explored = 0usize;
     while let Some(mut statuses) = stack.pop() {

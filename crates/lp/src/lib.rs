@@ -269,9 +269,7 @@ fn run_simplex(tab: &mut [Vec<f64>], basis: &mut [usize], cost: &[f64], cols: us
                 match leave {
                     None => leave = Some((r, ratio)),
                     Some((lr, lratio)) => {
-                        if ratio < lratio - EPS
-                            || (ratio < lratio + EPS && basis[r] < basis[lr])
-                        {
+                        if ratio < lratio - EPS || (ratio < lratio + EPS && basis[r] < basis[lr]) {
                             leave = Some((r, ratio));
                         }
                     }
@@ -463,8 +461,7 @@ mod tests {
                 for _ in 0..20 {
                     let cand: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
                     let feasible = p.constraints.iter().all(|c| {
-                        let lhs: f64 =
-                            c.coeffs.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
+                        let lhs: f64 = c.coeffs.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
                         match c.rel {
                             Rel::Le => lhs <= c.rhs,
                             Rel::Ge => lhs >= c.rhs,
@@ -472,8 +469,7 @@ mod tests {
                         }
                     });
                     if feasible {
-                        let cv: f64 =
-                            p.objective.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
+                        let cv: f64 = p.objective.iter().zip(&cand).map(|(&a, &v)| a * v).sum();
                         assert!(cv >= value - 1e-6, "found better point: {cv} < {value}");
                     }
                 }

@@ -26,7 +26,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new(dims: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let weights = dims
             .windows(2)
             .map(|w| init::xavier_uniform(w[0], w[1], rng))

@@ -66,9 +66,11 @@ macro_rules! impl_classifier {
     };
 }
 
-impl_classifier!(TransformerClassifier, Vec<usize>, |m: &TransformerClassifier| m
-    .config
-    .num_classes);
+impl_classifier!(
+    TransformerClassifier,
+    Vec<usize>,
+    |m: &TransformerClassifier| m.config.num_classes
+);
 impl_classifier!(Mlp, Vec<f64>, |m: &Mlp| m.output_dim());
 impl_classifier!(VisionTransformer, Vec<f64>, |m: &VisionTransformer| m
     .config
@@ -113,7 +115,10 @@ impl Adam {
     pub fn step(&mut self, params: Vec<&mut Matrix>, grads: &[Matrix]) {
         assert_eq!(params.len(), grads.len(), "param/grad count mismatch");
         if self.m.is_empty() {
-            self.m = grads.iter().map(|g| Matrix::zeros(g.rows(), g.cols())).collect();
+            self.m = grads
+                .iter()
+                .map(|g| Matrix::zeros(g.rows(), g.cols()))
+                .collect();
             self.v = self.m.clone();
         }
         self.t += 1;
@@ -226,10 +231,7 @@ pub fn accuracy<C: Classifier>(model: &C, data: &[(C::Input, usize)]) -> f64 {
     if data.is_empty() {
         return 0.0;
     }
-    let correct = data
-        .iter()
-        .filter(|(x, y)| model.predict(x) == *y)
-        .count();
+    let correct = data.iter().filter(|(x, y)| model.predict(x) == *y).count();
     correct as f64 / data.len() as f64
 }
 

@@ -237,8 +237,14 @@ impl TransformerClassifier {
     /// Pools the first output embedding and classifies it (`1 × classes`).
     pub fn classify(&self, encoded: &Matrix) -> Matrix {
         let pooled = encoded.slice_rows(0, 1);
-        let hidden = ops::tanh(&pooled.matmul(&self.head.wp).add_row_broadcast(self.head.bp.row(0)));
-        hidden.matmul(&self.head.wc).add_row_broadcast(self.head.bc.row(0))
+        let hidden = ops::tanh(
+            &pooled
+                .matmul(&self.head.wp)
+                .add_row_broadcast(self.head.bp.row(0)),
+        );
+        hidden
+            .matmul(&self.head.wc)
+            .add_row_broadcast(self.head.bc.row(0))
     }
 
     /// Full forward pass: logits for a token sequence.
@@ -541,7 +547,10 @@ mod tests {
             assert_eq!(pvars.len(), model.params().len());
             let taped = tape.value(logits);
             for (a, b) in concrete.as_slice().iter().zip(taped.as_slice()) {
-                assert!((a - b).abs() < 1e-10, "tape/concrete divergence: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-10,
+                    "tape/concrete divergence: {a} vs {b}"
+                );
             }
         }
     }
@@ -591,12 +600,15 @@ mod tests {
         let mut tape = Tape::new();
         let (logits, pvars) = model.logits_tape_from_embeddings(&mut tape, &emb);
         let concrete = model.logits(&tokens);
-        for (a, b) in concrete.as_slice().iter().zip(tape.value(logits).as_slice()) {
+        for (a, b) in concrete
+            .as_slice()
+            .iter()
+            .zip(tape.value(logits).as_slice())
+        {
             assert!((a - b).abs() < 1e-10);
         }
         // Parameter alignment with the embedding-free mutable view.
-        let shapes: Vec<(usize, usize)> =
-            pvars.iter().map(|&v| tape.value(v).shape()).collect();
+        let shapes: Vec<(usize, usize)> = pvars.iter().map(|&v| tape.value(v).shape()).collect();
         let expected: Vec<(usize, usize)> = model
             .params_without_embeddings_mut()
             .iter()

@@ -48,7 +48,11 @@ impl PatchConfig {
     ///
     /// Panics if `pixels.len() != image_h * image_w`.
     pub fn patches(&self, pixels: &[f64]) -> Matrix {
-        assert_eq!(pixels.len(), self.image_h * self.image_w, "pixel count mismatch");
+        assert_eq!(
+            pixels.len(),
+            self.image_h * self.image_w,
+            "pixel count mismatch"
+        );
         let ph = self.image_h / self.patch;
         let pw = self.image_w / self.patch;
         let mut out = Matrix::zeros(ph * pw, self.patch_dim());
@@ -136,9 +140,14 @@ impl VisionTransformer {
     /// Pools and classifies.
     pub fn classify(&self, encoded: &Matrix) -> Matrix {
         let pooled = encoded.slice_rows(0, 1);
-        let hidden =
-            ops::tanh(&pooled.matmul(&self.head.wp).add_row_broadcast(self.head.bp.row(0)));
-        hidden.matmul(&self.head.wc).add_row_broadcast(self.head.bc.row(0))
+        let hidden = ops::tanh(
+            &pooled
+                .matmul(&self.head.wp)
+                .add_row_broadcast(self.head.bp.row(0)),
+        );
+        hidden
+            .matmul(&self.head.wc)
+            .add_row_broadcast(self.head.bc.row(0))
     }
 
     /// Logits for a raw image.

@@ -1,0 +1,268 @@
+//! [`TraceCollector`]: the [`Probe`] implementation that records nested
+//! spans with wall-clock timing and assembles a
+//! [`VerificationTrace`](crate::VerificationTrace).
+//!
+//! The collector is internally synchronized (a mutex around a span stack),
+//! so a `&TraceCollector` can be handed to the verifier as `&dyn Probe`
+//! directly. It observes only — it never feeds anything back into the
+//! computation, which is what keeps probed runs bitwise identical to
+//! unprobed ones.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::probe::{Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
+use crate::trace::{SpanRecord, VerificationTrace};
+
+struct OpenSpan {
+    kind: SpanKind,
+    started: Instant,
+    reduce: Vec<ReduceEvent>,
+    children: Vec<SpanRecord>,
+}
+
+struct State {
+    started: Instant,
+    stack: Vec<OpenSpan>,
+    roots: Vec<SpanRecord>,
+    radius_steps: Vec<RadiusStep>,
+    /// Reductions reported outside any open span.
+    orphan_reduce: Vec<ReduceEvent>,
+    unbalanced_exits: usize,
+}
+
+/// Collects probe callbacks into a structured trace.
+pub struct TraceCollector {
+    state: Mutex<State>,
+}
+
+impl Default for TraceCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceCollector {
+    /// A fresh collector; the trace clock starts now.
+    pub fn new() -> Self {
+        TraceCollector {
+            state: Mutex::new(State {
+                started: Instant::now(),
+                stack: Vec::new(),
+                roots: Vec::new(),
+                radius_steps: Vec::new(),
+                orphan_reduce: Vec::new(),
+                unbalanced_exits: 0,
+            }),
+        }
+    }
+
+    /// Closes any still-open spans and returns the assembled trace.
+    pub fn finish(self) -> VerificationTrace {
+        let mut s = self.state.into_inner().unwrap_or_else(|e| e.into_inner());
+        // Close dangling spans innermost-first so nesting is preserved.
+        while let Some(open) = s.stack.pop() {
+            let record = close_span(open, None, 0);
+            attach(&mut s.stack, &mut s.roots, record);
+        }
+        let mut spans = std::mem::take(&mut s.roots);
+        // Orphan reductions (reported outside any span) become a synthetic
+        // zero-duration reduction span so the data is not lost.
+        if !s.orphan_reduce.is_empty() {
+            spans.push(SpanRecord {
+                label: SpanKind::Reduction.label(),
+                group: SpanKind::Reduction.group().to_string(),
+                index: None,
+                duration_s: 0.0,
+                stats: None,
+                symbols_created: 0,
+                reduce: std::mem::take(&mut s.orphan_reduce),
+                children: Vec::new(),
+            });
+        }
+        VerificationTrace {
+            meta: Vec::new(),
+            total_s: s.started.elapsed().as_secs_f64(),
+            spans,
+            radius_steps: std::mem::take(&mut s.radius_steps),
+            unbalanced_exits: s.unbalanced_exits,
+        }
+    }
+}
+
+fn close_span(open: OpenSpan, stats: Option<ZonotopeStats>, symbols_created: usize) -> SpanRecord {
+    SpanRecord {
+        label: open.kind.label(),
+        group: open.kind.group().to_string(),
+        index: open.kind.index(),
+        duration_s: open.started.elapsed().as_secs_f64(),
+        stats,
+        symbols_created,
+        reduce: open.reduce,
+        children: open.children,
+    }
+}
+
+fn attach(stack: &mut [OpenSpan], roots: &mut Vec<SpanRecord>, record: SpanRecord) {
+    match stack.last_mut() {
+        Some(parent) => parent.children.push(record),
+        None => roots.push(record),
+    }
+}
+
+impl Probe for TraceCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, kind: SpanKind) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.stack.push(OpenSpan {
+            kind,
+            started: Instant::now(),
+            reduce: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+
+    fn span_exit(&self, kind: SpanKind, stats: Option<ZonotopeStats>, symbols_created: usize) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s; // split the guard so stack and roots borrow separately
+        match s.stack.pop() {
+            Some(open) => {
+                if open.kind != kind {
+                    s.unbalanced_exits += 1;
+                }
+                let record = close_span(open, stats, symbols_created);
+                attach(&mut s.stack, &mut s.roots, record);
+            }
+            None => s.unbalanced_exits += 1,
+        }
+    }
+
+    fn reduction(&self, event: ReduceEvent) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match s.stack.last_mut() {
+            Some(open) => open.reduce.push(event),
+            None => s.orphan_reduce.push(event),
+        }
+    }
+
+    fn radius_step(&self, step: RadiusStep) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.radius_steps.push(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let c = TraceCollector::new();
+        c.span_enter(SpanKind::Propagate);
+        c.span_enter(SpanKind::EncoderLayer(0));
+        c.span_enter(SpanKind::DotProduct);
+        c.span_exit(SpanKind::DotProduct, None, 12);
+        c.span_enter(SpanKind::Reduction);
+        c.reduction(ReduceEvent {
+            before: 50,
+            after: 20,
+            dropped: 30,
+        });
+        c.span_exit(SpanKind::Reduction, None, 0);
+        c.span_exit(
+            SpanKind::EncoderLayer(0),
+            Some(ZonotopeStats {
+                rows: 2,
+                cols: 3,
+                num_phi: 6,
+                num_eps: 20,
+                mean_width: 0.1,
+                max_width: 0.4,
+            }),
+            0,
+        );
+        c.span_exit(SpanKind::Propagate, None, 0);
+        let trace = c.finish();
+
+        assert_eq!(trace.unbalanced_exits, 0);
+        assert_eq!(trace.spans.len(), 1);
+        let root = &trace.spans[0];
+        assert_eq!(root.group, "propagate");
+        assert_eq!(root.children.len(), 1);
+        let layer = &root.children[0];
+        assert_eq!(layer.label, "encoder_layer[0]");
+        assert_eq!(layer.index, Some(0));
+        assert_eq!(layer.children.len(), 2);
+        assert_eq!(layer.children[0].group, "dot_product");
+        assert_eq!(layer.children[0].symbols_created, 12);
+        assert_eq!(layer.children[1].reduce.len(), 1);
+        assert_eq!(layer.children[1].reduce[0].dropped, 30);
+        // Durations are populated and consistent with nesting.
+        assert!(root.duration_s >= layer.duration_s);
+        assert!(layer.duration_s >= layer.children[0].duration_s);
+        // Subtree aggregation sees the nested metrics.
+        assert_eq!(layer.symbols_created_total(), 12);
+        assert_eq!(layer.reduce_events_total().len(), 1);
+        assert_eq!(trace.span_count(), 4);
+    }
+
+    #[test]
+    fn dangling_spans_are_closed_on_finish() {
+        let c = TraceCollector::new();
+        c.span_enter(SpanKind::Propagate);
+        c.span_enter(SpanKind::EncoderLayer(1));
+        let trace = c.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].children.len(), 1);
+        assert_eq!(trace.spans[0].children[0].label, "encoder_layer[1]");
+    }
+
+    #[test]
+    fn mismatched_exits_are_counted_not_fatal() {
+        let c = TraceCollector::new();
+        c.span_enter(SpanKind::Softmax);
+        c.span_exit(SpanKind::Ffn, None, 0);
+        c.span_exit(SpanKind::Ffn, None, 0); // exit with empty stack
+        let trace = c.finish();
+        assert_eq!(trace.unbalanced_exits, 2);
+        assert_eq!(trace.spans.len(), 1);
+    }
+
+    #[test]
+    fn orphan_reductions_survive_as_synthetic_span() {
+        let c = TraceCollector::new();
+        c.reduction(ReduceEvent {
+            before: 9,
+            after: 3,
+            dropped: 6,
+        });
+        let trace = c.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].group, "reduction");
+        assert_eq!(trace.spans[0].reduce[0].before, 9);
+    }
+
+    #[test]
+    fn radius_steps_recorded_in_order() {
+        let c = TraceCollector::new();
+        for (i, r) in [0.01, 0.02, 0.015].iter().enumerate() {
+            c.radius_step(RadiusStep {
+                iteration: i,
+                radius: *r,
+                certified: i != 1,
+            });
+        }
+        let trace = c.finish();
+        assert_eq!(trace.radius_steps.len(), 3);
+        assert_eq!(trace.radius_steps[1].iteration, 1);
+        assert!(!trace.radius_steps[1].certified);
+    }
+
+    #[test]
+    fn collector_is_enabled() {
+        assert!(TraceCollector::new().enabled());
+    }
+}

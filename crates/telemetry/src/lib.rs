@@ -1,0 +1,119 @@
+//! Verification telemetry for DeepT-rs.
+//!
+//! Three pieces, all dependency-free:
+//!
+//! * **Probing** ([`Probe`], [`SpanKind`], [`NoopProbe`]) — the hook surface
+//!   that `deept-core` and `deept-verifier` are instrumented against. Every
+//!   stage of abstract propagation (encoder layers, dot products, softmax,
+//!   layer norm, FFN, noise-symbol reductions, radius-search iterations)
+//!   enters/exits a span on the probe. The default [`NoopProbe`] makes all
+//!   hooks no-ops and disables metric computation, so uninstrumented runs
+//!   are unaffected and probed runs are bitwise identical.
+//! * **Tracing** ([`TraceCollector`], [`VerificationTrace`]) — a concrete
+//!   probe that records nested spans with wall-clock durations and
+//!   precision metrics ([`ZonotopeStats`], [`ReduceEvent`], [`RadiusStep`]),
+//!   renders hotspot / per-layer width-growth summaries, and serializes the
+//!   whole trace to JSON (hand-rolled writer; no serde dependency).
+//! * **Logging** ([`info!`], [`debug!`], [`LogLevel`]) — a leveled stderr
+//!   logger gated by the `DEEPT_LOG` environment variable, replacing ad-hoc
+//!   `eprintln!` progress messages in the bench harness.
+
+#![deny(clippy::print_stdout)]
+
+mod collect;
+mod log;
+mod probe;
+mod trace;
+
+pub use collect::TraceCollector;
+pub use log::{log, log_enabled, max_level, LogLevel};
+pub use probe::{NoopProbe, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
+pub use trace::{Hotspot, LayerWidthRow, SpanRecord, VerificationTrace};
+
+/// RAII guard that exits a span when dropped, for instrumentation sites
+/// with multiple return paths.
+///
+/// Stats and symbol counts can be set before the guard drops; most call
+/// sites instead call [`Probe::span_exit`] manually and this helper exists
+/// for early-return-heavy code.
+pub struct SpanGuard<'a> {
+    probe: &'a dyn Probe,
+    kind: SpanKind,
+    stats: Option<ZonotopeStats>,
+    symbols_created: usize,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Enters `kind` on `probe`; the span exits when the guard drops.
+    pub fn enter(probe: &'a dyn Probe, kind: SpanKind) -> Self {
+        probe.span_enter(kind);
+        SpanGuard {
+            probe,
+            kind,
+            stats: None,
+            symbols_created: 0,
+        }
+    }
+
+    /// Records the output-zonotope snapshot to report on exit.
+    pub fn set_stats(&mut self, stats: ZonotopeStats) {
+        self.stats = Some(stats);
+    }
+
+    /// Records the number of fresh ε symbols to report on exit.
+    pub fn set_symbols_created(&mut self, n: usize) {
+        self.symbols_created = n;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.probe
+            .span_exit(self.kind, self.stats, self.symbols_created);
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+
+    #[test]
+    fn guard_exits_on_drop_with_recorded_stats() {
+        let c = TraceCollector::new();
+        {
+            let mut g = SpanGuard::enter(&c, SpanKind::Softmax);
+            g.set_symbols_created(5);
+            g.set_stats(ZonotopeStats {
+                rows: 1,
+                cols: 2,
+                num_phi: 2,
+                num_eps: 7,
+                mean_width: 0.5,
+                max_width: 1.0,
+            });
+        }
+        let trace = c.finish();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].group, "softmax");
+        assert_eq!(trace.spans[0].symbols_created, 5);
+        assert_eq!(trace.spans[0].stats.unwrap().num_eps, 7);
+        assert_eq!(trace.unbalanced_exits, 0);
+    }
+
+    #[test]
+    fn guard_exits_on_early_return() {
+        fn body(probe: &dyn Probe, bail: bool) -> u32 {
+            let _g = SpanGuard::enter(probe, SpanKind::LayerNorm);
+            if bail {
+                return 0;
+            }
+            1
+        }
+        let c = TraceCollector::new();
+        body(&c, true);
+        body(&c, false);
+        let trace = c.finish();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.unbalanced_exits, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Leveled stderr logging gated by the `DEEPT_LOG` environment variable.
+//!
+//! Levels: `off` < `info` < `debug`. The variable is read once (first log
+//! call) and cached. An unset variable defaults to `info` so progress
+//! messages from the bench harness keep appearing exactly as before;
+//! `DEEPT_LOG=off` silences them and `DEEPT_LOG=debug` adds detail.
+//!
+//! Use through the [`info!`](crate::info) / [`debug!`](crate::debug) macros:
+//!
+//! ```
+//! deept_telemetry::info!("models", "training encoder with {} layers", 3);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Verbosity threshold parsed from `DEEPT_LOG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// No output.
+    Off,
+    /// Progress messages (the default).
+    Info,
+    /// Per-stage detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses a `DEEPT_LOG` value; `None` for unrecognized strings.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(LogLevel::Off),
+            "info" | "1" => Some(LogLevel::Info),
+            "debug" | "trace" | "2" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<LogLevel> = OnceLock::new();
+
+/// The active verbosity threshold (reads `DEEPT_LOG` on first call).
+///
+/// Unset or unrecognized values fall back to [`LogLevel::Info`].
+pub fn max_level() -> LogLevel {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("DEEPT_LOG")
+            .ok()
+            .and_then(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Info)
+    })
+}
+
+/// Whether messages at `level` are currently emitted.
+pub fn log_enabled(level: LogLevel) -> bool {
+    level != LogLevel::Off && level <= max_level()
+}
+
+/// Writes one log line to stderr. Prefer the [`info!`](crate::info) /
+/// [`debug!`](crate::debug) macros, which skip formatting when disabled.
+pub fn log(level: LogLevel, module: &str, args: std::fmt::Arguments<'_>) {
+    if log_enabled(level) {
+        eprintln!("[deept][{}][{}] {}", level.tag(), module, args);
+    }
+}
+
+/// Logs a progress message at [`LogLevel::Info`].
+///
+/// First argument is a short module tag (e.g. `"models"`, `"report"`),
+/// followed by a `format!` string and arguments.
+#[macro_export]
+macro_rules! info {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            $crate::log($crate::LogLevel::Info, $module, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs a detail message at [`LogLevel::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Debug) {
+            $crate::log($crate::LogLevel::Debug, $module, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_recognizes_aliases() {
+        assert_eq!(LogLevel::parse("off"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse("NONE"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse("0"), Some(LogLevel::Off));
+        assert_eq!(LogLevel::parse(" info "), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("1"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("Debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("trace"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("2"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+        assert_eq!(LogLevel::parse(""), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LogLevel::Off < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn off_is_never_enabled() {
+        // Regardless of the cached threshold, Off messages never print.
+        assert!(!log_enabled(LogLevel::Off));
+    }
+
+    #[test]
+    fn macros_compile_and_run() {
+        // Smoke test: the macros expand and execute without panicking.
+        crate::info!("telemetry", "info message {}", 1);
+        crate::debug!("telemetry", "debug message {:?}", (1, 2));
+    }
+}

@@ -1,0 +1,680 @@
+//! Structured verification traces: the serializable artifact produced by a
+//! [`TraceCollector`](crate::TraceCollector) run, plus the aggregations the
+//! bench harness prints (hotspots, per-layer width growth).
+//!
+//! Traces serialize to JSON with a hand-rolled emitter so the crate stays
+//! dependency-free; the format is plain nested objects and is stable enough
+//! to diff across runs (artifacts land next to `artifacts/results/*.json`).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::probe::{RadiusStep, ReduceEvent, ZonotopeStats};
+
+/// One closed span: a named stage with wall-clock duration, optional
+/// precision metrics, and nested children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Display label (`encoder_layer[2]`, `dot_product`, …).
+    pub label: String,
+    /// Aggregation group (`encoder_layer`, `dot_product`, …).
+    pub group: String,
+    /// Instance index for per-layer / per-iteration spans.
+    pub index: Option<usize>,
+    /// Wall-clock duration in seconds.
+    pub duration_s: f64,
+    /// Output-zonotope snapshot at span exit, when the probe was enabled.
+    pub stats: Option<ZonotopeStats>,
+    /// Fresh ε symbols appended by this stage itself (children not counted).
+    pub symbols_created: usize,
+    /// Noise-symbol reductions attributed to this span.
+    pub reduce: Vec<ReduceEvent>,
+    /// Nested child spans, in execution order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Duration spent in this span excluding its children.
+    pub fn self_s(&self) -> f64 {
+        let child: f64 = self.children.iter().map(|c| c.duration_s).sum();
+        (self.duration_s - child).max(0.0)
+    }
+
+    /// Total spans in this subtree, including `self`.
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(SpanRecord::count).sum::<usize>()
+    }
+
+    /// Fresh ε symbols created in this whole subtree.
+    pub fn symbols_created_total(&self) -> usize {
+        self.symbols_created
+            + self
+                .children
+                .iter()
+                .map(SpanRecord::symbols_created_total)
+                .sum::<usize>()
+    }
+
+    /// All reduction events in this subtree, in execution order.
+    pub fn reduce_events_total(&self) -> Vec<ReduceEvent> {
+        let mut out = self.reduce.clone();
+        for c in &self.children {
+            out.extend(c.reduce_events_total());
+        }
+        out
+    }
+}
+
+/// Aggregate row of the hotspot summary: one stage group over the whole
+/// trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hotspot {
+    /// Stage group label.
+    pub group: String,
+    /// Number of spans in the group.
+    pub calls: usize,
+    /// Cumulative wall-clock seconds (children included).
+    pub total_s: f64,
+    /// Cumulative self seconds (children excluded).
+    pub self_s: f64,
+}
+
+/// Per-encoder-layer precision row: how the zonotope grew through one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWidthRow {
+    /// Encoder layer index.
+    pub layer: usize,
+    /// Wall-clock seconds spent in the layer.
+    pub duration_s: f64,
+    /// Mean interval width of the layer's output zonotope.
+    pub mean_width: f64,
+    /// Maximum interval width of the layer's output zonotope.
+    pub max_width: f64,
+    /// ℓp-bounded φ symbols at layer output.
+    pub num_phi: usize,
+    /// ℓ∞ ε symbols at layer output.
+    pub num_eps: usize,
+    /// Fresh ε symbols created inside the layer.
+    pub symbols_created: usize,
+    /// ε symbols dropped by reductions inside the layer.
+    pub symbols_dropped: usize,
+}
+
+/// A complete, serializable record of one instrumented verification run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VerificationTrace {
+    /// Free-form key/value context (verifier name, norm, model, …).
+    pub meta: Vec<(String, String)>,
+    /// Wall-clock seconds from collector creation to `finish()`.
+    pub total_s: f64,
+    /// Top-level spans in execution order.
+    pub spans: Vec<SpanRecord>,
+    /// Radius-search queries, in execution order.
+    pub radius_steps: Vec<RadiusStep>,
+    /// Span exits whose kind did not match the innermost open span
+    /// (instrumentation bug indicator; 0 in a healthy trace).
+    pub unbalanced_exits: usize,
+}
+
+impl VerificationTrace {
+    /// Sets (or replaces) a metadata entry.
+    pub fn set_meta(&mut self, key: &str, value: &str) {
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value.to_string();
+        } else {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// Total spans across the trace.
+    pub fn span_count(&self) -> usize {
+        self.spans.iter().map(SpanRecord::count).sum()
+    }
+
+    /// Depth-first iteration over all spans.
+    pub fn walk(&self, mut f: impl FnMut(&SpanRecord)) {
+        fn rec(span: &SpanRecord, f: &mut impl FnMut(&SpanRecord)) {
+            f(span);
+            for c in &span.children {
+                rec(c, f);
+            }
+        }
+        for s in &self.spans {
+            rec(s, &mut f);
+        }
+    }
+
+    /// Top-`k` stage groups by cumulative self time (the hotspot summary).
+    pub fn hotspots(&self, k: usize) -> Vec<Hotspot> {
+        let mut groups: Vec<Hotspot> = Vec::new();
+        self.walk(
+            |span| match groups.iter_mut().find(|h| h.group == span.group) {
+                Some(h) => {
+                    h.calls += 1;
+                    h.total_s += span.duration_s;
+                    h.self_s += span.self_s();
+                }
+                None => groups.push(Hotspot {
+                    group: span.group.clone(),
+                    calls: 1,
+                    total_s: span.duration_s,
+                    self_s: span.self_s(),
+                }),
+            },
+        );
+        groups.sort_by(|a, b| {
+            b.self_s
+                .partial_cmp(&a.self_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        groups.truncate(k);
+        groups
+    }
+
+    /// Per-encoder-layer width-growth table, aggregated over every
+    /// `encoder_layer[i]` span in the trace (averaged when a layer appears
+    /// in several radius-search iterations).
+    pub fn layer_widths(&self) -> Vec<LayerWidthRow> {
+        struct Acc {
+            row: LayerWidthRow,
+            samples: usize,
+        }
+        let mut acc: Vec<Acc> = Vec::new();
+        self.walk(|span| {
+            if span.group != "encoder_layer" {
+                return;
+            }
+            let Some(layer) = span.index else { return };
+            let reduces = span.reduce_events_total();
+            let dropped: usize = reduces.iter().map(|r| r.dropped).sum();
+            let created = span.symbols_created_total();
+            let stats = span.stats.unwrap_or_default();
+            match acc.iter_mut().find(|a| a.row.layer == layer) {
+                Some(a) => {
+                    a.row.duration_s += span.duration_s;
+                    a.row.mean_width += stats.mean_width;
+                    a.row.max_width = a.row.max_width.max(stats.max_width);
+                    a.row.num_phi = stats.num_phi;
+                    a.row.num_eps = a.row.num_eps.max(stats.num_eps);
+                    a.row.symbols_created += created;
+                    a.row.symbols_dropped += dropped;
+                    a.samples += 1;
+                }
+                None => acc.push(Acc {
+                    row: LayerWidthRow {
+                        layer,
+                        duration_s: span.duration_s,
+                        mean_width: stats.mean_width,
+                        max_width: stats.max_width,
+                        num_phi: stats.num_phi,
+                        num_eps: stats.num_eps,
+                        symbols_created: created,
+                        symbols_dropped: dropped,
+                    },
+                    samples: 1,
+                }),
+            }
+        });
+        let mut rows: Vec<LayerWidthRow> = acc
+            .into_iter()
+            .map(|a| {
+                let mut row = a.row;
+                row.mean_width /= a.samples as f64;
+                row
+            })
+            .collect();
+        rows.sort_by_key(|r| r.layer);
+        rows
+    }
+
+    /// Renders the human-readable summary the bench binaries print after a
+    /// table run: hotspots by self time, then per-layer zonotope growth.
+    pub fn render_summary(&self, top_k: usize) -> String {
+        let mut out = String::new();
+        let meta: Vec<String> = self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = writeln!(
+            out,
+            "-- trace: {} spans, {:.3}s total{}{} --",
+            self.span_count(),
+            self.total_s,
+            if meta.is_empty() { "" } else { " · " },
+            meta.join(" ")
+        );
+        let hotspots = self.hotspots(top_k);
+        if !hotspots.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7} {:>11} {:>11}",
+                "stage", "calls", "self[s]", "total[s]"
+            );
+            for h in &hotspots {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>7} {:>11.4} {:>11.4}",
+                    h.group, h.calls, h.self_s, h.total_s
+                );
+            }
+        }
+        let layers = self.layer_widths();
+        if !layers.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>9} {:>12} {:>12} {:>6} {:>6} {:>9} {:>9}",
+                "layer", "time[s]", "mean-width", "max-width", "phi", "eps", "created", "dropped"
+            );
+            for r in &layers {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>9.4} {:>12.4e} {:>12.4e} {:>6} {:>6} {:>9} {:>9}",
+                    r.layer,
+                    r.duration_s,
+                    r.mean_width,
+                    r.max_width,
+                    r.num_phi,
+                    r.num_eps,
+                    r.symbols_created,
+                    r.symbols_dropped
+                );
+            }
+        }
+        if !self.radius_steps.is_empty() {
+            let certified = self.radius_steps.iter().filter(|s| s.certified).count();
+            let best = self
+                .radius_steps
+                .iter()
+                .filter(|s| s.certified)
+                .map(|s| s.radius)
+                .fold(0.0, f64::max);
+            let _ = writeln!(
+                out,
+                "radius search: {} queries, {certified} certified, best radius {best:.6}",
+                self.radius_steps.len()
+            );
+        }
+        out
+    }
+
+    /// Serializes the trace to a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the trace as pretty-printed-enough JSON to `path`.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("meta");
+        w.begin_object();
+        for (k, v) in &self.meta {
+            w.key(k);
+            w.string(v);
+        }
+        w.end_object();
+        w.key("total_s");
+        w.number(self.total_s);
+        w.key("unbalanced_exits");
+        w.number(self.unbalanced_exits as f64);
+        w.key("radius_steps");
+        w.begin_array();
+        for s in &self.radius_steps {
+            w.begin_object();
+            w.key("iteration");
+            w.number(s.iteration as f64);
+            w.key("radius");
+            w.number(s.radius);
+            w.key("certified");
+            w.bool(s.certified);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("spans");
+        w.begin_array();
+        for s in &self.spans {
+            write_span_json(s, w);
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+fn write_span_json(span: &SpanRecord, w: &mut JsonWriter) {
+    w.begin_object();
+    w.key("label");
+    w.string(&span.label);
+    w.key("group");
+    w.string(&span.group);
+    if let Some(i) = span.index {
+        w.key("index");
+        w.number(i as f64);
+    }
+    w.key("duration_s");
+    w.number(span.duration_s);
+    w.key("symbols_created");
+    w.number(span.symbols_created as f64);
+    if let Some(stats) = &span.stats {
+        w.key("stats");
+        w.begin_object();
+        w.key("rows");
+        w.number(stats.rows as f64);
+        w.key("cols");
+        w.number(stats.cols as f64);
+        w.key("num_phi");
+        w.number(stats.num_phi as f64);
+        w.key("num_eps");
+        w.number(stats.num_eps as f64);
+        w.key("mean_width");
+        w.number(stats.mean_width);
+        w.key("max_width");
+        w.number(stats.max_width);
+        w.end_object();
+    }
+    if !span.reduce.is_empty() {
+        w.key("reduce");
+        w.begin_array();
+        for r in &span.reduce {
+            w.begin_object();
+            w.key("before");
+            w.number(r.before as f64);
+            w.key("after");
+            w.number(r.after as f64);
+            w.key("dropped");
+            w.number(r.dropped as f64);
+            w.end_object();
+        }
+        w.end_array();
+    }
+    if !span.children.is_empty() {
+        w.key("children");
+        w.begin_array();
+        for c in &span.children {
+            write_span_json(c, w);
+        }
+        w.end_array();
+    }
+    w.end_object();
+}
+
+/// A minimal streaming JSON writer (objects, arrays, strings, numbers,
+/// booleans) with two-space indentation. Keeps the crate std-only.
+struct JsonWriter {
+    buf: String,
+    depth: usize,
+    /// Whether the current container already holds an element.
+    need_comma: Vec<bool>,
+    /// The next value attaches to a just-written key (no comma/indent).
+    inline_next: bool,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            buf: String::new(),
+            depth: 0,
+            need_comma: vec![false],
+            inline_next: false,
+        }
+    }
+
+    fn finish(self) -> String {
+        self.buf
+    }
+
+    fn newline_indent(&mut self) {
+        self.buf.push('\n');
+        for _ in 0..self.depth {
+            self.buf.push_str("  ");
+        }
+    }
+
+    /// Starts a new element slot inside the current container. A value
+    /// following a just-written key attaches inline instead.
+    fn element(&mut self) {
+        if self.inline_next {
+            self.inline_next = false;
+            return;
+        }
+        if *self.need_comma.last().expect("container stack") {
+            self.buf.push(',');
+        }
+        if self.depth > 0 {
+            self.newline_indent();
+        }
+        if let Some(top) = self.need_comma.last_mut() {
+            *top = true;
+        }
+    }
+
+    fn begin_object(&mut self) {
+        self.element();
+        self.buf.push('{');
+        self.depth += 1;
+        self.need_comma.push(false);
+    }
+
+    fn end_object(&mut self) {
+        let had_items = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_items {
+            self.newline_indent();
+        }
+        self.buf.push('}');
+    }
+
+    fn begin_array(&mut self) {
+        self.element();
+        self.buf.push('[');
+        self.depth += 1;
+        self.need_comma.push(false);
+    }
+
+    fn end_array(&mut self) {
+        let had_items = self.need_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_items {
+            self.newline_indent();
+        }
+        self.buf.push(']');
+    }
+
+    /// Writes `"key": `; the following value attaches inline.
+    fn key(&mut self, key: &str) {
+        self.element();
+        self.push_escaped(key);
+        self.buf.push_str(": ");
+        self.inline_next = true;
+    }
+
+    fn string(&mut self, s: &str) {
+        self.element();
+        self.push_escaped(s);
+    }
+
+    fn number(&mut self, x: f64) {
+        self.element();
+        if x.is_finite() {
+            // Integers print without a trailing `.0`, like serde_json.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                let _ = write!(self.buf, "{}", x as i64);
+            } else {
+                let _ = write!(self.buf, "{x}");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    fn bool(&mut self, b: bool) {
+        self.element();
+        self.buf.push_str(if b { "true" } else { "false" });
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(group: &str, dur: f64) -> SpanRecord {
+        SpanRecord {
+            label: group.to_string(),
+            group: group.to_string(),
+            index: None,
+            duration_s: dur,
+            stats: None,
+            symbols_created: 0,
+            reduce: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn sample_trace() -> VerificationTrace {
+        let mut layer = leaf("encoder_layer", 1.0);
+        layer.label = "encoder_layer[0]".into();
+        layer.index = Some(0);
+        layer.stats = Some(ZonotopeStats {
+            rows: 4,
+            cols: 8,
+            num_phi: 8,
+            num_eps: 120,
+            mean_width: 0.5,
+            max_width: 2.0,
+        });
+        let mut dot = leaf("dot_product", 0.6);
+        dot.symbols_created = 32;
+        layer.children.push(dot);
+        layer.children.push(leaf("softmax", 0.3));
+        let mut red = leaf("reduction", 0.05);
+        red.reduce.push(ReduceEvent {
+            before: 200,
+            after: 120,
+            dropped: 80,
+        });
+        layer.children.push(red);
+        let mut root = leaf("propagate", 1.2);
+        root.children.push(layer);
+        VerificationTrace {
+            meta: vec![("verifier".into(), "DeepT-Fast".into())],
+            total_s: 1.25,
+            spans: vec![root],
+            radius_steps: vec![RadiusStep {
+                iteration: 0,
+                radius: 0.01,
+                certified: true,
+            }],
+            unbalanced_exits: 0,
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let t = sample_trace();
+        let root = &t.spans[0];
+        assert!((root.self_s() - 0.2).abs() < 1e-12);
+        let layer = &root.children[0];
+        assert!((layer.self_s() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspots_aggregate_and_rank_by_self_time() {
+        let t = sample_trace();
+        let h = t.hotspots(10);
+        // dot_product has the largest self time (0.6).
+        assert_eq!(h[0].group, "dot_product");
+        assert_eq!(h[0].calls, 1);
+        assert!((h[0].self_s - 0.6).abs() < 1e-12);
+        // All five groups appear.
+        assert_eq!(h.len(), 5);
+        // Truncation honors k.
+        assert_eq!(t.hotspots(2).len(), 2);
+    }
+
+    #[test]
+    fn layer_width_table_collects_metrics() {
+        let t = sample_trace();
+        let rows = t.layer_widths();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.layer, 0);
+        assert_eq!(r.num_eps, 120);
+        assert_eq!(r.symbols_created, 32);
+        assert_eq!(r.symbols_dropped, 80);
+        assert!((r.mean_width - 0.5).abs() < 1e-12);
+        assert!((r.max_width - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_contains_expected_structure() {
+        let t = sample_trace();
+        let json = t.to_json();
+        for needle in [
+            "\"meta\"",
+            "\"verifier\": \"DeepT-Fast\"",
+            "\"total_s\"",
+            "\"radius_steps\"",
+            "\"certified\": true",
+            "\"label\": \"encoder_layer[0]\"",
+            "\"num_eps\": 120",
+            "\"dropped\": 80",
+            "\"symbols_created\": 32",
+            "\"children\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut t = VerificationTrace::default();
+        t.set_meta("note", "a \"quoted\"\nline\\");
+        let json = t.to_json();
+        assert!(json.contains("a \\\"quoted\\\"\\nline\\\\"));
+    }
+
+    #[test]
+    fn set_meta_replaces_existing_key() {
+        let mut t = VerificationTrace::default();
+        t.set_meta("k", "1");
+        t.set_meta("k", "2");
+        assert_eq!(t.meta, vec![("k".to_string(), "2".to_string())]);
+    }
+
+    #[test]
+    fn render_summary_mentions_layers_and_hotspots() {
+        let t = sample_trace();
+        let s = t.render_summary(5);
+        assert!(s.contains("dot_product"));
+        assert!(s.contains("mean-width"));
+        assert!(s.contains("radius search: 1 queries"));
+    }
+}

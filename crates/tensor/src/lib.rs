@@ -27,9 +27,7 @@ pub mod ops;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use vector::{
-    dot, l1_norm, l2_norm, linf_norm, lp_norm, scale as vec_scale, vec_add, vec_sub,
-};
+pub use vector::{dot, l1_norm, l2_norm, linf_norm, lp_norm, scale as vec_scale, vec_add, vec_sub};
 
 /// Error produced by shape-checked fallible constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -478,7 +478,9 @@ impl LinBounds {
     /// Square-root relaxation over bounds floored at `floor`, for inputs
     /// known on domain grounds to be `≥ floor` (e.g. variance + ε).
     pub fn sqrt_floored(&self, input: &CrownInput, floor: f64) -> LinBounds {
-        self.relaxed(input, move |l, u| sqrt_relaxation(l.max(floor), u.max(floor)))
+        self.relaxed(input, move |l, u| {
+            sqrt_relaxation(l.max(floor), u.max(floor))
+        })
     }
 
     /// Linear-bound matrix product `a (N×K) · b (K×M)` via per-term
@@ -526,7 +528,8 @@ impl LinBounds {
                         .expect("two candidates")
                         .1;
                     accumulate_pair(
-                        self, other, xa, yb, best_l.0, best_l.1, best_l.2, false, &mut lw, &mut lb, o,
+                        self, other, xa, yb, best_l.0, best_l.1, best_l.2, false, &mut lw, &mut lb,
+                        o,
                     );
                     // Upper envelopes: xy ≤ uy·x + lx·y − lx·uy and
                     // xy ≤ ly·x + ux·y − ux·ly.
@@ -543,7 +546,8 @@ impl LinBounds {
                         .expect("two candidates")
                         .1;
                     accumulate_pair(
-                        self, other, xa, yb, best_u.0, best_u.1, best_u.2, true, &mut uw, &mut ub, o,
+                        self, other, xa, yb, best_u.0, best_u.1, best_u.2, true, &mut uw, &mut ub,
+                        o,
                     );
                 }
             }
@@ -605,9 +609,7 @@ impl LinBounds {
             let (cx, cy, c) = cand_l
                 .iter()
                 .map(|&(cx, cy, c)| {
-                    let v = worst_lower(self, k, cx, input)
-                        + worst_lower(other, k, cy, input)
-                        + c;
+                    let v = worst_lower(self, k, cx, input) + worst_lower(other, k, cy, input) + c;
                     (v, (cx, cy, c))
                 })
                 .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
@@ -618,9 +620,7 @@ impl LinBounds {
             let (cx, cy, c) = cand_u
                 .iter()
                 .map(|&(cx, cy, c)| {
-                    let v = worst_upper(self, k, cx, input)
-                        + worst_upper(other, k, cy, input)
-                        + c;
+                    let v = worst_upper(self, k, cx, input) + worst_upper(other, k, cy, input) + c;
                     (v, (cx, cy, c))
                 })
                 .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
@@ -735,6 +735,20 @@ pub fn propagate(
     input: &CrownInput,
     cfg: &CrownConfig,
 ) -> (LinBounds, CrownInput) {
+    propagate_probed(net, input, cfg, &deept_telemetry::NoopProbe)
+}
+
+/// [`propagate`] with telemetry spans per encoder layer, for hotspot parity
+/// with the DeepT verifier. Linear bounds carry no zonotope stats, so only
+/// durations are reported.
+pub fn propagate_probed(
+    net: &VerifiableTransformer,
+    input: &CrownInput,
+    cfg: &CrownConfig,
+    probe: &dyn deept_telemetry::Probe,
+) -> (LinBounds, CrownInput) {
+    use deept_telemetry::SpanKind;
+    probe.span_enter(SpanKind::Propagate);
     // `Best` is resolved in `certify`; a bare propagate falls back to the
     // never-collapse analysis.
     let policy = if cfg.collapse == CollapsePolicy::Best {
@@ -746,18 +760,23 @@ pub fn propagate(
     let mut basis = input.clone();
     let layers = net.layers.len();
     for (i, layer) in net.layers.iter().enumerate() {
+        probe.span_enter(SpanKind::EncoderLayer(i));
         x = encoder_layer(&x, layer, net, &basis, policy);
         if policy == CollapsePolicy::PerLayer && i + 1 < layers {
             let (nx, nb) = rebase(&x, &basis);
             x = nx;
             basis = nb;
         }
+        probe.span_exit(SpanKind::EncoderLayer(i), None, 0);
     }
+    probe.span_enter(SpanKind::Pooling);
     let pooled = x.select_rows(&[0]);
     let hidden = pooled
         .matmul_right(&net.head.wp, Some(net.head.bp.row(0)))
         .tanh(&basis);
     let logits = hidden.matmul_right(&net.head.wc, Some(net.head.bc.row(0)));
+    probe.span_exit(SpanKind::Pooling, None, 0);
+    probe.span_exit(SpanKind::Propagate, None, 0);
     (logits, basis)
 }
 
@@ -833,12 +852,7 @@ fn transpose(b: &LinBounds) -> LinBounds {
     })
 }
 
-fn layer_norm(
-    x: &LinBounds,
-    ln: &LayerNorm,
-    kind: LayerNormKind,
-    input: &CrownInput,
-) -> LinBounds {
+fn layer_norm(x: &LinBounds, ln: &LayerNorm, kind: LayerNormKind, input: &CrownInput) -> LinBounds {
     let centred = x.subtract_row_mean();
     let normed = match kind {
         LayerNormKind::NoStd => centred,
@@ -880,9 +894,21 @@ pub fn certify(
     true_label: usize,
     cfg: &CrownConfig,
 ) -> CertResult {
+    certify_probed(net, input, true_label, cfg, &deept_telemetry::NoopProbe)
+}
+
+/// [`certify`] with telemetry; see [`propagate_probed`]. Under
+/// [`CollapsePolicy::Best`] both sub-analyses report to the same probe.
+pub fn certify_probed(
+    net: &VerifiableTransformer,
+    input: &CrownInput,
+    true_label: usize,
+    cfg: &CrownConfig,
+    probe: &dyn deept_telemetry::Probe,
+) -> CertResult {
     if cfg.collapse == CollapsePolicy::Best {
-        let a = certify(net, input, true_label, &CrownConfig::forward());
-        let b = certify(net, input, true_label, &CrownConfig::baf());
+        let a = certify_probed(net, input, true_label, &CrownConfig::forward(), probe);
+        let b = certify_probed(net, input, true_label, &CrownConfig::baf(), probe);
         let margins = a
             .margins
             .iter()
@@ -891,7 +917,7 @@ pub fn certify(
             .collect();
         return CertResult::from_margins(margins);
     }
-    let (logits, basis) = propagate(net, input, cfg);
+    let (logits, basis) = propagate_probed(net, input, cfg, probe);
     let c = logits.shape().1;
     assert!(true_label < c, "true label out of range");
     let mut margins = vec![f64::INFINITY; c];
@@ -1016,7 +1042,10 @@ mod tests {
             sum_b += mb;
             sum_f += mf;
         }
-        assert!(sum_b >= sum_f - 1e-9, "backward below baf: {sum_b} vs {sum_f}");
+        assert!(
+            sum_b >= sum_f - 1e-9,
+            "backward below baf: {sum_b} vs {sum_f}"
+        );
     }
 
     #[test]
@@ -1030,7 +1059,12 @@ mod tests {
         let (lo, hi) = logits.bounds(&basis);
         let exact = model.classify(&model.encode(&emb));
         for c in 0..2 {
-            assert!((lo[c] - exact.at(0, c)).abs() < 1e-6, "lo {} vs {}", lo[c], exact.at(0, c));
+            assert!(
+                (lo[c] - exact.at(0, c)).abs() < 1e-6,
+                "lo {} vs {}",
+                lo[c],
+                exact.at(0, c)
+            );
             assert!((hi[c] - exact.at(0, c)).abs() < 1e-6);
         }
     }

@@ -1,10 +1,12 @@
 //! The DeepT verifier: propagates a Multi-norm Zonotope through an encoder
 //! Transformer (§5), in its Fast, Precise and Combined configurations.
 
-use deept_core::dot::{zono_matmul, DotConfig, DotVariant};
-use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::dot::{zono_matmul_probed, DotConfig, DotVariant};
+use deept_core::reduce::reduce_eps_probed;
+use deept_core::softmax::{softmax_rows_probed, SoftmaxConfig};
 use deept_core::{NormOrder, Zonotope};
 use deept_nn::transformer::{EncoderLayer, LayerNorm, LayerNormKind};
+use deept_telemetry::{NoopProbe, Probe, SpanKind};
 use deept_tensor::Matrix;
 
 use crate::network::{margins_from_zonotope, CertResult, VerifiableTransformer};
@@ -79,14 +81,37 @@ impl DeepTConfig {
 /// Propagates an input-region zonotope through the whole network and returns
 /// the logits zonotope (`1 × classes`).
 pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfig) -> Zonotope {
+    propagate_probed(net, input, cfg, &NoopProbe)
+}
+
+/// [`propagate`] with telemetry: every encoder layer, abstract transformer
+/// and noise-symbol reduction reports a span to `probe`, with zonotope
+/// precision stats computed only when the probe is enabled.
+///
+/// The probe only observes — the returned logits zonotope is bitwise
+/// identical to the unprobed result (see `tests/telemetry_trace.rs`).
+pub fn propagate_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+) -> Zonotope {
+    probe.span_enter(SpanKind::Propagate);
+    let out = propagate_inner(net, input, cfg, probe);
+    let stats = probe.enabled().then(|| out.telemetry_stats());
+    probe.span_exit(SpanKind::Propagate, stats, 0);
+    out
+}
+
+fn propagate_inner(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+) -> Zonotope {
     let mut x = input.clone();
     let last = net.layers.len().saturating_sub(1);
     for (i, layer) in net.layers.iter().enumerate() {
-        // Noise-symbol reduction at every layer input, before the residual
-        // branch splits (§5.1).
-        if let Some(budget) = cfg.reduction_budget {
-            x = x.reduced(budget.max(1), 0);
-        }
         let dot = if cfg.precise_last_layer_only && i != last {
             DotConfig {
                 variant: DotVariant::Fast,
@@ -95,7 +120,27 @@ pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfi
         } else {
             cfg.dot
         };
-        x = encoder_layer(&x, layer, net.layer_norm, net.head_dim, dot, cfg.softmax);
+        // The layer span also covers the input reduction, so per-layer
+        // telemetry attributes dropped symbols to the layer they feed.
+        probe.span_enter(SpanKind::EncoderLayer(i));
+        // Noise-symbol reduction at every layer input, before the residual
+        // branch splits (§5.1).
+        if let Some(budget) = cfg.reduction_budget {
+            x = reduce_eps_probed(&x, budget.max(1), 0, probe).0;
+        }
+        let eps_in = x.num_eps();
+        x = encoder_layer(
+            &x,
+            layer,
+            net.layer_norm,
+            net.head_dim,
+            dot,
+            cfg.softmax,
+            probe,
+        );
+        let created = x.num_eps().saturating_sub(eps_in);
+        let stats = probe.enabled().then(|| x.telemetry_stats());
+        probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
         if x.has_non_finite() {
             // Bounds blew up (e.g. exp overflow): report unbounded logits so
             // certification fails gracefully.
@@ -104,14 +149,18 @@ pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfi
         }
     }
     // Pooling: first output embedding only (Figure 2).
+    probe.span_enter(SpanKind::Pooling);
     let pooled = x.select_rows(&[0]);
     let hidden = pooled
         .matmul_right(&net.head.wp)
         .add_row_bias(net.head.bp.row(0))
         .tanh();
-    hidden
+    let logits = hidden
         .matmul_right(&net.head.wc)
-        .add_row_bias(net.head.bc.row(0))
+        .add_row_bias(net.head.bc.row(0));
+    let stats = probe.enabled().then(|| logits.telemetry_stats());
+    probe.span_exit(SpanKind::Pooling, stats, 0);
+    logits
 }
 
 /// Certifies that every point of the input region classifies as
@@ -122,7 +171,18 @@ pub fn certify(
     true_label: usize,
     cfg: &DeepTConfig,
 ) -> CertResult {
-    let logits = propagate(net, input, cfg);
+    certify_probed(net, input, true_label, cfg, &NoopProbe)
+}
+
+/// [`certify`] with telemetry; see [`propagate_probed`].
+pub fn certify_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    true_label: usize,
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+) -> CertResult {
+    let logits = propagate_probed(net, input, cfg, probe);
     CertResult::from_margins(margins_from_zonotope(&logits, true_label))
 }
 
@@ -134,27 +194,40 @@ fn encoder_layer(
     head_dim: usize,
     dot: DotConfig,
     softmax: SoftmaxConfig,
+    probe: &dyn Probe,
 ) -> Zonotope {
     // Multi-head self-attention (Eq. 1).
+    probe.span_enter(SpanKind::Attention);
     let scale = 1.0 / (head_dim as f64).sqrt();
     let mut heads = Vec::with_capacity(layer.attention.heads.len());
     for h in &layer.attention.heads {
         let q = x.matmul_right(&h.wq).scale(scale);
         let k = x.matmul_right(&h.wk);
         let v = x.matmul_right(&h.wv);
-        let scores = zono_matmul(&q, &k.transpose(), dot);
-        let attn = softmax_rows(&scores, softmax);
-        heads.push(zono_matmul(&attn, &v, dot));
+        let scores = zono_matmul_probed(&q, &k.transpose(), dot, probe);
+        let attn = softmax_rows_probed(&scores, softmax, probe);
+        heads.push(zono_matmul_probed(&attn, &v, dot, probe));
     }
     let merged = Zonotope::concat_cols(&heads);
     let z = merged
         .matmul_right(&layer.attention.w0)
         .add_row_bias(layer.attention.b0.row(0));
+    let attn_created = z.num_eps().saturating_sub(x.num_eps());
+    let stats = probe.enabled().then(|| z.telemetry_stats());
+    probe.span_exit(SpanKind::Attention, stats, attn_created);
 
     // Residual + normalization.
+    probe.span_enter(SpanKind::LayerNorm);
     let x = layer_norm_abstract(&x.add(&z), &layer.ln1, ln, dot);
+    let stats = probe.enabled().then(|| x.telemetry_stats());
+    probe.span_exit(
+        SpanKind::LayerNorm,
+        stats,
+        x.num_eps().saturating_sub(z.num_eps()),
+    );
 
     // Feed-forward network.
+    probe.span_enter(SpanKind::Ffn);
     let h = x
         .matmul_right(&layer.ffn.w1)
         .add_row_bias(layer.ffn.b1.row(0))
@@ -162,7 +235,22 @@ fn encoder_layer(
     let y = h
         .matmul_right(&layer.ffn.w2)
         .add_row_bias(layer.ffn.b2.row(0));
-    layer_norm_abstract(&x.add(&y), &layer.ln2, ln, dot)
+    let stats = probe.enabled().then(|| y.telemetry_stats());
+    probe.span_exit(
+        SpanKind::Ffn,
+        stats,
+        y.num_eps().saturating_sub(x.num_eps()),
+    );
+
+    probe.span_enter(SpanKind::LayerNorm);
+    let out = layer_norm_abstract(&x.add(&y), &layer.ln2, ln, dot);
+    let stats = probe.enabled().then(|| out.telemetry_stats());
+    probe.span_exit(
+        SpanKind::LayerNorm,
+        stats,
+        out.num_eps().saturating_sub(y.num_eps()),
+    );
+    out
 }
 
 /// Abstract layer normalization.
@@ -215,14 +303,8 @@ fn layer_norm_abstract(
                 let src = boxed.eps().row(r);
                 eps_lift.row_mut(r)[centred.num_eps()..].copy_from_slice(src);
             }
-            let inv_std = Zonotope::from_parts(
-                n_rows,
-                1,
-                boxed.center().to_vec(),
-                phi_pad,
-                eps_lift,
-                x.p(),
-            );
+            let inv_std =
+                Zonotope::from_parts(n_rows, 1, boxed.center().to_vec(), phi_pad, eps_lift, x.p());
             // Broadcast to (N × E) and multiply element-wise.
             let ones = Matrix::full(1, e, 1.0);
             let inv_b = inv_std.matmul_right(&ones);
@@ -275,7 +357,8 @@ mod tests {
         for _ in 0..60 {
             let (phi, eps) = region.sample_noise(&mut rng);
             let x = region.evaluate(&phi, &eps);
-            let xm = Matrix::from_vec(emb.rows(), emb.cols(), x).unwrap();
+            let xm = Matrix::from_vec(emb.rows(), emb.cols(), x)
+                .expect("Zonotope::evaluate yields rows*cols values for a rows x cols zonotope");
             let out = model.classify(&model.encode(&xm));
             for c in 0..2 {
                 assert!(
@@ -308,8 +391,18 @@ mod tests {
 
     #[test]
     fn propagation_sound_precise_and_combined() {
-        check_propagation_sound(LayerNormKind::NoStd, PNorm::Linf, &DeepTConfig::precise(500), 3);
-        check_propagation_sound(LayerNormKind::NoStd, PNorm::Linf, &DeepTConfig::combined(500), 4);
+        check_propagation_sound(
+            LayerNormKind::NoStd,
+            PNorm::Linf,
+            &DeepTConfig::precise(500),
+            3,
+        );
+        check_propagation_sound(
+            LayerNormKind::NoStd,
+            PNorm::Linf,
+            &DeepTConfig::combined(500),
+            4,
+        );
     }
 
     #[test]

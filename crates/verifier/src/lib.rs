@@ -44,6 +44,13 @@
 //! assert!(result.certified);
 //! ```
 
+//!
+//! Every verifier entry point also has a `*_probed` variant taking a
+//! [`deept_telemetry::Probe`], which reports per-layer spans, precision
+//! metrics and radius-search steps without perturbing the computation.
+
+#![deny(clippy::print_stdout)]
+
 pub mod attack;
 pub mod crown;
 pub mod deept;
@@ -53,4 +60,4 @@ pub mod synonym;
 
 pub use deept::DeepTConfig;
 pub use network::{CertResult, VerifiableTransformer};
-pub use radius::max_certified_radius;
+pub use radius::{max_certified_radius, max_certified_radius_probed};

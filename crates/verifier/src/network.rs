@@ -52,12 +52,7 @@ impl From<&VisionTransformer> for VerifiableTransformer {
 
 /// Threat model T1: an ℓp ball of radius `radius` around the embedding of
 /// the word at `position` (§2 / §6.1).
-pub fn t1_region(
-    embedded: &Matrix,
-    position: usize,
-    radius: f64,
-    p: PNorm,
-) -> Zonotope {
+pub fn t1_region(embedded: &Matrix, position: usize, radius: f64, p: PNorm) -> Zonotope {
     Zonotope::from_lp_ball(embedded, radius, p, &[position])
 }
 
@@ -162,10 +157,7 @@ mod tests {
     #[test]
     fn t2_region_covers_all_alternatives() {
         let emb = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
-        let alts = vec![
-            vec![vec![0.5, -0.5], vec![-0.3, 0.2]],
-            vec![],
-        ];
+        let alts = vec![vec![vec![0.5, -0.5], vec![-0.3, 0.2]], vec![]];
         let z = t2_region(&emb, &alts);
         let (lo, hi) = z.bounds();
         // Position 0 box must cover original (0,0) and both alternatives.

@@ -1,5 +1,7 @@
 //! Maximum certified radius via binary search (§6.1).
 
+use deept_telemetry::{NoopProbe, Probe, RadiusStep, SpanKind};
+
 /// Finds (a lower bound on) the largest radius `r` for which `verify(r)`
 /// holds, assuming `verify` is monotone (certifiable at `r` implies
 /// certifiable below `r` — true for all verifiers in this crate).
@@ -7,31 +9,62 @@
 /// The search first grows an upper bracket exponentially from `start`, then
 /// bisects for `iters` rounds. Returns `0.0` if even an infinitesimal radius
 /// fails (e.g. the point is misclassified).
-pub fn max_certified_radius(mut verify: impl FnMut(f64) -> bool, start: f64, iters: usize) -> f64 {
+pub fn max_certified_radius(verify: impl FnMut(f64) -> bool, start: f64, iters: usize) -> f64 {
+    max_certified_radius_probed(verify, start, iters, &NoopProbe)
+}
+
+/// [`max_certified_radius`] with telemetry: the whole search runs inside a
+/// `radius_search` span, each certification query inside a `radius_iter`
+/// span, and every query additionally reports a [`RadiusStep`] with the
+/// radius tried and the outcome. The query sequence is unchanged.
+pub fn max_certified_radius_probed(
+    mut verify: impl FnMut(f64) -> bool,
+    start: f64,
+    iters: usize,
+    probe: &dyn Probe,
+) -> f64 {
     assert!(start > 0.0, "start radius must be positive");
-    if !verify(0.0) {
-        return 0.0;
-    }
-    let mut lo = 0.0;
-    let mut hi = start;
-    let mut grow = 0;
-    while verify(hi) && grow < 40 {
-        lo = hi;
-        hi *= 2.0;
-        grow += 1;
-    }
-    if grow == 40 {
-        return lo; // effectively unbounded; report the bracket
-    }
-    for _ in 0..iters {
-        let mid = 0.5 * (lo + hi);
-        if verify(mid) {
-            lo = mid;
-        } else {
-            hi = mid;
+    probe.span_enter(SpanKind::RadiusSearch);
+    let mut iteration = 0;
+    let mut check = |radius: f64| {
+        probe.span_enter(SpanKind::RadiusIter(iteration));
+        let certified = verify(radius);
+        probe.span_exit(SpanKind::RadiusIter(iteration), None, 0);
+        probe.radius_step(RadiusStep {
+            iteration,
+            radius,
+            certified,
+        });
+        iteration += 1;
+        certified
+    };
+    let result = (|| {
+        if !check(0.0) {
+            return 0.0;
         }
-    }
-    lo
+        let mut lo = 0.0;
+        let mut hi = start;
+        let mut grow = 0;
+        while check(hi) && grow < 40 {
+            lo = hi;
+            hi *= 2.0;
+            grow += 1;
+        }
+        if grow == 40 {
+            return lo; // effectively unbounded; report the bracket
+        }
+        for _ in 0..iters {
+            let mid = 0.5 * (lo + hi);
+            if check(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    })();
+    probe.span_exit(SpanKind::RadiusSearch, None, 0);
+    result
 }
 
 #[cfg(test)]

@@ -29,9 +29,7 @@ pub fn alternatives(
             synonyms
                 .of(t)
                 .iter()
-                .map(|&s| {
-                    deept_tensor::vec_add(model.token_embed.row(s), model.pos_embed.row(i))
-                })
+                .map(|&s| deept_tensor::vec_add(model.token_embed.row(s), model.pos_embed.row(i)))
                 .collect()
         })
         .collect()
@@ -113,7 +111,11 @@ pub fn enumerate(
     // Candidate lists per position: original token first.
     let candidates: Vec<Vec<usize>> = tokens
         .iter()
-        .map(|&t| std::iter::once(t).chain(synonyms.of(t).iter().copied()).collect())
+        .map(|&t| {
+            std::iter::once(t)
+                .chain(synonyms.of(t).iter().copied())
+                .collect()
+        })
         .collect();
     let mut counters = vec![0usize; tokens.len()];
     let mut current: Vec<usize> = tokens.to_vec();

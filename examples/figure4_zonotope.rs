@@ -32,7 +32,10 @@ fn main() {
         PNorm::L2,
     );
     let (lo, hi) = full.bounds();
-    println!("x ∈ [{:.3}, {:.3}], y ∈ [{:.3}, {:.3}]", lo[0], hi[0], lo[1], hi[1]);
+    println!(
+        "x ∈ [{:.3}, {:.3}], y ∈ [{:.3}, {:.3}]",
+        lo[0], hi[0], lo[1], hi[1]
+    );
 
     // Rasterize by sampling noise instantiations of both regions.
     const W: usize = 64;

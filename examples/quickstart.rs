@@ -1,15 +1,17 @@
 //! Quickstart: train a tiny Transformer sentiment classifier from scratch,
 //! then certify one sentence against an ℓ2 perturbation of its second word
-//! and find the maximum certified radius.
+//! and find the maximum certified radius — with telemetry recording the
+//! whole search.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use deept::data::sentiment;
 use deept::nn::train::{accuracy, train, TrainConfig};
 use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
-use deept::verifier::deept::{certify, DeepTConfig};
+use deept::telemetry::TraceCollector;
+use deept::verifier::deept::{certify, certify_probed, DeepTConfig};
 use deept::verifier::network::{t1_region, VerifiableTransformer};
-use deept::verifier::radius::max_certified_radius;
+use deept::verifier::radius::max_certified_radius_probed;
 use deept::zonotope::PNorm;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -23,7 +25,12 @@ fn main() {
     spec.test = 150;
     spec.max_len = 8;
     let ds = sentiment::generate(spec, &mut rng);
-    println!("corpus: {} train / {} test, vocab {}", ds.train.len(), ds.test.len(), ds.vocab.len());
+    println!(
+        "corpus: {} train / {} test, vocab {}",
+        ds.train.len(),
+        ds.test.len(),
+        ds.vocab.len()
+    );
 
     // 2. Train a 2-layer encoder Transformer from scratch.
     let mut model = TransformerClassifier::new(
@@ -57,7 +64,10 @@ fn main() {
         .iter()
         .find(|(t, l)| model.predict(t) == *l && t.len() >= 4)
         .expect("some test sentence classifies correctly");
-    let words: Vec<&str> = tokens.iter().map(|&t| ds.vocab.token(t).name.as_str()).collect();
+    let words: Vec<&str> = tokens
+        .iter()
+        .map(|&t| ds.vocab.token(t).name.as_str())
+        .collect();
     println!("sentence: {} (label {})", words.join(" "), label);
 
     let net = VerifiableTransformer::from(&model);
@@ -71,11 +81,36 @@ fn main() {
         result.margins[1 - label]
     );
 
-    // 4. Maximum certified radius via binary search.
-    let r = max_certified_radius(
-        |radius| certify(&net, &t1_region(&emb, 1, radius, PNorm::L2), *label, &cfg).certified,
+    // 4. Maximum certified radius via binary search, traced: the collector
+    // records per-layer spans, noise-symbol counts and width statistics
+    // without changing any certified result.
+    let collector = TraceCollector::new();
+    let r = max_certified_radius_probed(
+        |radius| {
+            certify_probed(
+                &net,
+                &t1_region(&emb, 1, radius, PNorm::L2),
+                *label,
+                &cfg,
+                &collector,
+            )
+            .certified
+        },
         0.01,
         16,
+        &collector,
     );
     println!("maximum certified l2 radius for word 2: {r:.5}");
+
+    // 5. Inspect where the time and precision went.
+    let mut trace = collector.finish();
+    trace.set_meta("example", "quickstart");
+    trace.set_meta("verifier", "DeepT-Fast");
+    trace.set_meta("norm", "l2");
+    println!("\n{}", trace.render_summary(5));
+    let path = std::path::Path::new("artifacts/results/quickstart_trace.json");
+    match trace.save_json(path) {
+        Ok(()) => println!("trace written to {}", path.display()),
+        Err(e) => println!("could not write {}: {e}", path.display()),
+    }
 }

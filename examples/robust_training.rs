@@ -15,9 +15,9 @@
 use deept::data::sentiment;
 use deept::nn::autodiff::Tape;
 use deept::nn::train::{accuracy, train, Adam, TrainConfig};
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
 #[allow(unused_imports)]
 use deept::tensor::Matrix;
-use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
 use deept::verifier::deept::{certify, DeepTConfig};
 use deept::verifier::network::{t1_region, VerifiableTransformer};
 use deept::verifier::radius::max_certified_radius;

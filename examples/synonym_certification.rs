@@ -81,7 +81,10 @@ fn main() {
         &mut rng,
     );
     deept::data::synonyms::counter_fit(&mut model.token_embed, &ds.vocab, 0.95);
-    println!("test accuracy after counter-fitting: {:.3}", accuracy(&model, &ds.test));
+    println!(
+        "test accuracy after counter-fitting: {:.3}",
+        accuracy(&model, &ds.test)
+    );
 
     // Synonyms = nearest neighbours in the learned embedding space (the
     // construction of Alzantot et al., the paper's reference [1]).

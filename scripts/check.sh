@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The single local gate: formatting, lints and tests, exactly as CI runs
+# them (.github/workflows/ci.yml). Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "all checks passed"

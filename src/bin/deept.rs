@@ -4,8 +4,9 @@
 //! ```text
 //! deept train   --out model.json [--layers 2] [--yelp] [--std-ln] [--epochs 6]
 //! deept certify --model model.json --sentence "pos0_1 neu3 not0 neg2_0" \
-//!               [--position 1] [--norm l2] [--radius 0.05]
+//!               [--position 1] [--norm l2] [--radius 0.05] [--trace trace.json]
 //! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
+//! deept --trace trace.json
 //! ```
 //!
 //! `train` produces a JSON bundle (model + vocabulary); `certify` reports
@@ -13,6 +14,13 @@
 //! maximum certified radius; `synonyms` certifies threat model T2 against
 //! embedding-space nearest-neighbour substitutions and cross-checks with
 //! bounded enumeration.
+//!
+//! `--trace <path>` records the verification under a
+//! [`deept::telemetry::TraceCollector`]: per-layer spans with wall-clock
+//! timing, noise-symbol counts, interval-width stats and the radius-search
+//! query sequence, written as structured JSON. The bare `deept --trace`
+//! form runs a self-contained demo on a small random transformer, so the
+//! trace format can be inspected without training a model first.
 
 use std::process::ExitCode;
 
@@ -20,9 +28,10 @@ use deept::data::sentiment;
 use deept::data::{SynonymSets, Vocab};
 use deept::nn::train::{accuracy, train, TrainConfig};
 use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
-use deept::verifier::deept::{certify, DeepTConfig};
+use deept::telemetry::{TraceCollector, VerificationTrace};
+use deept::verifier::deept::{certify, certify_probed, DeepTConfig};
 use deept::verifier::network::{t1_region, VerifiableTransformer};
-use deept::verifier::radius::max_certified_radius;
+use deept::verifier::radius::{max_certified_radius, max_certified_radius_probed};
 use deept::verifier::synonym;
 use deept::zonotope::PNorm;
 use rand::SeedableRng;
@@ -43,8 +52,12 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
         Some("synonyms") => cmd_synonyms(&args[1..]),
+        Some("--trace") => cmd_demo_trace(&args),
         _ => {
-            eprintln!("usage: deept <train|certify|synonyms> [options]  (see --help in source)");
+            eprintln!(
+                "usage: deept <train|certify|synonyms> [options] | deept --trace <path>  \
+                 (see --help in source)"
+            );
             return ExitCode::from(2);
         }
     };
@@ -87,7 +100,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     spec.max_len = spec.max_len.min(10);
 
     let mut rng = ChaCha8Rng::seed_from_u64(
-        flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        flag(args, "--seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1),
     );
     let ds = sentiment::generate(spec, &mut rng);
     let layer_norm = if has(args, "--std-ln") {
@@ -129,7 +144,10 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     // Print a few example sentences so the user has valid token names.
     print!("example sentence: ");
     let (toks, _) = &ds.test[0];
-    let names: Vec<&str> = toks.iter().map(|&t| bundle_token_name(&bundle, t)).collect();
+    let names: Vec<&str> = toks
+        .iter()
+        .map(|&t| bundle_token_name(&bundle, t))
+        .collect();
     println!("{}", names.join(" "));
     Ok(())
 }
@@ -175,24 +193,101 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     let net = VerifiableTransformer::from(&bundle.model);
     let emb = bundle.model.embed(&tokens);
     let cfg = DeepTConfig::fast(2000);
+    let trace_path = flag(args, "--trace");
+    let collector = trace_path.as_ref().map(|_| TraceCollector::new());
     if let Some(radius) = flag(args, "--radius") {
         let radius: f64 = radius.parse().map_err(|_| "--radius must be a number")?;
-        let res = certify(&net, &t1_region(&emb, position, radius, p), label, &cfg);
+        let region = t1_region(&emb, position, radius, p);
+        let res = match &collector {
+            Some(c) => certify_probed(&net, &region, label, &cfg, c),
+            None => certify(&net, &region, label, &cfg),
+        };
         println!(
             "radius {radius} ({p}) at position {position}: certified = {} (margin {:.5})",
             res.certified,
             res.margins[1 - label]
         );
     } else {
-        let r = max_certified_radius(
-            |radius| {
-                certify(&net, &t1_region(&emb, position, radius, p), label, &cfg).certified
-            },
-            0.01,
-            16,
-        );
+        let check = |radius: f64| match &collector {
+            Some(c) => {
+                certify_probed(&net, &t1_region(&emb, position, radius, p), label, &cfg, c)
+                    .certified
+            }
+            None => certify(&net, &t1_region(&emb, position, radius, p), label, &cfg).certified,
+        };
+        let r = match &collector {
+            Some(c) => max_certified_radius_probed(check, 0.01, 16, c),
+            None => max_certified_radius(check, 0.01, 16),
+        };
         println!("maximum certified {p} radius at position {position}: {r:.6}");
     }
+    if let (Some(path), Some(collector)) = (trace_path, collector) {
+        let mut trace = collector.finish();
+        trace.set_meta("verifier", "DeepT-Fast");
+        trace.set_meta("norm", &p.to_string());
+        trace.set_meta("position", &position.to_string());
+        trace.set_meta("tokens", &tokens.len().to_string());
+        write_trace(&path, &trace)?;
+    }
+    Ok(())
+}
+
+/// `deept --trace <path>` with no subcommand: certify a small random
+/// transformer end to end and dump the resulting trace, so the telemetry
+/// format can be exercised without a trained model.
+fn cmd_demo_trace(args: &[String]) -> Result<(), String> {
+    let path = flag(args, "--trace").ok_or("--trace <path> is required")?;
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    let tokens = [1, 2, 3, 4];
+    let label = model.predict(&tokens);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(2000);
+    let collector = TraceCollector::new();
+    let r = max_certified_radius_probed(
+        |radius| {
+            certify_probed(
+                &net,
+                &t1_region(&emb, 0, radius, PNorm::L2),
+                label,
+                &cfg,
+                &collector,
+            )
+            .certified
+        },
+        0.01,
+        12,
+        &collector,
+    );
+    let mut trace = collector.finish();
+    trace.set_meta("mode", "demo");
+    trace.set_meta("verifier", "DeepT-Fast");
+    trace.set_meta("norm", "l2");
+    trace.set_meta("tokens", &tokens.len().to_string());
+    println!("demo: 2-layer random transformer, maximum certified l2 radius {r:.6}");
+    write_trace(&path, &trace)
+}
+
+/// Saves a trace as JSON and prints its hotspot summary.
+fn write_trace(path: &str, trace: &VerificationTrace) -> Result<(), String> {
+    trace
+        .save_json(std::path::Path::new(path))
+        .map_err(|e| format!("could not write {path}: {e}"))?;
+    println!("{}", trace.render_summary(5));
+    println!("trace written to {path}");
     Ok(())
 }
 
@@ -209,7 +304,10 @@ fn cmd_synonyms(args: &[String]) -> Result<(), String> {
         .unwrap_or(0.8);
     let synonyms = SynonymSets::from_embeddings(&bundle.model.token_embed, k, dist);
     let label = bundle.model.predict(&tokens);
-    println!("prediction: {label}, {} synonym combinations", synonyms.combinations(&tokens));
+    println!(
+        "prediction: {label}, {} synonym combinations",
+        synonyms.combinations(&tokens)
+    );
     for &t in &tokens {
         let names: Vec<&str> = synonyms
             .of(t)
@@ -219,7 +317,11 @@ fn cmd_synonyms(args: &[String]) -> Result<(), String> {
         println!(
             "  {:<10} → {}",
             bundle_token_name(&bundle, t),
-            if names.is_empty() { "∅".into() } else { names.join(", ") }
+            if names.is_empty() {
+                "∅".into()
+            } else {
+                names.join(", ")
+            }
         );
     }
     let cfg = DeepTConfig::fast(2000);
@@ -230,7 +332,11 @@ fn cmd_synonyms(args: &[String]) -> Result<(), String> {
         "enumeration cross-check: robust = {} ({} combinations checked{})",
         enu.robust,
         enu.checked,
-        if enu.exhausted { ", exhausted" } else { ", budget hit" }
+        if enu.exhausted {
+            ", exhausted"
+        } else {
+            ", budget hit"
+        }
     );
     if res.certified && enu.exhausted {
         assert!(enu.robust, "certificate contradicted by enumeration");
@@ -287,8 +393,7 @@ mod tests {
             vocab: ds.vocab,
         };
         let err =
-            parse_sentence(&bundle, &args(&["--sentence", "definitely_not_a_token"]))
-                .unwrap_err();
+            parse_sentence(&bundle, &args(&["--sentence", "definitely_not_a_token"])).unwrap_err();
         assert!(err.contains("unknown token"));
         // And a real token resolves.
         let name = bundle.vocab.token(0).name.clone();

@@ -11,7 +11,10 @@
 //! * [`verifier`] — the DeepT verifier plus CROWN-style, interval and
 //!   enumeration baselines;
 //! * [`lp`] — a dense simplex solver;
-//! * [`geocert`] — complete ReLU-MLP verification (GeoCert role).
+//! * [`geocert`] — complete ReLU-MLP verification (GeoCert role);
+//! * [`telemetry`] — verification spans, precision metrics and structured
+//!   traces (the [`telemetry::Probe`] trait accepted by every `*_probed`
+//!   verifier entry point).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the binaries that regenerate every table of the
@@ -46,5 +49,6 @@ pub use deept_data as data;
 pub use deept_geocert as geocert;
 pub use deept_lp as lp;
 pub use deept_nn as nn;
+pub use deept_telemetry as telemetry;
 pub use deept_tensor as tensor;
 pub use deept_verifier as verifier;

@@ -21,17 +21,21 @@ fn all_configurations_certify_soundly() {
     let mut rng = ChaCha8Rng::seed_from_u64(91);
     let configs: Vec<(&str, DeepTConfig)> = vec![
         ("fast", DeepTConfig::fast(1500)),
-        ("fast-pfirst", DeepTConfig::fast(1500).with_norm_order(NormOrder::PFirst)),
-        ("fast-norefine", DeepTConfig::fast(1500).with_softmax_refinement(false)),
+        (
+            "fast-pfirst",
+            DeepTConfig::fast(1500).with_norm_order(NormOrder::PFirst),
+        ),
+        (
+            "fast-norefine",
+            DeepTConfig::fast(1500).with_softmax_refinement(false),
+        ),
         ("fast-tiny-budget", DeepTConfig::fast(8)),
         ("precise", DeepTConfig::precise(96)),
         ("combined", DeepTConfig::combined(96)),
     ];
     for (name, cfg) in configs {
         let r = max_certified_radius(
-            |radius| {
-                certify(&net, &t1_region(&emb, 1, radius, PNorm::L2), label, &cfg).certified
-            },
+            |radius| certify(&net, &t1_region(&emb, 1, radius, PNorm::L2), label, &cfg).certified,
             0.01,
             10,
         );

@@ -42,7 +42,10 @@ fn complete_radius_dominates_zonotope_and_resists_sampling() {
         checked += 1;
         let complete = max_robust_radius_linf(&mlp, x0, *y, &cfg, 14);
         let zono = zonotope_radius(&mlp, x0, PNorm::Linf, *y, 14);
-        assert!(complete >= zono - 1e-6, "complete {complete} < zonotope {zono}");
+        assert!(
+            complete >= zono - 1e-6,
+            "complete {complete} < zonotope {zono}"
+        );
         // Random points inside the certified box never flip.
         for _ in 0..200 {
             let p: Vec<f64> = x0
@@ -58,7 +61,10 @@ fn complete_radius_dominates_zonotope_and_resists_sampling() {
 #[test]
 fn falsification_returns_genuine_adversarial_inputs() {
     let (mlp, data) = trained_image_mlp();
-    let (x0, y) = data.iter().find(|(x, y)| mlp.predict(x) == *y).expect("correct point");
+    let (x0, y) = data
+        .iter()
+        .find(|(x, y)| mlp.predict(x) == *y)
+        .expect("correct point");
     // A huge box must contain an attack for a non-constant classifier.
     match verify_linf(&mlp, x0, 3.0, *y, &BnbConfig { max_nodes: 3000 }) {
         Verdict::Falsified { input } => {
@@ -72,9 +78,12 @@ fn falsification_returns_genuine_adversarial_inputs() {
             // check that claim by sampling.
             let mut rng = ChaCha8Rng::seed_from_u64(52);
             for _ in 0..500 {
-                let p: Vec<f64> =
-                    x0.iter().map(|&c| c + rng.gen_range(-3.0..3.0)).collect();
-                assert_eq!(mlp.predict(&p), *y, "robust verdict contradicted by sampling");
+                let p: Vec<f64> = x0.iter().map(|&c| c + rng.gen_range(-3.0..3.0)).collect();
+                assert_eq!(
+                    mlp.predict(&p),
+                    *y,
+                    "robust verdict contradicted by sampling"
+                );
             }
         }
         Verdict::Unknown => {}

@@ -49,7 +49,10 @@ fn certification_fails_beyond_the_attack_radius() {
     let mut rng = ChaCha8Rng::seed_from_u64(78);
     if let Some(_adv) = attack_t1(&model, &tokens, 1, 5.0, PNorm::L2, 500, &mut rng) {
         let res = certify(&net, &t1_region(&emb, 1, 5.0, PNorm::L2), label, &cfg);
-        assert!(!res.certified, "certified a region containing a real attack");
+        assert!(
+            !res.certified,
+            "certified a region containing a real attack"
+        );
     }
 }
 

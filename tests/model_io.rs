@@ -14,8 +14,7 @@ fn verification_is_identical_after_reload() {
     let dir = std::env::temp_dir().join(format!("deept-io-{}", std::process::id()));
     let path = dir.join("model.json");
     deept::nn::io::save_json(&model, &path).expect("save");
-    let reloaded: deept::nn::TransformerClassifier =
-        deept::nn::io::load_json(&path).expect("load");
+    let reloaded: deept::nn::TransformerClassifier = deept::nn::io::load_json(&path).expect("load");
     assert_eq!(model, reloaded);
 
     let cfg = DeepTConfig::fast(1500);

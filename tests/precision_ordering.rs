@@ -65,13 +65,21 @@ fn deept_precise_dominates_fast_on_linf() {
     let (model, ds) = common::trained_transformer(1, 21);
     let (tokens, label) = common::correct_sentence(&model, &ds);
     // Same (generous) budget for both so only the dot product differs.
-    let fast = deept_radius(&model, &tokens, label, PNorm::Linf, &DeepTConfig::fast(100_000));
-    let precise =
-        deept_radius(&model, &tokens, label, PNorm::Linf, &DeepTConfig::precise(100_000));
-    assert!(
-        precise >= fast * 0.999,
-        "precise {precise} < fast {fast}"
+    let fast = deept_radius(
+        &model,
+        &tokens,
+        label,
+        PNorm::Linf,
+        &DeepTConfig::fast(100_000),
     );
+    let precise = deept_radius(
+        &model,
+        &tokens,
+        label,
+        PNorm::Linf,
+        &DeepTConfig::precise(100_000),
+    );
+    assert!(precise >= fast * 0.999, "precise {precise} < fast {fast}");
 }
 
 #[test]

@@ -32,7 +32,9 @@ fn vit_pixel_region_propagation_is_sound() {
         patches,
         &mut rng,
     );
-    let pixels: Vec<f64> = (0..64).map(|i| (i as f64 * 0.13).sin() * 0.5 + 0.5).collect();
+    let pixels: Vec<f64> = (0..64)
+        .map(|i| (i as f64 * 0.13).sin() * 0.5 + 0.5)
+        .collect();
     let radius = 0.02;
 
     // Build the pixel permutation into patches, then the embedded region.
