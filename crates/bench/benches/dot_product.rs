@@ -2,10 +2,16 @@
 //! Precise, across noise-symbol counts. The paper's complexity claims are
 //! O(N(E_p + E_∞)) for Fast and O(N·E_∞²) for Precise; the scaling across
 //! the symbol axis here exhibits exactly that gap.
+//!
+//! Each variant is measured twice: on the blocked/parallel kernels (default)
+//! and on the naive reference path (`*_naive`, routed in-process via
+//! [`set_force_naive`]). `scripts/bench_smoke.sh` reads both medians and
+//! reports the speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use deept_core::dot::{zono_matmul, DotConfig};
 use deept_core::{PNorm, Zonotope};
+use deept_tensor::parallel::set_force_naive;
 use deept_tensor::Matrix;
 
 fn operand(rows: usize, cols: usize, syms: usize, seed: usize) -> Zonotope {
@@ -22,12 +28,20 @@ fn bench_dot(c: &mut Criterion) {
     for &syms in &[64usize, 128, 256] {
         let a = operand(6, 8, syms, 1);
         let b = operand(8, 6, syms, 2);
-        g.bench_with_input(BenchmarkId::new("fast", syms), &syms, |bch, _| {
-            bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::fast())))
-        });
-        g.bench_with_input(BenchmarkId::new("precise", syms), &syms, |bch, _| {
-            bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::precise())))
-        });
+        for (name, naive) in [("fast", false), ("fast_naive", true)] {
+            g.bench_with_input(BenchmarkId::new(name, syms), &syms, |bch, _| {
+                set_force_naive(naive);
+                bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::fast())));
+                set_force_naive(false);
+            });
+        }
+        for (name, naive) in [("precise", false), ("precise_naive", true)] {
+            g.bench_with_input(BenchmarkId::new(name, syms), &syms, |bch, _| {
+                set_force_naive(naive);
+                bch.iter(|| black_box(zono_matmul(&a, &b, DotConfig::precise())));
+                set_force_naive(false);
+            });
+        }
     }
     g.finish();
 }

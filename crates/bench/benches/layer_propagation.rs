@@ -2,10 +2,16 @@
 //! The paper claims DeepT-Fast scales *linearly* with depth thanks to the
 //! noise-symbol budget; total time across the depth axis here should grow
 //! ~proportionally.
+//!
+//! Each depth is measured twice: on the blocked/parallel kernels (default,
+//! `fast/<depth>`) and on the naive reference path (`naive/<depth>`, routed
+//! in-process via [`set_force_naive`]). `scripts/bench_smoke.sh` reads both
+//! medians and reports the speedup.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use deept_core::PNorm;
 use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_tensor::parallel::set_force_naive;
 use deept_verifier::deept::{propagate, DeepTConfig};
 use deept_verifier::network::{t1_region, VerifiableTransformer};
 use rand::SeedableRng;
@@ -36,9 +42,13 @@ fn bench_depth(c: &mut Criterion) {
         let emb = model.embed(&[1, 2, 3, 4, 5, 6]);
         let region = t1_region(&emb, 2, 0.01, PNorm::L2);
         let cfg = DeepTConfig::fast(1000);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(propagate(&net, &region, &cfg)))
-        });
+        for (name, naive) in [("fast", false), ("naive", true)] {
+            g.bench_with_input(BenchmarkId::new(name, m), &m, |b, _| {
+                set_force_naive(naive);
+                b.iter(|| black_box(propagate(&net, &region, &cfg)));
+                set_force_naive(false);
+            });
+        }
     }
     g.finish();
 }

@@ -4,6 +4,7 @@
 use deept_core::{NormOrder, PNorm};
 use deept_nn::TransformerClassifier;
 use deept_telemetry::{TraceCollector, VerificationTrace};
+use deept_tensor::{parallel, Matrix};
 use deept_verifier::crown::{self, CrownConfig, CrownInput};
 use deept_verifier::deept::{self, DeepTConfig};
 use deept_verifier::network::{t1_region, VerifiableTransformer};
@@ -85,12 +86,28 @@ pub fn certified_radius(
 ) -> f64 {
     let net = VerifiableTransformer::from(model);
     let emb = model.embed(tokens);
+    certified_radius_prepared(&net, &emb, label, position, p, kind, scale)
+}
+
+/// [`certified_radius`] with the verifier view and the embedded sentence
+/// prepared by the caller. The sweep builds both once (the network per
+/// model, the embedding per sentence) instead of once per query — the
+/// binary search only ever varies the region radius.
+pub fn certified_radius_prepared(
+    net: &VerifiableTransformer,
+    emb: &Matrix,
+    label: usize,
+    position: usize,
+    p: PNorm,
+    kind: VerifierKind,
+    scale: Scale,
+) -> f64 {
     let iters = scale.radius_iters();
     if let Some(cfg) = kind.deept_config(scale) {
         max_certified_radius(
             |r| {
-                let region = t1_region(&emb, position, r, p);
-                deept::certify(&net, &region, label, &cfg).certified
+                let region = t1_region(emb, position, r, p);
+                deept::certify(net, &region, label, &cfg).certified
             },
             0.01,
             iters,
@@ -99,8 +116,8 @@ pub fn certified_radius(
         let cfg = kind.crown_config().expect("crown kind");
         max_certified_radius(
             |r| {
-                let input = CrownInput::t1(&emb, position, r, p);
-                crown::certify(&net, &input, label, &cfg).certified
+                let input = CrownInput::t1(emb, position, r, p);
+                crown::certify(net, &input, label, &cfg).certified
             },
             0.01,
             iters,
@@ -190,6 +207,11 @@ pub fn radius_sweep(
     scale: Scale,
     layers: usize,
 ) -> Vec<RadiusRow> {
+    // Hoisted out of the query loop: the verifier view of the model (shared
+    // by every query) and the embedding of each sentence (shared by every
+    // position and norm probing it).
+    let net = VerifiableTransformer::from(model);
+    let embeddings: Vec<Matrix> = sentences.iter().map(|(t, _)| model.embed(t)).collect();
     let mut rows = Vec::new();
     for &p in norms {
         let queries: Vec<(usize, usize)> = sentences
@@ -202,9 +224,9 @@ pub fn radius_sweep(
             })
             .collect();
         let start = std::time::Instant::now();
-        let radii = parallel_map(&queries, |&(si, pos)| {
-            let (tokens, label) = &sentences[si];
-            certified_radius(model, tokens, *label, pos, p, kind, scale)
+        let radii = parallel::par_map(&queries, 1, |&(si, pos)| {
+            let label = sentences[si].1;
+            certified_radius_prepared(&net, &embeddings[si], label, pos, p, kind, scale)
         });
         let elapsed = start.elapsed().as_secs_f64();
         let (min, avg) = min_avg(&radii);
@@ -220,46 +242,52 @@ pub fn radius_sweep(
     rows
 }
 
-/// Simple fork-join map over a slice using scoped threads.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let results: Vec<parking_lot::Mutex<Option<R>>> = (0..items.len())
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                *results[i].lock() = Some(f(&items[i]));
-            });
-        }
-    })
-    .expect("worker panicked");
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("all slots filled"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    fn prepared_and_plain_radius_queries_agree() {
+        use deept_nn::transformer::{LayerNormKind, TransformerConfig};
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let model = TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 11,
+                max_len: 6,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 12,
+                num_layers: 1,
+                num_classes: 2,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            &mut rng,
+        );
+        let tokens = [1usize, 4, 7];
+        let label = model.predict(&tokens);
+        let scale = Scale::Quick;
+        let plain = certified_radius(
+            &model,
+            &tokens,
+            label,
+            1,
+            PNorm::L2,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+        let net = VerifiableTransformer::from(&model);
+        let emb = model.embed(&tokens);
+        let prepared = certified_radius_prepared(
+            &net,
+            &emb,
+            label,
+            1,
+            PNorm::L2,
+            VerifierKind::DeepTFast,
+            scale,
+        );
+        assert_eq!(plain, prepared);
     }
 
     #[test]

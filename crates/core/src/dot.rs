@@ -16,10 +16,14 @@
 //! that collapsing the ℓ∞ operand first is slightly better on average, which
 //! is our [`NormOrder::InfFirst`] default.
 
-use deept_telemetry::{NoopProbe, Probe, SpanKind};
-use deept_tensor::Matrix;
+use deept_telemetry::{NoopProbe, ParallelStats, Probe, SpanKind};
+use deept_tensor::{parallel, Matrix};
 
 use crate::{PNorm, Zonotope};
+
+/// Minimum multiply-adds per worker task of the Precise ε–ε row scan;
+/// smaller scans run inline on the calling thread.
+const PRECISE_MIN_FLOPS: usize = 1 << 16;
 
 /// Which ε–ε bounding strategy [`zono_matmul`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -70,17 +74,24 @@ impl DotConfig {
     }
 }
 
-/// Fast dual-norm bound of `|(V ξ₁)·(W ξ₂)|` where `‖ξ₁‖_{p1} ≤ 1` and
-/// `‖ξ₂‖_{p2} ≤ 1` (Eq. 5): collapse `W` by per-row ℓq₂ norms, then bound
-/// the remaining linear form by its ℓq₁ norm.
+/// Per-row dual norms of one operand block: `norms[r] = p.dual_norm(row r)`.
 ///
-/// `V` and `W` are `K × E₁` and `K × E₂` coefficient matrices.
-fn fast_bound(v: &Matrix, p1: PNorm, w: &Matrix, p2: PNorm) -> f64 {
-    debug_assert_eq!(v.rows(), w.rows());
-    let k = v.rows();
+/// Eq. 5 collapses its `W` operand to exactly these norms. They depend only
+/// on the block, not on the pairing, so [`zono_matmul`] hoists them out of
+/// the per-output-pair loop — each block's norms are computed once and
+/// reused by every pairing, where the naive path recomputes them per pair.
+/// Values (and therefore bounds) are bit-for-bit those of the naive path.
+fn row_dual_norms(w: &Matrix, p: PNorm) -> Vec<f64> {
+    (0..w.rows()).map(|r| p.dual_norm(w.row(r))).collect()
+}
+
+/// Fast dual-norm bound of `|(V ξ₁)·(W ξ₂)|` where `‖ξ₁‖_{p1} ≤ 1` (Eq. 5),
+/// with the collapsed operand `W` already reduced to its per-row ℓq₂ norms
+/// by [`row_dual_norms`].
+fn fast_bound_pre(v: &Matrix, p1: PNorm, w_norms: &[f64]) -> f64 {
+    debug_assert_eq!(v.rows(), w_norms.len());
     let mut t = vec![0.0; v.cols()];
-    for row in 0..k {
-        let wn = p2.dual_norm(w.row(row));
+    for (row, &wn) in w_norms.iter().enumerate() {
         if wn == 0.0 {
             continue;
         }
@@ -94,55 +105,105 @@ fn fast_bound(v: &Matrix, p1: PNorm, w: &Matrix, p2: PNorm) -> f64 {
 /// Precise interval bound of `(Vε)·(Wε)` over shared ε symbols (Eq. 6):
 /// `Σ_e (v_e·w_e) ε_e² + Σ_{e≠e'} (v_e·w_{e'}) ε_e ε_{e'}` with
 /// `ε² ∈ [0,1]` and `ε_e ε_{e'} ∈ [−1,1]`.
+///
+/// Unlike the reference, this never materializes the E×E interaction
+/// matrix: each of its rows is accumulated into a scratch buffer (same
+/// per-element order as the materialized product), scanned, and reduced to
+/// one `(lo, hi)` partial per row. Rows are distributed over workers and
+/// the per-row partials are folded on the calling thread in ascending row
+/// order — the fold granularity is fixed per row, never per chunk, so the
+/// result is bitwise identical at every worker count.
 fn precise_eps_bound(v: &Matrix, w: &Matrix) -> (f64, f64) {
     debug_assert_eq!(v.shape(), w.shape());
-    let m = v.transpose_a_matmul(w); // E × E, m[e,e'] = v_col_e · w_col_e'
-    let e = m.rows();
-    let mut lo = 0.0;
-    let mut hi = 0.0;
-    for i in 0..e {
-        for j in 0..e {
-            let x = m.at(i, j);
-            if i == j {
-                lo += x.min(0.0);
-                hi += x.max(0.0);
-            } else {
-                lo -= x.abs();
-                hi += x.abs();
+    let e = v.cols();
+    let k = v.rows();
+    let min_rows = (PRECISE_MIN_FLOPS / (k * e).max(1)).max(1);
+    let partials = parallel::par_chunks(e, min_rows, |rows| {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut buf = vec![0.0; e];
+        for i in rows {
+            buf.fill(0.0);
+            for kk in 0..k {
+                let a = v.at(kk, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for (acc, &b) in buf.iter_mut().zip(w.row(kk)) {
+                    *acc += a * b;
+                }
             }
+            let (mut lo, mut hi) = (0.0, 0.0);
+            for (j, &x) in buf.iter().enumerate() {
+                if i == j {
+                    lo += x.min(0.0);
+                    hi += x.max(0.0);
+                } else {
+                    lo -= x.abs();
+                    hi += x.abs();
+                }
+            }
+            out.push((lo, hi));
         }
+        out
+    });
+    let (mut lo, mut hi) = (0.0, 0.0);
+    for (l, h) in partials.into_iter().flatten() {
+        lo += l;
+        hi += h;
     }
     (lo, hi)
 }
 
+/// The hoisted per-row dual norms of one operand block (one logical row of
+/// `a` or one logical column of `b`), shared by every pairing the block
+/// participates in.
+struct BlockNorms {
+    /// ℓq norms of the φ block's rows, `q` dual to the zonotope's `p`.
+    phi_dual: Vec<f64>,
+    /// ℓ1 norms of the ε block's rows (the dual of ℓ∞).
+    eps_l1: Vec<f64>,
+}
+
+impl BlockNorms {
+    fn of(phi: &Matrix, eps: &Matrix, p: PNorm) -> Self {
+        BlockNorms {
+            phi_dual: row_dual_norms(phi, p),
+            eps_l1: row_dual_norms(eps, PNorm::Linf),
+        }
+    }
+}
+
 /// Interval bound of the full noise-interaction term
-/// `(A₁φ + B₁ε)·(A₂φ + B₂ε)` for one output variable.
+/// `(A₁φ + B₁ε)·(A₂φ + B₂ε)` for one output variable, with both operands'
+/// per-row dual norms precomputed (`an` for the `a` block, `bn` for `b`).
 fn interaction_bound(
     a1: &Matrix,
     b1: &Matrix,
     a2: &Matrix,
     b2: &Matrix,
+    an: &BlockNorms,
+    bn: &BlockNorms,
     p: PNorm,
     cfg: DotConfig,
 ) -> (f64, f64) {
     // φ–φ term.
-    let pp = fast_bound(a1, p, a2, p);
+    let pp = fast_bound_pre(a1, p, &bn.phi_dual);
     // Mixed terms: §6.5 order choice decides which operand is collapsed
     // first (i.e. plays the `W` role in Eq. 5).
     let (pe, ep) = match cfg.order {
         NormOrder::InfFirst => (
-            fast_bound(a1, p, b2, PNorm::Linf),
-            fast_bound(a2, p, b1, PNorm::Linf),
+            fast_bound_pre(a1, p, &bn.eps_l1),
+            fast_bound_pre(a2, p, &an.eps_l1),
         ),
         NormOrder::PFirst => (
-            fast_bound(b2, PNorm::Linf, a1, p),
-            fast_bound(b1, PNorm::Linf, a2, p),
+            fast_bound_pre(b2, PNorm::Linf, &an.phi_dual),
+            fast_bound_pre(b1, PNorm::Linf, &bn.phi_dual),
         ),
     };
     // ε–ε term.
     let (ee_lo, ee_hi) = match cfg.variant {
         DotVariant::Fast => {
-            let b = fast_bound(b1, PNorm::Linf, b2, PNorm::Linf);
+            let b = fast_bound_pre(b1, PNorm::Linf, &bn.eps_l1);
             (-b, b)
         }
         DotVariant::Precise => precise_eps_bound(b1, b2),
@@ -178,17 +239,36 @@ pub fn zono_matmul_probed(
     probe: &dyn Probe,
 ) -> Zonotope {
     probe.span_enter(SpanKind::DotProduct);
+    let before = probe.enabled().then(parallel::snapshot);
     let out = zono_matmul_impl(a, b, cfg);
+    if let Some(before) = before {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let created = out.num_eps() - a.num_eps().max(b.num_eps());
     let stats = probe.enabled().then(|| out.telemetry_stats());
     probe.span_exit(SpanKind::DotProduct, stats, created);
     out
 }
 
+/// [`ParallelStats`] describing all parallel-layer work since `before`,
+/// ready to attribute to the innermost open span via [`Probe::parallel`].
+pub fn parallel_stats_since(before: &parallel::ParallelSnapshot) -> ParallelStats {
+    let d = parallel::snapshot().since(before);
+    ParallelStats {
+        workers: parallel::num_threads(),
+        invocations: d.invocations,
+        tasks: d.tasks,
+        busy_ns: d.busy_ns,
+    }
+}
+
 fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     assert_eq!(a.cols(), b.rows(), "zono_matmul inner dimension mismatch");
     assert_eq!(a.p(), b.p(), "zono_matmul p-norm mismatch");
     assert_eq!(a.num_phi(), b.num_phi(), "zono_matmul phi symbol mismatch");
+    if parallel::force_naive() {
+        return reference::zono_matmul(a, b, cfg);
+    }
     let mut a = a.clone();
     let mut b = b.clone();
     let width = a.num_eps().max(b.num_eps());
@@ -203,14 +283,12 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     let ca = a.center_matrix();
     let cb = b.center_matrix();
     let center_mat = ca.matmul(&cb);
+    let cbt = cb.transpose(); // row j = column j of cb, hoisted out of the loop
 
-    let n_out = n * m;
-    let mut center = Vec::with_capacity(n_out);
-    let mut phi = Matrix::zeros(n_out, e_phi);
-    let mut eps = Matrix::zeros(n_out, width);
-    let mut fold = Vec::with_capacity(n_out); // (shift, beta) per output var
-
-    // Pre-slice the per-row blocks of a and per-column blocks of b.
+    // Pre-slice the per-row blocks of a and per-column blocks of b, and
+    // hoist each block's per-row dual norms out of the pairing loop (the
+    // naive path recomputes them for every (i, j) pair — the bulk of the
+    // Fast bound's cost).
     let a_phi_blocks: Vec<Matrix> = (0..n)
         .map(|i| a.phi().slice_rows(i * k, (i + 1) * k))
         .collect();
@@ -223,34 +301,69 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     let b_eps_blocks: Vec<Matrix> = (0..m)
         .map(|j| bt.eps().slice_rows(j * k, (j + 1) * k))
         .collect();
+    let a_norms: Vec<BlockNorms> = (0..n)
+        .map(|i| BlockNorms::of(&a_phi_blocks[i], &a_eps_blocks[i], p))
+        .collect();
+    let b_norms: Vec<BlockNorms> = (0..m)
+        .map(|j| BlockNorms::of(&b_phi_blocks[j], &b_eps_blocks[j], p))
+        .collect();
 
-    for i in 0..n {
-        let ca_row = ca.row(i);
-        for j in 0..m {
-            let out = i * m + j;
-            center.push(center_mat.at(i, j));
-            let cb_col: Vec<f64> = (0..k).map(|kk| cb.at(kk, j)).collect();
-            // Cross terms: c_aᵀ·A_b + c_bᵀ·A_a (exact).
-            {
-                let prow = phi.row_mut(out);
-                accumulate_weighted_rows(prow, &b_phi_blocks[j], ca_row);
-                accumulate_weighted_rows(prow, &a_phi_blocks[i], &cb_col);
-                let erow = eps.row_mut(out);
-                accumulate_weighted_rows(erow, &b_eps_blocks[j], ca_row);
-                accumulate_weighted_rows(erow, &a_eps_blocks[i], &cb_col);
+    // One worker per contiguous band of `a` rows. Each band owns its slice
+    // of every output buffer and bands are reassembled in row order below,
+    // so the output does not depend on the worker count.
+    let bands = parallel::par_chunks(n, 1, |is| {
+        let start = is.start;
+        let rows = is.len() * m;
+        let mut center = Vec::with_capacity(rows);
+        let mut phi = vec![0.0; rows * e_phi];
+        let mut eps = vec![0.0; rows * width];
+        let mut fold = Vec::with_capacity(rows); // (shift, beta) per output var
+        for i in is {
+            let ca_row = ca.row(i);
+            let base = (i - start) * m;
+            for j in 0..m {
+                let local = base + j;
+                center.push(center_mat.at(i, j));
+                let cb_col = cbt.row(j);
+                // Cross terms: c_aᵀ·A_b + c_bᵀ·A_a (exact).
+                {
+                    let prow = &mut phi[local * e_phi..(local + 1) * e_phi];
+                    accumulate_weighted_rows(prow, &b_phi_blocks[j], ca_row);
+                    accumulate_weighted_rows(prow, &a_phi_blocks[i], cb_col);
+                    let erow = &mut eps[local * width..(local + 1) * width];
+                    accumulate_weighted_rows(erow, &b_eps_blocks[j], ca_row);
+                    accumulate_weighted_rows(erow, &a_eps_blocks[i], cb_col);
+                }
+                // Noise–noise interaction interval.
+                let (lo, hi) = interaction_bound(
+                    &a_phi_blocks[i],
+                    &a_eps_blocks[i],
+                    &b_phi_blocks[j],
+                    &b_eps_blocks[j],
+                    &a_norms[i],
+                    &b_norms[j],
+                    p,
+                    cfg,
+                );
+                fold.push((0.5 * (lo + hi), 0.5 * (hi - lo)));
             }
-            // Noise–noise interaction interval.
-            let (lo, hi) = interaction_bound(
-                &a_phi_blocks[i],
-                &a_eps_blocks[i],
-                &b_phi_blocks[j],
-                &b_eps_blocks[j],
-                p,
-                cfg,
-            );
-            fold.push((0.5 * (lo + hi), 0.5 * (hi - lo)));
         }
+        (center, phi, eps, fold)
+    });
+
+    let n_out = n * m;
+    let mut center = Vec::with_capacity(n_out);
+    let mut phi_data = Vec::with_capacity(n_out * e_phi);
+    let mut eps_data = Vec::with_capacity(n_out * width);
+    let mut fold = Vec::with_capacity(n_out);
+    for (c, ph, ep, fo) in bands {
+        center.extend(c);
+        phi_data.extend(ph);
+        eps_data.extend(ep);
+        fold.extend(fo);
     }
+    let phi = Matrix::from_vec(n_out, e_phi, phi_data).expect("bands cover all n*m output rows");
+    let eps = Matrix::from_vec(n_out, width, eps_data).expect("bands cover all n*m output rows");
 
     for (out, &(shift, _)) in fold.iter().enumerate() {
         center[out] += shift;
@@ -292,17 +405,185 @@ pub fn mul_elementwise(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     let (r, c) = (a.rows(), a.cols());
     let n = a.n_vars();
     // View each operand as an (n × 1) stack and multiply variable-wise by
-    // computing n independent 1×1·1×1 products.
+    // computing n independent 1×1·1×1 products. The products share nothing,
+    // so variables are chunked over workers; results are concatenated in
+    // variable order regardless of the worker count.
     let av = a.reshape(n, 1);
     let bv = b.reshape(n, 1);
-    let parts: Vec<Zonotope> = (0..n)
-        .map(|k| {
-            let ar = av.select_rows(&[k]);
-            let br = bv.select_rows(&[k]).transpose();
-            zono_matmul(&ar.reshape(1, 1), &br.reshape(1, 1), cfg)
-        })
-        .collect();
+    let parts: Vec<Zonotope> = parallel::par_chunks(n, 8, |range| {
+        range
+            .map(|k| {
+                let ar = av.select_rows(&[k]);
+                let br = bv.select_rows(&[k]).transpose();
+                zono_matmul(&ar.reshape(1, 1), &br.reshape(1, 1), cfg)
+            })
+            .collect::<Vec<Zonotope>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Zonotope::concat_rows(&parts).reshape(r, c)
+}
+
+/// The pre-optimization dot-product transformer, kept verbatim as the
+/// differential oracle: [`zono_matmul`] routes here under
+/// `DEEPT_KERNEL=naive` / [`deept_tensor::parallel::set_force_naive`], and
+/// the determinism tests and before/after benches compare against it.
+///
+/// Per output pair it recomputes every per-row dual norm (Eq. 5) and
+/// materializes the full E×E interaction matrix (Eq. 6), all on one thread.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Eq. 5 with the collapsed operand's norms recomputed on every call.
+    fn fast_bound(v: &Matrix, p1: PNorm, w: &Matrix, p2: PNorm) -> f64 {
+        debug_assert_eq!(v.rows(), w.rows());
+        let k = v.rows();
+        let mut t = vec![0.0; v.cols()];
+        for row in 0..k {
+            let wn = p2.dual_norm(w.row(row));
+            if wn == 0.0 {
+                continue;
+            }
+            for (acc, &x) in t.iter_mut().zip(v.row(row)) {
+                *acc += wn * x.abs();
+            }
+        }
+        p1.dual_norm(&t)
+    }
+
+    /// Eq. 6 via a materialized E×E interaction matrix.
+    fn precise_eps_bound(v: &Matrix, w: &Matrix) -> (f64, f64) {
+        debug_assert_eq!(v.shape(), w.shape());
+        let m = v.transpose_a_matmul_naive(w); // E × E, m[e,e'] = v_col_e · w_col_e'
+        let e = m.rows();
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for i in 0..e {
+            for j in 0..e {
+                let x = m.at(i, j);
+                if i == j {
+                    lo += x.min(0.0);
+                    hi += x.max(0.0);
+                } else {
+                    lo -= x.abs();
+                    hi += x.abs();
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    fn interaction_bound(
+        a1: &Matrix,
+        b1: &Matrix,
+        a2: &Matrix,
+        b2: &Matrix,
+        p: PNorm,
+        cfg: DotConfig,
+    ) -> (f64, f64) {
+        let pp = fast_bound(a1, p, a2, p);
+        let (pe, ep) = match cfg.order {
+            NormOrder::InfFirst => (
+                fast_bound(a1, p, b2, PNorm::Linf),
+                fast_bound(a2, p, b1, PNorm::Linf),
+            ),
+            NormOrder::PFirst => (
+                fast_bound(b2, PNorm::Linf, a1, p),
+                fast_bound(b1, PNorm::Linf, a2, p),
+            ),
+        };
+        let (ee_lo, ee_hi) = match cfg.variant {
+            DotVariant::Fast => {
+                let b = fast_bound(b1, PNorm::Linf, b2, PNorm::Linf);
+                (-b, b)
+            }
+            DotVariant::Precise => precise_eps_bound(b1, b2),
+        };
+        let sym = pp + pe + ep;
+        (ee_lo - sym, ee_hi + sym)
+    }
+
+    /// Single-threaded per-pair zonotope–zonotope product (the original
+    /// [`zono_matmul`](super::zono_matmul) implementation).
+    pub fn zono_matmul(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
+        assert_eq!(a.cols(), b.rows(), "zono_matmul inner dimension mismatch");
+        assert_eq!(a.p(), b.p(), "zono_matmul p-norm mismatch");
+        assert_eq!(a.num_phi(), b.num_phi(), "zono_matmul phi symbol mismatch");
+        let mut a = a.clone();
+        let mut b = b.clone();
+        let width = a.num_eps().max(b.num_eps());
+        a.pad_eps(width);
+        b.pad_eps(width);
+
+        let (n, k, m) = (a.rows(), a.cols(), b.cols());
+        let p = a.p();
+        let e_phi = a.num_phi();
+        let bt = b.transpose(); // columns of b become contiguous blocks
+
+        let ca = a.center_matrix();
+        let cb = b.center_matrix();
+        let center_mat = ca.matmul_naive(&cb);
+
+        let n_out = n * m;
+        let mut center = Vec::with_capacity(n_out);
+        let mut phi = Matrix::zeros(n_out, e_phi);
+        let mut eps = Matrix::zeros(n_out, width);
+        let mut fold = Vec::with_capacity(n_out); // (shift, beta) per output var
+
+        // Pre-slice the per-row blocks of a and per-column blocks of b.
+        let a_phi_blocks: Vec<Matrix> = (0..n)
+            .map(|i| a.phi().slice_rows(i * k, (i + 1) * k))
+            .collect();
+        let a_eps_blocks: Vec<Matrix> = (0..n)
+            .map(|i| a.eps().slice_rows(i * k, (i + 1) * k))
+            .collect();
+        let b_phi_blocks: Vec<Matrix> = (0..m)
+            .map(|j| bt.phi().slice_rows(j * k, (j + 1) * k))
+            .collect();
+        let b_eps_blocks: Vec<Matrix> = (0..m)
+            .map(|j| bt.eps().slice_rows(j * k, (j + 1) * k))
+            .collect();
+
+        for i in 0..n {
+            let ca_row = ca.row(i);
+            for j in 0..m {
+                let out = i * m + j;
+                center.push(center_mat.at(i, j));
+                let cb_col: Vec<f64> = (0..k).map(|kk| cb.at(kk, j)).collect();
+                // Cross terms: c_aᵀ·A_b + c_bᵀ·A_a (exact).
+                {
+                    let prow = phi.row_mut(out);
+                    accumulate_weighted_rows(prow, &b_phi_blocks[j], ca_row);
+                    accumulate_weighted_rows(prow, &a_phi_blocks[i], &cb_col);
+                    let erow = eps.row_mut(out);
+                    accumulate_weighted_rows(erow, &b_eps_blocks[j], ca_row);
+                    accumulate_weighted_rows(erow, &a_eps_blocks[i], &cb_col);
+                }
+                // Noise–noise interaction interval.
+                let (lo, hi) = interaction_bound(
+                    &a_phi_blocks[i],
+                    &a_eps_blocks[i],
+                    &b_phi_blocks[j],
+                    &b_eps_blocks[j],
+                    p,
+                    cfg,
+                );
+                fold.push((0.5 * (lo + hi), 0.5 * (hi - lo)));
+            }
+        }
+
+        for (out, &(shift, _)) in fold.iter().enumerate() {
+            center[out] += shift;
+        }
+        let fresh: Vec<usize> = (0..n_out).filter(|&v| fold[v].1 > 0.0).collect();
+        let mut eps_new = Matrix::zeros(n_out, fresh.len());
+        for (s, &v) in fresh.iter().enumerate() {
+            eps_new.set(v, s, fold[v].1);
+        }
+        Zonotope::from_parts(n, m, center, phi, eps.hstack(&eps_new), p)
+    }
 }
 
 #[cfg(test)]
@@ -472,6 +753,70 @@ mod tests {
                 let y = va[v] * vb[v];
                 assert!(y >= lo[v] - 1e-9 && y <= hi[v] + 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn optimized_fast_path_matches_reference_bitwise_across_threads() {
+        let _g = deept_tensor::parallel::test_lock();
+        let mut rng = ChaCha8Rng::seed_from_u64(200);
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            for order in [NormOrder::InfFirst, NormOrder::PFirst] {
+                let a = random_zono(&mut rng, 3, 4, 3, 5, p);
+                let b = random_zono(&mut rng, 4, 3, 3, 4, p);
+                let cfg = DotConfig {
+                    variant: DotVariant::Fast,
+                    order,
+                };
+                let expect = reference::zono_matmul(&a, &b, cfg);
+                for threads in [1usize, 2, 8] {
+                    deept_tensor::parallel::set_thread_override(Some(threads));
+                    let got = zono_matmul(&a, &b, cfg);
+                    assert_eq!(got, expect, "p={p:?} order={order:?} threads={threads}");
+                }
+                deept_tensor::parallel::set_thread_override(None);
+            }
+        }
+    }
+
+    #[test]
+    fn precise_path_is_bitwise_deterministic_across_threads() {
+        let _g = deept_tensor::parallel::test_lock();
+        let mut rng = ChaCha8Rng::seed_from_u64(201);
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            // Enough ε symbols that the Precise row scan actually chunks.
+            let a = random_zono(&mut rng, 2, 8, 2, 160, p);
+            let b = random_zono(&mut rng, 8, 2, 2, 160, p);
+            deept_tensor::parallel::set_thread_override(Some(1));
+            let base = zono_matmul(&a, &b, DotConfig::precise());
+            for threads in [2usize, 8] {
+                deept_tensor::parallel::set_thread_override(Some(threads));
+                let got = zono_matmul(&a, &b, DotConfig::precise());
+                assert_eq!(got, base, "p={p:?} threads={threads}");
+            }
+            deept_tensor::parallel::set_thread_override(None);
+            // Against the materializing reference only per-row regrouping
+            // of the interval fold remains: bounds agree to fp noise.
+            let refz = reference::zono_matmul(&a, &b, DotConfig::precise());
+            let (lo, hi) = base.bounds();
+            let (rl, rh) = refz.bounds();
+            for v in 0..base.n_vars() {
+                assert!((lo[v] - rl[v]).abs() <= 1e-9 && (hi[v] - rh[v]).abs() <= 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn force_naive_routes_to_the_reference_path() {
+        let _g = deept_tensor::parallel::test_lock();
+        let mut rng = ChaCha8Rng::seed_from_u64(202);
+        let a = random_zono(&mut rng, 2, 3, 2, 4, PNorm::L2);
+        let b = random_zono(&mut rng, 3, 2, 2, 4, PNorm::L2);
+        for cfg in [DotConfig::fast(), DotConfig::precise()] {
+            deept_tensor::parallel::set_force_naive(true);
+            let via_flag = zono_matmul(&a, &b, cfg);
+            deept_tensor::parallel::set_force_naive(false);
+            assert_eq!(via_flag, reference::zono_matmul(&a, &b, cfg));
         }
     }
 

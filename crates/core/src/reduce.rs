@@ -52,7 +52,11 @@ pub fn reduce_eps_probed(
     probe: &dyn Probe,
 ) -> (Zonotope, ReduceStats) {
     probe.span_enter(SpanKind::Reduction);
+    let before = probe.enabled().then(deept_tensor::parallel::snapshot);
     let (out, stats) = reduce_eps_impl(z, budget, protect);
+    if let Some(before) = before {
+        probe.parallel(crate::dot::parallel_stats_since(&before));
+    }
     probe.reduction(ReduceEvent {
         before: stats.before,
         after: stats.after,

@@ -60,7 +60,11 @@ pub fn softmax_rows(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
 /// symbols appended for the exponentials and reciprocals.
 pub fn softmax_rows_probed(z: &Zonotope, cfg: SoftmaxConfig, probe: &dyn Probe) -> Zonotope {
     probe.span_enter(SpanKind::Softmax);
+    let before = probe.enabled().then(deept_tensor::parallel::snapshot);
     let out = softmax_rows_impl(z, cfg);
+    if let Some(before) = before {
+        probe.parallel(crate::dot::parallel_stats_since(&before));
+    }
     let created = out.num_eps() - z.num_eps();
     let stats = probe.enabled().then(|| out.telemetry_stats());
     probe.span_exit(SpanKind::Softmax, stats, created);

@@ -2,10 +2,10 @@
 //! reachable from a valid noise instantiation stays inside the abstract
 //! output of every transformer.
 
-use deept_core::dot::{zono_matmul, DotConfig};
+use deept_core::dot::{reference, zono_matmul, DotConfig};
 use deept_core::softmax::{softmax_rows, SoftmaxConfig};
-use deept_core::{PNorm, Zonotope};
-use deept_tensor::Matrix;
+use deept_core::{NormOrder, PNorm, Zonotope};
+use deept_tensor::{parallel, Matrix};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -32,6 +32,42 @@ fn zono_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Zonotope> {
                 norm_of(p),
             )
         })
+}
+
+/// Random zonotope product operands `(n×k) · (k×m)` with free dimensions, a
+/// shared random p-norm and *different* ε symbol counts (the transformer
+/// pads the narrower operand).
+fn zono_pair() -> impl Strategy<Value = (Zonotope, Zonotope)> {
+    (1usize..=3, 1usize..=4, 1usize..=3, 0u8..3).prop_flat_map(|(n, k, m, p)| {
+        let (na, nb) = (n * k, k * m);
+        (
+            proptest::collection::vec(-2.0f64..2.0, na),
+            proptest::collection::vec(-0.4f64..0.4, na * 2),
+            proptest::collection::vec(-0.4f64..0.4, na * 5),
+            proptest::collection::vec(-2.0f64..2.0, nb),
+            proptest::collection::vec(-0.4f64..0.4, nb * 2),
+            proptest::collection::vec(-0.4f64..0.4, nb * 4),
+        )
+            .prop_map(move |(ca, pa, ea, cb, pb, eb)| {
+                let a = Zonotope::from_parts(
+                    n,
+                    k,
+                    ca,
+                    Matrix::from_vec(na, 2, pa).expect("sized"),
+                    Matrix::from_vec(na, 5, ea).expect("sized"),
+                    norm_of(p),
+                );
+                let b = Zonotope::from_parts(
+                    k,
+                    m,
+                    cb,
+                    Matrix::from_vec(nb, 2, pb).expect("sized"),
+                    Matrix::from_vec(nb, 4, eb).expect("sized"),
+                    norm_of(p),
+                );
+                (a, b)
+            })
+    })
 }
 
 proptest! {
@@ -137,6 +173,48 @@ proptest! {
             for (k, v) in exact.as_slice().iter().enumerate() {
                 prop_assert!(*v >= lo[k] - 1e-8 && *v <= hi[k] + 1e-8);
             }
+        }
+    }
+
+    #[test]
+    fn zono_matmul_is_deterministic_and_matches_the_reference((a, b) in zono_pair()) {
+        let _g = parallel::test_lock();
+        // Fast path: the banded parallel loop with hoisted block norms must
+        // reproduce the naive sequential reference bitwise, at any worker
+        // count and under both dual-norm orders.
+        for order in [NormOrder::InfFirst, NormOrder::PFirst] {
+            let mut cfg = DotConfig::fast();
+            cfg.order = order;
+            let expect = reference::zono_matmul(&a, &b, cfg);
+            let mut got = Vec::new();
+            for threads in [1usize, 2, 8] {
+                parallel::set_thread_override(Some(threads));
+                got.push((threads, zono_matmul(&a, &b, cfg)));
+            }
+            parallel::set_thread_override(None);
+            for (threads, z) in got {
+                prop_assert_eq!(&z, &expect, "fast/{:?} differs at {} threads", order, threads);
+            }
+        }
+        // Precise path: bitwise-deterministic across worker counts; centers
+        // match the reference bitwise and bounds match up to the rounding of
+        // the regrouped interval fold.
+        let cfg = DotConfig::precise();
+        let mut got = Vec::new();
+        for threads in [1usize, 2, 8] {
+            parallel::set_thread_override(Some(threads));
+            got.push(zono_matmul(&a, &b, cfg));
+        }
+        parallel::set_thread_override(None);
+        for z in &got[1..] {
+            prop_assert_eq!(z, &got[0], "precise path varies with worker count");
+        }
+        let expect = reference::zono_matmul(&a, &b, cfg);
+        prop_assert_eq!(got[0].center(), expect.center());
+        let (lo, hi) = got[0].bounds();
+        let (rlo, rhi) = expect.bounds();
+        for k in 0..lo.len() {
+            prop_assert!((lo[k] - rlo[k]).abs() <= 1e-9 && (hi[k] - rhi[k]).abs() <= 1e-9);
         }
     }
 

@@ -11,13 +11,14 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::probe::{Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
+use crate::probe::{ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
 use crate::trace::{SpanRecord, VerificationTrace};
 
 struct OpenSpan {
     kind: SpanKind,
     started: Instant,
     reduce: Vec<ReduceEvent>,
+    parallel: Option<ParallelStats>,
     children: Vec<SpanRecord>,
 }
 
@@ -77,6 +78,7 @@ impl TraceCollector {
                 stats: None,
                 symbols_created: 0,
                 reduce: std::mem::take(&mut s.orphan_reduce),
+                parallel: None,
                 children: Vec::new(),
             });
         }
@@ -99,6 +101,7 @@ fn close_span(open: OpenSpan, stats: Option<ZonotopeStats>, symbols_created: usi
         stats,
         symbols_created,
         reduce: open.reduce,
+        parallel: open.parallel,
         children: open.children,
     }
 }
@@ -121,6 +124,7 @@ impl Probe for TraceCollector {
             kind,
             started: Instant::now(),
             reduce: Vec::new(),
+            parallel: None,
             children: Vec::new(),
         });
     }
@@ -146,6 +150,18 @@ impl Probe for TraceCollector {
             Some(open) => open.reduce.push(event),
             None => s.orphan_reduce.push(event),
         }
+    }
+
+    fn parallel(&self, stats: ParallelStats) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(open) = s.stack.last_mut() {
+            match &mut open.parallel {
+                Some(acc) => acc.merge(&stats),
+                None => open.parallel = Some(stats),
+            }
+        }
+        // Reports outside any span are dropped: without a span there is no
+        // duration to relate the busy time to.
     }
 
     fn radius_step(&self, step: RadiusStep) {
@@ -243,6 +259,47 @@ mod tests {
         assert_eq!(trace.spans.len(), 1);
         assert_eq!(trace.spans[0].group, "reduction");
         assert_eq!(trace.spans[0].reduce[0].before, 9);
+    }
+
+    #[test]
+    fn parallel_reports_attach_to_innermost_span_and_merge() {
+        let c = TraceCollector::new();
+        c.span_enter(SpanKind::EncoderLayer(0));
+        c.span_enter(SpanKind::DotProduct);
+        c.parallel(ParallelStats {
+            workers: 4,
+            invocations: 1,
+            tasks: 4,
+            busy_ns: 500,
+        });
+        c.parallel(ParallelStats {
+            workers: 2,
+            invocations: 2,
+            tasks: 2,
+            busy_ns: 300,
+        });
+        c.span_exit(SpanKind::DotProduct, None, 0);
+        c.span_exit(SpanKind::EncoderLayer(0), None, 0);
+        // A report with no open span is dropped, not misattributed.
+        c.parallel(ParallelStats {
+            workers: 1,
+            invocations: 9,
+            tasks: 9,
+            busy_ns: 9,
+        });
+        let trace = c.finish();
+        let layer = &trace.spans[0];
+        assert_eq!(layer.parallel, None);
+        let dot = &layer.children[0];
+        assert_eq!(
+            dot.parallel,
+            Some(ParallelStats {
+                workers: 4,
+                invocations: 3,
+                tasks: 6,
+                busy_ns: 800,
+            })
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ mod trace;
 
 pub use collect::TraceCollector;
 pub use log::{log, log_enabled, max_level, LogLevel};
-pub use probe::{NoopProbe, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
+pub use probe::{
+    NoopProbe, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats,
+};
 pub use trace::{Hotspot, LayerWidthRow, SpanRecord, VerificationTrace};
 
 /// RAII guard that exits a span when dropped, for instrumentation sites

@@ -109,6 +109,42 @@ pub struct ReduceEvent {
     pub dropped: usize,
 }
 
+/// Parallel-execution counters for one stage, reported by instrumentation
+/// sites that wrap work running on the scoped thread pool.
+///
+/// Counters are deltas over the stage (not process totals). `busy_ns` sums
+/// worker busy time across workers, so `busy_ns` compared against the
+/// span's wall-clock duration shows the effective speedup of the stage;
+/// `tasks / invocations` shows how finely work was actually split (1.0
+/// means everything ran inline on the calling thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelStats {
+    /// Configured worker count at the time the stage ran.
+    pub workers: usize,
+    /// Parallel-layer entry points reached inside the stage.
+    pub invocations: u64,
+    /// Chunk tasks executed inside the stage.
+    pub tasks: u64,
+    /// Worker busy time in nanoseconds, summed across workers.
+    pub busy_ns: u64,
+}
+
+impl ParallelStats {
+    /// Accumulates another stage's counters into this one (used when
+    /// several reports land on the same span).
+    pub fn merge(&mut self, other: &ParallelStats) {
+        self.workers = self.workers.max(other.workers);
+        self.invocations += other.invocations;
+        self.tasks += other.tasks;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Whether any parallel-layer work was observed at all.
+    pub fn is_empty(&self) -> bool {
+        self.invocations == 0
+    }
+}
+
 /// One certification query inside a radius binary search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadiusStep {
@@ -143,6 +179,10 @@ pub trait Probe {
     /// A noise-symbol reduction ran (attributed to the current open span).
     fn reduction(&self, _event: ReduceEvent) {}
 
+    /// Parallel-execution counters for work that just ran (attributed to
+    /// the current open span; merged if the span receives several reports).
+    fn parallel(&self, _stats: ParallelStats) {}
+
     /// A radius-search query finished.
     fn radius_step(&self, _step: RadiusStep) {}
 }
@@ -169,11 +209,44 @@ mod tests {
             after: 4,
             dropped: 6,
         });
+        p.parallel(ParallelStats {
+            workers: 4,
+            invocations: 2,
+            tasks: 8,
+            busy_ns: 1_000,
+        });
         p.radius_step(RadiusStep {
             iteration: 0,
             radius: 0.1,
             certified: true,
         });
+    }
+
+    #[test]
+    fn parallel_stats_merge_adds_counters_and_maxes_workers() {
+        let mut a = ParallelStats {
+            workers: 2,
+            invocations: 1,
+            tasks: 2,
+            busy_ns: 100,
+        };
+        assert!(!a.is_empty());
+        assert!(ParallelStats::default().is_empty());
+        a.merge(&ParallelStats {
+            workers: 8,
+            invocations: 3,
+            tasks: 12,
+            busy_ns: 900,
+        });
+        assert_eq!(
+            a,
+            ParallelStats {
+                workers: 8,
+                invocations: 4,
+                tasks: 14,
+                busy_ns: 1_000,
+            }
+        );
     }
 
     #[test]

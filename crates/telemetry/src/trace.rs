@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::probe::{RadiusStep, ReduceEvent, ZonotopeStats};
+use crate::probe::{ParallelStats, RadiusStep, ReduceEvent, ZonotopeStats};
 
 /// One closed span: a named stage with wall-clock duration, optional
 /// precision metrics, and nested children.
@@ -29,6 +29,12 @@ pub struct SpanRecord {
     pub symbols_created: usize,
     /// Noise-symbol reductions attributed to this span.
     pub reduce: Vec<ReduceEvent>,
+    /// Parallel-execution counters attributed to this span, when the stage
+    /// ran work on the thread pool. Instrumented sites report the counter
+    /// delta over their whole region, so — like [`SpanRecord::duration_s`]
+    /// and unlike [`SpanRecord::self_s`] — a parent's counters include any
+    /// pool work performed inside nested instrumented children.
+    pub parallel: Option<ParallelStats>,
     /// Nested child spans, in execution order.
     pub children: Vec<SpanRecord>,
 }
@@ -77,6 +83,12 @@ pub struct Hotspot {
     pub total_s: f64,
     /// Cumulative self seconds (children excluded).
     pub self_s: f64,
+    /// Chunk tasks run on the thread pool by spans of the group.
+    pub tasks: u64,
+    /// Worker busy seconds (summed across workers) inside the group.
+    pub busy_s: f64,
+    /// Largest configured worker count seen in the group.
+    pub workers: usize,
 }
 
 /// Per-encoder-layer precision row: how the zonotope grew through one layer.
@@ -147,21 +159,29 @@ impl VerificationTrace {
     /// Top-`k` stage groups by cumulative self time (the hotspot summary).
     pub fn hotspots(&self, k: usize) -> Vec<Hotspot> {
         let mut groups: Vec<Hotspot> = Vec::new();
-        self.walk(
-            |span| match groups.iter_mut().find(|h| h.group == span.group) {
+        self.walk(|span| {
+            let par = span.parallel.unwrap_or_default();
+            let busy_s = par.busy_ns as f64 * 1e-9;
+            match groups.iter_mut().find(|h| h.group == span.group) {
                 Some(h) => {
                     h.calls += 1;
                     h.total_s += span.duration_s;
                     h.self_s += span.self_s();
+                    h.tasks += par.tasks;
+                    h.busy_s += busy_s;
+                    h.workers = h.workers.max(par.workers);
                 }
                 None => groups.push(Hotspot {
                     group: span.group.clone(),
                     calls: 1,
                     total_s: span.duration_s,
                     self_s: span.self_s(),
+                    tasks: par.tasks,
+                    busy_s,
+                    workers: par.workers,
                 }),
-            },
-        );
+            }
+        });
         groups.sort_by(|a, b| {
             b.self_s
                 .partial_cmp(&a.self_s)
@@ -244,14 +264,14 @@ impl VerificationTrace {
         if !hotspots.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<16} {:>7} {:>11} {:>11}",
-                "stage", "calls", "self[s]", "total[s]"
+                "{:<16} {:>7} {:>11} {:>11} {:>7} {:>9} {:>7}",
+                "stage", "calls", "self[s]", "total[s]", "tasks", "busy[s]", "workers"
             );
             for h in &hotspots {
                 let _ = writeln!(
                     out,
-                    "{:<16} {:>7} {:>11.4} {:>11.4}",
-                    h.group, h.calls, h.self_s, h.total_s
+                    "{:<16} {:>7} {:>11.4} {:>11.4} {:>7} {:>9.4} {:>7}",
+                    h.group, h.calls, h.self_s, h.total_s, h.tasks, h.busy_s, h.workers
                 );
             }
         }
@@ -376,6 +396,19 @@ fn write_span_json(span: &SpanRecord, w: &mut JsonWriter) {
         w.number(stats.mean_width);
         w.key("max_width");
         w.number(stats.max_width);
+        w.end_object();
+    }
+    if let Some(par) = &span.parallel {
+        w.key("parallel");
+        w.begin_object();
+        w.key("workers");
+        w.number(par.workers as f64);
+        w.key("invocations");
+        w.number(par.invocations as f64);
+        w.key("tasks");
+        w.number(par.tasks as f64);
+        w.key("busy_ns");
+        w.number(par.busy_ns as f64);
         w.end_object();
     }
     if !span.reduce.is_empty() {
@@ -550,6 +583,7 @@ mod tests {
             stats: None,
             symbols_created: 0,
             reduce: Vec::new(),
+            parallel: None,
             children: Vec::new(),
         }
     }
@@ -568,6 +602,12 @@ mod tests {
         });
         let mut dot = leaf("dot_product", 0.6);
         dot.symbols_created = 32;
+        dot.parallel = Some(ParallelStats {
+            workers: 4,
+            invocations: 3,
+            tasks: 12,
+            busy_ns: 2_000_000_000,
+        });
         layer.children.push(dot);
         layer.children.push(leaf("softmax", 0.3));
         let mut red = leaf("reduction", 0.05);
@@ -609,6 +649,10 @@ mod tests {
         assert_eq!(h[0].group, "dot_product");
         assert_eq!(h[0].calls, 1);
         assert!((h[0].self_s - 0.6).abs() < 1e-12);
+        // Parallel counters aggregate into the hotspot row.
+        assert_eq!(h[0].tasks, 12);
+        assert_eq!(h[0].workers, 4);
+        assert!((h[0].busy_s - 2.0).abs() < 1e-12);
         // All five groups appear.
         assert_eq!(h.len(), 5);
         // Truncation honors k.
@@ -643,6 +687,8 @@ mod tests {
             "\"num_eps\": 120",
             "\"dropped\": 80",
             "\"symbols_created\": 32",
+            "\"workers\": 4",
+            "\"busy_ns\": 2000000000",
             "\"children\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");

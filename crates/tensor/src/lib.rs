@@ -24,6 +24,7 @@
 
 mod matrix;
 pub mod ops;
+pub mod parallel;
 pub mod vector;
 
 pub use matrix::Matrix;

@@ -4,6 +4,23 @@ use serde::{Deserialize, Serialize};
 
 use crate::ShapeError;
 
+/// `k`-block size of the cache-blocked product kernels: one panel of
+/// `KC` rows of the right operand is streamed repeatedly while a worker
+/// sweeps its output rows.
+const KC: usize = 128;
+
+/// `j`-block size of the transposed-B kernel: a panel of `JC` rows of the
+/// transposed operand is reused across a worker's output rows.
+const JC: usize = 64;
+
+/// Minimum output rows per parallel chunk for a kernel whose per-row cost
+/// is `row_flops` multiply-adds: keeps tiny products inline so thread
+/// spawns never dominate.
+fn par_min_rows(row_flops: usize) -> usize {
+    const MIN_FLOPS_PER_TASK: usize = 1 << 16;
+    (MIN_FLOPS_PER_TASK / row_flops.max(1)).max(1)
+}
+
 /// A dense, row-major `f64` matrix.
 ///
 /// `Matrix` is the workhorse of the workspace: network weights, activations
@@ -215,12 +232,53 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Uses an ikj loop order so the inner loop streams both operands.
+    /// Cache-blocked over `k` (a panel of `other` rows stays hot while a
+    /// worker sweeps its output rows) and parallelized over disjoint output
+    /// rows. Per output element the accumulation still runs in ascending
+    /// `k` order from a zero accumulator, so the result is bitwise
+    /// identical to [`Matrix::matmul_naive`] at any worker count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::parallel::force_naive() {
+            return self.matmul_naive(other);
+        }
+        let (kdim, m) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(self.rows, m);
+        let min_rows = par_min_rows(kdim * m);
+        crate::parallel::par_rows(&mut out.data, m.max(1), min_rows, |range, chunk| {
+            for k0 in (0..kdim).step_by(KC) {
+                let k1 = (k0 + KC).min(kdim);
+                for (local, i) in range.clone().enumerate() {
+                    let arow = &self.data[i * kdim + k0..i * kdim + k1];
+                    let orow = &mut chunk[local * m..(local + 1) * m];
+                    for (kk, &a) in arow.iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = &other.data[(k0 + kk) * m..(k0 + kk + 1) * m];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Reference `self * other` (single-threaded ikj triple loop). The
+    /// optimized [`Matrix::matmul`] must match it bitwise; kept public for
+    /// the differential tests and benches.
+    #[doc(hidden)]
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -245,10 +303,49 @@ impl Matrix {
 
     /// `self * other^T` without materializing the transpose.
     ///
+    /// The rows of `other` already are the panels of `other^T`, so each
+    /// output element is a contiguous-slice dot product; work is blocked
+    /// over panels of `other` rows and parallelized over disjoint output
+    /// rows. Each element keeps the naive single-accumulator ascending-`k`
+    /// order (bitwise identical to [`Matrix::matmul_transpose_b_naive`]).
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::parallel::force_naive() {
+            return self.matmul_transpose_b_naive(other);
+        }
+        let (kdim, n) = (self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, n);
+        let min_rows = par_min_rows(kdim * n);
+        crate::parallel::par_rows(&mut out.data, n.max(1), min_rows, |range, chunk| {
+            for j0 in (0..n).step_by(JC) {
+                let j1 = (j0 + JC).min(n);
+                for (local, i) in range.clone().enumerate() {
+                    let arow = &self.data[i * kdim..(i + 1) * kdim];
+                    for j in j0..j1 {
+                        let brow = &other.data[j * kdim..(j + 1) * kdim];
+                        let mut acc = 0.0;
+                        for (&a, &b) in arow.iter().zip(brow) {
+                            acc += a * b;
+                        }
+                        chunk[local * n + j] = acc;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Reference `self * other^T` (row-by-row scalar accumulators).
+    #[doc(hidden)]
+    pub fn matmul_transpose_b_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
@@ -271,10 +368,48 @@ impl Matrix {
 
     /// `self^T * other` without materializing the transpose.
     ///
+    /// Parallelized over disjoint output rows (columns of `self`); inside a
+    /// worker the `k` loop stays outermost so both input rows stream
+    /// contiguously. Per output element the accumulation order and the
+    /// zero skip match [`Matrix::transpose_a_matmul_naive`] bitwise.
+    ///
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn transpose_a_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_a_matmul shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        if crate::parallel::force_naive() {
+            return self.transpose_a_matmul_naive(other);
+        }
+        let m = other.cols;
+        let mut out = Matrix::zeros(self.cols, m);
+        let min_rows = par_min_rows(self.rows * m);
+        crate::parallel::par_rows(&mut out.data, m.max(1), min_rows, |range, chunk| {
+            for k in 0..self.rows {
+                let arow = self.row(k);
+                let brow = other.row(k);
+                for (local, i) in range.clone().enumerate() {
+                    let a = arow[i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[local * m..(local + 1) * m];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Reference `self^T * other` (single-threaded kij loop).
+    #[doc(hidden)]
+    pub fn transpose_a_matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "transpose_a_matmul shape mismatch: ({}x{})^T * {}x{}",

@@ -1,0 +1,383 @@
+//! A minimal scoped thread pool for deterministic data parallelism.
+//!
+//! Everything here is built on [`std::thread::scope`] — no queues, no
+//! work stealing, no extra dependencies. Work is split into contiguous
+//! chunks, one per worker, fixed before any thread starts: the assignment
+//! of items to chunks depends only on the item count and the grain size,
+//! never on thread scheduling. Combined with the two rules the kernels
+//! follow —
+//!
+//! 1. workers write **disjoint** output rows, and
+//! 2. every reduction is accumulated at a fixed per-item granularity and
+//!    folded in ascending item order on the calling thread —
+//!
+//! results are bitwise identical for any worker count, including 1.
+//!
+//! The worker count comes from the `DEEPT_THREADS` environment variable
+//! (read once), defaulting to [`std::thread::available_parallelism`];
+//! tests can force a count in-process with [`set_thread_override`].
+//!
+//! The module also keeps global counters (invocations, tasks, busy
+//! nanoseconds) that the telemetry layer snapshots around spans to report
+//! per-stage parallelism, and the `DEEPT_KERNEL=naive` escape hatch that
+//! routes matrix products and the zonotope dot-product transformer to
+//! their reference implementations (used by the differential tests and
+//! the before/after benches).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+/// In-process override; 0 means "no override, use the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count used by the `par_*` functions.
+///
+/// Priority: [`set_thread_override`] > `DEEPT_THREADS` > available
+/// parallelism. Always at least 1.
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("DEEPT_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Forces the worker count in-process (`None` restores the environment
+/// default). Intended for the determinism tests, which run the same
+/// computation at 1/2/8 workers and assert bitwise-equal results.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+static FORCE_NAIVE_ENV: OnceLock<bool> = OnceLock::new();
+/// 0 = follow the environment, 1 = forced naive, 2 = forced optimized.
+static FORCE_NAIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether matrix kernels and the zonotope dot-product transformer should
+/// run their naive reference implementations (`DEEPT_KERNEL=naive` or
+/// [`set_force_naive`]). The optimized paths check this once per call.
+pub fn force_naive() -> bool {
+    match FORCE_NAIVE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *FORCE_NAIVE_ENV
+            .get_or_init(|| std::env::var("DEEPT_KERNEL").is_ok_and(|v| v.trim() == "naive")),
+    }
+}
+
+/// Routes kernels to the naive reference path (`true`) or the optimized
+/// path (`false`) in-process, overriding `DEEPT_KERNEL`. Used by the
+/// differential benches to measure both paths in one run.
+pub fn set_force_naive(naive: bool) {
+    FORCE_NAIVE.store(if naive { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+static INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Monotonic counters describing all `par_*` work since process start.
+///
+/// The telemetry layer snapshots these at span boundaries; the difference
+/// of two snapshots describes the parallel work inside the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelSnapshot {
+    /// `par_*` entry points reached (including single-task fallbacks).
+    pub invocations: u64,
+    /// Chunk tasks executed (1 per invocation when work ran sequentially).
+    pub tasks: u64,
+    /// Nanoseconds of worker busy time, summed across workers.
+    pub busy_ns: u64,
+}
+
+impl ParallelSnapshot {
+    /// Counter deltas since `earlier`.
+    pub fn since(&self, earlier: &ParallelSnapshot) -> ParallelSnapshot {
+        ParallelSnapshot {
+            invocations: self.invocations - earlier.invocations,
+            tasks: self.tasks - earlier.tasks,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+}
+
+/// Reads the current global counters.
+pub fn snapshot() -> ParallelSnapshot {
+    ParallelSnapshot {
+        invocations: INVOCATIONS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+    }
+}
+
+fn record_busy(started: Instant) {
+    BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Splits `0..len` into `chunks` contiguous ranges of near-equal size
+/// (earlier ranges get the remainder), in ascending order.
+fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.clamp(1, len.max(1));
+    let base = len / chunks;
+    let rem = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for c in 0..chunks {
+        let size = base + usize::from(c < rem);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// How many chunks to cut `len` items into so that no chunk is smaller
+/// than `min_grain` (except when `len` itself is smaller).
+fn chunk_count(len: usize, min_grain: usize) -> usize {
+    num_threads().min(len / min_grain.max(1)).max(1)
+}
+
+/// Runs `f` over contiguous sub-ranges of `0..len` on up to
+/// [`num_threads`] workers and returns the per-chunk results **in range
+/// order**. Falls back to one inline call when a single worker is
+/// configured or the work is below `min_grain` items.
+///
+/// The chunking depends only on `len`, `min_grain` and the worker count —
+/// callers that fold the returned results in order at a fixed per-item
+/// granularity get results independent of how chunks were scheduled.
+pub fn par_chunks<R, F>(len: usize, min_grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let chunks = chunk_count(len, min_grain);
+    TASKS.fetch_add(chunks as u64, Ordering::Relaxed);
+    if chunks == 1 {
+        let t0 = Instant::now();
+        let r = f(0..len);
+        record_busy(t0);
+        return vec![r];
+    }
+    let ranges = chunk_ranges(len, chunks);
+    let mut out = Vec::with_capacity(ranges.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let res = f(r);
+                    record_busy(t0);
+                    res
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        out.push(f(ranges[0].clone()));
+        record_busy(t0);
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// Applies `f` to every item of `items` in parallel, returning results in
+/// item order.
+pub fn par_map<T, R, F>(items: &[T], min_grain: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let nested = par_chunks(items.len(), min_grain, |r| {
+        items[r].iter().map(&f).collect::<Vec<R>>()
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// Splits the row-major buffer `data` (rows of `cols` elements) into
+/// contiguous row chunks and runs `f(row_range, chunk)` on up to
+/// [`num_threads`] workers. Chunks are disjoint `&mut` slices, so workers
+/// can never race on an element; `f` must not make one row's result depend
+/// on another worker's rows.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `cols` (for `cols > 0`).
+pub fn par_rows<F>(data: &mut [f64], cols: usize, min_rows: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    if data.is_empty() || cols == 0 {
+        return;
+    }
+    assert_eq!(data.len() % cols, 0, "par_rows: ragged row buffer");
+    let rows = data.len() / cols;
+    INVOCATIONS.fetch_add(1, Ordering::Relaxed);
+    let chunks = chunk_count(rows, min_rows);
+    TASKS.fetch_add(chunks as u64, Ordering::Relaxed);
+    if chunks == 1 {
+        let t0 = Instant::now();
+        f(0..rows, data);
+        record_busy(t0);
+        return;
+    }
+    let ranges = chunk_ranges(rows, chunks);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut first = None;
+        let mut handles = Vec::with_capacity(ranges.len() - 1);
+        for (c, r) in ranges.into_iter().enumerate() {
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(r.len() * cols);
+            rest = tail;
+            if c == 0 {
+                first = Some((r, head));
+            } else {
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let t0 = Instant::now();
+                    f(r, head);
+                    record_busy(t0);
+                }));
+            }
+        }
+        let (r0, head0) = first.expect("at least one chunk");
+        let t0 = Instant::now();
+        f(r0, head0);
+        record_busy(t0);
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// Serializes tests that mutate the process-global thread override, kernel
+/// routing or counters. Not part of the public API.
+#[doc(hidden)]
+pub fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_without_overlap() {
+        for len in [0usize, 1, 2, 7, 16, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let rs = chunk_ranges(len, chunks);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                // Sizes differ by at most one.
+                let sizes: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_returns_in_order_at_any_width() {
+        let _g = test_lock();
+        for threads in [1, 2, 8] {
+            set_thread_override(Some(threads));
+            let parts = par_chunks(100, 1, |r| r.clone());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>());
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let _g = test_lock();
+        set_thread_override(Some(4));
+        let items: Vec<usize> = (0..57).collect();
+        let out = par_map(&items, 1, |&x| x * 2);
+        assert_eq!(out, (0..57).map(|x| x * 2).collect::<Vec<_>>());
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn par_rows_writes_disjoint_rows() {
+        let _g = test_lock();
+        for threads in [1, 2, 8] {
+            set_thread_override(Some(threads));
+            let mut data = vec![0.0; 33 * 4];
+            par_rows(&mut data, 4, 1, |range, chunk| {
+                for (local, row) in range.enumerate() {
+                    for c in 0..4 {
+                        chunk[local * 4 + c] = (row * 4 + c) as f64;
+                    }
+                }
+            });
+            let expect: Vec<f64> = (0..33 * 4).map(|x| x as f64).collect();
+            assert_eq!(data, expect);
+        }
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        let _g = test_lock();
+        set_thread_override(Some(8));
+        let before = snapshot();
+        let parts = par_chunks(3, 16, |r| r.len());
+        assert_eq!(parts, vec![3]);
+        let d = snapshot().since(&before);
+        assert_eq!(d.invocations, 1);
+        assert_eq!(d.tasks, 1);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let _g = test_lock();
+        set_thread_override(Some(2));
+        let before = snapshot();
+        par_chunks(64, 1, |r| r.len());
+        let d = snapshot().since(&before);
+        assert_eq!(d.invocations, 1);
+        assert_eq!(d.tasks, 2);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn force_naive_override_round_trips() {
+        let _g = test_lock();
+        set_force_naive(true);
+        assert!(force_naive());
+        set_force_naive(false);
+        assert!(!force_naive());
+    }
+}

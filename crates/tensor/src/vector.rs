@@ -5,12 +5,32 @@
 
 /// Dot product of two equal-length slices.
 ///
+/// Accumulates in four independent lanes over `chunks_exact(4)` so the
+/// loop has no cross-iteration dependence and vectorizes, then folds the
+/// lanes pairwise and adds the tail. The summation order is fixed — same
+/// input, same bits, on every call and worker count — which is what the
+/// deterministic parallel reductions built on top of it rely on.
+///
 /// # Panics
 ///
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut lanes = [0.0f64; 4];
+    for (xa, xb) in ca.zip(cb) {
+        lanes[0] += xa[0] * xb[0];
+        lanes[1] += xa[1] * xb[1];
+        lanes[2] += xa[2] * xb[2];
+        lanes[3] += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
 /// ℓ1 norm (sum of absolute values).
@@ -94,6 +114,29 @@ mod tests {
         assert_eq!(l1_norm(&[]), 0.0);
         assert_eq!(l2_norm(&[]), 0.0);
         assert_eq!(linf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn dot_pins_four_lane_accumulation_order() {
+        // 11 elements: two full 4-lanes plus a 3-element tail. The values
+        // are chosen so regrouping changes the result in the last bits —
+        // the assertion pins the exact lane-fold order `dot` promises.
+        let a: Vec<f64> = (0..11).map(|i| 0.1 * (i as f64) + 0.3).collect();
+        let b: Vec<f64> = (0..11).map(|i| 1.7 - 0.2 * (i as f64)).collect();
+        let mut lanes = [0.0f64; 4];
+        for c in 0..2 {
+            for l in 0..4 {
+                let i = 4 * c + l;
+                lanes[l] += a[i] * b[i];
+            }
+        }
+        let tail = (a[8] * b[8] + a[9] * b[9]) + a[10] * b[10];
+        let expect = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+        assert_eq!(dot(&a, &b), expect);
+        // And a strict-left-to-right reference differs only within 1e-12 —
+        // the unrolling reorders, it does not change the math.
+        let seq: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((dot(&a, &b) - seq).abs() < 1e-12);
     }
 
     #[test]

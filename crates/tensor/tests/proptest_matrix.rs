@@ -1,12 +1,22 @@
 //! Property tests for the matrix substrate: algebraic identities that the
-//! abstract domain silently relies on.
+//! abstract domain silently relies on, and bitwise equivalence of the
+//! blocked/parallel kernels with their naive references at any worker
+//! count.
 
-use deept_tensor::Matrix;
+use deept_tensor::{parallel, Matrix};
 use proptest::prelude::*;
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f64..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+}
+
+/// Random (n×k, k×m, m×k, k×n) matrix quadruple with all dimensions free,
+/// covering every operand layout of the three product kernels.
+#[allow(clippy::type_complexity)]
+fn kernel_operands() -> impl Strategy<Value = (Matrix, Matrix, Matrix, Matrix)> {
+    (1usize..=7, 1usize..=9, 1usize..=7)
+        .prop_flat_map(|(n, k, m)| (matrix(n, k), matrix(k, m), matrix(m, k), matrix(k, n)))
 }
 
 proptest! {
@@ -56,6 +66,32 @@ proptest! {
     fn row_abs_sums_bound_row_sums(a in matrix(4, 4)) {
         for (abs, plain) in a.row_abs_sums().iter().zip(a.row_sums()) {
             prop_assert!(*abs + 1e-12 >= plain.abs());
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_bitwise_at_any_worker_count(
+        (a, b, bt, at) in kernel_operands(),
+    ) {
+        let _g = parallel::test_lock();
+        let expect_mm = a.matmul_naive(&b);
+        let expect_tb = a.matmul_transpose_b_naive(&bt);
+        let expect_ta = at.transpose_a_matmul_naive(&b);
+        let mut got = Vec::new();
+        for threads in [1usize, 2, 8] {
+            parallel::set_thread_override(Some(threads));
+            got.push((
+                threads,
+                a.matmul(&b),
+                a.matmul_transpose_b(&bt),
+                at.transpose_a_matmul(&b),
+            ));
+        }
+        parallel::set_thread_override(None);
+        for (threads, mm, tb, ta) in got {
+            prop_assert_eq!(&mm, &expect_mm, "matmul differs at {} threads", threads);
+            prop_assert_eq!(&tb, &expect_tb, "matmul_transpose_b differs at {} threads", threads);
+            prop_assert_eq!(&ta, &expect_ta, "transpose_a_matmul differs at {} threads", threads);
         }
     }
 }

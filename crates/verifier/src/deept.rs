@@ -1,13 +1,13 @@
 //! The DeepT verifier: propagates a Multi-norm Zonotope through an encoder
 //! Transformer (§5), in its Fast, Precise and Combined configurations.
 
-use deept_core::dot::{zono_matmul_probed, DotConfig, DotVariant};
+use deept_core::dot::{parallel_stats_since, zono_matmul_probed, DotConfig, DotVariant};
 use deept_core::reduce::reduce_eps_probed;
 use deept_core::softmax::{softmax_rows_probed, SoftmaxConfig};
 use deept_core::{NormOrder, Zonotope};
 use deept_nn::transformer::{EncoderLayer, LayerNorm, LayerNormKind};
 use deept_telemetry::{NoopProbe, Probe, SpanKind};
-use deept_tensor::Matrix;
+use deept_tensor::{parallel, Matrix};
 
 use crate::network::{margins_from_zonotope, CertResult, VerifiableTransformer};
 
@@ -86,7 +86,8 @@ pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfi
 
 /// [`propagate`] with telemetry: every encoder layer, abstract transformer
 /// and noise-symbol reduction reports a span to `probe`, with zonotope
-/// precision stats computed only when the probe is enabled.
+/// precision stats and thread-pool counters (workers, tasks, busy time)
+/// computed only when the probe is enabled.
 ///
 /// The probe only observes — the returned logits zonotope is bitwise
 /// identical to the unprobed result (see `tests/telemetry_trace.rs`).
@@ -97,7 +98,11 @@ pub fn propagate_probed(
     probe: &dyn Probe,
 ) -> Zonotope {
     probe.span_enter(SpanKind::Propagate);
+    let par = probe.enabled().then(parallel::snapshot);
     let out = propagate_inner(net, input, cfg, probe);
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| out.telemetry_stats());
     probe.span_exit(SpanKind::Propagate, stats, 0);
     out
@@ -123,6 +128,7 @@ fn propagate_inner(
         // The layer span also covers the input reduction, so per-layer
         // telemetry attributes dropped symbols to the layer they feed.
         probe.span_enter(SpanKind::EncoderLayer(i));
+        let par = probe.enabled().then(parallel::snapshot);
         // Noise-symbol reduction at every layer input, before the residual
         // branch splits (§5.1).
         if let Some(budget) = cfg.reduction_budget {
@@ -139,6 +145,9 @@ fn propagate_inner(
             probe,
         );
         let created = x.num_eps().saturating_sub(eps_in);
+        if let Some(before) = par {
+            probe.parallel(parallel_stats_since(&before));
+        }
         let stats = probe.enabled().then(|| x.telemetry_stats());
         probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
         if x.has_non_finite() {
@@ -150,6 +159,7 @@ fn propagate_inner(
     }
     // Pooling: first output embedding only (Figure 2).
     probe.span_enter(SpanKind::Pooling);
+    let par = probe.enabled().then(parallel::snapshot);
     let pooled = x.select_rows(&[0]);
     let hidden = pooled
         .matmul_right(&net.head.wp)
@@ -158,6 +168,9 @@ fn propagate_inner(
     let logits = hidden
         .matmul_right(&net.head.wc)
         .add_row_bias(net.head.bc.row(0));
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| logits.telemetry_stats());
     probe.span_exit(SpanKind::Pooling, stats, 0);
     logits
@@ -198,6 +211,7 @@ fn encoder_layer(
 ) -> Zonotope {
     // Multi-head self-attention (Eq. 1).
     probe.span_enter(SpanKind::Attention);
+    let par = probe.enabled().then(parallel::snapshot);
     let scale = 1.0 / (head_dim as f64).sqrt();
     let mut heads = Vec::with_capacity(layer.attention.heads.len());
     for h in &layer.attention.heads {
@@ -213,12 +227,19 @@ fn encoder_layer(
         .matmul_right(&layer.attention.w0)
         .add_row_bias(layer.attention.b0.row(0));
     let attn_created = z.num_eps().saturating_sub(x.num_eps());
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| z.telemetry_stats());
     probe.span_exit(SpanKind::Attention, stats, attn_created);
 
     // Residual + normalization.
     probe.span_enter(SpanKind::LayerNorm);
+    let par = probe.enabled().then(parallel::snapshot);
     let x = layer_norm_abstract(&x.add(&z), &layer.ln1, ln, dot);
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| x.telemetry_stats());
     probe.span_exit(
         SpanKind::LayerNorm,
@@ -228,6 +249,7 @@ fn encoder_layer(
 
     // Feed-forward network.
     probe.span_enter(SpanKind::Ffn);
+    let par = probe.enabled().then(parallel::snapshot);
     let h = x
         .matmul_right(&layer.ffn.w1)
         .add_row_bias(layer.ffn.b1.row(0))
@@ -235,6 +257,9 @@ fn encoder_layer(
     let y = h
         .matmul_right(&layer.ffn.w2)
         .add_row_bias(layer.ffn.b2.row(0));
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| y.telemetry_stats());
     probe.span_exit(
         SpanKind::Ffn,
@@ -243,7 +268,11 @@ fn encoder_layer(
     );
 
     probe.span_enter(SpanKind::LayerNorm);
+    let par = probe.enabled().then(parallel::snapshot);
     let out = layer_norm_abstract(&x.add(&y), &layer.ln2, ln, dot);
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
     let stats = probe.enabled().then(|| out.telemetry_stats());
     probe.span_exit(
         SpanKind::LayerNorm,

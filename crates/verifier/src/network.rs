@@ -9,7 +9,7 @@
 use deept_core::{PNorm, Zonotope};
 use deept_nn::transformer::{ClassifierHead, EncoderLayer, LayerNormKind};
 use deept_nn::{TransformerClassifier, VisionTransformer};
-use deept_tensor::Matrix;
+use deept_tensor::{parallel, Matrix};
 
 /// The encoder + head of a Transformer, detached from its embedder.
 #[derive(Debug, Clone)]
@@ -127,15 +127,18 @@ pub fn margins_from_zonotope(logits: &Zonotope, true_label: usize) -> Vec<f64> {
         }
         return margins;
     }
-    for f in 0..c {
-        if f == true_label {
-            continue;
-        }
+    // Each query is independent and deterministic on its own, so the
+    // per-class loop parallelizes without affecting certified bounds:
+    // results come back in class order regardless of worker count.
+    let others: Vec<usize> = (0..c).filter(|&f| f != true_label).collect();
+    let bounds = parallel::par_map(&others, 1, |&f| {
         let mut l = Matrix::zeros(1, c);
         l.set(0, true_label, 1.0);
         l.set(0, f, -1.0);
-        let diff = logits.linear_vars(&l, 1, 1);
-        margins[f] = diff.bounds_of(0).0;
+        logits.linear_vars(&l, 1, 1).bounds_of(0).0
+    });
+    for (&f, b) in others.iter().zip(bounds) {
+        margins[f] = b;
     }
     margins
 }
@@ -183,6 +186,39 @@ mod tests {
         assert_eq!(m[1], 0.0);
         assert_eq!(m[0], f64::INFINITY);
         assert!(!CertResult::from_margins(m).certified);
+    }
+
+    #[test]
+    fn margins_are_identical_at_any_worker_count() {
+        let _g = parallel::test_lock();
+        // A 6-class logits zonotope with shared φ and ε symbols; the
+        // per-class queries must return bitwise-equal margins no matter how
+        // the class loop is chunked across workers.
+        let c = 6;
+        let center: Vec<f64> = (0..c).map(|i| 0.1 * i as f64).collect();
+        let mut phi = Matrix::zeros(c, 3);
+        let mut eps = Matrix::zeros(c, 4);
+        for i in 0..c {
+            for j in 0..3 {
+                phi.set(i, j, ((i * 3 + j) as f64 * 0.37).sin() * 0.2);
+            }
+            for j in 0..4 {
+                eps.set(i, j, ((i * 4 + j) as f64 * 0.53).cos() * 0.1);
+            }
+        }
+        let z = Zonotope::from_parts(1, c, center, phi, eps, PNorm::L2);
+        parallel::set_thread_override(Some(1));
+        let base = margins_from_zonotope(&z, 2);
+        for threads in [2usize, 8] {
+            parallel::set_thread_override(Some(threads));
+            assert_eq!(margins_from_zonotope(&z, 2), base, "threads = {threads}");
+        }
+        parallel::set_thread_override(None);
+        assert_eq!(base[2], f64::INFINITY);
+        assert!(base
+            .iter()
+            .enumerate()
+            .all(|(f, m)| f == 2 || m.is_finite()));
     }
 
     #[test]

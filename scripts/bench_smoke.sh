@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Criterion smoke run of the kernel-sensitive benches (quick mode), then a
+# summary written to BENCH_2.json: per-bench median nanoseconds plus the
+# speedup of the optimized (blocked + parallel) kernels over the naive
+# reference path measured in the same process via DEEPT_KERNEL routing.
+#
+# Worker count defaults to 4; override with DEEPT_THREADS=N.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS="${DEEPT_THREADS:-4}"
+export DEEPT_THREADS="$THREADS"
+
+echo "== criterion quick run (DEEPT_THREADS=$THREADS) =="
+cargo bench -p deept-bench --bench dot_product -- --quick --noplot
+cargo bench -p deept-bench --bench layer_propagation -- --quick --noplot
+
+echo "== summarizing target/criterion -> BENCH_2.json =="
+python3 - "$THREADS" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+threads = int(sys.argv[1])
+root = Path("target/criterion")
+
+def median_ns(vdir):
+    est = json.loads((vdir / "new" / "estimates.json").read_text())
+    return est["median"]["point_estimate"]
+
+benches = {}
+for group in ("dot_product", "layer_propagation"):
+    gdir = root / group
+    if not gdir.is_dir():
+        continue
+    for fdir in sorted(p for p in gdir.iterdir() if p.is_dir() and p.name != "report"):
+        for vdir in sorted(p for p in fdir.iterdir() if p.is_dir() and p.name != "report"):
+            bid = f"{group}/{fdir.name}/{vdir.name}"
+            benches[bid] = {"median_ns": median_ns(vdir)}
+
+# Pair every optimized bench with its naive twin (`<fn>_naive` in the same
+# group, or the bare `naive` function for layer_propagation).
+for bid, entry in benches.items():
+    group, func, value = bid.split("/")
+    if func == "naive" or func.endswith("_naive"):
+        continue
+    for candidate in (f"{group}/{func}_naive/{value}", f"{group}/naive/{value}"):
+        if candidate in benches:
+            entry["speedup_vs_naive"] = round(
+                benches[candidate]["median_ns"] / entry["median_ns"], 3
+            )
+            break
+
+out = {"threads": threads, "benches": benches}
+Path("BENCH_2.json").write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+print(json.dumps(out, indent=2, sort_keys=True))
+EOF
+
+echo "bench smoke written to BENCH_2.json"

@@ -58,6 +58,12 @@ fn trace_mirrors_pipeline_structure() {
     assert!(root.duration_s >= 0.0);
     let stats = root.stats.expect("propagate records logits stats");
     assert!(stats.mean_width > 0.0 && stats.max_width >= stats.mean_width);
+    // The propagate span carries thread-pool counters for all kernel work
+    // inside it (workers, chunk tasks, busy time).
+    let par = root.parallel.expect("propagate records parallel stats");
+    assert!(par.workers >= 1);
+    assert!(par.invocations >= 1, "kernels ran on the parallel layer");
+    assert!(par.tasks >= par.invocations);
 
     let layer_spans: Vec<_> = root
         .children
@@ -199,6 +205,8 @@ fn trace_serializes_to_wellformed_json() {
         "\"encoder_layer[0]\"",
         "\"num_eps\"",
         "\"duration_s\"",
+        "\"parallel\"",
+        "\"busy_ns\"",
     ] {
         assert!(json.contains(needle), "missing {needle}");
     }
