@@ -90,6 +90,22 @@ impl Scale {
     }
 }
 
+/// Per-query timeout in milliseconds, parsed once from `--timeout-ms N` on
+/// the command line (shared by every table binary); `None` when absent.
+///
+/// Each certification query gets its own budget, so a slow query is cut
+/// off with a sound partial radius instead of stalling the whole sweep.
+pub fn query_timeout_ms() -> Option<u64> {
+    static TIMEOUT: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--timeout-ms")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    })
+}
+
 /// Repository-level artifact directory (models, result JSON).
 pub fn artifact_dir() -> std::path::PathBuf {
     let root = std::env::var("DEEPT_ARTIFACTS").unwrap_or_else(|_| {
@@ -117,5 +133,11 @@ mod tests {
     fn artifact_dir_is_absolute_or_env_driven() {
         let d = artifact_dir();
         assert!(d.to_string_lossy().contains("artifacts"));
+    }
+
+    #[test]
+    fn query_timeout_defaults_to_none() {
+        // The test harness is not started with --timeout-ms.
+        assert_eq!(query_timeout_ms(), None);
     }
 }

@@ -3,12 +3,15 @@
 
 use deept_core::{NormOrder, PNorm};
 use deept_nn::TransformerClassifier;
-use deept_telemetry::{TraceCollector, VerificationTrace};
+use deept_telemetry::{NoopProbe, TraceCollector, VerificationTrace};
 use deept_tensor::{parallel, Matrix};
 use deept_verifier::crown::{self, CrownConfig, CrownInput};
+use deept_verifier::deadline::Deadline;
 use deept_verifier::deept::{self, DeepTConfig};
 use deept_verifier::network::{t1_region, VerifiableTransformer};
-use deept_verifier::radius::{max_certified_radius, max_certified_radius_probed};
+use deept_verifier::radius::{
+    max_certified_radius_deadline, max_certified_radius_probed, RadiusOutcome,
+};
 
 use crate::report::{min_avg, RadiusRow};
 use crate::Scale;
@@ -103,25 +106,49 @@ pub fn certified_radius_prepared(
     scale: Scale,
 ) -> f64 {
     let iters = scale.radius_iters();
-    if let Some(cfg) = kind.deept_config(scale) {
-        max_certified_radius(
+    // Each query gets its own budget from `--timeout-ms`; with no flag the
+    // deadline never expires and the query sequence is unchanged.
+    let deadline = Deadline::after_ms(crate::query_timeout_ms());
+    let outcome = if let Some(cfg) = kind.deept_config(scale) {
+        max_certified_radius_deadline(
             |r| {
                 let region = t1_region(emb, position, r, p);
-                deept::certify(net, &region, label, &cfg).certified
+                Ok(deept::certify_deadline(net, &region, label, &cfg, deadline)?.certified)
             },
             0.01,
             iters,
+            deadline,
+            &NoopProbe,
         )
     } else {
+        // The CROWN baselines have no cooperative checkpoints inside a
+        // query; the deadline is still polled between queries.
         let cfg = kind.crown_config().expect("crown kind");
-        max_certified_radius(
+        max_certified_radius_deadline(
             |r| {
                 let input = CrownInput::t1(emb, position, r, p);
-                crown::certify(net, &input, label, &cfg).certified
+                Ok(crown::certify(net, &input, label, &cfg).certified)
             },
             0.01,
             iters,
+            deadline,
+            &NoopProbe,
         )
+    };
+    match outcome {
+        RadiusOutcome::Completed(r) => r,
+        RadiusOutcome::TimedOut {
+            lower_bound,
+            queries,
+        } => {
+            deept_telemetry::info!(
+                "bench",
+                "query ({} position {position} {p}) timed out after {queries} queries; \
+                 using partial radius {lower_bound:.6}",
+                kind.name()
+            );
+            lower_bound
+        }
     }
 }
 

@@ -1,0 +1,289 @@
+//! Versioned model checkpoints with content fingerprints.
+//!
+//! A checkpoint is a JSON envelope around a serialized model:
+//!
+//! ```json
+//! {"format":"deept-checkpoint-v1","fingerprint":"91ab…","model":{…}}
+//! ```
+//!
+//! The fingerprint is an FNV-1a 64-bit hash of the model's canonical JSON
+//! encoding. Because `serde_json` is configured with exact float
+//! round-tripping, serialize → deserialize → serialize is byte-identical,
+//! so the fingerprint is stable across save/load cycles and can serve as a
+//! cache key: two models share a fingerprint exactly when their weights and
+//! configuration are bitwise equal.
+//!
+//! [`load`] re-derives the fingerprint from the deserialized model and
+//! rejects checkpoints whose recorded fingerprint disagrees, catching both
+//! file corruption and hand-edited weights.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+
+/// Format tag written into every checkpoint envelope.
+pub const FORMAT: &str = "deept-checkpoint-v1";
+
+/// A model loaded from a checkpoint, together with its verified
+/// content fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<T> {
+    /// The deserialized model.
+    pub model: T,
+    /// Hex FNV-1a 64-bit hash of the model's canonical JSON.
+    pub fingerprint: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Envelope<T> {
+    format: String,
+    fingerprint: String,
+    model: T,
+}
+
+/// Errors from checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Fs(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The file is valid JSON but not a checkpoint of a known version.
+    BadFormat {
+        /// The format tag found in the file.
+        found: String,
+    },
+    /// The recorded fingerprint disagrees with the model content.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the envelope.
+        recorded: String,
+        /// Fingerprint recomputed from the deserialized model.
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Fs(e) => write!(f, "filesystem error: {e}"),
+            CheckpointError::Json(e) => write!(f, "serialization error: {e}"),
+            CheckpointError::BadFormat { found } => {
+                write!(f, "not a {FORMAT} checkpoint (format tag {found:?})")
+            }
+            CheckpointError::FingerprintMismatch { recorded, actual } => write!(
+                f,
+                "checkpoint fingerprint mismatch: recorded {recorded}, content hashes to {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Fs(e) => Some(e),
+            CheckpointError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Fs(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Json(e)
+    }
+}
+
+/// FNV-1a 64-bit hash. Stable, dependency-free, and fast enough for
+/// fingerprinting model JSON (a few MB at most).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content fingerprint of a model: hex FNV-1a 64 of its canonical JSON.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Json`] if the model fails to serialize.
+pub fn fingerprint<T: Serialize>(model: &T) -> Result<String, CheckpointError> {
+    let canonical = serde_json::to_string(model)?;
+    Ok(format!("{:016x}", fnv1a_64(canonical.as_bytes())))
+}
+
+/// Saves `model` as a fingerprinted checkpoint, creating parent
+/// directories. Returns the fingerprint.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on filesystem or serialization failure.
+pub fn save<T: Serialize>(model: &T, path: impl AsRef<Path>) -> Result<String, CheckpointError> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let fingerprint = fingerprint(model)?;
+    let envelope = Envelope {
+        format: FORMAT.to_string(),
+        fingerprint: fingerprint.clone(),
+        model,
+    };
+    fs::write(path, serde_json::to_string(&envelope)?)?;
+    Ok(fingerprint)
+}
+
+/// Loads a checkpoint, verifying the format tag and that the recorded
+/// fingerprint matches the deserialized content.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] if the file is missing or malformed, is not
+/// a [`FORMAT`] checkpoint, or fails fingerprint verification.
+pub fn load<T: Serialize + DeserializeOwned>(
+    path: impl AsRef<Path>,
+) -> Result<Checkpoint<T>, CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    let envelope: Envelope<T> = serde_json::from_str(&json)?;
+    if envelope.format != FORMAT {
+        return Err(CheckpointError::BadFormat {
+            found: envelope.format,
+        });
+    }
+    let actual = fingerprint(&envelope.model)?;
+    if actual != envelope.fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            recorded: envelope.fingerprint,
+            actual,
+        });
+    }
+    Ok(Checkpoint {
+        model: envelope.model,
+        fingerprint: actual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model(seed: u64) -> TransformerClassifier {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 8,
+                max_len: 4,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 8,
+                num_layers: 1,
+                num_classes: 2,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            &mut rng,
+        )
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("deept-ckpt-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85dd_e9e1_0bc6_a9cf);
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical_and_fingerprint_stable() {
+        let dir = temp_dir("roundtrip");
+        let model = tiny_model(0);
+        let p1 = dir.join("a.json");
+        let p2 = dir.join("b.json");
+        let fp1 = save(&model, &p1).expect("save");
+        let loaded = load::<TransformerClassifier>(&p1).expect("load");
+        assert_eq!(loaded.fingerprint, fp1);
+        assert_eq!(loaded.model, model);
+        // Re-saving the loaded model reproduces the file byte for byte.
+        let fp2 = save(&loaded.model, &p2).expect("re-save");
+        assert_eq!(fp1, fp2);
+        assert_eq!(
+            std::fs::read(&p1).unwrap(),
+            std::fs::read(&p2).unwrap(),
+            "checkpoint round-trip must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn distinct_models_get_distinct_fingerprints() {
+        let a = fingerprint(&tiny_model(0)).unwrap();
+        let b = fingerprint(&tiny_model(1)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tampered_weights_are_rejected() {
+        let dir = temp_dir("tamper");
+        let path = dir.join("m.json");
+        save(&tiny_model(0), &path).expect("save");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Flip a digit inside the model payload without breaking JSON.
+        let tampered = text.replacen("\"num_heads\":2", "\"num_heads\":1", 1);
+        assert_ne!(text, tampered, "test setup: expected to find num_heads");
+        std::fs::write(&path, tampered).unwrap();
+        match load::<TransformerClassifier>(&path) {
+            Err(CheckpointError::FingerprintMismatch { .. }) => {}
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let dir = temp_dir("format");
+        let path = dir.join("m.json");
+        save(&tiny_model(0), &path).expect("save");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen(FORMAT, "deept-checkpoint-v0", 1)).unwrap();
+        match load::<TransformerClassifier>(&path) {
+            Err(CheckpointError::BadFormat { found }) => {
+                assert_eq!(found, "deept-checkpoint-v0");
+            }
+            other => panic!("expected bad format, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let r = load::<TransformerClassifier>("/definitely/not/here.json");
+        assert!(matches!(r, Err(CheckpointError::Fs(_))));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CheckpointError::BadFormat { found: "x".into() };
+        assert!(e.to_string().contains(FORMAT));
+        let e = CheckpointError::FingerprintMismatch {
+            recorded: "aa".into(),
+            actual: "bb".into(),
+        };
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

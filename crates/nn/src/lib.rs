@@ -10,7 +10,9 @@
 //! * [`mlp`] — the feed-forward ReLU network of Appendix A.2;
 //! * [`train`] — Adam and a mini-batch training loop over the common
 //!   [`train::Classifier`] abstraction;
-//! * [`io`] — JSON model persistence used by the benchmark harness.
+//! * [`io`] — JSON model persistence used by the benchmark harness;
+//! * [`checkpoint`] — versioned, fingerprinted checkpoints used by the
+//!   serving layer's model registry and result cache.
 //!
 //! # Example
 //!
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod autodiff;
+pub mod checkpoint;
 pub mod init;
 pub mod io;
 pub mod mlp;

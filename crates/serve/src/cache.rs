@@ -1,0 +1,202 @@
+//! LRU cache for certification results.
+//!
+//! Certification is deterministic — the same model, input and verifier
+//! configuration always produce the same bounds — so results can be cached
+//! and replayed bit for bit. The key captures everything the result
+//! depends on: the model's *content fingerprint* (not its registry name,
+//! which can be rebound), the token sequence, the perturbed position, the
+//! norm, the verifier variant and the query itself with radii compared by
+//! their exact bit patterns ([`f64::to_bits`]), so `0.1` and
+//! `0.1 + 1e-18` are distinct keys rather than silently aliased.
+//!
+//! The cache is a plain `HashMap` with logical-clock stamps: `get`
+//! freshens the entry's stamp, and inserting beyond capacity evicts the
+//! stalest entry with an `O(n)` scan. At serving-cache sizes (hundreds of
+//! entries, each guarding seconds of verifier work) the scan is noise; a
+//! doubly-linked list would buy nothing but index juggling.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use deept_core::PNorm;
+
+use crate::protocol::Variant;
+
+/// What a cached certification result depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content fingerprint of the model (from its checkpoint).
+    pub fingerprint: String,
+    /// Token ids of the certified sequence.
+    pub tokens: Vec<usize>,
+    /// Perturbed position.
+    pub position: usize,
+    /// Perturbation norm.
+    pub norm: PNorm,
+    /// Verifier variant.
+    pub variant: Variant,
+    /// The query: fixed ε or a radius search, radii keyed by bit pattern.
+    pub query: QueryKey,
+}
+
+/// The query half of a [`CacheKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKey {
+    /// Fixed-radius certification; the payload is `eps.to_bits()`.
+    Eps(u64),
+    /// Radius search with `(start.to_bits(), iters)`.
+    RadiusSearch(u64, usize),
+}
+
+struct Entry<V> {
+    value: V,
+    stamp: u64,
+}
+
+/// A least-recently-used map with a fixed capacity.
+pub struct LruCache<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries; zero capacity caches
+    /// nothing (every `get` misses, every `insert` is dropped).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, freshening it on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let stamp = self.tick();
+        let entry = self.entries.get_mut(key)?;
+        entry.stamp = stamp;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts or replaces `key`, evicting the least recently used entry
+    /// if the cache would overflow.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.tick();
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let stalest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(stalest) = stalest {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.entries.insert(key, Entry { value, stamp });
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(eps: f64) -> CacheKey {
+        CacheKey {
+            fingerprint: "f".into(),
+            tokens: vec![1, 2],
+            position: 0,
+            norm: PNorm::L2,
+            variant: Variant::Fast,
+            query: QueryKey::Eps(eps.to_bits()),
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value() {
+        let mut c = LruCache::new(4);
+        c.insert(key(0.1), 42u32);
+        assert_eq!(c.get(&key(0.1)), Some(42));
+        assert_eq!(c.get(&key(0.2)), None);
+    }
+
+    #[test]
+    fn bit_distinct_radii_are_distinct_keys() {
+        let mut c = LruCache::new(4);
+        let eps = 0.1;
+        let nudged = f64::from_bits(eps.to_bits() + 1);
+        c.insert(key(eps), 1u32);
+        assert_eq!(c.get(&key(nudged)), None);
+        assert_eq!(c.get(&key(eps)), Some(1));
+    }
+
+    #[test]
+    fn fingerprint_and_variant_partition_the_cache() {
+        let mut c = LruCache::new(8);
+        let mut other_model = key(0.1);
+        other_model.fingerprint = "g".into();
+        let mut other_variant = key(0.1);
+        other_variant.variant = Variant::Precise;
+        c.insert(key(0.1), 1u32);
+        c.insert(other_model.clone(), 2);
+        c.insert(other_variant.clone(), 3);
+        assert_eq!(c.get(&key(0.1)), Some(1));
+        assert_eq!(c.get(&other_model), Some(2));
+        assert_eq!(c.get(&other_variant), Some(3));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1u32);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // freshen a; b is now stalest
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+    }
+
+    #[test]
+    fn replacing_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1u32);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(10));
+        assert_eq!(c.get(&"b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = LruCache::new(0);
+        c.insert("a", 1u32);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+}

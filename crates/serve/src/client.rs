@@ -1,0 +1,61 @@
+//! A minimal blocking client for the JSON-lines protocol.
+//!
+//! One request in, one response out, in order, over a single TCP
+//! connection. This is all the CLI (`deept request`) and the integration
+//! tests need; concurrency comes from opening multiple clients.
+
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+
+use crate::protocol::{self, Request, Response};
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server at `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the connection fails.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the transport fails or the server closes
+    /// the connection before responding; a malformed response surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn send(&mut self, request: &Request) -> io::Result<Response> {
+        protocol::write_line(&mut self.writer, request)?;
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        protocol::parse_response(&line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Connects, sends one request, and returns the response.
+///
+/// # Errors
+///
+/// See [`Client::connect`] and [`Client::send`].
+pub fn request_once(addr: &str, request: &Request) -> io::Result<Response> {
+    Client::connect(addr)?.send(request)
+}

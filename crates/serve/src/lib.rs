@@ -1,0 +1,67 @@
+//! `deept-serve` — a long-running certification service for DeepT-rs.
+//!
+//! The crate turns the one-shot verifier into a server suitable for
+//! batched certification campaigns:
+//!
+//! * [`protocol`] — a JSON-lines request/response protocol (`certify`,
+//!   `load_model`, `status`, `shutdown`) spoken over TCP or stdio;
+//! * [`queue`] — a bounded job queue with backpressure: when full, new
+//!   certification requests are rejected with a structured `overloaded`
+//!   error instead of queueing without bound;
+//! * [`cache`] — an LRU result cache keyed by (model fingerprint, tokens,
+//!   ε, norm, verifier variant, position); hits reproduce the original
+//!   result bit for bit;
+//! * [`registry`] — named models loaded from fingerprinted checkpoints
+//!   ([`deept_nn::checkpoint`]);
+//! * [`server`] — the worker pool and connection loops, with per-request
+//!   [`deept_verifier::Deadline`]s threaded through the radius-search and
+//!   certification loops so a request can time out cooperatively instead
+//!   of hanging;
+//! * [`client`] — a minimal blocking client for the CLI and tests.
+//!
+//! Transport is `std::net` only; the wire format is one JSON object per
+//! line. Determinism is preserved end to end: the worker pool runs the
+//! same `deept_tensor::parallel` kernels as the offline harness, so a
+//! served result equals the CLI result bitwise, and a cache hit equals
+//! the miss that populated it.
+//!
+//! # Example (in-process, stdio framing)
+//!
+//! ```
+//! use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+//! use deept_serve::server::{ServeConfig, Server};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let model = TransformerClassifier::new(
+//!     TransformerConfig {
+//!         vocab_size: 8, max_len: 4, embed_dim: 8, num_heads: 2,
+//!         hidden_dim: 8, num_layers: 1, num_classes: 2,
+//!         layer_norm: LayerNormKind::NoStd,
+//!     },
+//!     &mut rng,
+//! );
+//! let server = Server::new(ServeConfig::default());
+//! server.registry().insert("toy", model).unwrap();
+//! let input = "{\"type\":\"certify\",\"model_id\":\"toy\",\"tokens\":[1,2,3],\"eps\":1e-5}\n";
+//! let mut out = Vec::new();
+//! server.serve_stdio(input.as_bytes(), &mut out).unwrap();
+//! server.drain();
+//! assert!(String::from_utf8(out).unwrap().contains("\"type\":\"certify\""));
+//! ```
+
+#![deny(clippy::print_stdout)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+
+pub use cache::{CacheKey, LruCache};
+pub use client::Client;
+pub use protocol::{CertifyRequest, ErrorCode, Request, Response, Variant};
+pub use queue::{JobQueue, SubmitError};
+pub use registry::ModelRegistry;
+pub use server::{ServeConfig, Server};

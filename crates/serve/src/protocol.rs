@@ -1,0 +1,403 @@
+//! The JSON-lines wire protocol.
+//!
+//! Every message is a single JSON object on its own line, tagged with a
+//! `type` field. Requests:
+//!
+//! ```json
+//! {"type":"certify","model_id":"toy","tokens":[1,2,3],"eps":0.01,"norm":"l2"}
+//! {"type":"certify","model_id":"toy","tokens":[1,2,3],"radius_search":{"iters":16}}
+//! {"type":"load_model","model_id":"toy","path":"artifacts/models/toy.json"}
+//! {"type":"status"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! and responses mirror them (`certify`, `model_loaded`, `status`,
+//! `shutting_down`, `error`). Unknown fields are rejected so typos in
+//! request options fail loudly instead of silently certifying something
+//! else.
+
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// A client → server message.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case", deny_unknown_fields)]
+pub enum Request {
+    /// Certify one token sequence against threat model T1.
+    Certify(CertifyRequest),
+    /// Load a fingerprinted checkpoint into the registry under `model_id`.
+    LoadModel {
+        /// Name the model will be addressed by.
+        model_id: String,
+        /// Path to a `deept-checkpoint-v1` file on the server's filesystem.
+        path: String,
+    },
+    /// Report server counters and loaded models.
+    Status,
+    /// Stop accepting work, drain in-flight jobs, then exit.
+    Shutdown,
+}
+
+/// Body of a `certify` request.
+///
+/// Exactly one of `eps` (certify a fixed radius) or `radius_search`
+/// (binary-search the maximum certified radius) must be present.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct CertifyRequest {
+    /// Registry name of the model to certify against.
+    pub model_id: String,
+    /// Token ids (must be in the model's vocabulary and sequence budget).
+    pub tokens: Vec<usize>,
+    /// Perturbed position (threat model T1). Defaults to 0.
+    #[serde(default)]
+    pub position: usize,
+    /// Norm of the perturbation ball: `"1"`/`"l1"`, `"2"`/`"l2"`,
+    /// `"inf"`/`"linf"`. Defaults to `"l2"`.
+    #[serde(default = "default_norm")]
+    pub norm: String,
+    /// Verifier variant: `"fast"`, `"precise"` or `"combined"`.
+    /// Defaults to `"fast"`.
+    #[serde(default = "default_variant")]
+    pub variant: String,
+    /// Fixed perturbation radius to certify.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eps: Option<f64>,
+    /// Binary-search the maximum certified radius instead.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub radius_search: Option<RadiusSearchSpec>,
+    /// Per-request deadline in milliseconds; overrides the server default.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
+    /// Attach the full `VerificationTrace` to the response (uncached runs
+    /// only; cache hits carry no trace).
+    #[serde(default)]
+    pub trace: bool,
+}
+
+fn default_norm() -> String {
+    "l2".to_string()
+}
+
+fn default_variant() -> String {
+    "fast".to_string()
+}
+
+/// Parameters of a maximum-certified-radius search.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct RadiusSearchSpec {
+    /// Initial bracket radius for the exponential growth phase.
+    #[serde(default = "default_start")]
+    pub start: f64,
+    /// Bisection iterations after bracketing.
+    #[serde(default = "default_iters")]
+    pub iters: usize,
+}
+
+impl Default for RadiusSearchSpec {
+    fn default() -> Self {
+        RadiusSearchSpec {
+            start: default_start(),
+            iters: default_iters(),
+        }
+    }
+}
+
+fn default_start() -> f64 {
+    0.01
+}
+
+fn default_iters() -> usize {
+    16
+}
+
+/// Verifier variant selector (§6: DeepT-Fast / DeepT-Precise, plus the
+/// Combined verifier of Appendix A.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Variant {
+    /// DeepT-Fast everywhere.
+    Fast,
+    /// DeepT-Precise everywhere.
+    Precise,
+    /// Fast in all layers except the last, Precise in the last.
+    Combined,
+}
+
+impl Variant {
+    /// Parses a wire-format variant name.
+    pub fn parse(s: &str) -> Option<Variant> {
+        match s {
+            "fast" => Some(Variant::Fast),
+            "precise" => Some(Variant::Precise),
+            "combined" => Some(Variant::Combined),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Variant::Fast => "fast",
+            Variant::Precise => "precise",
+            Variant::Combined => "combined",
+        })
+    }
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Result of a `certify` request.
+    Certify {
+        /// Echo of the requested model.
+        model_id: String,
+        /// Content fingerprint of the model that produced the result.
+        fingerprint: String,
+        /// The model's (concrete) predicted label for the tokens.
+        label: usize,
+        /// The certification result proper; bitwise identical on cache
+        /// hits.
+        result: CertifyResult,
+        /// Whether the result came from the cache.
+        cached: bool,
+        /// Full verification trace, when requested and freshly computed.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        trace: Option<serde_json::Value>,
+    },
+    /// A checkpoint was loaded into the registry.
+    ModelLoaded {
+        /// Registry name.
+        model_id: String,
+        /// Verified content fingerprint of the checkpoint.
+        fingerprint: String,
+    },
+    /// Server counters and configuration.
+    Status(StatusReport),
+    /// Shutdown acknowledged; the server drains and exits.
+    ShuttingDown {
+        /// Jobs still queued or executing at acknowledgement time.
+        pending: u64,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Payload of a successful certification, cached verbatim.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum CertifyResult {
+    /// Fixed-ε query: was the ball certified, and with what margins.
+    Fixed {
+        /// Whether robustness was proven at the requested radius.
+        certified: bool,
+        /// Margin lower bounds per competing class (`∞` in the true
+        /// class's slot).
+        margins: Vec<f64>,
+    },
+    /// Radius search: the maximum certified radius found.
+    Radius {
+        /// Certified radius (a sound lower bound on the true maximum).
+        radius: f64,
+        /// Number of certification queries the search issued.
+        queries: usize,
+    },
+}
+
+/// Machine-readable failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// The job queue is full; retry later.
+    Overloaded,
+    /// The request's deadline expired before the result was complete.
+    Timeout,
+    /// No model with the requested id in the registry.
+    UnknownModel,
+    /// Malformed or self-contradictory request.
+    BadRequest,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+/// Counters and configuration reported by a `status` request.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct StatusReport {
+    /// Requests read off connections.
+    pub received: u64,
+    /// Certification jobs completed.
+    pub completed: u64,
+    /// Certify requests answered from the cache.
+    pub cache_hits: u64,
+    /// Certify requests that ran the verifier.
+    pub cache_misses: u64,
+    /// Jobs aborted on deadline expiry.
+    pub deadline_aborts: u64,
+    /// Requests rejected with `overloaded`.
+    pub overloaded: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Jobs currently executing.
+    pub in_flight: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Loaded model ids, sorted.
+    pub models: Vec<String>,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error for malformed input.
+pub fn parse_request(line: &str) -> Result<Request, serde_json::Error> {
+    serde_json::from_str(line.trim())
+}
+
+/// Parses one response line.
+///
+/// # Errors
+///
+/// Returns the underlying `serde_json` error for malformed input.
+pub fn parse_response(line: &str) -> Result<Response, serde_json::Error> {
+    serde_json::from_str(line.trim())
+}
+
+/// Writes `message` as one JSON line and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; serialization of protocol types is
+/// infallible.
+pub fn write_line<T: Serialize>(w: &mut impl Write, message: &T) -> io::Result<()> {
+    let json = serde_json::to_string(message).map_err(io::Error::other)?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certify_request_round_trips_with_defaults() {
+        let req =
+            parse_request(r#"{"type":"certify","model_id":"toy","tokens":[1,2,3],"eps":0.01}"#)
+                .unwrap();
+        match &req {
+            Request::Certify(c) => {
+                assert_eq!(c.model_id, "toy");
+                assert_eq!(c.tokens, vec![1, 2, 3]);
+                assert_eq!(c.position, 0);
+                assert_eq!(c.norm, "l2");
+                assert_eq!(c.variant, "fast");
+                assert_eq!(c.eps, Some(0.01));
+                assert!(c.radius_search.is_none());
+                assert!(!c.trace);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(parse_request(&json).unwrap(), req);
+    }
+
+    #[test]
+    fn radius_search_defaults_apply() {
+        let req =
+            parse_request(r#"{"type":"certify","model_id":"m","tokens":[0],"radius_search":{}}"#)
+                .unwrap();
+        match req {
+            Request::Certify(c) => {
+                let spec = c.radius_search.unwrap();
+                assert!((spec.start - 0.01).abs() < 1e-12);
+                assert_eq!(spec.iters, 16);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(
+            parse_request(r#"{"type":"certify","model_id":"m","tokens":[0],"epsilon":0.1}"#)
+                .is_err()
+        );
+        assert!(parse_request(r#"{"type":"reboot"}"#).is_err());
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert_eq!(
+            parse_request(r#"{"type":"status"}"#).unwrap(),
+            Request::Status
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"load_model","model_id":"m","path":"/p.json"}"#).unwrap(),
+            Request::LoadModel {
+                model_id: "m".into(),
+                path: "/p.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn response_round_trips_and_skips_empty_trace() {
+        let resp = Response::Certify {
+            model_id: "m".into(),
+            fingerprint: "abcd".into(),
+            label: 1,
+            result: CertifyResult::Fixed {
+                certified: true,
+                margins: vec![0.25, f64::INFINITY],
+            },
+            cached: false,
+            trace: None,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(!json.contains("trace"), "{json}");
+        assert_eq!(parse_response(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_codes_use_snake_case() {
+        let json = serde_json::to_string(&Response::Error {
+            code: ErrorCode::UnknownModel,
+            message: "no such model".into(),
+        })
+        .unwrap();
+        assert!(json.contains("\"unknown_model\""), "{json}");
+    }
+
+    #[test]
+    fn variant_parses_and_displays() {
+        for v in [Variant::Fast, Variant::Precise, Variant::Combined] {
+            assert_eq!(Variant::parse(&v.to_string()), Some(v));
+        }
+        assert_eq!(Variant::parse("turbo"), None);
+    }
+
+    #[test]
+    fn write_line_appends_newline() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, &Request::Status).unwrap();
+        assert_eq!(buf, b"{\"type\":\"status\"}\n");
+    }
+}

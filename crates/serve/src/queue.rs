@@ -1,0 +1,245 @@
+//! A bounded multi-producer multi-consumer job queue with backpressure.
+//!
+//! Connection threads [`submit`](JobQueue::submit) jobs; worker threads
+//! block in [`next`](JobQueue::next). Submission never blocks: when the
+//! queue is at capacity the caller gets [`SubmitError::Overloaded`]
+//! immediately and surfaces it as a structured protocol error, which is
+//! the server's backpressure mechanism. [`close`](JobQueue::close) starts
+//! the drain: submissions are refused but queued jobs keep flowing to
+//! workers until the queue empties, at which point `next` returns `None`
+//! and workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later.
+    Overloaded,
+    /// The queue is draining for shutdown.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => write!(f, "job queue is full"),
+            SubmitError::Closed => write!(f, "job queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// A bounded MPMC queue; clones share the same queue.
+pub struct JobQueue<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for JobQueue<T> {
+    fn clone(&self) -> Self {
+        JobQueue {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` waiting jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — such a queue could never admit work.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    jobs: VecDeque::new(),
+                    closed: false,
+                }),
+                available: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Enqueues `job` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] once [`close`](Self::close) has been
+    /// called, [`SubmitError::Overloaded`] when at capacity.
+    pub fn submit(&self, job: T) -> Result<(), SubmitError> {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.inner.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, which is a worker's signal to exit.
+    pub fn next(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.available.wait(state).unwrap();
+        }
+    }
+
+    /// Refuses new submissions; queued jobs still drain through
+    /// [`next`](Self::next). Idempotent.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.inner.available.notify_all();
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().unwrap().closed
+    }
+
+    /// Maximum number of waiting jobs.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let q = JobQueue::new(4);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        q.submit(3).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.next(), Some(2));
+        assert_eq!(q.next(), Some(3));
+    }
+
+    #[test]
+    fn overload_at_capacity() {
+        let q = JobQueue::new(2);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        assert_eq!(q.submit(3), Err(SubmitError::Overloaded));
+        // Draining one slot re-admits.
+        assert_eq!(q.next(), Some(1));
+        q.submit(3).unwrap();
+    }
+
+    #[test]
+    fn close_refuses_submissions_but_drains() {
+        let q = JobQueue::new(4);
+        q.submit(1).unwrap();
+        q.submit(2).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.submit(3), Err(SubmitError::Closed));
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.next(), Some(2));
+        assert_eq!(q.next(), None);
+        assert_eq!(q.next(), None); // stays terminated
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q: JobQueue<u32> = JobQueue::new(1);
+        let worker = {
+            let q = q.clone();
+            thread::spawn(move || q.next())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_see_every_job() {
+        let q = JobQueue::new(64);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(j) = q.next() {
+                        got.push(j);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    for i in 0..16 {
+                        loop {
+                            match q.submit(p * 100 + i) {
+                                Ok(()) => break,
+                                Err(SubmitError::Overloaded) => thread::yield_now(),
+                                Err(SubmitError::Closed) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..4)
+            .flat_map(|p| (0..16).map(move |i| p * 100 + i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+}

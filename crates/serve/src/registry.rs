@@ -1,0 +1,180 @@
+//! Named models the server can certify against.
+//!
+//! Models enter the registry either from fingerprinted checkpoints on
+//! disk ([`ModelRegistry::load_from_path`], used by the `load_model`
+//! request and `deept serve --model id=path` preloading) or directly as
+//! in-memory models ([`ModelRegistry::insert`], used by tests). Each entry
+//! pre-builds the verifier-facing [`VerifiableTransformer`] once so
+//! workers share it instead of re-deriving it per request, and carries the
+//! checkpoint's content fingerprint, which keys the result cache.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use deept_nn::checkpoint::{self, CheckpointError};
+use deept_nn::transformer::TransformerClassifier;
+use deept_verifier::network::VerifiableTransformer;
+
+/// A registered model, shared read-only across workers.
+pub struct ModelEntry {
+    /// The full model (embedder + encoder), used for concrete prediction
+    /// and embedding.
+    pub model: TransformerClassifier,
+    /// The verifier-facing view, built once at registration.
+    pub net: VerifiableTransformer,
+    /// Content fingerprint of the model (cache-key component).
+    pub fingerprint: String,
+}
+
+/// A thread-safe name → model map.
+#[derive(Default)]
+pub struct ModelRegistry {
+    entries: Mutex<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a fingerprint-verified checkpoint and registers it under
+    /// `model_id`, replacing any previous binding. Returns the
+    /// fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] if the file is missing, malformed, or
+    /// fails fingerprint verification.
+    pub fn load_from_path(
+        &self,
+        model_id: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<String, CheckpointError> {
+        let ckpt = checkpoint::load::<TransformerClassifier>(path)?;
+        self.register(model_id, ckpt.model, ckpt.fingerprint.clone());
+        Ok(ckpt.fingerprint)
+    }
+
+    /// Registers an in-memory model, fingerprinting it on the spot.
+    /// Returns the fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Json`] if the model fails to serialize
+    /// for fingerprinting.
+    pub fn insert(
+        &self,
+        model_id: &str,
+        model: TransformerClassifier,
+    ) -> Result<String, CheckpointError> {
+        let fingerprint = checkpoint::fingerprint(&model)?;
+        self.register(model_id, model, fingerprint.clone());
+        Ok(fingerprint)
+    }
+
+    fn register(&self, model_id: &str, model: TransformerClassifier, fingerprint: String) {
+        let net = VerifiableTransformer::from(&model);
+        let entry = Arc::new(ModelEntry {
+            model,
+            net,
+            fingerprint,
+        });
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(model_id.to_string(), entry);
+    }
+
+    /// Looks up a model by registry name.
+    pub fn get(&self, model_id: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.lock().unwrap().get(model_id).cloned()
+    }
+
+    /// Registered names, sorted for stable `status` responses.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.entries.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_nn::transformer::{LayerNormKind, TransformerConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model(seed: u64) -> TransformerClassifier {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 8,
+                max_len: 4,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 8,
+                num_layers: 1,
+                num_classes: 2,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let fp = reg.insert("toy", tiny_model(0)).unwrap();
+        let entry = reg.get("toy").expect("registered");
+        assert_eq!(entry.fingerprint, fp);
+        assert_eq!(entry.net.num_classes, 2);
+        assert!(reg.get("other").is_none());
+    }
+
+    #[test]
+    fn load_from_checkpoint_preserves_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("deept-reg-{}", std::process::id()));
+        let path = dir.join("toy.json");
+        let model = tiny_model(1);
+        let saved_fp = checkpoint::save(&model, &path).unwrap();
+        let reg = ModelRegistry::new();
+        let fp = reg.load_from_path("toy", &path).unwrap();
+        assert_eq!(fp, saved_fp);
+        assert_eq!(reg.get("toy").unwrap().model, model);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rebinding_replaces_and_list_is_sorted() {
+        let reg = ModelRegistry::new();
+        let fp0 = reg.insert("b", tiny_model(0)).unwrap();
+        reg.insert("a", tiny_model(1)).unwrap();
+        let fp2 = reg.insert("b", tiny_model(2)).unwrap();
+        assert_ne!(fp0, fp2);
+        assert_eq!(reg.get("b").unwrap().fingerprint, fp2);
+        assert_eq!(reg.list(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn missing_checkpoint_errors() {
+        let reg = ModelRegistry::new();
+        assert!(reg
+            .load_from_path("x", "/definitely/not/here.json")
+            .is_err());
+    }
+}

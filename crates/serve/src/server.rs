@@ -1,0 +1,633 @@
+//! The certification server: worker pool, request handling, and the TCP /
+//! stdio connection loops.
+//!
+//! # Lifecycle
+//!
+//! [`Server::new`] spawns the worker pool immediately; requests can then
+//! be fed from any transport. [`Server::serve_listener`] accepts TCP
+//! connections (one thread each, JSON lines in both directions);
+//! [`Server::serve_stdio`] speaks the same protocol over any
+//! `BufRead`/`Write` pair, which is how CI exercises the server without a
+//! socket. A `shutdown` request (or stdio EOF) stops intake; already
+//! queued and in-flight jobs drain to completion before the workers exit,
+//! so no accepted request is ever dropped.
+//!
+//! # Request flow
+//!
+//! `certify` requests are validated, then looked up in the result cache —
+//! a hit answers inline, bit-for-bit identical to the run that populated
+//! it, without consuming a queue slot. Misses are enqueued on the bounded
+//! [`JobQueue`]; a full queue yields an `overloaded` error immediately
+//! (backpressure, not unbounded buffering). Each request carries a
+//! [`Deadline`] fixed at *arrival* time, so time spent waiting in the
+//! queue counts against the budget; workers poll it cooperatively between
+//! radius-search iterations, encoder layers and margin queries, and an
+//! expired request yields a `timeout` error instead of hanging a worker.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use deept_core::PNorm;
+use deept_telemetry::{NoopProbe, Probe, ServerCounters, TraceCollector};
+use deept_verifier::deadline::{Deadline, DeadlineExceeded};
+use deept_verifier::deept::{certify_deadline, certify_deadline_probed, DeepTConfig};
+use deept_verifier::network::t1_region;
+use deept_verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
+
+use crate::cache::{CacheKey, LruCache, QueryKey};
+use crate::protocol::{
+    self, CertifyRequest, CertifyResult, ErrorCode, RadiusSearchSpec, Request, Response,
+    StatusReport, Variant,
+};
+use crate::queue::{JobQueue, SubmitError};
+use crate::registry::{ModelEntry, ModelRegistry};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing certification jobs.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// `overloaded`.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// ℓ∞ noise-symbol reduction budget passed to the verifier.
+    pub reduction_budget: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`; `None` means unlimited.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 256,
+            reduction_budget: 2000,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// A validated certification query.
+#[derive(Debug, Clone, Copy)]
+enum Query {
+    Eps(f64),
+    RadiusSearch(RadiusSearchSpec),
+}
+
+/// Everything a worker needs to run one certification.
+struct JobSpec {
+    model_id: String,
+    tokens: Vec<usize>,
+    position: usize,
+    norm: PNorm,
+    variant: Variant,
+    query: Query,
+    deadline: Deadline,
+    want_trace: bool,
+    key: CacheKey,
+}
+
+struct Job {
+    entry: Arc<ModelEntry>,
+    spec: JobSpec,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    registry: ModelRegistry,
+    cache: Mutex<LruCache<CacheKey, (usize, CertifyResult)>>,
+    counters: ServerCounters,
+    queue: JobQueue<Job>,
+    shutdown: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running certification server; clones share the same instance.
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Server {
+    fn clone(&self) -> Self {
+        Server {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Server {
+    /// Starts the worker pool and returns the server, ready to handle
+    /// requests from any transport.
+    pub fn new(cfg: ServeConfig) -> Server {
+        let workers = cfg.workers.max(1);
+        let queue_capacity = cfg.queue_capacity.max(1);
+        let cache_capacity = cfg.cache_capacity;
+        let server = Server {
+            inner: Arc::new(Inner {
+                cfg,
+                registry: ModelRegistry::new(),
+                cache: Mutex::new(LruCache::new(cache_capacity)),
+                counters: ServerCounters::new(),
+                queue: JobQueue::new(queue_capacity),
+                shutdown: AtomicBool::new(false),
+                workers: Mutex::new(Vec::new()),
+                connections: Mutex::new(Vec::new()),
+            }),
+        };
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&server.inner);
+                thread::Builder::new()
+                    .name(format!("deept-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        *server.inner.workers.lock().unwrap() = handles;
+        server
+    }
+
+    /// The model registry, for preloading models in-process.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner.registry
+    }
+
+    /// A point-in-time snapshot of the server counters.
+    pub fn stats(&self) -> deept_telemetry::ServerStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request synchronously. Certify misses block until a
+    /// worker delivers the result; everything else answers inline.
+    pub fn handle(&self, req: Request) -> Response {
+        ServerCounters::bump(&self.inner.counters.received);
+        match req {
+            Request::Status => Response::Status(self.status_report()),
+            Request::LoadModel { model_id, path } => self.handle_load(&model_id, &path),
+            Request::Shutdown => self.handle_shutdown(),
+            Request::Certify(c) => self.handle_certify(c),
+        }
+    }
+
+    fn status_report(&self) -> StatusReport {
+        let s = self.inner.counters.snapshot();
+        StatusReport {
+            received: s.received,
+            completed: s.completed,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            deadline_aborts: s.deadline_aborts,
+            overloaded: s.overloaded,
+            queue_depth: s.queue_depth,
+            in_flight: s.in_flight,
+            workers: self.inner.cfg.workers.max(1),
+            queue_capacity: self.inner.queue.capacity(),
+            models: self.inner.registry.list(),
+        }
+    }
+
+    fn handle_load(&self, model_id: &str, path: &str) -> Response {
+        if self.shutting_down() {
+            return error(ErrorCode::ShuttingDown, "server is draining");
+        }
+        match self.inner.registry.load_from_path(model_id, path) {
+            Ok(fingerprint) => {
+                deept_telemetry::info!(
+                    "serve",
+                    "loaded model {model_id:?} from {path} (fingerprint {fingerprint})"
+                );
+                Response::ModelLoaded {
+                    model_id: model_id.to_string(),
+                    fingerprint,
+                }
+            }
+            Err(e) => error(
+                ErrorCode::BadRequest,
+                &format!("could not load checkpoint {path}: {e}"),
+            ),
+        }
+    }
+
+    fn handle_shutdown(&self) -> Response {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Refuse new submissions but let queued jobs drain to the workers.
+        self.inner.queue.close();
+        let s = self.inner.counters.snapshot();
+        deept_telemetry::info!(
+            "serve",
+            "shutdown requested; draining {} queued + {} in-flight jobs",
+            s.queue_depth,
+            s.in_flight
+        );
+        Response::ShuttingDown {
+            pending: s.queue_depth + s.in_flight,
+        }
+    }
+
+    fn handle_certify(&self, req: CertifyRequest) -> Response {
+        if self.shutting_down() {
+            return error(ErrorCode::ShuttingDown, "server is draining");
+        }
+        let Some(norm) = PNorm::parse(&req.norm) else {
+            return error(
+                ErrorCode::BadRequest,
+                &format!("unknown norm {:?} (expected 1, 2 or inf)", req.norm),
+            );
+        };
+        let Some(variant) = Variant::parse(&req.variant) else {
+            return error(
+                ErrorCode::BadRequest,
+                &format!(
+                    "unknown variant {:?} (expected fast, precise or combined)",
+                    req.variant
+                ),
+            );
+        };
+        let query = match (req.eps, req.radius_search) {
+            (Some(eps), None) => {
+                if !(eps.is_finite() && eps >= 0.0) {
+                    return error(ErrorCode::BadRequest, "eps must be finite and non-negative");
+                }
+                Query::Eps(eps)
+            }
+            (None, Some(spec)) => {
+                if !(spec.start.is_finite() && spec.start > 0.0) {
+                    return error(
+                        ErrorCode::BadRequest,
+                        "radius_search.start must be finite and positive",
+                    );
+                }
+                Query::RadiusSearch(spec)
+            }
+            _ => {
+                return error(
+                    ErrorCode::BadRequest,
+                    "specify exactly one of eps and radius_search",
+                );
+            }
+        };
+        let Some(entry) = self.inner.registry.get(&req.model_id) else {
+            return error(
+                ErrorCode::UnknownModel,
+                &format!("no model {:?} in the registry", req.model_id),
+            );
+        };
+        let config = &entry.model.config;
+        if req.tokens.is_empty() || req.tokens.len() > config.max_len {
+            return error(
+                ErrorCode::BadRequest,
+                &format!(
+                    "token count must be in 1..={} (got {})",
+                    config.max_len,
+                    req.tokens.len()
+                ),
+            );
+        }
+        if let Some(&bad) = req.tokens.iter().find(|&&t| t >= config.vocab_size) {
+            return error(
+                ErrorCode::BadRequest,
+                &format!(
+                    "token id {bad} outside vocabulary of size {}",
+                    config.vocab_size
+                ),
+            );
+        }
+        if req.position >= req.tokens.len() {
+            return error(
+                ErrorCode::BadRequest,
+                &format!(
+                    "position {} outside token sequence of length {}",
+                    req.position,
+                    req.tokens.len()
+                ),
+            );
+        }
+        // The budget starts at arrival: queue wait counts against it.
+        let deadline = Deadline::after_ms(req.deadline_ms.or(self.inner.cfg.default_deadline_ms));
+        let key = CacheKey {
+            fingerprint: entry.fingerprint.clone(),
+            tokens: req.tokens.clone(),
+            position: req.position,
+            norm,
+            variant,
+            query: match query {
+                Query::Eps(eps) => QueryKey::Eps(eps.to_bits()),
+                Query::RadiusSearch(spec) => {
+                    QueryKey::RadiusSearch(spec.start.to_bits(), spec.iters)
+                }
+            },
+        };
+        if let Some((label, result)) = self.inner.cache.lock().unwrap().get(&key) {
+            ServerCounters::bump(&self.inner.counters.cache_hits);
+            return Response::Certify {
+                model_id: req.model_id,
+                fingerprint: entry.fingerprint.clone(),
+                label,
+                result,
+                cached: true,
+                trace: None,
+            };
+        }
+        let (reply, result_rx) = mpsc::channel();
+        let job = Job {
+            entry,
+            spec: JobSpec {
+                model_id: req.model_id,
+                tokens: req.tokens,
+                position: req.position,
+                norm,
+                variant,
+                query,
+                deadline,
+                want_trace: req.trace,
+                key,
+            },
+            reply,
+        };
+        match self.inner.queue.submit(job) {
+            Ok(()) => {
+                ServerCounters::bump(&self.inner.counters.cache_misses);
+                ServerCounters::bump(&self.inner.counters.queue_depth);
+            }
+            Err(SubmitError::Overloaded) => {
+                ServerCounters::bump(&self.inner.counters.overloaded);
+                return error(
+                    ErrorCode::Overloaded,
+                    &format!(
+                        "job queue is full ({} waiting); retry later",
+                        self.inner.queue.capacity()
+                    ),
+                );
+            }
+            Err(SubmitError::Closed) => {
+                return error(ErrorCode::ShuttingDown, "server is draining");
+            }
+        }
+        match result_rx.recv() {
+            Ok(response) => response,
+            Err(_) => error(ErrorCode::Internal, "worker dropped the reply channel"),
+        }
+    }
+
+    /// Binds `addr` and serves until a `shutdown` request arrives, then
+    /// drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding or accepting fails.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<()> {
+        self.serve_listener(TcpListener::bind(addr)?)
+    }
+
+    /// Serves an already-bound listener (useful with an ephemeral port)
+    /// until a `shutdown` request arrives, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if accepting fails.
+    pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        if let Ok(addr) = listener.local_addr() {
+            deept_telemetry::info!("serve", "listening on {addr}");
+        }
+        while !self.shutting_down() {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let server = self.clone();
+                    let handle = thread::Builder::new()
+                        .name("deept-conn".to_string())
+                        .spawn(move || serve_connection(&server, stream))
+                        .expect("spawn connection thread");
+                    self.inner.connections.lock().unwrap().push(handle);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Speaks the protocol over a `BufRead`/`Write` pair: one request per
+    /// line, one response per line. EOF or a `shutdown` request ends the
+    /// session; either way queued jobs drain before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if reading or writing fails.
+    pub fn serve_stdio(&self, reader: impl BufRead, mut writer: impl Write) -> io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = match protocol::parse_request(&line) {
+                Ok(req) => self.handle(req),
+                Err(e) => error(ErrorCode::BadRequest, &format!("malformed request: {e}")),
+            };
+            let is_shutdown = matches!(response, Response::ShuttingDown { .. });
+            protocol::write_line(&mut writer, &response)?;
+            if is_shutdown {
+                break;
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Stops intake, drains queued and in-flight jobs, joins workers and
+    /// connection threads, and logs the final counter summary. Idempotent.
+    pub fn drain(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        let workers = std::mem::take(&mut *self.inner.workers.lock().unwrap());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        let connections = std::mem::take(&mut *self.inner.connections.lock().unwrap());
+        for handle in connections {
+            let _ = handle.join();
+        }
+        deept_telemetry::info!(
+            "serve",
+            "{}",
+            self.inner.counters.snapshot().render_summary()
+        );
+    }
+}
+
+fn error(code: ErrorCode, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+    }
+}
+
+fn verifier_config(variant: Variant, reduction_budget: usize) -> DeepTConfig {
+    match variant {
+        Variant::Fast => DeepTConfig::fast(reduction_budget),
+        Variant::Precise => DeepTConfig::precise(reduction_budget),
+        Variant::Combined => DeepTConfig::combined(reduction_budget),
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.next() {
+        ServerCounters::drop_gauge(&inner.counters.queue_depth);
+        ServerCounters::bump(&inner.counters.in_flight);
+        let response = run_job(inner, &job.entry, &job.spec);
+        ServerCounters::drop_gauge(&inner.counters.in_flight);
+        ServerCounters::bump(&inner.counters.completed);
+        // The requester may have disconnected; dropping the reply is fine.
+        let _ = job.reply.send(response);
+    }
+}
+
+fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
+    let label = entry.model.predict(&spec.tokens);
+    let emb = entry.model.embed(&spec.tokens);
+    let cfg = verifier_config(spec.variant, inner.cfg.reduction_budget);
+    let collector = spec.want_trace.then(TraceCollector::new);
+    let probe: &dyn Probe = match &collector {
+        Some(c) => c,
+        None => &NoopProbe,
+    };
+    let outcome: Result<CertifyResult, String> = match spec.query {
+        Query::Eps(eps) => {
+            let region = t1_region(&emb, spec.position, eps, spec.norm);
+            match certify_deadline_probed(&entry.net, &region, label, &cfg, spec.deadline, probe) {
+                Ok(res) => Ok(CertifyResult::Fixed {
+                    certified: res.certified,
+                    margins: res.margins,
+                }),
+                Err(DeadlineExceeded) => Err("certification deadline exceeded".to_string()),
+            }
+        }
+        Query::RadiusSearch(search) => {
+            let mut queries = 0usize;
+            let outcome = max_certified_radius_deadline(
+                |radius| -> Result<bool, DeadlineExceeded> {
+                    queries += 1;
+                    let region = t1_region(&emb, spec.position, radius, spec.norm);
+                    let res = certify_deadline_probed(
+                        &entry.net,
+                        &region,
+                        label,
+                        &cfg,
+                        spec.deadline,
+                        probe,
+                    )?;
+                    Ok(res.certified)
+                },
+                search.start,
+                search.iters,
+                spec.deadline,
+                probe,
+            );
+            match outcome {
+                RadiusOutcome::Completed(radius) => Ok(CertifyResult::Radius { radius, queries }),
+                RadiusOutcome::TimedOut {
+                    lower_bound,
+                    queries,
+                } => Err(format!(
+                    "radius search deadline exceeded after {queries} queries; \
+                     largest certified radius so far {lower_bound}"
+                )),
+            }
+        }
+    };
+    match outcome {
+        Ok(result) => {
+            inner
+                .cache
+                .lock()
+                .unwrap()
+                .insert(spec.key.clone(), (label, result.clone()));
+            let trace = collector.map(|c| {
+                let mut t = c.finish();
+                t.set_meta("verifier", &format!("DeepT-{}", spec.variant));
+                t.set_meta("norm", &spec.norm.to_string());
+                t.set_meta("model", &spec.model_id);
+                t.set_meta("fingerprint", &entry.fingerprint);
+                serde_json::from_str(&t.to_json()).unwrap_or(serde_json::Value::Null)
+            });
+            Response::Certify {
+                model_id: spec.model_id.clone(),
+                fingerprint: entry.fingerprint.clone(),
+                label,
+                result,
+                cached: false,
+                trace,
+            }
+        }
+        Err(message) => {
+            ServerCounters::bump(&inner.counters.deadline_aborts);
+            error(ErrorCode::Timeout, &message)
+        }
+    }
+}
+
+fn serve_connection(server: &Server, stream: TcpStream) {
+    // Connection failures only affect this client; the listener keeps
+    // accepting, so errors are simply dropped here.
+    let _ = serve_connection_io(server, stream);
+}
+
+fn serve_connection_io(server: &Server, stream: TcpStream) -> io::Result<()> {
+    // A finite read timeout lets the thread notice shutdown between
+    // requests; partial lines accumulated across timeouts are preserved
+    // in `line` until the newline arrives.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let n = match reader.read_until(b'\n', &mut line) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if server.shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        // n == 0 or a missing trailing newline both mean EOF; any bytes
+        // left in `line` form a final unterminated request.
+        let eof = n == 0 || !line.ends_with(b"\n");
+        if line.iter().any(|b| !b.is_ascii_whitespace()) {
+            let text = String::from_utf8_lossy(&line).into_owned();
+            line.clear();
+            let response = match protocol::parse_request(&text) {
+                Ok(req) => server.handle(req),
+                Err(e) => error(ErrorCode::BadRequest, &format!("malformed request: {e}")),
+            };
+            protocol::write_line(&mut writer, &response)?;
+        } else {
+            line.clear();
+        }
+        if eof {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,463 @@
+//! End-to-end tests of the certification server: TCP and stdio framing,
+//! cache hits, backpressure, deadlines, and graceful shutdown.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_serve::client::Client;
+use deept_serve::protocol::{
+    parse_response, CertifyRequest, CertifyResult, ErrorCode, RadiusSearchSpec, Request, Response,
+};
+use deept_serve::server::{ServeConfig, Server};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64, num_layers: usize) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+fn start_server(
+    cfg: ServeConfig,
+    num_layers: usize,
+) -> (Server, SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::new(cfg);
+    server
+        .registry()
+        .insert("toy", tiny_model(0, num_layers))
+        .expect("register model");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = server.clone();
+    let handle = thread::spawn(move || acceptor.serve_listener(listener).expect("serve"));
+    (server, addr, handle)
+}
+
+fn eps_request(eps: f64) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3],
+        position: 0,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(eps),
+        radius_search: None,
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+fn radius_request(start: f64, iters: usize, deadline_ms: Option<u64>) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3, 4, 5, 6],
+        position: 1,
+        norm: "l2".into(),
+        variant: "precise".into(),
+        eps: None,
+        radius_search: Some(RadiusSearchSpec { start, iters }),
+        deadline_ms,
+        trace: false,
+    })
+}
+
+/// The `result` payload serialized, for bitwise-identity assertions.
+fn result_json(resp: &Response) -> String {
+    match resp {
+        Response::Certify { result, .. } => serde_json::to_string(result).expect("serialize"),
+        other => panic!("expected certify response, got {other:?}"),
+    }
+}
+
+fn is_cached(resp: &Response) -> bool {
+    match resp {
+        Response::Certify { cached, .. } => *cached,
+        other => panic!("expected certify response, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_results_and_cache_replays_bitwise() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 1);
+    let addr_str = addr.to_string();
+
+    // Four clients fire the same query concurrently.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr_str.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.send(&eps_request(1e-4)).expect("certify")
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let first = result_json(&responses[0]);
+    for resp in &responses {
+        assert_eq!(
+            result_json(resp),
+            first,
+            "concurrent identical queries must agree bitwise"
+        );
+    }
+
+    // By now the result is cached: a repeat answers from the cache with a
+    // bitwise-identical payload.
+    let mut client = Client::connect(&addr_str).expect("connect");
+    let repeat = client.send(&eps_request(1e-4)).expect("certify");
+    assert!(is_cached(&repeat), "expected a cache hit");
+    assert_eq!(result_json(&repeat), first);
+
+    // A bit-distinct radius is a different key, not a stale hit.
+    let nudged = f64::from_bits(1e-4_f64.to_bits() + 1);
+    let fresh = client.send(&eps_request(nudged)).expect("certify");
+    assert!(!is_cached(&fresh));
+
+    match client.send(&Request::Status).expect("status") {
+        Response::Status(report) => {
+            assert!(report.cache_hits >= 1, "cache hits: {}", report.cache_hits);
+            assert!(report.cache_misses >= 2);
+            assert_eq!(report.models, vec!["toy".to_string()]);
+            assert_eq!(report.overloaded, 0);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    match client.send(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown { .. } => {}
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    handle.join().expect("server thread");
+    assert!(server.stats().completed >= 2);
+}
+
+#[test]
+fn queue_overflow_rejects_with_overloaded_and_server_survives() {
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let (_server, addr, handle) = start_server(cfg, 2);
+    let addr_str = addr.to_string();
+
+    // Six slow radius searches released simultaneously against one worker
+    // and one queue slot: at least one must be rejected with backpressure.
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let addr = addr_str.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                // Distinct start radii keep the requests out of each
+                // other's cache entries.
+                let mut client = Client::connect(&addr).expect("connect");
+                let req = radius_request(0.01 + 0.001 * i as f64, 24, None);
+                barrier.wait();
+                client.send(&req).expect("send")
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let overloaded = responses
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::Overloaded,
+                    ..
+                }
+            )
+        })
+        .count();
+    let succeeded = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Certify { .. }))
+        .count();
+    assert_eq!(
+        overloaded + succeeded,
+        n,
+        "unexpected responses: {responses:?}"
+    );
+    assert!(overloaded >= 1, "expected backpressure, got {responses:?}");
+    assert!(
+        succeeded >= 2,
+        "expected some completions, got {responses:?}"
+    );
+
+    // The server is still healthy after shedding load.
+    let mut client = Client::connect(&addr_str).expect("connect");
+    match client.send(&Request::Status).expect("status") {
+        Response::Status(report) => {
+            assert_eq!(report.overloaded, overloaded as u64);
+            assert!(report.completed >= succeeded as u64);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+    let healthy = client.send(&eps_request(1e-4)).expect("certify");
+    assert!(matches!(healthy, Response::Certify { .. }));
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn expired_deadline_times_out_without_hanging() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 2);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    // A 1 ms budget cannot finish a precise radius search; the server must
+    // answer with a structured timeout, not hang the worker.
+    let resp = client
+        .send(&radius_request(0.01, 30, Some(1)))
+        .expect("send");
+    match &resp {
+        Response::Error { code, message } => {
+            assert_eq!(*code, ErrorCode::Timeout, "{message}");
+            assert!(message.contains("deadline"), "{message}");
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+
+    // Timeouts are not cached; the same connection keeps working.
+    let ok = client.send(&eps_request(1e-4)).expect("certify");
+    assert!(matches!(ok, Response::Certify { cached: false, .. }));
+    assert!(server.stats().deadline_aborts >= 1);
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs() {
+    let cfg = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let (server, addr, handle) = start_server(cfg, 2);
+    let addr_str = addr.to_string();
+
+    let worker_client = {
+        let addr = addr_str.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.send(&radius_request(0.01, 20, None)).expect("send")
+        })
+    };
+    // Let the job reach the queue, then ask for shutdown from a second
+    // connection.
+    thread::sleep(Duration::from_millis(150));
+    let mut client = Client::connect(&addr_str).expect("connect");
+    let ack = client.send(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(ack, Response::ShuttingDown { .. }));
+
+    // The in-flight job still completes with a real result.
+    let resp = worker_client.join().unwrap();
+    assert!(
+        matches!(resp, Response::Certify { .. }),
+        "in-flight job must drain, got {resp:?}"
+    );
+    handle.join().expect("server thread");
+    assert!(server.stats().completed >= 1);
+}
+
+#[test]
+fn stdio_mode_speaks_the_same_protocol() {
+    let server = Server::new(ServeConfig::default());
+    server.registry().insert("toy", tiny_model(0, 1)).unwrap();
+
+    let input = concat!(
+        r#"{"type":"status"}"#,
+        "\n",
+        r#"{"type":"certify","model_id":"toy","tokens":[1,2,3],"eps":1e-4}"#,
+        "\n",
+        r#"{"type":"certify","model_id":"toy","tokens":[1,2,3],"eps":1e-4}"#,
+        "\n",
+        r#"{"type":"certify","model_id":"nope","tokens":[1],"eps":1e-4}"#,
+        "\n",
+        "this is not json\n",
+        r#"{"type":"shutdown"}"#,
+        "\n",
+        r#"{"type":"status"}"#,
+        "\n",
+    );
+    let mut output = Vec::new();
+    server
+        .serve_stdio(input.as_bytes(), &mut output)
+        .expect("serve stdio");
+
+    let lines: Vec<Response> = String::from_utf8(output)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| parse_response(l).expect("parse response"))
+        .collect();
+    // The post-shutdown status is never processed: the session ends at
+    // the shutdown acknowledgement.
+    assert_eq!(lines.len(), 6, "{lines:?}");
+    assert!(matches!(lines[0], Response::Status(_)));
+    let first = result_json(&lines[1]);
+    assert!(!is_cached(&lines[1]));
+    assert!(is_cached(&lines[2]), "second identical query must hit");
+    assert_eq!(result_json(&lines[2]), first);
+    assert!(matches!(
+        lines[3],
+        Response::Error {
+            code: ErrorCode::UnknownModel,
+            ..
+        }
+    ));
+    assert!(matches!(
+        lines[4],
+        Response::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    assert!(matches!(lines[5], Response::ShuttingDown { .. }));
+}
+
+#[test]
+fn stdio_eof_drains_gracefully() {
+    let server = Server::new(ServeConfig::default());
+    server.registry().insert("toy", tiny_model(0, 1)).unwrap();
+    let input = concat!(
+        r#"{"type":"certify","model_id":"toy","tokens":[1,2],"eps":1e-4}"#,
+        "\n"
+    );
+    let mut output = Vec::new();
+    server.serve_stdio(input.as_bytes(), &mut output).unwrap();
+    let text = String::from_utf8(output).unwrap();
+    assert_eq!(text.lines().count(), 1);
+    assert!(matches!(
+        parse_response(text.lines().next().unwrap()).unwrap(),
+        Response::Certify { .. }
+    ));
+    // EOF drained the server; the worker pool is gone but the object is
+    // still safe to query.
+    assert!(server.shutting_down());
+    assert_eq!(server.stats().completed, 1);
+}
+
+#[test]
+fn bad_requests_are_rejected_with_structure() {
+    let server = Server::new(ServeConfig::default());
+    server.registry().insert("toy", tiny_model(0, 1)).unwrap();
+    let cases: Vec<(Request, &str)> = vec![
+        (
+            Request::Certify(CertifyRequest {
+                norm: "l7".into(),
+                ..base_certify()
+            }),
+            "norm",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                variant: "turbo".into(),
+                ..base_certify()
+            }),
+            "variant",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                eps: None,
+                ..base_certify()
+            }),
+            "exactly one",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                eps: Some(f64::NAN),
+                ..base_certify()
+            }),
+            "finite",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                tokens: vec![],
+                ..base_certify()
+            }),
+            "token count",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                tokens: vec![999],
+                ..base_certify()
+            }),
+            "vocabulary",
+        ),
+        (
+            Request::Certify(CertifyRequest {
+                position: 9,
+                ..base_certify()
+            }),
+            "position",
+        ),
+    ];
+    for (req, needle) in cases {
+        match server.handle(req) {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::BadRequest, "{message}");
+                assert!(message.contains(needle), "{message:?} missing {needle:?}");
+            }
+            other => panic!("expected bad_request, got {other:?}"),
+        }
+    }
+    server.drain();
+}
+
+fn base_certify() -> CertifyRequest {
+    CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3],
+        position: 0,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(1e-4),
+        radius_search: None,
+        deadline_ms: None,
+        trace: false,
+    }
+}
+
+#[test]
+fn trace_attaches_to_uncached_responses_only() {
+    let server = Server::new(ServeConfig::default());
+    server.registry().insert("toy", tiny_model(0, 1)).unwrap();
+    let req = Request::Certify(CertifyRequest {
+        trace: true,
+        ..base_certify()
+    });
+    match server.handle(req.clone()) {
+        Response::Certify { trace, cached, .. } => {
+            assert!(!cached);
+            let trace = trace.expect("trace requested");
+            assert!(trace.get("spans").is_some(), "trace missing spans: {trace}");
+        }
+        other => panic!("expected certify, got {other:?}"),
+    }
+    match server.handle(req) {
+        Response::Certify { trace, cached, .. } => {
+            assert!(cached);
+            assert!(trace.is_none(), "cache hits carry no trace");
+        }
+        other => panic!("expected certify, got {other:?}"),
+    }
+    server.drain();
+}

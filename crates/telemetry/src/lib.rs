@@ -17,12 +17,16 @@
 //! * **Logging** ([`info!`], [`debug!`], [`LogLevel`]) — a leveled stderr
 //!   logger gated by the `DEEPT_LOG` environment variable, replacing ad-hoc
 //!   `eprintln!` progress messages in the bench harness.
+//! * **Server counters** ([`ServerCounters`], [`ServerStats`]) — atomic
+//!   request/cache/deadline counters for the certification server, frozen
+//!   into snapshots for `Status` responses and shutdown summaries.
 
 #![deny(clippy::print_stdout)]
 
 mod collect;
 mod log;
 mod probe;
+mod server;
 mod trace;
 
 pub use collect::TraceCollector;
@@ -30,6 +34,7 @@ pub use log::{log, log_enabled, max_level, LogLevel};
 pub use probe::{
     NoopProbe, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats,
 };
+pub use server::{ServerCounters, ServerStats};
 pub use trace::{Hotspot, LayerWidthRow, SpanRecord, VerificationTrace};
 
 /// RAII guard that exits a span when dropped, for instrumentation sites

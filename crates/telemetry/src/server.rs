@@ -1,0 +1,182 @@
+//! Counters for the certification server.
+//!
+//! [`ServerCounters`] is a lock-free bundle of atomics the serving layer
+//! bumps on its hot path (request intake, queue admission, worker
+//! completion, cache probes). [`ServerCounters::snapshot`] freezes them
+//! into a plain [`ServerStats`] for `Status` responses and the shutdown
+//! summary. Like the rest of this crate it is dependency-free; the serving
+//! layer owns the wire encoding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters plus two gauges, shared across server threads.
+///
+/// All operations use relaxed ordering: the counters feed reporting, not
+/// synchronization, and every increment site already runs under the queue
+/// or connection machinery's own locks where ordering matters.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Requests read off a connection (before validation).
+    pub received: AtomicU64,
+    /// Certification jobs completed by a worker.
+    pub completed: AtomicU64,
+    /// Certify requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Certify requests that missed the cache and ran the verifier.
+    pub cache_misses: AtomicU64,
+    /// Jobs aborted because their deadline expired.
+    pub deadline_aborts: AtomicU64,
+    /// Requests rejected because the job queue was full.
+    pub overloaded: AtomicU64,
+    /// Gauge: jobs currently waiting in the queue.
+    pub queue_depth: AtomicU64,
+    /// Gauge: jobs currently executing on workers.
+    pub in_flight: AtomicU64,
+}
+
+impl ServerCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one from a gauge, saturating at zero.
+    pub fn drop_gauge(gauge: &AtomicU64) {
+        // fetch_update never fails with a total closure; saturate rather
+        // than wrap if a release/acquire race ever double-decrements.
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`ServerCounters`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests read off a connection.
+    pub received: u64,
+    /// Certification jobs completed by a worker.
+    pub completed: u64,
+    /// Certify requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Certify requests that ran the verifier.
+    pub cache_misses: u64,
+    /// Jobs aborted on deadline expiry.
+    pub deadline_aborts: u64,
+    /// Requests rejected with `Overloaded`.
+    pub overloaded: u64,
+    /// Jobs waiting in the queue at snapshot time.
+    pub queue_depth: u64,
+    /// Jobs executing at snapshot time.
+    pub in_flight: u64,
+}
+
+impl ServerStats {
+    /// Cache hit rate in `[0, 1]`; `None` before any cache probe.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let probes = self.cache_hits + self.cache_misses;
+        #[allow(clippy::cast_precision_loss)]
+        (probes > 0).then(|| self.cache_hits as f64 / probes as f64)
+    }
+
+    /// One-line human summary, in the style of the trace hotspot report.
+    pub fn render_summary(&self) -> String {
+        let hit_rate = match self.hit_rate() {
+            Some(r) => format!("{:.0}%", 100.0 * r),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "served {} requests ({} completed, {} overloaded, {} deadline-aborted); \
+             cache {} hits / {} misses ({hit_rate}); {} queued, {} in flight",
+            self.received,
+            self.completed,
+            self.overloaded,
+            self.deadline_aborts,
+            self.cache_hits,
+            self.cache_misses,
+            self.queue_depth,
+            self.in_flight,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = ServerCounters::new();
+        ServerCounters::bump(&c.received);
+        ServerCounters::bump(&c.received);
+        ServerCounters::bump(&c.cache_hits);
+        ServerCounters::bump(&c.queue_depth);
+        let s = c.snapshot();
+        assert_eq!(s.received, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.completed, 0);
+    }
+
+    #[test]
+    fn gauges_saturate_at_zero() {
+        let c = ServerCounters::new();
+        ServerCounters::bump(&c.in_flight);
+        ServerCounters::drop_gauge(&c.in_flight);
+        ServerCounters::drop_gauge(&c.in_flight);
+        assert_eq!(c.snapshot().in_flight, 0);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let c = Arc::new(ServerCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        ServerCounters::bump(&c.completed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.snapshot().completed, 1000);
+    }
+
+    #[test]
+    fn hit_rate_and_summary() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.hit_rate(), None);
+        assert!(s.render_summary().contains("n/a"));
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        s.received = 4;
+        assert!((s.hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        let line = s.render_summary();
+        assert!(line.contains("75%"), "{line}");
+        assert!(line.contains("served 4 requests"), "{line}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Cooperative cancellation for long-running certification queries.
+//!
+//! A [`Deadline`] is a cheap, copyable wall-clock budget threaded through
+//! the verifier's outer loops (radius-search iterations, encoder layers,
+//! per-class margin queries). The loops poll [`Deadline::check`] *between*
+//! units of work and unwind with [`DeadlineExceeded`] when the budget is
+//! spent — nothing is interrupted mid-computation, so a query either
+//! completes with its usual bitwise-deterministic result or returns a
+//! timeout, never a partial bound.
+//!
+//! [`Deadline::none`] is the no-limit default: it never expires and its
+//! check compiles down to a branch on `Option::is_some`, so entry points
+//! without a timeout pay nothing.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock cut-off for cooperative cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No limit: never expires.
+    pub const fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Expires `budget` from now. Budgets too large to represent fall back
+    /// to no limit.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Expires at `instant`.
+    pub fn at(instant: Instant) -> Self {
+        Deadline { at: Some(instant) }
+    }
+
+    /// Expires `ms` milliseconds from now; `None` means no limit.
+    pub fn after_ms(ms: Option<u64>) -> Self {
+        match ms {
+            Some(ms) => Deadline::after(Duration::from_millis(ms)),
+            None => Deadline::none(),
+        }
+    }
+
+    /// Whether a cut-off is configured at all.
+    pub fn is_limited(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the cut-off has passed. Always `false` for
+    /// [`Deadline::none`] (and does not read the clock in that case).
+    pub fn expired(&self) -> bool {
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left before expiry; `None` when unlimited, zero when already
+    /// expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Errors with [`DeadlineExceeded`] once the cut-off has passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeadlineExceeded`] if the deadline expired.
+    pub fn check(&self) -> Result<(), DeadlineExceeded> {
+        if self.expired() {
+            Err(DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The error unwound through verifier loops when a [`Deadline`] expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification deadline exceeded")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_limited());
+        assert!(!d.expired());
+        assert!(d.check().is_ok());
+        assert_eq!(d.remaining(), None);
+    }
+
+    #[test]
+    fn past_deadline_is_expired() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.is_limited());
+        assert!(d.expired());
+        assert_eq!(d.check(), Err(DeadlineExceeded));
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn generous_budget_does_not_expire() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(d.is_limited());
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn after_ms_maps_none_to_unlimited() {
+        assert!(!Deadline::after_ms(None).is_limited());
+        assert!(Deadline::after_ms(Some(60_000)).is_limited());
+        assert!(Deadline::after_ms(Some(0)).expired());
+    }
+
+    #[test]
+    fn huge_budget_falls_back_to_unlimited() {
+        let d = Deadline::after(Duration::from_secs(u64::MAX));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(DeadlineExceeded.to_string().contains("deadline"));
+    }
+}

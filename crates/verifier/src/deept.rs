@@ -9,7 +9,8 @@ use deept_nn::transformer::{EncoderLayer, LayerNorm, LayerNormKind};
 use deept_telemetry::{NoopProbe, Probe, SpanKind};
 use deept_tensor::{parallel, Matrix};
 
-use crate::network::{margins_from_zonotope, CertResult, VerifiableTransformer};
+use crate::deadline::{Deadline, DeadlineExceeded};
+use crate::network::{margins_from_zonotope_deadline, CertResult, VerifiableTransformer};
 
 /// Configuration of the DeepT verifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,13 +98,39 @@ pub fn propagate_probed(
     cfg: &DeepTConfig,
     probe: &dyn Probe,
 ) -> Zonotope {
+    match propagate_deadline_probed(net, input, cfg, Deadline::none(), probe) {
+        Ok(out) => out,
+        Err(DeadlineExceeded) => unreachable!("Deadline::none() never expires"),
+    }
+}
+
+/// [`propagate_probed`] with a cooperative [`Deadline`], polled between
+/// encoder layers (and before pooling) so an over-budget query unwinds at a
+/// layer boundary instead of running to completion.
+///
+/// With `Deadline::none()` the result is bitwise identical to
+/// [`propagate_probed`]; the checks never read the clock in that case.
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired between layers.
+pub fn propagate_deadline_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    deadline: Deadline,
+    probe: &dyn Probe,
+) -> Result<Zonotope, DeadlineExceeded> {
     probe.span_enter(SpanKind::Propagate);
     let par = probe.enabled().then(parallel::snapshot);
-    let out = propagate_inner(net, input, cfg, probe);
+    let out = propagate_inner(net, input, cfg, deadline, probe);
     if let Some(before) = par {
         probe.parallel(parallel_stats_since(&before));
     }
-    let stats = probe.enabled().then(|| out.telemetry_stats());
+    let stats = match &out {
+        Ok(z) => probe.enabled().then(|| z.telemetry_stats()),
+        Err(_) => None,
+    };
     probe.span_exit(SpanKind::Propagate, stats, 0);
     out
 }
@@ -112,11 +139,15 @@ fn propagate_inner(
     net: &VerifiableTransformer,
     input: &Zonotope,
     cfg: &DeepTConfig,
+    deadline: Deadline,
     probe: &dyn Probe,
-) -> Zonotope {
+) -> Result<Zonotope, DeadlineExceeded> {
     let mut x = input.clone();
     let last = net.layers.len().saturating_sub(1);
     for (i, layer) in net.layers.iter().enumerate() {
+        // Cancellation checkpoint: between layers, never mid-transformer,
+        // so a completed run is unaffected by the deadline's presence.
+        deadline.check()?;
         let dot = if cfg.precise_last_layer_only && i != last {
             DotConfig {
                 variant: DotVariant::Fast,
@@ -154,9 +185,10 @@ fn propagate_inner(
             // Bounds blew up (e.g. exp overflow): report unbounded logits so
             // certification fails gracefully.
             let inf = Matrix::full(1, net.num_classes, f64::INFINITY);
-            return Zonotope::constant(&inf, x.p());
+            return Ok(Zonotope::constant(&inf, x.p()));
         }
     }
+    deadline.check()?;
     // Pooling: first output embedding only (Figure 2).
     probe.span_enter(SpanKind::Pooling);
     let par = probe.enabled().then(parallel::snapshot);
@@ -173,7 +205,7 @@ fn propagate_inner(
     }
     let stats = probe.enabled().then(|| logits.telemetry_stats());
     probe.span_exit(SpanKind::Pooling, stats, 0);
-    logits
+    Ok(logits)
 }
 
 /// Certifies that every point of the input region classifies as
@@ -195,8 +227,48 @@ pub fn certify_probed(
     cfg: &DeepTConfig,
     probe: &dyn Probe,
 ) -> CertResult {
-    let logits = propagate_probed(net, input, cfg, probe);
-    CertResult::from_margins(margins_from_zonotope(&logits, true_label))
+    match certify_deadline_probed(net, input, true_label, cfg, Deadline::none(), probe) {
+        Ok(res) => res,
+        Err(DeadlineExceeded) => unreachable!("Deadline::none() never expires"),
+    }
+}
+
+/// [`certify`] with a cooperative [`Deadline`]: the budget is polled between
+/// encoder layers and between per-class margin queries, so an over-budget
+/// certification returns [`DeadlineExceeded`] at the next checkpoint instead
+/// of running arbitrarily long. A query that completes is bitwise identical
+/// to the deadline-free result.
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired at a checkpoint.
+pub fn certify_deadline(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    true_label: usize,
+    cfg: &DeepTConfig,
+    deadline: Deadline,
+) -> Result<CertResult, DeadlineExceeded> {
+    certify_deadline_probed(net, input, true_label, cfg, deadline, &NoopProbe)
+}
+
+/// [`certify_deadline`] with telemetry; see [`propagate_deadline_probed`].
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired at a checkpoint.
+pub fn certify_deadline_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    true_label: usize,
+    cfg: &DeepTConfig,
+    deadline: Deadline,
+    probe: &dyn Probe,
+) -> Result<CertResult, DeadlineExceeded> {
+    deadline.check()?;
+    let logits = propagate_deadline_probed(net, input, cfg, deadline, probe)?;
+    let margins = margins_from_zonotope_deadline(&logits, true_label, deadline)?;
+    Ok(CertResult::from_margins(margins))
 }
 
 /// One encoder layer in the abstract domain.
@@ -471,6 +543,44 @@ mod tests {
         let m1 = margin(0.01);
         let m2 = margin(0.1);
         assert!(m0 >= m1 && m1 >= m2, "margins not monotone: {m0} {m1} {m2}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_certification() {
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 2, 3];
+        let emb = model.embed(&tokens);
+        let region = crate::network::t1_region(&emb, 0, 0.01, PNorm::L2);
+        let res = certify_deadline(
+            &net,
+            &region,
+            0,
+            &DeepTConfig::fast(4000),
+            Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(res, Err(DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_matches_unlimited_certification_bitwise() {
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9];
+        let emb = model.embed(&tokens);
+        let cfg = DeepTConfig::fast(4000);
+        let region = crate::network::t1_region(&emb, 1, 0.02, PNorm::Linf);
+        let pred = model.predict(&tokens);
+        let plain = certify(&net, &region, pred, &cfg);
+        let limited = certify_deadline(
+            &net,
+            &region,
+            pred,
+            &cfg,
+            Deadline::after(std::time::Duration::from_secs(3600)),
+        )
+        .expect("generous deadline must not expire");
+        assert_eq!(plain, limited);
     }
 
     #[test]

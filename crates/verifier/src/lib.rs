@@ -10,6 +10,8 @@
 //! * [`synonym`] — threat model T2 certification and the enumeration
 //!   baseline (§6.7);
 //! * [`radius`] — binary search for the maximum certified radius;
+//! * [`deadline`] — cooperative cancellation budgets threaded through the
+//!   radius-search and certification loops;
 //! * [`attack`] — randomized falsification, used to sanity-check soundness
 //!   and measure tightness;
 //! * [`network`] — the verifier-facing network view and input regions.
@@ -53,11 +55,15 @@
 
 pub mod attack;
 pub mod crown;
+pub mod deadline;
 pub mod deept;
 pub mod network;
 pub mod radius;
 pub mod synonym;
 
+pub use deadline::{Deadline, DeadlineExceeded};
 pub use deept::DeepTConfig;
 pub use network::{CertResult, VerifiableTransformer};
-pub use radius::{max_certified_radius, max_certified_radius_probed};
+pub use radius::{
+    max_certified_radius, max_certified_radius_deadline, max_certified_radius_probed, RadiusOutcome,
+};

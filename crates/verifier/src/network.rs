@@ -11,6 +11,8 @@ use deept_nn::transformer::{ClassifierHead, EncoderLayer, LayerNormKind};
 use deept_nn::{TransformerClassifier, VisionTransformer};
 use deept_tensor::{parallel, Matrix};
 
+use crate::deadline::{Deadline, DeadlineExceeded};
+
 /// The encoder + head of a Transformer, detached from its embedder.
 #[derive(Debug, Clone)]
 pub struct VerifiableTransformer {
@@ -131,16 +133,60 @@ pub fn margins_from_zonotope(logits: &Zonotope, true_label: usize) -> Vec<f64> {
     // per-class loop parallelizes without affecting certified bounds:
     // results come back in class order regardless of worker count.
     let others: Vec<usize> = (0..c).filter(|&f| f != true_label).collect();
-    let bounds = parallel::par_map(&others, 1, |&f| {
-        let mut l = Matrix::zeros(1, c);
-        l.set(0, true_label, 1.0);
-        l.set(0, f, -1.0);
-        logits.linear_vars(&l, 1, 1).bounds_of(0).0
-    });
+    let bounds = parallel::par_map(&others, 1, |&f| margin_query(logits, true_label, f, c));
     for (&f, b) in others.iter().zip(bounds) {
         margins[f] = b;
     }
     margins
+}
+
+/// Lower bound of `y_t − y_f` formed inside the abstract domain. One unit
+/// of work of [`margins_from_zonotope`]; pure and independent per class, so
+/// the parallel sweep and the sequential deadline-checked sweep produce
+/// bitwise-identical values.
+fn margin_query(logits: &Zonotope, true_label: usize, f: usize, c: usize) -> f64 {
+    let mut l = Matrix::zeros(1, c);
+    l.set(0, true_label, 1.0);
+    l.set(0, f, -1.0);
+    logits.linear_vars(&l, 1, 1).bounds_of(0).0
+}
+
+/// [`margins_from_zonotope`] with a cooperative [`Deadline`] polled between
+/// per-class margin queries. Without a limit it defers to the parallel
+/// sweep; with one it runs the same queries sequentially so the budget is
+/// honored at class granularity. Completed results are bitwise identical
+/// either way.
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired between queries.
+pub fn margins_from_zonotope_deadline(
+    logits: &Zonotope,
+    true_label: usize,
+    deadline: Deadline,
+) -> Result<Vec<f64>, DeadlineExceeded> {
+    if !deadline.is_limited() {
+        return Ok(margins_from_zonotope(logits, true_label));
+    }
+    let c = logits.cols();
+    assert!(true_label < c, "true label out of range");
+    let mut margins = vec![f64::INFINITY; c];
+    if logits.has_non_finite() {
+        for (f, m) in margins.iter_mut().enumerate() {
+            if f != true_label {
+                *m = f64::NEG_INFINITY;
+            }
+        }
+        return Ok(margins);
+    }
+    for f in 0..c {
+        if f == true_label {
+            continue;
+        }
+        deadline.check()?;
+        margins[f] = margin_query(logits, true_label, f, c);
+    }
+    Ok(margins)
 }
 
 #[cfg(test)]
@@ -219,6 +265,53 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(f, m)| f == 2 || m.is_finite()));
+    }
+
+    #[test]
+    fn deadline_margins_match_parallel_path_bitwise() {
+        let c = 5;
+        let center: Vec<f64> = (0..c).map(|i| 0.3 * i as f64).collect();
+        let mut phi = Matrix::zeros(c, 2);
+        let mut eps = Matrix::zeros(c, 3);
+        for i in 0..c {
+            for j in 0..2 {
+                phi.set(i, j, ((i * 2 + j) as f64 * 0.41).sin() * 0.3);
+            }
+            for j in 0..3 {
+                eps.set(i, j, ((i * 3 + j) as f64 * 0.29).cos() * 0.2);
+            }
+        }
+        let z = Zonotope::from_parts(1, c, center, phi, eps, PNorm::L1);
+        let plain = margins_from_zonotope(&z, 1);
+        // A generous deadline routes through the sequential checked sweep.
+        let limited = margins_from_zonotope_deadline(
+            &z,
+            1,
+            Deadline::after(std::time::Duration::from_secs(3600)),
+        )
+        .expect("generous deadline must not expire");
+        assert_eq!(plain, limited);
+        // No limit routes through the parallel sweep.
+        let unlimited = margins_from_zonotope_deadline(&z, 1, Deadline::none()).unwrap();
+        assert_eq!(plain, unlimited);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_margin_queries() {
+        let z = Zonotope::from_parts(
+            1,
+            3,
+            vec![0.0, 1.0, 2.0],
+            Matrix::zeros(3, 0),
+            Matrix::zeros(3, 0),
+            PNorm::Linf,
+        );
+        let r = margins_from_zonotope_deadline(
+            &z,
+            0,
+            Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(r, Err(DeadlineExceeded));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 # summary written to BENCH_2.json: per-bench median nanoseconds plus the
 # speedup of the optimized (blocked + parallel) kernels over the naive
 # reference path measured in the same process via DEEPT_KERNEL routing.
+# A server-throughput smoke (requests/sec, cache-hit speedup against a live
+# `deept serve` instance) follows, written to BENCH_3.json.
 #
 # Worker count defaults to 4; override with DEEPT_THREADS=N.
 set -euo pipefail
@@ -57,3 +59,91 @@ print(json.dumps(out, indent=2, sort_keys=True))
 EOF
 
 echo "bench smoke written to BENCH_2.json"
+
+# ---------------------------------------------------------------------------
+# Server-throughput smoke: start `deept serve` against a freshly exported
+# checkpoint, then measure uncached latency, cached (bitwise-replay) latency
+# and the resulting cache-hit speedup over the JSON-lines TCP protocol.
+# Results land in BENCH_3.json.
+# ---------------------------------------------------------------------------
+SERVE_ADDR="${DEEPT_SERVE_ADDR:-127.0.0.1:17979}"
+
+echo "== server throughput smoke ($SERVE_ADDR, DEEPT_THREADS=$THREADS) =="
+cargo build --release --bin deept
+target/release/deept export-model \
+  --out artifacts/models/bench_smoke.json --layers 1 --epochs 1 --seed 7
+target/release/deept serve --addr "$SERVE_ADDR" --workers "$THREADS" \
+  --model smoke=artifacts/models/bench_smoke.json &
+SERVE_PID=$!
+
+python3 - "$THREADS" "$SERVE_ADDR" <<'EOF'
+import json
+import socket
+import sys
+import time
+from pathlib import Path
+
+threads = int(sys.argv[1])
+host, port = sys.argv[2].rsplit(":", 1)
+addr = (host, int(port))
+
+def connect():
+    stop = time.time() + 30
+    while True:
+        try:
+            return socket.create_connection(addr, timeout=10)
+        except OSError:
+            if time.time() > stop:
+                raise
+            time.sleep(0.1)
+
+sock = connect()
+f = sock.makefile("rwb")
+
+def rpc(obj):
+    f.write((json.dumps(obj) + "\n").encode())
+    f.flush()
+    line = f.readline()
+    if not line:
+        raise RuntimeError("server closed the connection")
+    return json.loads(line)
+
+assert rpc({"type": "status"})["type"] == "status"
+
+def certify(eps):
+    r = rpc({"type": "certify", "model_id": "smoke", "tokens": [1, 2, 3, 4],
+             "eps": eps, "norm": "l2", "variant": "fast"})
+    assert r["type"] == "certify", r
+    return r
+
+certify(0.011)  # warm-up
+
+# Uncached latency: distinct eps values, every request runs the verifier.
+eps_values = [0.001 + 0.0001 * i for i in range(20)]
+t0 = time.perf_counter()
+for eps in eps_values:
+    assert not certify(eps)["cached"]
+uncached_s = (time.perf_counter() - t0) / len(eps_values)
+
+# Cached latency: replay one key; every hit is a bitwise-identical answer.
+reps = 200
+t0 = time.perf_counter()
+for _ in range(reps):
+    assert certify(eps_values[0])["cached"]
+cached_s = (time.perf_counter() - t0) / reps
+
+out = {
+    "threads": threads,
+    "uncached_ms": round(uncached_s * 1e3, 3),
+    "cached_ms": round(cached_s * 1e3, 3),
+    "cache_hit_speedup": round(uncached_s / cached_s, 1),
+    "uncached_requests_per_sec": round(1.0 / uncached_s, 1),
+    "cached_requests_per_sec": round(1.0 / cached_s, 1),
+}
+assert rpc({"type": "shutdown"})["type"] == "shutting_down"
+Path("BENCH_3.json").write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+print(json.dumps(out, indent=2, sort_keys=True))
+EOF
+
+wait "$SERVE_PID"
+echo "server smoke written to BENCH_3.json"

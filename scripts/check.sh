@@ -8,7 +8,12 @@ echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings) =="
+# --workspace picks up every crates/* member, including deept-serve; its
+# library code additionally carries #![deny(clippy::print_stdout)].
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test --workspace -q

@@ -4,16 +4,30 @@
 //! ```text
 //! deept train   --out model.json [--layers 2] [--yelp] [--std-ln] [--epochs 6]
 //! deept certify --model model.json --sentence "pos0_1 neu3 not0 neg2_0" \
-//!               [--position 1] [--norm l2] [--radius 0.05] [--trace trace.json]
+//!               [--position 1] [--norm l2] [--radius 0.05] [--trace trace.json] \
+//!               [--timeout-ms 5000]
 //! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
+//! deept export-model [--out artifacts/models/toy.json] [--layers 1] [--epochs 2]
+//! deept serve   [--addr 127.0.0.1:7878 | --stdio] [--workers 2] [--queue 16] \
+//!               [--cache 256] [--deadline-ms N] [--model id=ckpt.json]...
+//! deept request --addr 127.0.0.1:7878 (--status | --shutdown | --load-model id=path |
+//!               --certify --model-id id --tokens "1 2 3" [--eps 1e-4 | --radius-search]
+//!               [--start 0.01] [--iters 16] [--position 0] [--norm l2]
+//!               [--variant fast] [--deadline-ms N] [--trace-response])
 //! deept --trace trace.json
 //! ```
 //!
 //! `train` produces a JSON bundle (model + vocabulary); `certify` reports
 //! the classification, then either checks one radius or binary-searches the
-//! maximum certified radius; `synonyms` certifies threat model T2 against
+//! maximum certified radius (`--timeout-ms` bounds the search with a
+//! cooperative deadline); `synonyms` certifies threat model T2 against
 //! embedding-space nearest-neighbour substitutions and cross-checks with
 //! bounded enumeration.
+//!
+//! `export-model` trains a toy classifier and writes it as a fingerprinted
+//! `deept-checkpoint-v1` file; `serve` runs the long-lived certification
+//! server over TCP (or stdio for CI) against such checkpoints; `request`
+//! is the matching one-shot client, printing the raw JSON response.
 //!
 //! `--trace <path>` records the verification under a
 //! [`deept::telemetry::TraceCollector`]: per-layer spans with wall-clock
@@ -28,10 +42,14 @@ use deept::data::sentiment;
 use deept::data::{SynonymSets, Vocab};
 use deept::nn::train::{accuracy, train, TrainConfig};
 use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
-use deept::telemetry::{TraceCollector, VerificationTrace};
-use deept::verifier::deept::{certify, certify_probed, DeepTConfig};
+use deept::serve::client::request_once;
+use deept::serve::protocol::{CertifyRequest, RadiusSearchSpec, Request, Response};
+use deept::serve::server::{ServeConfig, Server};
+use deept::telemetry::{NoopProbe, Probe, TraceCollector, VerificationTrace};
+use deept::verifier::deadline::{Deadline, DeadlineExceeded};
+use deept::verifier::deept::{certify_deadline_probed, DeepTConfig};
 use deept::verifier::network::{t1_region, VerifiableTransformer};
-use deept::verifier::radius::{max_certified_radius, max_certified_radius_probed};
+use deept::verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
 use deept::verifier::synonym;
 use deept::zonotope::PNorm;
 use rand::SeedableRng;
@@ -52,11 +70,14 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("certify") => cmd_certify(&args[1..]),
         Some("synonyms") => cmd_synonyms(&args[1..]),
+        Some("export-model") => cmd_export_model(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("request") => cmd_request(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
-                "usage: deept <train|certify|synonyms> [options] | deept --trace <path>  \
-                 (see --help in source)"
+                "usage: deept <train|certify|synonyms|export-model|serve|request> [options] \
+                 | deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
         }
@@ -78,6 +99,14 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// All values of a repeatable flag, e.g. `--model a=x.json --model b=y.json`.
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
@@ -184,6 +213,12 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     }
     let p = PNorm::parse(&flag(args, "--norm").unwrap_or_else(|| "l2".into()))
         .ok_or("--norm must be 1, 2 or inf")?;
+    let timeout_ms: Option<u64> = flag(args, "--timeout-ms")
+        .map(|s| s.parse().map_err(|_| "--timeout-ms must be a number"))
+        .transpose()?;
+    // The deadline is fixed before any verification starts; with no
+    // --timeout-ms it never expires and the query sequence is unchanged.
+    let deadline = Deadline::after_ms(timeout_ms);
     let label = bundle.model.predict(&tokens);
     println!(
         "prediction: {} ({})",
@@ -195,31 +230,45 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     let cfg = DeepTConfig::fast(2000);
     let trace_path = flag(args, "--trace");
     let collector = trace_path.as_ref().map(|_| TraceCollector::new());
+    let probe: &dyn Probe = match &collector {
+        Some(c) => c,
+        None => &NoopProbe,
+    };
+    let mut timed_out = false;
     if let Some(radius) = flag(args, "--radius") {
         let radius: f64 = radius.parse().map_err(|_| "--radius must be a number")?;
         let region = t1_region(&emb, position, radius, p);
-        let res = match &collector {
-            Some(c) => certify_probed(&net, &region, label, &cfg, c),
-            None => certify(&net, &region, label, &cfg),
-        };
-        println!(
-            "radius {radius} ({p}) at position {position}: certified = {} (margin {:.5})",
-            res.certified,
-            res.margins[1 - label]
-        );
-    } else {
-        let check = |radius: f64| match &collector {
-            Some(c) => {
-                certify_probed(&net, &t1_region(&emb, position, radius, p), label, &cfg, c)
-                    .certified
+        match certify_deadline_probed(&net, &region, label, &cfg, deadline, probe) {
+            Ok(res) => println!(
+                "radius {radius} ({p}) at position {position}: certified = {} (margin {:.5})",
+                res.certified,
+                res.margins[1 - label]
+            ),
+            Err(DeadlineExceeded) => {
+                println!("radius {radius} ({p}) at position {position}: timed out");
+                timed_out = true;
             }
-            None => certify(&net, &t1_region(&emb, position, radius, p), label, &cfg).certified,
+        }
+    } else {
+        let check = |radius: f64| -> Result<bool, DeadlineExceeded> {
+            let region = t1_region(&emb, position, radius, p);
+            Ok(certify_deadline_probed(&net, &region, label, &cfg, deadline, probe)?.certified)
         };
-        let r = match &collector {
-            Some(c) => max_certified_radius_probed(check, 0.01, 16, c),
-            None => max_certified_radius(check, 0.01, 16),
-        };
-        println!("maximum certified {p} radius at position {position}: {r:.6}");
+        match max_certified_radius_deadline(check, 0.01, 16, deadline, probe) {
+            RadiusOutcome::Completed(r) => {
+                println!("maximum certified {p} radius at position {position}: {r:.6}");
+            }
+            RadiusOutcome::TimedOut {
+                lower_bound,
+                queries,
+            } => {
+                println!(
+                    "timed out after {queries} queries; largest certified {p} radius \
+                     so far at position {position}: {lower_bound:.6}"
+                );
+                timed_out = true;
+            }
+        }
     }
     if let (Some(path), Some(collector)) = (trace_path, collector) {
         let mut trace = collector.finish();
@@ -228,6 +277,12 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
         trace.set_meta("position", &position.to_string());
         trace.set_meta("tokens", &tokens.len().to_string());
         write_trace(&path, &trace)?;
+    }
+    if timed_out {
+        return Err(format!(
+            "verification deadline of {} ms exceeded",
+            timeout_ms.unwrap_or(0)
+        ));
     }
     Ok(())
 }
@@ -257,21 +312,27 @@ fn cmd_demo_trace(args: &[String]) -> Result<(), String> {
     let emb = model.embed(&tokens);
     let cfg = DeepTConfig::fast(2000);
     let collector = TraceCollector::new();
-    let r = max_certified_radius_probed(
+    let outcome = max_certified_radius_deadline(
         |radius| {
-            certify_probed(
+            Ok(certify_deadline_probed(
                 &net,
                 &t1_region(&emb, 0, radius, PNorm::L2),
                 label,
                 &cfg,
+                Deadline::none(),
                 &collector,
-            )
-            .certified
+            )?
+            .certified)
         },
         0.01,
         12,
+        Deadline::none(),
         &collector,
     );
+    let r = match outcome {
+        RadiusOutcome::Completed(r) => r,
+        RadiusOutcome::TimedOut { .. } => unreachable!("demo runs with no deadline"),
+    };
     let mut trace = collector.finish();
     trace.set_meta("mode", "demo");
     trace.set_meta("verifier", "DeepT-Fast");
@@ -344,6 +405,184 @@ fn cmd_synonyms(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Trains a small sentiment classifier and writes it as a fingerprinted
+/// `deept-checkpoint-v1` file, then reloads it to prove the round trip.
+fn cmd_export_model(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").unwrap_or_else(|| "artifacts/models/toy.json".into());
+    let layers: usize = flag(args, "--layers")
+        .map(|s| s.parse().map_err(|_| "--layers must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+    let epochs: usize = flag(args, "--epochs")
+        .map(|s| s.parse().map_err(|_| "--epochs must be a number"))
+        .transpose()?
+        .unwrap_or(2);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| "--seed must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut spec = sentiment::sst_spec();
+    spec.train = spec.train.min(300);
+    spec.test = spec.test.min(100);
+    spec.max_len = spec.max_len.min(8);
+    let ds = sentiment::generate(spec, &mut rng);
+    let mut model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: ds.vocab.len(),
+            max_len: spec.max_len,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    eprintln!("training {layers}-layer transformer ({epochs} epochs)…");
+    train(
+        &mut model,
+        &ds.train,
+        TrainConfig {
+            epochs,
+            batch_size: 16,
+            lr: 2e-3,
+        },
+        &mut rng,
+    );
+    println!("test accuracy: {:.3}", accuracy(&model, &ds.test));
+    let fingerprint = deept::nn::checkpoint::save(&model, &out).map_err(|e| e.to_string())?;
+    // Reload to prove the round trip: the fingerprint check inside `load`
+    // fails unless serialize → deserialize → serialize is byte-identical.
+    let reloaded =
+        deept::nn::checkpoint::load::<TransformerClassifier>(&out).map_err(|e| e.to_string())?;
+    assert_eq!(reloaded.fingerprint, fingerprint);
+    assert_eq!(
+        reloaded.model, model,
+        "checkpoint round trip changed weights"
+    );
+    println!("checkpoint written to {out} (fingerprint {fingerprint})");
+    Ok(())
+}
+
+/// Runs the certification server over TCP or stdio.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag(args, "--workers") {
+        cfg.workers = v.parse().map_err(|_| "--workers must be a number")?;
+    }
+    if let Some(v) = flag(args, "--queue") {
+        cfg.queue_capacity = v.parse().map_err(|_| "--queue must be a number")?;
+    }
+    if let Some(v) = flag(args, "--cache") {
+        cfg.cache_capacity = v.parse().map_err(|_| "--cache must be a number")?;
+    }
+    if let Some(v) = flag(args, "--budget") {
+        cfg.reduction_budget = v.parse().map_err(|_| "--budget must be a number")?;
+    }
+    if let Some(v) = flag(args, "--deadline-ms") {
+        cfg.default_deadline_ms = Some(v.parse().map_err(|_| "--deadline-ms must be a number")?);
+    }
+    let preloads: Vec<(String, String)> = flag_all(args, "--model")
+        .into_iter()
+        .map(|spec| {
+            spec.split_once('=')
+                .map(|(id, path)| (id.to_string(), path.to_string()))
+                .ok_or("--model takes id=path, e.g. --model toy=artifacts/models/toy.json")
+        })
+        .collect::<Result<_, _>>()?;
+    let server = Server::new(cfg);
+    for (id, path) in preloads {
+        let fingerprint = server
+            .registry()
+            .load_from_path(&id, &path)
+            .map_err(|e| format!("could not preload {id} from {path}: {e}"))?;
+        eprintln!("preloaded model {id} from {path} (fingerprint {fingerprint})");
+    }
+    if has(args, "--stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server
+            .serve_stdio(stdin.lock(), stdout.lock())
+            .map_err(|e| e.to_string())?;
+    } else {
+        let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+        eprintln!("serving on {addr} (send {{\"type\":\"shutdown\"}} to stop)");
+        server.serve_tcp(&addr).map_err(|e| e.to_string())?;
+    }
+    eprintln!("{}", server.stats().render_summary());
+    Ok(())
+}
+
+/// One-shot client: sends a single request and prints the JSON response.
+fn cmd_request(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").ok_or("--addr <host:port> is required")?;
+    let request = if has(args, "--status") {
+        Request::Status
+    } else if has(args, "--shutdown") {
+        Request::Shutdown
+    } else if let Some(spec) = flag(args, "--load-model") {
+        let (id, path) = spec
+            .split_once('=')
+            .ok_or("--load-model takes id=path, e.g. --load-model toy=ckpt.json")?;
+        Request::LoadModel {
+            model_id: id.to_string(),
+            path: path.to_string(),
+        }
+    } else if has(args, "--certify") {
+        let tokens: Vec<usize> = flag(args, "--tokens")
+            .ok_or("--tokens \"1 2 3\" is required with --certify")?
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| format!("bad token id {t:?}")))
+            .collect::<Result<_, _>>()?;
+        let eps: Option<f64> = flag(args, "--eps")
+            .map(|s| s.parse().map_err(|_| "--eps must be a number"))
+            .transpose()?;
+        let radius_search = if has(args, "--radius-search") {
+            let mut spec = RadiusSearchSpec::default();
+            if let Some(v) = flag(args, "--start") {
+                spec.start = v.parse().map_err(|_| "--start must be a number")?;
+            }
+            if let Some(v) = flag(args, "--iters") {
+                spec.iters = v.parse().map_err(|_| "--iters must be a number")?;
+            }
+            Some(spec)
+        } else {
+            None
+        };
+        Request::Certify(CertifyRequest {
+            model_id: flag(args, "--model-id").ok_or("--model-id is required with --certify")?,
+            tokens,
+            position: flag(args, "--position")
+                .map(|s| s.parse().map_err(|_| "--position must be a number"))
+                .transpose()?
+                .unwrap_or(0),
+            norm: flag(args, "--norm").unwrap_or_else(|| "l2".into()),
+            variant: flag(args, "--variant").unwrap_or_else(|| "fast".into()),
+            eps,
+            radius_search,
+            deadline_ms: flag(args, "--deadline-ms")
+                .map(|s| s.parse().map_err(|_| "--deadline-ms must be a number"))
+                .transpose()?,
+            trace: has(args, "--trace-response"),
+        })
+    } else {
+        return Err(
+            "specify one of --status, --shutdown, --load-model id=path or --certify".into(),
+        );
+    };
+    let response = request_once(&addr, &request).map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string(&response).map_err(|e| e.to_string())?
+    );
+    if let Response::Error { code, message } = &response {
+        return Err(format!("server returned {code:?}: {message}"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +605,61 @@ mod tests {
     fn certify_requires_model() {
         let err = cmd_certify(&args(&["--sentence", "x"])).unwrap_err();
         assert!(err.contains("--model"));
+    }
+
+    #[test]
+    fn flag_all_collects_repeats() {
+        let a = args(&[
+            "--model",
+            "a=x.json",
+            "--workers",
+            "4",
+            "--model",
+            "b=y.json",
+        ]);
+        assert_eq!(flag_all(&a, "--model"), vec!["a=x.json", "b=y.json"]);
+        assert!(flag_all(&a, "--queue").is_empty());
+    }
+
+    #[test]
+    fn request_requires_addr_and_action() {
+        let err = cmd_request(&args(&["--status"])).unwrap_err();
+        assert!(err.contains("--addr"));
+        let err = cmd_request(&args(&["--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--status"));
+    }
+
+    #[test]
+    fn request_certify_requires_tokens_and_model_id() {
+        let err = cmd_request(&args(&["--addr", "127.0.0.1:1", "--certify"])).unwrap_err();
+        assert!(err.contains("--tokens"));
+        let err = cmd_request(&args(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--certify",
+            "--tokens",
+            "1 2 nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("bad token id"));
+    }
+
+    #[test]
+    fn serve_model_flag_requires_id_eq_path() {
+        let err = cmd_serve(&args(&["--model", "no-equals-sign", "--stdio"])).unwrap_err();
+        assert!(err.contains("id=path"));
+    }
+
+    #[test]
+    fn load_model_flag_requires_id_eq_path() {
+        let err = cmd_request(&args(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--load-model",
+            "no-equals-sign",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("id=path"));
     }
 
     #[test]

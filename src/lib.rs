@@ -14,7 +14,10 @@
 //! * [`geocert`] — complete ReLU-MLP verification (GeoCert role);
 //! * [`telemetry`] — verification spans, precision metrics and structured
 //!   traces (the [`telemetry::Probe`] trait accepted by every `*_probed`
-//!   verifier entry point).
+//!   verifier entry point);
+//! * [`serve`] — the batched certification service: JSON-lines protocol,
+//!   bounded job queue, LRU result cache and deadline-aware workers
+//!   (`deept serve` / `deept request`).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the binaries that regenerate every table of the
@@ -49,6 +52,7 @@ pub use deept_data as data;
 pub use deept_geocert as geocert;
 pub use deept_lp as lp;
 pub use deept_nn as nn;
+pub use deept_serve as serve;
 pub use deept_telemetry as telemetry;
 pub use deept_tensor as tensor;
 pub use deept_verifier as verifier;

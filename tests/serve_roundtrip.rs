@@ -1,0 +1,157 @@
+//! End-to-end serving acceptance: export a checkpoint, load it into a live
+//! server over TCP, certify, replay from the cache bit-for-bit, and prove
+//! that a 1 ms deadline yields a `timeout` error — not a hang — with the
+//! server staying healthy afterwards.
+
+use std::net::TcpListener;
+
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept::serve::client::Client;
+use deept::serve::protocol::{CertifyRequest, ErrorCode, RadiusSearchSpec, Request, Response};
+use deept::serve::server::{ServeConfig, Server};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 8,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+fn eps_certify(eps: f64) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3, 4],
+        position: 1,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(eps),
+        radius_search: None,
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+#[test]
+fn checkpoint_to_server_to_cache_to_timeout() {
+    // 1. Export: save a fingerprinted checkpoint to disk.
+    let dir = std::env::temp_dir().join(format!("deept-serve-rt-{}", std::process::id()));
+    let path = dir.join("toy.json");
+    let saved_fp = deept::nn::checkpoint::save(&tiny_model(3), &path).expect("save checkpoint");
+
+    // 2. Serve: ephemeral port, real TCP.
+    let server = Server::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        reduction_budget: 2000,
+        default_deadline_ms: None,
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server_thread = {
+        let server = server.clone();
+        std::thread::spawn(move || server.serve_listener(listener).expect("serve"))
+    };
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // 3. Load the checkpoint by path; the fingerprint must round-trip.
+    let resp = client
+        .send(&Request::LoadModel {
+            model_id: "toy".into(),
+            path: path.to_string_lossy().into_owned(),
+        })
+        .expect("load_model");
+    match &resp {
+        Response::ModelLoaded { fingerprint, .. } => assert_eq!(fingerprint, &saved_fp),
+        other => panic!("expected model_loaded, got {other:?}"),
+    }
+
+    // 4. Certify once (miss), then again (hit): bitwise identical payloads.
+    let fresh = client.send(&eps_certify(0.01)).expect("certify");
+    let replay = client.send(&eps_certify(0.01)).expect("certify again");
+    match (&fresh, &replay) {
+        (
+            Response::Certify {
+                cached: false,
+                result: r1,
+                label: l1,
+                ..
+            },
+            Response::Certify {
+                cached: true,
+                result: r2,
+                label: l2,
+                ..
+            },
+        ) => {
+            assert_eq!(l1, l2);
+            assert_eq!(
+                serde_json::to_string(r1).unwrap(),
+                serde_json::to_string(r2).unwrap(),
+                "cache replay must be bitwise identical"
+            );
+        }
+        other => panic!("expected miss then hit, got {other:?}"),
+    }
+
+    // 5. A 1 ms deadline on a long radius search returns `timeout` — the
+    //    worker gives the job up at a cooperative checkpoint, it does not
+    //    hang.
+    let resp = client
+        .send(&Request::Certify(CertifyRequest {
+            model_id: "toy".into(),
+            tokens: vec![1, 2, 3, 4, 5, 6],
+            position: 0,
+            norm: "l2".into(),
+            variant: "precise".into(),
+            eps: None,
+            radius_search: Some(RadiusSearchSpec {
+                start: 0.001,
+                iters: 64,
+            }),
+            deadline_ms: Some(1),
+            trace: false,
+        }))
+        .expect("deadline certify");
+    match &resp {
+        Response::Error { code, .. } => assert_eq!(*code, ErrorCode::Timeout),
+        other => panic!("expected timeout error, got {other:?}"),
+    }
+
+    // 6. The server stays healthy: the same connection still answers, and
+    //    the abort shows up in the counters.
+    let resp = client
+        .send(&eps_certify(0.01))
+        .expect("post-timeout certify");
+    assert!(
+        matches!(&resp, Response::Certify { cached: true, .. }),
+        "server unhealthy after a timeout: {resp:?}"
+    );
+    match client.send(&Request::Status).expect("status") {
+        Response::Status(report) => {
+            assert!(report.deadline_aborts >= 1, "{report:?}");
+            assert!(report.cache_hits >= 2, "{report:?}");
+            assert_eq!(report.models, vec!["toy".to_string()]);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // 7. Graceful shutdown drains and joins.
+    let resp = client.send(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(resp, Response::ShuttingDown { .. }), "{resp:?}");
+    server_thread.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(dir);
+}
