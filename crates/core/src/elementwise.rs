@@ -69,6 +69,36 @@ impl Relaxation {
     }
 }
 
+/// Sound constant band for a *monotone* function on a degenerate interval
+/// `0 < u − l < POINT_WIDTH`: the endpoint values bracket `f(x)` for every
+/// `x ∈ [l, u]`, so `[min(f(l), f(u)), max(f(l), f(u))]` is a valid output
+/// interval. The endpoints are first widened by one ulp (libm
+/// implementations are faithfully rounded, not exactly monotone), then the
+/// half-width is nudged outward until the band provably covers both
+/// endpoints despite midpoint rounding.
+///
+/// The previous behaviour — returning the *midpoint value* as an exact
+/// constant — was pointwise unsound: on `exp` over `[l, l + 9e-13]` the
+/// constant excludes `exp(u)` by ≈ `4.5e-13 · exp(u)`, far above rounding
+/// noise.
+fn endpoint_band(fl: f64, fu: f64) -> Relaxation {
+    if !fl.is_finite() || !fu.is_finite() {
+        return Relaxation::poisoned();
+    }
+    let (lo, hi) = if fl <= fu { (fl, fu) } else { (fu, fl) };
+    let (lo, hi) = (lo.next_down(), hi.next_up());
+    let mu = 0.5 * (lo + hi);
+    let mut beta = (hi - mu).max(mu - lo).max(0.0);
+    while mu - beta > lo || mu + beta < hi {
+        beta = beta.next_up();
+    }
+    Relaxation {
+        lambda: 0.0,
+        mu,
+        beta,
+    }
+}
+
 /// Relaxation of `ReLU(x) = max(0, x)` on `[l, u]` (§4.3, Eq. 2).
 pub fn relu_relaxation(l: f64, u: f64) -> Relaxation {
     debug_assert!(l <= u);
@@ -76,6 +106,10 @@ pub fn relu_relaxation(l: f64, u: f64) -> Relaxation {
         Relaxation::exact_const(0.0)
     } else if l >= 0.0 {
         Relaxation::identity()
+    } else if u - l < POINT_WIDTH {
+        // Mixed-sign degenerate interval: λ = u/(u−l) explodes and its
+        // rounding error swamps the band. The exact range is [0, u].
+        endpoint_band(0.0, u)
     } else {
         let lambda = u / (u - l);
         let m = 0.5 * (-lambda * l).max((1.0 - lambda) * u);
@@ -90,8 +124,11 @@ pub fn relu_relaxation(l: f64, u: f64) -> Relaxation {
 /// Relaxation of `tanh(x)` on `[l, u]` (§4.4).
 pub fn tanh_relaxation(l: f64, u: f64) -> Relaxation {
     debug_assert!(l <= u);
+    if l == u {
+        return Relaxation::exact_const(l.tanh());
+    }
     if u - l < POINT_WIDTH {
-        return Relaxation::exact_const(((l + u) * 0.5).tanh());
+        return endpoint_band(l.tanh(), u.tanh());
     }
     let tl = l.tanh();
     let tu = u.tanh();
@@ -110,9 +147,12 @@ pub fn exp_relaxation(l: f64, u: f64) -> Relaxation {
     if !l.is_finite() || !u.is_finite() || u > 709.0 {
         return Relaxation::poisoned();
     }
+    if l == u {
+        return Relaxation::exact_const(l.exp());
+    }
     let w = u - l;
     if w < POINT_WIDTH {
-        return Relaxation::exact_const(((l + u) * 0.5).exp());
+        return endpoint_band(l.exp(), u.exp());
     }
     // t_crit = log((e^u − e^l)/(u − l)), computed stably as
     // l + log(expm1(w)/w); t_crit,2 = l + 1 − ε̃ keeps the tangent value at
@@ -127,22 +167,22 @@ pub fn exp_relaxation(l: f64, u: f64) -> Relaxation {
 /// Relaxation of `1/x` on `[l, u]` with `l > 0` (§4.6), guaranteeing a
 /// positive concrete lower bound of the output.
 ///
-/// # Panics
-///
-/// Panics if `l <= 0`: the reciprocal transformer is only defined for
-/// strictly positive inputs (which the exp transformer guarantees inside
-/// the softmax).
+/// The reciprocal transformer is only defined for strictly positive inputs
+/// (which the exp transformer guarantees inside the softmax). A non-positive
+/// `l` returns the [`Relaxation::poisoned`] NaN relaxation — there is no
+/// sound finite band over an interval containing the pole at `0` — so the
+/// verifier fails gracefully via [`crate::Zonotope::has_non_finite`] instead
+/// of panicking mid-certification.
 pub fn reciprocal_relaxation(l: f64, u: f64) -> Relaxation {
-    if !l.is_finite() || !u.is_finite() {
+    if !l.is_finite() || !u.is_finite() || l <= 0.0 {
         return Relaxation::poisoned();
     }
-    assert!(
-        l > 0.0,
-        "reciprocal transformer requires a positive input lower bound, got l = {l}"
-    );
     debug_assert!(l <= u);
+    if l == u {
+        return Relaxation::exact_const(1.0 / l);
+    }
     if u - l < POINT_WIDTH {
-        return Relaxation::exact_const(1.0 / ((l + u) * 0.5));
+        return endpoint_band(1.0 / u, 1.0 / l);
     }
     let t_crit = (u * l).sqrt();
     // Positivity clamp: tangent(u) = (2t − u)/t² > 0 needs t > u/2.
@@ -161,20 +201,20 @@ pub fn reciprocal_relaxation(l: f64, u: f64) -> Relaxation {
 /// shared convex-tangent construction and mirror the result; the output
 /// lower bound is the chord, which is `≥ √l > 0` with no extra clamp.
 ///
-/// # Panics
-///
-/// Panics if `l <= 0` (callers add the layer-norm `ε` first).
+/// A non-positive `l` returns the [`Relaxation::poisoned`] NaN relaxation
+/// (callers add the layer-norm `ε` first, so a non-positive bound means the
+/// abstraction already lost the domain constraint); the verifier then fails
+/// gracefully via [`crate::Zonotope::has_non_finite`].
 pub fn sqrt_relaxation(l: f64, u: f64) -> Relaxation {
-    if !l.is_finite() || !u.is_finite() {
+    if !l.is_finite() || !u.is_finite() || l <= 0.0 {
         return Relaxation::poisoned();
     }
-    assert!(
-        l > 0.0,
-        "sqrt transformer requires a positive input lower bound, got l = {l}"
-    );
     debug_assert!(l <= u);
+    if l == u {
+        return Relaxation::exact_const(l.sqrt());
+    }
     if u - l < POINT_WIDTH {
-        return Relaxation::exact_const(((l + u) * 0.5).sqrt());
+        return endpoint_band(l.sqrt(), u.sqrt());
     }
     // Chord-parallel tangency point of −√ on [l, u]: t = ((√l + √u)/2)².
     let t_opt = (0.5 * (l.sqrt() + u.sqrt())).powi(2);
@@ -250,10 +290,10 @@ impl Activation {
 /// appending one fresh ℓ∞ noise symbol per variable whose relaxation has
 /// `β ≠ 0`.
 ///
-/// # Panics
-///
-/// Panics if `act` is [`Activation::Reciprocal`] and some variable's lower
-/// bound is not strictly positive.
+/// If `act` is [`Activation::Reciprocal`] or [`Activation::Sqrt`] and some
+/// variable's lower bound is not strictly positive, that variable's output
+/// is the poisoned NaN relaxation and the result reports
+/// [`Zonotope::has_non_finite`].
 pub fn apply(z: &Zonotope, act: Activation) -> Zonotope {
     apply_floored(z, act, f64::NEG_INFINITY)
 }
@@ -317,20 +357,16 @@ impl Zonotope {
         apply(self, Activation::Exp)
     }
 
-    /// Reciprocal abstract transformer (§4.6).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any variable may be non-positive.
+    /// Reciprocal abstract transformer (§4.6). Variables that may be
+    /// non-positive poison the output (NaN, reported by
+    /// [`Zonotope::has_non_finite`]).
     pub fn reciprocal(&self) -> Zonotope {
         apply(self, Activation::Reciprocal)
     }
 
     /// Square-root abstract transformer (standard layer norm support).
-    ///
-    /// # Panics
-    ///
-    /// Panics if any variable may be non-positive.
+    /// Variables that may be non-positive poison the output (NaN, reported
+    /// by [`Zonotope::has_non_finite`]).
     pub fn sqrt(&self) -> Zonotope {
         apply(self, Activation::Sqrt)
     }
@@ -427,16 +463,41 @@ mod tests {
         }
     }
 
-    #[test]
-    #[should_panic(expected = "positive input lower bound")]
-    fn sqrt_rejects_nonpositive_inputs() {
-        sqrt_relaxation(0.0, 1.0);
+    fn is_poisoned(r: Relaxation) -> bool {
+        r.mu.is_nan()
     }
 
     #[test]
-    #[should_panic(expected = "positive input lower bound")]
-    fn reciprocal_rejects_nonpositive_inputs() {
-        reciprocal_relaxation(-0.5, 1.0);
+    fn sqrt_poisons_nonpositive_inputs() {
+        // l = 0, l = −ε and l just above 0 (the smallest positive normal):
+        // the first two have no sound finite band, the last must succeed.
+        assert!(is_poisoned(sqrt_relaxation(0.0, 1.0)));
+        assert!(is_poisoned(sqrt_relaxation(-1e-9, 1.0)));
+        assert!(is_poisoned(sqrt_relaxation(-2.0, -1.0)));
+        let r = sqrt_relaxation(f64::MIN_POSITIVE, 1.0);
+        assert!(r.mu.is_finite() && r.beta.is_finite());
+        check_relaxation_sound(Activation::Sqrt, f64::MIN_POSITIVE, 1.0);
+    }
+
+    #[test]
+    fn reciprocal_poisons_nonpositive_inputs() {
+        assert!(is_poisoned(reciprocal_relaxation(0.0, 1.0)));
+        assert!(is_poisoned(reciprocal_relaxation(-1e-9, 1.0)));
+        assert!(is_poisoned(reciprocal_relaxation(-0.5, 1.0)));
+        // The smallest positive normal is in-domain: 1/l is finite (≈4.5e307)
+        // so the band is huge but finite and sound.
+        let r = reciprocal_relaxation(f64::MIN_POSITIVE, 1.0);
+        assert!(r.mu.is_finite() && r.beta.is_finite());
+    }
+
+    #[test]
+    fn nonpositive_domain_poison_propagates_to_zonotope() {
+        // A zonotope straddling zero: reciprocal/sqrt must not panic, and
+        // the output must report non-finite so the verifier fails closed.
+        let c = deept_tensor::Matrix::from_rows(&[&[0.2, 1.0]]);
+        let z = Zonotope::from_lp_ball(&c, 0.5, PNorm::Linf, &[0]);
+        assert!(z.reciprocal().has_non_finite());
+        assert!(z.sqrt().has_non_finite());
     }
 
     #[test]
@@ -447,6 +508,70 @@ mod tests {
         assert_eq!(r.beta, 0.0);
         let r = tanh_relaxation(0.7, 0.7);
         assert!((r.mu - 0.7f64.tanh()).abs() < 1e-12);
+    }
+
+    /// Regression (soundness fuzzer finding): intervals with
+    /// `0 < u − l < POINT_WIDTH` used to collapse to the *midpoint value* as
+    /// an exact constant, excluding `f(l)` and `f(u)` — e.g. `exp` on
+    /// `[l, l + 9e-13]` missed `exp(u)` by ≈ `4.5e-13 · exp(u)`. Degenerate
+    /// intervals must return a band that covers both endpoints pointwise.
+    #[test]
+    fn degenerate_intervals_cover_endpoints() {
+        let cases: &[(Activation, f64)] = &[
+            (Activation::Tanh, 0.3),
+            (Activation::Exp, 2.0),
+            (Activation::Reciprocal, 0.7),
+            (Activation::Sqrt, 1.3),
+        ];
+        for &(act, l) in cases {
+            for w in [9e-13, 1e-13, 5e-16] {
+                let u = l + w;
+                assert!(u > l && u - l < 1e-12, "test setup: degenerate width");
+                let r = act.relaxation(l, u);
+                for x in [l, u, l + 0.5 * w] {
+                    let y = act.eval(x);
+                    let lo = r.lambda * x + r.mu - r.beta;
+                    let hi = r.lambda * x + r.mu + r.beta;
+                    assert!(
+                        lo <= y && y <= hi,
+                        "{act:?} on [{l},{u}] at x={x}: {y} not in [{lo},{hi}]"
+                    );
+                }
+            }
+        }
+        // ReLU across zero with a degenerate width: λ = u/(u−l) would be
+        // ≈ 5e11; the exact range [0, u] must be covered instead.
+        let (l, u) = (-4e-13, 5e-13);
+        let r = relu_relaxation(l, u);
+        for x in [l, 0.0, u] {
+            let y = x.max(0.0);
+            assert!(r.lambda * x + r.mu - r.beta <= y && y <= r.lambda * x + r.mu + r.beta);
+        }
+    }
+
+    /// One-ulp-wide intervals (the adversarial regime of the micro-checker)
+    /// stay sound through every activation.
+    #[test]
+    fn one_ulp_intervals_are_sound() {
+        for (act, l) in [
+            (Activation::Tanh, -0.4f64),
+            (Activation::Exp, 1.0),
+            (Activation::Reciprocal, 0.25),
+            (Activation::Sqrt, 2.0),
+            (Activation::Relu, 1.0),
+        ] {
+            let u = l.next_up();
+            let r = act.relaxation(l, u);
+            for x in [l, u] {
+                let y = act.eval(x);
+                let lo = r.lambda * x + r.mu - r.beta;
+                let hi = r.lambda * x + r.mu + r.beta;
+                assert!(
+                    lo <= y && y <= hi,
+                    "{act:?} on 1-ulp [{l},{u}] at x={x}: {y} not in [{lo},{hi}]"
+                );
+            }
+        }
     }
 
     #[test]

@@ -196,9 +196,13 @@ proptest! {
                 prop_assert_eq!(&z, &expect, "fast/{:?} differs at {} threads", order, threads);
             }
         }
-        // Precise path: bitwise-deterministic across worker counts; centers
-        // match the reference bitwise and bounds match up to the rounding of
-        // the regrouped interval fold.
+        // Precise path: bitwise-deterministic across worker counts. Against
+        // the reference, centers and bounds match only up to the rounding of
+        // the regrouped ε–ε interval fold: the blocked path reduces the
+        // interaction scan to per-row partials while the reference
+        // accumulates flat across the E×E scan, and the interval midpoint
+        // 0.5·(lo+hi) is folded into the center, so the center inherits the
+        // same ulp-level regrouping difference as the bounds.
         let cfg = DotConfig::precise();
         let mut got = Vec::new();
         for threads in [1usize, 2, 8] {
@@ -210,7 +214,9 @@ proptest! {
             prop_assert_eq!(z, &got[0], "precise path varies with worker count");
         }
         let expect = reference::zono_matmul(&a, &b, cfg);
-        prop_assert_eq!(got[0].center(), expect.center());
+        for (c, rc) in got[0].center().iter().zip(expect.center()) {
+            prop_assert!((c - rc).abs() <= 1e-9, "center {c} vs reference {rc}");
+        }
         let (lo, hi) = got[0].bounds();
         let (rlo, rhi) = expect.bounds();
         for k in 0..lo.len() {

@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn bit_distinct_radii_are_distinct_keys() {
         let mut c = LruCache::new(4);
-        let eps = 0.1;
+        let eps = 0.1f64;
         let nudged = f64::from_bits(eps.to_bits() + 1);
         c.insert(key(eps), 1u32);
         assert_eq!(c.get(&key(nudged)), None);

@@ -34,7 +34,7 @@ use std::time::Duration;
 use deept_core::PNorm;
 use deept_telemetry::{NoopProbe, Probe, ServerCounters, TraceCollector};
 use deept_verifier::deadline::{Deadline, DeadlineExceeded};
-use deept_verifier::deept::{certify_deadline, certify_deadline_probed, DeepTConfig};
+use deept_verifier::deept::{certify_deadline_probed, DeepTConfig};
 use deept_verifier::network::t1_region;
 use deept_verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
 

@@ -197,8 +197,13 @@ fn queue_overflow_rejects_with_overloaded_and_server_survives() {
         "unexpected responses: {responses:?}"
     );
     assert!(overloaded >= 1, "expected backpressure, got {responses:?}");
+    // At least one request is accepted and an accepted job always runs to
+    // completion. Two successes are *likely* (the worker usually dequeues
+    // the first job before the stragglers are rejected, freeing the queue
+    // slot) but not guaranteed: on a single-CPU host all five remaining
+    // submissions can be rejected before the worker thread gets a slice.
     assert!(
-        succeeded >= 2,
+        succeeded >= 1,
         "expected some completions, got {responses:?}"
     );
 
@@ -240,6 +245,70 @@ fn expired_deadline_times_out_without_hanging() {
     let ok = client.send(&eps_request(1e-4)).expect("certify");
     assert!(matches!(ok, Response::Certify { cached: false, .. }));
     assert!(server.stats().deadline_aborts >= 1);
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// Regression (soundness hardening): the cache key is
+/// `(fingerprint, tokens, position, norm, variant, query)` — it does *not*
+/// include the deadline. If a radius search interrupted mid-iteration ever
+/// cached its partial lower bound, a later identical request with a generous
+/// (or no) deadline would replay the partial radius as the final answer.
+/// Timeouts must therefore never populate the cache: after a timed-out
+/// search, the same query must be recomputed in full, and only the complete
+/// result may be cached and replayed.
+#[test]
+fn timed_out_radius_search_is_never_cached_as_final() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 2);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    // A 25 ms budget expires inside the radius iterations of this precise
+    // search (the radius-0 sanity check and possibly a few bracket queries
+    // complete first, so a partial lower bound exists to leak).
+    let bounded = client
+        .send(&radius_request(0.01, 24, Some(25)))
+        .expect("send");
+    match &bounded {
+        Response::Error { code, message } => {
+            assert_eq!(*code, ErrorCode::Timeout, "{message}");
+        }
+        // On a fast machine the search may finish inside the budget; then
+        // there is nothing partial to leak and the test is vacuous but
+        // still checks cache coherence below.
+        Response::Certify { .. } => {}
+        other => panic!("expected timeout or completion, got {other:?}"),
+    }
+    let timed_out = matches!(bounded, Response::Error { .. });
+
+    // The identical query without a deadline: if the timeout had been
+    // cached, this would be a (partial!) cache hit — it must be a fresh,
+    // complete computation instead.
+    let full = client.send(&radius_request(0.01, 24, None)).expect("send");
+    match &full {
+        Response::Certify { cached, result, .. } => {
+            if timed_out {
+                assert!(!cached, "timed-out search must not have been cached");
+            }
+            match result {
+                CertifyResult::Radius { queries, .. } => {
+                    // A complete 24-iteration search: sanity check + bracket
+                    // growth + 24 bisections.
+                    assert!(*queries >= 25, "suspiciously few queries: {queries}");
+                }
+                other => panic!("expected radius result, got {other:?}"),
+            }
+        }
+        other => panic!("expected certify response, got {other:?}"),
+    }
+
+    // Only the complete result is cached, and it replays bitwise.
+    let replay = client.send(&radius_request(0.01, 24, None)).expect("send");
+    assert!(is_cached(&replay), "complete result must be cached");
+    assert_eq!(result_json(&replay), result_json(&full));
+    if timed_out {
+        assert!(server.stats().deadline_aborts >= 1);
+    }
 
     client.send(&Request::Shutdown).expect("shutdown");
     handle.join().expect("server thread");

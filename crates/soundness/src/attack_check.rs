@@ -1,0 +1,70 @@
+//! Attack/certificate consistency: no attack may succeed strictly below a
+//! certified radius.
+//!
+//! Certification claims that *every* point of the ℓp ball classifies as the
+//! predicted label; the randomized attack searches for a counterexample. If
+//! the attack finds an adversarial point at a radius strictly below the
+//! certified one, the certificate is unsound — a hard failure, not a
+//! precision question.
+
+use deept_core::PNorm;
+use deept_nn::transformer::TransformerClassifier;
+use deept_verifier::attack::attack_t1;
+use deept_verifier::deept::{certify, DeepTConfig};
+use deept_verifier::network::{t1_region, VerifiableTransformer};
+use deept_verifier::radius::max_certified_radius;
+use rand::Rng;
+
+/// A successful attack strictly inside a certified region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackViolation {
+    /// The radius the verifier certified.
+    pub certified_radius: f64,
+    /// The strictly smaller radius at which the attack flipped the label.
+    pub attack_radius: f64,
+}
+
+/// Certifies the maximum radius for one instance, then attacks strictly
+/// below it.
+///
+/// The attack is launched at several fractions of the certified radius
+/// (deep inside the ball and just under its surface), with `samples` random
+/// probes each. Returns the violation if any attack succeeds; `None` means
+/// the certificate survived falsification. Instances whose certified radius
+/// is `0` (nothing claimed) are vacuously consistent.
+#[allow(clippy::too_many_arguments)]
+pub fn check_attack_consistency(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    position: usize,
+    p: PNorm,
+    cfg: &DeepTConfig,
+    search_iters: usize,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Option<AttackViolation> {
+    let net = VerifiableTransformer::from(model);
+    let emb = model.embed(tokens);
+    let pred = model.predict(tokens);
+    let certified = max_certified_radius(
+        |r| {
+            let region = t1_region(&emb, position, r, p);
+            certify(&net, &region, pred, cfg).certified
+        },
+        0.01,
+        search_iters,
+    );
+    if certified <= 0.0 {
+        return None;
+    }
+    for frac in [0.25, 0.5, 0.75, 0.9, 0.99] {
+        let attack_radius = frac * certified;
+        if attack_t1(model, tokens, position, attack_radius, p, samples, rng).is_some() {
+            return Some(AttackViolation {
+                certified_radius: certified,
+                attack_radius,
+            });
+        }
+    }
+    None
+}

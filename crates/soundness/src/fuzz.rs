@@ -1,0 +1,158 @@
+//! Orchestrates one seeded fuzzing run across all three soundness checks.
+
+use deept_core::PNorm;
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_verifier::deept::DeepTConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::attack_check::{check_attack_consistency, AttackViolation};
+use crate::containment::{check_containment, ContainmentViolation};
+use crate::microcheck::{
+    check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
+};
+
+/// Parameters of one fuzzing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzConfig {
+    /// Seed for the deterministic RNG; the same seed always replays the
+    /// same cases.
+    pub seed: u64,
+    /// Number of randomized cases per check family.
+    pub cases: usize,
+}
+
+/// Everything one fuzzing run found.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// The seed that produced this report.
+    pub seed: u64,
+    /// Relaxation micro-checker intervals examined.
+    pub relaxation_cases: usize,
+    /// Pointwise relaxation violations.
+    pub relaxation_violations: Vec<RelaxationViolation>,
+    /// Dot/softmax transformer cases examined.
+    pub transformer_cases: usize,
+    /// Transformer containment escapes.
+    pub transformer_violations: Vec<TransformerViolation>,
+    /// Concrete samples driven through the containment harness.
+    pub containment_samples: usize,
+    /// Differential containment violations.
+    pub containment_violations: Vec<ContainmentViolation>,
+    /// Certified instances attacked below their certified radius.
+    pub attack_instances: usize,
+    /// Attacks that succeeded strictly below a certified radius.
+    pub attack_violations: Vec<AttackViolation>,
+}
+
+impl FuzzReport {
+    /// Total violations across all check families.
+    pub fn total_violations(&self) -> usize {
+        self.relaxation_violations.len()
+            + self.transformer_violations.len()
+            + self.containment_violations.len()
+            + self.attack_violations.len()
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed {}: relaxations {}/{} cases violated, transformers {}/{} cases violated, \
+             containment {} violations over {} samples, attacks-below-certified {} over {} instances",
+            self.seed,
+            self.relaxation_violations.len(),
+            self.relaxation_cases,
+            self.transformer_violations.len(),
+            self.transformer_cases,
+            self.containment_violations.len(),
+            self.containment_samples,
+            self.attack_violations.len(),
+            self.attack_instances,
+        )
+    }
+}
+
+fn fuzz_model(ln: LayerNormKind, layers: usize, seed: u64) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 13,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 12,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: ln,
+        },
+        &mut rng,
+    )
+}
+
+/// Runs the full soundness fuzzing battery under one seed.
+///
+/// * relaxation micro-checks: `cases` random intervals per activation;
+/// * transformer micro-checks: `cases` random zonotope instances;
+/// * differential containment: six model/norm/verifier combinations (both
+///   layer-norm flavours, all three norms, Fast and Precise dot products),
+///   `cases / 8 + 2` concrete samples each;
+/// * attack consistency: every combination certified to its maximum radius,
+///   then attacked strictly below it.
+pub fn run(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut report = FuzzReport {
+        seed: cfg.seed,
+        ..FuzzReport::default()
+    };
+
+    report.relaxation_cases = cfg.cases;
+    report.relaxation_violations = check_relaxations(cfg.cases, &mut rng);
+
+    report.transformer_cases = cfg.cases;
+    report.transformer_violations = check_transformers(cfg.cases, &mut rng);
+
+    // Differential containment + attack consistency over a small matrix of
+    // instances: both layer-norm flavours (standard layer norm exercises the
+    // √/reciprocal concretization), every norm, Fast and Precise verifiers,
+    // random token sequences and perturbed positions.
+    let combos: [(LayerNormKind, PNorm, DeepTConfig); 6] = [
+        (LayerNormKind::NoStd, PNorm::L1, DeepTConfig::fast(4000)),
+        (LayerNormKind::NoStd, PNorm::L2, DeepTConfig::precise(500)),
+        (LayerNormKind::NoStd, PNorm::Linf, DeepTConfig::fast(16)),
+        (
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::L1,
+            DeepTConfig::fast(4000),
+        ),
+        (
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::L2,
+            DeepTConfig::combined(500),
+        ),
+        (
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::Linf,
+            DeepTConfig::fast(4000),
+        ),
+    ];
+    let samples = cfg.cases / 8 + 2;
+    for (i, (ln, p, vcfg)) in combos.iter().enumerate() {
+        let model = fuzz_model(*ln, 2, cfg.seed.wrapping_add(i as u64));
+        let len = rng.gen_range(3..=5usize);
+        let tokens: Vec<usize> = (0..len).map(|_| rng.gen_range(0..13usize)).collect();
+        let position = rng.gen_range(0..len);
+        let radius = [0.01, 0.05, 0.2][rng.gen_range(0..3usize)];
+        report.containment_samples += samples;
+        report.containment_violations.extend(check_containment(
+            &model, &tokens, position, radius, *p, vcfg, samples, &mut rng,
+        ));
+
+        report.attack_instances += 1;
+        if let Some(v) =
+            check_attack_consistency(&model, &tokens, position, *p, vcfg, 12, 200, &mut rng)
+        {
+            report.attack_violations.push(v);
+        }
+    }
+    report
+}

@@ -1,0 +1,41 @@
+//! Differential soundness fuzzing for the DeepT verifier.
+//!
+//! Everything in this repository rests on one invariant: **the abstract
+//! output of every transformer contains every concrete output**. This crate
+//! attacks that invariant from three directions and turns every surviving
+//! counterexample into a named bug:
+//!
+//! * [`containment`] — the differential containment harness. It propagates
+//!   an input region abstractly, capturing the per-stage zonotopes through
+//!   [`deept_verifier::deept::SoundnessProbe`], then drives concrete
+//!   perturbed embeddings (sampled inside the certified ℓp ball) through the
+//!   concrete encoder layer by layer and asserts each intermediate
+//!   activation lies within the matching zonotope's interval bounds.
+//! * [`attack_check`] — attack/certificate consistency. For every certified
+//!   instance it runs the randomized attack strictly *below* the certified
+//!   radius; a successful attack there is a hard soundness failure.
+//! * [`microcheck`] — relaxation micro-checker. Dense grids over randomized
+//!   `[l, u]` intervals for each elementwise relaxation (relu / tanh / exp /
+//!   reciprocal / √) and sampled noise points for the dot-product and
+//!   softmax transformers, including the adversarial regimes that broke
+//!   early versions: `l == u`, `u − l < 1e-12`, endpoints at or near `0`
+//!   for reciprocal/√, and ±1-ulp endpoint nudges.
+//!
+//! [`fuzz`] orchestrates all three under one seed; the CLI exposes it as
+//! `deept fuzz-soundness --seed N --cases M`, and CI runs fixed seeds on
+//! every change.
+
+#![deny(clippy::print_stdout)]
+#![warn(missing_docs)]
+
+pub mod attack_check;
+pub mod containment;
+pub mod fuzz;
+pub mod microcheck;
+
+pub use attack_check::{check_attack_consistency, AttackViolation};
+pub use containment::{check_containment, ContainmentViolation, SnapshotCollector};
+pub use fuzz::{run, FuzzConfig, FuzzReport};
+pub use microcheck::{
+    check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
+};

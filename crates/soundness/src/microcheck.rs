@@ -1,0 +1,313 @@
+//! Relaxation and transformer micro-checker.
+//!
+//! Elementwise relaxations are checked pointwise on dense grids over
+//! randomized `[l, u]` intervals, with dedicated adversarial regimes:
+//! `l == u`, widths below `1e-12` (where early versions collapsed to an
+//! unsound midpoint constant), endpoints at or near `0` for reciprocal/√,
+//! and ±1-ulp endpoint nudges. The dot-product and softmax transformers are
+//! checked by sampling noise instantiations of random zonotopes and
+//! asserting the concrete results stay inside the abstract bounds.
+
+use deept_core::dot::{zono_matmul, DotConfig};
+use deept_core::elementwise::{Activation, Relaxation};
+use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::Matrix;
+use rand::Rng;
+
+/// A concrete function value that escaped its relaxation band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxationViolation {
+    /// The activation whose relaxation was violated.
+    pub activation: Activation,
+    /// Interval lower endpoint.
+    pub l: f64,
+    /// Interval upper endpoint.
+    pub u: f64,
+    /// The input point inside `[l, u]`.
+    pub x: f64,
+    /// The concrete function value `f(x)`.
+    pub value: f64,
+    /// Relaxation band lower bound at `x`.
+    pub lo: f64,
+    /// Relaxation band upper bound at `x`.
+    pub hi: f64,
+}
+
+/// A concrete transformer output that escaped the abstract bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformerViolation {
+    /// Which transformer: `"dot/fast"`, `"dot/precise"`, `"softmax"` or
+    /// `"softmax/no-refine"`.
+    pub transformer: String,
+    /// Flat variable index in the output.
+    pub index: usize,
+    /// The concrete value.
+    pub value: f64,
+    /// Abstract lower bound.
+    pub lo: f64,
+    /// Abstract upper bound.
+    pub hi: f64,
+}
+
+const ACTIVATIONS: [Activation; 5] = [
+    Activation::Relu,
+    Activation::Tanh,
+    Activation::Exp,
+    Activation::Reciprocal,
+    Activation::Sqrt,
+];
+
+fn needs_positive_domain(act: Activation) -> bool {
+    matches!(act, Activation::Reciprocal | Activation::Sqrt)
+}
+
+fn is_poisoned(r: &Relaxation) -> bool {
+    r.mu.is_nan()
+}
+
+/// Pointwise tolerance: the relaxation construction and the band evaluation
+/// `λ·x + μ ± β` each round a handful of times, so soundness is asserted up
+/// to a few dozen ulps of the participating magnitudes. This is ~`1e-14`
+/// relative — strict enough to catch the historical midpoint-collapse bug
+/// (≈ `5e-13` relative) while ignoring genuine last-ulp rounding.
+fn band_tol(lambda: f64, x: f64, mu: f64, beta: f64, y: f64) -> f64 {
+    64.0 * f64::EPSILON * (1.0 + (lambda * x).abs() + mu.abs() + beta.abs() + y.abs())
+}
+
+fn check_point(
+    act: Activation,
+    r: &Relaxation,
+    l: f64,
+    u: f64,
+    x: f64,
+) -> Option<RelaxationViolation> {
+    let y = act.eval(x);
+    let lo = r.lambda * x + r.mu - r.beta;
+    let hi = r.lambda * x + r.mu + r.beta;
+    let tol = band_tol(r.lambda, x, r.mu, r.beta, y);
+    if y < lo - tol || y > hi + tol {
+        return Some(RelaxationViolation {
+            activation: act,
+            l,
+            u,
+            x,
+            value: y,
+            lo,
+            hi,
+        });
+    }
+    None
+}
+
+/// Grid over `[l, u]`: evenly spaced interior points plus the endpoints and
+/// their one-ulp interior neighbours (where inward-rounded bands fail
+/// first).
+fn grid(l: f64, u: f64) -> Vec<f64> {
+    let mut pts = vec![l, u, l.next_up().min(u), u.next_down().max(l)];
+    let steps = 61;
+    for i in 1..steps {
+        let x = l + (u - l) * i as f64 / steps as f64;
+        if x.is_finite() && x >= l && x <= u {
+            pts.push(x);
+        }
+    }
+    pts
+}
+
+fn check_interval(act: Activation, l: f64, u: f64, out: &mut Vec<RelaxationViolation>) {
+    let r = act.relaxation(l, u);
+    if is_poisoned(&r) {
+        // Poisoning is the *correct* response for out-of-domain inputs; a
+        // finite band there would be the bug. In-domain poisoning is
+        // over-conservative but sound, so it is never a violation.
+        return;
+    }
+    if needs_positive_domain(act) && l <= 0.0 {
+        // A finite band over an interval containing the domain boundary can
+        // never be sound (the function is unbounded or undefined there).
+        out.push(RelaxationViolation {
+            activation: act,
+            l,
+            u,
+            x: l,
+            value: f64::NAN,
+            lo: r.lambda * l + r.mu - r.beta,
+            hi: r.lambda * l + r.mu + r.beta,
+        });
+        return;
+    }
+    for x in grid(l, u) {
+        if let Some(v) = check_point(act, &r, l, u, x) {
+            out.push(v);
+        }
+    }
+}
+
+/// One random interval per regime index, cycling through the adversarial
+/// regimes.
+fn interval_for(act: Activation, case: usize, rng: &mut impl Rng) -> (f64, f64) {
+    let positive = needs_positive_domain(act);
+    let base_l = if positive {
+        rng.gen_range(1e-3f64..4.0)
+    } else {
+        rng.gen_range(-6.0f64..6.0)
+    };
+    match case % 6 {
+        // Wide random interval.
+        0 => (base_l, base_l + rng.gen_range(0.001f64..8.0)),
+        // Degenerate width below the 1e-12 point threshold.
+        1 => {
+            let w = 10f64.powf(rng.gen_range(-16.0f64..-12.1));
+            (base_l, base_l + w)
+        }
+        // Exact point.
+        2 => (base_l, base_l),
+        // One-ulp interval.
+        3 => (base_l, base_l.next_up()),
+        // Near-zero lower endpoint (domain boundary for reciprocal/√; a
+        // deep-negative/tiny interval for the rest).
+        4 => {
+            let l = [f64::MIN_POSITIVE, 1e-300, 1e-18, 1e-9][rng.gen_range(0..4usize)];
+            let l = if positive {
+                l
+            } else {
+                l - rng.gen_range(0.0f64..2.0)
+            };
+            (l, l + rng.gen_range(0.0f64..1.0))
+        }
+        // Out-of-domain lower endpoint: l = 0, l = −ε, plain negative.
+        _ => {
+            let l = [0.0, -f64::MIN_POSITIVE, -1e-15, -0.5][rng.gen_range(0..4usize)];
+            (l, l + rng.gen_range(0.1f64..2.0))
+        }
+    }
+}
+
+/// Runs `cases` randomized interval checks against every elementwise
+/// relaxation, returning all pointwise violations found. Out-of-domain
+/// intervals (reciprocal/√ with `l ≤ 0`) must come back poisoned; a finite
+/// band there is itself recorded as a violation by [`check_interval`].
+pub fn check_relaxations(cases: usize, rng: &mut impl Rng) -> Vec<RelaxationViolation> {
+    let mut out = Vec::new();
+    for case in 0..cases {
+        for act in ACTIVATIONS {
+            let (l, u) = interval_for(act, case, rng);
+            check_interval(act, l, u, &mut out);
+        }
+    }
+    out
+}
+
+fn random_zono(
+    rows: usize,
+    cols: usize,
+    num_phi: usize,
+    num_eps: usize,
+    p: PNorm,
+    rng: &mut impl Rng,
+) -> Zonotope {
+    let n = rows * cols;
+    let center: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+    let phi: Vec<f64> = (0..n * num_phi)
+        .map(|_| rng.gen_range(-0.4f64..0.4))
+        .collect();
+    let eps: Vec<f64> = (0..n * num_eps)
+        .map(|_| rng.gen_range(-0.4f64..0.4))
+        .collect();
+    Zonotope::from_parts(
+        rows,
+        cols,
+        center,
+        Matrix::from_vec(n, num_phi, phi).expect("sized"),
+        Matrix::from_vec(n, num_eps, eps).expect("sized"),
+        p,
+    )
+}
+
+fn record_escapes(
+    transformer: &str,
+    out_z: &Zonotope,
+    concrete: &[f64],
+    out: &mut Vec<TransformerViolation>,
+) {
+    let (lo, hi) = out_z.bounds();
+    for (k, &v) in concrete.iter().enumerate() {
+        // Same slack as the crate-level propagation proptests: the abstract
+        // and concrete evaluations accumulate rounding independently.
+        let tol = 1e-8 * (1.0 + v.abs());
+        if v < lo[k] - tol || v > hi[k] + tol {
+            out.push(TransformerViolation {
+                transformer: transformer.to_string(),
+                index: k,
+                value: v,
+                lo: lo[k],
+                hi: hi[k],
+            });
+        }
+    }
+}
+
+/// Runs `cases` randomized soundness checks against the dot-product
+/// transformer (Fast and Precise) and the softmax transformer (with and
+/// without sum refinement), returning all containment escapes.
+pub fn check_transformers(cases: usize, rng: &mut impl Rng) -> Vec<TransformerViolation> {
+    let mut out = Vec::new();
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    for _ in 0..cases {
+        let p = norms[rng.gen_range(0..3usize)];
+
+        // Dot-product transformer on (n×k)·(k×m) with mismatched ε counts
+        // (the transformer pads the narrower operand).
+        let (n, k, m) = (
+            rng.gen_range(1..=3usize),
+            rng.gen_range(1..=3usize),
+            rng.gen_range(1..=3usize),
+        );
+        let a = random_zono(n, k, 2, rng.gen_range(1..=4usize), p, rng);
+        let b = random_zono(k, m, 2, rng.gen_range(1..=4usize), p, rng);
+        for (name, cfg) in [
+            ("dot/fast", DotConfig::fast()),
+            ("dot/precise", DotConfig::precise()),
+        ] {
+            let prod = zono_matmul(&a, &b, cfg);
+            for s in 0..8 {
+                let (phi, eps) = if s % 2 == 0 {
+                    prod.sample_noise(rng)
+                } else {
+                    prod.sample_extreme_noise(rng)
+                };
+                let va = a.evaluate(&phi, &eps[..a.num_eps()]);
+                let vb = b.evaluate(&phi, &eps[..b.num_eps()]);
+                let am = Matrix::from_vec(n, k, va).expect("sized");
+                let bm = Matrix::from_vec(k, m, vb).expect("sized");
+                let exact = am.matmul(&bm);
+                record_escapes(name, &prod, exact.as_slice(), &mut out);
+            }
+        }
+
+        // Softmax transformer, rows × cols up to 3 × 4.
+        let (rows, cols) = (rng.gen_range(1..=3usize), rng.gen_range(2..=4usize));
+        let z = random_zono(rows, cols, 2, rng.gen_range(1..=3usize), p, rng);
+        for (name, cfg) in [
+            ("softmax", SoftmaxConfig::default()),
+            ("softmax/no-refine", SoftmaxConfig::without_refinement()),
+        ] {
+            let sm = softmax_rows(&z, cfg);
+            for s in 0..8 {
+                let (phi, eps) = if s % 2 == 0 {
+                    sm.sample_noise(rng)
+                } else {
+                    sm.sample_extreme_noise(rng)
+                };
+                let vals = z.evaluate(&phi, &eps[..z.num_eps()]);
+                let mut concrete = vals;
+                for r in 0..rows {
+                    deept_tensor::ops::softmax_in_place(&mut concrete[r * cols..(r + 1) * cols]);
+                }
+                record_escapes(name, &sm, &concrete, &mut out);
+            }
+        }
+    }
+    out
+}

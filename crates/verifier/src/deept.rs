@@ -79,10 +79,52 @@ impl DeepTConfig {
     }
 }
 
+/// Observer of the per-stage abstract states of a propagation, used by the
+/// differential containment harness (the `deept-soundness` crate).
+///
+/// Unlike [`deept_telemetry::Probe`] — which lives *below* `deept-core` in
+/// the crate graph and can therefore only see scalar statistics — this trait
+/// receives the [`Zonotope`]s themselves, so a harness can compare each
+/// abstract state against the matching concrete activation. Observers only
+/// read: every hook takes `&Zonotope` immediately after the state is
+/// computed, on the same value the propagation continues with, so the
+/// returned logits are bitwise identical whether or not snapshots are taken.
+pub trait SoundnessProbe {
+    /// The input region, before any encoder layer.
+    fn input(&mut self, _z: &Zonotope) {}
+    /// The abstract state after encoder layer `i` (its input reduction, if
+    /// any, has already been applied — reduction only loosens, so the layer
+    /// output still contains every concrete layer output).
+    fn layer_output(&mut self, _i: usize, _z: &Zonotope) {}
+    /// The final logits zonotope (`1 × classes`). Also called on the
+    /// non-finite early exit, with the unbounded logits placeholder.
+    fn logits(&mut self, _z: &Zonotope) {}
+}
+
+/// A [`SoundnessProbe`] that drops every snapshot (the default path).
+pub struct NoSnapshots;
+
+impl SoundnessProbe for NoSnapshots {}
+
 /// Propagates an input-region zonotope through the whole network and returns
 /// the logits zonotope (`1 × classes`).
 pub fn propagate(net: &VerifiableTransformer, input: &Zonotope, cfg: &DeepTConfig) -> Zonotope {
     propagate_probed(net, input, cfg, &NoopProbe)
+}
+
+/// [`propagate`] with per-stage zonotope snapshots delivered to `snap`; see
+/// [`SoundnessProbe`]. The returned logits are bitwise identical to
+/// [`propagate`].
+pub fn propagate_with_snapshots(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    snap: &mut dyn SoundnessProbe,
+) -> Zonotope {
+    match propagate_inner(net, input, cfg, Deadline::none(), &NoopProbe, snap) {
+        Ok(out) => out,
+        Err(DeadlineExceeded) => unreachable!("Deadline::none() never expires"),
+    }
 }
 
 /// [`propagate`] with telemetry: every encoder layer, abstract transformer
@@ -123,7 +165,7 @@ pub fn propagate_deadline_probed(
 ) -> Result<Zonotope, DeadlineExceeded> {
     probe.span_enter(SpanKind::Propagate);
     let par = probe.enabled().then(parallel::snapshot);
-    let out = propagate_inner(net, input, cfg, deadline, probe);
+    let out = propagate_inner(net, input, cfg, deadline, probe, &mut NoSnapshots);
     if let Some(before) = par {
         probe.parallel(parallel_stats_since(&before));
     }
@@ -141,8 +183,10 @@ fn propagate_inner(
     cfg: &DeepTConfig,
     deadline: Deadline,
     probe: &dyn Probe,
+    snap: &mut dyn SoundnessProbe,
 ) -> Result<Zonotope, DeadlineExceeded> {
     let mut x = input.clone();
+    snap.input(&x);
     let last = net.layers.len().saturating_sub(1);
     for (i, layer) in net.layers.iter().enumerate() {
         // Cancellation checkpoint: between layers, never mid-transformer,
@@ -181,11 +225,14 @@ fn propagate_inner(
         }
         let stats = probe.enabled().then(|| x.telemetry_stats());
         probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
+        snap.layer_output(i, &x);
         if x.has_non_finite() {
             // Bounds blew up (e.g. exp overflow): report unbounded logits so
             // certification fails gracefully.
             let inf = Matrix::full(1, net.num_classes, f64::INFINITY);
-            return Ok(Zonotope::constant(&inf, x.p()));
+            let unbounded = Zonotope::constant(&inf, x.p());
+            snap.logits(&unbounded);
+            return Ok(unbounded);
         }
     }
     deadline.check()?;
@@ -205,6 +252,7 @@ fn propagate_inner(
     }
     let stats = probe.enabled().then(|| logits.telemetry_stats());
     probe.span_exit(SpanKind::Pooling, stats, 0);
+    snap.logits(&logits);
     Ok(logits)
 }
 
@@ -389,9 +437,18 @@ fn layer_norm_abstract(
             for r in 0..n_rows {
                 let l = lv[r].max(epsilon);
                 let u = uv[r].max(epsilon);
-                let (hi, lo) = (1.0 / l.sqrt(), 1.0 / u.sqrt());
-                center.set(r, 0, 0.5 * (hi + lo));
-                radii.set(r, 0, 0.5 * (hi - lo));
+                // Outward-rounded interval. Each endpoint of 1/√· carries up
+                // to ~1.5 ulp of rounding (√ then divide) and the midpoint
+                // and radius arithmetic round again; the old radius
+                // 0.5·(hi − lo) rounded *inward*, so a concrete 1/√var at an
+                // interval endpoint could land strictly outside the
+                // represented box. Widen the endpoints by two ulps and take
+                // the directed maximum distance from the centre, nudged up.
+                let hi = (1.0 / l.sqrt()).next_up().next_up();
+                let lo = (1.0 / u.sqrt()).next_down().next_down();
+                let mid = 0.5 * (hi + lo);
+                center.set(r, 0, mid);
+                radii.set(r, 0, (hi - mid).max(mid - lo).next_up());
             }
             let boxed = Zonotope::from_box(&center, &radii, x.p());
             // Align symbol spaces: the boxed interval shares no φ/ε with x,

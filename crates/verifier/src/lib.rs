@@ -62,7 +62,7 @@ pub mod radius;
 pub mod synonym;
 
 pub use deadline::{Deadline, DeadlineExceeded};
-pub use deept::DeepTConfig;
+pub use deept::{DeepTConfig, NoSnapshots, SoundnessProbe};
 pub use network::{CertResult, VerifiableTransformer};
 pub use radius::{
     max_certified_radius, max_certified_radius_deadline, max_certified_radius_probed, RadiusOutcome,

@@ -88,32 +88,43 @@ pub fn max_certified_radius_deadline(
 ) -> RadiusOutcome {
     assert!(start > 0.0, "start radius must be positive");
     probe.span_enter(SpanKind::RadiusSearch);
+    let mut queries = 0;
     let mut iteration = 0;
-    let mut check = |radius: f64| -> Result<bool, DeadlineExceeded> {
+    // `record = false` for the radius-0 misclassification sanity check: it
+    // is a plain classification query, not a step of the §6.1 binary
+    // search, so it gets neither a radius_iter span nor a RadiusStep (all
+    // recorded steps therefore have a strictly positive radius).
+    let mut check = |radius: f64, record: bool| -> Result<bool, DeadlineExceeded> {
         deadline.check()?;
-        probe.span_enter(SpanKind::RadiusIter(iteration));
-        let result = verify(radius);
-        probe.span_exit(SpanKind::RadiusIter(iteration), None, 0);
-        let certified = result?;
-        probe.radius_step(RadiusStep {
-            iteration,
-            radius,
-            certified,
-        });
-        iteration += 1;
+        let certified = if record {
+            probe.span_enter(SpanKind::RadiusIter(iteration));
+            let result = verify(radius);
+            probe.span_exit(SpanKind::RadiusIter(iteration), None, 0);
+            let certified = result?;
+            probe.radius_step(RadiusStep {
+                iteration,
+                radius,
+                certified,
+            });
+            iteration += 1;
+            certified
+        } else {
+            verify(radius)?
+        };
+        queries += 1;
         Ok(certified)
     };
     // Largest radius certified so far, kept outside the search body so a
     // timeout can still report it.
     let mut best = 0.0;
     let result = (|| -> Result<f64, DeadlineExceeded> {
-        if !check(0.0)? {
+        if !check(0.0, false)? {
             return Ok(0.0);
         }
         let mut lo = 0.0;
         let mut hi = start;
         let mut grow = 0;
-        while check(hi)? && grow < 40 {
+        while check(hi, true)? && grow < 40 {
             lo = hi;
             best = lo;
             hi *= 2.0;
@@ -124,7 +135,7 @@ pub fn max_certified_radius_deadline(
         }
         for _ in 0..iters {
             let mid = 0.5 * (lo + hi);
-            if check(mid)? {
+            if check(mid, true)? {
                 lo = mid;
                 best = lo;
             } else {
@@ -134,7 +145,6 @@ pub fn max_certified_radius_deadline(
         Ok(lo)
     })();
     probe.span_exit(SpanKind::RadiusSearch, None, 0);
-    let queries = iteration;
     match result {
         Ok(r) => RadiusOutcome::Completed(r),
         Err(DeadlineExceeded) => RadiusOutcome::TimedOut {

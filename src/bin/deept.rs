@@ -14,6 +14,7 @@
 //!               --certify --model-id id --tokens "1 2 3" [--eps 1e-4 | --radius-search]
 //!               [--start 0.01] [--iters 16] [--position 0] [--norm l2]
 //!               [--variant fast] [--deadline-ms N] [--trace-response])
+//! deept fuzz-soundness [--seed N | --seed A..B] [--cases M]
 //! deept --trace trace.json
 //! ```
 //!
@@ -73,11 +74,12 @@ fn main() -> ExitCode {
         Some("export-model") => cmd_export_model(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("fuzz-soundness") => cmd_fuzz_soundness(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
-                "usage: deept <train|certify|synonyms|export-model|serve|request> [options] \
-                 | deept --trace <path>  (see --help in source)"
+                "usage: deept <train|certify|synonyms|export-model|serve|request|fuzz-soundness> \
+                 [options] | deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
         }
@@ -580,6 +582,61 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     if let Response::Error { code, message } = &response {
         return Err(format!("server returned {code:?}: {message}"));
     }
+    Ok(())
+}
+
+/// `deept fuzz-soundness [--seed N | --seed A..B] [--cases M]`
+///
+/// Runs the differential soundness fuzzer of `deept::soundness` — the
+/// relaxation/transformer micro-checker, the concrete-vs-abstract
+/// containment harness and the attack-below-certified-radius consistency
+/// gate — under one or more deterministic seeds. Exits nonzero if any
+/// violation is found, printing each one.
+fn cmd_fuzz_soundness(args: &[String]) -> Result<(), String> {
+    let spec = flag(args, "--seed").unwrap_or_else(|| "0".into());
+    let seeds: Vec<u64> = if let Some((a, b)) = spec.split_once("..") {
+        let a: u64 = a
+            .trim()
+            .parse()
+            .map_err(|_| "--seed range start must be a number")?;
+        let b: u64 = b
+            .trim()
+            .parse()
+            .map_err(|_| "--seed range end must be a number")?;
+        if b < a {
+            return Err("--seed range must be ascending (A..B, inclusive)".into());
+        }
+        (a..=b).collect()
+    } else {
+        vec![spec.parse().map_err(|_| "--seed must be N or A..B")?]
+    };
+    let cases: usize = flag(args, "--cases")
+        .map(|s| s.parse().map_err(|_| "--cases must be a number"))
+        .transpose()?
+        .unwrap_or(200);
+
+    let mut total = 0usize;
+    for seed in seeds {
+        let report = deept::soundness::run(&deept::soundness::FuzzConfig { seed, cases });
+        println!("{}", report.summary());
+        for v in &report.relaxation_violations {
+            println!("  relaxation violation: {v:?}");
+        }
+        for v in &report.transformer_violations {
+            println!("  transformer violation: {v:?}");
+        }
+        for v in &report.containment_violations {
+            println!("  containment violation: {v:?}");
+        }
+        for v in &report.attack_violations {
+            println!("  attack-below-certified-radius: {v:?}");
+        }
+        total += report.total_violations();
+    }
+    if total > 0 {
+        return Err(format!("soundness fuzzing found {total} violation(s)"));
+    }
+    println!("soundness fuzzing clean: 0 violations");
     Ok(())
 }
 

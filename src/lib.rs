@@ -17,7 +17,10 @@
 //!   verifier entry point);
 //! * [`serve`] — the batched certification service: JSON-lines protocol,
 //!   bounded job queue, LRU result cache and deadline-aware workers
-//!   (`deept serve` / `deept request`).
+//!   (`deept serve` / `deept request`);
+//! * [`soundness`] — differential soundness fuzzing: the containment
+//!   harness, attack/certificate consistency and the relaxation
+//!   micro-checker (`deept fuzz-soundness`).
 //!
 //! See the `examples/` directory for runnable entry points and
 //! `crates/bench` for the binaries that regenerate every table of the
@@ -53,6 +56,7 @@ pub use deept_geocert as geocert;
 pub use deept_lp as lp;
 pub use deept_nn as nn;
 pub use deept_serve as serve;
+pub use deept_soundness as soundness;
 pub use deept_telemetry as telemetry;
 pub use deept_tensor as tensor;
 pub use deept_verifier as verifier;

@@ -1,0 +1,294 @@
+//! Minimal stand-in for `criterion`: wall-clock benchmarking with the
+//! upstream API surface the bench crate uses (groups, parameterized
+//! IDs, `iter`), median-of-samples reporting, and upstream's
+//! test-vs-bench mode split.
+//!
+//! Mode selection matches upstream: `cargo bench` passes `--bench` to
+//! the target, enabling measurement; under `cargo test` (no `--bench`
+//! flag) every benchmark body runs exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench`; `cargo test` does not.
+        Criterion {
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measure: self.measure,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measure: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = join_label(&self.name, &id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, self.measure, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(join_label(&function_name.into(), &parameter.to_string()))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] so bench methods accept both ids and
+/// plain strings.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+fn join_label(group: &str, id: &str) -> String {
+    match (group.is_empty(), id.is_empty()) {
+        (_, true) => group.to_string(),
+        (true, false) => id.to_string(),
+        (false, false) => format!("{group}/{id}"),
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times and records the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Target per-sample wall time when measuring.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, measure: bool, mut f: F) {
+    if !measure {
+        // Test mode: one iteration, no timing output.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+
+    // Calibrate: double iteration counts until one sample is long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+            break;
+        }
+        iters = if b.elapsed.is_zero() {
+            iters * 8
+        } else {
+            let scale = TARGET_SAMPLE_TIME.as_secs_f64() / b.elapsed.as_secs_f64();
+            (iters as f64 * scale.clamp(1.1, 8.0)).ceil() as u64
+        };
+    }
+
+    let mut per_iter: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let low = per_iter[0];
+    let high = per_iter[per_iter.len() - 1];
+    println!(
+        "{label:<40} time: [{} {} {}]",
+        format_time(low),
+        format_time(median),
+        format_time(high)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_in_test_mode() {
+        let mut c = Criterion { measure: false };
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, n| {
+                b.iter(|| black_box(n * 2));
+                runs += 1;
+            });
+            g.finish();
+        }
+        // Test mode calls each body exactly once.
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_mode_times_and_reports() {
+        let mut c = Criterion { measure: true };
+        let mut g = c.benchmark_group("m");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| black_box(calls += 1));
+        });
+        g.finish();
+        // Calibration plus two samples: the body ran more than once.
+        assert!(calls > 2, "calls = {calls}");
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_upstream() {
+        assert_eq!(BenchmarkId::new("fast", 32).0, "fast/32");
+        assert_eq!(BenchmarkId::from_parameter(32).0, "32");
+        assert_eq!(join_label("group", "fast/32"), "group/fast/32");
+        assert_eq!(join_label("group", ""), "group");
+    }
+}

@@ -1,0 +1,613 @@
+//! Minimal stand-in for `serde`, specialized to the surface deept-rs
+//! uses: derived (de)serialization of plain data types through an owned
+//! JSON-like [`value::Value`] data model, consumed by the vendored
+//! `serde_json`.
+//!
+//! Unlike upstream serde there is no `Serializer`/`Deserializer`
+//! abstraction — [`Serialize`] converts to a [`value::Value`] and
+//! [`Deserialize`] converts back. That is exactly what a JSON-only
+//! workspace needs, and keeps the derive macro small enough to write
+//! without `syn`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    //! The owned data model all (de)serialization routes through.
+
+    /// A JSON-shaped value.
+    ///
+    /// Integers are kept apart from floats so `u64`/`i64` round-trip
+    /// exactly; objects preserve insertion order so serialization is
+    /// deterministic (checkpoint fingerprints rely on this).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// An integer representable as `i64`.
+        I64(i64),
+        /// An integer above `i64::MAX`.
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// A short name of the value's kind, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "boolean",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+
+        /// Object member lookup; `None` for missing keys or non-objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64` if it is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::F64(x) => Some(*x),
+                Value::I64(n) => Some(*n as f64),
+                Value::U64(n) => Some(*n as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64` if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::I64(n) if *n >= 0 => Some(*n as u64),
+                Value::U64(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64` if it is an in-range integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::I64(n) => Some(*n),
+                Value::U64(n) => i64::try_from(*n).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as a `bool` if it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value's elements if it is an array.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The value's members if it is an object.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(pairs) => Some(pairs),
+                _ => None,
+            }
+        }
+
+        /// `true` for `Value::Null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+    }
+
+    static NULL: Value = Value::Null;
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+
+        /// Member access like `v["key"]`; missing keys and non-objects
+        /// index to `Null` (matching upstream `serde_json`).
+        fn index(&self, key: &str) -> &Value {
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+
+        /// Element access like `v[0]`; out-of-range and non-arrays index
+        /// to `Null` (matching upstream `serde_json`).
+        fn index(&self, i: usize) -> &Value {
+            match self {
+                Value::Array(items) => items.get(i).unwrap_or(&NULL),
+                _ => &NULL,
+            }
+        }
+    }
+
+    impl std::fmt::Display for Value {
+        /// Compact JSON, matching the vendored `serde_json` writer.
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                Value::Null => f.write_str("null"),
+                Value::Bool(b) => write!(f, "{b}"),
+                Value::I64(n) => write!(f, "{n}"),
+                Value::U64(n) => write!(f, "{n}"),
+                Value::F64(x) => {
+                    if x.is_nan() {
+                        f.write_str("null")
+                    } else if *x == f64::INFINITY {
+                        f.write_str("1e999")
+                    } else if *x == f64::NEG_INFINITY {
+                        f.write_str("-1e999")
+                    } else {
+                        let s = x.to_string();
+                        f.write_str(&s)?;
+                        if !s.contains(['.', 'e', 'E']) {
+                            f.write_str(".0")?;
+                        }
+                        Ok(())
+                    }
+                }
+                Value::Str(s) => write!(f, "{s:?}"),
+                Value::Array(items) => {
+                    f.write_str("[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{item}")?;
+                    }
+                    f.write_str("]")
+                }
+                Value::Object(pairs) => {
+                    f.write_str("{")?;
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{k:?}:{v}")?;
+                    }
+                    f.write_str("}")
+                }
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// A (de)serialization error with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`value::Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`value::Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `value` has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+pub mod de {
+    //! Deserialization marker traits (API parity with upstream).
+
+    /// Owned deserialization; with this crate's owned data model every
+    /// [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    //! Serialization traits (API parity with upstream).
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------
+// Implementations for primitives and std containers
+// ---------------------------------------------------------------------
+
+fn int_from_value(v: &Value, ty: &str) -> Result<i128, Error> {
+    match v {
+        Value::I64(n) => Ok(i128::from(*n)),
+        Value::U64(n) => Ok(i128::from(*n)),
+        other => Err(Error::msg(format!(
+            "invalid type: expected {ty}, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = int_from_value(value, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::I64(wide as i64)
+                } else {
+                    Value::U64(wide)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = int_from_value(value, stringify!($t))?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = int_from_value(value, "isize")?;
+        isize::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            other => Err(Error::msg(format!(
+                "invalid type: expected f64, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "invalid type: expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "invalid type: expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!(
+                "invalid type: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!(
+                        "invalid type: expected array of length {}, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support routines for the derive macro
+// ---------------------------------------------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    //! Helpers referenced by `serde_derive`-generated code. Not public
+    //! API.
+
+    use crate::value::Value;
+    use crate::{Deserialize, Error};
+
+    pub fn as_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(Error::msg(format!(
+                "invalid type: expected {ty} object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Field extraction with serde's missing-field semantics: a missing
+    /// field is retried against `null`, which succeeds exactly for
+    /// `Option` (and `Value`) fields.
+    pub fn field<T: Deserialize>(
+        obj: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, Error> {
+        match get(obj, name) {
+            Some(v) => {
+                T::from_value(v).map_err(|e| Error::msg(format!("field `{name}` of {ty}: {e}")))
+            }
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::msg(format!("missing field `{name}` in {ty}"))),
+        }
+    }
+
+    pub fn check_unknown(
+        obj: &[(String, Value)],
+        allowed: &[&str],
+        ty: &str,
+    ) -> Result<(), Error> {
+        for (k, _) in obj {
+            if !allowed.contains(&k.as_str()) {
+                return Err(Error::msg(format!("unknown field `{k}` in {ty}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Prepends an internal tag to an (object) value; used by internally
+    /// tagged newtype variants.
+    pub fn inject_tag(v: Value, tag: &str, name: &str) -> Value {
+        match v {
+            Value::Object(mut pairs) => {
+                pairs.insert(0, (tag.to_string(), Value::Str(name.to_string())));
+                Value::Object(pairs)
+            }
+            // Non-object payloads cannot carry an internal tag; mirror
+            // serde by wrapping defensively (never hit by in-repo types).
+            other => Value::Object(vec![
+                (tag.to_string(), Value::Str(name.to_string())),
+                ("content".to_string(), other),
+            ]),
+        }
+    }
+
+    /// An object with one key removed (used to strip the tag before
+    /// delegating an internally tagged newtype variant to its payload).
+    pub fn strip_key(obj: &[(String, Value)], key: &str) -> Value {
+        Value::Object(
+            obj.iter()
+                .filter(|(k, _)| k != key)
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    pub fn get_str<'a>(
+        obj: &'a [(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<&'a str, Error> {
+        match get(obj, key) {
+            Some(Value::Str(s)) => Ok(s),
+            Some(other) => Err(Error::msg(format!(
+                "tag `{key}` of {ty} must be a string, found {}",
+                other.kind()
+            ))),
+            None => Err(Error::msg(format!("missing tag `{key}` in {ty}"))),
+        }
+    }
+
+    pub fn unknown_variant(ty: &str, got: &str, expected: &[&str]) -> Error {
+        Error::msg(format!(
+            "unknown variant `{got}` of {ty}, expected one of {expected:?}"
+        ))
+    }
+
+    pub fn invalid_type(ty: &str, v: &Value) -> Error {
+        Error::msg(format!(
+            "invalid type for {ty}: found {}",
+            v.kind()
+        ))
+    }
+}

@@ -1,0 +1,643 @@
+//! Minimal `serde_derive` stand-in: hand-rolled token parsing (no
+//! `syn`/`quote`) generating impls of the vendored serde's value-based
+//! `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes: structs with named fields (optionally generic over
+//! type parameters), enums with unit / newtype / struct variants.
+//! Supported attributes: `#[serde(tag = "...")]`,
+//! `#[serde(rename_all = "snake_case")]`, `#[serde(deny_unknown_fields)]`,
+//! `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    deny_unknown: bool,
+}
+
+#[derive(Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+    skip_if: Option<String>,
+}
+
+enum VariantBody {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    wire: String,
+    body: VariantBody,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+/// Raw `#[serde(...)]` arguments on an item: `(name, value?)` pairs.
+fn parse_attrs(cur: &mut Cursor) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    while cur.eat_punct('#') {
+        let group = match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde_derive: malformed attribute, found {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue; // doc comment or other attribute
+        }
+        let args = match inner.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde_derive: malformed #[serde] attribute: {other:?}"),
+        };
+        let mut args = Cursor::new(args.stream());
+        loop {
+            if args.peek().is_none() {
+                break;
+            }
+            let name = args.expect_ident("serde attribute name");
+            let value = if args.eat_punct('=') {
+                match args.bump() {
+                    Some(TokenTree::Literal(lit)) => Some(strip_quotes(&lit.to_string())),
+                    other => panic!("serde_derive: expected string after `{name} =`: {other:?}"),
+                }
+            } else {
+                None
+            };
+            out.push((name, value));
+            let _ = args.eat_punct(',');
+        }
+    }
+    out
+}
+
+fn strip_quotes(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        panic!("serde_derive: expected a string literal, found `{lit}`")
+    }
+}
+
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.pos += 1; // pub(crate) etc.
+            }
+        }
+    }
+}
+
+/// Skips one type, stopping before a top-level `,` (angle-bracket aware;
+/// parens/brackets arrive pre-grouped).
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(tok) = cur.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        cur.pos += 1;
+    }
+}
+
+fn field_attrs(raw: &[(String, Option<String>)]) -> (DefaultAttr, Option<String>) {
+    let mut default = DefaultAttr::None;
+    let mut skip_if = None;
+    for (name, value) in raw {
+        match (name.as_str(), value) {
+            ("default", None) => default = DefaultAttr::Std,
+            ("default", Some(path)) => default = DefaultAttr::Path(path.clone()),
+            ("skip_serializing_if", Some(path)) => skip_if = Some(path.clone()),
+            other => panic!("serde_derive: unsupported field attribute {other:?}"),
+        }
+    }
+    (default, skip_if)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let raw = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("field name");
+        assert!(cur.eat_punct(':'), "serde_derive: expected `:` after field `{name}`");
+        skip_type(&mut cur);
+        let _ = cur.eat_punct(',');
+        let (default, skip_if) = field_attrs(&raw);
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn rename(rename_all: Option<&str>, name: &str) -> String {
+    match rename_all {
+        None => name.to_string(),
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("serde_derive: unsupported rename_all = {other:?}"),
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let raw = parse_attrs(&mut cur);
+    let mut attrs = ContainerAttrs::default();
+    for (name, value) in &raw {
+        match (name.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v.clone()),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v.clone()),
+            ("deny_unknown_fields", None) => attrs.deny_unknown = true,
+            other => panic!("serde_derive: unsupported container attribute {other:?}"),
+        }
+    }
+    skip_visibility(&mut cur);
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`, found {:?}", cur.peek())
+    };
+    let name = cur.expect_ident("type name");
+
+    let mut generics = Vec::new();
+    if cur.eat_punct('<') {
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        while depth > 0 {
+            match cur.bump() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    panic!("serde_derive: lifetime parameters are not supported")
+                }
+                Some(TokenTree::Ident(id)) => {
+                    if expect_param {
+                        generics.push(id.to_string());
+                        expect_param = false;
+                    }
+                    // Bounds after `:` are skipped by the depth walk.
+                }
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics on `{name}`"),
+            }
+        }
+    }
+
+    let body = loop {
+        match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                panic!("serde_derive: where clauses are not supported")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive: unit/tuple structs are not supported")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: missing body for `{name}`"),
+        }
+    };
+
+    let kind = if is_enum {
+        let mut cur = Cursor::new(body);
+        let mut variants = Vec::new();
+        loop {
+            let _ = parse_attrs(&mut cur); // variant-level attrs unsupported/ignored (doc only)
+            if cur.peek().is_none() {
+                break;
+            }
+            let vname = cur.expect_ident("variant name");
+            let body = match cur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    cur.pos += 1;
+                    VariantBody::Newtype
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    cur.pos += 1;
+                    VariantBody::Named(fields)
+                }
+                _ => VariantBody::Unit,
+            };
+            let _ = cur.eat_punct(',');
+            let wire = rename(attrs.rename_all.as_deref(), &vname);
+            variants.push(Variant {
+                name: vname,
+                wire,
+                body,
+            });
+        }
+        Kind::Enum(variants)
+    } else {
+        Kind::Struct(parse_named_fields(body))
+    };
+
+    Input {
+        name,
+        generics,
+        attrs,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decl: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_bound}"))
+            .collect();
+        let args = input.generics.join(", ");
+        (format!("<{}>", decl.join(", ")), format!("<{args}>"))
+    }
+}
+
+/// Serialization statements pushing named fields onto `__fields`.
+/// `access` renders the field expression (e.g. `&self.f` or a binding).
+fn ser_named_fields(fields: &[Field], access: impl Fn(&Field) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = access(f);
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value({expr})));\n",
+            n = f.name
+        );
+        match &f.skip_if {
+            Some(path) => {
+                out.push_str(&format!("if !{path}({expr}) {{ {push} }}\n"));
+            }
+            None => out.push_str(&push),
+        }
+    }
+    out
+}
+
+/// Deserialization initializers for a named-field constructor body.
+fn de_named_fields(ty_label: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let init = match &f.default {
+            DefaultAttr::None => {
+                format!("serde::__private::field(__obj, \"{ty_label}\", \"{n}\")?")
+            }
+            DefaultAttr::Std => format!(
+                "match serde::__private::get(__obj, \"{n}\") {{ \
+                   Some(__x) => serde::Deserialize::from_value(__x)\
+                     .map_err(|__e| serde::Error::msg(format!(\"field `{n}` of {ty_label}: {{__e}}\")))?, \
+                   None => ::core::default::Default::default() }}"
+            ),
+            DefaultAttr::Path(path) => format!(
+                "match serde::__private::get(__obj, \"{n}\") {{ \
+                   Some(__x) => serde::Deserialize::from_value(__x)\
+                     .map_err(|__e| serde::Error::msg(format!(\"field `{n}` of {ty_label}: {{__e}}\")))?, \
+                   None => {path}() }}"
+            ),
+        };
+        out.push_str(&format!("{n}: {init},\n"));
+    }
+    out
+}
+
+fn allowed_list(fields: &[Field], tag: Option<&str>) -> String {
+    let mut names: Vec<String> = Vec::new();
+    if let Some(t) = tag {
+        names.push(format!("\"{t}\""));
+    }
+    names.extend(fields.iter().map(|f| format!("\"{}\"", f.name)));
+    names.join(", ")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (decl, args) = impl_header(input, "serde::Serialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let pushes = ser_named_fields(fields, |f| format!("(&self.{})", f.name));
+            format!(
+                "let mut __fields: Vec<(String, serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::value::Value::Object(__fields)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = &v.wire;
+                match (&v.body, input.attrs.tag.as_deref()) {
+                    (VariantBody::Unit, Some(tag)) => arms.push_str(&format!(
+                        "Self::{vname} => serde::value::Value::Object(vec![(\"{tag}\".to_string(), serde::value::Value::Str(\"{wire}\".to_string()))]),\n"
+                    )),
+                    (VariantBody::Unit, None) => arms.push_str(&format!(
+                        "Self::{vname} => serde::value::Value::Str(\"{wire}\".to_string()),\n"
+                    )),
+                    (VariantBody::Newtype, Some(tag)) => arms.push_str(&format!(
+                        "Self::{vname}(__inner) => serde::__private::inject_tag(serde::Serialize::to_value(__inner), \"{tag}\", \"{wire}\"),\n"
+                    )),
+                    (VariantBody::Newtype, None) => arms.push_str(&format!(
+                        "Self::{vname}(__inner) => serde::value::Value::Object(vec![(\"{wire}\".to_string(), serde::Serialize::to_value(__inner))]),\n"
+                    )),
+                    (VariantBody::Named(fields), tag) => {
+                        let bindings: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let bindings = bindings.join(", ");
+                        let tag_push = match tag {
+                            Some(t) => format!(
+                                "__fields.push((\"{t}\".to_string(), serde::value::Value::Str(\"{wire}\".to_string())));\n"
+                            ),
+                            None => String::new(),
+                        };
+                        let pushes = ser_named_fields(fields, |f| f.name.clone());
+                        let object = "serde::value::Value::Object(__fields)";
+                        let result = match tag {
+                            Some(_) => object.to_string(),
+                            None => format!(
+                                "serde::value::Value::Object(vec![(\"{wire}\".to_string(), {object})])"
+                            ),
+                        };
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {bindings} }} => {{\n\
+                               let mut __fields: Vec<(String, serde::value::Value)> = Vec::new();\n\
+                               {tag_push}{pushes}{result}\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl{decl} serde::Serialize for {name}{args} {{\n\
+           fn to_value(&self) -> serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (decl, args) = impl_header(input, "serde::Deserialize");
+    let name = &input.name;
+    let deny = input.attrs.deny_unknown;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let check = if deny {
+                format!(
+                    "serde::__private::check_unknown(__obj, &[{}], \"{name}\")?;\n",
+                    allowed_list(fields, None)
+                )
+            } else {
+                String::new()
+            };
+            let inits = de_named_fields(name, fields);
+            format!(
+                "let __obj = serde::__private::as_object(__value, \"{name}\")?;\n\
+                 {check}\
+                 Ok(Self {{\n{inits}}})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let wires: Vec<String> = variants.iter().map(|v| format!("\"{}\"", v.wire)).collect();
+            let wires = wires.join(", ");
+            match input.attrs.tag.as_deref() {
+                Some(tag) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = &v.wire;
+                        let label = format!("{name}::{vname}");
+                        match &v.body {
+                            VariantBody::Unit => {
+                                let check = if deny {
+                                    format!(
+                                        "serde::__private::check_unknown(__obj, &[\"{tag}\"], \"{label}\")?;\n"
+                                    )
+                                } else {
+                                    String::new()
+                                };
+                                arms.push_str(&format!(
+                                    "\"{wire}\" => {{ {check} Ok(Self::{vname}) }},\n"
+                                ));
+                            }
+                            VariantBody::Newtype => arms.push_str(&format!(
+                                "\"{wire}\" => Ok(Self::{vname}(serde::Deserialize::from_value(&serde::__private::strip_key(__obj, \"{tag}\"))?)),\n"
+                            )),
+                            VariantBody::Named(fields) => {
+                                let check = if deny {
+                                    format!(
+                                        "serde::__private::check_unknown(__obj, &[{}], \"{label}\")?;\n",
+                                        allowed_list(fields, Some(tag))
+                                    )
+                                } else {
+                                    String::new()
+                                };
+                                let inits = de_named_fields(&label, fields);
+                                arms.push_str(&format!(
+                                    "\"{wire}\" => {{ {check} Ok(Self::{vname} {{\n{inits}}}) }},\n"
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "let __obj = serde::__private::as_object(__value, \"{name}\")?;\n\
+                         let __tag = serde::__private::get_str(__obj, \"{tag}\", \"{name}\")?;\n\
+                         match __tag {{\n{arms}\
+                           __other => Err(serde::__private::unknown_variant(\"{name}\", __other, &[{wires}])),\n\
+                         }}"
+                    )
+                }
+                None => {
+                    let mut unit_arms = String::new();
+                    let mut data_arms = String::new();
+                    for v in variants {
+                        let vname = &v.name;
+                        let wire = &v.wire;
+                        let label = format!("{name}::{vname}");
+                        match &v.body {
+                            VariantBody::Unit => unit_arms
+                                .push_str(&format!("\"{wire}\" => Ok(Self::{vname}),\n")),
+                            VariantBody::Newtype => data_arms.push_str(&format!(
+                                "\"{wire}\" => Ok(Self::{vname}(serde::Deserialize::from_value(__inner)?)),\n"
+                            )),
+                            VariantBody::Named(fields) => {
+                                let check = if deny {
+                                    format!(
+                                        "serde::__private::check_unknown(__obj, &[{}], \"{label}\")?;\n",
+                                        allowed_list(fields, None)
+                                    )
+                                } else {
+                                    String::new()
+                                };
+                                let inits = de_named_fields(&label, fields);
+                                data_arms.push_str(&format!(
+                                    "\"{wire}\" => {{\n\
+                                       let __obj = serde::__private::as_object(__inner, \"{label}\")?;\n\
+                                       {check}\
+                                       Ok(Self::{vname} {{\n{inits}}})\n\
+                                     }},\n"
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "match __value {{\n\
+                           serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                             {unit_arms}\
+                             __other => Err(serde::__private::unknown_variant(\"{name}\", __other, &[{wires}])),\n\
+                           }},\n\
+                           serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                             let (__key, __inner) = &__pairs[0];\n\
+                             match __key.as_str() {{\n\
+                               {data_arms}\
+                               __other => Err(serde::__private::unknown_variant(\"{name}\", __other, &[{wires}])),\n\
+                             }}\n\
+                           }},\n\
+                           __other => Err(serde::__private::invalid_type(\"{name}\", __other)),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, unused_mut, clippy::all, clippy::pedantic)]\n\
+         impl{decl} serde::Deserialize for {name}{args} {{\n\
+           fn from_value(__value: &serde::value::Value) -> Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
