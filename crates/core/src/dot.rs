@@ -17,9 +17,10 @@
 //! is our [`NormOrder::InfFirst`] default.
 
 use deept_telemetry::{NoopProbe, ParallelStats, Probe, SpanKind};
-use deept_tensor::{parallel, Matrix};
+use deept_tensor::{arena, parallel, Matrix};
 
-use crate::{PNorm, Zonotope};
+use crate::eps::EpsStore;
+use crate::{eps, PNorm, Zonotope};
 
 /// Minimum multiply-adds per worker task of the Precise ε–ε row scan;
 /// smaller scans run inline on the calling thread.
@@ -240,9 +241,13 @@ pub fn zono_matmul_probed(
 ) -> Zonotope {
     probe.span_enter(SpanKind::DotProduct);
     let before = probe.enabled().then(parallel::snapshot);
+    let before_eps = probe.enabled().then(eps::snapshot);
     let out = zono_matmul_impl(a, b, cfg);
     if let Some(before) = before {
         probe.parallel(parallel_stats_since(&before));
+    }
+    if let Some(before_eps) = before_eps {
+        probe.eps_storage(eps::storage_stats_since(&before_eps, out.eps_store()));
     }
     let created = out.num_eps() - a.num_eps().max(b.num_eps());
     let stats = probe.enabled().then(|| out.telemetry_stats());
@@ -269,11 +274,7 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     if parallel::force_naive() {
         return reference::zono_matmul(a, b, cfg);
     }
-    let mut a = a.clone();
-    let mut b = b.clone();
     let width = a.num_eps().max(b.num_eps());
-    a.pad_eps(width);
-    b.pad_eps(width);
 
     let (n, k, m) = (a.rows(), a.cols(), b.cols());
     let p = a.p();
@@ -288,18 +289,20 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
     // Pre-slice the per-row blocks of a and per-column blocks of b, and
     // hoist each block's per-row dual norms out of the pairing loop (the
     // naive path recomputes them for every (i, j) pair — the bulk of the
-    // Fast bound's cost).
+    // Fast bound's cost). The ε blocks are gathered straight from the
+    // block stores into arena-recycled dense buffers at the joint padded
+    // width — no full padded ε matrix is ever materialized.
     let a_phi_blocks: Vec<Matrix> = (0..n)
         .map(|i| a.phi().slice_rows(i * k, (i + 1) * k))
         .collect();
     let a_eps_blocks: Vec<Matrix> = (0..n)
-        .map(|i| a.eps().slice_rows(i * k, (i + 1) * k))
+        .map(|i| a.eps_store().rows_dense_scratch(i * k, (i + 1) * k, width))
         .collect();
     let b_phi_blocks: Vec<Matrix> = (0..m)
         .map(|j| bt.phi().slice_rows(j * k, (j + 1) * k))
         .collect();
     let b_eps_blocks: Vec<Matrix> = (0..m)
-        .map(|j| bt.eps().slice_rows(j * k, (j + 1) * k))
+        .map(|j| bt.eps_store().rows_dense_scratch(j * k, (j + 1) * k, width))
         .collect();
     let a_norms: Vec<BlockNorms> = (0..n)
         .map(|i| BlockNorms::of(&a_phi_blocks[i], &a_eps_blocks[i], p))
@@ -363,17 +366,21 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
         fold.extend(fo);
     }
     let phi = Matrix::from_vec(n_out, e_phi, phi_data).expect("bands cover all n*m output rows");
-    let eps = Matrix::from_vec(n_out, width, eps_data).expect("bands cover all n*m output rows");
+    let eps_mat =
+        Matrix::from_vec(n_out, width, eps_data).expect("bands cover all n*m output rows");
+    for block in a_eps_blocks.into_iter().chain(b_eps_blocks) {
+        arena::give(block.into_vec());
+    }
 
     for (out, &(shift, _)) in fold.iter().enumerate() {
         center[out] += shift;
     }
     let fresh: Vec<usize> = (0..n_out).filter(|&v| fold[v].1 > 0.0).collect();
-    let mut eps_new = Matrix::zeros(n_out, fresh.len());
-    for (s, &v) in fresh.iter().enumerate() {
-        eps_new.set(v, s, fold[v].1);
-    }
-    Zonotope::from_parts(n, m, center, phi, eps.hstack(&eps_new), p)
+    let betas: Vec<f64> = fresh.iter().map(|&v| fold[v].1).collect();
+    // The interaction symbols stay a structural diagonal block.
+    let mut eps_store = EpsStore::from_matrix(eps_mat);
+    eps_store.append_diag(&fresh, &betas);
+    Zonotope::from_parts_store(n, m, center, phi, eps_store, p)
 }
 
 /// `dst += Σ_row weights[row] * block[row, ·]`.
@@ -521,6 +528,9 @@ pub mod reference {
         let p = a.p();
         let e_phi = a.num_phi();
         let bt = b.transpose(); // columns of b become contiguous blocks
+                                // The oracle works on verbatim dense ε matrices.
+        let a_eps = a.eps_dense_matrix();
+        let bt_eps = bt.eps_dense_matrix();
 
         let ca = a.center_matrix();
         let cb = b.center_matrix();
@@ -537,13 +547,13 @@ pub mod reference {
             .map(|i| a.phi().slice_rows(i * k, (i + 1) * k))
             .collect();
         let a_eps_blocks: Vec<Matrix> = (0..n)
-            .map(|i| a.eps().slice_rows(i * k, (i + 1) * k))
+            .map(|i| a_eps.slice_rows(i * k, (i + 1) * k))
             .collect();
         let b_phi_blocks: Vec<Matrix> = (0..m)
             .map(|j| bt.phi().slice_rows(j * k, (j + 1) * k))
             .collect();
         let b_eps_blocks: Vec<Matrix> = (0..m)
-            .map(|j| bt.eps().slice_rows(j * k, (j + 1) * k))
+            .map(|j| bt_eps.slice_rows(j * k, (j + 1) * k))
             .collect();
 
         for i in 0..n {
@@ -630,7 +640,7 @@ mod tests {
             let exact = am.matmul(&bm);
             let approx = out.evaluate(&phi, &eps);
             for v in 0..out.n_vars() {
-                let slack = deept_tensor::l1_norm(&out.eps().row(v)[base_eps..]);
+                let slack = deept_tensor::l1_norm(&out.eps_row(v)[base_eps..]);
                 let diff = (exact.as_slice()[v] - approx[v]).abs();
                 assert!(
                     diff <= slack + 1e-9,

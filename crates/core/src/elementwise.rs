@@ -312,32 +312,25 @@ pub fn apply_floored(z: &Zonotope, act: Activation, floor: f64) -> Zonotope {
 
     let mut center = Vec::with_capacity(n);
     let mut phi = Matrix::zeros(n, z.num_phi());
-    let mut eps_old = Matrix::zeros(n, z.num_eps());
+    let mut lambda = Vec::with_capacity(n);
     let fresh: Vec<usize> = (0..n).filter(|&k| relax[k].beta != 0.0).collect();
-    let mut eps_new = Matrix::zeros(n, fresh.len());
     for k in 0..n {
         let r = relax[k];
         center.push(r.lambda * z.center()[k] + r.mu);
+        lambda.push(r.lambda);
         if r.lambda != 0.0 {
             for (dst, &src) in phi.row_mut(k).iter_mut().zip(z.phi().row(k)) {
                 *dst = r.lambda * src;
             }
-            for (dst, &src) in eps_old.row_mut(k).iter_mut().zip(z.eps().row(k)) {
-                *dst = r.lambda * src;
-            }
         }
     }
-    for (s, &k) in fresh.iter().enumerate() {
-        eps_new.set(k, s, relax[k].beta);
-    }
-    Zonotope::from_parts(
-        z.rows(),
-        z.cols(),
-        center,
-        phi,
-        eps_old.hstack(&eps_new),
-        z.p(),
-    )
+    // Row-scaling preserves the ε block structure (λ = 0 hard-zeroes the
+    // row, never multiplying a possibly-infinite coefficient), and the
+    // fresh β symbols append as one diagonal block.
+    let mut eps = z.eps_store().scale_rows_guarded(&lambda);
+    let betas: Vec<f64> = fresh.iter().map(|&k| relax[k].beta).collect();
+    eps.append_diag(&fresh, &betas);
+    Zonotope::from_parts_store(z.rows(), z.cols(), center, phi, eps, z.p())
 }
 
 /// Convenience wrappers mirroring the paper's transformer names.

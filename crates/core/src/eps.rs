@@ -1,0 +1,1525 @@
+//! Block-structured storage of the ε generator matrix.
+//!
+//! Every abstract transformer appends fresh ℓ∞ noise symbols, and each
+//! fresh column has exactly one nonzero entry — the relaxation coefficient
+//! of the variable that spawned it. Storing the generator matrix densely
+//! makes every later affine op and norm scan pay `O(vars · cols)` on what
+//! is structurally a diagonal block, and makes `pad_eps` alignment
+//! materialize ever larger zero matrices.
+//!
+//! [`EpsStore`] instead keeps an ordered list of non-overlapping column
+//! segments, each holding either a [`EpsBlock::Dense`] matrix or a
+//! [`EpsBlock::Diag`] block (`var_for_col[s]` row, `coeff[s]` value — one
+//! nonzero per column). Columns not covered by any segment are structural
+//! zeros, so zero-padding ([`EpsStore::pad_to`]) is free and appending
+//! fresh symbols ([`EpsStore::append_diag`]) costs `O(new symbols)`.
+//!
+//! # Densification rule
+//!
+//! Only *row-mixing* linear maps ([`EpsStore::matmul_right_map`],
+//! [`EpsStore::matmul_left_map`], [`EpsStore::linear_map`], a variable
+//! permutation that duplicates rows, and a partially-overlapping
+//! [`EpsStore::add`]) convert a `Diag` block to `Dense` — lazily, and only
+//! over the block's own columns. Everything column-local (scaling,
+//! per-row weights, bounds and norm scans, column selection, padding)
+//! preserves the block structure.
+//!
+//! # Bitwise equivalence
+//!
+//! With `DEEPT_EPS=dense` (or [`set_force_dense`]) every store normalizes
+//! to a single physically padded dense block, reproducing the historical
+//! representation. Concrete interval bounds are **bitwise identical**
+//! between the two modes: per variable row, both modes add `|coeff|` terms
+//! into one sequential accumulator in ascending column order, and skipping
+//! a structural zero is a bitwise no-op for a non-negative accumulator
+//! (`x + 0.0 == x`). Linear maps of `Diag` blocks compute exactly the one
+//! product the dense kernel's zero-skipping inner loop computes, so
+//! coefficients agree except possibly in the sign of zeros — which `|·|`
+//! and `==` cannot observe. The equivalence is pinned by the
+//! `eps_mode_equivalence` proptests.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use deept_tensor::{arena, Matrix};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Mode switch (mirrors `deept_tensor::parallel::force_naive`)
+// ---------------------------------------------------------------------
+
+static FORCE_DENSE_ENV: OnceLock<bool> = OnceLock::new();
+/// 0 = follow the environment, 1 = forced dense, 2 = forced blocked.
+static FORCE_DENSE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether ε generators should be kept in the verbatim dense representation
+/// (`DEEPT_EPS=dense` or [`set_force_dense`]). The blocked layout is the
+/// default.
+pub fn force_dense() -> bool {
+    match FORCE_DENSE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *FORCE_DENSE_ENV
+            .get_or_init(|| std::env::var("DEEPT_EPS").is_ok_and(|v| v.trim() == "dense")),
+    }
+}
+
+/// Forces the ε representation in-process (`None` restores the environment
+/// default). Used by the mode-equivalence tests and the differential
+/// benches; serialize callers with `deept_tensor::parallel::test_lock`.
+pub fn set_force_dense(dense: Option<bool>) {
+    let v = match dense {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    FORCE_DENSE.store(v, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Densification telemetry
+// ---------------------------------------------------------------------
+
+static DENSIFICATIONS: AtomicU64 = AtomicU64::new(0);
+
+fn note_densified() {
+    DENSIFICATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// High-water mark of the largest single generator store finalized since
+/// the last [`reset_peak_resident_bytes`]. Layer outputs are densified by
+/// the closing row-mixing map in both ε modes, so end-of-layer sampling
+/// cannot see the blocked layout's savings; this watermark is updated on
+/// every store finalization and therefore catches the mid-layer peaks
+/// (e.g. the post-ReLU store with its fresh diagonal tail).
+static PEAK_RESIDENT_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+/// Largest `EpsStore::resident_bytes` finalized since the last reset.
+pub fn peak_resident_bytes() -> usize {
+    PEAK_RESIDENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// Resets the resident-bytes high-water mark (benchmark bracketing).
+pub fn reset_peak_resident_bytes() {
+    PEAK_RESIDENT_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// ε-storage counters at a point in time; diff two snapshots to attribute
+/// densification events and arena traffic to a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpsSnapshot {
+    /// Diag→Dense block conversions since process start.
+    pub densifications: u64,
+    /// Scratch-arena counters.
+    pub arena: arena::ArenaSnapshot,
+}
+
+/// Reads the process-wide ε-storage counters.
+pub fn snapshot() -> EpsSnapshot {
+    EpsSnapshot {
+        densifications: DENSIFICATIONS.load(Ordering::Relaxed),
+        arena: arena::snapshot(),
+    }
+}
+
+/// Builds the telemetry stats for a stage: counter deltas since `before`
+/// plus the block layout of the stage's output store.
+pub fn storage_stats_since(
+    before: &EpsSnapshot,
+    out: &EpsStore,
+) -> deept_telemetry::EpsStorageStats {
+    let now = snapshot();
+    let arena = now.arena.since(&before.arena);
+    deept_telemetry::EpsStorageStats {
+        blocks: out.num_blocks(),
+        diag_cols: out.diag_cols(),
+        dense_cols: out.dense_cols(),
+        densifications: now.densifications.saturating_sub(before.densifications),
+        arena_hits: arena.hits,
+        arena_misses: arena.misses,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocks and segments
+// ---------------------------------------------------------------------
+
+/// One column block of the generator matrix.
+#[derive(Debug, Clone)]
+pub enum EpsBlock {
+    /// An arbitrary `n_vars × cols` coefficient block.
+    Dense(Matrix),
+    /// One nonzero per column: column `s` has value `coeff[s]` in row
+    /// `var_for_col[s]` (the shape every fresh-symbol append produces).
+    Diag {
+        /// Row (variable) index of each column's single nonzero.
+        var_for_col: Vec<usize>,
+        /// Value of each column's single nonzero.
+        coeff: Vec<f64>,
+    },
+}
+
+impl EpsBlock {
+    fn cols(&self) -> usize {
+        match self {
+            EpsBlock::Dense(m) => m.cols(),
+            EpsBlock::Diag { coeff, .. } => coeff.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EpsSegment {
+    /// First logical ε column this segment covers.
+    offset: usize,
+    block: EpsBlock,
+}
+
+impl EpsSegment {
+    fn end(&self) -> usize {
+        self.offset + self.block.cols()
+    }
+}
+
+/// The block-structured ε generator store of a
+/// [`crate::Zonotope`]: logically an `n_vars × width` matrix, physically a
+/// sorted list of non-overlapping column segments over implicit zeros.
+///
+/// Equality, serialization and the [`Matrix`] conversions are all
+/// *logical*: two stores with the same `n_vars`, `width` and per-entry
+/// values are equal regardless of block layout.
+#[derive(Debug, Clone)]
+pub struct EpsStore {
+    n_vars: usize,
+    width: usize,
+    segments: Vec<EpsSegment>,
+}
+
+impl Serialize for EpsStore {
+    fn to_value(&self) -> serde::value::Value {
+        self.to_matrix().to_value()
+    }
+}
+
+impl Deserialize for EpsStore {
+    fn from_value(value: &serde::value::Value) -> Result<Self, serde::Error> {
+        Matrix::from_value(value).map(EpsStore::from_matrix)
+    }
+}
+
+impl From<EpsStore> for Matrix {
+    fn from(store: EpsStore) -> Matrix {
+        store.to_matrix()
+    }
+}
+
+impl From<Matrix> for EpsStore {
+    fn from(m: Matrix) -> EpsStore {
+        EpsStore::from_matrix(m)
+    }
+}
+
+impl PartialEq for EpsStore {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_vars != other.n_vars || self.width != other.width {
+            return false;
+        }
+        self.to_matrix() == other.to_matrix()
+    }
+}
+
+impl EpsStore {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// An all-zero `n_vars × width` store.
+    pub fn zeros(n_vars: usize, width: usize) -> Self {
+        let mut out = EpsStore {
+            n_vars,
+            width,
+            segments: Vec::new(),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Wraps a dense coefficient matrix (the `from_parts` entry point).
+    pub fn from_matrix(m: Matrix) -> Self {
+        let n_vars = m.rows();
+        let width = m.cols();
+        let segments = if width == 0 {
+            Vec::new()
+        } else {
+            vec![EpsSegment {
+                offset: 0,
+                block: EpsBlock::Dense(m),
+            }]
+        };
+        let mut out = EpsStore {
+            n_vars,
+            width,
+            segments,
+        };
+        out.normalize();
+        out
+    }
+
+    /// A store of fresh diagonal symbols: column `s` has `coeff[s]` in row
+    /// `var_for_col[s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a row is out of range.
+    pub fn from_diag(n_vars: usize, var_for_col: &[usize], coeff: &[f64]) -> Self {
+        let mut out = EpsStore::zeros(n_vars, 0);
+        out.append_diag(var_for_col, coeff);
+        out
+    }
+
+    /// Re-establishes the dense-mode invariant (a single physically padded
+    /// dense block) when `DEEPT_EPS=dense` is active; merges adjacent
+    /// same-kind segments in blocked mode. Also feeds the resident-bytes
+    /// high-water mark, since every mutator finalizes through here.
+    fn normalize(&mut self) {
+        self.normalize_layout();
+        PEAK_RESIDENT_BYTES.fetch_max(self.resident_bytes(), Ordering::Relaxed);
+    }
+
+    fn normalize_layout(&mut self) {
+        if !force_dense() {
+            self.coalesce();
+            return;
+        }
+        if let [seg] = self.segments.as_slice() {
+            if seg.offset == 0
+                && seg.block.cols() == self.width
+                && matches!(seg.block, EpsBlock::Dense(_))
+            {
+                return;
+            }
+        }
+        if self.segments.is_empty() {
+            self.segments = vec![EpsSegment {
+                offset: 0,
+                block: EpsBlock::Dense(Matrix::zeros(self.n_vars, self.width)),
+            }];
+            return;
+        }
+        // Common dense-mode case: one full dense block that only needs more
+        // columns — grow it in place instead of rebuilding.
+        if self.segments.len() == 1
+            && self.segments[0].offset == 0
+            && matches!(self.segments[0].block, EpsBlock::Dense(_))
+        {
+            if let EpsBlock::Dense(m) = &mut self.segments[0].block {
+                m.grow_cols(self.width);
+                return;
+            }
+        }
+        let mut dense = Matrix::zeros(self.n_vars, self.width);
+        for seg in &self.segments {
+            scatter_segment(&mut dense, seg);
+            if matches!(seg.block, EpsBlock::Diag { .. }) {
+                note_densified();
+            }
+        }
+        self.segments = vec![EpsSegment {
+            offset: 0,
+            block: EpsBlock::Dense(dense),
+        }];
+    }
+
+    /// Merges column-adjacent segments of the same kind (blocked mode's
+    /// half of [`EpsStore::normalize`]). Without this, every fresh-symbol
+    /// append or cluster-producing `add` grows the segment list, and
+    /// downstream ops degrade into per-segment dispatch over many narrow
+    /// blocks. Adjacent `Diag` pairs concatenate in O(cols); adjacent
+    /// `Dense` pairs merge with one row-wise copy.
+    fn coalesce(&mut self) {
+        if self.segments.len() < 2 {
+            return;
+        }
+        let mut out: Vec<EpsSegment> = Vec::with_capacity(self.segments.len());
+        for seg in self.segments.drain(..) {
+            let merged = match out.last_mut() {
+                Some(prev) if prev.end() == seg.offset => match (&mut prev.block, &seg.block) {
+                    (EpsBlock::Dense(a), EpsBlock::Dense(b)) => {
+                        let w0 = a.cols();
+                        a.grow_cols(w0 + b.cols());
+                        for r in 0..b.rows() {
+                            a.row_mut(r)[w0..].copy_from_slice(b.row(r));
+                        }
+                        true
+                    }
+                    (
+                        EpsBlock::Diag { var_for_col, coeff },
+                        EpsBlock::Diag {
+                            var_for_col: v2,
+                            coeff: c2,
+                        },
+                    ) => {
+                        var_for_col.extend_from_slice(v2);
+                        coeff.extend_from_slice(c2);
+                        true
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if !merged {
+                out.push(seg);
+            }
+        }
+        self.segments = out;
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of variable rows.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Logical number of ε columns (including structural zero padding).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of stored blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Columns held in diagonal blocks.
+    pub fn diag_cols(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match &s.block {
+                EpsBlock::Diag { coeff, .. } => coeff.len(),
+                EpsBlock::Dense(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Columns held in dense blocks.
+    pub fn dense_cols(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match &s.block {
+                EpsBlock::Dense(m) => m.cols(),
+                EpsBlock::Diag { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// Resident coefficient storage in bytes (dense entries + diag
+    /// coefficient/index pairs), for memory telemetry.
+    pub fn resident_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match &s.block {
+                EpsBlock::Dense(m) => m.len() * std::mem::size_of::<f64>(),
+                EpsBlock::Diag { coeff, .. } => {
+                    coeff.len() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>())
+                }
+            })
+            .sum()
+    }
+
+    /// Logical entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n_vars && c < self.width, "eps index out of range");
+        for seg in &self.segments {
+            if c < seg.offset {
+                break;
+            }
+            if c < seg.end() {
+                return match &seg.block {
+                    EpsBlock::Dense(m) => m.at(r, c - seg.offset),
+                    EpsBlock::Diag { var_for_col, coeff } => {
+                        let s = c - seg.offset;
+                        if var_for_col[s] == r {
+                            coeff[s]
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+            }
+        }
+        0.0
+    }
+
+    /// Writes the full logical row `k` into `out` (`out.len() == width`),
+    /// overwriting all of it.
+    pub fn write_row_into(&self, k: usize, out: &mut [f64]) {
+        assert_eq!(out.len(), self.width, "row buffer width mismatch");
+        out.fill(0.0);
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    out[seg.offset..seg.end()].copy_from_slice(m.row(k));
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        if v == k {
+                            out[seg.offset + s] = c;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full logical row `k` as an owned vector.
+    pub fn row(&self, k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; self.width];
+        self.write_row_into(k, &mut out);
+        out
+    }
+
+    /// Materializes the full logical `n_vars × width` matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        let mut dense = Matrix::zeros(self.n_vars, self.width);
+        for seg in &self.segments {
+            scatter_segment(&mut dense, seg);
+        }
+        dense
+    }
+
+    /// Materializes rows `r0..r1`, zero-padded to `pad_width` columns, into
+    /// an arena-backed matrix. Return the buffer with
+    /// `deept_tensor::arena::give(m.into_vec())` when done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is invalid or `pad_width < width`.
+    pub fn rows_dense_scratch(&self, r0: usize, r1: usize, pad_width: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.n_vars, "row range out of range");
+        assert!(pad_width >= self.width, "pad below logical width");
+        let rows = r1 - r0;
+        let buf = arena::take_zeroed(rows * pad_width);
+        let mut out = Matrix::from_vec(rows, pad_width, buf).expect("sized scratch");
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for r in r0..r1 {
+                        out.row_mut(r - r0)[seg.offset..seg.end()].copy_from_slice(m.row(r));
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        if v >= r0 && v < r1 {
+                            out.row_mut(v - r0)[seg.offset + s] = c;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` if any stored coefficient is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.segments.iter().any(|seg| match &seg.block {
+            EpsBlock::Dense(m) => m.has_non_finite(),
+            EpsBlock::Diag { coeff, .. } => coeff.iter().any(|x| !x.is_finite()),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Norm and score scans — O(nnz), bitwise equal to the dense scans
+    // ------------------------------------------------------------------
+
+    /// ℓ1 norm of row `k`: one sequential accumulator over the row's
+    /// stored entries in ascending column order (structural zeros are
+    /// bitwise no-ops).
+    pub fn row_l1(&self, k: usize) -> f64 {
+        let mut acc = 0.0;
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for x in m.row(k) {
+                        acc += x.abs();
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (&v, &c) in var_for_col.iter().zip(coeff) {
+                        if v == k {
+                            acc += c.abs();
+                        }
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// ℓ1 norm of every row at once. Diagonal blocks contribute by column
+    /// scatter, so the cost is `O(nnz)`, and per row the additions happen
+    /// in the same ascending-column order as [`EpsStore::row_l1`].
+    pub fn row_l1_all(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_vars];
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for (a, row) in acc.iter_mut().zip(m.rows_iter()) {
+                        for x in row {
+                            *a += x.abs();
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (&v, &c) in var_for_col.iter().zip(coeff) {
+                        acc[v] += c.abs();
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Per-column sum of absolute values (the reduction influence score).
+    pub fn col_abs_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.width];
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for row in m.rows_iter() {
+                        for (o, &x) in out[seg.offset..seg.end()].iter_mut().zip(row) {
+                            *o += x.abs();
+                        }
+                    }
+                }
+                EpsBlock::Diag { coeff, .. } => {
+                    for (o, &c) in out[seg.offset..seg.end()].iter_mut().zip(coeff) {
+                        *o += c.abs();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row sum of `|entry|` over the column subset `cols` (strictly
+    /// ascending), in ascending column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` is not strictly ascending or out of range.
+    pub fn row_abs_sums_selected(&self, cols: &[usize]) -> Vec<f64> {
+        assert_ascending(cols, self.width);
+        let mut acc = vec![0.0; self.n_vars];
+        for seg in &self.segments {
+            let (lo, hi) = idx_overlap(cols, seg.offset, seg.end());
+            if lo == hi {
+                continue;
+            }
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for (a, row) in acc.iter_mut().zip(m.rows_iter()) {
+                        for &c in &cols[lo..hi] {
+                            *a += row[c - seg.offset].abs();
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for &c in &cols[lo..hi] {
+                        let s = c - seg.offset;
+                        acc[var_for_col[s]] += coeff[s].abs();
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    // ------------------------------------------------------------------
+    // Structure-preserving (column-local) operations
+    // ------------------------------------------------------------------
+
+    /// Extends the logical width with structural zero columns (free in
+    /// blocked mode; an in-place [`Matrix::grow_cols`] in dense mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < self.width()`.
+    pub fn pad_to(&mut self, width: usize) {
+        assert!(
+            self.width <= width,
+            "pad_eps would truncate ({} > {width})",
+            self.width
+        );
+        self.width = width;
+        self.normalize();
+    }
+
+    /// Appends fresh diagonal symbols at the current width: new column `s`
+    /// has `coeff[s]` in row `var_for_col[s]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a row is out of range.
+    pub fn append_diag(&mut self, var_for_col: &[usize], coeff: &[f64]) {
+        assert_eq!(
+            var_for_col.len(),
+            coeff.len(),
+            "diag append length mismatch"
+        );
+        if var_for_col.is_empty() {
+            return;
+        }
+        for &v in var_for_col {
+            assert!(v < self.n_vars, "diag row {v} out of range");
+        }
+        self.segments.push(EpsSegment {
+            offset: self.width,
+            block: EpsBlock::Diag {
+                var_for_col: var_for_col.to_vec(),
+                coeff: coeff.to_vec(),
+            },
+        });
+        self.width += var_for_col.len();
+        self.normalize();
+    }
+
+    /// Clone with every segment shifted `prefix` columns to the right
+    /// (structural zero prefix), used to lift a store into a wider symbol
+    /// layout whose first `prefix` columns it does not touch.
+    pub fn lifted(&self, prefix: usize) -> Self {
+        let mut out = self.clone();
+        out.width += prefix;
+        for seg in &mut out.segments {
+            seg.offset += prefix;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Every coefficient scaled by `s`.
+    pub fn scale(&self, s: f64) -> Self {
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            match &mut seg.block {
+                EpsBlock::Dense(m) => *m = m.scale(s),
+                EpsBlock::Diag { coeff, .. } => {
+                    for c in coeff {
+                        *c *= s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row `k` scaled by `w[k]` (unconditional multiply, like the dense
+    /// `γ`-scaling loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != n_vars`.
+    pub fn mul_rows(&self, w: &[f64]) -> Self {
+        assert_eq!(w.len(), self.n_vars, "row weight length mismatch");
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            match &mut seg.block {
+                EpsBlock::Dense(m) => {
+                    for (k, &wk) in w.iter().enumerate() {
+                        for x in m.row_mut(k) {
+                            *x *= wk;
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (&v, c) in var_for_col.iter().zip(coeff) {
+                        *c *= w[v];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row `k` scaled by `lambda[k]`, with `lambda[k] == 0.0` producing an
+    /// exactly-zero row (never `0 · ∞ = NaN`) — the guard the element-wise
+    /// relaxations rely on for poisoned inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda.len() != n_vars`.
+    pub fn scale_rows_guarded(&self, lambda: &[f64]) -> Self {
+        assert_eq!(lambda.len(), self.n_vars, "lambda length mismatch");
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            match &mut seg.block {
+                EpsBlock::Dense(m) => {
+                    for (k, &l) in lambda.iter().enumerate() {
+                        let row = m.row_mut(k);
+                        if l == 0.0 {
+                            row.fill(0.0);
+                        } else {
+                            for x in row {
+                                *x *= l;
+                            }
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    for (&v, c) in var_for_col.iter().zip(coeff) {
+                        let l = lambda[v];
+                        *c = if l == 0.0 { 0.0 } else { l * *c };
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Keeps the columns listed in `idx` (strictly ascending): output
+    /// column `j` is input column `idx[j]`. Blocks are subset in place —
+    /// a `Diag` block stays `Diag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not strictly ascending or out of range.
+    pub fn select_cols(&self, idx: &[usize]) -> Self {
+        assert_ascending(idx, self.width);
+        let mut segments = Vec::new();
+        for seg in &self.segments {
+            let (lo, hi) = idx_overlap(idx, seg.offset, seg.end());
+            if lo == hi {
+                continue;
+            }
+            let block = match &seg.block {
+                EpsBlock::Dense(m) => {
+                    let local: Vec<usize> = idx[lo..hi].iter().map(|&c| c - seg.offset).collect();
+                    EpsBlock::Dense(m.select_cols(&local))
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    let mut vs = Vec::with_capacity(hi - lo);
+                    let mut cs = Vec::with_capacity(hi - lo);
+                    for &c in &idx[lo..hi] {
+                        vs.push(var_for_col[c - seg.offset]);
+                        cs.push(coeff[c - seg.offset]);
+                    }
+                    EpsBlock::Diag {
+                        var_for_col: vs,
+                        coeff: cs,
+                    }
+                }
+            };
+            segments.push(EpsSegment { offset: lo, block });
+        }
+        let mut out = EpsStore {
+            n_vars: self.n_vars,
+            width: idx.len(),
+            segments,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Element-wise sum. Widths may differ (the narrower store is treated
+    /// as structurally zero-padded). Coincident segments combine per block
+    /// (`Dense+Dense` matrix add, matching `Diag+Diag` coefficient add);
+    /// disjoint segments are cloned; partially overlapping runs are
+    /// densified over their joint span — never asymptotically worse than
+    /// the dense add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.n_vars, other.n_vars, "eps add row mismatch");
+        let width = self.width.max(other.width);
+        // Merge both segment lists by offset, grouping overlapping runs.
+        let mut merged: Vec<(&EpsSegment, bool)> = self
+            .segments
+            .iter()
+            .map(|s| (s, false))
+            .chain(other.segments.iter().map(|s| (s, true)))
+            .collect();
+        merged.sort_by_key(|(s, _)| s.offset);
+        let mut segments: Vec<EpsSegment> = Vec::new();
+        let mut cluster: Vec<(&EpsSegment, bool)> = Vec::new();
+        let mut cluster_end = 0usize;
+        for (seg, side) in merged {
+            if !cluster.is_empty() && seg.offset >= cluster_end {
+                segments.push(combine_cluster(self.n_vars, &cluster, cluster_end));
+                cluster.clear();
+            }
+            cluster_end = if cluster.is_empty() {
+                seg.end()
+            } else {
+                cluster_end.max(seg.end())
+            };
+            cluster.push((seg, side));
+        }
+        if !cluster.is_empty() {
+            segments.push(combine_cluster(self.n_vars, &cluster, cluster_end));
+        }
+        let mut out = EpsStore {
+            n_vars: self.n_vars,
+            width,
+            segments,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Permutes/duplicates variable rows: output row `r` is input row
+    /// `perm[r]`. A `Diag` block survives as long as no variable it
+    /// references is duplicated by `perm`; otherwise it densifies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn permute_rows(&self, perm: &[usize]) -> Self {
+        for &v in perm {
+            assert!(v < self.n_vars, "permutation index out of range");
+        }
+        // Occurrence lists: where does each old variable land?
+        let mut first = vec![usize::MAX; self.n_vars];
+        let mut duplicated = vec![false; self.n_vars];
+        for (r, &v) in perm.iter().enumerate() {
+            if first[v] == usize::MAX {
+                first[v] = r;
+            } else {
+                duplicated[v] = true;
+            }
+        }
+        let segments = self
+            .segments
+            .iter()
+            .map(|seg| {
+                let block = match &seg.block {
+                    EpsBlock::Dense(m) => {
+                        let mut out = Matrix::zeros(perm.len(), m.cols());
+                        for (r, &src) in perm.iter().enumerate() {
+                            out.row_mut(r).copy_from_slice(m.row(src));
+                        }
+                        EpsBlock::Dense(out)
+                    }
+                    EpsBlock::Diag { var_for_col, coeff } => {
+                        if var_for_col.iter().any(|&v| duplicated[v]) {
+                            // A referenced row appears more than once: the
+                            // column is no longer single-nonzero.
+                            note_densified();
+                            let mut out = Matrix::zeros(perm.len(), coeff.len());
+                            for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                                for (r, &p) in perm.iter().enumerate() {
+                                    if p == v {
+                                        out.set(r, s, c);
+                                    }
+                                }
+                            }
+                            EpsBlock::Dense(out)
+                        } else {
+                            let mut vs = Vec::with_capacity(var_for_col.len());
+                            let mut cs = Vec::with_capacity(coeff.len());
+                            for (&v, &c) in var_for_col.iter().zip(coeff) {
+                                if first[v] == usize::MAX {
+                                    // Variable dropped by the permutation:
+                                    // the column becomes structurally zero.
+                                    vs.push(0);
+                                    cs.push(0.0);
+                                } else {
+                                    vs.push(first[v]);
+                                    cs.push(c);
+                                }
+                            }
+                            EpsBlock::Diag {
+                                var_for_col: vs,
+                                coeff: cs,
+                            }
+                        }
+                    }
+                };
+                EpsSegment {
+                    offset: seg.offset,
+                    block,
+                }
+            })
+            .collect();
+        let mut out = EpsStore {
+            n_vars: perm.len(),
+            width: self.width,
+            segments,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Vertically stacks stores (row concatenation), zero-padding every
+    /// part to the widest. The result is a single dense block: row
+    /// concatenation interleaves the parts' generator rows, which no
+    /// per-part block layout can represent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn vstack(parts: &[&EpsStore]) -> Self {
+        assert!(!parts.is_empty(), "vstack of no parts");
+        let width = parts.iter().map(|p| p.width).max().unwrap_or(0);
+        let n_vars: usize = parts.iter().map(|p| p.n_vars).sum();
+        let mut dense = Matrix::zeros(n_vars, width);
+        let mut r0 = 0;
+        for part in parts {
+            for seg in &part.segments {
+                match &seg.block {
+                    EpsBlock::Dense(m) => {
+                        for r in 0..part.n_vars {
+                            dense.row_mut(r0 + r)[seg.offset..seg.end()].copy_from_slice(m.row(r));
+                        }
+                    }
+                    EpsBlock::Diag { var_for_col, coeff } => {
+                        for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                            dense.set(r0 + v, seg.offset + s, c);
+                        }
+                    }
+                }
+            }
+            r0 += part.n_vars;
+        }
+        EpsStore::from_matrix(dense)
+    }
+
+    // ------------------------------------------------------------------
+    // Row-mixing linear maps — the only densification sites
+    // ------------------------------------------------------------------
+
+    /// The ε half of `matmul_right`: variables form a logical
+    /// `rows × cols` matrix, right-multiplied by `w` (`cols × d`). Dense
+    /// blocks run the blocked kernel per segment; `Diag` blocks densify to
+    /// their own columns, each column receiving the `d` products the dense
+    /// kernel's zero-skip would compute.
+    pub fn matmul_right_map(&self, w: &Matrix, rows: usize, cols: usize) -> Self {
+        debug_assert_eq!(rows * cols, self.n_vars);
+        let d = w.cols();
+        // One full-width dense output: segment results land in their own
+        // column ranges (gaps stay structurally zero). Emitting a single
+        // block keeps downstream ops from paying per-segment dispatch on
+        // stores that row-mixing has already made dense anyway.
+        let mut out = Matrix::zeros(rows * d, self.width);
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    let e = m.cols();
+                    for i in 0..rows {
+                        let block = m.slice_rows(i * cols, (i + 1) * cols);
+                        let mapped = w.transpose_a_matmul(&block); // (d × e)
+                        for r in 0..d {
+                            out.row_mut(i * d + r)[seg.offset..seg.offset + e]
+                                .copy_from_slice(mapped.row(r));
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    note_densified();
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        let (i, j) = (v / cols, v % cols);
+                        for r in 0..d {
+                            out.set(i * d + r, seg.offset + s, w.at(j, r) * c);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = EpsStore {
+            n_vars: rows * d,
+            width: self.width,
+            segments: vec![EpsSegment {
+                offset: 0,
+                block: EpsBlock::Dense(out),
+            }],
+        };
+        out.normalize();
+        out
+    }
+
+    /// The ε half of `matmul_left`: logical `rows × cols` variables
+    /// left-multiplied by `p_mat` (`m × rows`).
+    pub fn matmul_left_map(&self, p_mat: &Matrix, rows: usize, cols: usize) -> Self {
+        debug_assert_eq!(rows * cols, self.n_vars);
+        let m_rows = p_mat.rows();
+        let mut out = Matrix::zeros(m_rows * cols, self.width);
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    for mi in 0..m_rows {
+                        for i in 0..rows {
+                            let s = p_mat.at(mi, i);
+                            if s == 0.0 {
+                                continue;
+                            }
+                            for j in 0..cols {
+                                let src = m.row(i * cols + j);
+                                let dst = &mut out.row_mut(mi * cols + j)[seg.offset..seg.end()];
+                                for (d, &x) in dst.iter_mut().zip(src) {
+                                    *d += s * x;
+                                }
+                            }
+                        }
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    note_densified();
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        let (i, j) = (v / cols, v % cols);
+                        for mi in 0..m_rows {
+                            let p = p_mat.at(mi, i);
+                            if p == 0.0 {
+                                continue;
+                            }
+                            out.set(mi * cols + j, seg.offset + s, p * c);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = EpsStore {
+            n_vars: m_rows * cols,
+            width: self.width,
+            segments: vec![EpsSegment {
+                offset: 0,
+                block: EpsBlock::Dense(out),
+            }],
+        };
+        out.normalize();
+        out
+    }
+
+    /// The ε half of `linear_vars`: an arbitrary linear map `l`
+    /// (`n_out × n_vars`) of the flat variable vector.
+    pub fn linear_map(&self, l: &Matrix) -> Self {
+        debug_assert_eq!(l.cols(), self.n_vars);
+        let n_out = l.rows();
+        let mut out = Matrix::zeros(n_out, self.width);
+        for seg in &self.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    let mapped = l.matmul(m);
+                    for r in 0..n_out {
+                        out.row_mut(r)[seg.offset..seg.end()].copy_from_slice(mapped.row(r));
+                    }
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    note_densified();
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        for i in 0..n_out {
+                            out.set(i, seg.offset + s, l.at(i, v) * c);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = EpsStore {
+            n_vars: n_out,
+            width: self.width,
+            segments: vec![EpsSegment {
+                offset: 0,
+                block: EpsBlock::Dense(out),
+            }],
+        };
+        out.normalize();
+        out
+    }
+}
+
+/// Scatters one segment's content into the full dense matrix.
+fn scatter_segment(dense: &mut Matrix, seg: &EpsSegment) {
+    match &seg.block {
+        EpsBlock::Dense(m) => {
+            for r in 0..m.rows() {
+                dense.row_mut(r)[seg.offset..seg.end()].copy_from_slice(m.row(r));
+            }
+        }
+        EpsBlock::Diag { var_for_col, coeff } => {
+            for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                dense.set(v, seg.offset + s, c);
+            }
+        }
+    }
+}
+
+/// Combines a cluster of (possibly overlapping) segments from both sides
+/// of an add into one output segment.
+fn combine_cluster(n_vars: usize, cluster: &[(&EpsSegment, bool)], end: usize) -> EpsSegment {
+    if let [(seg, _)] = cluster {
+        return (*seg).clone();
+    }
+    if let [(a, sa), (b, sb)] = cluster {
+        if sa != sb && a.offset == b.offset && a.block.cols() == b.block.cols() {
+            match (&a.block, &b.block) {
+                (EpsBlock::Dense(ma), EpsBlock::Dense(mb)) => {
+                    return EpsSegment {
+                        offset: a.offset,
+                        block: EpsBlock::Dense(ma.add(mb)),
+                    };
+                }
+                (
+                    EpsBlock::Diag {
+                        var_for_col: va,
+                        coeff: ca,
+                    },
+                    EpsBlock::Diag {
+                        var_for_col: vb,
+                        coeff: cb,
+                    },
+                ) if va == vb => {
+                    return EpsSegment {
+                        offset: a.offset,
+                        block: EpsBlock::Diag {
+                            var_for_col: va.clone(),
+                            coeff: ca.iter().zip(cb).map(|(&x, &y)| x + y).collect(),
+                        },
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+    // General overlap: densify the cluster span and accumulate both sides.
+    let offset = cluster.iter().map(|(s, _)| s.offset).min().unwrap_or(0);
+    let mut dense = Matrix::zeros(n_vars, end - offset);
+    let mut add_seg = |seg: &EpsSegment| {
+        let local = seg.offset - offset;
+        match &seg.block {
+            EpsBlock::Dense(m) => {
+                for r in 0..m.rows() {
+                    let dst = &mut dense.row_mut(r)[local..local + m.cols()];
+                    for (d, &x) in dst.iter_mut().zip(m.row(r)) {
+                        *d += x;
+                    }
+                }
+            }
+            EpsBlock::Diag { var_for_col, coeff } => {
+                note_densified();
+                for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                    *dense.at_mut(v, local + s) += c;
+                }
+            }
+        }
+    };
+    for (seg, side) in cluster {
+        if !side {
+            add_seg(seg);
+        }
+    }
+    for (seg, side) in cluster {
+        if *side {
+            add_seg(seg);
+        }
+    }
+    EpsSegment {
+        offset,
+        block: EpsBlock::Dense(dense),
+    }
+}
+
+fn assert_ascending(idx: &[usize], width: usize) {
+    for w in idx.windows(2) {
+        assert!(w[0] < w[1], "column selection must be strictly ascending");
+    }
+    if let Some(&last) = idx.last() {
+        assert!(last < width, "column selection out of range");
+    }
+}
+
+/// Range `lo..hi` of positions in the ascending `idx` falling inside
+/// `[start, end)`.
+fn idx_overlap(idx: &[usize], start: usize, end: usize) -> (usize, usize) {
+    let lo = idx.partition_point(|&c| c < start);
+    let hi = idx.partition_point(|&c| c < end);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_tensor::parallel;
+
+    /// A mixed store: dense block, gap, diag block, structural tail.
+    fn mixed() -> EpsStore {
+        let mut s =
+            EpsStore::from_matrix(Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 3.0], &[4.0, 0.0]]));
+        s.pad_to(3); // one structural zero column
+        s.append_diag(&[2, 0], &[5.0, -6.0]);
+        s.pad_to(7); // structural tail
+        s
+    }
+
+    fn mixed_dense() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, -2.0, 0.0, 0.0, -6.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[4.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn layout_round_trips_and_logical_equality() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed();
+        assert_eq!(s.to_matrix(), mixed_dense());
+        assert_eq!(s.width(), 7);
+        assert_eq!(s.at(0, 4), -6.0);
+        assert_eq!(s.at(1, 4), 0.0);
+        assert_eq!(s.at(2, 6), 0.0);
+        assert_eq!(s.row(2), vec![4.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0]);
+        // Blocked and dense stores with the same content are equal.
+        let dense = EpsStore::from_matrix(mixed_dense());
+        assert_eq!(s, dense);
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.diag_cols(), 2);
+        assert_eq!(s.dense_cols(), 2);
+        assert!(s.resident_bytes() < dense.resident_bytes());
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn dense_mode_normalizes_to_one_padded_block() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(true));
+        let s = mixed();
+        assert_eq!(s.num_blocks(), 1);
+        assert_eq!(s.dense_cols(), 7);
+        assert_eq!(s.diag_cols(), 0);
+        assert_eq!(s.to_matrix(), mixed_dense());
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn scans_match_dense_bitwise() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed();
+        let d = mixed_dense();
+        for k in 0..3 {
+            assert_eq!(s.row_l1(k), deept_tensor::l1_norm(d.row(k)));
+        }
+        let all = s.row_l1_all();
+        for (k, &norm) in all.iter().enumerate().take(3) {
+            assert_eq!(norm, s.row_l1(k));
+        }
+        assert_eq!(s.col_abs_sums(), d.col_abs_sums());
+        let sel = [0, 3, 4, 6];
+        let by_row: Vec<f64> = (0..3)
+            .map(|k| sel.iter().map(|&c| d.at(k, c).abs()).sum())
+            .collect();
+        assert_eq!(s.row_abs_sums_selected(&sel), by_row);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn column_local_ops_preserve_diag_blocks() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed();
+        let scaled = s.scale(-2.0);
+        assert_eq!(scaled.diag_cols(), 2);
+        assert_eq!(scaled.to_matrix(), mixed_dense().scale(-2.0));
+        let w = [2.0, 0.0, -1.0];
+        let mul = s.mul_rows(&w);
+        assert_eq!(mul.diag_cols(), 2);
+        assert_eq!(mul.at(0, 4), -12.0);
+        assert_eq!(mul.at(1, 1), 0.0);
+        let guarded = s.scale_rows_guarded(&w);
+        assert_eq!(guarded.at(2, 3), -5.0);
+        assert_eq!(guarded.at(1, 1), 0.0);
+        let sel = s.select_cols(&[1, 3, 4, 5]);
+        assert_eq!(sel.width(), 4);
+        assert_eq!(sel.diag_cols(), 2);
+        assert_eq!(sel.to_matrix(), mixed_dense().select_cols(&[1, 3, 4, 5]));
+        let lift = s.lifted(3);
+        assert_eq!(lift.width(), 10);
+        assert_eq!(lift.at(2, 6), 5.0);
+        assert_eq!(lift.at(2, 0), 0.0);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn scale_rows_guarded_zeroes_poisoned_rows() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = EpsStore::from_diag(2, &[0, 1], &[f64::INFINITY, 2.0]);
+        let out = s.scale_rows_guarded(&[0.0, 3.0]);
+        assert!(!out.has_non_finite(), "0 · ∞ must not become NaN");
+        assert_eq!(out.at(1, 1), 6.0);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn add_merges_coincident_and_disjoint_segments_structurally() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        // Identical layouts: Dense+Dense and Diag+Diag stay structural.
+        let a = mixed();
+        let b = mixed().scale(0.5);
+        let sum = a.add(&b);
+        assert_eq!(sum.diag_cols(), 2);
+        assert_eq!(
+            sum.to_matrix(),
+            mixed_dense().add(&mixed_dense().scale(0.5))
+        );
+        // Disjoint: a diag tail beyond the other operand's width is cloned.
+        let mut tail = EpsStore::zeros(3, 7);
+        tail.append_diag(&[1], &[9.0]);
+        let sum2 = a.add(&tail);
+        assert_eq!(sum2.width(), 8);
+        assert_eq!(sum2.diag_cols(), 3);
+        assert_eq!(sum2.at(1, 7), 9.0);
+        assert_eq!(sum2.at(0, 4), -6.0);
+        // Partial overlap densifies only the overlapping span.
+        let wide = EpsStore::from_matrix(Matrix::zeros(3, 5).add(&{
+            let mut m = Matrix::zeros(3, 5);
+            m.set(0, 4, 1.0);
+            m
+        }));
+        let sum3 = a.add(&wide);
+        assert_eq!(sum3.at(0, 4), -5.0);
+        assert_eq!(sum3.to_matrix().at(2, 3), 5.0);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn add_matches_dense_in_both_orders() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let a = mixed();
+        let mut b = EpsStore::from_diag(3, &[0, 1, 2], &[1.0, 2.0, 3.0]);
+        b.pad_to(5);
+        let want = {
+            let mut bd = b.to_matrix();
+            bd.grow_cols(7);
+            mixed_dense().add(&bd)
+        };
+        assert_eq!(a.add(&b).to_matrix(), want);
+        assert_eq!(b.add(&a).to_matrix(), want);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn permute_rows_keeps_diag_unless_duplicated() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed();
+        let rev = s.permute_rows(&[2, 1, 0]);
+        assert_eq!(rev.diag_cols(), 2);
+        assert_eq!(rev.at(0, 3), 5.0);
+        assert_eq!(rev.at(2, 4), -6.0);
+        // Dropping a variable zeroes its column structurally.
+        let dropped = s.permute_rows(&[1]);
+        assert_eq!(dropped.to_matrix().row(0), mixed_dense().row(1));
+        // Duplicating a referenced row forces densification.
+        let dup = s.permute_rows(&[2, 2, 0]);
+        assert_eq!(dup.diag_cols(), 0);
+        assert_eq!(dup.at(0, 3), 5.0);
+        assert_eq!(dup.at(1, 3), 5.0);
+        assert_eq!(dup.at(2, 4), -6.0);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn row_mixing_maps_densify_lazily_and_match_dense_kernels() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed(); // 3 vars as a 3×1 logical matrix
+        let before = snapshot();
+        // Right-multiply by w (1×2): out var (i·2 + r) = w[0][r] · var i.
+        let w = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let mut lift = Matrix::zeros(6, 3);
+        for i in 0..3 {
+            for r in 0..2 {
+                lift.set(i * 2 + r, i, w.at(0, r));
+            }
+        }
+        let right = s.matmul_right_map(&w, 3, 1);
+        assert_eq!(right.n_vars(), 6);
+        assert_eq!(right.to_matrix(), lift.matmul(&mixed_dense()));
+        assert_eq!(right.diag_cols(), 0);
+        let p = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let left = s.matmul_left_map(&p, 3, 1);
+        assert_eq!(left.to_matrix(), p.matmul(&mixed_dense()));
+        let l = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[0.5, 0.0, -0.5]]);
+        let lin = s.linear_map(&l);
+        assert_eq!(lin.to_matrix(), l.matmul(&mixed_dense()));
+        let d = snapshot().densifications - before.densifications;
+        assert!(d >= 3, "each map must record its diag densification: {d}");
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn vstack_pads_and_stacks() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let a = mixed(); // width 7
+        let b = EpsStore::from_diag(2, &[0, 1], &[1.0, 2.0]); // width 2
+        let v = EpsStore::vstack(&[&a, &b]);
+        assert_eq!((v.n_vars(), v.width()), (5, 7));
+        let mut bd = b.to_matrix();
+        bd.grow_cols(7);
+        assert_eq!(v.to_matrix(), mixed_dense().vstack(&bd));
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn serde_round_trips_logically() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed();
+        let value = s.to_value();
+        let back = EpsStore::from_value(&value).expect("deserialize");
+        assert_eq!(back, s);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn empty_and_zero_width_edges() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let z = EpsStore::zeros(4, 0);
+        assert_eq!(z.width(), 0);
+        assert_eq!(z.row_l1(0), 0.0);
+        assert_eq!(z.col_abs_sums(), Vec::<f64>::new());
+        let sum = z.add(&z);
+        assert_eq!(sum.width(), 0);
+        let sel = z.select_cols(&[]);
+        assert_eq!(sel.width(), 0);
+        let zero_rows = EpsStore::from_matrix(Matrix::zeros(0, 3));
+        assert_eq!(zero_rows.row_l1_all(), Vec::<f64>::new());
+        let v = EpsStore::vstack(&[&zero_rows, &zero_rows]);
+        assert_eq!((v.n_vars(), v.width()), (0, 3));
+        // append_diag of nothing leaves the store untouched.
+        let mut s = mixed();
+        let w = s.width();
+        s.append_diag(&[], &[]);
+        assert_eq!(s.width(), w);
+        set_force_dense(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "pad_eps would truncate")]
+    fn pad_to_cannot_truncate() {
+        let mut s = EpsStore::zeros(1, 3);
+        s.pad_to(2);
+    }
+
+    #[test]
+    fn force_dense_override_round_trips() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(true));
+        assert!(force_dense());
+        set_force_dense(Some(false));
+        assert!(!force_dense());
+        set_force_dense(None);
+    }
+}

@@ -26,7 +26,8 @@ pub fn support_2d(z: &Zonotope, i: usize, j: usize, dir: (f64, f64)) -> f64 {
     // Generator contributions: ε part is an ℓ∞ box over symbols (sum of
     // |coefficients|); φ part is bounded by the dual norm (Lemma 1).
     let mut eps_sum = 0.0;
-    for (a, b) in z.eps().row(i).iter().zip(z.eps().row(j)) {
+    let (ei, ej) = (z.eps_row(i), z.eps_row(j));
+    for (a, b) in ei.iter().zip(&ej) {
         eps_sum += (dx * a + dy * b).abs();
     }
     let phi_coeffs: Vec<f64> = z
@@ -58,11 +59,10 @@ pub fn vertices_2d(z: &Zonotope, i: usize, j: usize) -> Vec<(f64, f64)> {
     let cx = z.center()[i];
     let cy = z.center()[j];
     // Orient every generator into the upper half-plane and sort by angle.
-    let mut gens: Vec<(f64, f64)> = z
-        .eps()
-        .row(i)
+    let (ei, ej) = (z.eps_row(i), z.eps_row(j));
+    let mut gens: Vec<(f64, f64)> = ei
         .iter()
-        .zip(z.eps().row(j))
+        .zip(&ej)
         .map(|(&a, &b)| {
             if b < 0.0 || (b == 0.0 && a < 0.0) {
                 (-a, -b)
@@ -108,8 +108,8 @@ pub fn vertices_2d(z: &Zonotope, i: usize, j: usize) -> Vec<(f64, f64)> {
 /// Panics if the zonotope has φ symbols.
 pub fn area_2d(z: &Zonotope, i: usize, j: usize) -> f64 {
     assert_eq!(z.num_phi(), 0, "exact area requires a classical zonotope");
-    let gi = z.eps().row(i);
-    let gj = z.eps().row(j);
+    let gi = z.eps_row(i);
+    let gj = z.eps_row(j);
     let m = gi.len();
     let mut area = 0.0;
     for k in 0..m {

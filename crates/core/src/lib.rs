@@ -56,6 +56,7 @@
 
 pub mod dot;
 pub mod elementwise;
+pub mod eps;
 pub mod geometry;
 mod norm;
 pub mod reduce;
@@ -64,6 +65,7 @@ pub mod softmax;
 mod zonotope;
 
 pub use dot::{DotConfig, DotVariant, NormOrder};
+pub use eps::{EpsBlock, EpsStore};
 pub use norm::PNorm;
 pub use softmax::SoftmaxConfig;
 pub use zonotope::Zonotope;

@@ -13,7 +13,6 @@
 //! itself.
 
 use deept_telemetry::{NoopProbe, Probe, ReduceEvent, SpanKind};
-use deept_tensor::Matrix;
 
 use crate::Zonotope;
 
@@ -53,9 +52,16 @@ pub fn reduce_eps_probed(
 ) -> (Zonotope, ReduceStats) {
     probe.span_enter(SpanKind::Reduction);
     let before = probe.enabled().then(deept_tensor::parallel::snapshot);
+    let eps_before = probe.enabled().then(crate::eps::snapshot);
     let (out, stats) = reduce_eps_impl(z, budget, protect);
     if let Some(before) = before {
         probe.parallel(crate::dot::parallel_stats_since(&before));
+    }
+    if let Some(eps_before) = eps_before {
+        probe.eps_storage(crate::eps::storage_stats_since(
+            &eps_before,
+            out.eps_store(),
+        ));
     }
     probe.reduction(ReduceEvent {
         before: stats.before,
@@ -84,7 +90,7 @@ fn reduce_eps_impl(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, Re
         );
     }
     let n = z.n_vars();
-    let scores = z.eps().col_abs_sums();
+    let scores = z.eps_store().col_abs_sums();
     // Rank the unprotected symbols by influence, descending.
     let mut order: Vec<usize> = (protect..e).collect();
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
@@ -92,26 +98,21 @@ fn reduce_eps_impl(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, Re
     let mut kept: Vec<usize> = (0..protect).collect();
     kept.extend(order.iter().take(keep_free).copied());
     kept.sort_unstable(); // preserve relative order of kept symbols
-    let dropped: Vec<usize> = order.iter().skip(keep_free).copied().collect();
+    let mut dropped: Vec<usize> = order.iter().skip(keep_free).copied().collect();
+    dropped.sort_unstable(); // ascending-column summation, identical in both ε modes
 
-    let kept_eps = z.eps().select_cols(&kept);
-    // Per-variable eliminated mass.
-    let mut mass = vec![0.0; n];
-    for i in 0..n {
-        let row = z.eps().row(i);
-        mass[i] = dropped.iter().map(|&j| row[j].abs()).sum();
-    }
+    // Per-variable eliminated mass, summed in column order.
+    let mass = z.eps_store().row_abs_sums_selected(&dropped);
     let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
-    let mut eps_new = Matrix::zeros(n, fresh.len());
-    for (s, &i) in fresh.iter().enumerate() {
-        eps_new.set(i, s, mass[i]);
-    }
-    let out = Zonotope::from_parts(
+    let coeff: Vec<f64> = fresh.iter().map(|&i| mass[i]).collect();
+    let mut eps = z.eps_store().select_cols(&kept);
+    eps.append_diag(&fresh, &coeff);
+    let out = Zonotope::from_parts_store(
         z.rows(),
         z.cols(),
         z.center().to_vec(),
         z.phi().clone(),
-        kept_eps.hstack(&eps_new),
+        eps,
         z.p(),
     );
     let after = out.num_eps();
@@ -139,22 +140,18 @@ pub fn reduce_box_all(z: &Zonotope, protect: usize) -> Zonotope {
     }
     let n = z.n_vars();
     let kept: Vec<usize> = (0..protect).collect();
-    let kept_eps = z.eps().select_cols(&kept);
-    let mut mass = vec![0.0; n];
-    for i in 0..n {
-        mass[i] = z.eps().row(i)[protect..].iter().map(|x| x.abs()).sum();
-    }
+    let boxed_cols: Vec<usize> = (protect..e).collect();
+    let mass = z.eps_store().row_abs_sums_selected(&boxed_cols);
     let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
-    let mut eps_new = Matrix::zeros(n, fresh.len());
-    for (s, &i) in fresh.iter().enumerate() {
-        eps_new.set(i, s, mass[i]);
-    }
-    Zonotope::from_parts(
+    let coeff: Vec<f64> = fresh.iter().map(|&i| mass[i]).collect();
+    let mut eps = z.eps_store().select_cols(&kept);
+    eps.append_diag(&fresh, &coeff);
+    Zonotope::from_parts_store(
         z.rows(),
         z.cols(),
         z.center().to_vec(),
         z.phi().clone(),
-        kept_eps.hstack(&eps_new),
+        eps,
         z.p(),
     )
 }
@@ -170,6 +167,7 @@ impl Zonotope {
 mod tests {
     use super::*;
     use crate::PNorm;
+    use deept_tensor::Matrix;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -247,7 +245,7 @@ mod tests {
         // The first `protect` columns must be bit-identical.
         for i in 0..z.n_vars() {
             for j in 0..3 {
-                assert_eq!(out.eps().at(i, j), z.eps().at(i, j));
+                assert_eq!(out.eps_at(i, j), z.eps_at(i, j));
             }
         }
     }
@@ -299,7 +297,7 @@ mod tests {
         let out = reduce_box_all(&z, 4);
         for i in 0..z.n_vars() {
             for j in 0..4 {
-                assert_eq!(out.eps().at(i, j), z.eps().at(i, j));
+                assert_eq!(out.eps_at(i, j), z.eps_at(i, j));
             }
         }
         assert!(out.num_eps() <= 4 + z.n_vars());

@@ -40,7 +40,7 @@ impl AffineExpr {
         AffineExpr {
             c: z.center()[k],
             alpha: z.phi().row(k).to_vec(),
-            beta: z.eps().row(k).to_vec(),
+            beta: z.eps_row(k),
         }
     }
 }
@@ -119,12 +119,14 @@ pub fn refine_sum(z: &Zonotope, target: f64, protect: usize, tighten_eps: bool) 
         alpha: vec![0.0; z.num_phi()],
         beta: vec![0.0; e_eps],
     };
+    let mut row_scratch = vec![0.0; e_eps];
     for i in 1..n {
         z2.c -= z.center()[i];
         for (a, &x) in z2.alpha.iter_mut().zip(z.phi().row(i)) {
             *a -= x;
         }
-        for (b, &x) in z2.beta.iter_mut().zip(z.eps().row(i)) {
+        z.eps_store().write_row_into(i, &mut row_scratch);
+        for (b, &x) in z2.beta.iter_mut().zip(&row_scratch) {
             *b -= x;
         }
     }
@@ -204,7 +206,7 @@ pub fn refine_sum(z: &Zonotope, target: f64, protect: usize, tighten_eps: bool) 
     // (Step 2).
     let mut center = z.center().to_vec();
     let mut phi = z.phi().clone();
-    let mut eps = z.eps().clone();
+    let mut eps = z.eps_dense_matrix();
     center[0] = refined_c;
     phi.row_mut(0).copy_from_slice(&refined_alpha);
     eps.row_mut(0).copy_from_slice(&refined_beta);
@@ -240,19 +242,21 @@ fn tighten_from_sum(z: &Zonotope, target: f64, protect: usize) -> Zonotope {
     let mut c_s = target;
     let mut alpha_s = vec![0.0; z.num_phi()];
     let mut beta_s = vec![0.0; e_eps];
+    let mut row_scratch = vec![0.0; e_eps];
     for i in 0..n {
         c_s -= z.center()[i];
         for (a, &x) in alpha_s.iter_mut().zip(z.phi().row(i)) {
             *a -= x;
         }
-        for (b, &x) in beta_s.iter_mut().zip(z.eps().row(i)) {
+        z.eps_store().write_row_into(i, &mut row_scratch);
+        for (b, &x) in beta_s.iter_mut().zip(&row_scratch) {
             *b -= x;
         }
     }
     let alpha_norm = z.p().dual_norm(&alpha_s);
     let beta_total: f64 = deept_tensor::l1_norm(&beta_s);
     let mut center = z.center().to_vec();
-    let mut eps = z.eps().clone();
+    let mut eps = z.eps_dense_matrix();
     for m in protect..e_eps {
         let bm = beta_s[m].abs();
         if bm <= COEFF_TOL {
@@ -353,7 +357,7 @@ mod tests {
             // used; brute-force: adjust the last symbol to satisfy the sum).
             // Σ xᵢ(φ, ε) = 1 ⇔ ε_m = (1 − rest)/coef.
             let m = 2;
-            let coef: f64 = (0..3).map(|i| z.eps().at(i, m)).sum();
+            let coef: f64 = (0..3).map(|i| z.eps_at(i, m)).sum();
             if coef.abs() < 1e-9 {
                 continue;
             }

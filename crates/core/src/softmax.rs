@@ -61,9 +61,16 @@ pub fn softmax_rows(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
 pub fn softmax_rows_probed(z: &Zonotope, cfg: SoftmaxConfig, probe: &dyn Probe) -> Zonotope {
     probe.span_enter(SpanKind::Softmax);
     let before = probe.enabled().then(deept_tensor::parallel::snapshot);
+    let eps_before = probe.enabled().then(crate::eps::snapshot);
     let out = softmax_rows_impl(z, cfg);
     if let Some(before) = before {
         probe.parallel(crate::dot::parallel_stats_since(&before));
+    }
+    if let Some(eps_before) = eps_before {
+        probe.eps_storage(crate::eps::storage_stats_since(
+            &eps_before,
+            out.eps_store(),
+        ));
     }
     let created = out.num_eps() - z.num_eps();
     let stats = probe.enabled().then(|| out.telemetry_stats());
@@ -142,7 +149,7 @@ fn assemble_with_offsets(
             let dst = i * c + j;
             center.push(part.center()[j]);
             phi.row_mut(dst).copy_from_slice(part.phi().row(j));
-            let src = part.eps().row(j);
+            let src = part.eps_row(j);
             eps.row_mut(dst)[..base].copy_from_slice(&src[..base]);
             eps.row_mut(dst)[base + offset..base + offset + tail].copy_from_slice(&src[base..]);
         }

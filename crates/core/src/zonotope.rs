@@ -1,9 +1,10 @@
 //! The Multi-norm Zonotope data structure, its constructors, concrete
 //! bounds (Theorem 1) and the exact affine transformers (§4.2).
 
-use deept_tensor::Matrix;
+use deept_tensor::{arena, Matrix};
 use serde::{Deserialize, Serialize};
 
+use crate::eps::EpsStore;
 use crate::PNorm;
 
 /// A Multi-norm Zonotope over a logical `rows × cols` matrix of variables.
@@ -22,13 +23,19 @@ use crate::PNorm;
 /// is a stable identity and two zonotopes derived from the same input can be
 /// combined after zero-padding the shorter `ε` matrix
 /// ([`Zonotope::pad_eps`]). This is what makes residual connections exact.
+///
+/// The `ε` coefficients live in a block-structured [`EpsStore`]
+/// (see [`crate::eps`]): fresh symbols stay in diagonal blocks until a
+/// row-mixing affine map forces them dense, and zero-padding is structural.
+/// `DEEPT_EPS=dense` pins the historical dense representation; bounds are
+/// bitwise identical either way.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Zonotope {
     rows: usize,
     cols: usize,
     center: Vec<f64>,
     phi: Matrix,
-    eps: Matrix,
+    eps: EpsStore,
     p: PNorm,
 }
 
@@ -45,7 +52,7 @@ impl Zonotope {
             cols: center.cols(),
             center: center.as_slice().to_vec(),
             phi: Matrix::zeros(n, 0),
-            eps: Matrix::zeros(n, 0),
+            eps: EpsStore::zeros(n, 0),
             p,
         }
     }
@@ -67,18 +74,24 @@ impl Zonotope {
         for &r in perturbed_rows {
             assert!(r < rows, "perturbed row {r} out of range ({rows} rows)");
         }
-        let n_sym = perturbed_rows.len() * cols;
-        let mut coeff = Matrix::zeros(n, n_sym);
-        let mut s = 0;
-        for &r in perturbed_rows {
-            for j in 0..cols {
-                coeff.set(r * cols + j, s, radius);
-                s += 1;
-            }
-        }
+        let vars: Vec<usize> = perturbed_rows
+            .iter()
+            .flat_map(|&r| (0..cols).map(move |j| r * cols + j))
+            .collect();
         let (phi, eps) = match p {
-            PNorm::Linf => (Matrix::zeros(n, 0), coeff),
-            _ => (coeff, Matrix::zeros(n, 0)),
+            // ℓ∞ symbols are independent, so the ball is a fresh diagonal
+            // ε block — the shape the block store keeps structural.
+            PNorm::Linf => (
+                Matrix::zeros(n, 0),
+                EpsStore::from_diag(n, &vars, &vec![radius; vars.len()]),
+            ),
+            _ => {
+                let mut coeff = Matrix::zeros(n, vars.len());
+                for (s, &k) in vars.iter().enumerate() {
+                    coeff.set(k, s, radius);
+                }
+                (coeff, EpsStore::zeros(n, 0))
+            }
         };
         Self {
             rows,
@@ -104,12 +117,15 @@ impl Zonotope {
         assert_eq!(center.shape(), radii.shape(), "box shape mismatch");
         let n = center.len();
         let nz: Vec<usize> = (0..n).filter(|&k| radii.as_slice()[k] != 0.0).collect();
-        let mut eps = Matrix::zeros(n, nz.len());
-        for (s, &k) in nz.iter().enumerate() {
-            let r = radii.as_slice()[k];
-            assert!(r > 0.0, "negative box radius");
-            eps.set(k, s, r);
-        }
+        let coeff: Vec<f64> = nz
+            .iter()
+            .map(|&k| {
+                let r = radii.as_slice()[k];
+                assert!(r > 0.0, "negative box radius");
+                r
+            })
+            .collect();
+        let eps = EpsStore::from_diag(n, &nz, &coeff);
         Self {
             rows: center.rows(),
             cols: center.cols(),
@@ -134,9 +150,28 @@ impl Zonotope {
         eps: Matrix,
         p: PNorm,
     ) -> Self {
+        assert_eq!(eps.rows(), center.len(), "eps rows mismatch");
+        Self::from_parts_store(rows, cols, center, phi, EpsStore::from_matrix(eps), p)
+    }
+
+    /// Builds a zonotope from raw parts with an already block-structured
+    /// `ε` store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts of `phi`/`eps` differ from
+    /// `center.len() == rows * cols`.
+    pub fn from_parts_store(
+        rows: usize,
+        cols: usize,
+        center: Vec<f64>,
+        phi: Matrix,
+        eps: EpsStore,
+        p: PNorm,
+    ) -> Self {
         assert_eq!(center.len(), rows * cols, "center length mismatch");
         assert_eq!(phi.rows(), center.len(), "phi rows mismatch");
-        assert_eq!(eps.rows(), center.len(), "eps rows mismatch");
+        assert_eq!(eps.n_vars(), center.len(), "eps rows mismatch");
         Self {
             rows,
             cols,
@@ -171,9 +206,9 @@ impl Zonotope {
         self.phi.cols()
     }
 
-    /// Number of ℓ∞ `ε` noise symbols.
+    /// Number of ℓ∞ `ε` noise symbols (including structural zero columns).
     pub fn num_eps(&self) -> usize {
-        self.eps.cols()
+        self.eps.width()
     }
 
     /// The norm bounding the `φ` symbols.
@@ -196,9 +231,26 @@ impl Zonotope {
         &self.phi
     }
 
-    /// The `ε` coefficient matrix (`n_vars × num_eps`).
-    pub fn eps(&self) -> &Matrix {
+    /// The block-structured `ε` coefficient store (`n_vars × num_eps`
+    /// logical).
+    pub fn eps_store(&self) -> &EpsStore {
         &self.eps
+    }
+
+    /// Materializes the full dense `ε` coefficient matrix
+    /// (`n_vars × num_eps`). Prefer the [`EpsStore`] scans on hot paths.
+    pub fn eps_dense_matrix(&self) -> Matrix {
+        self.eps.to_matrix()
+    }
+
+    /// The full logical `ε` coefficient row of variable `k`.
+    pub fn eps_row(&self, k: usize) -> Vec<f64> {
+        self.eps.row(k)
+    }
+
+    /// One logical `ε` coefficient.
+    pub fn eps_at(&self, k: usize, j: usize) -> f64 {
+        self.eps.at(k, j)
     }
 
     /// Flat variable index of logical position `(i, j)`.
@@ -221,8 +273,11 @@ impl Zonotope {
         let n = self.n_vars();
         let mut lo = Vec::with_capacity(n);
         let mut hi = Vec::with_capacity(n);
+        // One O(nnz) sweep over the ε blocks instead of a dense row scan
+        // per variable; per row the summation order is unchanged.
+        let eps_l1 = self.eps.row_l1_all();
         for k in 0..n {
-            let dev = self.deviation(k);
+            let dev = self.p.dual_norm(self.phi.row(k)) + eps_l1[k];
             lo.push(self.center[k] - dev);
             hi.push(self.center[k] + dev);
         }
@@ -237,13 +292,14 @@ impl Zonotope {
 
     /// Half-width `‖α_k‖_q + ‖β_k‖₁` of variable `k`.
     pub fn deviation(&self, k: usize) -> f64 {
-        self.p.dual_norm(self.phi.row(k)) + deept_tensor::l1_norm(self.eps.row(k))
+        self.p.dual_norm(self.phi.row(k)) + self.eps.row_l1(k)
     }
 
     /// Maximum half-width over all variables.
     pub fn max_deviation(&self) -> f64 {
+        let eps_l1 = self.eps.row_l1_all();
         (0..self.n_vars())
-            .map(|k| self.deviation(k))
+            .map(|k| self.p.dual_norm(self.phi.row(k)) + eps_l1[k])
             .fold(0.0, f64::max)
     }
 
@@ -255,10 +311,11 @@ impl Zonotope {
         if n == 0 {
             return (0.0, 0.0);
         }
+        let eps_l1 = self.eps.row_l1_all();
         let mut sum = 0.0;
         let mut max = 0.0f64;
         for k in 0..n {
-            let w = 2.0 * self.deviation(k);
+            let w = 2.0 * (self.p.dual_norm(self.phi.row(k)) + eps_l1[k]);
             sum += w;
             max = max.max(w);
         }
@@ -291,17 +348,15 @@ impl Zonotope {
     // Symbol alignment
     // ------------------------------------------------------------------
 
-    /// Extends the `ε` matrix with zero columns up to `n_cols` symbols.
+    /// Extends the `ε` store with zero columns up to `n_cols` symbols.
+    /// Structural (free) in the block store; an in-place column growth in
+    /// `DEEPT_EPS=dense` mode.
     ///
     /// # Panics
     ///
     /// Panics if the zonotope already has more than `n_cols` symbols.
     pub fn pad_eps(&mut self, n_cols: usize) {
-        let cur = self.eps.cols();
-        assert!(cur <= n_cols, "pad_eps would truncate ({cur} > {n_cols})");
-        if cur < n_cols {
-            self.eps = self.eps.hstack(&Matrix::zeros(self.n_vars(), n_cols - cur));
-        }
+        self.eps.pad_to(n_cols);
     }
 
     fn assert_compatible(&self, other: &Zonotope) {
@@ -332,18 +387,14 @@ impl Zonotope {
             (other.rows, other.cols),
             "add shape mismatch"
         );
-        let mut a = self.clone();
-        let mut b = other.clone();
-        let w = a.eps.cols().max(b.eps.cols());
-        a.pad_eps(w);
-        b.pad_eps(w);
         Zonotope {
-            rows: a.rows,
-            cols: a.cols,
-            center: deept_tensor::vec_add(&a.center, &b.center),
-            phi: a.phi.add(&b.phi),
-            eps: a.eps.add(&b.eps),
-            p: a.p,
+            rows: self.rows,
+            cols: self.cols,
+            center: deept_tensor::vec_add(&self.center, &other.center),
+            phi: self.phi.add(&other.phi),
+            // The store add aligns widths structurally — no zero hstack.
+            eps: self.eps.add(&other.eps),
+            p: self.p,
         }
     }
 
@@ -419,11 +470,10 @@ impl Zonotope {
                 for e in 0..out.phi.cols() {
                     *out.phi.at_mut(k, e) *= w[j];
                 }
-                for e in 0..out.eps.cols() {
-                    *out.eps.at_mut(k, e) *= w[j];
-                }
             }
         }
+        let w_per_var: Vec<f64> = (0..self.n_vars()).map(|k| w[k % self.cols]).collect();
+        out.eps = self.eps.mul_rows(&w_per_var);
         out
     }
 
@@ -455,7 +505,7 @@ impl Zonotope {
             cols: d,
             center: center.into_vec(),
             phi: map_coeffs(&self.phi),
-            eps: map_coeffs(&self.eps),
+            eps: self.eps.matmul_right_map(w, self.rows, self.cols),
             p: self.p,
         }
     }
@@ -495,7 +545,7 @@ impl Zonotope {
             cols: self.cols,
             center: center.into_vec(),
             phi: map_coeffs(&self.phi),
-            eps: map_coeffs(&self.eps),
+            eps: self.eps.matmul_left_map(p_mat, self.rows, self.cols),
             p: self.p,
         }
     }
@@ -523,7 +573,7 @@ impl Zonotope {
             cols: out_cols,
             center: l.matvec(&self.center),
             phi: l.matmul(&self.phi),
-            eps: l.matmul(&self.eps),
+            eps: self.eps.linear_map(l),
             p: self.p,
         }
     }
@@ -612,7 +662,7 @@ impl Zonotope {
             cols,
             center: perm.iter().map(|&k| self.center[k]).collect(),
             phi: pick_rows(&self.phi),
-            eps: pick_rows(&self.eps),
+            eps: self.eps.permute_rows(perm),
             p: self.p,
         }
     }
@@ -627,30 +677,26 @@ impl Zonotope {
     pub fn concat_rows(parts: &[Zonotope]) -> Zonotope {
         assert!(!parts.is_empty(), "concat_rows of no parts");
         let cols = parts[0].cols;
-        let w = parts.iter().map(|z| z.eps.cols()).max().unwrap_or(0);
-        let mut acc: Option<Zonotope> = None;
+        let mut rows = 0;
+        let mut center = Vec::new();
         for part in parts {
             parts[0].assert_compatible(part);
             assert_eq!(part.cols, cols, "concat_rows col mismatch");
-            let mut p = part.clone();
-            p.pad_eps(w);
-            acc = Some(match acc {
-                None => p,
-                Some(a) => Zonotope {
-                    rows: a.rows + p.rows,
-                    cols,
-                    center: {
-                        let mut c = a.center;
-                        c.extend_from_slice(&p.center);
-                        c
-                    },
-                    phi: a.phi.vstack(&p.phi),
-                    eps: a.eps.vstack(&p.eps),
-                    p: a.p,
-                },
-            });
+            rows += part.rows;
+            center.extend_from_slice(&part.center);
         }
-        acc.expect("non-empty parts")
+        let phi = parts[1..]
+            .iter()
+            .fold(parts[0].phi.clone(), |acc, part| acc.vstack(&part.phi));
+        let stores: Vec<&EpsStore> = parts.iter().map(|part| &part.eps).collect();
+        Zonotope {
+            rows,
+            cols,
+            center,
+            phi,
+            eps: EpsStore::vstack(&stores),
+            p: parts[0].p,
+        }
     }
 
     /// Horizontally concatenates zonotopes (exact). Used to assemble
@@ -680,13 +726,19 @@ impl Zonotope {
     pub fn evaluate(&self, phi: &[f64], eps: &[f64]) -> Vec<f64> {
         assert_eq!(phi.len(), self.num_phi(), "phi instantiation length");
         assert_eq!(eps.len(), self.num_eps(), "eps instantiation length");
+        // Gather each logical ε row into a recycled scratch buffer and use
+        // the same `dot` as the dense representation, so evaluation is
+        // bitwise independent of the block layout.
+        let mut row = arena::take_zeroed(self.num_eps());
         let out: Vec<f64> = (0..self.n_vars())
             .map(|k| {
+                self.eps.write_row_into(k, &mut row);
                 self.center[k]
                     + deept_tensor::dot(self.phi.row(k), phi)
-                    + deept_tensor::dot(self.eps.row(k), eps)
+                    + deept_tensor::dot(&row, eps)
             })
             .collect();
+        arena::give(row);
         // Callers reshape this into a rows × cols matrix; the invariant they
         // rely on is exactly one value per abstracted variable.
         debug_assert_eq!(out.len(), self.rows * self.cols);

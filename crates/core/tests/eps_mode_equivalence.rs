@@ -1,0 +1,168 @@
+//! Pins the central guarantee of the block-structured ε store: with
+//! `DEEPT_EPS=dense` every computation reproduces the historical dense
+//! generator matrix **bitwise**, so interval bounds from the blocked layout
+//! must be `==`-identical (not approximately equal) to the dense ones —
+//! across p-norms, thread counts and representative transformer pipelines.
+//!
+//! The whole file serializes on `parallel::test_lock()` because both the
+//! ε mode and the thread override are process-global.
+
+use deept_core::dot::{zono_matmul, DotConfig};
+use deept_core::eps::set_force_dense;
+use deept_core::reduce::reduce_eps;
+use deept_core::softmax::{softmax_rows, SoftmaxConfig};
+use deept_core::{PNorm, Zonotope};
+use deept_tensor::{parallel, Matrix};
+use proptest::prelude::*;
+
+const NORMS: [PNorm; 3] = [PNorm::L1, PNorm::L2, PNorm::Linf];
+const THREADS: [usize; 2] = [1, 4];
+
+/// Observable outcome of one pipeline run: exact bounds at every stage plus
+/// the final dense generator matrix.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    stage_bounds: Vec<(Vec<f64>, Vec<f64>)>,
+    final_eps: Matrix,
+}
+
+/// Runs `f` once in dense mode and once in blocked mode under every thread
+/// override, asserting all outcomes are bitwise identical.
+fn assert_mode_invariant(mut f: impl FnMut() -> Outcome) {
+    let _guard = parallel::test_lock();
+    let mut reference: Option<Outcome> = None;
+    for &threads in &THREADS {
+        parallel::set_thread_override(Some(threads));
+        for dense in [true, false] {
+            set_force_dense(Some(dense));
+            let got = f();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    want, &got,
+                    "bounds diverged (threads={threads}, dense={dense})"
+                ),
+            }
+        }
+    }
+    set_force_dense(None);
+    parallel::set_thread_override(None);
+}
+
+/// A representative propagation: ℓp input ball → affine map → ReLU (appends
+/// fresh diagonal symbols) → matmul with a second zonotope (row-mixing:
+/// densifies lazily) → softmax (pads + concatenates) → reduction
+/// (column selection + fresh diagonal).
+fn pipeline(center: &[f64], weights: &[f64], p: PNorm, radius: f64) -> Outcome {
+    let c = Matrix::from_vec(2, 3, center.to_vec()).expect("sized");
+    let z = Zonotope::from_lp_ball(&c, radius, p, &[0, 1]);
+    let mut stage_bounds = vec![z.bounds()];
+
+    let w = Matrix::from_vec(3, 3, weights.to_vec()).expect("sized");
+    let lin = z.matmul_right(&w).add_row_bias(&[0.1, -0.2, 0.05]);
+    stage_bounds.push(lin.bounds());
+
+    let act = lin.relu().tanh();
+    stage_bounds.push(act.bounds());
+
+    let prod = zono_matmul(&act, &act.transpose(), DotConfig::fast());
+    stage_bounds.push(prod.bounds());
+
+    let soft = softmax_rows(&prod, SoftmaxConfig::default());
+    stage_bounds.push(soft.bounds());
+
+    let (red, _) = reduce_eps(&soft, soft.num_eps().saturating_sub(3).max(1), 0);
+    stage_bounds.push(red.bounds());
+
+    Outcome {
+        final_eps: red.eps_dense_matrix(),
+        stage_bounds,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_bounds_bitwise_identical_across_modes(
+        center in proptest::collection::vec(-1.5f64..1.5, 6),
+        weights in proptest::collection::vec(-0.8f64..0.8, 9),
+        p_idx in 0usize..3,
+        radius in 0.01f64..0.2,
+    ) {
+        let p = NORMS[p_idx];
+        assert_mode_invariant(|| pipeline(&center, &weights, p, radius));
+    }
+
+    #[test]
+    fn mixed_affine_ops_bitwise_identical_across_modes(
+        center in proptest::collection::vec(-2.0f64..2.0, 6),
+        eps in proptest::collection::vec(-0.4f64..0.4, 24),
+        scale in -1.5f64..1.5,
+        p_idx in 0usize..3,
+    ) {
+        let p = NORMS[p_idx];
+        assert_mode_invariant(|| {
+            let z = Zonotope::from_parts(
+                3,
+                2,
+                center.clone(),
+                Matrix::zeros(6, 0),
+                Matrix::from_vec(6, 4, eps.clone()).expect("sized"),
+                p,
+            );
+            // Appends diagonal fresh symbols, then exercises the
+            // column-local ops (scale, row weights, pad via add) and the
+            // row-mixing ops (linear_vars, permute via transpose).
+            let a = z.relu().scale(scale).mul_row_weights(&[0.5, -1.0]);
+            let b = z.exp();
+            let sum = a.add(&b);
+            let l = Matrix::from_rows(&[
+                &[1.0, -1.0, 0.0, 0.0, 0.5, 0.0],
+                &[0.0, 0.3, 0.3, 0.3, 0.0, -1.0],
+            ]);
+            let mixed = sum.linear_vars(&l, 2, 1);
+            let t = sum.transpose();
+            let stacked = Zonotope::concat_rows(&[mixed.reshape(1, 2), mixed.reshape(1, 2)]);
+            Outcome {
+                stage_bounds: vec![a.bounds(), b.bounds(), sum.bounds(), mixed.bounds(), t.bounds(), stacked.bounds()],
+                final_eps: stacked.eps_dense_matrix(),
+            }
+        });
+    }
+}
+
+#[test]
+fn certified_direction_widths_bitwise_identical() {
+    // Margin-style functional (difference of variables) after a reduction:
+    // the quantity radius certification keys on.
+    let _guard = parallel::test_lock();
+    let mut reference: Option<Vec<f64>> = None;
+    for &threads in &THREADS {
+        parallel::set_thread_override(Some(threads));
+        for dense in [true, false] {
+            set_force_dense(Some(dense));
+            let mut widths = Vec::new();
+            for &p in &NORMS {
+                let c = Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.7, 0.2]).expect("sized");
+                let z = Zonotope::from_lp_ball(&c, 0.05, p, &[0]);
+                let soft = softmax_rows(&z, SoftmaxConfig::default());
+                let (red, _) = reduce_eps(&soft, 6, 0);
+                let l = Matrix::from_rows(&[&[1.0, 0.0, -1.0, 0.0], &[0.0, 1.0, 0.0, -1.0]]);
+                let margins = red.linear_vars(&l, 2, 1);
+                let (lo, hi) = margins.bounds();
+                widths.extend(lo);
+                widths.extend(hi);
+            }
+            match &reference {
+                None => reference = Some(widths),
+                Some(want) => assert_eq!(
+                    want, &widths,
+                    "margins diverged (threads={threads}, dense={dense})"
+                ),
+            }
+        }
+    }
+    set_force_dense(None);
+    parallel::set_thread_override(None);
+}

@@ -150,7 +150,7 @@ proptest! {
             2,
             b.center().to_vec(),
             b.phi().clone(),
-            b.eps().clone(),
+            b.eps_dense_matrix(),
             a.p(),
         );
         // a·b then a row bias then scaling: the composite must contain the

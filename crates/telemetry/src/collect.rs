@@ -11,7 +11,9 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::probe::{ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats};
+use crate::probe::{
+    EpsStorageStats, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats,
+};
 use crate::trace::{SpanRecord, VerificationTrace};
 
 struct OpenSpan {
@@ -19,6 +21,7 @@ struct OpenSpan {
     started: Instant,
     reduce: Vec<ReduceEvent>,
     parallel: Option<ParallelStats>,
+    eps_storage: Option<EpsStorageStats>,
     children: Vec<SpanRecord>,
 }
 
@@ -79,6 +82,7 @@ impl TraceCollector {
                 symbols_created: 0,
                 reduce: std::mem::take(&mut s.orphan_reduce),
                 parallel: None,
+                eps_storage: None,
                 children: Vec::new(),
             });
         }
@@ -102,6 +106,7 @@ fn close_span(open: OpenSpan, stats: Option<ZonotopeStats>, symbols_created: usi
         symbols_created,
         reduce: open.reduce,
         parallel: open.parallel,
+        eps_storage: open.eps_storage,
         children: open.children,
     }
 }
@@ -125,6 +130,7 @@ impl Probe for TraceCollector {
             started: Instant::now(),
             reduce: Vec::new(),
             parallel: None,
+            eps_storage: None,
             children: Vec::new(),
         });
     }
@@ -162,6 +168,17 @@ impl Probe for TraceCollector {
         }
         // Reports outside any span are dropped: without a span there is no
         // duration to relate the busy time to.
+    }
+
+    fn eps_storage(&self, stats: EpsStorageStats) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(open) = s.stack.last_mut() {
+            match &mut open.eps_storage {
+                Some(acc) => acc.merge(&stats),
+                None => open.eps_storage = Some(stats),
+            }
+        }
+        // Like `parallel`: reports outside any span are dropped.
     }
 
     fn radius_step(&self, step: RadiusStep) {

@@ -32,7 +32,8 @@ mod trace;
 pub use collect::TraceCollector;
 pub use log::{log, log_enabled, max_level, LogLevel};
 pub use probe::{
-    NoopProbe, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind, ZonotopeStats,
+    EpsStorageStats, NoopProbe, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind,
+    ZonotopeStats,
 };
 pub use server::{ServerCounters, ServerStats};
 pub use trace::{Hotspot, LayerWidthRow, SpanRecord, VerificationTrace};

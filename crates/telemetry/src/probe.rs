@@ -145,6 +145,51 @@ impl ParallelStats {
     }
 }
 
+/// ε-generator storage counters for one stage, reported by instrumentation
+/// sites when the block-structured store is in play.
+///
+/// Layout fields (`blocks`, `diag_cols`, `dense_cols`) describe the stage's
+/// *output* store; event fields (`densifications`, `arena_hits`,
+/// `arena_misses`) are deltas over the stage. `densifications` counts
+/// Diag→Dense block conversions — the lazy materializations triggered by
+/// row-mixing linear maps — and the arena counters measure scratch-buffer
+/// reuse on the propagation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpsStorageStats {
+    /// Stored blocks in the stage's output generator store.
+    pub blocks: usize,
+    /// Columns held in diagonal (one-nonzero) blocks.
+    pub diag_cols: usize,
+    /// Columns held in dense blocks.
+    pub dense_cols: usize,
+    /// Diag→Dense conversions during the stage.
+    pub densifications: u64,
+    /// Scratch-arena requests served from the pool during the stage.
+    pub arena_hits: u64,
+    /// Scratch-arena requests that fell back to fresh allocations.
+    pub arena_misses: u64,
+}
+
+impl EpsStorageStats {
+    /// Accumulates another report onto this one (used when several reports
+    /// land on the same span): layout fields keep the latest report, event
+    /// deltas add up.
+    pub fn merge(&mut self, other: &EpsStorageStats) {
+        self.blocks = other.blocks;
+        self.diag_cols = other.diag_cols;
+        self.dense_cols = other.dense_cols;
+        self.densifications += other.densifications;
+        self.arena_hits += other.arena_hits;
+        self.arena_misses += other.arena_misses;
+    }
+
+    /// Fraction of arena requests served from the pool, if any were made.
+    pub fn arena_hit_rate(&self) -> Option<f64> {
+        let total = self.arena_hits + self.arena_misses;
+        (total > 0).then(|| self.arena_hits as f64 / total as f64)
+    }
+}
+
 /// One certification query inside a radius binary search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadiusStep {
@@ -182,6 +227,10 @@ pub trait Probe {
     /// Parallel-execution counters for work that just ran (attributed to
     /// the current open span; merged if the span receives several reports).
     fn parallel(&self, _stats: ParallelStats) {}
+
+    /// ε-storage counters for work that just ran (attributed to the current
+    /// open span; merged if the span receives several reports).
+    fn eps_storage(&self, _stats: EpsStorageStats) {}
 
     /// A radius-search query finished.
     fn radius_step(&self, _step: RadiusStep) {}

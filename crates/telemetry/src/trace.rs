@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::probe::{ParallelStats, RadiusStep, ReduceEvent, ZonotopeStats};
+use crate::probe::{EpsStorageStats, ParallelStats, RadiusStep, ReduceEvent, ZonotopeStats};
 
 /// One closed span: a named stage with wall-clock duration, optional
 /// precision metrics, and nested children.
@@ -35,6 +35,10 @@ pub struct SpanRecord {
     /// and unlike [`SpanRecord::self_s`] — a parent's counters include any
     /// pool work performed inside nested instrumented children.
     pub parallel: Option<ParallelStats>,
+    /// ε generator-storage counters attributed to this span: block layout
+    /// of the stage's output store plus densification / scratch-arena
+    /// event deltas over the instrumented region.
+    pub eps_storage: Option<EpsStorageStats>,
     /// Nested child spans, in execution order.
     pub children: Vec<SpanRecord>,
 }
@@ -68,6 +72,21 @@ impl SpanRecord {
             out.extend(c.reduce_events_total());
         }
         out
+    }
+
+    /// ε storage counters merged over this whole subtree (layout fields
+    /// take the last report; event deltas accumulate). `None` when no
+    /// span in the subtree reported storage stats.
+    pub fn eps_storage_total(&self) -> Option<EpsStorageStats> {
+        let mut acc = self.eps_storage;
+        for c in &self.children {
+            match (&mut acc, c.eps_storage_total()) {
+                (Some(a), Some(b)) => a.merge(&b),
+                (None, Some(b)) => acc = Some(b),
+                _ => {}
+            }
+        }
+        acc
     }
 }
 
@@ -110,6 +129,10 @@ pub struct LayerWidthRow {
     pub symbols_created: usize,
     /// ε symbols dropped by reductions inside the layer.
     pub symbols_dropped: usize,
+    /// Diag→Dense ε block densification events inside the layer.
+    pub densifications: u64,
+    /// ε columns still held in Diag blocks at layer output.
+    pub diag_cols: usize,
 }
 
 /// A complete, serializable record of one instrumented verification run.
@@ -209,6 +232,7 @@ impl VerificationTrace {
             let dropped: usize = reduces.iter().map(|r| r.dropped).sum();
             let created = span.symbols_created_total();
             let stats = span.stats.unwrap_or_default();
+            let eps = span.eps_storage_total().unwrap_or_default();
             match acc.iter_mut().find(|a| a.row.layer == layer) {
                 Some(a) => {
                     a.row.duration_s += span.duration_s;
@@ -218,6 +242,8 @@ impl VerificationTrace {
                     a.row.num_eps = a.row.num_eps.max(stats.num_eps);
                     a.row.symbols_created += created;
                     a.row.symbols_dropped += dropped;
+                    a.row.densifications += eps.densifications;
+                    a.row.diag_cols = eps.diag_cols;
                     a.samples += 1;
                 }
                 None => acc.push(Acc {
@@ -230,6 +256,8 @@ impl VerificationTrace {
                         num_eps: stats.num_eps,
                         symbols_created: created,
                         symbols_dropped: dropped,
+                        densifications: eps.densifications,
+                        diag_cols: eps.diag_cols,
                     },
                     samples: 1,
                 }),
@@ -279,13 +307,22 @@ impl VerificationTrace {
         if !layers.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<6} {:>9} {:>12} {:>12} {:>6} {:>6} {:>9} {:>9}",
-                "layer", "time[s]", "mean-width", "max-width", "phi", "eps", "created", "dropped"
+                "{:<6} {:>9} {:>12} {:>12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+                "layer",
+                "time[s]",
+                "mean-width",
+                "max-width",
+                "phi",
+                "eps",
+                "created",
+                "dropped",
+                "densify",
+                "diag-eps"
             );
             for r in &layers {
                 let _ = writeln!(
                     out,
-                    "{:<6} {:>9.4} {:>12.4e} {:>12.4e} {:>6} {:>6} {:>9} {:>9}",
+                    "{:<6} {:>9.4} {:>12.4e} {:>12.4e} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
                     r.layer,
                     r.duration_s,
                     r.mean_width,
@@ -293,7 +330,9 @@ impl VerificationTrace {
                     r.num_phi,
                     r.num_eps,
                     r.symbols_created,
-                    r.symbols_dropped
+                    r.symbols_dropped,
+                    r.densifications,
+                    r.diag_cols
                 );
             }
         }
@@ -409,6 +448,23 @@ fn write_span_json(span: &SpanRecord, w: &mut JsonWriter) {
         w.number(par.tasks as f64);
         w.key("busy_ns");
         w.number(par.busy_ns as f64);
+        w.end_object();
+    }
+    if let Some(eps) = &span.eps_storage {
+        w.key("eps_storage");
+        w.begin_object();
+        w.key("blocks");
+        w.number(eps.blocks as f64);
+        w.key("diag_cols");
+        w.number(eps.diag_cols as f64);
+        w.key("dense_cols");
+        w.number(eps.dense_cols as f64);
+        w.key("densifications");
+        w.number(eps.densifications as f64);
+        w.key("arena_hits");
+        w.number(eps.arena_hits as f64);
+        w.key("arena_misses");
+        w.number(eps.arena_misses as f64);
         w.end_object();
     }
     if !span.reduce.is_empty() {
@@ -584,6 +640,7 @@ mod tests {
             symbols_created: 0,
             reduce: Vec::new(),
             parallel: None,
+            eps_storage: None,
             children: Vec::new(),
         }
     }

@@ -22,6 +22,7 @@
 //! assert_eq!(a.row(1), &[3.0, 4.0]);
 //! ```
 
+pub mod arena;
 mod matrix;
 pub mod ops;
 pub mod parallel;

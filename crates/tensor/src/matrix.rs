@@ -675,6 +675,42 @@ impl Matrix {
         }
     }
 
+    /// Grows the matrix in place to `new_cols` columns, zero-filling the new
+    /// trailing columns of every row.
+    ///
+    /// Unlike `hstack` with a zero matrix this never allocates a second
+    /// buffer: the backing `Vec` is resized (amortized growth) and rows are
+    /// shifted into place back to front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_cols < self.cols()`.
+    pub fn grow_cols(&mut self, new_cols: usize) {
+        assert!(
+            new_cols >= self.cols,
+            "grow_cols would truncate ({} > {new_cols})",
+            self.cols
+        );
+        if new_cols == self.cols || self.rows == 0 {
+            self.cols = new_cols;
+            self.data.resize(self.rows * new_cols, 0.0);
+            return;
+        }
+        let old_cols = self.cols;
+        self.data.resize(self.rows * new_cols, 0.0);
+        // Move rows back to front so sources are never overwritten before
+        // they are read, then zero the gap each row leaves behind.
+        for r in (0..self.rows).rev() {
+            let src = r * old_cols;
+            let dst = r * new_cols;
+            if r > 0 {
+                self.data.copy_within(src..src + old_cols, dst);
+            }
+            self.data[dst + old_cols..dst + new_cols].fill(0.0);
+        }
+        self.cols = new_cols;
+    }
+
     /// Vertical concatenation of `self` on top of `other`.
     ///
     /// # Panics
@@ -790,6 +826,31 @@ mod tests {
     fn from_vec_rejects_bad_length() {
         assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
         assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn grow_cols_matches_hstack_with_zeros() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut grown = m.clone();
+        grown.grow_cols(5);
+        assert_eq!(grown, m.hstack(&Matrix::zeros(2, 2)));
+        // No-op growth and zero-row / zero-col edge cases.
+        let mut same = m.clone();
+        same.grow_cols(3);
+        assert_eq!(same, m);
+        let mut empty = Matrix::zeros(0, 2);
+        empty.grow_cols(7);
+        assert_eq!(empty.shape(), (0, 7));
+        let mut nocols = Matrix::zeros(3, 0);
+        nocols.grow_cols(2);
+        assert_eq!(nocols, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "grow_cols would truncate")]
+    fn grow_cols_rejects_shrinking() {
+        let mut m = Matrix::zeros(2, 3);
+        m.grow_cols(2);
     }
 
     #[test]

@@ -204,6 +204,7 @@ fn propagate_inner(
         // telemetry attributes dropped symbols to the layer they feed.
         probe.span_enter(SpanKind::EncoderLayer(i));
         let par = probe.enabled().then(parallel::snapshot);
+        let eps_before = probe.enabled().then(deept_core::eps::snapshot);
         // Noise-symbol reduction at every layer input, before the residual
         // branch splits (§5.1).
         if let Some(budget) = cfg.reduction_budget {
@@ -222,6 +223,12 @@ fn propagate_inner(
         let created = x.num_eps().saturating_sub(eps_in);
         if let Some(before) = par {
             probe.parallel(parallel_stats_since(&before));
+        }
+        if let Some(eps_before) = eps_before {
+            probe.eps_storage(deept_core::eps::storage_stats_since(
+                &eps_before,
+                x.eps_store(),
+            ));
         }
         let stats = probe.enabled().then(|| x.telemetry_stats());
         probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
@@ -453,16 +460,18 @@ fn layer_norm_abstract(
             let boxed = Zonotope::from_box(&center, &radii, x.p());
             // Align symbol spaces: the boxed interval shares no φ/ε with x,
             // so lift it into x's symbol layout with its fresh symbols at
-            // the tail.
-            let mut phi_pad = Matrix::zeros(n_rows, centred.num_phi());
-            let _ = &mut phi_pad;
-            let mut eps_lift = Matrix::zeros(n_rows, centred.num_eps() + boxed.num_eps());
-            for r in 0..n_rows {
-                let src = boxed.eps().row(r);
-                eps_lift.row_mut(r)[centred.num_eps()..].copy_from_slice(src);
-            }
-            let inv_std =
-                Zonotope::from_parts(n_rows, 1, boxed.center().to_vec(), phi_pad, eps_lift, x.p());
+            // the tail. The lift is structural — the diagonal fresh-symbol
+            // block just moves to a higher column offset.
+            let phi_pad = Matrix::zeros(n_rows, centred.num_phi());
+            let eps_lift = boxed.eps_store().lifted(centred.num_eps());
+            let inv_std = Zonotope::from_parts_store(
+                n_rows,
+                1,
+                boxed.center().to_vec(),
+                phi_pad,
+                eps_lift,
+                x.p(),
+            );
             // Broadcast to (N × E) and multiply element-wise.
             let ones = Matrix::full(1, e, 1.0);
             let inv_b = inv_std.matmul_right(&ones);

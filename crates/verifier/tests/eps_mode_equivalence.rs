@@ -1,0 +1,79 @@
+//! End-to-end pin of the blocked-ε guarantee at the verifier level: the
+//! certification margins and the certified radius of a full transformer
+//! propagation are **bitwise identical** between `DEEPT_EPS=dense` and the
+//! default blocked layout, for every p-norm, thread override and layer-norm
+//! flavour.
+
+use deept_core::eps::set_force_dense;
+use deept_core::PNorm;
+use deept_nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_tensor::parallel;
+use deept_verifier::deept::{certify, DeepTConfig};
+use deept_verifier::network::t1_region;
+use deept_verifier::radius::max_certified_radius;
+use deept_verifier::VerifiableTransformer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(ln: LayerNormKind) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 13,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 12,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: ln,
+        },
+        &mut rng,
+    )
+}
+
+/// Margins and certified radius for one (layer-norm, p) configuration under
+/// the process-global mode currently in force.
+fn run_one(ln: LayerNormKind, p: PNorm) -> (Vec<f64>, f64) {
+    let model = tiny_model(ln);
+    let net = VerifiableTransformer::from(&model);
+    let tokens = [1usize, 5, 9, 2];
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(60);
+    let region = t1_region(&emb, 1, 0.03, p);
+    let res = certify(&net, &region, 0, &cfg);
+    let radius = max_certified_radius(
+        |r| certify(&net, &t1_region(&emb, 1, r, p), 0, &cfg).certified,
+        0.02,
+        4,
+    );
+    (res.margins, radius)
+}
+
+#[test]
+fn certified_radii_bitwise_identical_across_modes() {
+    let _guard = parallel::test_lock();
+    let configs = [LayerNormKind::NoStd, LayerNormKind::Std { epsilon: 1e-6 }];
+    let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    for ln in configs {
+        for p in norms {
+            let mut reference: Option<(Vec<f64>, f64)> = None;
+            for threads in [1usize, 4] {
+                parallel::set_thread_override(Some(threads));
+                for dense in [true, false] {
+                    set_force_dense(Some(dense));
+                    let got = run_one(ln, p);
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(want) => assert_eq!(
+                            want, &got,
+                            "diverged: ln={ln:?} p={p:?} threads={threads} dense={dense}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+    set_force_dense(None);
+    parallel::set_thread_override(None);
+}

@@ -147,3 +147,40 @@ EOF
 
 wait "$SERVE_PID"
 echo "server smoke written to BENCH_3.json"
+
+# ---------------------------------------------------------------------------
+# ε-storage smoke: time full abstract propagation under both generator
+# layouts (monolithic dense matrix vs. blocked diagonal store with lazy
+# densification) and record speedup, peak ε columns and resident generator
+# bytes. Results land in BENCH_5.json; the gate below requires the blocked
+# layout to be at least 1.3x faster than dense on the hot propagation path.
+# ---------------------------------------------------------------------------
+echo "== eps-storage smoke (DEEPT_THREADS=$THREADS) =="
+# Shape rationale: a wide FFN (hidden 128) with a perturbation radius large
+# enough (0.2) that many ReLU neurons are unstable, so each layer appends a
+# long fresh-symbol tail — the regime the blocked layout is built for. The
+# logit bounds stay finite (about +/-4.5) and are bitwise identical to the
+# dense layout's.
+target/release/deept bench-eps --out BENCH_5.json --repeats 7 \
+  --len 4 --embed 16 --hidden 128 --layers 2 --budget 100 --radius 0.2
+
+python3 - <<'EOF'
+import json
+from pathlib import Path
+
+out = json.loads(Path("BENCH_5.json").read_text())
+speedup = out["speedup_vs_dense"]
+dense = out["modes"]["dense"]
+blocked = out["modes"]["blocked"]
+assert out["bounds_bitwise_identical"], "dense/blocked bounds diverged"
+assert speedup >= 1.3, f"blocked eps store speedup {speedup} < 1.3x over dense"
+assert (
+    blocked["peak_resident_generator_bytes"] < dense["peak_resident_generator_bytes"]
+), "blocked layout must reduce peak resident generator bytes"
+print(
+    f"eps-storage gate: speedup {speedup}x, resident bytes "
+    f"{dense['peak_resident_generator_bytes']} -> {blocked['peak_resident_generator_bytes']}"
+)
+EOF
+
+echo "eps-storage smoke written to BENCH_5.json"

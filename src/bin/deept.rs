@@ -75,11 +75,12 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
         Some("fuzz-soundness") => cmd_fuzz_soundness(&args[1..]),
+        Some("bench-eps") => cmd_bench_eps(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
-                "usage: deept <train|certify|synonyms|export-model|serve|request|fuzz-soundness> \
-                 [options] | deept --trace <path>  (see --help in source)"
+                "usage: deept <train|certify|synonyms|export-model|serve|request|fuzz-soundness\
+                 |bench-eps> [options] | deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
         }
@@ -637,6 +638,225 @@ fn cmd_fuzz_soundness(args: &[String]) -> Result<(), String> {
         return Err(format!("soundness fuzzing found {total} violation(s)"));
     }
     println!("soundness fuzzing clean: 0 violations");
+    Ok(())
+}
+
+/// `deept bench-eps [--out BENCH_5.json] [--repeats N] [--layers L] [--len T]
+/// [--embed E] [--hidden H] [--budget B] [--radius R] [--trace-dir DIR]`
+///
+/// Times full abstract propagation of a random transformer under both
+/// ε-generator layouts — `dense` (the historical monolithic matrix) and
+/// `blocked` (diagonal fresh-symbol blocks with lazy densification) — and
+/// writes a JSON summary: per-mode median propagation seconds, per-layer
+/// median seconds, peak ε columns, peak resident generator bytes,
+/// densification count and scratch-arena hit rate, plus the headline
+/// `speedup_vs_dense`. Both modes produce bitwise-identical bounds (pinned
+/// by the `eps_mode_equivalence` tests), so this measures representation
+/// cost only.
+fn cmd_bench_eps(args: &[String]) -> Result<(), String> {
+    use deept::verifier::deept::propagate_with_snapshots;
+    use deept::zonotope::eps;
+    use deept::zonotope::Zonotope;
+    use std::time::Instant;
+
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_5.json".into());
+    let repeats: usize = flag(args, "--repeats")
+        .map(|s| s.parse().map_err(|_| "--repeats must be a number"))
+        .transpose()?
+        .unwrap_or(5);
+    let layers: usize = flag(args, "--layers")
+        .map(|s| s.parse().map_err(|_| "--layers must be a number"))
+        .transpose()?
+        .unwrap_or(2);
+    let len: usize = flag(args, "--len")
+        .map(|s| s.parse().map_err(|_| "--len must be a number"))
+        .transpose()?
+        .unwrap_or(6);
+    let budget: usize = flag(args, "--budget")
+        .map(|s| s.parse().map_err(|_| "--budget must be a number"))
+        .transpose()?
+        .unwrap_or(100);
+    let hidden: usize = flag(args, "--hidden")
+        .map(|s| s.parse().map_err(|_| "--hidden must be a number"))
+        .transpose()?
+        .unwrap_or(32);
+    let embed: usize = flag(args, "--embed")
+        .map(|s| s.parse().map_err(|_| "--embed must be a number"))
+        .transpose()?
+        .unwrap_or(8);
+    let radius: f64 = flag(args, "--radius")
+        .map(|s| s.parse().map_err(|_| "--radius must be a number"))
+        .transpose()?
+        .unwrap_or(0.05);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: len,
+            embed_dim: embed,
+            num_heads: 2,
+            hidden_dim: hidden,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    let tokens: Vec<usize> = (0..len).map(|i| 1 + (i % 10)).collect();
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(budget);
+    let region = t1_region(&emb, 0, radius, PNorm::L2);
+
+    /// Peak layer-output symbol count plus per-layer timing marks for one
+    /// propagation. (Peak resident *bytes* come from the store-level
+    /// high-water mark instead: layer outputs are densified in both modes,
+    /// so boundary samples cannot see the blocked layout's savings.)
+    #[derive(Default)]
+    struct PeakProbe {
+        peak_eps_cols: usize,
+        layer_marks: Vec<std::time::Instant>,
+        started: Option<std::time::Instant>,
+    }
+    impl deept::verifier::SoundnessProbe for PeakProbe {
+        fn input(&mut self, _z: &Zonotope) {
+            self.started = Some(std::time::Instant::now());
+        }
+        fn layer_output(&mut self, _i: usize, z: &Zonotope) {
+            self.peak_eps_cols = self.peak_eps_cols.max(z.num_eps());
+            self.layer_marks.push(std::time::Instant::now());
+        }
+        fn logits(&mut self, _z: &Zonotope) {}
+    }
+
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        xs[xs.len() / 2]
+    }
+
+    struct ModeResult {
+        median_s: f64,
+        layer_median_s: Vec<f64>,
+        peak_eps_cols: usize,
+        peak_resident_bytes: usize,
+        densifications: u64,
+        arena_hits: u64,
+        arena_misses: u64,
+        bounds: (Vec<f64>, Vec<f64>),
+    }
+
+    let run_mode = |dense: bool| -> ModeResult {
+        eps::set_force_dense(Some(dense));
+        // Warm-up: populates the scratch arena and the thread pool.
+        let _ = deept::verifier::deept::propagate(&net, &region, &cfg);
+        let before = eps::snapshot();
+        eps::reset_peak_resident_bytes();
+        let mut totals = Vec::with_capacity(repeats);
+        let mut per_layer: Vec<Vec<f64>> = vec![Vec::with_capacity(repeats); layers];
+        let mut peak_eps_cols = 0usize;
+        let mut bounds = (Vec::new(), Vec::new());
+        for _ in 0..repeats {
+            let mut probe = PeakProbe::default();
+            let t0 = Instant::now();
+            let logits = propagate_with_snapshots(&net, &region, &cfg, &mut probe);
+            totals.push(t0.elapsed().as_secs_f64());
+            let mut prev = probe.started.unwrap_or(t0);
+            for (i, &mark) in probe.layer_marks.iter().enumerate() {
+                per_layer[i].push((mark - prev).as_secs_f64());
+                prev = mark;
+            }
+            peak_eps_cols = peak_eps_cols.max(probe.peak_eps_cols);
+            bounds = logits.bounds();
+        }
+        let after = eps::snapshot();
+        let arena = after.arena.since(&before.arena);
+        ModeResult {
+            median_s: median(&mut totals),
+            layer_median_s: per_layer.iter_mut().map(|xs| median(xs)).collect(),
+            peak_eps_cols,
+            peak_resident_bytes: eps::peak_resident_bytes(),
+            densifications: after.densifications - before.densifications,
+            arena_hits: arena.hits,
+            arena_misses: arena.misses,
+            bounds,
+        }
+    };
+
+    let dense = run_mode(true);
+    let blocked = run_mode(false);
+    if let Some(dir) = flag(args, "--trace-dir") {
+        for (mode, force) in [("dense", true), ("blocked", false)] {
+            eps::set_force_dense(Some(force));
+            let collector = TraceCollector::new();
+            let _ = deept::verifier::deept::propagate_probed(&net, &region, &cfg, &collector);
+            let trace = collector.finish();
+            trace
+                .save_json(std::path::Path::new(&format!(
+                    "{dir}/bench_eps_{mode}.json"
+                )))
+                .map_err(|e| format!("could not write trace: {e}"))?;
+        }
+    }
+    eps::set_force_dense(None);
+
+    if dense.bounds != blocked.bounds {
+        return Err("ε-mode bounds diverged: dense and blocked must be bitwise identical".into());
+    }
+    let speedup = dense.median_s / blocked.median_s;
+    let arena_total = blocked.arena_hits + blocked.arena_misses;
+    let arena_hit_rate = if arena_total > 0 {
+        blocked.arena_hits as f64 / arena_total as f64
+    } else {
+        0.0
+    };
+
+    let mode_json = |m: &ModeResult| {
+        let layer_list = m
+            .layer_median_s
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{{\"layer\": {i}, \"median_ms\": {:.4}}}", s * 1e3))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n      \"median_ms\": {:.4},\n      \"per_layer\": [{layer_list}],\n      \
+             \"peak_eps_cols\": {},\n      \"peak_resident_generator_bytes\": {},\n      \
+             \"densifications\": {}\n    }}",
+            m.median_s * 1e3,
+            m.peak_eps_cols,
+            m.peak_resident_bytes,
+            m.densifications,
+        )
+    };
+    let (lo, hi) = &blocked.bounds;
+    let logit_lo = lo.iter().cloned().fold(f64::INFINITY, f64::min);
+    let logit_hi = hi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let json = format!(
+        "{{\n  \"config\": {{\"layers\": {layers}, \"len\": {len}, \"repeats\": {repeats}, \
+         \"budget\": {budget}, \"radius\": {radius}, \"threads\": {}}},\n  \"modes\": {{\n    \"dense\": {},\n    \"blocked\": {}\n  }},\n  \
+         \"speedup_vs_dense\": {:.3},\n  \"arena_hit_rate\": {:.3},\n  \
+         \"logit_bounds\": [{logit_lo}, {logit_hi}],\n  \
+         \"bounds_bitwise_identical\": true\n}}\n",
+        deept::tensor::parallel::num_threads(),
+        mode_json(&dense),
+        mode_json(&blocked),
+        speedup,
+        arena_hit_rate,
+    );
+    std::fs::write(&out_path, &json).map_err(|e| format!("could not write {out_path}: {e}"))?;
+    println!("{json}");
+    println!(
+        "eps-storage bench: dense {:.2} ms, blocked {:.2} ms, speedup {speedup:.2}x, \
+         peak eps {} -> {} cols resident {} -> {} bytes",
+        dense.median_s * 1e3,
+        blocked.median_s * 1e3,
+        dense.peak_eps_cols,
+        blocked.peak_eps_cols,
+        dense.peak_resident_bytes,
+        blocked.peak_resident_bytes,
+    );
+    println!("bench written to {out_path}");
     Ok(())
 }
 
