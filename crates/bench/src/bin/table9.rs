@@ -31,7 +31,7 @@ fn main() {
         return;
     };
     println!("Certified sentence (label = {label}) with {combos} synonym combinations:");
-    println!("{:<10} {:<12} {}", "Token", "#Synonyms", "Synonyms");
+    println!("{:<10} {:<12} Synonyms", "Token", "#Synonyms");
     for &t in tokens {
         let names: Vec<&str> = synonyms
             .of(t)

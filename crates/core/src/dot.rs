@@ -177,6 +177,7 @@ impl BlockNorms {
 /// Interval bound of the full noise-interaction term
 /// `(A₁φ + B₁ε)·(A₂φ + B₂ε)` for one output variable, with both operands'
 /// per-row dual norms precomputed (`an` for the `a` block, `bn` for `b`).
+#[allow(clippy::too_many_arguments)]
 fn interaction_bound(
     a1: &Matrix,
     b1: &Matrix,
@@ -240,6 +241,7 @@ pub fn zono_matmul_probed(
     probe: &dyn Probe,
 ) -> Zonotope {
     probe.span_enter(SpanKind::DotProduct);
+    crate::hot::matmul_total().inc();
     let before = probe.enabled().then(parallel::snapshot);
     let before_eps = probe.enabled().then(eps::snapshot);
     let out = zono_matmul_impl(a, b, cfg);
@@ -639,9 +641,9 @@ mod tests {
                 .expect("Zonotope::evaluate yields rows*cols values for a rows x cols zonotope");
             let exact = am.matmul(&bm);
             let approx = out.evaluate(&phi, &eps);
-            for v in 0..out.n_vars() {
+            for (v, &av) in approx.iter().enumerate() {
                 let slack = deept_tensor::l1_norm(&out.eps_row(v)[base_eps..]);
-                let diff = (exact.as_slice()[v] - approx[v]).abs();
+                let diff = (exact.as_slice()[v] - av).abs();
                 assert!(
                     diff <= slack + 1e-9,
                     "var {v}: residual {diff} exceeds slack {slack}"

@@ -141,7 +141,10 @@ pub fn tanh_relaxation(l: f64, u: f64) -> Relaxation {
 /// Relaxation of `exp(x)` on `[l, u]` (§4.5), guaranteeing a positive
 /// concrete lower bound of the output.
 pub fn exp_relaxation(l: f64, u: f64) -> Relaxation {
-    debug_assert!(!(l > u));
+    debug_assert!(!matches!(
+        l.partial_cmp(&u),
+        Some(std::cmp::Ordering::Greater)
+    ));
     // e^u would overflow (or the bounds already blew up): poison the output
     // rather than produce a spuriously finite band.
     if !l.is_finite() || !u.is_finite() || u > 709.0 {
@@ -314,8 +317,7 @@ pub fn apply_floored(z: &Zonotope, act: Activation, floor: f64) -> Zonotope {
     let mut phi = Matrix::zeros(n, z.num_phi());
     let mut lambda = Vec::with_capacity(n);
     let fresh: Vec<usize> = (0..n).filter(|&k| relax[k].beta != 0.0).collect();
-    for k in 0..n {
-        let r = relax[k];
+    for (k, &r) in relax.iter().enumerate() {
         center.push(r.lambda * z.center()[k] + r.mu);
         lambda.push(r.lambda);
         if r.lambda != 0.0 {

@@ -84,6 +84,7 @@ static DENSIFICATIONS: AtomicU64 = AtomicU64::new(0);
 
 fn note_densified() {
     DENSIFICATIONS.fetch_add(1, Ordering::Relaxed);
+    crate::hot::eps_densifications_total().inc();
 }
 
 /// High-water mark of the largest single generator store finalized since

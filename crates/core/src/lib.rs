@@ -58,6 +58,7 @@ pub mod dot;
 pub mod elementwise;
 pub mod eps;
 pub mod geometry;
+pub(crate) mod hot;
 mod norm;
 pub mod reduce;
 pub mod refine;

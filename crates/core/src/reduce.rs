@@ -68,6 +68,8 @@ pub fn reduce_eps_probed(
         after: stats.after,
         dropped: stats.dropped,
     });
+    crate::hot::reductions_total().inc();
+    crate::hot::reduction_symbols_dropped_total().add(stats.dropped as u64);
     let snapshot = probe.enabled().then(|| out.telemetry_stats());
     probe.span_exit(SpanKind::Reduction, snapshot, 0);
     (out, stats)

@@ -210,12 +210,12 @@ pub fn refine_sum(z: &Zonotope, target: f64, protect: usize, tighten_eps: bool) 
     center[0] = refined_c;
     phi.row_mut(0).copy_from_slice(&refined_alpha);
     eps.row_mut(0).copy_from_slice(&refined_beta);
-    for i in 1..n {
+    for (i, ci) in center.iter_mut().enumerate().take(n).skip(1) {
         let coeff = eps.at(i, k);
         if coeff == 0.0 {
             continue;
         }
-        center[i] += coeff * sub_c;
+        *ci += coeff * sub_c;
         for (dst, &s) in phi.row_mut(i).iter_mut().zip(&sub_alpha) {
             *dst += coeff * s;
         }
@@ -257,8 +257,8 @@ fn tighten_from_sum(z: &Zonotope, target: f64, protect: usize) -> Zonotope {
     let beta_total: f64 = deept_tensor::l1_norm(&beta_s);
     let mut center = z.center().to_vec();
     let mut eps = z.eps_dense_matrix();
-    for m in protect..e_eps {
-        let bm = beta_s[m].abs();
+    for (m, &bsm) in beta_s.iter().enumerate().take(e_eps).skip(protect) {
+        let bm = bsm.abs();
         if bm <= COEFF_TOL {
             continue;
         }
@@ -266,8 +266,8 @@ fn tighten_from_sum(z: &Zonotope, target: f64, protect: usize) -> Zonotope {
         // by c_S ± (‖α_S‖_q + ‖β_S^I‖₁).
         let spread = alpha_norm + (beta_total - bm);
         let (mut a, mut b) = {
-            let lo = (-(c_s + spread)) / beta_s[m];
-            let hi = (-(c_s - spread)) / beta_s[m];
+            let lo = (-(c_s + spread)) / bsm;
+            let hi = (-(c_s - spread)) / bsm;
             (lo.min(hi), lo.max(hi))
         };
         a = a.max(-1.0);
@@ -277,12 +277,12 @@ fn tighten_from_sum(z: &Zonotope, target: f64, protect: usize) -> Zonotope {
         }
         let mid = 0.5 * (a + b);
         let half = 0.5 * (b - a);
-        for i in 0..n {
+        for (i, ci) in center.iter_mut().enumerate().take(n) {
             let coeff = eps.at(i, m);
             if coeff == 0.0 {
                 continue;
             }
-            center[i] += coeff * mid;
+            *ci += coeff * mid;
             eps.set(i, m, coeff * half);
         }
     }

@@ -60,6 +60,7 @@ pub fn softmax_rows(z: &Zonotope, cfg: SoftmaxConfig) -> Zonotope {
 /// symbols appended for the exponentials and reciprocals.
 pub fn softmax_rows_probed(z: &Zonotope, cfg: SoftmaxConfig, probe: &dyn Probe) -> Zonotope {
     probe.span_enter(SpanKind::Softmax);
+    crate::hot::softmax_total().inc();
     let before = probe.enabled().then(deept_tensor::parallel::snapshot);
     let eps_before = probe.enabled().then(crate::eps::snapshot);
     let out = softmax_rows_impl(z, cfg);
@@ -175,12 +176,12 @@ mod tests {
             for i in 0..z.rows() {
                 let mut row: Vec<f64> = (0..z.cols()).map(|j| vals[i * z.cols() + j]).collect();
                 softmax_in_place(&mut row);
-                for j in 0..z.cols() {
+                for (j, &rj) in row.iter().enumerate() {
                     let k = i * z.cols() + j;
                     assert!(
-                        row[j] >= lo[k] - 1e-9 && row[j] <= hi[k] + 1e-9,
+                        rj >= lo[k] - 1e-9 && rj <= hi[k] + 1e-9,
                         "softmax({i},{j}) = {} not in [{}, {}]",
-                        row[j],
+                        rj,
                         lo[k],
                         hi[k]
                     );

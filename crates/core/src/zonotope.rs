@@ -276,8 +276,8 @@ impl Zonotope {
         // One O(nnz) sweep over the ε blocks instead of a dense row scan
         // per variable; per row the summation order is unchanged.
         let eps_l1 = self.eps.row_l1_all();
-        for k in 0..n {
-            let dev = self.p.dual_norm(self.phi.row(k)) + eps_l1[k];
+        for (k, &el1) in eps_l1.iter().enumerate().take(n) {
+            let dev = self.p.dual_norm(self.phi.row(k)) + el1;
             lo.push(self.center[k] - dev);
             hi.push(self.center[k] + dev);
         }
@@ -314,8 +314,8 @@ impl Zonotope {
         let eps_l1 = self.eps.row_l1_all();
         let mut sum = 0.0;
         let mut max = 0.0f64;
-        for k in 0..n {
-            let w = 2.0 * (self.p.dual_norm(self.phi.row(k)) + eps_l1[k]);
+        for (k, &el1) in eps_l1.iter().enumerate().take(n) {
+            let w = 2.0 * (self.p.dual_norm(self.phi.row(k)) + el1);
             sum += w;
             max = max.max(w);
         }
@@ -447,8 +447,8 @@ impl Zonotope {
         assert_eq!(bias.len(), self.cols, "bias length mismatch");
         let mut out = self.clone();
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.center[i * self.cols + j] += bias[j];
+            for (j, &b) in bias.iter().enumerate() {
+                out.center[i * self.cols + j] += b;
             }
         }
         out
@@ -464,11 +464,11 @@ impl Zonotope {
         assert_eq!(w.len(), self.cols, "weight length mismatch");
         let mut out = self.clone();
         for i in 0..self.rows {
-            for j in 0..self.cols {
+            for (j, &wj) in w.iter().enumerate() {
                 let k = i * self.cols + j;
-                out.center[k] *= w[j];
+                out.center[k] *= wj;
                 for e in 0..out.phi.cols() {
-                    *out.phi.at_mut(k, e) *= w[j];
+                    *out.phi.at_mut(k, e) *= wj;
                 }
             }
         }
@@ -910,9 +910,9 @@ mod tests {
             let (phi, eps) = z.sample_noise(&mut rng);
             let x = z.evaluate(&phi, &eps);
             let y = out.evaluate(&phi, &eps);
-            for r in 0..3 {
+            for (r, &yr) in y.iter().enumerate().take(3) {
                 let expected = p.at(r, 0) * x[0] + p.at(r, 1) * x[1];
-                assert!((y[r] - expected).abs() < 1e-12);
+                assert!((yr - expected).abs() < 1e-12);
             }
         }
     }

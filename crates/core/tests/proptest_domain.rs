@@ -130,9 +130,9 @@ proptest! {
             for i in 0..2 {
                 let mut row = [vals[i * 3], vals[i * 3 + 1], vals[i * 3 + 2]];
                 deept_tensor::ops::softmax_in_place(&mut row);
-                for j in 0..3 {
+                for (j, &rj) in row.iter().enumerate() {
                     let k = i * 3 + j;
-                    prop_assert!(row[j] >= lo[k] - 1e-8 && row[j] <= hi[k] + 1e-8);
+                    prop_assert!(rj >= lo[k] - 1e-8 && rj <= hi[k] + 1e-8);
                 }
             }
         }

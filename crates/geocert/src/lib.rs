@@ -246,13 +246,13 @@ pub fn verify_linf(
         let bounds = preact_bounds(mlp, x0, radius, &statuses);
         // Fix neurons whose interval sign is already determined.
         for li in 0..hidden_layers {
-            for j in 0..hidden_dims[li] {
-                if statuses[li][j] == Status::Unstable {
+            for (j, st) in statuses[li].iter_mut().enumerate().take(hidden_dims[li]) {
+                if *st == Status::Unstable {
                     let (l, u) = (bounds[li].0[j], bounds[li].1[j]);
                     if l >= 0.0 {
-                        statuses[li][j] = Status::Active;
+                        *st = Status::Active;
                     } else if u <= 0.0 {
-                        statuses[li][j] = Status::Inactive;
+                        *st = Status::Inactive;
                     }
                 }
             }
@@ -268,7 +268,7 @@ pub fn verify_linf(
                 node_margin(mlp, x0, radius, true_label, adv, &statuses, &bounds)
             {
                 feasible = true;
-                if worst.as_ref().map_or(true, |(m, _)| margin < *m) {
+                if worst.as_ref().is_none_or(|(m, _)| margin < *m) {
                     worst = Some((margin, xin));
                 }
             }
@@ -293,8 +293,8 @@ pub fn verify_linf(
         let mut pick = None;
         let mut best_width = 0.0;
         for li in 0..hidden_layers {
-            for j in 0..hidden_dims[li] {
-                if statuses[li][j] == Status::Unstable {
+            for (j, &st) in statuses[li].iter().enumerate().take(hidden_dims[li]) {
+                if st == Status::Unstable {
                     let w = bounds[li].1[j] - bounds[li].0[j];
                     if w > best_width {
                         best_width = w;

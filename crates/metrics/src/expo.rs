@@ -1,0 +1,200 @@
+//! Prometheus text exposition (format version 0.0.4) of a
+//! [`RegistrySnapshot`].
+//!
+//! Hand-rolled on purpose: the format is `# HELP` / `# TYPE` comment lines
+//! followed by `name{label="value"} sample` lines, with histograms expanded
+//! into cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+//! Bucket upper bounds come straight from the log-linear grid
+//! ([`crate::hist::bucket_upper`]), so `le` values are exact and monotone.
+
+use crate::hist::{bucket_upper, HistogramSnapshot};
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write as _;
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Renders label pairs (plus an optional extra pair, used for `le`) as
+/// `{k="v",...}`, or the empty string when there are no labels.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: Option<&str>, last: &mut String) {
+    if last == name {
+        return;
+    }
+    if let Some(help) = help {
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    last.clear();
+    last.push_str(name);
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    hist: &HistogramSnapshot,
+) {
+    let mut cum = 0u64;
+    for b in &hist.buckets {
+        cum += b.count;
+        let le = fmt_value(bucket_upper(b.index));
+        let block = label_block(labels, Some(("le", &le)));
+        let _ = writeln!(out, "{name}_bucket{block} {cum}");
+    }
+    let block = label_block(labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, "{name}_bucket{block} {}", hist.count);
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        label_block(labels, None),
+        fmt_value(hist.sum())
+    );
+    let _ = writeln!(
+        out,
+        "{name}_count{} {}",
+        label_block(labels, None),
+        hist.count
+    );
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in Prometheus text exposition format 0.0.4.
+    pub fn to_prometheus(&self) -> String {
+        let help: std::collections::BTreeMap<&str, &str> = self
+            .help
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let mut out = String::new();
+        let mut last = String::new();
+        for c in &self.counters {
+            header(
+                &mut out,
+                &c.name,
+                "counter",
+                help.get(c.name.as_str()).copied(),
+                &mut last,
+            );
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                c.name,
+                label_block(&c.labels, None),
+                c.value
+            );
+        }
+        for g in &self.gauges {
+            header(
+                &mut out,
+                &g.name,
+                "gauge",
+                help.get(g.name.as_str()).copied(),
+                &mut last,
+            );
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                g.name,
+                label_block(&g.labels, None),
+                fmt_value(g.value)
+            );
+        }
+        for h in &self.histograms {
+            header(
+                &mut out,
+                &h.name,
+                "histogram",
+                help.get(h.name.as_str()).copied(),
+                &mut last,
+            );
+            render_histogram(&mut out, &h.name, &h.labels, &h.hist);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+
+    #[test]
+    fn exposition_contains_types_samples_and_cumulative_buckets() {
+        let reg = Registry::new();
+        reg.counter("deept_requests_total", "Total requests.")
+            .add(7);
+        reg.gauge("deept_queue_depth", "Jobs queued.").set(2.0);
+        let h = reg.histogram("deept_request_seconds", "End-to-end latency.");
+        h.observe(0.010);
+        h.observe(0.020);
+        h.observe(0.020);
+        let text = reg.snapshot().to_prometheus();
+
+        assert!(text.contains("# HELP deept_requests_total Total requests.\n"));
+        assert!(text.contains("# TYPE deept_requests_total counter\n"));
+        assert!(text.contains("deept_requests_total 7\n"));
+        assert!(text.contains("# TYPE deept_queue_depth gauge\n"));
+        assert!(text.contains("deept_queue_depth 2\n"));
+        assert!(text.contains("# TYPE deept_request_seconds histogram\n"));
+        assert!(text.contains("deept_request_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("deept_request_seconds_count 3\n"));
+
+        // Buckets are cumulative and monotone.
+        let mut prev = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("deept_request_seconds_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= prev, "non-monotone bucket line: {line}");
+            prev = v;
+        }
+        assert_eq!(prev, 3);
+    }
+
+    #[test]
+    fn labels_are_rendered_and_escaped() {
+        let reg = Registry::new();
+        reg.counter_with(
+            "deept_model_requests_total",
+            &[("model", "a\"b\\c")],
+            "Per-model.",
+        )
+        .inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("deept_model_requests_total{model=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

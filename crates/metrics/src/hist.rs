@@ -1,0 +1,387 @@
+//! Log-linear histograms with bounded relative quantile error.
+//!
+//! Values are bucketed straight from their IEEE-754 bit pattern: the bucket
+//! index is the 11-bit biased exponent concatenated with the top
+//! [`GRID_BITS`] mantissa bits, giving `2^GRID_BITS` geometrically spaced
+//! sub-buckets per octave. Every positive normal value `v` lands in a bucket
+//! whose width is `lo / 2^GRID_BITS`, so reporting the bucket midpoint is
+//! off by at most `lo / 2^(GRID_BITS+1) ≤ v / 2^(GRID_BITS+1)` — the
+//! documented relative quantile error [`QUANTILE_RELATIVE_ERROR`].
+//!
+//! Sums, minima and maxima are stored as integer [`ticks`](value_to_ticks)
+//! (nanoseconds when the recorded unit is seconds). Integer accumulation
+//! makes cross-shard merges associative and commutative, so merging
+//! per-thread shards in any order produces the same snapshot — byte for
+//! byte once serialized.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mantissa bits kept per bucket: 32 sub-buckets per power of two.
+pub const GRID_BITS: u32 = 5;
+
+/// Sub-buckets per octave (`2^GRID_BITS`).
+pub const GRID: u32 = 1 << GRID_BITS;
+
+/// Worst-case relative error of [`HistogramSnapshot::quantile`] for samples
+/// that are positive normal `f64`s: half a bucket width, `1 / 2^(GRID_BITS+1)`.
+pub const QUANTILE_RELATIVE_ERROR: f64 = 1.0 / (2 * GRID) as f64;
+
+/// Integer ticks per recorded unit: 1 tick = 1e-9 (a nanosecond when the
+/// recorded unit is seconds).
+pub const TICKS_PER_UNIT: f64 = 1e9;
+
+/// Converts a recorded value to integer ticks, rounding to nearest and
+/// saturating at the `u64` range. Non-positive and non-finite values clamp
+/// to the representable edge (`NaN` is rejected before this point).
+pub fn value_to_ticks(v: f64) -> u64 {
+    let scaled = v * TICKS_PER_UNIT;
+    if scaled <= 0.0 {
+        0
+    } else if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled.round() as u64
+    }
+}
+
+/// Converts integer ticks back to the recorded unit.
+pub fn ticks_to_value(t: u64) -> f64 {
+    t as f64 / TICKS_PER_UNIT
+}
+
+/// Bucket index of a value. Non-positive values, subnormals and `NaN` land
+/// in bucket 0 ("zero or below"); positive values clamp to the normal range
+/// first, so the index is monotone in the value.
+pub fn bucket_index(v: f64) -> u32 {
+    if v.is_nan() || v < f64::MIN_POSITIVE {
+        return 0;
+    }
+    let bits = v.clamp(f64::MIN_POSITIVE, f64::MAX).to_bits();
+    let exp = (bits >> 52) as u32;
+    let sub = ((bits >> 47) & (GRID as u64 - 1)) as u32;
+    (exp << GRID_BITS) | sub
+}
+
+/// Inclusive lower bound of a bucket (0.0 for bucket 0).
+pub fn bucket_lower(idx: u32) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    let exp = (idx >> GRID_BITS) as u64;
+    let sub = (idx & (GRID - 1)) as u64;
+    f64::from_bits((exp << 52) | (sub << 47))
+}
+
+/// Exclusive upper bound of a bucket (`+Inf` past the top normal octave).
+pub fn bucket_upper(idx: u32) -> f64 {
+    if idx == 0 {
+        return f64::MIN_POSITIVE;
+    }
+    bucket_lower(idx + 1)
+}
+
+/// Representative value reported for samples in a bucket: the midpoint, or
+/// the lower bound when the upper bound is unbounded, or 0.0 for bucket 0.
+pub fn bucket_representative(idx: u32) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    let lo = bucket_lower(idx);
+    let hi = bucket_upper(idx);
+    if hi.is_finite() {
+        lo / 2.0 + hi / 2.0
+    } else {
+        lo
+    }
+}
+
+/// One shard's (or one merged histogram's) accumulation state.
+#[derive(Debug, Default)]
+pub(crate) struct HistCore {
+    count: u64,
+    sum_ticks: u64,
+    min_ticks: u64,
+    max_ticks: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl HistCore {
+    /// Records one sample. `NaN` samples are dropped.
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let t = value_to_ticks(v);
+        if self.count == 0 {
+            self.min_ticks = t;
+            self.max_ticks = t;
+        } else {
+            self.min_ticks = self.min_ticks.min(t);
+            self.max_ticks = self.max_ticks.max(t);
+        }
+        self.count += 1;
+        self.sum_ticks = self.sum_ticks.saturating_add(t);
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
+    }
+
+    /// Folds another shard into this one. Integer state makes this
+    /// commutative and associative, so shard order never matters.
+    pub fn merge_from(&mut self, other: &HistCore) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min_ticks = other.min_ticks;
+            self.max_ticks = other.max_ticks;
+        } else {
+            self.min_ticks = self.min_ticks.min(other.min_ticks);
+            self.max_ticks = self.max_ticks.max(other.max_ticks);
+        }
+        self.count += other.count;
+        self.sum_ticks = self.sum_ticks.saturating_add(other.sum_ticks);
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum_ticks: self.sum_ticks,
+            min_ticks: self.min_ticks,
+            max_ticks: self.max_ticks,
+            buckets: self
+                .buckets
+                .iter()
+                .map(|(&index, &count)| BucketCount { index, count })
+                .collect(),
+        }
+    }
+}
+
+/// Occupancy of one log-linear bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket index (see [`bucket_index`]).
+    pub index: u32,
+    /// Samples recorded in the bucket.
+    pub count: u64,
+}
+
+/// A point-in-time, mergeable view of a histogram.
+///
+/// All fields are integers (`ticks` are 1e-9 units of the recorded value),
+/// so merging is order-independent and JSON round-trips are byte-identical.
+/// `min_ticks`/`max_ticks` are meaningful only when `count > 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples in ticks (saturating).
+    pub sum_ticks: u64,
+    /// Smallest sample in ticks.
+    pub min_ticks: u64,
+    /// Largest sample in ticks.
+    pub max_ticks: u64,
+    /// Occupied buckets in ascending index order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all samples in the recorded unit.
+    pub fn sum(&self) -> f64 {
+        ticks_to_value(self.sum_ticks)
+    }
+
+    /// Mean sample, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum() / self.count as f64)
+    }
+
+    /// Smallest sample, if any samples were recorded.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then(|| ticks_to_value(self.min_ticks))
+    }
+
+    /// Largest sample, if any samples were recorded.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then(|| ticks_to_value(self.max_ticks))
+    }
+
+    /// Estimate of the `q`-quantile (`q` clamped to `[0, 1]`): the
+    /// representative of the bucket holding the sample of rank
+    /// `max(1, ceil(q·count))`. For positive normal samples the estimate is
+    /// within [`QUANTILE_RELATIVE_ERROR`] of the exact ranked sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            cum += b.count;
+            if cum >= rank {
+                return Some(bucket_representative(b.index));
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; fall back to max.
+        Some(ticks_to_value(self.max_ticks))
+    }
+
+    /// Folds another snapshot into this one (order-independent).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min_ticks = other.min_ticks;
+            self.max_ticks = other.max_ticks;
+        } else {
+            self.min_ticks = self.min_ticks.min(other.min_ticks);
+            self.max_ticks = self.max_ticks.max(other.max_ticks);
+        }
+        self.count += other.count;
+        self.sum_ticks = self.sum_ticks.saturating_add(other.sum_ticks);
+        let mut merged: BTreeMap<u32, u64> =
+            self.buckets.iter().map(|b| (b.index, b.count)).collect();
+        for b in &other.buckets {
+            *merged.entry(b.index).or_insert(0) += b.count;
+        }
+        self.buckets = merged
+            .into_iter()
+            .map(|(index, count)| BucketCount { index, count })
+            .collect();
+    }
+
+    /// Difference against an earlier snapshot of the same histogram:
+    /// bucket-wise and sum/count subtraction, for interval measurements
+    /// between two scrapes. Min/max cannot be recovered for the interval and
+    /// are taken from `self`.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: BTreeMap<u32, u64> =
+            self.buckets.iter().map(|b| (b.index, b.count)).collect();
+        for b in &earlier.buckets {
+            let slot = buckets.entry(b.index).or_insert(0);
+            *slot = slot.saturating_sub(b.count);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_ticks: self.sum_ticks.saturating_sub(earlier.sum_ticks),
+            min_ticks: self.min_ticks,
+            max_ticks: self.max_ticks,
+            buckets: buckets
+                .into_iter()
+                .filter(|&(_, count)| count > 0)
+                .map(|(index, count)| BucketCount { index, count })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_bracket() {
+        let values = [
+            1e-300, 1e-9, 0.001, 0.5, 0.999, 1.0, 1.5, 2.0, 3.0, 1e6, 1e300,
+        ];
+        let mut prev = 0;
+        for &v in &values {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            prev = idx;
+            assert!(
+                bucket_lower(idx) <= v && v < bucket_upper(idx),
+                "bounds miss {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn special_values_land_in_bucket_zero_or_top() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), bucket_index(f64::MAX));
+        assert_eq!(bucket_representative(0), 0.0);
+        assert!(bucket_upper(bucket_index(f64::MAX)).is_infinite());
+    }
+
+    #[test]
+    fn representative_is_within_documented_relative_error() {
+        for &v in &[1e-6, 0.013, 0.5, 1.0, 7.3, 12345.0, 9.9e8] {
+            let rep = bucket_representative(bucket_index(v));
+            assert!(
+                (rep - v).abs() <= v * QUANTILE_RELATIVE_ERROR,
+                "rep {rep} off by more than {QUANTILE_RELATIVE_ERROR} at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_records_and_snapshots() {
+        let mut core = HistCore::default();
+        for v in [0.001, 0.002, 0.003, 0.004] {
+            core.record(v);
+        }
+        core.record(f64::NAN); // dropped
+        let snap = core.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.min(), Some(0.001));
+        assert_eq!(snap.max(), Some(0.004));
+        assert!((snap.sum() - 0.01).abs() < 1e-9);
+        assert!((snap.mean().unwrap() - 0.0025).abs() < 1e-9);
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((p50 - 0.002).abs() <= 0.002 * QUANTILE_RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn merge_matches_recording_into_one_core() {
+        let mut a = HistCore::default();
+        let mut b = HistCore::default();
+        let mut whole = HistCore::default();
+        for (i, v) in [0.5, 0.25, 3.0, 0.125, 8.0, 0.5].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            whole.record(*v);
+        }
+        let mut ab = HistCore::default();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let mut ba = HistCore::default();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+        assert_eq!(ab.snapshot(), whole.snapshot());
+        assert_eq!(ba.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn delta_since_recovers_interval_counts() {
+        let mut core = HistCore::default();
+        core.record(0.1);
+        core.record(0.2);
+        let before = core.snapshot();
+        core.record(0.4);
+        core.record(0.4);
+        let delta = core.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 2);
+        let p99 = delta.quantile(0.99).unwrap();
+        assert!((p99 - 0.4).abs() <= 0.4 * QUANTILE_RELATIVE_ERROR);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let snap = HistCore::default().snapshot();
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), None);
+        assert_eq!(snap.min(), None);
+        assert_eq!(snap.max(), None);
+    }
+}

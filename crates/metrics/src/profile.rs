@@ -1,0 +1,227 @@
+//! [`PhaseProfiler`]: a [`Probe`] that turns the span stream into cumulative
+//! per-phase wall-clock totals and collapsed-stack (flamegraph-compatible)
+//! text.
+//!
+//! The profiler reports `enabled() = false`, so instrumentation sites skip
+//! every expensive statistic (zonotope widths, storage snapshots) and the
+//! observed computation stays bitwise identical to an unprobed run — the
+//! profiler only timestamps span entry/exit. Open spans are tracked per
+//! thread (serve workers run concurrent requests through one shared
+//! profiler), and each exit attributes *self time* (elapsed minus child
+//! spans) to the collapsed call path, e.g.
+//! `propagate;encoder_layer;attention 1234567`.
+
+use deept_telemetry::{Probe, SpanKind};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct Frame {
+    group: &'static str,
+    started: Instant,
+    child_ns: u64,
+}
+
+/// Self-time and call count of one collapsed call path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Nanoseconds spent in this path excluding child spans.
+    pub self_ns: u64,
+    /// Times the path was the innermost open span at exit.
+    pub calls: u64,
+}
+
+/// Cumulative totals of one phase (span group).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Inclusive wall-clock nanoseconds (children included).
+    pub total_ns: u64,
+    /// Self-time nanoseconds (children excluded), summed over all paths
+    /// ending in this phase.
+    pub self_ns: u64,
+    /// Completed spans of this phase.
+    pub calls: u64,
+}
+
+#[derive(Default)]
+struct ProfState {
+    open: HashMap<ThreadId, Vec<Frame>>,
+    paths: BTreeMap<String, PathStat>,
+    phases: BTreeMap<&'static str, PhaseTotal>,
+}
+
+/// See the module docs.
+#[derive(Default)]
+pub struct PhaseProfiler {
+    state: Mutex<ProfState>,
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler with no recorded spans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cumulative totals per phase, sorted by phase name.
+    pub fn phase_totals(&self) -> Vec<(String, PhaseTotal)> {
+        let state = lock(&self.state);
+        state
+            .phases
+            .iter()
+            .map(|(&group, &stat)| (group.to_string(), stat))
+            .collect()
+    }
+
+    /// Collapsed-stack text: one `path;to;frame self_ns` line per path,
+    /// sorted by path. Feed directly to `flamegraph.pl` (the sample weight
+    /// is nanoseconds of self time).
+    pub fn collapsed(&self) -> String {
+        let state = lock(&self.state);
+        let mut out = String::new();
+        for (path, stat) in &state.paths {
+            out.push_str(path);
+            out.push(' ');
+            out.push_str(&stat.self_ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops all recorded totals (open spans on live threads are kept).
+    pub fn reset(&self) {
+        let mut state = lock(&self.state);
+        state.paths.clear();
+        state.phases.clear();
+    }
+}
+
+impl Probe for PhaseProfiler {
+    // `false`: sites must not compute expensive stats for the profiler, and
+    // the bitwise-identical guarantee of unprobed runs must hold.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_enter(&self, kind: SpanKind) {
+        let now = Instant::now();
+        let mut state = lock(&self.state);
+        state
+            .open
+            .entry(std::thread::current().id())
+            .or_default()
+            .push(Frame {
+                group: kind.group(),
+                started: now,
+                child_ns: 0,
+            });
+    }
+
+    fn span_exit(
+        &self,
+        kind: SpanKind,
+        _stats: Option<deept_telemetry::ZonotopeStats>,
+        _symbols_created: usize,
+    ) {
+        let mut state = lock(&self.state);
+        let stack = match state.open.get_mut(&std::thread::current().id()) {
+            Some(stack) => stack,
+            None => return,
+        };
+        // Unbalanced exits (possible if a site returns early) are dropped.
+        let frame = match stack.last() {
+            Some(f) if f.group == kind.group() => stack.pop().unwrap(),
+            _ => return,
+        };
+        let elapsed = frame.started.elapsed().as_nanos() as u64;
+        let self_ns = elapsed.saturating_sub(frame.child_ns);
+        let mut path = String::new();
+        for f in stack.iter() {
+            path.push_str(f.group);
+            path.push(';');
+        }
+        path.push_str(frame.group);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(elapsed);
+        }
+        let p = state.paths.entry(path).or_default();
+        p.self_ns = p.self_ns.saturating_add(self_ns);
+        p.calls += 1;
+        let g = state.phases.entry(frame.group).or_default();
+        g.total_ns = g.total_ns.saturating_add(elapsed);
+        g.self_ns = g.self_ns.saturating_add(self_ns);
+        g.calls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_collapsed_paths_with_self_time() {
+        let prof = PhaseProfiler::new();
+        prof.span_enter(SpanKind::Propagate);
+        prof.span_enter(SpanKind::EncoderLayer(0));
+        prof.span_enter(SpanKind::Attention);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        prof.span_exit(SpanKind::Attention, None, 0);
+        prof.span_exit(SpanKind::EncoderLayer(0), None, 0);
+        prof.span_exit(SpanKind::Propagate, None, 0);
+
+        let collapsed = prof.collapsed();
+        assert!(collapsed.contains("propagate;encoder_layer;attention "));
+        assert!(collapsed.contains("propagate;encoder_layer "));
+        assert!(collapsed.lines().any(|l| l.starts_with("propagate ")));
+
+        let phases: std::collections::BTreeMap<_, _> = prof.phase_totals().into_iter().collect();
+        let prop = phases["propagate"];
+        let attn = phases["attention"];
+        assert_eq!(prop.calls, 1);
+        assert!(attn.total_ns >= 2_000_000, "attention span too short");
+        // Inclusive propagate covers the attention leaf; self excludes it.
+        assert!(prop.total_ns >= attn.total_ns);
+        assert!(prop.self_ns <= prop.total_ns - attn.self_ns + 1);
+
+        prof.reset();
+        assert!(prof.collapsed().is_empty());
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_interleave() {
+        let prof = std::sync::Arc::new(PhaseProfiler::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let prof = prof.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        prof.span_enter(SpanKind::Propagate);
+                        prof.span_enter(SpanKind::EncoderLayer(i));
+                        prof.span_exit(SpanKind::EncoderLayer(i), None, 0);
+                        prof.span_exit(SpanKind::Propagate, None, 0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let phases: std::collections::BTreeMap<_, _> = prof.phase_totals().into_iter().collect();
+        assert_eq!(phases["propagate"].calls, 200);
+        assert_eq!(phases["encoder_layer"].calls, 200);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_ignored() {
+        let prof = PhaseProfiler::new();
+        prof.span_exit(SpanKind::Softmax, None, 0); // no matching enter
+        prof.span_enter(SpanKind::Propagate);
+        prof.span_exit(SpanKind::Softmax, None, 0); // group mismatch
+        prof.span_exit(SpanKind::Propagate, None, 0);
+        assert_eq!(prof.phase_totals().len(), 1);
+    }
+}

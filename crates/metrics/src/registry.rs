@@ -1,0 +1,499 @@
+//! The metric registry: named counters, gauges and histograms.
+//!
+//! A [`Registry`] is instanceable — `deept-serve` gives every server its own
+//! so concurrently running servers (e.g. under `cargo test`) never see each
+//! other's counts — while hot-path library crates publish into the shared
+//! process-wide [`crate::global`] registry, which is *gated*: its handles
+//! become no-ops when `DEEPT_METRICS=off` (see [`crate::enabled`]).
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of the
+//! underlying cell; hot paths should create them once (e.g. in a
+//! `OnceLock`) and reuse them, since registration takes the registry lock.
+//! Histograms stripe recordings over a small fixed set of mutex-protected
+//! shards indexed by thread, merged only on snapshot — uncontended in the
+//! common case and order-independent on merge.
+
+use crate::hist::{HistCore, HistogramSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Histogram stripe count: enough to keep a handful of worker threads from
+/// colliding, small enough that snapshot merges stay trivial.
+const HIST_SHARDS: usize = 8;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % HIST_SHARDS;
+}
+
+/// Identity of a metric: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+pub(crate) struct HistShards {
+    shards: Vec<Mutex<HistCore>>,
+}
+
+impl HistShards {
+    fn new() -> Self {
+        HistShards {
+            shards: (0..HIST_SHARDS)
+                .map(|_| Mutex::new(HistCore::default()))
+                .collect(),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let stripe = STRIPE.with(|s| *s);
+        lock(&self.shards[stripe]).record(v);
+    }
+
+    fn merged(&self) -> HistogramSnapshot {
+        let mut whole = HistCore::default();
+        for shard in &self.shards {
+            whole.merge_from(&lock(shard));
+        }
+        whole.snapshot()
+    }
+}
+
+#[derive(Default)]
+struct RegState {
+    help: BTreeMap<String, String>,
+    counters: BTreeMap<MetricId, Arc<AtomicU64>>,
+    gauges: BTreeMap<MetricId, Arc<AtomicU64>>,
+    hists: BTreeMap<MetricId, Arc<HistShards>>,
+}
+
+/// A set of named metrics. See the module docs for the instanceable vs.
+/// global/gated distinction.
+pub struct Registry {
+    gated: bool,
+    state: Mutex<RegState>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An always-on registry (writes are never dropped).
+    pub fn new() -> Self {
+        Registry {
+            gated: false,
+            state: Mutex::new(RegState::default()),
+        }
+    }
+
+    /// A registry whose handles drop writes while [`crate::enabled`] is
+    /// false. Used by the process-wide [`crate::global`] registry so hot
+    /// paths can be silenced with `DEEPT_METRICS=off`.
+    pub fn gated() -> Self {
+        Registry {
+            gated: true,
+            state: Mutex::new(RegState::default()),
+        }
+    }
+
+    fn record_help(state: &mut RegState, name: &str, help: &str) {
+        state
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+    }
+
+    /// Gets or creates an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Gets or creates a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        let id = MetricId::new(name, labels);
+        let mut state = lock(&self.state);
+        Self::record_help(&mut state, name, help);
+        let cell = state.counters.entry(id).or_default().clone();
+        Counter {
+            cell,
+            gated: self.gated,
+        }
+    }
+
+    /// Gets or creates an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Gets or creates a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        let id = MetricId::new(name, labels);
+        let mut state = lock(&self.state);
+        Self::record_help(&mut state, name, help);
+        let cell = state.gauges.entry(id).or_default().clone();
+        Gauge {
+            cell,
+            gated: self.gated,
+        }
+    }
+
+    /// Gets or creates an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Gets or creates a histogram with labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        let id = MetricId::new(name, labels);
+        let mut state = lock(&self.state);
+        Self::record_help(&mut state, name, help);
+        let cell = state
+            .hists
+            .entry(id)
+            .or_insert_with(|| Arc::new(HistShards::new()))
+            .clone();
+        Histogram {
+            cell,
+            gated: self.gated,
+        }
+    }
+
+    /// A consistent-enough point-in-time view of every registered metric,
+    /// with per-thread histogram shards flushed (merged) into one snapshot
+    /// per histogram. Samples are sorted by name then labels.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let state = lock(&self.state);
+        RegistrySnapshot {
+            counters: state
+                .counters
+                .iter()
+                .map(|(id, cell)| CounterSample {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    value: cell.load(Ordering::Relaxed),
+                })
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(id, cell)| GaugeSample {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    value: f64::from_bits(cell.load(Ordering::Relaxed)),
+                })
+                .collect(),
+            histograms: state
+                .hists
+                .iter()
+                .map(|(id, cell)| HistogramSample {
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    hist: cell.merged(),
+                })
+                .collect(),
+            help: state
+                .help
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    gated: bool,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: an instantaneous `f64` (stored as bits in an atomic).
+///
+/// [`Gauge::sub`] saturates at 0.0 — gauges here track depths and sizes, so
+/// racing decrements must not wrap to garbage.
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+    gated: bool,
+}
+
+impl Gauge {
+    fn update(&self, f: impl Fn(f64) -> f64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        let _ = self
+            .cell
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some(f(f64::from_bits(bits)).to_bits())
+            });
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.update(|_| v);
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: f64) {
+        self.update(|cur| cur + v);
+    }
+
+    /// Subtracts `v`, saturating at 0.0.
+    pub fn sub(&self, v: f64) {
+        self.update(|cur| (cur - v).max(0.0));
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram handle; see [`crate::hist`] for bucketing guarantees.
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistShards>,
+    gated: bool,
+}
+
+impl Histogram {
+    /// Records one sample (`NaN` is dropped).
+    pub fn observe(&self, v: f64) {
+        if self.gated && !crate::enabled() {
+            return;
+        }
+        self.cell.observe(v);
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Merged snapshot of this histogram alone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.merged()
+    }
+}
+
+/// One counter's sampled value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// One gauge's sampled value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One histogram's merged snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Merged per-thread shards.
+    pub hist: HistogramSnapshot,
+}
+
+/// Every metric of a registry at one point in time. Serializable, mergeable
+/// across registries (e.g. a server's own registry plus the process-global
+/// one) and renderable as Prometheus text via
+/// [`RegistrySnapshot::to_prometheus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter samples sorted by name then labels.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples sorted by name then labels.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples sorted by name then labels.
+    pub histograms: Vec<HistogramSample>,
+    /// `(name, help)` pairs sorted by name.
+    pub help: Vec<(String, String)>,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        RegistrySnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            help: Vec::new(),
+        }
+    }
+
+    /// Appends another registry's samples, keeping name/label sort order.
+    /// Metric names are expected to be disjoint across registries; same-name
+    /// samples from `other` sort after equal-keyed existing ones.
+    pub fn merge(&mut self, other: RegistrySnapshot) {
+        self.counters.extend(other.counters);
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges.extend(other.gauges);
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.histograms.extend(other.histograms);
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.help.extend(other.help);
+        self.help.sort();
+        self.help.dedup_by(|a, b| a.0 == b.0);
+    }
+
+    /// Looks up a counter sample by name (first match, any labels).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge sample by name (first match, any labels).
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram sample by name (first match, any labels).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| &h.hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip_through_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("requests_total", "Requests.");
+        c.inc();
+        c.add(2);
+        assert_eq!(c.value(), 3);
+
+        let g = reg.gauge("depth", "Queue depth.");
+        g.set(4.0);
+        g.sub(1.0);
+        g.add(0.5);
+        assert_eq!(g.value(), 3.5);
+        g.sub(100.0);
+        assert_eq!(g.value(), 0.0);
+
+        let h = reg.histogram("latency_seconds", "Latency.");
+        h.observe(0.010);
+        h.observe(0.020);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("requests_total"), Some(3));
+        assert_eq!(snap.gauge_value("depth"), Some(0.0));
+        let hist = snap.histogram("latency_seconds").unwrap();
+        assert_eq!(hist.count, 2);
+        assert_eq!(snap.help.len(), 3);
+    }
+
+    #[test]
+    fn same_name_and_labels_share_a_cell() {
+        let reg = Registry::new();
+        reg.counter_with("hits", &[("model", "a")], "Hits.").inc();
+        reg.counter_with("hits", &[("model", "a")], "Hits.").inc();
+        reg.counter_with("hits", &[("model", "b")], "Hits.").inc();
+        let snap = reg.snapshot();
+        let values: Vec<u64> = snap.counters.iter().map(|c| c.value).collect();
+        assert_eq!(values, vec![2, 1]); // sorted by labels: model=a (2 incs), model=b (1).
+    }
+
+    #[test]
+    fn cross_thread_histogram_recording_merges_all_shards() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let h = reg.histogram("h", "h");
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for k in 0..25 {
+                        h.observe(0.001 * (1 + i * 25 + k) as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().histogram("h").unwrap().count, 100);
+    }
+
+    #[test]
+    fn merge_combines_registries() {
+        let a = Registry::new();
+        a.counter("a_total", "A.").inc();
+        let b = Registry::new();
+        b.counter("b_total", "B.").add(5);
+        let mut snap = a.snapshot();
+        snap.merge(b.snapshot());
+        assert_eq!(snap.counter_value("a_total"), Some(1));
+        assert_eq!(snap.counter_value("b_total"), Some(5));
+        assert_eq!(snap.help.len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the histogram guarantees the rest of the stack leans
+//! on: the documented relative quantile-error bound, order-independent
+//! cross-thread shard merges, and byte-identical snapshot serde
+//! round-trips.
+
+use deept_metrics::{HistogramSnapshot, Registry, QUANTILE_RELATIVE_ERROR};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Variable-length vectors of positive normal samples spanning ~21 orders
+/// of magnitude — the range the error bound is documented for
+/// (sub-nanosecond latencies up to ~1e12).
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    (1..max_len).prop_flat_map(|n| vec(1e-9f64..1e12, n))
+}
+
+fn empty_snapshot() -> HistogramSnapshot {
+    HistogramSnapshot {
+        count: 0,
+        sum_ticks: 0,
+        min_ticks: 0,
+        max_ticks: 0,
+        buckets: Vec::new(),
+    }
+}
+
+fn record_all(reg: &Registry, name: &str, values: &[f64]) -> HistogramSnapshot {
+    let h = reg.histogram(name, "prop");
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Every quantile estimate is within the documented relative error of
+    /// the exact order statistic at the same rank (`max(1, ceil(q·n))`).
+    #[test]
+    fn quantiles_respect_relative_error_bound(
+        values in samples(200),
+        qs in vec(0.0f64..=1.0, 8),
+    ) {
+        let reg = Registry::new();
+        let snap = record_all(&reg, "h", &values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in qs {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = snap.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            prop_assert!(
+                rel <= QUANTILE_RELATIVE_ERROR * (1.0 + 1e-12),
+                "q={q}: estimate {est} vs exact {exact} (rel err {rel})"
+            );
+        }
+    }
+
+    /// Splitting a sample stream over shards (threads) and merging in any
+    /// order yields the same snapshot — byte-identical once serialized.
+    #[test]
+    fn shard_merges_are_order_independent(
+        values in samples(150),
+        splits in vec(0usize..4, 150),
+    ) {
+        // Partition samples into 4 parts using the `splits` stream.
+        let mut parts: [Vec<f64>; 4] = Default::default();
+        for (i, &v) in values.iter().enumerate() {
+            parts[splits[i]].push(v);
+        }
+        let reg = Registry::new();
+        let whole = record_all(&reg, "whole", &values);
+
+        let part_snaps: Vec<HistogramSnapshot> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| record_all(&reg, &format!("part{i}"), part))
+            .collect();
+
+        // Merge in forward and reverse order; both must equal the
+        // single-stream snapshot exactly.
+        let mut fwd = empty_snapshot();
+        for s in &part_snaps {
+            fwd.merge(s);
+        }
+        let mut rev = empty_snapshot();
+        for s in part_snaps.iter().rev() {
+            rev.merge(s);
+        }
+        prop_assert_eq!(&fwd, &whole);
+        prop_assert_eq!(&rev, &whole);
+        prop_assert_eq!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap()
+        );
+    }
+
+    /// A registry snapshot (counters, gauges, labeled histograms) survives
+    /// JSON serialize → deserialize → serialize with identical bytes.
+    #[test]
+    fn registry_snapshot_serde_round_trips_byte_identically(
+        values in samples(80),
+        counter_val in 0u64..u64::MAX,
+        gauge_val in -1e12f64..1e12,
+    ) {
+        let reg = Registry::new();
+        reg.counter("c_total", "counter").add(counter_val);
+        reg.gauge("g", "gauge").set(gauge_val);
+        let h = reg.histogram_with("h_seconds", &[("model", "m\"x")], "hist");
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: deept_metrics::RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &snap);
+        let json2 = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(json2, json);
+    }
+}
+
+/// Concurrent recording through one handle from many threads loses no
+/// samples and matches a single-threaded reference after the shard merge.
+#[test]
+fn cross_thread_recording_matches_single_thread_reference() {
+    let reg = std::sync::Arc::new(Registry::new());
+    let h = reg.histogram("xthread", "cross-thread");
+    let per_thread = 500usize;
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    h.observe(1e-3 * (1 + t * per_thread + i) as f64);
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().unwrap();
+    }
+    let reference = Registry::new();
+    let r = reference.histogram("xthread", "reference");
+    for t in 0..4 {
+        for i in 0..per_thread {
+            r.observe(1e-3 * (1 + t * per_thread + i) as f64);
+        }
+    }
+    assert_eq!(h.snapshot(), r.snapshot());
+}

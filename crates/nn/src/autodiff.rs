@@ -182,8 +182,7 @@ impl Tape {
         let m = self.val(x);
         let means = m.row_means();
         let mut v = m.clone();
-        for r in 0..v.rows() {
-            let mu = means[r];
+        for (r, &mu) in means.iter().enumerate() {
             for e in v.row_mut(r) {
                 *e -= mu;
             }
@@ -360,8 +359,7 @@ impl Tape {
                     // Jacobian (I − J/E) is symmetric.
                     let mut dx = g.clone();
                     let means = dx.row_means();
-                    for r in 0..dx.rows() {
-                        let mu = means[r];
+                    for (r, &mu) in means.iter().enumerate() {
                         for e in dx.row_mut(r) {
                             *e -= mu;
                         }
@@ -377,8 +375,8 @@ impl Tape {
                         let ms = row.iter().map(|a| a * a).sum::<f64>() / e;
                         let s = (ms + eps).sqrt();
                         let gx: f64 = g.row(r).iter().zip(row).map(|(a, b)| a * b).sum();
-                        for c in 0..row.len() {
-                            let v = g.at(r, c) / s - row[c] * gx / (e * s * s * s);
+                        for (c, &rc) in row.iter().enumerate() {
+                            let v = g.at(r, c) / s - rc * gx / (e * s * s * s);
                             dx.set(r, c, v);
                         }
                     }

@@ -57,7 +57,7 @@ impl TransformerConfig {
     /// Panics if `num_heads` does not divide `embed_dim`.
     pub fn head_dim(&self) -> usize {
         assert!(
-            self.embed_dim % self.num_heads == 0,
+            self.embed_dim.is_multiple_of(self.num_heads),
             "num_heads must divide embed_dim"
         );
         self.embed_dim / self.num_heads

@@ -30,7 +30,7 @@ impl PatchConfig {
     /// Panics if the patch size does not divide the image dimensions.
     pub fn num_tokens(&self) -> usize {
         assert!(
-            self.image_h % self.patch == 0 && self.image_w % self.patch == 0,
+            self.image_h.is_multiple_of(self.patch) && self.image_w.is_multiple_of(self.patch),
             "patch size must divide image dimensions"
         );
         (self.image_h / self.patch) * (self.image_w / self.patch)

@@ -16,8 +16,19 @@
 //! * [`server`] — the worker pool and connection loops, with per-request
 //!   [`deept_verifier::Deadline`]s threaded through the radius-search and
 //!   certification loops so a request can time out cooperatively instead
-//!   of hanging;
-//! * [`client`] — a minimal blocking client for the CLI and tests.
+//!   of hanging. Every request gets a server-unique `request_id`, echoed
+//!   in the response and in `DEEPT_LOG` lines while in flight;
+//! * [`client`] — a minimal blocking client for the CLI and tests;
+//! * [`loadgen`] — a closed-loop / fixed-rate load generator producing
+//!   latency and throughput reports against a live server.
+//!
+//! Observability: each server owns a [`deept_metrics`] registry of request
+//! lifecycle counters and latency histograms (queue wait, cache lookup,
+//! propagation, end-to-end), merged with the process-global hot-path
+//! registry on demand. The `metrics` request returns the merged snapshot
+//! as JSON; [`server::Server::spawn_metrics_listener`] additionally serves
+//! it as Prometheus text exposition over plain HTTP (`GET /metrics`),
+//! alongside a collapsed-stack self-profile (`GET /profile`).
 //!
 //! Transport is `std::net` only; the wire format is one JSON object per
 //! line. Determinism is preserved end to end: the worker pool runs the
@@ -54,6 +65,8 @@
 
 pub mod cache;
 pub mod client;
+pub mod loadgen;
+mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
@@ -61,6 +74,7 @@ pub mod server;
 
 pub use cache::{CacheKey, LruCache};
 pub use client::Client;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{CertifyRequest, ErrorCode, Request, Response, Variant};
 pub use queue::{JobQueue, SubmitError};
 pub use registry::ModelRegistry;

@@ -1,0 +1,437 @@
+//! Load generator for a live certification server.
+//!
+//! Drives `certify` requests over TCP from `concurrency` client threads in
+//! one of two modes:
+//!
+//! * **closed-loop** (default): every thread keeps exactly one request in
+//!   flight — send, wait for the reply, send again — so the offered load
+//!   adapts to the server's capacity;
+//! * **fixed-rate** (`rate` set): threads pace submissions to a target
+//!   aggregate rate in requests/second, measuring what latency looks like
+//!   under a fixed offered load (queueing delay shows up instead of being
+//!   absorbed by the closed loop).
+//!
+//! Each request perturbs the base ε in its last mantissa bits (a
+//! process-unique counter added to the ε bit pattern), so every query is a
+//! distinct cache key and the generator exercises the full verification
+//! path rather than the result cache. Pass `unique_eps: false` to measure
+//! cache-hit serving instead.
+//!
+//! Latency is measured client-side per request (send → parsed reply).
+//! Around the run, the generator issues `metrics` requests and differences
+//! the server's histograms, yielding the per-phase decomposition (queue
+//! wait, cache lookup, propagation, end-to-end) for exactly the requests
+//! this run produced. The whole report serializes to JSON for
+//! `BENCH_6.json`.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::client::Client;
+use crate::protocol::{CertifyRequest, RadiusSearchSpec, Request, Response};
+
+/// What to run against which server.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Registry id of the (already loaded) model to certify against.
+    pub model_id: String,
+    /// Token sequence for every request.
+    pub tokens: Vec<usize>,
+    /// Perturbed position.
+    pub position: usize,
+    /// Base perturbation radius.
+    pub eps: f64,
+    /// Norm name on the wire (`"l2"`, `"linf"`, ...).
+    pub norm: String,
+    /// Verifier variant on the wire (`"fast"`, ...).
+    pub variant: String,
+    /// Client threads, each with its own connection.
+    pub concurrency: usize,
+    /// Stop after this long (whichever of duration/requests hits first).
+    pub duration: Option<Duration>,
+    /// Stop after this many requests in total.
+    pub requests: Option<u64>,
+    /// Fixed-rate mode: aggregate target in requests/second. `None` runs
+    /// closed-loop.
+    pub rate: Option<f64>,
+    /// Make every request a distinct cache key (see the module docs).
+    pub unique_eps: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            model_id: "default".to_string(),
+            tokens: vec![1, 2, 3],
+            position: 0,
+            eps: 1e-3,
+            norm: "l2".to_string(),
+            variant: "fast".to_string(),
+            concurrency: 2,
+            duration: Some(Duration::from_secs(5)),
+            requests: None,
+            rate: None,
+            unique_eps: true,
+        }
+    }
+}
+
+/// Quantiles of one latency distribution, in seconds.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LatencySummary {
+    /// Samples the quantiles are over.
+    pub count: u64,
+    /// Mean latency in seconds.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Fastest observed.
+    pub min_s: f64,
+    /// Slowest observed.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Exact quantiles over client-side samples. Returns `None` when empty.
+    fn from_samples(mut samples: Vec<f64>) -> Option<LatencySummary> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len() as u64;
+        let q = |p: f64| {
+            let rank = ((p * count as f64).ceil() as usize).clamp(1, samples.len());
+            samples[rank - 1]
+        };
+        Some(LatencySummary {
+            count,
+            mean_s: samples.iter().sum::<f64>() / count as f64,
+            p50_s: q(0.50),
+            p95_s: q(0.95),
+            p99_s: q(0.99),
+            min_s: samples[0],
+            max_s: samples[samples.len() - 1],
+        })
+    }
+
+    /// Quantiles from a server-side histogram delta (log-linear buckets;
+    /// relative error bounded by
+    /// [`deept_metrics::hist::QUANTILE_RELATIVE_ERROR`]).
+    fn from_histogram(h: &deept_metrics::HistogramSnapshot) -> Option<LatencySummary> {
+        if h.count == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            count: h.count,
+            mean_s: h.mean().unwrap_or(0.0),
+            p50_s: h.quantile(0.50).unwrap_or(0.0),
+            p95_s: h.quantile(0.95).unwrap_or(0.0),
+            p99_s: h.quantile(0.99).unwrap_or(0.0),
+            min_s: h.min().unwrap_or(0.0),
+            max_s: h.max().unwrap_or(0.0),
+        })
+    }
+}
+
+/// Server-side per-phase latency decomposition for this run (histogram
+/// deltas between the pre- and post-run `metrics` snapshots).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+pub struct PhaseBreakdown {
+    /// `deept_serve_queue_wait_seconds`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub queue_wait: Option<LatencySummary>,
+    /// `deept_serve_cache_lookup_seconds`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cache_lookup: Option<LatencySummary>,
+    /// `deept_serve_propagation_seconds`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub propagation: Option<LatencySummary>,
+    /// `deept_serve_request_seconds` (server-side end-to-end).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub total: Option<LatencySummary>,
+}
+
+/// Everything a load-generation run produced; serializes to `BENCH_6.json`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LoadgenReport {
+    /// `"closed_loop"` or `"fixed_rate"`.
+    pub mode: String,
+    /// Client threads used.
+    pub concurrency: usize,
+    /// Target rate in requests/second (fixed-rate mode only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub target_rate: Option<f64>,
+    /// Wall-clock length of the measurement window in seconds.
+    pub duration_s: f64,
+    /// Requests sent.
+    pub sent: u64,
+    /// `certify` responses (certified or not) received.
+    pub ok: u64,
+    /// Responses served from the result cache.
+    pub cached: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// `timeout` errors.
+    pub timeouts: u64,
+    /// Other error responses or transport failures.
+    pub errors: u64,
+    /// Successfully certified-or-refuted queries per second of wall clock.
+    pub certified_queries_per_sec: f64,
+    /// Client-observed end-to-end latency.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub latency: Option<LatencySummary>,
+    /// Server-side per-phase decomposition for this run.
+    pub phases: PhaseBreakdown,
+}
+
+/// Per-thread tallies folded into the report.
+#[derive(Default)]
+struct ThreadOutcome {
+    sent: u64,
+    ok: u64,
+    cached: u64,
+    overloaded: u64,
+    timeouts: u64,
+    errors: u64,
+    latencies: Vec<f64>,
+}
+
+/// Fetches the merged metrics snapshot from the server.
+fn fetch_snapshot(addr: &str) -> io::Result<deept_metrics::RegistrySnapshot> {
+    match Client::connect(addr)?.send(&Request::Metrics)? {
+        Response::Metrics { snapshot, .. } => Ok(snapshot),
+        other => Err(io::Error::other(format!(
+            "expected a metrics response, got {other:?}"
+        ))),
+    }
+}
+
+/// Histogram delta between two snapshots, `None` when nothing landed.
+fn phase_delta(
+    before: &deept_metrics::RegistrySnapshot,
+    after: &deept_metrics::RegistrySnapshot,
+    name: &str,
+) -> Option<LatencySummary> {
+    let after_h = after.histogram(name)?;
+    let delta = match before.histogram(name) {
+        Some(before_h) => after_h.delta_since(before_h),
+        None => after_h.clone(),
+    };
+    LatencySummary::from_histogram(&delta)
+}
+
+/// Runs the load against a live server and reports.
+///
+/// # Errors
+///
+/// Returns an I/O error if the server cannot be reached at all (individual
+/// request failures during the run are tallied as `errors` instead).
+///
+/// # Panics
+///
+/// Panics if `concurrency` is 0.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    assert!(cfg.concurrency > 0, "loadgen needs at least one thread");
+    // Fail fast (and snapshot the baseline) before spawning anything.
+    let before = fetch_snapshot(&cfg.addr)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let remaining = Arc::new(AtomicU64::new(cfg.requests.unwrap_or(u64::MAX)));
+    let eps_nonce = Arc::new(AtomicU64::new(0));
+    let per_thread_interval = cfg.rate.map(|r| {
+        let per_thread = (r / cfg.concurrency as f64).max(1e-6);
+        Duration::from_secs_f64(1.0 / per_thread)
+    });
+    let started = Instant::now();
+    let handles: Vec<thread::JoinHandle<ThreadOutcome>> = (0..cfg.concurrency)
+        .map(|i| {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let remaining = Arc::clone(&remaining);
+            let eps_nonce = Arc::clone(&eps_nonce);
+            thread::Builder::new()
+                .name(format!("deept-loadgen-{i}"))
+                .spawn(move || {
+                    loadgen_thread(&cfg, &stop, &remaining, &eps_nonce, per_thread_interval)
+                })
+                .expect("spawn loadgen thread")
+        })
+        .collect();
+    if let Some(d) = cfg.duration {
+        // The stop flag ends duration-bounded runs; request-bounded runs
+        // drain `remaining` and the threads exit on their own.
+        thread::sleep(d);
+        stop.store(true, Ordering::SeqCst);
+    }
+    let mut totals = ThreadOutcome::default();
+    for handle in handles {
+        let outcome = handle.join().expect("loadgen thread panicked");
+        totals.sent += outcome.sent;
+        totals.ok += outcome.ok;
+        totals.cached += outcome.cached;
+        totals.overloaded += outcome.overloaded;
+        totals.timeouts += outcome.timeouts;
+        totals.errors += outcome.errors;
+        totals.latencies.extend(outcome.latencies);
+    }
+    let duration_s = started.elapsed().as_secs_f64();
+    let after = fetch_snapshot(&cfg.addr)?;
+    Ok(LoadgenReport {
+        mode: if cfg.rate.is_some() {
+            "fixed_rate".to_string()
+        } else {
+            "closed_loop".to_string()
+        },
+        concurrency: cfg.concurrency,
+        target_rate: cfg.rate,
+        duration_s,
+        sent: totals.sent,
+        ok: totals.ok,
+        cached: totals.cached,
+        overloaded: totals.overloaded,
+        timeouts: totals.timeouts,
+        errors: totals.errors,
+        certified_queries_per_sec: if duration_s > 0.0 {
+            totals.ok as f64 / duration_s
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_samples(totals.latencies),
+        phases: PhaseBreakdown {
+            queue_wait: phase_delta(&before, &after, "deept_serve_queue_wait_seconds"),
+            cache_lookup: phase_delta(&before, &after, "deept_serve_cache_lookup_seconds"),
+            propagation: phase_delta(&before, &after, "deept_serve_propagation_seconds"),
+            total: phase_delta(&before, &after, "deept_serve_request_seconds"),
+        },
+    })
+}
+
+fn loadgen_thread(
+    cfg: &LoadgenConfig,
+    stop: &AtomicBool,
+    remaining: &AtomicU64,
+    eps_nonce: &AtomicU64,
+    interval: Option<Duration>,
+) -> ThreadOutcome {
+    let mut out = ThreadOutcome::default();
+    let Ok(mut client) = Client::connect(&cfg.addr) else {
+        out.errors += 1;
+        return out;
+    };
+    let mut next_send = Instant::now();
+    while !stop.load(Ordering::SeqCst) {
+        // Claim a request slot; 0 left means another thread took the last.
+        if remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_err()
+        {
+            break;
+        }
+        if let Some(interval) = interval {
+            // Fixed-rate pacing against the schedule, not the last reply,
+            // so a slow response doesn't silently lower the offered rate.
+            let now = Instant::now();
+            if next_send > now {
+                thread::sleep(next_send - now);
+            }
+            next_send += interval;
+        }
+        let eps = if cfg.unique_eps {
+            f64::from_bits(cfg.eps.to_bits() + eps_nonce.fetch_add(1, Ordering::Relaxed))
+        } else {
+            cfg.eps
+        };
+        let req = Request::Certify(CertifyRequest {
+            model_id: cfg.model_id.clone(),
+            tokens: cfg.tokens.clone(),
+            position: cfg.position,
+            norm: cfg.norm.clone(),
+            variant: cfg.variant.clone(),
+            eps: Some(eps),
+            radius_search: None::<RadiusSearchSpec>,
+            deadline_ms: None,
+            trace: false,
+        });
+        let sent_at = Instant::now();
+        out.sent += 1;
+        match client.send(&req) {
+            Ok(Response::Certify { cached, .. }) => {
+                out.ok += 1;
+                out.cached += u64::from(cached);
+                out.latencies.push(sent_at.elapsed().as_secs_f64());
+            }
+            Ok(Response::Error { code, .. }) => match code {
+                crate::protocol::ErrorCode::Overloaded => out.overloaded += 1,
+                crate::protocol::ErrorCode::Timeout => out.timeouts += 1,
+                _ => out.errors += 1,
+            },
+            Ok(_) => out.errors += 1,
+            Err(_) => {
+                out.errors += 1;
+                // The connection may be gone (e.g. server drained); try a
+                // fresh one, and bail if the server is unreachable.
+                match Client::connect(&cfg.addr) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_quantiles_are_exact_order_statistics() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = LatencySummary::from_samples(samples).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.min_s, 1.0);
+        assert_eq!(s.max_s, 100.0);
+        assert!((s.mean_s - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_yield_no_summary() {
+        assert_eq!(LatencySummary::from_samples(Vec::new()), None);
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let report = LoadgenReport {
+            mode: "closed_loop".to_string(),
+            concurrency: 4,
+            target_rate: None,
+            duration_s: 5.0,
+            sent: 10,
+            ok: 9,
+            cached: 0,
+            overloaded: 1,
+            timeouts: 0,
+            errors: 0,
+            certified_queries_per_sec: 1.8,
+            latency: LatencySummary::from_samples(vec![0.1, 0.2, 0.3]),
+            phases: PhaseBreakdown::default(),
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: LoadgenReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

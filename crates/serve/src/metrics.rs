@@ -1,0 +1,139 @@
+//! Server-side metric handles: the per-server registry and the request
+//! lifecycle instruments.
+//!
+//! Each [`crate::server::Server`] owns its own always-on
+//! [`deept_metrics::Registry`] — concurrently running servers (common under
+//! `cargo test`) must never see each other's counts — while the
+//! process-global gated registry collects the verifier/core hot-path
+//! counters. [`ServeMetrics::merged_snapshot`] stitches both together for
+//! `metrics` requests and `GET /metrics` scrapes.
+
+use deept_metrics::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+use std::time::Instant;
+
+/// Cached handles for every serve-layer metric. See the module docs.
+pub(crate) struct ServeMetrics {
+    pub registry: Registry,
+    pub started: Instant,
+    /// `deept_serve_requests_received_total`: requests read off connections.
+    pub received: Counter,
+    /// `deept_serve_requests_completed_total`: jobs completed by workers.
+    pub completed: Counter,
+    /// `deept_serve_cache_hits_total`.
+    pub cache_hits: Counter,
+    /// `deept_serve_cache_misses_total`.
+    pub cache_misses: Counter,
+    /// `deept_serve_deadline_timeouts_total`: jobs aborted on expiry.
+    pub deadline_timeouts: Counter,
+    /// `deept_serve_overloaded_total`: submissions bounced off a full queue.
+    pub overloaded: Counter,
+    /// `deept_serve_queue_depth` gauge.
+    pub queue_depth: Gauge,
+    /// `deept_serve_in_flight` gauge.
+    pub in_flight: Gauge,
+    /// `deept_serve_uptime_seconds` gauge (set at snapshot time).
+    pub uptime: Gauge,
+    /// `deept_serve_queue_wait_seconds`: submit → worker dequeue.
+    pub queue_wait: Histogram,
+    /// `deept_serve_cache_lookup_seconds`: result-cache probe duration.
+    pub cache_lookup: Histogram,
+    /// `deept_serve_propagation_seconds`: worker execution (predict, embed
+    /// and abstract propagation / radius search).
+    pub propagation: Histogram,
+    /// `deept_serve_request_seconds`: certify end-to-end, arrival → reply.
+    pub total: Histogram,
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let received = registry.counter(
+            "deept_serve_requests_received_total",
+            "Requests read off connections.",
+        );
+        let completed = registry.counter(
+            "deept_serve_requests_completed_total",
+            "Certification jobs completed by workers.",
+        );
+        let cache_hits = registry.counter(
+            "deept_serve_cache_hits_total",
+            "Certify requests answered from the result cache.",
+        );
+        let cache_misses = registry.counter(
+            "deept_serve_cache_misses_total",
+            "Certify requests that missed the cache and ran the verifier.",
+        );
+        let deadline_timeouts = registry.counter(
+            "deept_serve_deadline_timeouts_total",
+            "Jobs aborted because their deadline expired.",
+        );
+        let overloaded = registry.counter(
+            "deept_serve_overloaded_total",
+            "Requests rejected because the job queue was full.",
+        );
+        let queue_depth = registry.gauge(
+            "deept_serve_queue_depth",
+            "Jobs currently waiting in the queue.",
+        );
+        let in_flight = registry.gauge(
+            "deept_serve_in_flight",
+            "Jobs currently executing on workers.",
+        );
+        let uptime = registry.gauge(
+            "deept_serve_uptime_seconds",
+            "Seconds since the server started.",
+        );
+        let queue_wait = registry.histogram(
+            "deept_serve_queue_wait_seconds",
+            "Time from queue submission to worker dequeue.",
+        );
+        let cache_lookup = registry.histogram(
+            "deept_serve_cache_lookup_seconds",
+            "Result-cache probe duration.",
+        );
+        let propagation = registry.histogram(
+            "deept_serve_propagation_seconds",
+            "Worker execution time (prediction, embedding and verification).",
+        );
+        let total = registry.histogram(
+            "deept_serve_request_seconds",
+            "Certify end-to-end latency, request arrival to reply.",
+        );
+        ServeMetrics {
+            registry,
+            started: Instant::now(),
+            received,
+            completed,
+            cache_hits,
+            cache_misses,
+            deadline_timeouts,
+            overloaded,
+            queue_depth,
+            in_flight,
+            uptime,
+            queue_wait,
+            cache_lookup,
+            propagation,
+            total,
+        }
+    }
+
+    /// Per-checkpoint request counter,
+    /// `deept_serve_model_requests_total{model="..."}`.
+    pub fn model_requests(&self, model_id: &str) -> Counter {
+        self.registry.counter_with(
+            "deept_serve_model_requests_total",
+            &[("model", model_id)],
+            "Certify requests per checkpoint.",
+        )
+    }
+
+    /// This server's registry merged with the process-global hot-path
+    /// registry, with the uptime gauge refreshed first.
+    pub fn merged_snapshot(&self) -> RegistrySnapshot {
+        self.uptime.set(self.started.elapsed().as_secs_f64());
+        let mut snap = self.registry.snapshot();
+        snap.merge(deept_metrics::global().snapshot());
+        snap
+    }
+}

@@ -8,13 +8,19 @@
 //! {"type":"certify","model_id":"toy","tokens":[1,2,3],"radius_search":{"iters":16}}
 //! {"type":"load_model","model_id":"toy","path":"artifacts/models/toy.json"}
 //! {"type":"status"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! ```
 //!
 //! and responses mirror them (`certify`, `model_loaded`, `status`,
-//! `shutting_down`, `error`). Unknown fields are rejected so typos in
-//! request options fail loudly instead of silently certifying something
-//! else.
+//! `metrics`, `shutting_down`, `error`). Unknown fields are rejected so
+//! typos in request options fail loudly instead of silently certifying
+//! something else.
+//!
+//! Every response carries the `request_id` the server assigned when the
+//! request was read off the connection (monotonic per server), including
+//! `overloaded` and other error replies, so a slow or failed request can be
+//! correlated with `DEEPT_LOG` lines and latency histograms end to end.
 
 use std::io::{self, Write};
 
@@ -35,6 +41,9 @@ pub enum Request {
     },
     /// Report server counters and loaded models.
     Status,
+    /// Report the full metrics registry (server + process-global) as a
+    /// structured snapshot.
+    Metrics,
     /// Stop accepting work, drain in-flight jobs, then exit.
     Shutdown,
 }
@@ -168,6 +177,9 @@ pub enum Response {
         /// Full verification trace, when requested and freshly computed.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         trace: Option<serde_json::Value>,
+        /// Server-assigned request id (see the module docs).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request_id: Option<u64>,
     },
     /// A checkpoint was loaded into the registry.
     ModelLoaded {
@@ -175,13 +187,27 @@ pub enum Response {
         model_id: String,
         /// Verified content fingerprint of the checkpoint.
         fingerprint: String,
+        /// Server-assigned request id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request_id: Option<u64>,
     },
     /// Server counters and configuration.
     Status(StatusReport),
+    /// Structured snapshot of the metrics registry.
+    Metrics {
+        /// Merged server + process-global registry snapshot.
+        snapshot: deept_metrics::RegistrySnapshot,
+        /// Server-assigned request id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request_id: Option<u64>,
+    },
     /// Shutdown acknowledged; the server drains and exits.
     ShuttingDown {
         /// Jobs still queued or executing at acknowledgement time.
         pending: u64,
+        /// Server-assigned request id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request_id: Option<u64>,
     },
     /// The request failed; the connection stays usable.
     Error {
@@ -189,7 +215,37 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Server-assigned request id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        request_id: Option<u64>,
     },
+}
+
+impl Response {
+    /// Stamps the server-assigned request id onto any response variant
+    /// (stored inside the report for `status`).
+    pub fn set_request_id(&mut self, id: u64) {
+        match self {
+            Response::Certify { request_id, .. }
+            | Response::ModelLoaded { request_id, .. }
+            | Response::Metrics { request_id, .. }
+            | Response::ShuttingDown { request_id, .. }
+            | Response::Error { request_id, .. } => *request_id = Some(id),
+            Response::Status(report) => report.request_id = Some(id),
+        }
+    }
+
+    /// The server-assigned request id, if stamped.
+    pub fn request_id(&self) -> Option<u64> {
+        match self {
+            Response::Certify { request_id, .. }
+            | Response::ModelLoaded { request_id, .. }
+            | Response::Metrics { request_id, .. }
+            | Response::ShuttingDown { request_id, .. }
+            | Response::Error { request_id, .. } => *request_id,
+            Response::Status(report) => report.request_id,
+        }
+    }
 }
 
 /// Payload of a successful certification, cached verbatim.
@@ -256,6 +312,41 @@ pub struct StatusReport {
     pub queue_capacity: usize,
     /// Loaded model ids, sorted.
     pub models: Vec<String>,
+    /// Seconds since the server started.
+    #[serde(default)]
+    pub uptime_seconds: f64,
+    /// Server-assigned request id of the `status` request itself.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub request_id: Option<u64>,
+}
+
+impl StatusReport {
+    /// Cache hit rate in `[0, 1]`; `None` before any cache probe.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let probes = self.cache_hits + self.cache_misses;
+        #[allow(clippy::cast_precision_loss)]
+        (probes > 0).then(|| self.cache_hits as f64 / probes as f64)
+    }
+
+    /// One-line human summary, in the style of the trace hotspot report.
+    pub fn render_summary(&self) -> String {
+        let hit_rate = match self.hit_rate() {
+            Some(r) => format!("{:.0}%", 100.0 * r),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "served {} requests ({} completed, {} overloaded, {} deadline-aborted); \
+             cache {} hits / {} misses ({hit_rate}); {} queued, {} in flight",
+            self.received,
+            self.completed,
+            self.overloaded,
+            self.deadline_aborts,
+            self.cache_hits,
+            self.cache_misses,
+            self.queue_depth,
+            self.in_flight,
+        )
+    }
 }
 
 /// Parses one request line.
@@ -278,14 +369,19 @@ pub fn parse_response(line: &str) -> Result<Response, serde_json::Error> {
 
 /// Writes `message` as one JSON line and flushes.
 ///
+/// The payload and trailing newline go out in a single `write_all`: two
+/// small writes on a TCP stream trigger the Nagle / delayed-ACK
+/// interaction (the second write waits ~40 ms for the peer's ACK), which
+/// would dwarf sub-millisecond certification latencies in both directions.
+///
 /// # Errors
 ///
 /// Returns the underlying I/O error; serialization of protocol types is
 /// infallible.
 pub fn write_line<T: Serialize>(w: &mut impl Write, message: &T) -> io::Result<()> {
-    let json = serde_json::to_string(message).map_err(io::Error::other)?;
+    let mut json = serde_json::to_string(message).map_err(io::Error::other)?;
+    json.push('\n');
     w.write_all(json.as_bytes())?;
-    w.write_all(b"\n")?;
     w.flush()
 }
 
@@ -370,10 +466,57 @@ mod tests {
             },
             cached: false,
             trace: None,
+            request_id: None,
         };
         let json = serde_json::to_string(&resp).unwrap();
         assert!(!json.contains("trace"), "{json}");
+        assert!(!json.contains("request_id"), "{json}");
         assert_eq!(parse_response(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_id_is_stamped_and_round_trips() {
+        let mut resp = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+            request_id: None,
+        };
+        resp.set_request_id(42);
+        assert_eq!(resp.request_id(), Some(42));
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"request_id\":42"), "{json}");
+        assert_eq!(parse_response(&json).unwrap(), resp);
+
+        let mut status = Response::Status(StatusReport::default());
+        status.set_request_id(7);
+        assert_eq!(status.request_id(), Some(7));
+    }
+
+    #[test]
+    fn metrics_request_and_response_round_trip() {
+        assert_eq!(
+            parse_request(r#"{"type":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        let reg = deept_metrics::Registry::new();
+        reg.counter("deept_serve_requests_received_total", "Requests.")
+            .add(3);
+        let resp = Response::Metrics {
+            snapshot: reg.snapshot(),
+            request_id: Some(9),
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let back = parse_response(&json).unwrap();
+        assert_eq!(back, resp);
+        match back {
+            Response::Metrics { snapshot, .. } => {
+                assert_eq!(
+                    snapshot.counter_value("deept_serve_requests_received_total"),
+                    Some(3)
+                );
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]
@@ -381,6 +524,7 @@ mod tests {
         let json = serde_json::to_string(&Response::Error {
             code: ErrorCode::UnknownModel,
             message: "no such model".into(),
+            request_id: None,
         })
         .unwrap();
         assert!(json.contains("\"unknown_model\""), "{json}");

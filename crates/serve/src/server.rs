@@ -25,20 +25,22 @@
 //! expired request yields a `timeout` error instead of hanging a worker.
 
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use deept_core::PNorm;
-use deept_telemetry::{NoopProbe, Probe, ServerCounters, TraceCollector};
+use deept_metrics::PhaseProfiler;
+use deept_telemetry::{NoopProbe, Probe, TraceCollector};
 use deept_verifier::deadline::{Deadline, DeadlineExceeded};
 use deept_verifier::deept::{certify_deadline_probed, DeepTConfig};
 use deept_verifier::network::t1_region;
 use deept_verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
 
 use crate::cache::{CacheKey, LruCache, QueryKey};
+use crate::metrics::ServeMetrics;
 use crate::protocol::{
     self, CertifyRequest, CertifyResult, ErrorCode, RadiusSearchSpec, Request, Response,
     StatusReport, Variant,
@@ -84,6 +86,7 @@ enum Query {
 
 /// Everything a worker needs to run one certification.
 struct JobSpec {
+    request_id: u64,
     model_id: String,
     tokens: Vec<usize>,
     position: usize,
@@ -98,6 +101,8 @@ struct JobSpec {
 struct Job {
     entry: Arc<ModelEntry>,
     spec: JobSpec,
+    /// When the job entered the queue; measures queue wait at dequeue.
+    submitted: Instant,
     reply: mpsc::Sender<Response>,
 }
 
@@ -105,7 +110,9 @@ struct Inner {
     cfg: ServeConfig,
     registry: ModelRegistry,
     cache: Mutex<LruCache<CacheKey, (usize, CertifyResult)>>,
-    counters: ServerCounters,
+    metrics: ServeMetrics,
+    profiler: PhaseProfiler,
+    next_request_id: AtomicU64,
     queue: JobQueue<Job>,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -137,7 +144,9 @@ impl Server {
                 cfg,
                 registry: ModelRegistry::new(),
                 cache: Mutex::new(LruCache::new(cache_capacity)),
-                counters: ServerCounters::new(),
+                metrics: ServeMetrics::new(),
+                profiler: PhaseProfiler::new(),
+                next_request_id: AtomicU64::new(1),
                 queue: JobQueue::new(queue_capacity),
                 shutdown: AtomicBool::new(false),
                 workers: Mutex::new(Vec::new()),
@@ -162,9 +171,23 @@ impl Server {
         &self.inner.registry
     }
 
-    /// A point-in-time snapshot of the server counters.
-    pub fn stats(&self) -> deept_telemetry::ServerStats {
-        self.inner.counters.snapshot()
+    /// A point-in-time snapshot of the server counters (the same report a
+    /// `status` request returns, read from the metrics registry).
+    pub fn stats(&self) -> StatusReport {
+        self.status_report()
+    }
+
+    /// This server's metrics registry merged with the process-global
+    /// hot-path registry — the payload of `metrics` requests and
+    /// `GET /metrics` scrapes.
+    pub fn metrics_snapshot(&self) -> deept_metrics::RegistrySnapshot {
+        self.inner.metrics.merged_snapshot()
+    }
+
+    /// The span-stream self-profiler shared by all workers (active whenever
+    /// metrics are enabled and the request did not ask for a full trace).
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.inner.profiler
     }
 
     /// Whether a shutdown has been requested.
@@ -174,34 +197,48 @@ impl Server {
 
     /// Handles one request synchronously. Certify misses block until a
     /// worker delivers the result; everything else answers inline.
+    ///
+    /// Assigns the request a server-unique `request_id`, echoed in the
+    /// response (including error replies) and in `DEEPT_LOG` lines emitted
+    /// while the request is in flight.
     pub fn handle(&self, req: Request) -> Response {
-        ServerCounters::bump(&self.inner.counters.received);
-        match req {
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let arrival = Instant::now();
+        self.inner.metrics.received.inc();
+        let mut response = match req {
             Request::Status => Response::Status(self.status_report()),
-            Request::LoadModel { model_id, path } => self.handle_load(&model_id, &path),
-            Request::Shutdown => self.handle_shutdown(),
-            Request::Certify(c) => self.handle_certify(c),
-        }
+            Request::Metrics => Response::Metrics {
+                snapshot: self.metrics_snapshot(),
+                request_id: None,
+            },
+            Request::LoadModel { model_id, path } => self.handle_load(&model_id, &path, id),
+            Request::Shutdown => self.handle_shutdown(id),
+            Request::Certify(c) => self.handle_certify(c, id, arrival),
+        };
+        response.set_request_id(id);
+        response
     }
 
     fn status_report(&self) -> StatusReport {
-        let s = self.inner.counters.snapshot();
+        let m = &self.inner.metrics;
         StatusReport {
-            received: s.received,
-            completed: s.completed,
-            cache_hits: s.cache_hits,
-            cache_misses: s.cache_misses,
-            deadline_aborts: s.deadline_aborts,
-            overloaded: s.overloaded,
-            queue_depth: s.queue_depth,
-            in_flight: s.in_flight,
+            received: m.received.value(),
+            completed: m.completed.value(),
+            cache_hits: m.cache_hits.value(),
+            cache_misses: m.cache_misses.value(),
+            deadline_aborts: m.deadline_timeouts.value(),
+            overloaded: m.overloaded.value(),
+            queue_depth: m.queue_depth.value() as u64,
+            in_flight: m.in_flight.value() as u64,
             workers: self.inner.cfg.workers.max(1),
             queue_capacity: self.inner.queue.capacity(),
             models: self.inner.registry.list(),
+            uptime_seconds: m.started.elapsed().as_secs_f64(),
+            request_id: None,
         }
     }
 
-    fn handle_load(&self, model_id: &str, path: &str) -> Response {
+    fn handle_load(&self, model_id: &str, path: &str, request_id: u64) -> Response {
         if self.shutting_down() {
             return error(ErrorCode::ShuttingDown, "server is draining");
         }
@@ -209,11 +246,13 @@ impl Server {
             Ok(fingerprint) => {
                 deept_telemetry::info!(
                     "serve",
-                    "loaded model {model_id:?} from {path} (fingerprint {fingerprint})"
+                    "req-{request_id}: loaded model {model_id:?} from {path} \
+                     (fingerprint {fingerprint})"
                 );
                 Response::ModelLoaded {
                     model_id: model_id.to_string(),
                     fingerprint,
+                    request_id: None,
                 }
             }
             Err(e) => error(
@@ -223,23 +262,25 @@ impl Server {
         }
     }
 
-    fn handle_shutdown(&self) -> Response {
+    fn handle_shutdown(&self, request_id: u64) -> Response {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Refuse new submissions but let queued jobs drain to the workers.
         self.inner.queue.close();
-        let s = self.inner.counters.snapshot();
+        let m = &self.inner.metrics;
+        let queued = m.queue_depth.value() as u64;
+        let in_flight = m.in_flight.value() as u64;
         deept_telemetry::info!(
             "serve",
-            "shutdown requested; draining {} queued + {} in-flight jobs",
-            s.queue_depth,
-            s.in_flight
+            "req-{request_id}: shutdown requested; draining {queued} queued + \
+             {in_flight} in-flight jobs"
         );
         Response::ShuttingDown {
-            pending: s.queue_depth + s.in_flight,
+            pending: queued + in_flight,
+            request_id: None,
         }
     }
 
-    fn handle_certify(&self, req: CertifyRequest) -> Response {
+    fn handle_certify(&self, req: CertifyRequest, request_id: u64, arrival: Instant) -> Response {
         if self.shutting_down() {
             return error(ErrorCode::ShuttingDown, "server is draining");
         }
@@ -332,8 +373,16 @@ impl Server {
                 }
             },
         };
-        if let Some((label, result)) = self.inner.cache.lock().unwrap().get(&key) {
-            ServerCounters::bump(&self.inner.counters.cache_hits);
+        let m = &self.inner.metrics;
+        m.model_requests(&req.model_id).inc();
+        let lookup_started = Instant::now();
+        let cached = self.inner.cache.lock().unwrap().get(&key);
+        m.cache_lookup
+            .observe(lookup_started.elapsed().as_secs_f64());
+        if let Some((label, result)) = cached {
+            m.cache_hits.inc();
+            m.total.observe(arrival.elapsed().as_secs_f64());
+            deept_telemetry::debug!("serve", "req-{request_id}: cache hit");
             return Response::Certify {
                 model_id: req.model_id,
                 fingerprint: entry.fingerprint.clone(),
@@ -341,12 +390,14 @@ impl Server {
                 result,
                 cached: true,
                 trace: None,
+                request_id: None,
             };
         }
         let (reply, result_rx) = mpsc::channel();
         let job = Job {
             entry,
             spec: JobSpec {
+                request_id,
                 model_id: req.model_id,
                 tokens: req.tokens,
                 position: req.position,
@@ -357,15 +408,17 @@ impl Server {
                 want_trace: req.trace,
                 key,
             },
+            submitted: Instant::now(),
             reply,
         };
         match self.inner.queue.submit(job) {
             Ok(()) => {
-                ServerCounters::bump(&self.inner.counters.cache_misses);
-                ServerCounters::bump(&self.inner.counters.queue_depth);
+                m.cache_misses.inc();
+                m.queue_depth.add(1.0);
+                deept_telemetry::debug!("serve", "req-{request_id}: queued");
             }
             Err(SubmitError::Overloaded) => {
-                ServerCounters::bump(&self.inner.counters.overloaded);
+                m.overloaded.inc();
                 return error(
                     ErrorCode::Overloaded,
                     &format!(
@@ -378,10 +431,12 @@ impl Server {
                 return error(ErrorCode::ShuttingDown, "server is draining");
             }
         }
-        match result_rx.recv() {
+        let response = match result_rx.recv() {
             Ok(response) => response,
             Err(_) => error(ErrorCode::Internal, "worker dropped the reply channel"),
-        }
+        };
+        m.total.observe(arrival.elapsed().as_secs_f64());
+        response
     }
 
     /// Binds `addr` and serves until a `shutdown` request arrives, then
@@ -466,11 +521,47 @@ impl Server {
         for handle in connections {
             let _ = handle.join();
         }
-        deept_telemetry::info!(
-            "serve",
-            "{}",
-            self.inner.counters.snapshot().render_summary()
-        );
+        deept_telemetry::info!("serve", "{}", self.stats().render_summary());
+    }
+
+    /// Binds a plain-TCP HTTP/1.0 scrape listener on `addr` and serves it
+    /// from a background thread until the server drains. Returns the bound
+    /// address (useful with an ephemeral port such as `127.0.0.1:0`).
+    ///
+    /// `GET /metrics` answers with the merged registry snapshot in
+    /// Prometheus text exposition format 0.0.4; `GET /profile` answers with
+    /// the self-profiler's collapsed-stack text (flamegraph-compatible).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding fails.
+    pub fn spawn_metrics_listener(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        deept_telemetry::info!("serve", "metrics listener on http://{bound}/metrics");
+        let server = self.clone();
+        let handle = thread::Builder::new()
+            .name("deept-metrics".to_string())
+            .spawn(move || {
+                while !server.shutting_down() {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Scrapes are cheap (snapshot + render); handle
+                            // them inline so drain has one thread to join.
+                            let _ = serve_scrape(&server, stream);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn metrics listener thread");
+        self.inner.connections.lock().unwrap().push(handle);
+        Ok(bound)
     }
 }
 
@@ -478,6 +569,7 @@ fn error(code: ErrorCode, message: &str) -> Response {
     Response::Error {
         code,
         message: message.to_string(),
+        request_id: None,
     }
 }
 
@@ -491,11 +583,21 @@ fn verifier_config(variant: Variant, reduction_budget: usize) -> DeepTConfig {
 
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.next() {
-        ServerCounters::drop_gauge(&inner.counters.queue_depth);
-        ServerCounters::bump(&inner.counters.in_flight);
+        let m = &inner.metrics;
+        m.queue_depth.sub(1.0);
+        m.queue_wait.observe(job.submitted.elapsed().as_secs_f64());
+        m.in_flight.add(1.0);
+        let started = Instant::now();
         let response = run_job(inner, &job.entry, &job.spec);
-        ServerCounters::drop_gauge(&inner.counters.in_flight);
-        ServerCounters::bump(&inner.counters.completed);
+        m.propagation.observe(started.elapsed().as_secs_f64());
+        m.in_flight.sub(1.0);
+        m.completed.inc();
+        deept_telemetry::debug!(
+            "serve",
+            "req-{}: completed in {:.1} ms",
+            job.spec.request_id,
+            started.elapsed().as_secs_f64() * 1e3
+        );
         // The requester may have disconnected; dropping the reply is fine.
         let _ = job.reply.send(response);
     }
@@ -506,8 +608,12 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
     let emb = entry.model.embed(&spec.tokens);
     let cfg = verifier_config(spec.variant, inner.cfg.reduction_budget);
     let collector = spec.want_trace.then(TraceCollector::new);
+    // Trace requests get the full collector; otherwise the span stream
+    // feeds the sampling self-profiler, unless metrics are disabled
+    // entirely (`DEEPT_METRICS=off`), which restores the zero-probe path.
     let probe: &dyn Probe = match &collector {
         Some(c) => c,
+        None if deept_metrics::enabled() => &inner.profiler,
         None => &NoopProbe,
     };
     let outcome: Result<CertifyResult, String> = match spec.query {
@@ -576,13 +682,63 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
                 result,
                 cached: false,
                 trace,
+                request_id: Some(spec.request_id),
             }
         }
         Err(message) => {
-            ServerCounters::bump(&inner.counters.deadline_aborts);
-            error(ErrorCode::Timeout, &message)
+            inner.metrics.deadline_timeouts.inc();
+            let mut resp = error(ErrorCode::Timeout, &message);
+            resp.set_request_id(spec.request_id);
+            resp
         }
     }
+}
+
+/// Answers one HTTP/1.0 scrape request on `stream` and closes it.
+fn serve_scrape(server: &Server, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /metrics HTTP/1.1" — only the path matters; remaining headers
+    // are ignored (the socket closes after the response anyway).
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                server.metrics_snapshot().to_prometheus(),
+            ),
+            "/profile" => (
+                "200 OK",
+                "text/plain; charset=utf-8",
+                server.profiler().collapsed(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "try /metrics or /profile\n".to_string(),
+            ),
+        }
+    };
+    write!(
+        writer,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
 }
 
 fn serve_connection(server: &Server, stream: TcpStream) {

@@ -234,7 +234,7 @@ fn expired_deadline_times_out_without_hanging() {
         .send(&radius_request(0.01, 30, Some(1)))
         .expect("send");
     match &resp {
-        Response::Error { code, message } => {
+        Response::Error { code, message, .. } => {
             assert_eq!(*code, ErrorCode::Timeout, "{message}");
             assert!(message.contains("deadline"), "{message}");
         }
@@ -270,7 +270,7 @@ fn timed_out_radius_search_is_never_cached_as_final() {
         .send(&radius_request(0.01, 24, Some(25)))
         .expect("send");
     match &bounded {
-        Response::Error { code, message } => {
+        Response::Error { code, message, .. } => {
             assert_eq!(*code, ErrorCode::Timeout, "{message}");
         }
         // On a fast machine the search may finish inside the budget; then
@@ -481,9 +481,14 @@ fn bad_requests_are_rejected_with_structure() {
     ];
     for (req, needle) in cases {
         match server.handle(req) {
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                request_id,
+            } => {
                 assert_eq!(code, ErrorCode::BadRequest, "{message}");
                 assert!(message.contains(needle), "{message:?} missing {needle:?}");
+                assert!(request_id.is_some(), "errors must echo the request id");
             }
             other => panic!("expected bad_request, got {other:?}"),
         }
@@ -503,6 +508,150 @@ fn base_certify() -> CertifyRequest {
         deadline_ms: None,
         trace: false,
     }
+}
+
+#[test]
+fn request_ids_are_unique_monotonic_and_echoed_everywhere() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 1);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let mut seen = Vec::new();
+    let first = client.send(&eps_request(1e-4)).expect("certify");
+    assert!(matches!(first, Response::Certify { .. }));
+    seen.push(first.request_id().expect("certify echoes request_id"));
+
+    // Cache hits and error replies carry ids too.
+    let hit = client.send(&eps_request(1e-4)).expect("certify");
+    assert!(is_cached(&hit));
+    seen.push(hit.request_id().expect("cache hit echoes request_id"));
+    let err = client
+        .send(&Request::Certify(CertifyRequest {
+            model_id: "nope".into(),
+            ..base_certify()
+        }))
+        .expect("send");
+    assert!(matches!(err, Response::Error { .. }));
+    seen.push(err.request_id().expect("error echoes request_id"));
+    match client.send(&Request::Status).expect("status") {
+        Response::Status(report) => seen.push(report.request_id.expect("status echoes id")),
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    for pair in seen.windows(2) {
+        assert!(pair[0] < pair[1], "ids must be monotonic: {seen:?}");
+    }
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+    drop(server);
+}
+
+#[test]
+fn metrics_request_reports_lifecycle_counters_and_phase_histograms() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 1);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let miss = client.send(&eps_request(2e-4)).expect("certify");
+    assert!(!is_cached(&miss));
+    let hit = client.send(&eps_request(2e-4)).expect("certify");
+    assert!(is_cached(&hit));
+
+    let snapshot = match client.send(&Request::Metrics).expect("metrics") {
+        Response::Metrics { snapshot, .. } => snapshot,
+        other => panic!("expected metrics, got {other:?}"),
+    };
+    assert_eq!(
+        snapshot.counter_value("deept_serve_cache_hits_total"),
+        Some(1)
+    );
+    assert_eq!(
+        snapshot.counter_value("deept_serve_cache_misses_total"),
+        Some(1)
+    );
+    // One uncached request flowed through the whole pipeline, so each
+    // phase histogram holds at least one sample and the phases nest
+    // inside the end-to-end time.
+    let total = snapshot
+        .histogram("deept_serve_request_seconds")
+        .expect("request histogram");
+    assert_eq!(total.count, 2, "miss + hit both observe end-to-end");
+    let queue_wait = snapshot
+        .histogram("deept_serve_queue_wait_seconds")
+        .expect("queue-wait histogram");
+    let propagation = snapshot
+        .histogram("deept_serve_propagation_seconds")
+        .expect("propagation histogram");
+    assert_eq!(queue_wait.count, 1);
+    assert_eq!(propagation.count, 1);
+    assert!(
+        propagation.sum() <= total.sum() * 1.001,
+        "propagation ({}) cannot exceed end-to-end ({})",
+        propagation.sum(),
+        total.sum()
+    );
+    assert_eq!(
+        snapshot.counter_value("deept_serve_model_requests_total"),
+        Some(2),
+        "per-model counter tracks certify requests"
+    );
+    // Uptime is stamped at snapshot time.
+    assert!(snapshot.gauge_value("deept_serve_uptime_seconds").unwrap() >= 0.0);
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+    drop(server);
+}
+
+#[test]
+fn metrics_listener_serves_prometheus_text_and_profile() {
+    use std::io::{Read as _, Write as _};
+
+    let (server, addr, handle) = start_server(ServeConfig::default(), 1);
+    let scrape_addr = server
+        .spawn_metrics_listener("127.0.0.1:0")
+        .expect("bind metrics listener");
+
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let resp = client.send(&eps_request(3e-4)).expect("certify");
+    assert!(matches!(resp, Response::Certify { .. }));
+
+    let scrape = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(scrape_addr).expect("connect scrape");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("read response");
+        body
+    };
+
+    let metrics = scrape("/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200 OK"), "{metrics}");
+    assert!(
+        metrics.contains("text/plain; version=0.0.4"),
+        "missing exposition content type: {metrics}"
+    );
+    for needle in [
+        "# TYPE deept_serve_requests_received_total counter",
+        "# TYPE deept_serve_queue_wait_seconds histogram",
+        "deept_serve_queue_wait_seconds_bucket{le=\"+Inf\"}",
+        "deept_serve_request_seconds_sum",
+        "deept_serve_queue_depth 0",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing {needle:?} in:\n{metrics}"
+        );
+    }
+
+    let not_found = scrape("/nope");
+    assert!(not_found.starts_with("HTTP/1.0 404"), "{not_found}");
+
+    // The profile endpoint answers (collapsed-stack lines appear only when
+    // the global metrics gate is on, so just check it serves).
+    let profile = scrape("/profile");
+    assert!(profile.starts_with("HTTP/1.0 200 OK"), "{profile}");
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
 }
 
 #[test]

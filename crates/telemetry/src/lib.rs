@@ -17,16 +17,17 @@
 //! * **Logging** ([`info!`], [`debug!`], [`LogLevel`]) — a leveled stderr
 //!   logger gated by the `DEEPT_LOG` environment variable, replacing ad-hoc
 //!   `eprintln!` progress messages in the bench harness.
-//! * **Server counters** ([`ServerCounters`], [`ServerStats`]) — atomic
-//!   request/cache/deadline counters for the certification server, frozen
-//!   into snapshots for `Status` responses and shutdown summaries.
+//!
+//! Server request/cache/deadline counters live in the `deept-metrics`
+//! registry (owned by `deept-serve`), not here: this crate stays the
+//! dependency-free hook surface that the instrumented crates build
+//! against, while `deept-metrics` aggregates the resulting span stream.
 
 #![deny(clippy::print_stdout)]
 
 mod collect;
 mod log;
 mod probe;
-mod server;
 mod trace;
 
 pub use collect::TraceCollector;
@@ -35,7 +36,6 @@ pub use probe::{
     EpsStorageStats, NoopProbe, ParallelStats, Probe, RadiusStep, ReduceEvent, SpanKind,
     ZonotopeStats,
 };
-pub use server::{ServerCounters, ServerStats};
 pub use trace::{Hotspot, LayerWidthRow, SpanRecord, VerificationTrace};
 
 /// RAII guard that exits a span when dropped, for instrumentation sites

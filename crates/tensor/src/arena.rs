@@ -13,6 +13,30 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Cached handles into the process-global (gated) metrics registry. The
+/// local `HITS`/`MISSES` atomics stay authoritative for the per-stage
+/// snapshot API; these only feed the live scrape endpoint.
+fn global_hits() -> &'static deept_metrics::Counter {
+    static C: OnceLock<deept_metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        deept_metrics::global().counter(
+            "deept_arena_hits_total",
+            "Scratch-arena requests served from the per-thread pool.",
+        )
+    })
+}
+
+fn global_misses() -> &'static deept_metrics::Counter {
+    static C: OnceLock<deept_metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        deept_metrics::global().counter(
+            "deept_arena_misses_total",
+            "Scratch-arena requests that fell back to fresh allocations.",
+        )
+    })
+}
 
 /// Buffers retained per thread. Beyond this, returned buffers are dropped —
 /// the pool exists to serve the steady-state working set of one propagation,
@@ -44,12 +68,14 @@ pub fn take_zeroed(len: usize) -> Vec<f64> {
     match pooled {
         Some(mut buf) => {
             HITS.fetch_add(1, Ordering::Relaxed);
+            global_hits().inc();
             buf.clear();
             buf.resize(len, 0.0);
             buf
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            global_misses().inc();
             vec![0.0; len]
         }
     }

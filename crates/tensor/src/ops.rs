@@ -55,8 +55,7 @@ pub fn layer_norm_no_std(m: &Matrix, gamma: &[f64], beta: &[f64]) -> Matrix {
     assert_eq!(beta.len(), m.cols());
     let means = m.row_means();
     let mut out = m.clone();
-    for r in 0..out.rows() {
-        let mean = means[r];
+    for (r, &mean) in means.iter().enumerate() {
         for (c, v) in out.row_mut(r).iter_mut().enumerate() {
             *v = (*v - mean) * gamma[c] + beta[c];
         }
@@ -75,8 +74,7 @@ pub fn layer_norm_std(m: &Matrix, gamma: &[f64], beta: &[f64], epsilon: f64) -> 
     assert_eq!(beta.len(), m.cols());
     let means = m.row_means();
     let mut out = m.clone();
-    for r in 0..out.rows() {
-        let mean = means[r];
+    for (r, &mean) in means.iter().enumerate() {
         let row = out.row_mut(r);
         let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / row.len() as f64;
         let denom = (var + epsilon).sqrt();

@@ -125,9 +125,9 @@ mod tests {
         let b: Vec<f64> = (0..11).map(|i| 1.7 - 0.2 * (i as f64)).collect();
         let mut lanes = [0.0f64; 4];
         for c in 0..2 {
-            for l in 0..4 {
+            for (l, lane) in lanes.iter_mut().enumerate() {
                 let i = 4 * c + l;
-                lanes[l] += a[i] * b[i];
+                *lane += a[i] * b[i];
             }
         }
         let tail = (a[8] * b[8] + a[9] * b[9]) + a[10] * b[10];

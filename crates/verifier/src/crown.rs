@@ -293,9 +293,9 @@ impl LinBounds {
         assert_eq!(b.len(), self.cols);
         let mut out = self.clone();
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.lb[i * self.cols + j] += b[j];
-                out.ub[i * self.cols + j] += b[j];
+            for (j, &bj) in b.iter().enumerate() {
+                out.lb[i * self.cols + j] += bj;
+                out.ub[i * self.cols + j] += bj;
             }
         }
         out
@@ -675,7 +675,7 @@ fn accumulate_pair(
     o: usize,
 ) {
     fn pick(src: &LinBounds, k: usize, coef: f64, upper: bool) -> (Vec<f64>, f64) {
-        if (coef >= 0.0) == !upper {
+        if (coef >= 0.0) != upper {
             (src.lw.row(k).to_vec(), src.lb[k])
         } else {
             (src.uw.row(k).to_vec(), src.ub[k])
@@ -921,7 +921,7 @@ pub fn certify_probed(
     let c = logits.shape().1;
     assert!(true_label < c, "true label out of range");
     let mut margins = vec![f64::INFINITY; c];
-    for f in 0..c {
+    for (f, mf) in margins.iter_mut().enumerate() {
         if f == true_label {
             continue;
         }
@@ -929,7 +929,7 @@ pub fn certify_probed(
         // final symbol basis.
         let w = deept_tensor::vec_sub(logits.lw.row(true_label), logits.uw.row(f));
         let m = logits.lb[true_label] - logits.ub[f] - basis.sup(&w);
-        margins[f] = if m.is_nan() { f64::NEG_INFINITY } else { m };
+        *mf = if m.is_nan() { f64::NEG_INFINITY } else { m };
     }
     CertResult::from_margins(margins)
 }

@@ -179,12 +179,12 @@ pub fn margins_from_zonotope_deadline(
         }
         return Ok(margins);
     }
-    for f in 0..c {
+    for (f, mf) in margins.iter_mut().enumerate() {
         if f == true_label {
             continue;
         }
         deadline.check()?;
-        margins[f] = margin_query(logits, true_label, f, c);
+        *mf = margin_query(logits, true_label, f, c);
     }
     Ok(margins)
 }

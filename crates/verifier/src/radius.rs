@@ -5,6 +5,19 @@ use deept_telemetry::{NoopProbe, Probe, RadiusStep, SpanKind};
 
 use crate::deadline::{Deadline, DeadlineExceeded};
 
+/// Cached handle into the process-global (gated) metrics registry: total
+/// verifier queries issued by radius searches (observability only; never
+/// influences the search).
+fn radius_queries_total() -> &'static deept_metrics::Counter {
+    static C: std::sync::OnceLock<deept_metrics::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        deept_metrics::global().counter(
+            "deept_radius_queries_total",
+            "Certification queries issued by radius binary searches.",
+        )
+    })
+}
+
 /// Result of a deadline-aware radius search.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RadiusOutcome {
@@ -145,6 +158,7 @@ pub fn max_certified_radius_deadline(
         Ok(lo)
     })();
     probe.span_exit(SpanKind::RadiusSearch, None, 0);
+    radius_queries_total().add(queries as u64);
     match result {
         Ok(r) => RadiusOutcome::Completed(r),
         Err(DeadlineExceeded) => RadiusOutcome::TimedOut {

@@ -184,3 +184,80 @@ print(
 EOF
 
 echo "eps-storage smoke written to BENCH_5.json"
+
+# ---------------------------------------------------------------------------
+# Metrics-overhead gate: abstract propagation timed with the metrics gate on
+# and off (interleaved, median of N). The logit bounds must be bitwise
+# identical across the gate and the median slowdown must stay under 2%.
+# ---------------------------------------------------------------------------
+echo "== metrics-overhead gate (DEEPT_THREADS=$THREADS) =="
+target/release/deept bench-metrics --repeats 9 --max-ratio 1.02 \
+  --out bench_metrics.json
+
+# ---------------------------------------------------------------------------
+# Load-generator smoke: drive a live `deept serve --metrics-addr` with the
+# closed-loop generator, validate the Prometheus scrape mid-run, and write
+# the latency/throughput report to BENCH_6.json. A single-request run then
+# checks the phase decomposition: queue-wait + cache-lookup + propagation
+# must account for at least 90% of the server-side end-to-end time.
+# ---------------------------------------------------------------------------
+LOADGEN_ADDR="${DEEPT_LOADGEN_ADDR:-127.0.0.1:17980}"
+METRICS_ADDR="${DEEPT_METRICS_ADDR:-127.0.0.1:17981}"
+
+echo "== loadgen smoke ($LOADGEN_ADDR, metrics on $METRICS_ADDR) =="
+target/release/deept serve --addr "$LOADGEN_ADDR" --metrics-addr "$METRICS_ADDR" \
+  --workers "$THREADS" --model smoke=artifacts/models/bench_smoke.json &
+LOADGEN_SERVE_PID=$!
+
+for _ in $(seq 50); do
+  target/release/deept request --addr "$LOADGEN_ADDR" --status >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+target/release/deept loadgen --addr "$LOADGEN_ADDR" --model-id smoke \
+  --tokens "1 2 3 4" --concurrency "$THREADS" --duration-s 5 \
+  --out BENCH_6.json >/dev/null
+
+curl -s "http://$METRICS_ADDR/metrics" | python3 scripts/check_metrics.py \
+  deept_serve_queue_wait_seconds deept_serve_propagation_seconds \
+  deept_serve_request_seconds deept_serve_cache_hits_total \
+  deept_serve_overloaded_total deept_serve_deadline_timeouts_total \
+  deept_serve_model_requests_total
+
+target/release/deept loadgen --addr "$LOADGEN_ADDR" --model-id smoke \
+  --tokens "1 2 3 4" --concurrency 1 --requests 1 \
+  --out BENCH_6_single.json >/dev/null
+
+target/release/deept request --addr "$LOADGEN_ADDR" --shutdown >/dev/null
+wait "$LOADGEN_SERVE_PID"
+
+python3 - <<'EOF'
+import json
+from pathlib import Path
+
+report = json.loads(Path("BENCH_6.json").read_text())
+assert report["ok"] > 0, "loadgen completed no certifications"
+lat = report["latency"]
+print(
+    f"loadgen gate: {report['ok']} ok, {report['certified_queries_per_sec']:.1f} "
+    f"certified q/s, p50 {lat['p50_s']*1e3:.2f} ms, p95 {lat['p95_s']*1e3:.2f} ms, "
+    f"p99 {lat['p99_s']*1e3:.2f} ms"
+)
+
+single = json.loads(Path("BENCH_6_single.json").read_text())
+phases = single["phases"]
+phase_sum = sum(
+    phases[k]["mean_s"] * phases[k]["count"]
+    for k in ("queue_wait", "cache_lookup", "propagation")
+    if phases.get(k)
+)
+total = phases["total"]["mean_s"] * phases["total"]["count"]
+ratio = phase_sum / total
+assert 0.9 <= ratio <= 1.001, (
+    f"phase decomposition {phase_sum*1e3:.3f} ms accounts for {ratio:.1%} of the "
+    f"{total*1e3:.3f} ms end-to-end time (need >= 90%)"
+)
+print(f"phase-decomposition gate: phases sum to {ratio:.1%} of end-to-end")
+EOF
+
+echo "loadgen smoke written to BENCH_6.json"

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition (format 0.0.4) read from stdin.
+
+Checks:
+  * every line is a comment (# HELP / # TYPE) or a `name{labels} value` sample;
+  * HELP and TYPE appear at most once per metric family, before its samples;
+  * TYPE is one of counter / gauge / histogram;
+  * counter and histogram sample values are finite and non-negative;
+  * histogram families have cumulative, monotone `le` buckets ending in
+    `le="+Inf"`, and the +Inf bucket equals `<name>_count`;
+  * any metric names passed as arguments are present.
+
+Exits nonzero with a diagnostic on the first violation, so CI can pipe a
+scrape straight through it:
+
+    curl -s http://127.0.0.1:9090/metrics | scripts/check_metrics.py \
+        deept_serve_queue_wait_seconds deept_serve_cache_hits_total
+"""
+
+import math
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(line_no, line, why):
+    sys.exit(f"check_metrics: line {line_no}: {why}\n  {line!r}")
+
+
+def parse_value(raw, line_no, line):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    try:
+        return float(raw)
+    except ValueError:
+        fail(line_no, line, f"unparseable sample value {raw!r}")
+
+
+def parse_labels(raw, line_no, line):
+    if not raw:
+        return {}
+    labels = {}
+    consumed = 0
+    for m in LABEL_RE.finditer(raw):
+        labels[m.group(1)] = m.group(2)
+        consumed = m.end()
+        if consumed < len(raw) and raw[consumed] == ",":
+            consumed += 1
+    if consumed != len(raw):
+        fail(line_no, line, f"malformed label block {raw!r}")
+    return labels
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    required = set(sys.argv[1:])
+    text = sys.stdin.read()
+    helps, types = {}, {}
+    # family -> label-key (non-le labels) -> list of (le, cumulative count)
+    buckets = {}
+    counts = {}
+    seen_samples = set()
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                fail(line_no, line, "comment is neither # HELP nor # TYPE")
+            kind, name = parts[1], parts[2]
+            table = helps if kind == "HELP" else types
+            if name in table:
+                fail(line_no, line, f"duplicate # {kind} for {name}")
+            if name in seen_samples:
+                fail(line_no, line, f"# {kind} after samples of {name}")
+            if kind == "TYPE":
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                    fail(line_no, line, "TYPE must be counter, gauge or histogram")
+                table[name] = parts[3]
+            else:
+                table[name] = parts[3] if len(parts) == 4 else ""
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(line_no, line, "not a valid sample line")
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"), line_no, line)
+        value = parse_value(m.group("value"), line_no, line)
+        family = family_of(name)
+        seen_samples.add(family)
+
+        ftype = types.get(family)
+        if ftype in ("counter", "histogram") and not value >= 0:
+            fail(line_no, line, f"{ftype} sample must be non-negative")
+        if ftype == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                fail(line_no, line, "histogram bucket without an le label")
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            le = parse_value(labels["le"], line_no, line)
+            buckets.setdefault(family, {}).setdefault(key, []).append(
+                (le, value, line_no)
+            )
+        if ftype == "histogram" and name.endswith("_count"):
+            key = tuple(sorted(labels.items()))
+            counts.setdefault(family, {})[key] = (value, line_no)
+
+    for family, series in buckets.items():
+        for key, entries in series.items():
+            les = [le for le, _, _ in entries]
+            if les != sorted(les):
+                sys.exit(f"check_metrics: {family}{dict(key)}: le values not sorted")
+            cumulative = [c for _, c, _ in entries]
+            if cumulative != sorted(cumulative):
+                sys.exit(
+                    f"check_metrics: {family}{dict(key)}: bucket counts not cumulative"
+                )
+            if not entries or not math.isinf(entries[-1][0]):
+                sys.exit(f"check_metrics: {family}{dict(key)}: missing le=\"+Inf\"")
+            total = counts.get(family, {}).get(key)
+            if total is None:
+                sys.exit(f"check_metrics: {family}{dict(key)}: missing _count sample")
+            if total[0] != entries[-1][1]:
+                sys.exit(
+                    f"check_metrics: {family}{dict(key)}: +Inf bucket "
+                    f"{entries[-1][1]} != _count {total[0]}"
+                )
+
+    missing = required - seen_samples
+    if missing:
+        sys.exit(f"check_metrics: required metrics absent: {sorted(missing)}")
+    families = len(seen_samples)
+    print(f"check_metrics: OK ({families} families, {len(buckets)} histograms)")
+
+
+if __name__ == "__main__":
+    main()

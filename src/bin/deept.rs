@@ -9,11 +9,17 @@
 //! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
 //! deept export-model [--out artifacts/models/toy.json] [--layers 1] [--epochs 2]
 //! deept serve   [--addr 127.0.0.1:7878 | --stdio] [--workers 2] [--queue 16] \
-//!               [--cache 256] [--deadline-ms N] [--model id=ckpt.json]...
-//! deept request --addr 127.0.0.1:7878 (--status | --shutdown | --load-model id=path |
+//!               [--cache 256] [--deadline-ms N] [--metrics-addr 127.0.0.1:9090] \
+//!               [--model id=ckpt.json]...
+//! deept request --addr 127.0.0.1:7878 (--status | --metrics | --shutdown |
+//!               --load-model id=path |
 //!               --certify --model-id id --tokens "1 2 3" [--eps 1e-4 | --radius-search]
 //!               [--start 0.01] [--iters 16] [--position 0] [--norm l2]
 //!               [--variant fast] [--deadline-ms N] [--trace-response])
+//! deept loadgen --addr 127.0.0.1:7878 --model-id id [--tokens "1 2 3"] \
+//!               [--concurrency 2] [--duration-s 5 | --requests N] [--rate R] \
+//!               [--eps 1e-3] [--cached] [--out BENCH_6.json]
+//! deept bench-metrics [--repeats 7] [--max-ratio 1.02] [--out bench_metrics.json]
 //! deept fuzz-soundness [--seed N | --seed A..B] [--cases M]
 //! deept --trace trace.json
 //! ```
@@ -74,13 +80,16 @@ fn main() -> ExitCode {
         Some("export-model") => cmd_export_model(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("request") => cmd_request(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("bench-metrics") => cmd_bench_metrics(&args[1..]),
         Some("fuzz-soundness") => cmd_fuzz_soundness(&args[1..]),
         Some("bench-eps") => cmd_bench_eps(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
-                "usage: deept <train|certify|synonyms|export-model|serve|request|fuzz-soundness\
-                 |bench-eps> [options] | deept --trace <path>  (see --help in source)"
+                "usage: deept <train|certify|synonyms|export-model|serve|request|loadgen\
+                 |bench-metrics|fuzz-soundness|bench-eps> [options] | \
+                 deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
         }
@@ -503,6 +512,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("could not preload {id} from {path}: {e}"))?;
         eprintln!("preloaded model {id} from {path} (fingerprint {fingerprint})");
     }
+    if let Some(metrics_addr) = flag(args, "--metrics-addr") {
+        let bound = server
+            .spawn_metrics_listener(&metrics_addr)
+            .map_err(|e| format!("could not bind metrics listener on {metrics_addr}: {e}"))?;
+        eprintln!("metrics on http://{bound}/metrics (self-profile on /profile)");
+    }
     if has(args, "--stdio") {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
@@ -523,6 +538,8 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
     let addr = flag(args, "--addr").ok_or("--addr <host:port> is required")?;
     let request = if has(args, "--status") {
         Request::Status
+    } else if has(args, "--metrics") {
+        Request::Metrics
     } else if has(args, "--shutdown") {
         Request::Shutdown
     } else if let Some(spec) = flag(args, "--load-model") {
@@ -572,7 +589,8 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         })
     } else {
         return Err(
-            "specify one of --status, --shutdown, --load-model id=path or --certify".into(),
+            "specify one of --status, --metrics, --shutdown, --load-model id=path or --certify"
+                .into(),
         );
     };
     let response = request_once(&addr, &request).map_err(|e| e.to_string())?;
@@ -580,8 +598,186 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         "{}",
         serde_json::to_string(&response).map_err(|e| e.to_string())?
     );
-    if let Response::Error { code, message } = &response {
+    if let Response::Error { code, message, .. } = &response {
         return Err(format!("server returned {code:?}: {message}"));
+    }
+    Ok(())
+}
+
+/// `deept loadgen` — drives a live server with certification load and
+/// writes a latency/throughput report (see [`deept::serve::loadgen`]).
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use deept::serve::loadgen::{self, LoadgenConfig};
+    use std::time::Duration;
+
+    let mut cfg = LoadgenConfig {
+        addr: flag(args, "--addr").ok_or("--addr <host:port> is required")?,
+        model_id: flag(args, "--model-id").ok_or("--model-id is required")?,
+        ..LoadgenConfig::default()
+    };
+    if let Some(v) = flag(args, "--tokens") {
+        cfg.tokens = v
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| format!("bad token id {t:?}")))
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = flag(args, "--position") {
+        cfg.position = v.parse().map_err(|_| "--position must be a number")?;
+    }
+    if let Some(v) = flag(args, "--eps") {
+        cfg.eps = v.parse().map_err(|_| "--eps must be a number")?;
+    }
+    if let Some(v) = flag(args, "--norm") {
+        cfg.norm = v;
+    }
+    if let Some(v) = flag(args, "--variant") {
+        cfg.variant = v;
+    }
+    if let Some(v) = flag(args, "--concurrency") {
+        cfg.concurrency = v.parse().map_err(|_| "--concurrency must be a number")?;
+        if cfg.concurrency == 0 {
+            return Err("--concurrency must be at least 1".into());
+        }
+    }
+    if let Some(v) = flag(args, "--duration-s") {
+        let secs: f64 = v.parse().map_err(|_| "--duration-s must be a number")?;
+        cfg.duration = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = flag(args, "--requests") {
+        cfg.requests = Some(v.parse().map_err(|_| "--requests must be a number")?);
+        if flag(args, "--duration-s").is_none() {
+            cfg.duration = None; // request-bounded runs end when the count drains
+        }
+    }
+    if let Some(v) = flag(args, "--rate") {
+        cfg.rate = Some(v.parse().map_err(|_| "--rate must be a number")?);
+    }
+    if has(args, "--cached") {
+        cfg.unique_eps = false;
+    }
+    let report = loadgen::run(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    if let Some(out) = flag(args, "--out") {
+        std::fs::write(&out, format!("{json}\n"))
+            .map_err(|e| format!("could not write {out}: {e}"))?;
+        eprintln!("report written to {out}");
+    }
+    println!("{json}");
+    if let Some(lat) = &report.latency {
+        eprintln!(
+            "loadgen: {} mode, {} sent, {} ok ({:.1} certified q/s), \
+             p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+            report.mode,
+            report.sent,
+            report.ok,
+            report.certified_queries_per_sec,
+            lat.p50_s * 1e3,
+            lat.p95_s * 1e3,
+            lat.p99_s * 1e3,
+        );
+    }
+    if report.ok == 0 {
+        return Err(format!(
+            "no successful certifications ({} overloaded, {} timeouts, {} errors)",
+            report.overloaded, report.timeouts, report.errors
+        ));
+    }
+    Ok(())
+}
+
+/// `deept bench-metrics` — measures the overhead of the metrics gate on the
+/// core propagation path and proves the bitwise-identity guarantee: logit
+/// bounds with metrics enabled must equal bounds with `DEEPT_METRICS=off`
+/// exactly, and the median slowdown must stay under `--max-ratio`.
+fn cmd_bench_metrics(args: &[String]) -> Result<(), String> {
+    use std::time::Instant;
+
+    let repeats: usize = flag(args, "--repeats")
+        .map(|s| s.parse().map_err(|_| "--repeats must be a number"))
+        .transpose()?
+        .unwrap_or(7);
+    let max_ratio: f64 = flag(args, "--max-ratio")
+        .map(|s| s.parse().map_err(|_| "--max-ratio must be a number"))
+        .transpose()?
+        .unwrap_or(1.02);
+    let out_path = flag(args, "--out");
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    let tokens = [1, 2, 3, 4, 5, 6];
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(2000);
+    let region = t1_region(&emb, 0, 0.01, PNorm::L2);
+
+    let run_once = || {
+        let t0 = Instant::now();
+        let logits = deept::verifier::deept::propagate(&net, &region, &cfg);
+        (t0.elapsed().as_secs_f64(), logits.bounds())
+    };
+    // Warm-up (thread pool, scratch arena) before any timing.
+    let _ = run_once();
+
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        xs[xs.len() / 2]
+    }
+
+    // Interleave the two gate states so drift (thermal, scheduler) hits
+    // both distributions equally.
+    let mut on_times = Vec::with_capacity(repeats);
+    let mut off_times = Vec::with_capacity(repeats);
+    let mut on_bounds = None;
+    let mut off_bounds = None;
+    for _ in 0..repeats {
+        deept::metrics::set_enabled(Some(true));
+        let (t, b) = run_once();
+        on_times.push(t);
+        on_bounds = Some(b);
+        deept::metrics::set_enabled(Some(false));
+        let (t, b) = run_once();
+        off_times.push(t);
+        off_bounds = Some(b);
+    }
+    deept::metrics::set_enabled(None);
+
+    if on_bounds != off_bounds {
+        return Err(
+            "metrics gate changed certification bounds: results must be bitwise identical".into(),
+        );
+    }
+    let on_ms = median(&mut on_times) * 1e3;
+    let off_ms = median(&mut off_times) * 1e3;
+    let ratio = on_ms / off_ms;
+    let json = format!(
+        "{{\"median_ms_metrics_on\": {on_ms:.4}, \"median_ms_metrics_off\": {off_ms:.4}, \
+         \"overhead_ratio\": {ratio:.4}, \"max_ratio\": {max_ratio}, \
+         \"bounds_bitwise_identical\": true}}\n"
+    );
+    if let Some(out) = &out_path {
+        std::fs::write(out, &json).map_err(|e| format!("could not write {out}: {e}"))?;
+    }
+    println!("{json}");
+    eprintln!(
+        "bench-metrics: on {on_ms:.3} ms, off {off_ms:.3} ms, ratio {ratio:.4} \
+         (gate {max_ratio})"
+    );
+    if ratio > max_ratio {
+        return Err(format!(
+            "metrics overhead ratio {ratio:.4} exceeds the {max_ratio} gate"
+        ));
     }
     Ok(())
 }

@@ -15,9 +15,14 @@
 //! * [`telemetry`] — verification spans, precision metrics and structured
 //!   traces (the [`telemetry::Probe`] trait accepted by every `*_probed`
 //!   verifier entry point);
+//! * [`metrics`] — the live-telemetry layer: a process-wide registry of
+//!   counters, gauges and log-linear histograms, Prometheus text
+//!   exposition, and a span-stream self-profiler with collapsed-stack
+//!   output (`DEEPT_METRICS=off` disables every hot-path publish);
 //! * [`serve`] — the batched certification service: JSON-lines protocol,
-//!   bounded job queue, LRU result cache and deadline-aware workers
-//!   (`deept serve` / `deept request`);
+//!   bounded job queue, LRU result cache, deadline-aware workers and a
+//!   `GET /metrics` scrape listener (`deept serve` / `deept request` /
+//!   `deept loadgen`);
 //! * [`soundness`] — differential soundness fuzzing: the containment
 //!   harness, attack/certificate consistency and the relaxation
 //!   micro-checker (`deept fuzz-soundness`).
@@ -54,6 +59,7 @@ pub use deept_core as zonotope;
 pub use deept_data as data;
 pub use deept_geocert as geocert;
 pub use deept_lp as lp;
+pub use deept_metrics as metrics;
 pub use deept_nn as nn;
 pub use deept_serve as serve;
 pub use deept_soundness as soundness;

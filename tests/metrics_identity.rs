@@ -1,0 +1,122 @@
+//! Regression guard for the metrics layer's zero-interference contract:
+//! certification results must be bitwise identical whether the metrics
+//! gate is on (hot-path counters publish, the serve profiler observes the
+//! span stream) or off (`DEEPT_METRICS=off`). The gate may only change
+//! *observability*, never arithmetic.
+
+use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept::verifier::deept::{certify, DeepTConfig};
+use deept::verifier::network::{t1_region, VerifiableTransformer};
+use deept::verifier::radius::max_certified_radius;
+use deept::zonotope::PNorm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn model(layers: usize) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 16,
+            num_heads: 4,
+            hidden_dim: 32,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+/// Runs `f` once with the gate forced on and once forced off, restoring
+/// the environment-derived state afterwards, and returns both results.
+fn with_gate_toggled<T>(mut f: impl FnMut() -> T) -> (T, T) {
+    deept::metrics::set_enabled(Some(true));
+    let on = f();
+    deept::metrics::set_enabled(Some(false));
+    let off = f();
+    deept::metrics::set_enabled(None);
+    (on, off)
+}
+
+#[test]
+fn certification_margins_are_bitwise_identical_across_the_gate() {
+    let model = model(2);
+    let tokens = [1, 2, 3, 4, 5];
+    let label = model.predict(&tokens);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    for variant in [
+        DeepTConfig::fast(200),
+        DeepTConfig::precise(200),
+        DeepTConfig::combined(200),
+    ] {
+        let (on, off) = with_gate_toggled(|| {
+            let region = t1_region(&emb, 1, 5e-3, PNorm::L2);
+            let res = certify(&net, &region, label, &variant);
+            (res.certified, res.margins)
+        });
+        assert_eq!(on.0, off.0, "certified flag diverged across the gate");
+        assert_eq!(
+            on.1.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            off.1.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            "margins diverged bitwise across the metrics gate"
+        );
+    }
+}
+
+#[test]
+fn radius_search_is_bitwise_identical_across_the_gate() {
+    let model = model(1);
+    let tokens = [2, 4, 6];
+    let label = model.predict(&tokens);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(200);
+    let (on, off) = with_gate_toggled(|| {
+        max_certified_radius(
+            |r| certify(&net, &t1_region(&emb, 0, r, PNorm::Linf), label, &cfg).certified,
+            0.01,
+            20,
+        )
+    });
+    assert_eq!(
+        on.to_bits(),
+        off.to_bits(),
+        "certified radius diverged bitwise across the metrics gate ({on} vs {off})"
+    );
+}
+
+#[test]
+fn gate_off_suppresses_hot_path_counters() {
+    let model = model(1);
+    let tokens = [1, 2, 3];
+    let label = model.predict(&tokens);
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(200);
+    let matmuls = |snapshot: &deept::metrics::RegistrySnapshot| {
+        snapshot
+            .counter_value("deept_zono_matmul_total")
+            .unwrap_or(0)
+    };
+
+    deept::metrics::set_enabled(Some(false));
+    let before_off = matmuls(&deept::metrics::global().snapshot());
+    let _ = certify(&net, &t1_region(&emb, 0, 1e-3, PNorm::L2), label, &cfg);
+    let after_off = matmuls(&deept::metrics::global().snapshot());
+    assert_eq!(
+        before_off, after_off,
+        "gated counters must not move with metrics off"
+    );
+
+    deept::metrics::set_enabled(Some(true));
+    let _ = certify(&net, &t1_region(&emb, 0, 1e-3, PNorm::L2), label, &cfg);
+    let after_on = matmuls(&deept::metrics::global().snapshot());
+    deept::metrics::set_enabled(None);
+    assert!(
+        after_on > after_off,
+        "hot-path counters must publish with metrics on"
+    );
+}
