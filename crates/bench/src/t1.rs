@@ -200,6 +200,23 @@ pub fn sample_trace(
     trace.set_meta("norm", &p.to_string());
     trace.set_meta("position", &position.to_string());
     trace.set_meta("tokens", &tokens.len().to_string());
+    let kernel = deept_tensor::parallel::kernel_mode();
+    trace.set_meta("kernel", kernel.label());
+    trace.set_meta(
+        "isa",
+        match kernel {
+            deept_tensor::parallel::KernelMode::Simd => deept_tensor::simd::active_isa().label(),
+            _ => "scalar",
+        },
+    );
+    trace.set_meta(
+        "prec",
+        if deept_core::eps::prec_f32() {
+            "f32"
+        } else {
+            "f64"
+        },
+    );
     trace
 }
 

@@ -92,6 +92,17 @@ fn row_dual_norms(w: &Matrix, p: PNorm) -> Vec<f64> {
 fn fast_bound_pre(v: &Matrix, p1: PNorm, w_norms: &[f64]) -> f64 {
     debug_assert_eq!(v.rows(), w_norms.len());
     let mut t = vec![0.0; v.cols()];
+    if parallel::kernel_mode() == parallel::KernelMode::Simd {
+        let mut batch = deept_tensor::simd::WabsAxpyBatch::new();
+        for (row, &wn) in w_norms.iter().enumerate() {
+            if wn == 0.0 {
+                continue;
+            }
+            batch.push(&mut t, wn, v.row(row));
+        }
+        batch.flush(&mut t);
+        return p1.dual_norm(&t);
+    }
     for (row, &wn) in w_norms.iter().enumerate() {
         if wn == 0.0 {
             continue;
@@ -119,18 +130,31 @@ fn precise_eps_bound(v: &Matrix, w: &Matrix) -> (f64, f64) {
     let e = v.cols();
     let k = v.rows();
     let min_rows = (PRECISE_MIN_FLOPS / (k * e).max(1)).max(1);
+    let simd = parallel::kernel_mode() == parallel::KernelMode::Simd;
     let partials = parallel::par_chunks(e, min_rows, |rows| {
         let mut out = Vec::with_capacity(rows.len());
         let mut buf = vec![0.0; e];
         for i in rows {
             buf.fill(0.0);
-            for kk in 0..k {
-                let a = v.at(kk, i);
-                if a == 0.0 {
-                    continue;
+            if simd {
+                let mut batch = deept_tensor::simd::AxpyBatch::new();
+                for kk in 0..k {
+                    let a = v.at(kk, i);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    batch.push(&mut buf, a, w.row(kk));
                 }
-                for (acc, &b) in buf.iter_mut().zip(w.row(kk)) {
-                    *acc += a * b;
+                batch.flush(&mut buf);
+            } else {
+                for kk in 0..k {
+                    let a = v.at(kk, i);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (acc, &b) in buf.iter_mut().zip(w.row(kk)) {
+                        *acc += a * b;
+                    }
                 }
             }
             let (mut lo, mut hi) = (0.0, 0.0);
@@ -386,9 +410,24 @@ fn zono_matmul_impl(a: &Zonotope, b: &Zonotope, cfg: DotConfig) -> Zonotope {
 }
 
 /// `dst += Σ_row weights[row] * block[row, ·]`.
+///
+/// Each destination element is an independent sequential accumulator over
+/// ascending rows (with the structural-zero skip), so the SIMD axpy rung is
+/// bitwise-identical to the scalar one.
 fn accumulate_weighted_rows(dst: &mut [f64], block: &Matrix, weights: &[f64]) {
     debug_assert_eq!(block.rows(), weights.len());
     debug_assert_eq!(block.cols(), dst.len());
+    if parallel::kernel_mode() == parallel::KernelMode::Simd {
+        let mut batch = deept_tensor::simd::AxpyBatch::new();
+        for (row, &wgt) in weights.iter().enumerate() {
+            if wgt == 0.0 {
+                continue;
+            }
+            batch.push(dst, wgt, block.row(row));
+        }
+        batch.flush(dst);
+        return;
+    }
     for (row, &wgt) in weights.iter().enumerate() {
         if wgt == 0.0 {
             continue;

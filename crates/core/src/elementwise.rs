@@ -328,9 +328,12 @@ pub fn apply_floored(z: &Zonotope, act: Activation, floor: f64) -> Zonotope {
     }
     // Row-scaling preserves the ε block structure (λ = 0 hard-zeroes the
     // row, never multiplying a possibly-infinite coefficient), and the
-    // fresh β symbols append as one diagonal block.
-    let mut eps = z.eps_store().scale_rows_guarded(&lambda);
+    // fresh β symbols append as one diagonal block. Under DEEPT_PREC=f32
+    // the scaled store is compressed here, with the per-row rounding slack
+    // folded into the co-appended fresh symbols.
+    let eps = z.eps_store().scale_rows_guarded(&lambda);
     let betas: Vec<f64> = fresh.iter().map(|&k| relax[k].beta).collect();
+    let (mut eps, fresh, betas) = crate::eps::compress_for_append(eps, fresh, betas);
     eps.append_diag(&fresh, &betas);
     Zonotope::from_parts_store(z.rows(), z.cols(), center, phi, eps, z.p())
 }

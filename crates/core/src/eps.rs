@@ -37,6 +37,19 @@
 //! coefficients agree except possibly in the sign of zeros — which `|·|`
 //! and `==` cannot observe. The equivalence is pinned by the
 //! `eps_mode_equivalence` proptests.
+//!
+//! # `f32` storage (`DEEPT_PREC=f32`)
+//!
+//! With [`prec_f32`] active (blocked layout only), generator blocks are
+//! compressed to `f32` payloads at the fresh-symbol append sites
+//! ([`compress_for_append`]): existing coefficients round to *nearest*
+//! with the per-row ℓ1 rounding loss folded — upward-rounded — into the
+//! fresh symbol appended alongside, and brand-new single-use coefficients
+//! round *away from zero*. Stored `f32` values promote exactly to `f64`,
+//! so reads are value-preserving; row ℓ1 scans additionally widen by an
+//! `n·ε` bound on their own `f64` accumulation. Values outside `f32`
+//! range saturate to `±∞` and fail closed. This halves resident generator
+//! bytes at a provable, one-directional (outward) loss of precision.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -74,6 +87,78 @@ pub fn set_force_dense(dense: Option<bool>) {
         Some(false) => 2,
     };
     FORCE_DENSE.store(v, Ordering::Relaxed);
+}
+
+static PREC_F32_ENV: OnceLock<bool> = OnceLock::new();
+/// 0 = follow the environment, 1 = forced f32, 2 = forced f64.
+static PREC_F32: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether generator storage should be compressed to `f32` at the
+/// fresh-symbol append sites (`DEEPT_PREC=f32` or [`set_force_f32`]).
+/// Full `f64` storage is the default.
+pub fn prec_f32() -> bool {
+    match PREC_F32.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *PREC_F32_ENV
+            .get_or_init(|| std::env::var("DEEPT_PREC").is_ok_and(|v| v.trim() == "f32")),
+    }
+}
+
+/// Forces the storage precision in-process (`None` restores the environment
+/// default). Serialize callers with `deept_tensor::parallel::test_lock`.
+pub fn set_force_f32(f32_on: Option<bool>) {
+    let v = match f32_on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    PREC_F32.store(v, Ordering::Relaxed);
+}
+
+/// `f32` compression only engages in the blocked layout: the dense mode
+/// exists as the bitwise-verbatim historical reference, so `DEEPT_PREC=f32`
+/// is a documented no-op under `DEEPT_EPS=dense`.
+fn f32_active() -> bool {
+    prec_f32() && !force_dense()
+}
+
+/// Nearest `f32` at or beyond `x` (away from zero). Used only for *fresh*
+/// single-use symbol coefficients, where growing the magnitude grows the
+/// abstraction — a finite `f64` beyond `f32` range saturates to `±∞`,
+/// which poisons the row and fails closed.
+fn round_away_f32(x: f64) -> f32 {
+    let y = x as f32; // round-to-nearest
+    if (y as f64) == x || !y.is_finite() {
+        return y;
+    }
+    if (x > 0.0) == ((y as f64) < x) {
+        // Nearest rounding moved toward zero: step one ulp outward.
+        if x > 0.0 {
+            y.next_up()
+        } else {
+            y.next_down()
+        }
+    } else {
+        y
+    }
+}
+
+/// Upward-rounded sum: `a + b` widened by one ulp to dominate the rounding
+/// error of the addition itself (slack accumulation must never round down).
+fn add_up(a: f64, b: f64) -> f64 {
+    (a + b).next_up()
+}
+
+/// Widens a non-negative accumulator by the standard `n·ε` relative bound
+/// on a length-`n` sequential `f64` summation, plus one ulp. Applied to
+/// row scans that include promoted `f32` terms so the reported ℓ1 mass is
+/// an outward-rounded upper bound on the exact sum.
+fn widen_up(acc: f64, f32_terms: usize) -> f64 {
+    if f32_terms == 0 || acc == 0.0 || !acc.is_finite() {
+        return acc;
+    }
+    (acc * (1.0 + f32_terms as f64 * f64::EPSILON)).next_up()
 }
 
 // ---------------------------------------------------------------------
@@ -158,6 +243,27 @@ pub enum EpsBlock {
         /// Value of each column's single nonzero.
         coeff: Vec<f64>,
     },
+    /// An `f32`-compressed dense block (`DEEPT_PREC=f32`): row-major
+    /// `n_vars × cols`. Each stored `f32` promotes *exactly* to `f64`; the
+    /// round-to-nearest loss incurred at compression time is carried by
+    /// fresh slack symbols appended alongside (see
+    /// [`EpsStore::compress_rows_f32`]), so reading the block as its exact
+    /// promoted values is sound.
+    DenseF32 {
+        /// Number of columns (rows are always `n_vars`).
+        cols: usize,
+        /// Row-major coefficient payload, `n_vars * cols` entries.
+        data: Vec<f32>,
+    },
+    /// An `f32`-compressed diagonal block (fresh-symbol appends under
+    /// `DEEPT_PREC=f32`). Coefficients are rounded *away from zero*, so
+    /// each column dominates the `f64` coefficient it replaces.
+    DiagF32 {
+        /// Row (variable) index of each column's single nonzero.
+        var_for_col: Vec<u32>,
+        /// Value of each column's single nonzero.
+        coeff: Vec<f32>,
+    },
 }
 
 impl EpsBlock {
@@ -165,7 +271,13 @@ impl EpsBlock {
         match self {
             EpsBlock::Dense(m) => m.cols(),
             EpsBlock::Diag { coeff, .. } => coeff.len(),
+            EpsBlock::DenseF32 { cols, .. } => *cols,
+            EpsBlock::DiagF32 { coeff, .. } => coeff.len(),
         }
+    }
+
+    fn is_f32(&self) -> bool {
+        matches!(self, EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. })
     }
 }
 
@@ -321,7 +433,7 @@ impl EpsStore {
         let mut dense = Matrix::zeros(self.n_vars, self.width);
         for seg in &self.segments {
             scatter_segment(&mut dense, seg);
-            if matches!(seg.block, EpsBlock::Diag { .. }) {
+            if matches!(seg.block, EpsBlock::Diag { .. } | EpsBlock::DiagF32 { .. }) {
                 note_densified();
             }
         }
@@ -341,6 +453,7 @@ impl EpsStore {
         if self.segments.len() < 2 {
             return;
         }
+        let n_vars = self.n_vars;
         let mut out: Vec<EpsSegment> = Vec::with_capacity(self.segments.len());
         for seg in self.segments.drain(..) {
             let merged = match out.last_mut() {
@@ -356,6 +469,31 @@ impl EpsStore {
                     (
                         EpsBlock::Diag { var_for_col, coeff },
                         EpsBlock::Diag {
+                            var_for_col: v2,
+                            coeff: c2,
+                        },
+                    ) => {
+                        var_for_col.extend_from_slice(v2);
+                        coeff.extend_from_slice(c2);
+                        true
+                    }
+                    (
+                        EpsBlock::DenseF32 { cols: ca, data: da },
+                        EpsBlock::DenseF32 { cols: cb, data: db },
+                    ) => {
+                        let nc = *ca + *cb;
+                        let mut joined = Vec::with_capacity(n_vars * nc);
+                        for r in 0..n_vars {
+                            joined.extend_from_slice(&da[r * *ca..(r + 1) * *ca]);
+                            joined.extend_from_slice(&db[r * *cb..(r + 1) * *cb]);
+                        }
+                        *da = joined;
+                        *ca = nc;
+                        true
+                    }
+                    (
+                        EpsBlock::DiagF32 { var_for_col, coeff },
+                        EpsBlock::DiagF32 {
                             var_for_col: v2,
                             coeff: c2,
                         },
@@ -394,30 +532,43 @@ impl EpsStore {
         self.segments.len()
     }
 
-    /// Columns held in diagonal blocks.
+    /// Columns held in diagonal blocks (either precision).
     pub fn diag_cols(&self) -> usize {
         self.segments
             .iter()
             .map(|s| match &s.block {
                 EpsBlock::Diag { coeff, .. } => coeff.len(),
-                EpsBlock::Dense(_) => 0,
+                EpsBlock::DiagF32 { coeff, .. } => coeff.len(),
+                EpsBlock::Dense(_) | EpsBlock::DenseF32 { .. } => 0,
             })
             .sum()
     }
 
-    /// Columns held in dense blocks.
+    /// Columns held in dense blocks (either precision).
     pub fn dense_cols(&self) -> usize {
         self.segments
             .iter()
             .map(|s| match &s.block {
                 EpsBlock::Dense(m) => m.cols(),
-                EpsBlock::Diag { .. } => 0,
+                EpsBlock::DenseF32 { cols, .. } => *cols,
+                EpsBlock::Diag { .. } | EpsBlock::DiagF32 { .. } => 0,
             })
             .sum()
     }
 
+    /// Columns held in `f32`-compressed blocks.
+    pub fn f32_cols(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| s.block.is_f32())
+            .map(|s| s.block.cols())
+            .sum()
+    }
+
     /// Resident coefficient storage in bytes (dense entries + diag
-    /// coefficient/index pairs), for memory telemetry.
+    /// coefficient/index pairs), for memory telemetry. `f32` blocks count
+    /// their narrower payload — this is what the `DEEPT_PREC=f32` peak
+    /// memory gate measures.
     pub fn resident_bytes(&self) -> usize {
         self.segments
             .iter()
@@ -425,6 +576,10 @@ impl EpsStore {
                 EpsBlock::Dense(m) => m.len() * std::mem::size_of::<f64>(),
                 EpsBlock::Diag { coeff, .. } => {
                     coeff.len() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>())
+                }
+                EpsBlock::DenseF32 { data, .. } => data.len() * std::mem::size_of::<f32>(),
+                EpsBlock::DiagF32 { coeff, .. } => {
+                    coeff.len() * (std::mem::size_of::<f32>() + std::mem::size_of::<u32>())
                 }
             })
             .sum()
@@ -452,6 +607,15 @@ impl EpsStore {
                             0.0
                         }
                     }
+                    EpsBlock::DenseF32 { cols, data } => data[r * cols + (c - seg.offset)] as f64,
+                    EpsBlock::DiagF32 { var_for_col, coeff } => {
+                        let s = c - seg.offset;
+                        if var_for_col[s] as usize == r {
+                            coeff[s] as f64
+                        } else {
+                            0.0
+                        }
+                    }
                 };
             }
         }
@@ -472,6 +636,19 @@ impl EpsStore {
                     for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
                         if v == k {
                             out[seg.offset + s] = c;
+                        }
+                    }
+                }
+                EpsBlock::DenseF32 { cols, data } => {
+                    let src = &data[k * cols..(k + 1) * cols];
+                    for (o, &x) in out[seg.offset..seg.end()].iter_mut().zip(src) {
+                        *o = x as f64;
+                    }
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        if v as usize == k {
+                            out[seg.offset + s] = c as f64;
                         }
                     }
                 }
@@ -522,6 +699,23 @@ impl EpsStore {
                         }
                     }
                 }
+                EpsBlock::DenseF32 { cols, data } => {
+                    for r in r0..r1 {
+                        let src = &data[r * cols..(r + 1) * cols];
+                        let dst = &mut out.row_mut(r - r0)[seg.offset..seg.end()];
+                        for (d, &x) in dst.iter_mut().zip(src) {
+                            *d = x as f64;
+                        }
+                    }
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                        let v = v as usize;
+                        if v >= r0 && v < r1 {
+                            out.row_mut(v - r0)[seg.offset + s] = c as f64;
+                        }
+                    }
+                }
             }
         }
         out
@@ -532,7 +726,44 @@ impl EpsStore {
         self.segments.iter().any(|seg| match &seg.block {
             EpsBlock::Dense(m) => m.has_non_finite(),
             EpsBlock::Diag { coeff, .. } => coeff.iter().any(|x| !x.is_finite()),
+            EpsBlock::DenseF32 { data, .. } => data.iter().any(|x| !x.is_finite()),
+            EpsBlock::DiagF32 { coeff, .. } => coeff.iter().any(|x| !x.is_finite()),
         })
+    }
+
+    /// `true` if any block is `f32`-compressed.
+    pub fn has_f32(&self) -> bool {
+        self.segments.iter().any(|s| s.block.is_f32())
+    }
+
+    /// Exact `f64` promotion of every `f32` block (`f32 → f64` is lossless,
+    /// so this is value-preserving, not a rounding step). Row-mixing and
+    /// value-mutating ops that only have `f64` block arms run through this
+    /// pre-pass; the store is re-compressed at the next fresh-symbol append
+    /// site if `DEEPT_PREC=f32` is still active.
+    fn promoted(&self) -> Self {
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            match &seg.block {
+                EpsBlock::DenseF32 { cols, data } => {
+                    let m = Matrix::from_vec(
+                        self.n_vars,
+                        *cols,
+                        data.iter().map(|&x| x as f64).collect(),
+                    )
+                    .expect("f32 block payload is n_vars * cols");
+                    seg.block = EpsBlock::Dense(m);
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    seg.block = EpsBlock::Diag {
+                        var_for_col: var_for_col.iter().map(|&v| v as usize).collect(),
+                        coeff: coeff.iter().map(|&c| c as f64).collect(),
+                    };
+                }
+                EpsBlock::Dense(_) | EpsBlock::Diag { .. } => {}
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -544,6 +775,7 @@ impl EpsStore {
     /// bitwise no-ops).
     pub fn row_l1(&self, k: usize) -> f64 {
         let mut acc = 0.0;
+        let mut f32_terms = 0usize;
         for seg in &self.segments {
             match &seg.block {
                 EpsBlock::Dense(m) => {
@@ -558,9 +790,23 @@ impl EpsStore {
                         }
                     }
                 }
+                EpsBlock::DenseF32 { cols, data } => {
+                    for &x in &data[k * cols..(k + 1) * cols] {
+                        acc += (x as f64).abs();
+                    }
+                    f32_terms += cols;
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    for (&v, &c) in var_for_col.iter().zip(coeff) {
+                        if v as usize == k {
+                            acc += (c as f64).abs();
+                            f32_terms += 1;
+                        }
+                    }
+                }
             }
         }
-        acc
+        widen_up(acc, f32_terms)
     }
 
     /// ℓ1 norm of every row at once. Diagonal blocks contribute by column
@@ -568,12 +814,41 @@ impl EpsStore {
     /// in the same ascending-column order as [`EpsStore::row_l1`].
     pub fn row_l1_all(&self) -> Vec<f64> {
         let mut acc = vec![0.0; self.n_vars];
+        let mut f32_terms = vec![0usize; self.n_vars];
+        let simd =
+            deept_tensor::parallel::kernel_mode() == deept_tensor::parallel::KernelMode::Simd;
+        if simd {
+            deept_tensor::simd::note_dispatch();
+        }
         for seg in &self.segments {
             match &seg.block {
                 EpsBlock::Dense(m) => {
-                    for (a, row) in acc.iter_mut().zip(m.rows_iter()) {
-                        for x in row {
-                            *a += x.abs();
+                    if simd {
+                        // Lockstep quads: each row's chain continues in
+                        // ascending column order inside its own lane, so
+                        // the result is bitwise the row-at-a-time scan
+                        // below while retiring four latency chains at once.
+                        let n = self.n_vars;
+                        let mut r0 = 0;
+                        while r0 + 4 <= n {
+                            let mut quad = [acc[r0], acc[r0 + 1], acc[r0 + 2], acc[r0 + 3]];
+                            deept_tensor::simd::l1_rows4(
+                                &mut quad,
+                                [m.row(r0), m.row(r0 + 1), m.row(r0 + 2), m.row(r0 + 3)],
+                            );
+                            acc[r0..r0 + 4].copy_from_slice(&quad);
+                            r0 += 4;
+                        }
+                        for (r, a) in acc.iter_mut().enumerate().take(n).skip(r0) {
+                            for x in m.row(r) {
+                                *a += x.abs();
+                            }
+                        }
+                    } else {
+                        for (a, row) in acc.iter_mut().zip(m.rows_iter()) {
+                            for x in row {
+                                *a += x.abs();
+                            }
                         }
                     }
                 }
@@ -582,26 +857,79 @@ impl EpsStore {
                         acc[v] += c.abs();
                     }
                 }
+                EpsBlock::DenseF32 { cols, data } => {
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        for &x in &data[r * cols..(r + 1) * cols] {
+                            *a += (x as f64).abs();
+                        }
+                    }
+                    for t in f32_terms.iter_mut() {
+                        *t += cols;
+                    }
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    for (&v, &c) in var_for_col.iter().zip(coeff) {
+                        acc[v as usize] += (c as f64).abs();
+                        f32_terms[v as usize] += 1;
+                    }
+                }
             }
+        }
+        for (a, &t) in acc.iter_mut().zip(&f32_terms) {
+            *a = widen_up(*a, t);
         }
         acc
     }
 
     /// Per-column sum of absolute values (the reduction influence score).
+    ///
+    /// The score only *ranks* columns for reduction — it never enters a
+    /// bound — so the dense scan may run the vectorized `abs_accumulate`
+    /// kernel under `DEEPT_KERNEL=simd` and `f32` contributions are not
+    /// outward-widened.
     pub fn col_abs_sums(&self) -> Vec<f64> {
+        let simd =
+            deept_tensor::parallel::kernel_mode() == deept_tensor::parallel::KernelMode::Simd;
+        if simd
+            && self
+                .segments
+                .iter()
+                .any(|s| matches!(s.block, EpsBlock::Dense(_)))
+        {
+            deept_tensor::simd::note_dispatch();
+        }
         let mut out = vec![0.0; self.width];
         for seg in &self.segments {
             match &seg.block {
                 EpsBlock::Dense(m) => {
                     for row in m.rows_iter() {
-                        for (o, &x) in out[seg.offset..seg.end()].iter_mut().zip(row) {
-                            *o += x.abs();
+                        if simd {
+                            deept_tensor::simd::abs_accumulate(
+                                &mut out[seg.offset..seg.end()],
+                                row,
+                            );
+                        } else {
+                            for (o, &x) in out[seg.offset..seg.end()].iter_mut().zip(row) {
+                                *o += x.abs();
+                            }
                         }
                     }
                 }
                 EpsBlock::Diag { coeff, .. } => {
                     for (o, &c) in out[seg.offset..seg.end()].iter_mut().zip(coeff) {
                         *o += c.abs();
+                    }
+                }
+                EpsBlock::DenseF32 { cols, data } => {
+                    for row in data.chunks_exact((*cols).max(1)) {
+                        for (o, &x) in out[seg.offset..seg.end()].iter_mut().zip(row) {
+                            *o += (x as f64).abs();
+                        }
+                    }
+                }
+                EpsBlock::DiagF32 { coeff, .. } => {
+                    for (o, &c) in out[seg.offset..seg.end()].iter_mut().zip(coeff) {
+                        *o += (c as f64).abs();
                     }
                 }
             }
@@ -618,6 +946,7 @@ impl EpsStore {
     pub fn row_abs_sums_selected(&self, cols: &[usize]) -> Vec<f64> {
         assert_ascending(cols, self.width);
         let mut acc = vec![0.0; self.n_vars];
+        let mut f32_terms = vec![0usize; self.n_vars];
         for seg in &self.segments {
             let (lo, hi) = idx_overlap(cols, seg.offset, seg.end());
             if lo == hi {
@@ -637,7 +966,29 @@ impl EpsStore {
                         acc[var_for_col[s]] += coeff[s].abs();
                     }
                 }
+                EpsBlock::DenseF32 { cols: bw, data } => {
+                    for (r, a) in acc.iter_mut().enumerate() {
+                        let row = &data[r * bw..(r + 1) * bw];
+                        for &c in &cols[lo..hi] {
+                            *a += (row[c - seg.offset] as f64).abs();
+                        }
+                    }
+                    for t in f32_terms.iter_mut() {
+                        *t += hi - lo;
+                    }
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    for &c in &cols[lo..hi] {
+                        let s = c - seg.offset;
+                        let v = var_for_col[s] as usize;
+                        acc[v] += (coeff[s] as f64).abs();
+                        f32_terms[v] += 1;
+                    }
+                }
             }
+        }
+        for (a, &t) in acc.iter_mut().zip(&f32_terms) {
+            *a = widen_up(*a, t);
         }
         acc
     }
@@ -680,12 +1031,27 @@ impl EpsStore {
         for &v in var_for_col {
             assert!(v < self.n_vars, "diag row {v} out of range");
         }
-        self.segments.push(EpsSegment {
-            offset: self.width,
-            block: EpsBlock::Diag {
+        let block = if f32_active() {
+            // Fresh symbols are single-use: each new column only widens its
+            // own row's interval, so rounding the coefficient *away from
+            // zero* over-approximates the f64 append it replaces.
+            assert!(
+                self.n_vars <= u32::MAX as usize,
+                "f32 diag var index overflow"
+            );
+            EpsBlock::DiagF32 {
+                var_for_col: var_for_col.iter().map(|&v| v as u32).collect(),
+                coeff: coeff.iter().map(|&c| round_away_f32(c)).collect(),
+            }
+        } else {
+            EpsBlock::Diag {
                 var_for_col: var_for_col.to_vec(),
                 coeff: coeff.to_vec(),
-            },
+            }
+        };
+        self.segments.push(EpsSegment {
+            offset: self.width,
+            block,
         });
         self.width += var_for_col.len();
         self.normalize();
@@ -705,7 +1071,14 @@ impl EpsStore {
     }
 
     /// Every coefficient scaled by `s`.
+    ///
+    /// Like every value-mutating op, `f32` blocks are exactly promoted to
+    /// `f64` first: the scaled products are generally not `f32`-representable
+    /// and per-entry re-rounding of *shared* symbols would be unsound.
     pub fn scale(&self, s: f64) -> Self {
+        if self.has_f32() {
+            return self.promoted().scale(s);
+        }
         let mut out = self.clone();
         for seg in &mut out.segments {
             match &mut seg.block {
@@ -714,6 +1087,9 @@ impl EpsStore {
                     for c in coeff {
                         *c *= s;
                     }
+                }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before mutation")
                 }
             }
         }
@@ -728,6 +1104,9 @@ impl EpsStore {
     /// Panics if `w.len() != n_vars`.
     pub fn mul_rows(&self, w: &[f64]) -> Self {
         assert_eq!(w.len(), self.n_vars, "row weight length mismatch");
+        if self.has_f32() {
+            return self.promoted().mul_rows(w);
+        }
         let mut out = self.clone();
         for seg in &mut out.segments {
             match &mut seg.block {
@@ -743,6 +1122,9 @@ impl EpsStore {
                         *c *= w[v];
                     }
                 }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before mutation")
+                }
             }
         }
         out
@@ -757,6 +1139,9 @@ impl EpsStore {
     /// Panics if `lambda.len() != n_vars`.
     pub fn scale_rows_guarded(&self, lambda: &[f64]) -> Self {
         assert_eq!(lambda.len(), self.n_vars, "lambda length mismatch");
+        if self.has_f32() {
+            return self.promoted().scale_rows_guarded(lambda);
+        }
         let mut out = self.clone();
         for seg in &mut out.segments {
             match &mut seg.block {
@@ -777,6 +1162,9 @@ impl EpsStore {
                         let l = lambda[v];
                         *c = if l == 0.0 { 0.0 } else { l * *c };
                     }
+                }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before mutation")
                 }
             }
         }
@@ -815,6 +1203,30 @@ impl EpsStore {
                         coeff: cs,
                     }
                 }
+                EpsBlock::DenseF32 { cols, data } => {
+                    let local: Vec<usize> = idx[lo..hi].iter().map(|&c| c - seg.offset).collect();
+                    let mut sel = Vec::with_capacity(self.n_vars * local.len());
+                    for r in 0..self.n_vars {
+                        let row = &data[r * cols..(r + 1) * cols];
+                        sel.extend(local.iter().map(|&c| row[c]));
+                    }
+                    EpsBlock::DenseF32 {
+                        cols: local.len(),
+                        data: sel,
+                    }
+                }
+                EpsBlock::DiagF32 { var_for_col, coeff } => {
+                    let mut vs = Vec::with_capacity(hi - lo);
+                    let mut cs = Vec::with_capacity(hi - lo);
+                    for &c in &idx[lo..hi] {
+                        vs.push(var_for_col[c - seg.offset]);
+                        cs.push(coeff[c - seg.offset]);
+                    }
+                    EpsBlock::DiagF32 {
+                        var_for_col: vs,
+                        coeff: cs,
+                    }
+                }
             };
             segments.push(EpsSegment { offset: lo, block });
         }
@@ -839,6 +1251,12 @@ impl EpsStore {
     /// Panics if the row counts differ.
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!(self.n_vars, other.n_vars, "eps add row mismatch");
+        if self.has_f32() {
+            return self.promoted().add(other);
+        }
+        if other.has_f32() {
+            return self.add(&other.promoted());
+        }
         let width = self.width.max(other.width);
         // Merge both segment lists by offset, grouping overlapping runs.
         let mut merged: Vec<(&EpsSegment, bool)> = self
@@ -885,6 +1303,9 @@ impl EpsStore {
     pub fn permute_rows(&self, perm: &[usize]) -> Self {
         for &v in perm {
             assert!(v < self.n_vars, "permutation index out of range");
+        }
+        if self.has_f32() {
+            return self.promoted().permute_rows(perm);
         }
         // Occurrence lists: where does each old variable land?
         let mut first = vec![usize::MAX; self.n_vars];
@@ -942,6 +1363,9 @@ impl EpsStore {
                             }
                         }
                     }
+                    EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                        unreachable!("f32 blocks are promoted before row permutation")
+                    }
                 };
                 EpsSegment {
                     offset: seg.offset,
@@ -985,6 +1409,20 @@ impl EpsStore {
                             dense.set(r0 + v, seg.offset + s, c);
                         }
                     }
+                    EpsBlock::DenseF32 { cols, data } => {
+                        for r in 0..part.n_vars {
+                            let src = &data[r * cols..(r + 1) * cols];
+                            let dst = &mut dense.row_mut(r0 + r)[seg.offset..seg.end()];
+                            for (d, &x) in dst.iter_mut().zip(src) {
+                                *d = x as f64;
+                            }
+                        }
+                    }
+                    EpsBlock::DiagF32 { var_for_col, coeff } => {
+                        for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                            dense.set(r0 + v as usize, seg.offset + s, c as f64);
+                        }
+                    }
                 }
             }
             r0 += part.n_vars;
@@ -1003,6 +1441,9 @@ impl EpsStore {
     /// kernel's zero-skip would compute.
     pub fn matmul_right_map(&self, w: &Matrix, rows: usize, cols: usize) -> Self {
         debug_assert_eq!(rows * cols, self.n_vars);
+        if self.has_f32() {
+            return self.promoted().matmul_right_map(w, rows, cols);
+        }
         let d = w.cols();
         // One full-width dense output: segment results land in their own
         // column ranges (gaps stay structurally zero). Emitting a single
@@ -1031,6 +1472,9 @@ impl EpsStore {
                         }
                     }
                 }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before row-mixing maps")
+                }
             }
         }
         let mut out = EpsStore {
@@ -1049,6 +1493,9 @@ impl EpsStore {
     /// left-multiplied by `p_mat` (`m × rows`).
     pub fn matmul_left_map(&self, p_mat: &Matrix, rows: usize, cols: usize) -> Self {
         debug_assert_eq!(rows * cols, self.n_vars);
+        if self.has_f32() {
+            return self.promoted().matmul_left_map(p_mat, rows, cols);
+        }
         let m_rows = p_mat.rows();
         let mut out = Matrix::zeros(m_rows * cols, self.width);
         for seg in &self.segments {
@@ -1083,6 +1530,9 @@ impl EpsStore {
                         }
                     }
                 }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before row-mixing maps")
+                }
             }
         }
         let mut out = EpsStore {
@@ -1101,6 +1551,9 @@ impl EpsStore {
     /// (`n_out × n_vars`) of the flat variable vector.
     pub fn linear_map(&self, l: &Matrix) -> Self {
         debug_assert_eq!(l.cols(), self.n_vars);
+        if self.has_f32() {
+            return self.promoted().linear_map(l);
+        }
         let n_out = l.rows();
         let mut out = Matrix::zeros(n_out, self.width);
         for seg in &self.segments {
@@ -1119,6 +1572,9 @@ impl EpsStore {
                         }
                     }
                 }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                    unreachable!("f32 blocks are promoted before row-mixing maps")
+                }
             }
         }
         let mut out = EpsStore {
@@ -1132,6 +1588,110 @@ impl EpsStore {
         out.normalize();
         out
     }
+
+    // ------------------------------------------------------------------
+    // f32 storage compression (`DEEPT_PREC=f32`)
+    // ------------------------------------------------------------------
+
+    /// Compresses every `f64` block to `f32` storage, returning the
+    /// compressed store and a per-row ℓ1 **slack** bound on the total
+    /// rounding loss.
+    ///
+    /// Coefficients are rounded to *nearest* — rounding shared-symbol
+    /// entries away from zero is unsound (two rows referencing the same ε
+    /// cannot both be widened independently), and existing diagonal
+    /// symbols may be positionally aliased with sibling zonotopes for the
+    /// same reason. Instead the per-entry error `|x − f64(f32(x))|` is
+    /// accumulated upward (one-ulp padding per addition) into the row's
+    /// slack, which the caller must attach to a **fresh** symbol for that
+    /// row; `x ∈ f64(f32(x)) ± slack` makes the compressed store plus
+    /// slack symbol a sound enclosure of the original row. Values outside
+    /// `f32` range saturate to `±∞` slack, poisoning the row (fail
+    /// closed). Already-compressed blocks pass through with zero slack.
+    pub fn compress_rows_f32(&self) -> (Self, Vec<f64>) {
+        assert!(
+            self.n_vars <= u32::MAX as usize,
+            "f32 diag var index overflow"
+        );
+        let mut slack = vec![0.0f64; self.n_vars];
+        let mut out = self.clone();
+        for seg in &mut out.segments {
+            match &seg.block {
+                EpsBlock::Dense(m) => {
+                    let cols = m.cols();
+                    let mut data = Vec::with_capacity(m.rows() * cols);
+                    for (r, row) in m.rows_iter().enumerate() {
+                        for &x in row {
+                            let c = x as f32;
+                            if (c as f64) != x {
+                                let err = (x - c as f64).abs().next_up();
+                                slack[r] = add_up(slack[r], err);
+                            }
+                            data.push(c);
+                        }
+                    }
+                    seg.block = EpsBlock::DenseF32 { cols, data };
+                }
+                EpsBlock::Diag { var_for_col, coeff } => {
+                    let vs: Vec<u32> = var_for_col.iter().map(|&v| v as u32).collect();
+                    let mut cs = Vec::with_capacity(coeff.len());
+                    for (&v, &x) in var_for_col.iter().zip(coeff) {
+                        let c = x as f32;
+                        if (c as f64) != x {
+                            let err = (x - c as f64).abs().next_up();
+                            slack[v] = add_up(slack[v], err);
+                        }
+                        cs.push(c);
+                    }
+                    seg.block = EpsBlock::DiagF32 {
+                        var_for_col: vs,
+                        coeff: cs,
+                    };
+                }
+                EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {}
+            }
+        }
+        (out, slack)
+    }
+}
+
+/// The `DEEPT_PREC=f32` hook for fresh-symbol append sites: compresses
+/// `store` to `f32` and folds the per-row rounding slack into the fresh
+/// coefficients about to be appended (`fresh[i]` gets `betas[i]`). Rows
+/// that pick up slack without a fresh symbol of their own are given one.
+/// A no-op (moves the inputs through) when `f32` storage is inactive.
+pub(crate) fn compress_for_append(
+    store: EpsStore,
+    fresh: Vec<usize>,
+    betas: Vec<f64>,
+) -> (EpsStore, Vec<usize>, Vec<f64>) {
+    if !f32_active() {
+        return (store, fresh, betas);
+    }
+    let (store, slack) = store.compress_rows_f32();
+    if slack.iter().all(|&s| s == 0.0) {
+        return (store, fresh, betas);
+    }
+    let n = store.n_vars();
+    let mut full = vec![0.0f64; n];
+    for (i, &k) in fresh.iter().enumerate() {
+        full[k] = betas[i];
+    }
+    for (k, &s) in slack.iter().enumerate() {
+        if s != 0.0 {
+            // Grow the coefficient's *magnitude* (its sign is meaningful
+            // under ε–ε interaction, its magnitude is the row's interval
+            // contribution). NaN/∞ slack flows through and fails closed.
+            full[k] = if full[k] < 0.0 {
+                -add_up(-full[k], s)
+            } else {
+                add_up(full[k], s)
+            };
+        }
+    }
+    let fresh: Vec<usize> = (0..n).filter(|&k| full[k] != 0.0).collect();
+    let betas: Vec<f64> = fresh.iter().map(|&k| full[k]).collect();
+    (store, fresh, betas)
 }
 
 /// Scatters one segment's content into the full dense matrix.
@@ -1145,6 +1705,20 @@ fn scatter_segment(dense: &mut Matrix, seg: &EpsSegment) {
         EpsBlock::Diag { var_for_col, coeff } => {
             for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
                 dense.set(v, seg.offset + s, c);
+            }
+        }
+        EpsBlock::DenseF32 { cols, data } => {
+            for r in 0..dense.rows() {
+                let src = &data[r * cols..(r + 1) * cols];
+                let dst = &mut dense.row_mut(r)[seg.offset..seg.end()];
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = x as f64;
+                }
+            }
+        }
+        EpsBlock::DiagF32 { var_for_col, coeff } => {
+            for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
+                dense.set(v as usize, seg.offset + s, c as f64);
             }
         }
     }
@@ -1206,6 +1780,9 @@ fn combine_cluster(n_vars: usize, cluster: &[(&EpsSegment, bool)], end: usize) -
                 for (s, (&v, &c)) in var_for_col.iter().zip(coeff).enumerate() {
                     *dense.at_mut(v, local + s) += c;
                 }
+            }
+            EpsBlock::DenseF32 { .. } | EpsBlock::DiagF32 { .. } => {
+                unreachable!("f32 blocks are promoted before add")
             }
         }
     };
@@ -1521,6 +2098,147 @@ mod tests {
         assert!(force_dense());
         set_force_dense(Some(false));
         assert!(!force_dense());
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn force_f32_override_round_trips() {
+        let _g = parallel::test_lock();
+        set_force_f32(Some(true));
+        assert!(prec_f32());
+        set_force_f32(Some(false));
+        assert!(!prec_f32());
+        set_force_f32(None);
+    }
+
+    #[test]
+    fn round_away_f32_never_shrinks_magnitude() {
+        for &x in &[
+            0.1,
+            -0.1,
+            1.0 / 3.0,
+            1e-300,
+            -1e-300,
+            2.5,
+            0.0,
+            1e300,
+            -1e300,
+        ] {
+            let y = round_away_f32(x) as f64;
+            assert!(y.abs() >= x.abs(), "|{y}| < |{x}|");
+            assert_eq!(y.signum(), x.signum());
+            // Within one f32 ulp of nearest.
+            if x.abs() < f32::MAX as f64 {
+                let near = x as f32;
+                assert!(
+                    (round_away_f32(x) == near)
+                        || (round_away_f32(x) == near.next_up())
+                        || (round_away_f32(x) == near.next_down())
+                );
+            }
+        }
+        assert_eq!(round_away_f32(1e300), f32::INFINITY);
+    }
+
+    #[test]
+    fn compress_rows_f32_encloses_with_slack() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let s = mixed(); // exact small integers: compresses losslessly
+        let (c, slack) = s.compress_rows_f32();
+        assert!(c.has_f32());
+        assert!(slack.iter().all(|&x| x == 0.0));
+        assert_eq!(c.to_matrix(), s.to_matrix());
+        assert!(c.resident_bytes() < s.resident_bytes());
+        // Inexact values: per-row |loss| must be covered by the slack.
+        let lossy = EpsStore::from_matrix(Matrix::from_rows(&[&[0.1, 1.0 / 3.0], &[-0.7, 1e-200]]));
+        let (cl, slack) = lossy.compress_rows_f32();
+        for (r, &sl) in slack.iter().enumerate().take(2) {
+            let loss: f64 = (0..2).map(|j| (lossy.at(r, j) - cl.at(r, j)).abs()).sum();
+            assert!(loss <= sl, "row {r}: loss {loss} > slack {sl}");
+            assert!(sl > 0.0);
+        }
+        // Promotion restores an exact-f64 store with identical values.
+        let p = cl.promoted();
+        assert!(!p.has_f32());
+        assert_eq!(p.to_matrix(), cl.to_matrix());
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn f32_append_rounds_away_and_scans_widen() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        set_force_f32(Some(true));
+        let mut s = EpsStore::zeros(2, 0);
+        s.append_diag(&[0, 1], &[0.1, -0.1]);
+        assert!(s.has_f32());
+        assert_eq!(s.diag_cols(), 2);
+        assert_eq!(s.f32_cols(), 2);
+        // Stored coefficient dominates the requested f64 magnitude.
+        assert!(s.at(0, 0) >= 0.1);
+        assert!(s.at(1, 1) <= -0.1);
+        // Row scans dominate the exact promoted sums.
+        assert!(s.row_l1(0) >= s.at(0, 0).abs());
+        let all = s.row_l1_all();
+        assert_eq!(all[0], s.row_l1(0));
+        assert_eq!(all[1], s.row_l1(1));
+        let sel = s.row_abs_sums_selected(&[0, 1]);
+        assert_eq!(sel, all);
+        set_force_f32(None);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn compress_for_append_folds_slack_into_fresh_symbols() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        set_force_f32(Some(true));
+        let store = EpsStore::from_matrix(Matrix::from_rows(&[&[0.1], &[2.0], &[0.3]]));
+        // Row 0 gets a fresh symbol, rows 0 and 2 pick up slack, row 1 is
+        // exact and keeps no symbol.
+        let (c, fresh, betas) = compress_for_append(store.clone(), vec![0], vec![0.5]);
+        assert!(c.has_f32());
+        assert_eq!(fresh, vec![0, 2]);
+        assert!(betas[0] > 0.5, "slack must grow the existing beta");
+        assert!(betas[1] > 0.0, "slack-only row gains a fresh symbol");
+        // The compressed store + fresh intervals enclose the original rows.
+        let mut full = c;
+        full.append_diag(&fresh, &betas);
+        for r in 0..3 {
+            assert!(
+                full.row_l1(r) >= store.row_l1(r),
+                "row {r} interval must not shrink"
+            );
+        }
+        // Inactive mode: inputs pass through untouched.
+        set_force_f32(Some(false));
+        let (p, f2, b2) = compress_for_append(store.clone(), vec![0], vec![0.5]);
+        assert!(!p.has_f32());
+        assert_eq!((f2, b2), (vec![0], vec![0.5]));
+        set_force_f32(None);
+        set_force_dense(None);
+    }
+
+    #[test]
+    fn f32_blocks_promote_through_mutating_ops() {
+        let _g = parallel::test_lock();
+        set_force_dense(Some(false));
+        let (c, _) = mixed().compress_rows_f32();
+        let d = c.to_matrix();
+        assert_eq!(c.scale(-2.0).to_matrix(), d.scale(-2.0));
+        assert_eq!(c.mul_rows(&[2.0, 0.0, -1.0]).at(0, 4), -12.0);
+        assert_eq!(c.scale_rows_guarded(&[0.0, 1.0, 1.0]).row_l1(0), 0.0);
+        assert_eq!(c.add(&c).to_matrix(), d.add(&d));
+        assert_eq!(c.permute_rows(&[2, 1, 0]).to_matrix().row(0), d.row(2));
+        let l = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]);
+        assert_eq!(c.linear_map(&l).to_matrix(), l.matmul(&d));
+        // Column-local ops keep the compressed payload resident.
+        assert!(c.select_cols(&[0, 3, 4]).has_f32());
+        assert!(c.lifted(2).has_f32());
+        let mut padded = c.clone();
+        padded.pad_to(9);
+        assert!(padded.has_f32());
         set_force_dense(None);
     }
 }

@@ -107,7 +107,8 @@ fn reduce_eps_impl(z: &Zonotope, budget: usize, protect: usize) -> (Zonotope, Re
     let mass = z.eps_store().row_abs_sums_selected(&dropped);
     let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
     let coeff: Vec<f64> = fresh.iter().map(|&i| mass[i]).collect();
-    let mut eps = z.eps_store().select_cols(&kept);
+    let eps = z.eps_store().select_cols(&kept);
+    let (mut eps, fresh, coeff) = crate::eps::compress_for_append(eps, fresh, coeff);
     eps.append_diag(&fresh, &coeff);
     let out = Zonotope::from_parts_store(
         z.rows(),
@@ -146,7 +147,8 @@ pub fn reduce_box_all(z: &Zonotope, protect: usize) -> Zonotope {
     let mass = z.eps_store().row_abs_sums_selected(&boxed_cols);
     let fresh: Vec<usize> = (0..n).filter(|&i| mass[i] > 0.0).collect();
     let coeff: Vec<f64> = fresh.iter().map(|&i| mass[i]).collect();
-    let mut eps = z.eps_store().select_cols(&kept);
+    let eps = z.eps_store().select_cols(&kept);
+    let (mut eps, fresh, coeff) = crate::eps::compress_for_append(eps, fresh, coeff);
     eps.append_diag(&fresh, &coeff);
     Zonotope::from_parts_store(
         z.rows(),

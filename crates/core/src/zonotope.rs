@@ -583,11 +583,14 @@ impl Zonotope {
     /// Exact, since it is the affine map `X ↦ X (I − (1/cols) 11ᵀ)`.
     pub fn subtract_row_mean(&self) -> Zonotope {
         let c = self.cols;
-        let w = Matrix::from_fn(c, c, |i, j| {
-            let id = if i == j { 1.0 } else { 0.0 };
-            id - 1.0 / c as f64
-        });
-        self.matmul_right(&w)
+        // Rank-1 form: mean per logical row (a `c × 1` product), broadcast
+        // back to `c` columns (multiplication by exact 1.0), then an exact
+        // element-wise subtract. Same affine map as multiplying by
+        // `I − J/c`, at `O(c·width)` instead of `O(c²·width)` generator
+        // work, and bitwise mode-invariant because every step routes
+        // through the pinned kernels or element-wise ops.
+        let mean = self.matmul_right(&Matrix::full(c, 1, 1.0 / c as f64));
+        self.sub(&mean.matmul_right(&Matrix::full(1, c, 1.0)))
     }
 
     // ------------------------------------------------------------------

@@ -2,7 +2,12 @@
 //! `DEEPT_EPS=dense` every computation reproduces the historical dense
 //! generator matrix **bitwise**, so interval bounds from the blocked layout
 //! must be `==`-identical (not approximately equal) to the dense ones —
-//! across p-norms, thread counts and representative transformer pipelines.
+//! across p-norms, thread counts, compute-kernel modes
+//! (`DEEPT_KERNEL=naive|blocked|simd`) and representative transformer
+//! pipelines. The kernel axis rides along because the SIMD kernels promise
+//! bitwise equality with the scalar ones at `f64`; running the full
+//! kernel × ε-layout matrix through one reference pins both guarantees at
+//! once.
 //!
 //! The whole file serializes on `parallel::test_lock()` because both the
 //! ε mode and the thread override are process-global.
@@ -12,11 +17,13 @@ use deept_core::eps::set_force_dense;
 use deept_core::reduce::reduce_eps;
 use deept_core::softmax::{softmax_rows, SoftmaxConfig};
 use deept_core::{PNorm, Zonotope};
+use deept_tensor::parallel::KernelMode;
 use deept_tensor::{parallel, Matrix};
 use proptest::prelude::*;
 
 const NORMS: [PNorm; 3] = [PNorm::L1, PNorm::L2, PNorm::Linf];
 const THREADS: [usize; 2] = [1, 4];
+const KERNELS: [KernelMode; 3] = [KernelMode::Naive, KernelMode::Blocked, KernelMode::Simd];
 
 /// Observable outcome of one pipeline run: exact bounds at every stage plus
 /// the final dense generator matrix.
@@ -26,26 +33,30 @@ struct Outcome {
     final_eps: Matrix,
 }
 
-/// Runs `f` once in dense mode and once in blocked mode under every thread
-/// override, asserting all outcomes are bitwise identical.
+/// Runs `f` under every (kernel mode, ε layout, thread override)
+/// combination, asserting all outcomes are bitwise identical.
 fn assert_mode_invariant(mut f: impl FnMut() -> Outcome) {
     let _guard = parallel::test_lock();
     let mut reference: Option<Outcome> = None;
-    for &threads in &THREADS {
-        parallel::set_thread_override(Some(threads));
-        for dense in [true, false] {
-            set_force_dense(Some(dense));
-            let got = f();
-            match &reference {
-                None => reference = Some(got),
-                Some(want) => assert_eq!(
-                    want, &got,
-                    "bounds diverged (threads={threads}, dense={dense})"
-                ),
+    for &kernel in &KERNELS {
+        parallel::set_kernel_mode(Some(kernel));
+        for &threads in &THREADS {
+            parallel::set_thread_override(Some(threads));
+            for dense in [true, false] {
+                set_force_dense(Some(dense));
+                let got = f();
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => assert_eq!(
+                        want, &got,
+                        "bounds diverged (kernel={kernel:?}, threads={threads}, dense={dense})"
+                    ),
+                }
             }
         }
     }
     set_force_dense(None);
+    parallel::set_kernel_mode(None);
     parallel::set_thread_override(None);
 }
 
@@ -138,31 +149,35 @@ fn certified_direction_widths_bitwise_identical() {
     // the quantity radius certification keys on.
     let _guard = parallel::test_lock();
     let mut reference: Option<Vec<f64>> = None;
-    for &threads in &THREADS {
-        parallel::set_thread_override(Some(threads));
-        for dense in [true, false] {
-            set_force_dense(Some(dense));
-            let mut widths = Vec::new();
-            for &p in &NORMS {
-                let c = Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.7, 0.2]).expect("sized");
-                let z = Zonotope::from_lp_ball(&c, 0.05, p, &[0]);
-                let soft = softmax_rows(&z, SoftmaxConfig::default());
-                let (red, _) = reduce_eps(&soft, 6, 0);
-                let l = Matrix::from_rows(&[&[1.0, 0.0, -1.0, 0.0], &[0.0, 1.0, 0.0, -1.0]]);
-                let margins = red.linear_vars(&l, 2, 1);
-                let (lo, hi) = margins.bounds();
-                widths.extend(lo);
-                widths.extend(hi);
-            }
-            match &reference {
-                None => reference = Some(widths),
-                Some(want) => assert_eq!(
-                    want, &widths,
-                    "margins diverged (threads={threads}, dense={dense})"
-                ),
+    for &kernel in &KERNELS {
+        parallel::set_kernel_mode(Some(kernel));
+        for &threads in &THREADS {
+            parallel::set_thread_override(Some(threads));
+            for dense in [true, false] {
+                set_force_dense(Some(dense));
+                let mut widths = Vec::new();
+                for &p in &NORMS {
+                    let c = Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.7, 0.2]).expect("sized");
+                    let z = Zonotope::from_lp_ball(&c, 0.05, p, &[0]);
+                    let soft = softmax_rows(&z, SoftmaxConfig::default());
+                    let (red, _) = reduce_eps(&soft, 6, 0);
+                    let l = Matrix::from_rows(&[&[1.0, 0.0, -1.0, 0.0], &[0.0, 1.0, 0.0, -1.0]]);
+                    let margins = red.linear_vars(&l, 2, 1);
+                    let (lo, hi) = margins.bounds();
+                    widths.extend(lo);
+                    widths.extend(hi);
+                }
+                match &reference {
+                    None => reference = Some(widths),
+                    Some(want) => assert_eq!(
+                        want, &widths,
+                        "margins diverged (kernel={kernel:?}, threads={threads}, dense={dense})"
+                    ),
+                }
             }
         }
     }
     set_force_dense(None);
+    parallel::set_kernel_mode(None);
     parallel::set_thread_override(None);
 }

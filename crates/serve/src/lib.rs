@@ -71,6 +71,7 @@ pub mod protocol;
 pub mod queue;
 pub mod registry;
 pub mod server;
+mod sync;
 
 pub use cache::{CacheKey, LruCache};
 pub use client::Client;

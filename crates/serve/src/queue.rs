@@ -12,6 +12,8 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::sync::{lock, wait};
+
 /// Why a submission was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -83,7 +85,7 @@ impl<T> JobQueue<T> {
     /// [`SubmitError::Closed`] once [`close`](Self::close) has been
     /// called, [`SubmitError::Overloaded`] when at capacity.
     pub fn submit(&self, job: T) -> Result<(), SubmitError> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = lock(&self.inner.state);
         if state.closed {
             return Err(SubmitError::Closed);
         }
@@ -99,7 +101,7 @@ impl<T> JobQueue<T> {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained, which is a worker's signal to exit.
     pub fn next(&self) -> Option<T> {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = lock(&self.inner.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -107,14 +109,14 @@ impl<T> JobQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.inner.available.wait(state).unwrap();
+            state = wait(&self.inner.available, state);
         }
     }
 
     /// Refuses new submissions; queued jobs still drain through
     /// [`next`](Self::next). Idempotent.
     pub fn close(&self) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = lock(&self.inner.state);
         state.closed = true;
         drop(state);
         self.inner.available.notify_all();
@@ -122,7 +124,7 @@ impl<T> JobQueue<T> {
 
     /// Jobs currently waiting.
     pub fn len(&self) -> usize {
-        self.inner.state.lock().unwrap().jobs.len()
+        lock(&self.inner.state).jobs.len()
     }
 
     /// Whether no jobs are waiting.
@@ -132,7 +134,7 @@ impl<T> JobQueue<T> {
 
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.state.lock().unwrap().closed
+        lock(&self.inner.state).closed
     }
 
     /// Maximum number of waiting jobs.

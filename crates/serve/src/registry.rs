@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::sync::lock;
+
 use deept_nn::checkpoint::{self, CheckpointError};
 use deept_nn::transformer::TransformerClassifier;
 use deept_verifier::network::VerifiableTransformer;
@@ -81,27 +83,24 @@ impl ModelRegistry {
             net,
             fingerprint,
         });
-        self.entries
-            .lock()
-            .unwrap()
-            .insert(model_id.to_string(), entry);
+        lock(&self.entries).insert(model_id.to_string(), entry);
     }
 
     /// Looks up a model by registry name.
     pub fn get(&self, model_id: &str) -> Option<Arc<ModelEntry>> {
-        self.entries.lock().unwrap().get(model_id).cloned()
+        lock(&self.entries).get(model_id).cloned()
     }
 
     /// Registered names, sorted for stable `status` responses.
     pub fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.entries.lock().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = lock(&self.entries).keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        lock(&self.entries).len()
     }
 
     /// Whether no models are registered.

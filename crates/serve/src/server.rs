@@ -47,6 +47,7 @@ use crate::protocol::{
 };
 use crate::queue::{JobQueue, SubmitError};
 use crate::registry::{ModelEntry, ModelRegistry};
+use crate::sync::lock;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -162,7 +163,7 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        *server.inner.workers.lock().unwrap() = handles;
+        *lock(&server.inner.workers) = handles;
         server
     }
 
@@ -376,7 +377,7 @@ impl Server {
         let m = &self.inner.metrics;
         m.model_requests(&req.model_id).inc();
         let lookup_started = Instant::now();
-        let cached = self.inner.cache.lock().unwrap().get(&key);
+        let cached = lock(&self.inner.cache).get(&key);
         m.cache_lookup
             .observe(lookup_started.elapsed().as_secs_f64());
         if let Some((label, result)) = cached {
@@ -468,7 +469,7 @@ impl Server {
                         .name("deept-conn".to_string())
                         .spawn(move || serve_connection(&server, stream))
                         .expect("spawn connection thread");
-                    self.inner.connections.lock().unwrap().push(handle);
+                    lock(&self.inner.connections).push(handle);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     thread::sleep(Duration::from_millis(5));
@@ -513,11 +514,11 @@ impl Server {
     pub fn drain(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue.close();
-        let workers = std::mem::take(&mut *self.inner.workers.lock().unwrap());
+        let workers = std::mem::take(&mut *lock(&self.inner.workers));
         for handle in workers {
             let _ = handle.join();
         }
-        let connections = std::mem::take(&mut *self.inner.connections.lock().unwrap());
+        let connections = std::mem::take(&mut *lock(&self.inner.connections));
         for handle in connections {
             let _ = handle.join();
         }
@@ -560,7 +561,7 @@ impl Server {
                 }
             })
             .expect("spawn metrics listener thread");
-        self.inner.connections.lock().unwrap().push(handle);
+        lock(&self.inner.connections).push(handle);
         Ok(bound)
     }
 }
@@ -662,17 +663,32 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
     };
     match outcome {
         Ok(result) => {
-            inner
-                .cache
-                .lock()
-                .unwrap()
-                .insert(spec.key.clone(), (label, result.clone()));
+            lock(&inner.cache).insert(spec.key.clone(), (label, result.clone()));
             let trace = collector.map(|c| {
                 let mut t = c.finish();
                 t.set_meta("verifier", &format!("DeepT-{}", spec.variant));
                 t.set_meta("norm", &spec.norm.to_string());
                 t.set_meta("model", &spec.model_id);
                 t.set_meta("fingerprint", &entry.fingerprint);
+                let kernel = deept_tensor::parallel::kernel_mode();
+                t.set_meta("kernel", kernel.label());
+                t.set_meta(
+                    "isa",
+                    match kernel {
+                        deept_tensor::parallel::KernelMode::Simd => {
+                            deept_tensor::simd::active_isa().label()
+                        }
+                        _ => "scalar",
+                    },
+                );
+                t.set_meta(
+                    "prec",
+                    if deept_core::eps::prec_f32() {
+                        "f32"
+                    } else {
+                        "f64"
+                    },
+                );
                 serde_json::from_str(&t.to_json()).unwrap_or(serde_json::Value::Null)
             });
             Response::Certify {

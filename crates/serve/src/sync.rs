@@ -1,0 +1,44 @@
+//! Poison-tolerant locking helpers.
+//!
+//! A worker or connection thread that panics while holding a mutex
+//! poisons it; with bare `lock().unwrap()` every later lock attempt then
+//! panics too, cascading one request's failure into a dead server. All
+//! state guarded by these locks (queue contents, registry map, cache,
+//! join-handle lists) stays structurally valid across a panic at any
+//! await-free point — the worst outcome is a lost cache entry or an
+//! abandoned job, both of which the protocol already tolerates — so the
+//! server recovers the guard and keeps serving instead of amplifying the
+//! panic.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Acquires `m`, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Blocks on `cv`, recovering the guard if the mutex was poisoned while
+/// waiting.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7u32);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+        *lock(&m) = 8;
+        assert_eq!(*lock(&m), 8);
+    }
+}

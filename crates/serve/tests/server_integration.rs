@@ -641,6 +641,20 @@ fn metrics_listener_serves_prometheus_text_and_profile() {
             "missing {needle:?} in:\n{metrics}"
         );
     }
+    // Under the SIMD kernel rung the certify above must have recorded at
+    // least one dispatch, labeled with the runtime-detected ISA, and the
+    // merged scrape must surface it. (A `DEEPT_KERNEL=naive|blocked` CI
+    // axis legitimately records none, so only assert when SIMD is active.)
+    if deept_tensor::parallel::kernel_mode() == deept_tensor::parallel::KernelMode::Simd
+        && deept_metrics::enabled()
+    {
+        let isa = deept_tensor::simd::active_isa().label();
+        let needle = format!("deept_simd_dispatch_total{{isa=\"{isa}\"}}");
+        assert!(
+            metrics.contains(&needle),
+            "missing SIMD dispatch counter {needle:?} in:\n{metrics}"
+        );
+    }
 
     let not_found = scrape("/nope");
     assert!(not_found.starts_with("HTTP/1.0 404"), "{not_found}");

@@ -11,6 +11,7 @@ use crate::containment::{check_containment, ContainmentViolation};
 use crate::microcheck::{
     check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
 };
+use crate::precision::{check_f32_nesting, PrecisionViolation};
 
 /// Parameters of one fuzzing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,10 @@ pub struct FuzzReport {
     pub attack_instances: usize,
     /// Attacks that succeeded strictly below a certified radius.
     pub attack_violations: Vec<AttackViolation>,
+    /// Instances checked for f32-storage bound nesting.
+    pub precision_instances: usize,
+    /// f32-mode logit intervals that failed to contain the f64 reference.
+    pub precision_violations: Vec<PrecisionViolation>,
 }
 
 impl FuzzReport {
@@ -52,13 +57,15 @@ impl FuzzReport {
             + self.transformer_violations.len()
             + self.containment_violations.len()
             + self.attack_violations.len()
+            + self.precision_violations.len()
     }
 
     /// One-paragraph human-readable summary.
     pub fn summary(&self) -> String {
         format!(
             "seed {}: relaxations {}/{} cases violated, transformers {}/{} cases violated, \
-             containment {} violations over {} samples, attacks-below-certified {} over {} instances",
+             containment {} violations over {} samples, attacks-below-certified {} over {} \
+             instances, f32-nesting {} violations over {} instances",
             self.seed,
             self.relaxation_violations.len(),
             self.relaxation_cases,
@@ -68,6 +75,8 @@ impl FuzzReport {
             self.containment_samples,
             self.attack_violations.len(),
             self.attack_instances,
+            self.precision_violations.len(),
+            self.precision_instances,
         )
     }
 }
@@ -153,6 +162,11 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
         {
             report.attack_violations.push(v);
         }
+
+        report.precision_instances += 1;
+        report.precision_violations.extend(check_f32_nesting(
+            &model, &tokens, position, radius, *p, vcfg,
+        ));
     }
     report
 }

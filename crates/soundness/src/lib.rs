@@ -20,6 +20,10 @@
 //!   softmax transformers, including the adversarial regimes that broke
 //!   early versions: `l == u`, `u − l < 1e-12`, endpoints at or near `0`
 //!   for reciprocal/√, and ±1-ulp endpoint nudges.
+//! * [`precision`] — `f32` storage nesting. Each instance is propagated
+//!   with `f64` and with `f32` generator storage (`DEEPT_PREC=f32`); the
+//!   `f32` logits interval must contain the `f64` reference interval,
+//!   pinning the outward-rounding compression design.
 //!
 //! [`fuzz`] orchestrates all three under one seed; the CLI exposes it as
 //! `deept fuzz-soundness --seed N --cases M`, and CI runs fixed seeds on
@@ -32,6 +36,7 @@ pub mod attack_check;
 pub mod containment;
 pub mod fuzz;
 pub mod microcheck;
+pub mod precision;
 
 pub use attack_check::{check_attack_consistency, AttackViolation};
 pub use containment::{check_containment, ContainmentViolation, SnapshotCollector};
@@ -39,3 +44,4 @@ pub use fuzz::{run, FuzzConfig, FuzzReport};
 pub use microcheck::{
     check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
 };
+pub use precision::{check_f32_nesting, PrecisionViolation};

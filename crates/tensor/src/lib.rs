@@ -26,6 +26,7 @@ pub mod arena;
 mod matrix;
 pub mod ops;
 pub mod parallel;
+pub mod simd;
 pub mod vector;
 
 pub use matrix::Matrix;

@@ -247,8 +247,13 @@ impl Matrix {
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        if crate::parallel::force_naive() {
+        let mode = crate::parallel::kernel_mode();
+        if mode == crate::parallel::KernelMode::Naive {
             return self.matmul_naive(other);
+        }
+        let simd = mode == crate::parallel::KernelMode::Simd;
+        if simd {
+            crate::simd::note_dispatch();
         }
         let (kdim, m) = (self.cols, other.cols);
         let mut out = Matrix::zeros(self.rows, m);
@@ -259,13 +264,28 @@ impl Matrix {
                 for (local, i) in range.clone().enumerate() {
                     let arow = &self.data[i * kdim + k0..i * kdim + k1];
                     let orow = &mut chunk[local * m..(local + 1) * m];
-                    for (kk, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
+                    if simd {
+                        // Fuse quads of nonzero `k` contributions: same
+                        // per-element ascending-`k` rounding, one quarter
+                        // of the `orow` load/store traffic.
+                        let mut batch = crate::simd::AxpyBatch::new();
+                        for (kk, &a) in arow.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let brow = &other.data[(k0 + kk) * m..(k0 + kk + 1) * m];
+                            batch.push(orow, a, brow);
                         }
-                        let brow = &other.data[(k0 + kk) * m..(k0 + kk + 1) * m];
-                        for (o, &b) in orow.iter_mut().zip(brow) {
-                            *o += a * b;
+                        batch.flush(orow);
+                    } else {
+                        for (kk, &a) in arow.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let brow = &other.data[(k0 + kk) * m..(k0 + kk + 1) * m];
+                            for (o, &b) in orow.iter_mut().zip(brow) {
+                                *o += a * b;
+                            }
                         }
                     }
                 }
@@ -318,12 +338,53 @@ impl Matrix {
             "matmul_transpose_b shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        if crate::parallel::force_naive() {
+        let mode = crate::parallel::kernel_mode();
+        if mode == crate::parallel::KernelMode::Naive {
             return self.matmul_transpose_b_naive(other);
         }
         let (kdim, n) = (self.cols, other.rows);
         let mut out = Matrix::zeros(self.rows, n);
         let min_rows = par_min_rows(kdim * n);
+        if mode == crate::parallel::KernelMode::Simd {
+            // Interleave quads of `other` rows into a `pack[4k + l]` panel
+            // so four output columns advance in lockstep: each SIMD lane
+            // replays one scalar `acc += a * b` chain in ascending `k`,
+            // bitwise-identical to the blocked path below. The panel is
+            // packed once per quad and reused across the worker's rows.
+            crate::simd::note_dispatch();
+            crate::parallel::par_rows(&mut out.data, n.max(1), min_rows, |range, chunk| {
+                let mut pack = vec![0.0f64; kdim * 4];
+                for j0 in (0..n).step_by(4) {
+                    let j1 = (j0 + 4).min(n);
+                    if j1 - j0 == 4 {
+                        for l in 0..4 {
+                            let brow = &other.data[(j0 + l) * kdim..(j0 + l + 1) * kdim];
+                            for (k, &b) in brow.iter().enumerate() {
+                                pack[k * 4 + l] = b;
+                            }
+                        }
+                        for (local, i) in range.clone().enumerate() {
+                            let arow = &self.data[i * kdim..(i + 1) * kdim];
+                            let quad = crate::simd::dot4(arow, &pack);
+                            chunk[local * n + j0..local * n + j1].copy_from_slice(&quad);
+                        }
+                    } else {
+                        for (local, i) in range.clone().enumerate() {
+                            let arow = &self.data[i * kdim..(i + 1) * kdim];
+                            for j in j0..j1 {
+                                let brow = &other.data[j * kdim..(j + 1) * kdim];
+                                let mut acc = 0.0;
+                                for (&a, &b) in arow.iter().zip(brow) {
+                                    acc += a * b;
+                                }
+                                chunk[local * n + j] = acc;
+                            }
+                        }
+                    }
+                }
+            });
+            return out;
+        }
         crate::parallel::par_rows(&mut out.data, n.max(1), min_rows, |range, chunk| {
             for j0 in (0..n).step_by(JC) {
                 let j1 = (j0 + JC).min(n);
@@ -382,12 +443,69 @@ impl Matrix {
             "transpose_a_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        if crate::parallel::force_naive() {
+        let mode = crate::parallel::kernel_mode();
+        if mode == crate::parallel::KernelMode::Naive {
             return self.transpose_a_matmul_naive(other);
+        }
+        let simd = mode == crate::parallel::KernelMode::Simd;
+        if simd {
+            crate::simd::note_dispatch();
         }
         let m = other.cols;
         let mut out = Matrix::zeros(self.cols, m);
         let min_rows = par_min_rows(self.rows * m);
+        if simd {
+            // Quads of output rows run the register-tiled microkernel: the
+            // 4×8 output tile lives in registers across the whole `k` loop,
+            // so each output element is touched once instead of once per
+            // source row. Per element the adds still happen in ascending
+            // `k` — bitwise the naive kij order. Rows whose weight column
+            // contains a zero (the naive path skips those terms) and
+            // leftover rows fall back to skip-preserving fused axpy quads.
+            let kdim = self.rows;
+            crate::parallel::par_rows(&mut out.data, m.max(1), min_rows, |range, chunk| {
+                let mut wq = vec![0.0f64; kdim * 4];
+                let per_row_fallback = |orow: &mut [f64], i: usize| {
+                    let mut batch = crate::simd::AxpyBatch::new();
+                    for k in 0..kdim {
+                        let a = self.data[k * self.cols + i];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        batch.push(orow, a, other.row(k));
+                    }
+                    batch.flush(orow);
+                };
+                let mut local = 0;
+                let start = range.start;
+                while local + 4 <= range.len() {
+                    let i0 = start + local;
+                    let mut all_nonzero = true;
+                    for k in 0..kdim {
+                        for l in 0..4 {
+                            let a = self.data[k * self.cols + i0 + l];
+                            all_nonzero &= a != 0.0;
+                            wq[k * 4 + l] = a;
+                        }
+                    }
+                    if all_nonzero {
+                        let dst4 = &mut chunk[local * m..(local + 4) * m];
+                        crate::simd::wrows4(dst4, m, &wq, &other.data, kdim);
+                    } else {
+                        for l in 0..4 {
+                            let orow = &mut chunk[(local + l) * m..(local + l + 1) * m];
+                            per_row_fallback(orow, i0 + l);
+                        }
+                    }
+                    local += 4;
+                }
+                for l in local..range.len() {
+                    let orow = &mut chunk[l * m..(l + 1) * m];
+                    per_row_fallback(orow, start + l);
+                }
+            });
+            return out;
+        }
         crate::parallel::par_rows(&mut out.data, m.max(1), min_rows, |range, chunk| {
             for k in 0..self.rows {
                 let arow = self.row(k);
@@ -632,11 +750,21 @@ impl Matrix {
     }
 
     /// Per-column sum of absolute values.
+    ///
+    /// Each column is an independent sequential accumulator over ascending
+    /// rows, so the SIMD sweep is bitwise-identical to the scalar one.
     pub fn col_abs_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
-        for row in self.rows_iter() {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += x.abs();
+        if crate::parallel::kernel_mode() == crate::parallel::KernelMode::Simd {
+            crate::simd::note_dispatch();
+            for row in self.rows_iter() {
+                crate::simd::abs_accumulate(&mut out, row);
+            }
+        } else {
+            for row in self.rows_iter() {
+                for (o, &x) in out.iter_mut().zip(row) {
+                    *o += x.abs();
+                }
             }
         }
         out
@@ -868,6 +996,48 @@ mod tests {
         assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
         let c = Matrix::from_fn(3, 5, |r, c| (r * c) as f64 - 0.5);
         assert_eq!(a.transpose_a_matmul(&c), a.transpose().matmul(&c));
+    }
+
+    #[test]
+    fn products_agree_bitwise_across_kernel_modes() {
+        use crate::parallel::{set_kernel_mode, test_lock, KernelMode};
+        let _g = test_lock();
+        // Shapes straddle the 4-wide quad boundary (j-remainders of 0..3)
+        // and include zero entries to exercise the sparsity skip.
+        let a = Matrix::from_fn(9, 13, |r, c| {
+            if (r + c) % 5 == 0 {
+                0.0
+            } else {
+                0.31 * (r as f64) - 0.07 * (c as f64) + 0.2
+            }
+        });
+        let b = Matrix::from_fn(13, 11, |r, c| 0.05 * (r as f64 + 1.0) * (c as f64 - 4.0));
+        let bt = Matrix::from_fn(11, 13, |r, c| 1.0 / (1.0 + r as f64 + 2.0 * c as f64));
+        let c = Matrix::from_fn(9, 7, |r, c| (r * 3 + c) as f64 * 0.11 - 1.0);
+        let bits = |m: &Matrix| -> Vec<u64> { m.as_slice().iter().map(|x| x.to_bits()).collect() };
+        set_kernel_mode(Some(KernelMode::Naive));
+        let base = (
+            bits(&a.matmul(&b)),
+            bits(&a.matmul_transpose_b(&bt)),
+            bits(&a.transpose_a_matmul(&c)),
+            a.col_abs_sums(),
+        );
+        for mode in [KernelMode::Blocked, KernelMode::Simd] {
+            set_kernel_mode(Some(mode));
+            assert_eq!(bits(&a.matmul(&b)), base.0, "matmul {mode:?}");
+            assert_eq!(
+                bits(&a.matmul_transpose_b(&bt)),
+                base.1,
+                "matmul_transpose_b {mode:?}"
+            );
+            assert_eq!(
+                bits(&a.transpose_a_matmul(&c)),
+                base.2,
+                "transpose_a_matmul {mode:?}"
+            );
+            assert_eq!(a.col_abs_sums(), base.3, "col_abs_sums {mode:?}");
+        }
+        set_kernel_mode(None);
     }
 
     #[test]

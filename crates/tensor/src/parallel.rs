@@ -19,10 +19,12 @@
 //!
 //! The module also keeps global counters (invocations, tasks, busy
 //! nanoseconds) that the telemetry layer snapshots around spans to report
-//! per-stage parallelism, and the `DEEPT_KERNEL=naive` escape hatch that
-//! routes matrix products and the zonotope dot-product transformer to
-//! their reference implementations (used by the differential tests and
-//! the before/after benches).
+//! per-stage parallelism, and the `DEEPT_KERNEL={naive,blocked,simd}`
+//! ladder ([`KernelMode`]) that routes matrix products and the zonotope
+//! dot-product transformer between their reference, cache-blocked, and
+//! SIMD implementations (used by the differential tests and the
+//! before/after benches). All three rungs produce bitwise-identical `f64`
+//! results; `naive` is single-threaded, the other two are parallel.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -62,27 +64,87 @@ pub fn set_thread_override(n: Option<usize>) {
     THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
 }
 
-static FORCE_NAIVE_ENV: OnceLock<bool> = OnceLock::new();
-/// 0 = follow the environment, 1 = forced naive, 2 = forced optimized.
-static FORCE_NAIVE: AtomicUsize = AtomicUsize::new(0);
+/// Which implementation family the matrix kernels and the zonotope
+/// dot-product transformer run.
+///
+/// The three rungs of the dispatch ladder are bitwise-compatible in `f64`:
+/// `Blocked` pins the exact per-element accumulation order of `Naive`, and
+/// `Simd` maps that order 1:1 onto vector lanes (no FMA, no reassociation),
+/// so switching modes never changes a single output bit — only throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Single-threaded reference loops (the differential-test oracle).
+    Naive,
+    /// Cache-blocked, thread-parallel scalar kernels.
+    Blocked,
+    /// Blocked kernels with runtime-dispatched SIMD inner loops
+    /// (AVX2 on x86_64, NEON on aarch64, scalar fallback elsewhere).
+    Simd,
+}
 
-/// Whether matrix kernels and the zonotope dot-product transformer should
-/// run their naive reference implementations (`DEEPT_KERNEL=naive` or
-/// [`set_force_naive`]). The optimized paths check this once per call.
-pub fn force_naive() -> bool {
-    match FORCE_NAIVE.load(Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => *FORCE_NAIVE_ENV
-            .get_or_init(|| std::env::var("DEEPT_KERNEL").is_ok_and(|v| v.trim() == "naive")),
+impl KernelMode {
+    /// Stable label used for metrics, trace metadata and reports; matches
+    /// the `DEEPT_KERNEL` spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Naive => "naive",
+            KernelMode::Blocked => "blocked",
+            KernelMode::Simd => "simd",
+        }
     }
 }
 
+static KERNEL_MODE_ENV: OnceLock<KernelMode> = OnceLock::new();
+/// 0 = follow the environment, 1 = naive, 2 = blocked, 3 = simd.
+static KERNEL_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// The kernel mode in effect: [`set_kernel_mode`] override first, else the
+/// `DEEPT_KERNEL` environment variable (`naive` / `blocked` / anything else
+/// or unset → `simd`, read once). The optimized paths check this once per
+/// call.
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        1 => KernelMode::Naive,
+        2 => KernelMode::Blocked,
+        3 => KernelMode::Simd,
+        _ => *KERNEL_MODE_ENV.get_or_init(|| {
+            match std::env::var("DEEPT_KERNEL").as_deref().map(str::trim) {
+                Ok("naive") => KernelMode::Naive,
+                Ok("blocked") => KernelMode::Blocked,
+                _ => KernelMode::Simd,
+            }
+        }),
+    }
+}
+
+/// Forces a kernel mode in-process, overriding `DEEPT_KERNEL`; `None`
+/// restores the environment default. Used by the differential tests and
+/// benches to measure every rung of the ladder in one run.
+pub fn set_kernel_mode(mode: Option<KernelMode>) {
+    let v = match mode {
+        None => 0,
+        Some(KernelMode::Naive) => 1,
+        Some(KernelMode::Blocked) => 2,
+        Some(KernelMode::Simd) => 3,
+    };
+    KERNEL_MODE.store(v, Ordering::Relaxed);
+}
+
+/// Whether kernels should run their naive reference implementations.
+/// Equivalent to `kernel_mode() == KernelMode::Naive`.
+pub fn force_naive() -> bool {
+    kernel_mode() == KernelMode::Naive
+}
+
 /// Routes kernels to the naive reference path (`true`) or the optimized
-/// path (`false`) in-process, overriding `DEEPT_KERNEL`. Used by the
-/// differential benches to measure both paths in one run.
+/// path (`false`, i.e. [`KernelMode::Simd`], which is bitwise-identical to
+/// `Blocked`) in-process. Thin wrapper kept for the differential benches.
 pub fn set_force_naive(naive: bool) {
-    FORCE_NAIVE.store(if naive { 1 } else { 2 }, Ordering::Relaxed);
+    set_kernel_mode(Some(if naive {
+        KernelMode::Naive
+    } else {
+        KernelMode::Simd
+    }));
 }
 
 static INVOCATIONS: AtomicU64 = AtomicU64::new(0);
@@ -379,5 +441,16 @@ mod tests {
         assert!(force_naive());
         set_force_naive(false);
         assert!(!force_naive());
+        set_kernel_mode(None);
+    }
+
+    #[test]
+    fn kernel_mode_override_round_trips() {
+        let _g = test_lock();
+        for mode in [KernelMode::Naive, KernelMode::Blocked, KernelMode::Simd] {
+            set_kernel_mode(Some(mode));
+            assert_eq!(kernel_mode(), mode);
+        }
+        set_kernel_mode(None);
     }
 }

@@ -1,0 +1,1347 @@
+//! Runtime-dispatched SIMD inner kernels.
+//!
+//! Every function here comes in up to three flavours — AVX2 (x86_64), NEON
+//! (aarch64) and a portable scalar fallback — selected once per process by
+//! [`active_isa`] via `std::arch` feature detection. The cardinal rule is
+//! **bitwise identity with the blocked scalar kernels**: each vector lane
+//! replays exactly one scalar accumulator in exactly the scalar order, the
+//! lane fold mirrors the scalar fold, and FMA is never used (its single
+//! rounding would differ from the separate multiply-then-add the scalar
+//! code performs). Under that discipline `DEEPT_KERNEL=simd` is a pure
+//! throughput knob: same bits, fewer cycles.
+//!
+//! Two accumulation shapes appear:
+//!
+//! * **4-lane stripes** ([`dot`], [`l1_norm`], [`sumsq`]): lane `l` sums
+//!   elements `4i + l`, folded `(l0 + l1) + (l2 + l3) + tail` — the shape
+//!   [`crate::vector::dot`] has always pinned.
+//! * **Sequential single accumulators** ([`axpy`], [`abs_accumulate`],
+//!   [`dot4`]): each output element keeps one accumulator walked in
+//!   ascending `k`; vectorization only batches *independent* outputs.
+//!
+//! Dispatches are counted into the global metrics registry
+//! (`deept_simd_dispatch_total{isa=...}`) so `/metrics` and `--trace` can
+//! prove which ISA actually ran — a silent scalar fallback in CI would
+//! otherwise be invisible.
+
+use std::sync::OnceLock;
+
+/// Instruction set selected at runtime for the SIMD kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// x86_64 AVX2 (4×f64 lanes). FMA is deliberately not used even when
+    /// available — see the module docs.
+    Avx2,
+    /// aarch64 NEON (2×f64 lanes, paired to emulate the 4-lane shapes).
+    Neon,
+    /// Portable scalar loops, bitwise-identical to the vector paths.
+    Scalar,
+}
+
+impl Isa {
+    /// Stable label used for metrics and trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Isa::Avx2 => "avx2",
+            Isa::Neon => "neon",
+            Isa::Scalar => "scalar",
+        }
+    }
+}
+
+fn detect() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return Isa::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Isa::Neon;
+        }
+    }
+    Isa::Scalar
+}
+
+/// The ISA the SIMD kernels will use, detected once per process.
+pub fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(detect)
+}
+
+/// Records one SIMD-mode kernel dispatch under the active ISA label.
+///
+/// Called at coarse kernel entry points (a whole matmul, a whole ε-scan),
+/// never per element, so the counter costs nothing measurable.
+pub fn note_dispatch() {
+    static COUNTER: OnceLock<deept_metrics::Counter> = OnceLock::new();
+    COUNTER
+        .get_or_init(|| {
+            deept_metrics::global().counter_with(
+                "deept_simd_dispatch_total",
+                &[("isa", active_isa().label())],
+                "SIMD-mode kernel dispatches by runtime-detected ISA.",
+            )
+        })
+        .inc();
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference bodies. These ARE the semantics: every vector flavour
+// below must match them bitwise, and they double as the non-x86/ARM path.
+// ---------------------------------------------------------------------------
+
+fn dot_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let ca = a.chunks_exact(4);
+    let cb = b.chunks_exact(4);
+    let (ra, rb) = (ca.remainder(), cb.remainder());
+    let mut lanes = [0.0f64; 4];
+    for (xa, xb) in ca.zip(cb) {
+        lanes[0] += xa[0] * xb[0];
+        lanes[1] += xa[1] * xb[1];
+        lanes[2] += xa[2] * xb[2];
+        lanes[3] += xa[3] * xb[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in ra.iter().zip(rb) {
+        tail += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+fn axpy_scalar(dst: &mut [f64], a: f64, b: &[f64]) {
+    for (o, &x) in dst.iter_mut().zip(b) {
+        *o += a * x;
+    }
+}
+
+fn axpy4_scalar(dst: &mut [f64], a: [f64; 4], b: [&[f64]; 4]) {
+    // One pass, four chained mul-adds per element — bitwise identical to
+    // four sequential `axpy_scalar` passes (the per-element fold order is
+    // the same), but the destination is loaded and stored once.
+    for (j, o) in dst.iter_mut().enumerate() {
+        let mut acc = *o;
+        acc += a[0] * b[0][j];
+        acc += a[1] * b[1][j];
+        acc += a[2] * b[2][j];
+        acc += a[3] * b[3][j];
+        *o = acc;
+    }
+}
+
+fn wabs_axpy_scalar(dst: &mut [f64], w: f64, row: &[f64]) {
+    for (o, &x) in dst.iter_mut().zip(row) {
+        *o += w * x.abs();
+    }
+}
+
+fn wabs_axpy4_scalar(dst: &mut [f64], w: [f64; 4], rows: [&[f64]; 4]) {
+    for (j, o) in dst.iter_mut().enumerate() {
+        let mut acc = *o;
+        acc += w[0] * rows[0][j].abs();
+        acc += w[1] * rows[1][j].abs();
+        acc += w[2] * rows[2][j].abs();
+        acc += w[3] * rows[3][j].abs();
+        *o = acc;
+    }
+}
+
+fn dot4_scalar(a: &[f64], pack: &[f64]) -> [f64; 4] {
+    let mut acc = [0.0f64; 4];
+    for (k, &av) in a.iter().enumerate() {
+        let p = &pack[k * 4..k * 4 + 4];
+        acc[0] += av * p[0];
+        acc[1] += av * p[1];
+        acc[2] += av * p[2];
+        acc[3] += av * p[3];
+    }
+    acc
+}
+
+fn abs_accumulate_scalar(dst: &mut [f64], row: &[f64]) {
+    for (o, &x) in dst.iter_mut().zip(row) {
+        *o += x.abs();
+    }
+}
+
+fn wrows4_scalar(dst4: &mut [f64], m: usize, wq: &[f64], b: &[f64], kdim: usize) {
+    // Four output rows at stride `m`; element (l, j) accumulates
+    // `Σ_k wq[4k + l] * b[k*m + j]` in ascending `k` — the naive chain.
+    for l in 0..4 {
+        for j in 0..m {
+            let mut acc = dst4[l * m + j];
+            for k in 0..kdim {
+                acc += wq[k * 4 + l] * b[k * m + j];
+            }
+            dst4[l * m + j] = acc;
+        }
+    }
+}
+
+fn l1_rows4_scalar(acc: &mut [f64; 4], rows: [&[f64]; 4]) {
+    // Four independent per-row chains: lane `l` continues `acc[l]` over
+    // `rows[l]` in ascending column order — exactly the row-at-a-time
+    // scalar scan, four rows in flight.
+    for l in 0..4 {
+        let mut a = acc[l];
+        for &x in rows[l] {
+            a += x.abs();
+        }
+        acc[l] = a;
+    }
+}
+
+fn l1_norm_scalar(a: &[f64]) -> f64 {
+    let c = a.chunks_exact(4);
+    let r = c.remainder();
+    let mut lanes = [0.0f64; 4];
+    for x in c {
+        lanes[0] += x[0].abs();
+        lanes[1] += x[1].abs();
+        lanes[2] += x[2].abs();
+        lanes[3] += x[3].abs();
+    }
+    let mut tail = 0.0;
+    for &x in r {
+        tail += x.abs();
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+fn sumsq_scalar(a: &[f64]) -> f64 {
+    let c = a.chunks_exact(4);
+    let r = c.remainder();
+    let mut lanes = [0.0f64; 4];
+    for x in c {
+        lanes[0] += x[0] * x[0];
+        lanes[1] += x[1] * x[1];
+        lanes[2] += x[2] * x[2];
+        lanes[3] += x[3] * x[3];
+    }
+    let mut tail = 0.0;
+    for &x in r {
+        tail += x * x;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 (x86_64): 4×f64 ymm lanes map 1:1 onto the 4-lane stripes.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Folds a ymm of lane accumulators exactly like the scalar code:
+    /// `(l0 + l1) + (l2 + l3)`.
+    #[inline]
+    unsafe fn fold_lanes(acc: __m256d) -> f64 {
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let n4 = n - n % 4;
+        let mut acc = _mm256_setzero_pd();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            let va = _mm256_loadu_pd(pa.add(i));
+            let vb = _mm256_loadu_pd(pb.add(i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vb));
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            tail += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        fold_lanes(acc) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(dst: &mut [f64], a: f64, b: &[f64]) {
+        let n = dst.len().min(b.len());
+        let n4 = n - n % 4;
+        let va = _mm256_set1_pd(a);
+        let (pd, pb) = (dst.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            let vo = _mm256_loadu_pd(pd.add(i));
+            let vb = _mm256_loadu_pd(pb.add(i));
+            _mm256_storeu_pd(pd.add(i), _mm256_add_pd(vo, _mm256_mul_pd(va, vb)));
+            i += 4;
+        }
+        while i < n {
+            *pd.add(i) += a * *pb.add(i);
+            i += 1;
+        }
+    }
+
+    /// Four fused axpy passes: per element the four mul-adds round in the
+    /// same ascending order as four sequential [`axpy`] calls, but the
+    /// destination vector is loaded and stored once per quad.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy4(dst: &mut [f64], a: [f64; 4], b: [&[f64]; 4]) {
+        let n = dst.len();
+        let n4 = n - n % 4;
+        let va0 = _mm256_set1_pd(a[0]);
+        let va1 = _mm256_set1_pd(a[1]);
+        let va2 = _mm256_set1_pd(a[2]);
+        let va3 = _mm256_set1_pd(a[3]);
+        let pd = dst.as_mut_ptr();
+        let (p0, p1, p2, p3) = (b[0].as_ptr(), b[1].as_ptr(), b[2].as_ptr(), b[3].as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            let mut vo = _mm256_loadu_pd(pd.add(i));
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(va0, _mm256_loadu_pd(p0.add(i))));
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(va1, _mm256_loadu_pd(p1.add(i))));
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(va2, _mm256_loadu_pd(p2.add(i))));
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(va3, _mm256_loadu_pd(p3.add(i))));
+            _mm256_storeu_pd(pd.add(i), vo);
+            i += 4;
+        }
+        while i < n {
+            let mut acc = *pd.add(i);
+            acc += a[0] * *p0.add(i);
+            acc += a[1] * *p1.add(i);
+            acc += a[2] * *p2.add(i);
+            acc += a[3] * *p3.add(i);
+            *pd.add(i) = acc;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wabs_axpy(dst: &mut [f64], w: f64, row: &[f64]) {
+        let n = dst.len().min(row.len());
+        let n4 = n - n % 4;
+        let mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffffu64 as i64));
+        let vw = _mm256_set1_pd(w);
+        let (pd, pr) = (dst.as_mut_ptr(), row.as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            let vo = _mm256_loadu_pd(pd.add(i));
+            let vr = _mm256_and_pd(_mm256_loadu_pd(pr.add(i)), mask);
+            _mm256_storeu_pd(pd.add(i), _mm256_add_pd(vo, _mm256_mul_pd(vw, vr)));
+            i += 4;
+        }
+        while i < n {
+            *pd.add(i) += w * (*pr.add(i)).abs();
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wabs_axpy4(dst: &mut [f64], w: [f64; 4], rows: [&[f64]; 4]) {
+        let n = dst.len();
+        let n4 = n - n % 4;
+        let mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffffu64 as i64));
+        let vw0 = _mm256_set1_pd(w[0]);
+        let vw1 = _mm256_set1_pd(w[1]);
+        let vw2 = _mm256_set1_pd(w[2]);
+        let vw3 = _mm256_set1_pd(w[3]);
+        let pd = dst.as_mut_ptr();
+        let (p0, p1, p2, p3) = (
+            rows[0].as_ptr(),
+            rows[1].as_ptr(),
+            rows[2].as_ptr(),
+            rows[3].as_ptr(),
+        );
+        let mut i = 0;
+        while i < n4 {
+            let mut vo = _mm256_loadu_pd(pd.add(i));
+            let r0 = _mm256_and_pd(_mm256_loadu_pd(p0.add(i)), mask);
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(vw0, r0));
+            let r1 = _mm256_and_pd(_mm256_loadu_pd(p1.add(i)), mask);
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(vw1, r1));
+            let r2 = _mm256_and_pd(_mm256_loadu_pd(p2.add(i)), mask);
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(vw2, r2));
+            let r3 = _mm256_and_pd(_mm256_loadu_pd(p3.add(i)), mask);
+            vo = _mm256_add_pd(vo, _mm256_mul_pd(vw3, r3));
+            _mm256_storeu_pd(pd.add(i), vo);
+            i += 4;
+        }
+        while i < n {
+            let mut acc = *pd.add(i);
+            acc += w[0] * (*p0.add(i)).abs();
+            acc += w[1] * (*p1.add(i)).abs();
+            acc += w[2] * (*p2.add(i)).abs();
+            acc += w[3] * (*p3.add(i)).abs();
+            *pd.add(i) = acc;
+            i += 1;
+        }
+    }
+
+    /// Four sequential-accumulator dot products at once: lane `l` of the
+    /// accumulator replays the scalar `acc += a[k] * pack[4k + l]` chain.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot4(a: &[f64], pack: &[f64]) -> [f64; 4] {
+        debug_assert!(pack.len() >= a.len() * 4);
+        let mut acc = _mm256_setzero_pd();
+        let pp = pack.as_ptr();
+        for (k, &av) in a.iter().enumerate() {
+            let va = _mm256_set1_pd(av);
+            let vp = _mm256_loadu_pd(pp.add(k * 4));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(va, vp));
+        }
+        let mut out = [0.0f64; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), acc);
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn abs_accumulate(dst: &mut [f64], row: &[f64]) {
+        let n = dst.len().min(row.len());
+        let n4 = n - n % 4;
+        // Clearing the sign bit is exactly `f64::abs` for every input,
+        // including -0.0 and NaN payloads.
+        let mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffffu64 as i64));
+        let (pd, pr) = (dst.as_mut_ptr(), row.as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            let vo = _mm256_loadu_pd(pd.add(i));
+            let vr = _mm256_and_pd(_mm256_loadu_pd(pr.add(i)), mask);
+            _mm256_storeu_pd(pd.add(i), _mm256_add_pd(vo, vr));
+            i += 4;
+        }
+        while i < n {
+            *pd.add(i) += (*pr.add(i)).abs();
+            i += 1;
+        }
+    }
+
+    /// Register-tiled weighted-row accumulation: four output rows (stride
+    /// `m`) advance over all `kdim` source rows with a 4×8 tile of
+    /// accumulators held in ymm registers, so each output element is
+    /// loaded and stored once per call instead of once per source row.
+    /// Element (l, j) rounds `Σ_k wq[4k+l] * b[k*m+j]` in ascending `k` —
+    /// bitwise the naive chain. The caller guarantees every weight is
+    /// nonzero (the zero-skip fallback stays on the axpy path).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn wrows4(dst4: &mut [f64], m: usize, wq: &[f64], b: &[f64], kdim: usize) {
+        debug_assert!(dst4.len() >= 3 * m + m);
+        debug_assert!(wq.len() >= kdim * 4);
+        debug_assert!(b.len() >= kdim * m);
+        let j8 = m - m % 8;
+        let pd = dst4.as_mut_ptr();
+        let pb = b.as_ptr();
+        let pw = wq.as_ptr();
+        let mut j = 0;
+        while j < j8 {
+            let mut a00 = _mm256_loadu_pd(pd.add(j));
+            let mut a01 = _mm256_loadu_pd(pd.add(j + 4));
+            let mut a10 = _mm256_loadu_pd(pd.add(m + j));
+            let mut a11 = _mm256_loadu_pd(pd.add(m + j + 4));
+            let mut a20 = _mm256_loadu_pd(pd.add(2 * m + j));
+            let mut a21 = _mm256_loadu_pd(pd.add(2 * m + j + 4));
+            let mut a30 = _mm256_loadu_pd(pd.add(3 * m + j));
+            let mut a31 = _mm256_loadu_pd(pd.add(3 * m + j + 4));
+            for k in 0..kdim {
+                let b0 = _mm256_loadu_pd(pb.add(k * m + j));
+                let b1 = _mm256_loadu_pd(pb.add(k * m + j + 4));
+                let w0 = _mm256_set1_pd(*pw.add(k * 4));
+                a00 = _mm256_add_pd(a00, _mm256_mul_pd(w0, b0));
+                a01 = _mm256_add_pd(a01, _mm256_mul_pd(w0, b1));
+                let w1 = _mm256_set1_pd(*pw.add(k * 4 + 1));
+                a10 = _mm256_add_pd(a10, _mm256_mul_pd(w1, b0));
+                a11 = _mm256_add_pd(a11, _mm256_mul_pd(w1, b1));
+                let w2 = _mm256_set1_pd(*pw.add(k * 4 + 2));
+                a20 = _mm256_add_pd(a20, _mm256_mul_pd(w2, b0));
+                a21 = _mm256_add_pd(a21, _mm256_mul_pd(w2, b1));
+                let w3 = _mm256_set1_pd(*pw.add(k * 4 + 3));
+                a30 = _mm256_add_pd(a30, _mm256_mul_pd(w3, b0));
+                a31 = _mm256_add_pd(a31, _mm256_mul_pd(w3, b1));
+            }
+            _mm256_storeu_pd(pd.add(j), a00);
+            _mm256_storeu_pd(pd.add(j + 4), a01);
+            _mm256_storeu_pd(pd.add(m + j), a10);
+            _mm256_storeu_pd(pd.add(m + j + 4), a11);
+            _mm256_storeu_pd(pd.add(2 * m + j), a20);
+            _mm256_storeu_pd(pd.add(2 * m + j + 4), a21);
+            _mm256_storeu_pd(pd.add(3 * m + j), a30);
+            _mm256_storeu_pd(pd.add(3 * m + j + 4), a31);
+            j += 8;
+        }
+        for l in 0..4 {
+            for jj in j8..m {
+                let mut acc = *pd.add(l * m + jj);
+                for k in 0..kdim {
+                    acc += *pw.add(k * 4 + l) * *pb.add(k * m + jj);
+                }
+                *pd.add(l * m + jj) = acc;
+            }
+        }
+    }
+
+    /// Four independent row ℓ1 chains in lockstep: lane `l` continues
+    /// `acc[l]` over `rows[l]` in ascending column order — bitwise the
+    /// row-at-a-time scalar scan. 4×4 tiles are loaded row-wise and
+    /// transposed in registers, so the latency-bound scalar chain becomes
+    /// one vector add per four columns.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l1_rows4(acc: &mut [f64; 4], rows: [&[f64]; 4]) {
+        let n = rows[0].len();
+        debug_assert!(rows.iter().all(|r| r.len() == n));
+        let n4 = n - n % 4;
+        let mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffffu64 as i64));
+        let mut va = _mm256_loadu_pd(acc.as_ptr());
+        let (p0, p1, p2, p3) = (
+            rows[0].as_ptr(),
+            rows[1].as_ptr(),
+            rows[2].as_ptr(),
+            rows[3].as_ptr(),
+        );
+        let mut j = 0;
+        while j < n4 {
+            let r0 = _mm256_loadu_pd(p0.add(j));
+            let r1 = _mm256_loadu_pd(p1.add(j));
+            let r2 = _mm256_loadu_pd(p2.add(j));
+            let r3 = _mm256_loadu_pd(p3.add(j));
+            // 4×4 transpose: cols[c][l] = rows[l][j + c].
+            let t0 = _mm256_shuffle_pd(r0, r1, 0x0);
+            let t1 = _mm256_shuffle_pd(r0, r1, 0xF);
+            let t2 = _mm256_shuffle_pd(r2, r3, 0x0);
+            let t3 = _mm256_shuffle_pd(r2, r3, 0xF);
+            let c0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+            let c1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+            let c2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+            let c3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+            // Ascending-column adds keep each lane's chain order.
+            va = _mm256_add_pd(va, _mm256_and_pd(c0, mask));
+            va = _mm256_add_pd(va, _mm256_and_pd(c1, mask));
+            va = _mm256_add_pd(va, _mm256_and_pd(c2, mask));
+            va = _mm256_add_pd(va, _mm256_and_pd(c3, mask));
+            j += 4;
+        }
+        _mm256_storeu_pd(acc.as_mut_ptr(), va);
+        while j < n {
+            acc[0] += (*p0.add(j)).abs();
+            acc[1] += (*p1.add(j)).abs();
+            acc[2] += (*p2.add(j)).abs();
+            acc[3] += (*p3.add(j)).abs();
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn l1_norm(a: &[f64]) -> f64 {
+        let n = a.len();
+        let n4 = n - n % 4;
+        let mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffffu64 as i64));
+        let mut acc = _mm256_setzero_pd();
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < n4 {
+            acc = _mm256_add_pd(acc, _mm256_and_pd(_mm256_loadu_pd(pa.add(i)), mask));
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            tail += (*pa.add(i)).abs();
+            i += 1;
+        }
+        fold_lanes(acc) + tail
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sumsq(a: &[f64]) -> f64 {
+        let n = a.len();
+        let n4 = n - n % 4;
+        let mut acc = _mm256_setzero_pd();
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < n4 {
+            let va = _mm256_loadu_pd(pa.add(i));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(va, va));
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            let x = *pa.add(i);
+            tail += x * x;
+            i += 1;
+        }
+        fold_lanes(acc) + tail
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64): 2×f64 lanes, paired to reproduce the 4-lane stripes —
+// accumulator pair (q0, q1) holds scalar lanes (0,1) and (2,3).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot(a: &[f64], b: &[f64]) -> f64 {
+        let n = a.len().min(b.len());
+        let n4 = n - n % 4;
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < n4 {
+            acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(pa.add(i)), vld1q_f64(pb.add(i))));
+            acc23 = vaddq_f64(
+                acc23,
+                vmulq_f64(vld1q_f64(pa.add(i + 2)), vld1q_f64(pb.add(i + 2))),
+            );
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            tail += *pa.add(i) * *pb.add(i);
+            i += 1;
+        }
+        (vgetq_lane_f64::<0>(acc01) + vgetq_lane_f64::<1>(acc01))
+            + (vgetq_lane_f64::<0>(acc23) + vgetq_lane_f64::<1>(acc23))
+            + tail
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(dst: &mut [f64], a: f64, b: &[f64]) {
+        let n = dst.len().min(b.len());
+        let n2 = n - n % 2;
+        let va = vdupq_n_f64(a);
+        let (pd, pb) = (dst.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i < n2 {
+            let vo = vld1q_f64(pd.add(i));
+            let vb = vld1q_f64(pb.add(i));
+            vst1q_f64(pd.add(i), vaddq_f64(vo, vmulq_f64(va, vb)));
+            i += 2;
+        }
+        while i < n {
+            *pd.add(i) += a * *pb.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy4(dst: &mut [f64], a: [f64; 4], b: [&[f64]; 4]) {
+        let n = dst.len();
+        let n2 = n - n % 2;
+        let va0 = vdupq_n_f64(a[0]);
+        let va1 = vdupq_n_f64(a[1]);
+        let va2 = vdupq_n_f64(a[2]);
+        let va3 = vdupq_n_f64(a[3]);
+        let pd = dst.as_mut_ptr();
+        let (p0, p1, p2, p3) = (b[0].as_ptr(), b[1].as_ptr(), b[2].as_ptr(), b[3].as_ptr());
+        let mut i = 0;
+        while i < n2 {
+            let mut vo = vld1q_f64(pd.add(i));
+            vo = vaddq_f64(vo, vmulq_f64(va0, vld1q_f64(p0.add(i))));
+            vo = vaddq_f64(vo, vmulq_f64(va1, vld1q_f64(p1.add(i))));
+            vo = vaddq_f64(vo, vmulq_f64(va2, vld1q_f64(p2.add(i))));
+            vo = vaddq_f64(vo, vmulq_f64(va3, vld1q_f64(p3.add(i))));
+            vst1q_f64(pd.add(i), vo);
+            i += 2;
+        }
+        while i < n {
+            let mut acc = *pd.add(i);
+            acc += a[0] * *p0.add(i);
+            acc += a[1] * *p1.add(i);
+            acc += a[2] * *p2.add(i);
+            acc += a[3] * *p3.add(i);
+            *pd.add(i) = acc;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn wabs_axpy(dst: &mut [f64], w: f64, row: &[f64]) {
+        let n = dst.len().min(row.len());
+        let n2 = n - n % 2;
+        let vw = vdupq_n_f64(w);
+        let (pd, pr) = (dst.as_mut_ptr(), row.as_ptr());
+        let mut i = 0;
+        while i < n2 {
+            let vo = vld1q_f64(pd.add(i));
+            let vr = vabsq_f64(vld1q_f64(pr.add(i)));
+            vst1q_f64(pd.add(i), vaddq_f64(vo, vmulq_f64(vw, vr)));
+            i += 2;
+        }
+        while i < n {
+            *pd.add(i) += w * (*pr.add(i)).abs();
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn wabs_axpy4(dst: &mut [f64], w: [f64; 4], rows: [&[f64]; 4]) {
+        let n = dst.len();
+        let n2 = n - n % 2;
+        let vw0 = vdupq_n_f64(w[0]);
+        let vw1 = vdupq_n_f64(w[1]);
+        let vw2 = vdupq_n_f64(w[2]);
+        let vw3 = vdupq_n_f64(w[3]);
+        let pd = dst.as_mut_ptr();
+        let (p0, p1, p2, p3) = (
+            rows[0].as_ptr(),
+            rows[1].as_ptr(),
+            rows[2].as_ptr(),
+            rows[3].as_ptr(),
+        );
+        let mut i = 0;
+        while i < n2 {
+            let mut vo = vld1q_f64(pd.add(i));
+            vo = vaddq_f64(vo, vmulq_f64(vw0, vabsq_f64(vld1q_f64(p0.add(i)))));
+            vo = vaddq_f64(vo, vmulq_f64(vw1, vabsq_f64(vld1q_f64(p1.add(i)))));
+            vo = vaddq_f64(vo, vmulq_f64(vw2, vabsq_f64(vld1q_f64(p2.add(i)))));
+            vo = vaddq_f64(vo, vmulq_f64(vw3, vabsq_f64(vld1q_f64(p3.add(i)))));
+            vst1q_f64(pd.add(i), vo);
+            i += 2;
+        }
+        while i < n {
+            let mut acc = *pd.add(i);
+            acc += w[0] * (*p0.add(i)).abs();
+            acc += w[1] * (*p1.add(i)).abs();
+            acc += w[2] * (*p2.add(i)).abs();
+            acc += w[3] * (*p3.add(i)).abs();
+            *pd.add(i) = acc;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot4(a: &[f64], pack: &[f64]) -> [f64; 4] {
+        debug_assert!(pack.len() >= a.len() * 4);
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let pp = pack.as_ptr();
+        for (k, &av) in a.iter().enumerate() {
+            let va = vdupq_n_f64(av);
+            acc01 = vaddq_f64(acc01, vmulq_f64(va, vld1q_f64(pp.add(k * 4))));
+            acc23 = vaddq_f64(acc23, vmulq_f64(va, vld1q_f64(pp.add(k * 4 + 2))));
+        }
+        [
+            vgetq_lane_f64::<0>(acc01),
+            vgetq_lane_f64::<1>(acc01),
+            vgetq_lane_f64::<0>(acc23),
+            vgetq_lane_f64::<1>(acc23),
+        ]
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn abs_accumulate(dst: &mut [f64], row: &[f64]) {
+        let n = dst.len().min(row.len());
+        let n2 = n - n % 2;
+        let (pd, pr) = (dst.as_mut_ptr(), row.as_ptr());
+        let mut i = 0;
+        while i < n2 {
+            let vo = vld1q_f64(pd.add(i));
+            vst1q_f64(pd.add(i), vaddq_f64(vo, vabsq_f64(vld1q_f64(pr.add(i)))));
+            i += 2;
+        }
+        while i < n {
+            *pd.add(i) += (*pr.add(i)).abs();
+            i += 1;
+        }
+    }
+
+    /// Register-tiled weighted-row accumulation (see the AVX2 flavour):
+    /// a 4×8 tile of accumulators in q registers, ascending-`k` chains.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn wrows4(dst4: &mut [f64], m: usize, wq: &[f64], b: &[f64], kdim: usize) {
+        debug_assert!(dst4.len() >= 3 * m + m);
+        debug_assert!(wq.len() >= kdim * 4);
+        debug_assert!(b.len() >= kdim * m);
+        let j8 = m - m % 8;
+        let pd = dst4.as_mut_ptr();
+        let pb = b.as_ptr();
+        let pw = wq.as_ptr();
+        let mut j = 0;
+        while j < j8 {
+            let mut acc = [[vdupq_n_f64(0.0); 4]; 4];
+            for (l, row) in acc.iter_mut().enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = vld1q_f64(pd.add(l * m + j + 2 * c));
+                }
+            }
+            for k in 0..kdim {
+                let bv = [
+                    vld1q_f64(pb.add(k * m + j)),
+                    vld1q_f64(pb.add(k * m + j + 2)),
+                    vld1q_f64(pb.add(k * m + j + 4)),
+                    vld1q_f64(pb.add(k * m + j + 6)),
+                ];
+                for (l, row) in acc.iter_mut().enumerate() {
+                    let w = vdupq_n_f64(*pw.add(k * 4 + l));
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = vaddq_f64(*v, vmulq_f64(w, bv[c]));
+                    }
+                }
+            }
+            for (l, row) in acc.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    vst1q_f64(pd.add(l * m + j + 2 * c), *v);
+                }
+            }
+            j += 8;
+        }
+        for l in 0..4 {
+            for jj in j8..m {
+                let mut acc = *pd.add(l * m + jj);
+                for k in 0..kdim {
+                    acc += *pw.add(k * 4 + l) * *pb.add(k * m + jj);
+                }
+                *pd.add(l * m + jj) = acc;
+            }
+        }
+    }
+
+    /// Four independent row ℓ1 chains in lockstep over 2-lane pairs:
+    /// pair (q0, q1) carries rows (0,1) and (2,3); `vtrn` swaps 2×2 tiles
+    /// into column vectors so each lane continues its own scalar chain.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn l1_rows4(acc: &mut [f64; 4], rows: [&[f64]; 4]) {
+        let n = rows[0].len();
+        debug_assert!(rows.iter().all(|r| r.len() == n));
+        let n2 = n - n % 2;
+        let mut a01 = vld1q_f64(acc.as_ptr());
+        let mut a23 = vld1q_f64(acc.as_ptr().add(2));
+        let (p0, p1, p2, p3) = (
+            rows[0].as_ptr(),
+            rows[1].as_ptr(),
+            rows[2].as_ptr(),
+            rows[3].as_ptr(),
+        );
+        let mut j = 0;
+        while j < n2 {
+            let r0 = vld1q_f64(p0.add(j));
+            let r1 = vld1q_f64(p1.add(j));
+            a01 = vaddq_f64(a01, vabsq_f64(vtrn1q_f64(r0, r1)));
+            a01 = vaddq_f64(a01, vabsq_f64(vtrn2q_f64(r0, r1)));
+            let r2 = vld1q_f64(p2.add(j));
+            let r3 = vld1q_f64(p3.add(j));
+            a23 = vaddq_f64(a23, vabsq_f64(vtrn1q_f64(r2, r3)));
+            a23 = vaddq_f64(a23, vabsq_f64(vtrn2q_f64(r2, r3)));
+            j += 2;
+        }
+        vst1q_f64(acc.as_mut_ptr(), a01);
+        vst1q_f64(acc.as_mut_ptr().add(2), a23);
+        while j < n {
+            acc[0] += (*p0.add(j)).abs();
+            acc[1] += (*p1.add(j)).abs();
+            acc[2] += (*p2.add(j)).abs();
+            acc[3] += (*p3.add(j)).abs();
+            j += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn l1_norm(a: &[f64]) -> f64 {
+        let n = a.len();
+        let n4 = n - n % 4;
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < n4 {
+            acc01 = vaddq_f64(acc01, vabsq_f64(vld1q_f64(pa.add(i))));
+            acc23 = vaddq_f64(acc23, vabsq_f64(vld1q_f64(pa.add(i + 2))));
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            tail += (*pa.add(i)).abs();
+            i += 1;
+        }
+        (vgetq_lane_f64::<0>(acc01) + vgetq_lane_f64::<1>(acc01))
+            + (vgetq_lane_f64::<0>(acc23) + vgetq_lane_f64::<1>(acc23))
+            + tail
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sumsq(a: &[f64]) -> f64 {
+        let n = a.len();
+        let n4 = n - n % 4;
+        let mut acc01 = vdupq_n_f64(0.0);
+        let mut acc23 = vdupq_n_f64(0.0);
+        let pa = a.as_ptr();
+        let mut i = 0;
+        while i < n4 {
+            let v01 = vld1q_f64(pa.add(i));
+            let v23 = vld1q_f64(pa.add(i + 2));
+            acc01 = vaddq_f64(acc01, vmulq_f64(v01, v01));
+            acc23 = vaddq_f64(acc23, vmulq_f64(v23, v23));
+            i += 4;
+        }
+        let mut tail = 0.0;
+        while i < n {
+            let x = *pa.add(i);
+            tail += x * x;
+            i += 1;
+        }
+        (vgetq_lane_f64::<0>(acc01) + vgetq_lane_f64::<1>(acc01))
+            + (vgetq_lane_f64::<0>(acc23) + vgetq_lane_f64::<1>(acc23))
+            + tail
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public dispatchers. Safety: the `unsafe` targets are only reached after
+// `active_isa()` has positively detected the matching CPU feature.
+// ---------------------------------------------------------------------------
+
+/// Below this length the vector setup plus the horizontal lane fold costs
+/// more than it saves, so the reduction-style dispatchers take the scalar
+/// stripe body directly. Safe by construction: the scalar body *is* the
+/// pinned semantics, so the cutoff never changes a bit of output.
+const SHORT_REDUCTION: usize = 16;
+
+/// Dot product with the pinned 4-lane stripe fold of [`crate::vector::dot`].
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < SHORT_REDUCTION {
+        return dot_scalar(a, b);
+    }
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::dot(a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::dot(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// `dst[j] += a * b[j]` — one independent sequential accumulator per `j`.
+#[inline]
+pub fn axpy(dst: &mut [f64], a: f64, b: &[f64]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::axpy(dst, a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::axpy(dst, a, b) },
+        _ => axpy_scalar(dst, a, b),
+    }
+}
+
+/// Four [`axpy`] passes fused into one sweep of `dst`: per element the four
+/// mul-adds round in the same ascending order as the sequential passes
+/// (bitwise identical), but `dst` is loaded and stored once per quad
+/// instead of four times — the register-blocked form of the `k`-ascending
+/// accumulation the scalar kernels pin.
+#[inline]
+pub fn axpy4(dst: &mut [f64], a: [f64; 4], b: [&[f64]; 4]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::axpy4(dst, a, b) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::axpy4(dst, a, b) },
+        _ => axpy4_scalar(dst, a, b),
+    }
+}
+
+/// `dst[j] += w * |row[j]|` — the Eq. 5 weighted-abs accumulation.
+#[inline]
+pub fn wabs_axpy(dst: &mut [f64], w: f64, row: &[f64]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::wabs_axpy(dst, w, row) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::wabs_axpy(dst, w, row) },
+        _ => wabs_axpy_scalar(dst, w, row),
+    }
+}
+
+/// Four [`wabs_axpy`] passes fused into one sweep of `dst`, same bitwise
+/// guarantee as [`axpy4`].
+#[inline]
+pub fn wabs_axpy4(dst: &mut [f64], w: [f64; 4], rows: [&[f64]; 4]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::wabs_axpy4(dst, w, rows) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::wabs_axpy4(dst, w, rows) },
+        _ => wabs_axpy4_scalar(dst, w, rows),
+    }
+}
+
+/// Four sequential-accumulator dot products against an interleaved panel:
+/// `out[l] = Σ_k a[k] * pack[4k + l]`, each lane in ascending `k` from a
+/// zero accumulator — bitwise the scalar `acc += a * b` loop, four at once.
+#[inline]
+pub fn dot4(a: &[f64], pack: &[f64]) -> [f64; 4] {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::dot4(a, pack) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::dot4(a, pack) },
+        _ => dot4_scalar(a, pack),
+    }
+}
+
+/// `dst[j] += |row[j]|` — the column-abs-sum inner sweep.
+#[inline]
+pub fn abs_accumulate(dst: &mut [f64], row: &[f64]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::abs_accumulate(dst, row) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::abs_accumulate(dst, row) },
+        _ => abs_accumulate_scalar(dst, row),
+    }
+}
+
+/// Register-tiled accumulation of four output rows against a dense row
+/// panel: `dst4` holds four consecutive rows at stride `m`, and element
+/// `(l, j)` accumulates `Σ_k wq[4k + l] * b[k*m + j]` in ascending `k` —
+/// bitwise the naive per-element chain, but with a 4×8 output tile pinned
+/// in registers so each output element is touched once per call rather
+/// than once per source row. Callers must pre-check that every weight in
+/// `wq` is nonzero (zero weights take the skip-preserving axpy path).
+#[inline]
+pub fn wrows4(dst4: &mut [f64], m: usize, wq: &[f64], b: &[f64], kdim: usize) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::wrows4(dst4, m, wq, b, kdim) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::wrows4(dst4, m, wq, b, kdim) },
+        _ => wrows4_scalar(dst4, m, wq, b, kdim),
+    }
+}
+
+/// Continues four independent per-row ℓ1 chains in lockstep: lane `l`
+/// extends `acc[l]` over `rows[l]` in ascending column order, bitwise the
+/// row-at-a-time scalar scan. All four rows must share one length. The
+/// win over four [`l1_norm`]-style scans: each scalar chain is
+/// latency-bound (one dependent add per element), while the lockstep form
+/// retires four chains per vector add.
+#[inline]
+pub fn l1_rows4(acc: &mut [f64; 4], rows: [&[f64]; 4]) {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::l1_rows4(acc, rows) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::l1_rows4(acc, rows) },
+        _ => l1_rows4_scalar(acc, rows),
+    }
+}
+
+/// ℓ1 norm with the 4-lane stripe fold.
+#[inline]
+pub fn l1_norm(a: &[f64]) -> f64 {
+    if a.len() < SHORT_REDUCTION {
+        return l1_norm_scalar(a);
+    }
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::l1_norm(a) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::l1_norm(a) },
+        _ => l1_norm_scalar(a),
+    }
+}
+
+/// Sum of squares with the 4-lane stripe fold (ℓ2 norm = `sumsq(..).sqrt()`).
+#[inline]
+pub fn sumsq(a: &[f64]) -> f64 {
+    if a.len() < SHORT_REDUCTION {
+        return sumsq_scalar(a);
+    }
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => unsafe { avx2::sumsq(a) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => unsafe { neon::sumsq(a) },
+        _ => sumsq_scalar(a),
+    }
+}
+
+/// Batches ascending-order `(weight, row)` axpy contributions into fused
+/// [`axpy4`] quads, flushing stragglers through single [`axpy`] calls.
+/// Contributions apply in push order, so the per-element accumulation is
+/// bitwise that of sequential single-row passes. Every pushed row must be
+/// at least as long as the destination.
+pub struct AxpyBatch<'a> {
+    w: [f64; 4],
+    rows: [&'a [f64]; 4],
+    len: usize,
+}
+
+impl<'a> AxpyBatch<'a> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        AxpyBatch {
+            w: [0.0; 4],
+            rows: [&[]; 4],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, dst: &mut [f64], w: f64, row: &'a [f64]) {
+        debug_assert!(row.len() >= dst.len());
+        self.w[self.len] = w;
+        self.rows[self.len] = row;
+        self.len += 1;
+        if self.len == 4 {
+            axpy4(dst, self.w, self.rows);
+            self.len = 0;
+        }
+    }
+
+    #[inline]
+    pub fn flush(&mut self, dst: &mut [f64]) {
+        for l in 0..self.len {
+            axpy(dst, self.w[l], self.rows[l]);
+        }
+        self.len = 0;
+    }
+}
+
+/// [`AxpyBatch`] for the weighted-abs accumulation `dst += w * |row|`.
+pub struct WabsAxpyBatch<'a> {
+    w: [f64; 4],
+    rows: [&'a [f64]; 4],
+    len: usize,
+}
+
+impl<'a> WabsAxpyBatch<'a> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        WabsAxpyBatch {
+            w: [0.0; 4],
+            rows: [&[]; 4],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, dst: &mut [f64], w: f64, row: &'a [f64]) {
+        debug_assert!(row.len() >= dst.len());
+        self.w[self.len] = w;
+        self.rows[self.len] = row;
+        self.len += 1;
+        if self.len == 4 {
+            wabs_axpy4(dst, self.w, self.rows);
+            self.len = 0;
+        }
+    }
+
+    #[inline]
+    pub fn flush(&mut self, dst: &mut [f64]) {
+        for l in 0..self.len {
+            wabs_axpy(dst, self.w[l], self.rows[l]);
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_a(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.13 * (i as f64) - 3.1).collect()
+    }
+
+    fn vec_b(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 1.9 - 0.07 * (i as f64)).collect()
+    }
+
+    #[test]
+    fn active_isa_is_stable_and_labeled() {
+        let isa = active_isa();
+        assert_eq!(isa, active_isa());
+        assert!(["avx2", "neon", "scalar"].contains(&isa.label()));
+        // On the x86_64 CI hosts AVX2 must be picked up — a scalar result
+        // there means detection silently regressed.
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(isa, Isa::Avx2);
+        }
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference_bitwise() {
+        for n in [0, 1, 3, 4, 5, 8, 11, 64, 257] {
+            let (a, b) = (vec_a(n), vec_b(n));
+            assert_eq!(dot(&a, &b).to_bits(), dot_scalar(&a, &b).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_reference_bitwise() {
+        for n in [0, 1, 3, 4, 7, 33, 130] {
+            let b = vec_b(n);
+            for a in [0.7, -1.3, 1e-9] {
+                let mut d0 = vec_a(n);
+                let mut d1 = d0.clone();
+                axpy(&mut d0, a, &b);
+                axpy_scalar(&mut d1, a, &b);
+                let bits0: Vec<u64> = d0.iter().map(|x| x.to_bits()).collect();
+                let bits1: Vec<u64> = d1.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits0, bits1, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy4_matches_four_sequential_axpy_passes_bitwise() {
+        for n in [0, 1, 3, 4, 7, 33, 130] {
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| vec_b(n).iter().map(|x| x + r as f64 * 0.31).collect())
+                .collect();
+            let a = [0.7, -1.3, 1e-9, 2.5];
+            let mut fused = vec_a(n);
+            let mut seq = fused.clone();
+            axpy4(&mut fused, a, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+            for (r, &av) in rows.iter().zip(&a) {
+                axpy_scalar(&mut seq, av, r);
+            }
+            let bits0: Vec<u64> = fused.iter().map(|x| x.to_bits()).collect();
+            let bits1: Vec<u64> = seq.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits0, bits1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wabs_axpy_variants_match_sequential_scalar_bitwise() {
+        for n in [0, 1, 2, 5, 8, 29, 101] {
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| vec_a(n).iter().map(|x| -x + r as f64 * 0.17).collect())
+                .collect();
+            let w = [0.9, 1.7, -0.0, 3.2e-4];
+            // Single-row form.
+            let mut d0 = vec_b(n);
+            let mut d1 = d0.clone();
+            wabs_axpy(&mut d0, w[1], &rows[1]);
+            wabs_axpy_scalar(&mut d1, w[1], &rows[1]);
+            assert_eq!(d0, d1, "single n={n}");
+            // Fused quad vs four sequential passes.
+            let mut fused = vec_b(n);
+            let mut seq = fused.clone();
+            wabs_axpy4(&mut fused, w, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+            for (r, &wv) in rows.iter().zip(&w) {
+                wabs_axpy_scalar(&mut seq, wv, r);
+            }
+            let bits0: Vec<u64> = fused.iter().map(|x| x.to_bits()).collect();
+            let bits1: Vec<u64> = seq.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits0, bits1, "quad n={n}");
+        }
+    }
+
+    #[test]
+    fn dot4_matches_four_sequential_accumulators_bitwise() {
+        for n in [0, 1, 5, 32, 129] {
+            let a = vec_a(n);
+            let pack: Vec<f64> = (0..n * 4).map(|i| 0.21 * (i as f64) - 11.0).collect();
+            let got = dot4(&a, &pack);
+            let want = dot4_scalar(&a, &pack);
+            // Each lane must also equal a plain scalar `acc += a * b` loop.
+            for l in 0..4 {
+                let mut acc = 0.0;
+                for (k, &av) in a.iter().enumerate() {
+                    acc += av * pack[k * 4 + l];
+                }
+                assert_eq!(want[l].to_bits(), acc.to_bits(), "scalar lane {l} n={n}");
+                assert_eq!(got[l].to_bits(), acc.to_bits(), "simd lane {l} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn abs_accumulate_matches_scalar_reference_bitwise() {
+        for n in [0, 1, 2, 4, 9, 77] {
+            let row: Vec<f64> = vec_a(n).iter().map(|x| -x).collect();
+            let mut d0 = vec_b(n);
+            let mut d1 = d0.clone();
+            abs_accumulate(&mut d0, &row);
+            abs_accumulate_scalar(&mut d1, &row);
+            assert_eq!(d0, d1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wrows4_matches_naive_ascending_k_chains_bitwise() {
+        for (m, kdim) in [(1, 1), (5, 3), (8, 4), (13, 7), (40, 9), (67, 16)] {
+            let wq: Vec<f64> = (0..kdim * 4).map(|i| 0.17 * (i as f64) - 2.3).collect();
+            let b: Vec<f64> = (0..kdim * m).map(|i| 1.1 - 0.031 * (i as f64)).collect();
+            let mut got: Vec<f64> = (0..4 * m).map(|i| 0.01 * i as f64).collect();
+            let want = {
+                let mut w = got.clone();
+                for l in 0..4 {
+                    for j in 0..m {
+                        let mut acc = w[l * m + j];
+                        for k in 0..kdim {
+                            acc += wq[k * 4 + l] * b[k * m + j];
+                        }
+                        w[l * m + j] = acc;
+                    }
+                }
+                w
+            };
+            wrows4(&mut got, m, &wq, &b, kdim);
+            let bits0: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            let bits1: Vec<u64> = want.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits0, bits1, "m={m} kdim={kdim}");
+        }
+    }
+
+    #[test]
+    fn l1_rows4_continues_per_row_chains_bitwise() {
+        for n in [0, 1, 2, 3, 4, 5, 8, 13, 64, 251] {
+            let rows: Vec<Vec<f64>> = (0..4)
+                .map(|r| {
+                    (0..n)
+                        .map(|i| 0.23 * (i as f64) - 7.0 + r as f64 * 1.3)
+                        .collect()
+                })
+                .collect();
+            let start = [0.5, -2.0, 0.0, 1e300];
+            let mut got = start;
+            l1_rows4(&mut got, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+            for l in 0..4 {
+                // The pinned semantics: a plain sequential chain per row.
+                let mut want = start[l];
+                for &x in &rows[l] {
+                    want += x.abs();
+                }
+                assert_eq!(got[l].to_bits(), want.to_bits(), "lane {l} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn norms_match_scalar_reference_bitwise() {
+        for n in [0, 1, 3, 4, 6, 40, 255] {
+            let a = vec_a(n);
+            assert_eq!(
+                l1_norm(&a).to_bits(),
+                l1_norm_scalar(&a).to_bits(),
+                "l1 n={n}"
+            );
+            assert_eq!(sumsq(&a).to_bits(), sumsq_scalar(&a).to_bits(), "sq n={n}");
+        }
+    }
+
+    #[test]
+    fn note_dispatch_counts_under_isa_label() {
+        deept_metrics::set_enabled(Some(true));
+        note_dispatch();
+        note_dispatch();
+        deept_metrics::set_enabled(None);
+        let snap = deept_metrics::global().snapshot();
+        let sample = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "deept_simd_dispatch_total")
+            .expect("dispatch counter registered");
+        assert_eq!(
+            sample.labels,
+            vec![("isa".to_string(), active_isa().label().to_string())]
+        );
+        assert!(sample.value >= 2);
+    }
+}

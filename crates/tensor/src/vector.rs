@@ -16,6 +16,9 @@
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
+    if crate::parallel::kernel_mode() == crate::parallel::KernelMode::Simd {
+        return crate::simd::dot(a, b);
+    }
     let ca = a.chunks_exact(4);
     let cb = b.chunks_exact(4);
     let (ra, rb) = (ca.remainder(), cb.remainder());
@@ -34,13 +37,50 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// ℓ1 norm (sum of absolute values).
+///
+/// Accumulated in the same four-lane stripes as [`dot`] (lane `l` sums
+/// elements `4i + l`, folded `(l0 + l1) + (l2 + l3) + tail`) so the scalar
+/// and SIMD kernel modes agree bitwise at every length.
 pub fn l1_norm(a: &[f64]) -> f64 {
-    a.iter().map(|x| x.abs()).sum()
+    if crate::parallel::kernel_mode() == crate::parallel::KernelMode::Simd {
+        return crate::simd::l1_norm(a);
+    }
+    let c = a.chunks_exact(4);
+    let r = c.remainder();
+    let mut lanes = [0.0f64; 4];
+    for x in c {
+        lanes[0] += x[0].abs();
+        lanes[1] += x[1].abs();
+        lanes[2] += x[2].abs();
+        lanes[3] += x[3].abs();
+    }
+    let mut tail = 0.0;
+    for &x in r {
+        tail += x.abs();
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
-/// ℓ2 (Euclidean) norm.
+/// ℓ2 (Euclidean) norm, with the same four-lane stripe accumulation as
+/// [`l1_norm`].
 pub fn l2_norm(a: &[f64]) -> f64 {
-    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+    if crate::parallel::kernel_mode() == crate::parallel::KernelMode::Simd {
+        return crate::simd::sumsq(a).sqrt();
+    }
+    let c = a.chunks_exact(4);
+    let r = c.remainder();
+    let mut lanes = [0.0f64; 4];
+    for x in c {
+        lanes[0] += x[0] * x[0];
+        lanes[1] += x[1] * x[1];
+        lanes[2] += x[2] * x[2];
+        lanes[3] += x[3] * x[3];
+    }
+    let mut tail = 0.0;
+    for &x in r {
+        tail += x * x;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail).sqrt()
 }
 
 /// ℓ∞ norm (maximum absolute value); `0.0` for an empty slice.
@@ -137,6 +177,21 @@ mod tests {
         // the unrolling reorders, it does not change the math.
         let seq: f64 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
         assert!((dot(&a, &b) - seq).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_norms_agree_bitwise_across_kernel_modes() {
+        use crate::parallel::{set_kernel_mode, test_lock, KernelMode};
+        let _g = test_lock();
+        let a: Vec<f64> = (0..37).map(|i| 0.17 * (i as f64) - 2.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| 1.3 - 0.05 * (i as f64)).collect();
+        set_kernel_mode(Some(KernelMode::Blocked));
+        let base = (dot(&a, &b), l1_norm(&a), l2_norm(&a));
+        set_kernel_mode(Some(KernelMode::Simd));
+        assert_eq!(dot(&a, &b).to_bits(), base.0.to_bits());
+        assert_eq!(l1_norm(&a).to_bits(), base.1.to_bits());
+        assert_eq!(l2_norm(&a).to_bits(), base.2.to_bits());
+        set_kernel_mode(None);
     }
 
     #[test]

@@ -78,20 +78,82 @@ proptest! {
         let expect_tb = a.matmul_transpose_b_naive(&bt);
         let expect_ta = at.transpose_a_matmul_naive(&b);
         let mut got = Vec::new();
-        for threads in [1usize, 2, 8] {
-            parallel::set_thread_override(Some(threads));
-            got.push((
-                threads,
-                a.matmul(&b),
-                a.matmul_transpose_b(&bt),
-                at.transpose_a_matmul(&b),
-            ));
+        for mode in KERNEL_MODES {
+            parallel::set_kernel_mode(Some(mode));
+            for threads in [1usize, 2, 8] {
+                parallel::set_thread_override(Some(threads));
+                got.push((
+                    mode,
+                    threads,
+                    a.matmul(&b),
+                    a.matmul_transpose_b(&bt),
+                    at.transpose_a_matmul(&b),
+                ));
+            }
         }
+        parallel::set_kernel_mode(None);
         parallel::set_thread_override(None);
-        for (threads, mm, tb, ta) in got {
-            prop_assert_eq!(&mm, &expect_mm, "matmul differs at {} threads", threads);
-            prop_assert_eq!(&tb, &expect_tb, "matmul_transpose_b differs at {} threads", threads);
-            prop_assert_eq!(&ta, &expect_ta, "transpose_a_matmul differs at {} threads", threads);
+        for (mode, threads, mm, tb, ta) in got {
+            prop_assert_eq!(&mm, &expect_mm, "matmul differs ({:?}, {} threads)", mode, threads);
+            prop_assert_eq!(
+                &tb, &expect_tb,
+                "matmul_transpose_b differs ({:?}, {} threads)", mode, threads
+            );
+            prop_assert_eq!(
+                &ta, &expect_ta,
+                "transpose_a_matmul differs ({:?}, {} threads)", mode, threads
+            );
         }
     }
+}
+
+const KERNEL_MODES: [parallel::KernelMode; 3] = [
+    parallel::KernelMode::Naive,
+    parallel::KernelMode::Blocked,
+    parallel::KernelMode::Simd,
+];
+
+/// The proptest shapes stay below the KC=128/JC=64 blocking thresholds, so
+/// this deterministic case crosses both panel boundaries (and the 4-lane
+/// SIMD stripes, including ragged tails) to pin bitwise equality where the
+/// kernels actually reorder their loops.
+#[test]
+fn large_kernels_bitwise_identical_across_modes() {
+    let _g = parallel::test_lock();
+    let gen = |rows: usize, cols: usize, salt: u64| {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("sized")
+    };
+    // k = 261 crosses two KC=128 panels with a ragged tail; m = 70 crosses
+    // a JC=64 panel; neither is a multiple of the 4-lane stripe.
+    let a = gen(9, 261, 1);
+    let b = gen(261, 70, 2);
+    let bt = gen(70, 261, 3);
+    let expect_mm = a.matmul_naive(&b);
+    let expect_tb = a.matmul_transpose_b_naive(&bt);
+    for mode in KERNEL_MODES {
+        parallel::set_kernel_mode(Some(mode));
+        for threads in [1usize, 3] {
+            parallel::set_thread_override(Some(threads));
+            assert_eq!(
+                a.matmul(&b),
+                expect_mm,
+                "matmul ({mode:?}, {threads} threads)"
+            );
+            assert_eq!(
+                a.matmul_transpose_b(&bt),
+                expect_tb,
+                "matmul_transpose_b ({mode:?}, {threads} threads)"
+            );
+        }
+    }
+    parallel::set_kernel_mode(None);
+    parallel::set_thread_override(None);
 }

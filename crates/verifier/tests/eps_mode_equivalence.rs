@@ -1,13 +1,16 @@
 //! End-to-end pin of the blocked-ε guarantee at the verifier level: the
 //! certification margins and the certified radius of a full transformer
 //! propagation are **bitwise identical** between `DEEPT_EPS=dense` and the
-//! default blocked layout, for every p-norm, thread override and layer-norm
+//! default blocked layout — and across every compute-kernel mode
+//! (`DEEPT_KERNEL=naive|blocked|simd`, the SIMD path promises bitwise
+//! equality at `f64`) — for every p-norm, thread override and layer-norm
 //! flavour.
 
 use deept_core::eps::set_force_dense;
 use deept_core::PNorm;
 use deept_nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
 use deept_tensor::parallel;
+use deept_tensor::parallel::KernelMode;
 use deept_verifier::deept::{certify, DeepTConfig};
 use deept_verifier::network::t1_region;
 use deept_verifier::radius::max_certified_radius;
@@ -55,25 +58,31 @@ fn certified_radii_bitwise_identical_across_modes() {
     let _guard = parallel::test_lock();
     let configs = [LayerNormKind::NoStd, LayerNormKind::Std { epsilon: 1e-6 }];
     let norms = [PNorm::L1, PNorm::L2, PNorm::Linf];
+    let kernels = [KernelMode::Naive, KernelMode::Blocked, KernelMode::Simd];
     for ln in configs {
         for p in norms {
             let mut reference: Option<(Vec<f64>, f64)> = None;
-            for threads in [1usize, 4] {
-                parallel::set_thread_override(Some(threads));
-                for dense in [true, false] {
-                    set_force_dense(Some(dense));
-                    let got = run_one(ln, p);
-                    match &reference {
-                        None => reference = Some(got),
-                        Some(want) => assert_eq!(
-                            want, &got,
-                            "diverged: ln={ln:?} p={p:?} threads={threads} dense={dense}"
-                        ),
+            for kernel in kernels {
+                parallel::set_kernel_mode(Some(kernel));
+                for threads in [1usize, 4] {
+                    parallel::set_thread_override(Some(threads));
+                    for dense in [true, false] {
+                        set_force_dense(Some(dense));
+                        let got = run_one(ln, p);
+                        match &reference {
+                            None => reference = Some(got),
+                            Some(want) => assert_eq!(
+                                want, &got,
+                                "diverged: ln={ln:?} p={p:?} kernel={kernel:?} \
+                                 threads={threads} dense={dense}"
+                            ),
+                        }
                     }
                 }
             }
         }
     }
     set_force_dense(None);
+    parallel::set_kernel_mode(None);
     parallel::set_thread_override(None);
 }

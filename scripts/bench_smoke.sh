@@ -186,6 +186,43 @@ EOF
 echo "eps-storage smoke written to BENCH_5.json"
 
 # ---------------------------------------------------------------------------
+# Kernel-dispatch smoke: benchmark the naive/blocked/simd ladder on the
+# vectorized microkernels and on full abstract propagation, plus the f32
+# generator-storage memory ratio. Results land in BENCH_7.json. Gates: the
+# simd ISA kernels must be >= 2x blocked on at least one microbench and
+# >= 1.15x end-to-end, all three kernel modes must produce bitwise-identical
+# logit bounds at f64, f32 storage must roughly halve (>= 1.8x) peak resident
+# generator bytes while its bounds contain the f64 bounds.
+# ---------------------------------------------------------------------------
+echo "== kernel-dispatch smoke (DEEPT_THREADS=$THREADS) =="
+target/release/deept bench-kernels --out BENCH_7.json
+
+python3 - <<'EOF'
+import json
+from pathlib import Path
+
+out = json.loads(Path("BENCH_7.json").read_text())
+best_micro = out["best_micro_speedup_simd_vs_blocked"]
+e2e = out["end_to_end"]["speedup_simd_vs_blocked"]
+f32 = out["f32_storage"]
+assert out["bounds_bitwise_identical_across_kernels"], (
+    "naive/blocked/simd logit bounds diverged at f64"
+)
+assert best_micro >= 2.0, f"best simd microbench speedup {best_micro} < 2x over blocked"
+assert e2e >= 1.15, f"end-to-end simd speedup {e2e} < 1.15x over blocked"
+assert f32["memory_ratio_f64_over_f32"] >= 1.8, (
+    f"f32 generator storage ratio {f32['memory_ratio_f64_over_f32']} < 1.8x"
+)
+assert f32["f32_bounds_contain_f64"], "f32 bounds failed to contain the f64 bounds"
+print(
+    f"kernel gate ({out['config']['isa']}): best micro {best_micro}x, "
+    f"end-to-end {e2e}x, f32 memory ratio {f32['memory_ratio_f64_over_f32']}x"
+)
+EOF
+
+echo "kernel-dispatch smoke written to BENCH_7.json"
+
+# ---------------------------------------------------------------------------
 # Metrics-overhead gate: abstract propagation timed with the metrics gate on
 # and off (interleaved, median of N). The logit bounds must be bitwise
 # identical across the gate and the median slowdown must stay under 2%.

@@ -84,11 +84,12 @@ fn main() -> ExitCode {
         Some("bench-metrics") => cmd_bench_metrics(&args[1..]),
         Some("fuzz-soundness") => cmd_fuzz_soundness(&args[1..]),
         Some("bench-eps") => cmd_bench_eps(&args[1..]),
+        Some("bench-kernels") => cmd_bench_kernels(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
                 "usage: deept <train|certify|synonyms|export-model|serve|request|loadgen\
-                 |bench-metrics|fuzz-soundness|bench-eps> [options] | \
+                 |bench-metrics|fuzz-soundness|bench-eps|bench-kernels> [options] | \
                  deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
@@ -101,6 +102,32 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One-line description of the compute backend in effect: kernel-mode
+/// rung, the SIMD ISA runtime dispatch selected, and the generator
+/// precision. Printed in `certify` output and stamped into trace metadata
+/// so a saved trace records which code path produced it.
+fn backend_labels() -> (&'static str, &'static str, &'static str) {
+    let kernel = deept::tensor::parallel::kernel_mode().label();
+    let isa = match deept::tensor::parallel::kernel_mode() {
+        deept::tensor::parallel::KernelMode::Simd => deept::tensor::simd::active_isa().label(),
+        _ => "scalar",
+    };
+    let prec = if deept::zonotope::eps::prec_f32() {
+        "f32"
+    } else {
+        "f64"
+    };
+    (kernel, isa, prec)
+}
+
+/// Stamps the backend triple into a trace's metadata.
+fn set_backend_meta(trace: &mut VerificationTrace) {
+    let (kernel, isa, prec) = backend_labels();
+    trace.set_meta("kernel", kernel);
+    trace.set_meta("isa", isa);
+    trace.set_meta("prec", prec);
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -237,6 +264,8 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
         label,
         if label == 1 { "positive" } else { "negative" }
     );
+    let (kernel, isa, prec) = backend_labels();
+    println!("backend: kernel={kernel} isa={isa} prec={prec}");
     let net = VerifiableTransformer::from(&bundle.model);
     let emb = bundle.model.embed(&tokens);
     let cfg = DeepTConfig::fast(2000);
@@ -288,6 +317,7 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
         trace.set_meta("norm", &p.to_string());
         trace.set_meta("position", &position.to_string());
         trace.set_meta("tokens", &tokens.len().to_string());
+        set_backend_meta(&mut trace);
         write_trace(&path, &trace)?;
     }
     if timed_out {
@@ -350,6 +380,7 @@ fn cmd_demo_trace(args: &[String]) -> Result<(), String> {
     trace.set_meta("verifier", "DeepT-Fast");
     trace.set_meta("norm", "l2");
     trace.set_meta("tokens", &tokens.len().to_string());
+    set_backend_meta(&mut trace);
     println!("demo: 2-layer random transformer, maximum certified l2 radius {r:.6}");
     write_trace(&path, &trace)
 }
@@ -828,6 +859,9 @@ fn cmd_fuzz_soundness(args: &[String]) -> Result<(), String> {
         for v in &report.attack_violations {
             println!("  attack-below-certified-radius: {v:?}");
         }
+        for v in &report.precision_violations {
+            println!("  f32-nesting violation: {v:?}");
+        }
         total += report.total_violations();
     }
     if total > 0 {
@@ -1051,6 +1085,279 @@ fn cmd_bench_eps(args: &[String]) -> Result<(), String> {
         blocked.peak_eps_cols,
         dense.peak_resident_bytes,
         blocked.peak_resident_bytes,
+    );
+    println!("bench written to {out_path}");
+    Ok(())
+}
+
+/// `deept bench-kernels [--out BENCH_7.json] [--repeats N] [--layers L]
+/// [--len T] [--embed E] [--hidden H] [--budget B]`
+///
+/// Benchmarks the compute-kernel dispatch ladder (`naive` / `blocked` /
+/// `simd`) and the `f32` generator-storage mode, writing a JSON summary:
+///
+/// * per-kernel microbench medians (`dot`, `matmul`,
+///   `matmul_transpose_b`, `eps_col_abs_sums`) with the simd-vs-blocked
+///   speedup per kernel — outputs are asserted bitwise identical across
+///   all three rungs;
+/// * end-to-end abstract-propagation medians per kernel mode (bounds
+///   asserted bitwise identical) and the simd-vs-blocked speedup;
+/// * peak resident generator bytes of a relaxation-chain workload under
+///   `f64` vs `f32` storage (`memory_ratio_f64_over_f32`), with the `f32`
+///   logits interval checked to contain the `f64` reference.
+///
+/// Numeric gates (≥2x on a microbench, ≥1.15x end-to-end, ≥1.8x memory)
+/// live in `scripts/bench_smoke.sh`, which parses this file.
+fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
+    use deept::tensor::parallel::{self, KernelMode};
+    use deept::tensor::{vector, Matrix};
+    use deept::zonotope::eps::{self, EpsStore};
+    use deept::zonotope::Zonotope;
+    use std::time::Instant;
+
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_7.json".into());
+    let repeats: usize = flag(args, "--repeats")
+        .map(|s| s.parse().map_err(|_| "--repeats must be a number"))
+        .transpose()?
+        .unwrap_or(7);
+    let layers: usize = flag(args, "--layers")
+        .map(|s| s.parse().map_err(|_| "--layers must be a number"))
+        .transpose()?
+        .unwrap_or(2);
+    let len: usize = flag(args, "--len")
+        .map(|s| s.parse().map_err(|_| "--len must be a number"))
+        .transpose()?
+        .unwrap_or(12);
+    let embed: usize = flag(args, "--embed")
+        .map(|s| s.parse().map_err(|_| "--embed must be a number"))
+        .transpose()?
+        .unwrap_or(64);
+    let hidden: usize = flag(args, "--hidden")
+        .map(|s| s.parse().map_err(|_| "--hidden must be a number"))
+        .transpose()?
+        .unwrap_or(32);
+    let budget: usize = flag(args, "--budget")
+        .map(|s| s.parse().map_err(|_| "--budget must be a number"))
+        .transpose()?
+        .unwrap_or(300);
+
+    const KERNELS: [KernelMode; 3] = [KernelMode::Naive, KernelMode::Blocked, KernelMode::Simd];
+
+    fn median(xs: &mut [f64]) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        xs[xs.len() / 2]
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG state shared with the
+    /// model builder below).
+    fn gen(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(salt.wrapping_mul(1442695040888963407) | 1);
+                ((x >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data).expect("sized")
+    }
+
+    /// Times `body` under every kernel rung: median seconds per rung plus
+    /// the per-rung result, which must be identical across rungs. Samples
+    /// are interleaved round-robin across rungs so clock/thermal drift
+    /// hits every distribution equally (same discipline as
+    /// `bench-metrics`).
+    fn per_kernel<R: PartialEq + std::fmt::Debug>(
+        name: &str,
+        repeats: usize,
+        mut body: impl FnMut() -> R,
+    ) -> Result<[f64; 3], String> {
+        let mut reference: Option<R> = None;
+        for mode in KERNELS {
+            parallel::set_kernel_mode(Some(mode));
+            let got = body(); // warm-up + correctness sample
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    if want != &got {
+                        parallel::set_kernel_mode(None);
+                        return Err(format!(
+                            "{name}: {mode:?} result diverged from Naive — kernel rungs \
+                             must be bitwise identical"
+                        ));
+                    }
+                }
+            }
+        }
+        let mut times: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for _ in 0..repeats {
+            for (slot, mode) in KERNELS.iter().enumerate() {
+                parallel::set_kernel_mode(Some(*mode));
+                let t0 = Instant::now();
+                let r = body();
+                times[slot].push(t0.elapsed().as_secs_f64());
+                std::hint::black_box(&r);
+            }
+        }
+        parallel::set_kernel_mode(None);
+        let mut medians = [0.0f64; 3];
+        for (slot, xs) in times.iter_mut().enumerate() {
+            medians[slot] = median(xs);
+        }
+        Ok(medians)
+    }
+
+    // --- Microbenches -----------------------------------------------------
+    // Shapes cross the KC=128 panel boundary and leave ragged 4-lane tails.
+    let dot_x: Vec<f64> = (0..4096).map(|i| ((i % 17) as f64 - 8.0) * 0.11).collect();
+    let dot_y: Vec<f64> = (0..4096).map(|i| ((i % 13) as f64 - 6.0) * 0.07).collect();
+    let mm_a = gen(96, 261, 1);
+    let mm_b = gen(261, 130, 2);
+    let tb_bt = gen(130, 261, 3);
+    let scan_store = EpsStore::from_matrix(gen(384, 384, 4));
+
+    let micro = [
+        (
+            "dot",
+            per_kernel("dot", repeats, || {
+                let mut acc = 0.0;
+                for _ in 0..64 {
+                    acc += vector::dot(&dot_x, &dot_y);
+                }
+                acc
+            })?,
+        ),
+        (
+            "matmul",
+            per_kernel("matmul", repeats, || mm_a.matmul(&mm_b))?,
+        ),
+        (
+            "matmul_transpose_b",
+            per_kernel("matmul_transpose_b", repeats, || {
+                mm_a.matmul_transpose_b(&tb_bt)
+            })?,
+        ),
+        (
+            "eps_col_abs_sums",
+            per_kernel("eps_col_abs_sums", repeats, || scan_store.col_abs_sums())?,
+        ),
+    ];
+
+    // --- End-to-end propagation per kernel rung ---------------------------
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let model = TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: len,
+            embed_dim: embed,
+            num_heads: 4,
+            hidden_dim: hidden,
+            num_layers: layers,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    );
+    let tokens: Vec<usize> = (0..len).map(|i| 1 + (i % 10)).collect();
+    let net = VerifiableTransformer::from(&model);
+    let emb = model.embed(&tokens);
+    let cfg = DeepTConfig::fast(budget);
+    let region = t1_region(&emb, 0, 0.02, PNorm::L2);
+
+    let e2e_repeats = repeats.clamp(3, 5);
+    let e2e = per_kernel("propagate", e2e_repeats, || {
+        deept::verifier::deept::propagate(&net, &region, &cfg).bounds()
+    })?;
+
+    // --- f32 generator storage: memory + nesting --------------------------
+    // A relaxation chain is the workload the compression targets: a wide
+    // dense input block plus one fresh diagonal block per layer, with no
+    // row-mixing matmul whose f64 output would mask the savings.
+    let chain_rows = 48usize;
+    let chain_eps = 48usize;
+    let chain_layers = 48usize;
+    eps::set_force_dense(Some(false));
+    let run_chain = |f32_on: bool| -> (usize, (Vec<f64>, Vec<f64>)) {
+        eps::set_force_f32(Some(f32_on));
+        let center: Vec<f64> = (0..chain_rows).map(|i| (i as f64 * 0.13).sin()).collect();
+        let gens = gen(chain_rows, chain_eps, 7).scale(0.02);
+        let z = Zonotope::from_parts(
+            chain_rows,
+            1,
+            center,
+            Matrix::zeros(chain_rows, 0),
+            gens,
+            PNorm::Linf,
+        );
+        eps::reset_peak_resident_bytes();
+        let mut z = z;
+        for _ in 0..chain_layers {
+            z = z.tanh();
+        }
+        let peak = eps::peak_resident_bytes();
+        (peak, z.bounds())
+    };
+    let (peak64, bounds64) = run_chain(false);
+    let (peak32, bounds32) = run_chain(true);
+    eps::set_force_f32(None);
+    eps::set_force_dense(None);
+    let mem_ratio = peak64 as f64 / peak32.max(1) as f64;
+    // Nesting: the f32 interval must contain the f64 reference (up to the
+    // relaxation-pivot tolerance used by the soundness fuzzer).
+    for k in 0..bounds64.0.len() {
+        let t = 1e-9 * (1.0 + bounds64.0[k].abs().max(bounds64.1[k].abs()));
+        if bounds32.0[k] - bounds64.0[k] > t || bounds64.1[k] - bounds32.1[k] > t {
+            return Err(format!(
+                "f32 storage produced a tighter bound than the f64 reference at \
+                 variable {k}: f64 [{}, {}], f32 [{}, {}]",
+                bounds64.0[k], bounds64.1[k], bounds32.0[k], bounds32.1[k]
+            ));
+        }
+    }
+
+    // --- Report -----------------------------------------------------------
+    let micro_json = micro
+        .iter()
+        .map(|(name, m)| {
+            format!(
+                "    \"{name}\": {{\"naive_ms\": {:.4}, \"blocked_ms\": {:.4}, \
+                 \"simd_ms\": {:.4}, \"speedup_simd_vs_blocked\": {:.3}}}",
+                m[0] * 1e3,
+                m[1] * 1e3,
+                m[2] * 1e3,
+                m[1] / m[2],
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let best_micro = micro
+        .iter()
+        .map(|(_, m)| m[1] / m[2])
+        .fold(0.0f64, f64::max);
+    let e2e_speedup = e2e[1] / e2e[2];
+    let isa = deept::tensor::simd::active_isa().label();
+    let json = format!(
+        "{{\n  \"config\": {{\"layers\": {layers}, \"len\": {len}, \"embed\": {embed}, \
+         \"hidden\": {hidden}, \"budget\": {budget}, \"repeats\": {repeats}, \
+         \"threads\": {}, \"isa\": \"{isa}\"}},\n  \"micro\": {{\n{micro_json}\n  }},\n  \
+         \"best_micro_speedup_simd_vs_blocked\": {best_micro:.3},\n  \
+         \"end_to_end\": {{\"naive_ms\": {:.4}, \"blocked_ms\": {:.4}, \"simd_ms\": {:.4}, \
+         \"speedup_simd_vs_blocked\": {e2e_speedup:.3}}},\n  \
+         \"bounds_bitwise_identical_across_kernels\": true,\n  \
+         \"f32_storage\": {{\"peak_resident_generator_bytes_f64\": {peak64}, \
+         \"peak_resident_generator_bytes_f32\": {peak32}, \
+         \"memory_ratio_f64_over_f32\": {mem_ratio:.3}, \
+         \"f32_bounds_contain_f64\": true}}\n}}\n",
+        deept::tensor::parallel::num_threads(),
+        e2e[0] * 1e3,
+        e2e[1] * 1e3,
+        e2e[2] * 1e3,
+    );
+    std::fs::write(&out_path, &json).map_err(|e| format!("could not write {out_path}: {e}"))?;
+    println!("{json}");
+    println!(
+        "kernel bench ({isa}): best micro speedup {best_micro:.2}x, end-to-end \
+         {e2e_speedup:.2}x, f32 memory ratio {mem_ratio:.2}x"
     );
     println!("bench written to {out_path}");
     Ok(())
