@@ -11,6 +11,7 @@ use deept_bench::Scale;
 use deept_core::PNorm;
 use deept_geocert::{max_robust_radius_linf, zonotope_radius, BnbConfig};
 use deept_nn::train::accuracy;
+use deept_verifier::Deadline;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -31,14 +32,17 @@ fn main() {
         .take(if scale == Scale::Quick { 4 } else { 15 })
         .collect();
 
-    let cfg = BnbConfig {
-        max_nodes: if scale == Scale::Quick { 120 } else { 1500 },
-    };
+    let budget_ms = if scale == Scale::Quick { 1_000 } else { 10_000 };
     let iters = if scale == Scale::Quick { 8 } else { 12 };
     let (complete_radii, complete_time) = timed(|| {
         points
             .iter()
-            .map(|(x, y)| max_robust_radius_linf(&mlp, x, *y, &cfg, iters))
+            .map(|(x, y)| {
+                // Fresh per-point deadline: BnbConfig carries an absolute
+                // cut-off, serve-style.
+                let cfg = BnbConfig::with_deadline(Deadline::after_ms(Some(budget_ms)));
+                max_robust_radius_linf(&mlp, x, *y, &cfg, iters)
+            })
             .collect::<Vec<f64>>()
     });
     let (zono_radii, zono_time) = timed(|| {

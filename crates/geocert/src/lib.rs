@@ -22,6 +22,7 @@ use deept_core::{PNorm, Zonotope};
 use deept_lp::{Constraint, Problem, Rel, Solution};
 use deept_nn::Mlp;
 use deept_tensor::Matrix;
+use deept_verifier::Deadline;
 
 /// Activation status of a hidden neuron at a branch-and-bound node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,15 +36,24 @@ enum Status {
 }
 
 /// Branch-and-bound configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The search is bounded by the workspace-wide cooperative [`Deadline`]
+/// instead of an ad-hoc node cap, so it follows the same timeout semantics
+/// as `deept-serve`: the deadline is an *absolute* cut-off polled between
+/// nodes, shared by every query run under this config (construct a fresh
+/// config per query for per-query budgets). With [`Deadline::none`] the
+/// search runs to exhaustion — it terminates, since every split fixes one
+/// ReLU for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BnbConfig {
-    /// Maximum number of explored nodes before giving up.
-    pub max_nodes: usize,
+    /// Cooperative wall-clock budget; defaults to no limit.
+    pub deadline: Deadline,
 }
 
-impl Default for BnbConfig {
-    fn default() -> Self {
-        BnbConfig { max_nodes: 2000 }
+impl BnbConfig {
+    /// A config whose searches stop at `deadline`.
+    pub fn with_deadline(deadline: Deadline) -> Self {
+        BnbConfig { deadline }
     }
 }
 
@@ -57,8 +67,15 @@ pub enum Verdict {
         /// The adversarial input.
         input: Vec<f64>,
     },
-    /// The node budget was exhausted before deciding.
-    Unknown,
+    /// The deadline expired before deciding. The bound is still sound: it
+    /// is the minimum over proven-subtree margins and the inherited LP
+    /// bounds of the subtrees left open (a child polytope is a subset of
+    /// its parent's, so the parent's LP margin bounds every descendant).
+    Unknown {
+        /// Best sound margin lower bound established before the timeout
+        /// (`−∞` if the root was never evaluated).
+        lower_bound: f64,
+    },
 }
 
 /// Interval bounds of all pre-activations given the current statuses.
@@ -223,6 +240,10 @@ fn node_margin(
 }
 
 /// Complete verification of `mlp` on the ℓ∞ box of `radius` around `x0`.
+///
+/// Polls `cfg.deadline` between branch-and-bound nodes; on expiry it
+/// returns [`Verdict::Unknown`] carrying the best sound margin lower bound
+/// found so far instead of discarding the work.
 pub fn verify_linf(
     mlp: &Mlp,
     x0: &[f64],
@@ -236,12 +257,17 @@ pub fn verify_linf(
         .iter()
         .map(|&d| vec![Status::Unstable; d])
         .collect();
-    let mut stack = vec![root];
-    let mut explored = 0usize;
-    while let Some(mut statuses) = stack.pop() {
-        explored += 1;
-        if explored > cfg.max_nodes {
-            return Verdict::Unknown;
+    // Each stack entry carries the sound margin lower bound inherited from
+    // its parent's LP (−∞ at the root), so a timeout can report the best
+    // bound established for everything still open.
+    let mut stack = vec![(root, f64::NEG_INFINITY)];
+    let mut proven_min = f64::INFINITY;
+    while let Some((mut statuses, inherited)) = stack.pop() {
+        if cfg.deadline.expired() {
+            let open = stack.iter().map(|(_, b)| *b).fold(inherited, f64::min);
+            return Verdict::Unknown {
+                lower_bound: proven_min.min(open),
+            };
         }
         let bounds = preact_bounds(mlp, x0, radius, &statuses);
         // Fix neurons whose interval sign is already determined.
@@ -277,7 +303,9 @@ pub fn verify_linf(
             continue; // split region empty: subtree vacuously safe
         }
         let (margin, xin) = worst.expect("feasible node has a margin");
+        let margin = margin.max(inherited);
         if margin > 0.0 {
+            proven_min = proven_min.min(margin);
             continue; // subtree verified
         }
         // Candidate counterexample from the LP optimizer.
@@ -309,8 +337,8 @@ pub fn verify_linf(
                 a[li][j] = Status::Active;
                 let mut b = statuses;
                 b[li][j] = Status::Inactive;
-                stack.push(a);
-                stack.push(b);
+                stack.push((a, margin));
+                stack.push((b, margin));
             }
             None => {
                 // All neurons fixed: the LP is exact, so a non-positive
@@ -320,6 +348,7 @@ pub fn verify_linf(
                 if mlp.predict(&clipped) != true_label {
                     return Verdict::Falsified { input: clipped };
                 }
+                proven_min = proven_min.min(margin);
             }
         }
     }
@@ -328,6 +357,11 @@ pub fn verify_linf(
 
 /// Largest ℓ∞ radius certified robust by the complete verifier, via binary
 /// search.
+///
+/// If `cfg.deadline` expires mid-search, every remaining query returns
+/// [`Verdict::Unknown`] (treated as not-robust), so the search collapses
+/// quickly and the result is the largest radius *proven* before the
+/// timeout — a sound lower bound on the true robust radius.
 pub fn max_robust_radius_linf(
     mlp: &Mlp,
     x0: &[f64],
@@ -483,8 +517,53 @@ mod tests {
         match verdict {
             Verdict::Falsified { input } => assert_ne!(mlp.predict(&input), label),
             Verdict::Robust => panic!("0.5 box around a boundary point cannot be robust"),
-            Verdict::Unknown => {} // budget exhausted is acceptable
+            Verdict::Unknown { .. } => panic!("no deadline was set — the search must decide"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_returns_sound_partial_bound() {
+        use rand::Rng;
+        let (mlp, _) = trained_toy_mlp();
+        let x0 = vec![0.6, 0.4];
+        let label = mlp.predict(&x0);
+        let radius = 0.05;
+        let cfg = BnbConfig::with_deadline(Deadline::at(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        match verify_linf(&mlp, &x0, radius, label, &cfg) {
+            Verdict::Unknown { lower_bound } => {
+                // The reported bound must lower-bound every concrete margin
+                // in the box (trivially true for −∞, which is the expected
+                // value when the root was never evaluated).
+                let mut rng = ChaCha8Rng::seed_from_u64(17);
+                for _ in 0..200 {
+                    let p: Vec<f64> = x0
+                        .iter()
+                        .map(|&c| c + rng.gen_range(-radius..=radius))
+                        .collect();
+                    let logits = mlp.logits(&p);
+                    let m = logits.at(0, label) - logits.at(0, 1 - label);
+                    assert!(m >= lower_bound - 1e-9, "margin {m} below {lower_bound}");
+                }
+            }
+            other => panic!("expired deadline must return Unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_deadline_search_is_exhaustive_and_unchanged() {
+        let (mlp, _) = trained_toy_mlp();
+        let x0 = vec![0.6, 0.4];
+        let label = mlp.predict(&x0);
+        let r = max_robust_radius_linf(&mlp, &x0, label, &BnbConfig::default(), 24);
+        assert!(r > 0.0);
+        // The verdict at a clearly-safe radius must be Robust, never
+        // Unknown, when no deadline is configured.
+        assert_eq!(
+            verify_linf(&mlp, &x0, r * 0.5, label, &BnbConfig::default()),
+            Verdict::Robust
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Noise-symbol domain splitting.
+//!
+//! A Multi-norm Zonotope's independent ε symbols each range over [−1, 1].
+//! Branch-and-bound subdivides a region by restricting one symbol to a
+//! half-interval and reparametrizing the half back onto a full [−1, 1]
+//! symbol, so child regions are ordinary zonotopes and every downstream
+//! transformer applies unchanged:
+//!
+//! ```text
+//! ε_j ∈ [lo, hi]  ⇒  ε_j = mid + half·ε'_j,   mid = (lo+hi)/2, half = (hi−lo)/2
+//! center_k += β_{k,j}·mid,   β_{k,j} *= half
+//! ```
+//!
+//! The two halves `[−1, 0]` and `[0, 1]` cover the parent's domain, so if
+//! both children certify, the parent region certifies. Only independent ε
+//! symbols can be split this way — the joint φ symbols of an ℓ1/ℓ2 ball are
+//! coupled through one norm constraint, which a per-coordinate affine
+//! reparametrization would break.
+
+use deept_core::Zonotope;
+
+/// Which half of `[−1, 1]` a child restricts its split symbol to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Half {
+    /// `ε_j ∈ [−1, 0]`.
+    Lower,
+    /// `ε_j ∈ [0, 1]`.
+    Upper,
+}
+
+/// Restricts independent noise symbol `j` to one half of `[−1, 1]`,
+/// reparametrized onto a fresh full-range symbol at the same column, so the
+/// child has the identical symbol layout as the parent.
+///
+/// # Panics
+///
+/// Panics if `j` is not a valid ε column of `z`.
+pub fn restrict_eps(z: &Zonotope, j: usize, half: Half) -> Zonotope {
+    assert!(j < z.num_eps(), "split symbol {j} out of range");
+    let (mid, scale) = match half {
+        Half::Lower => (-0.5, 0.5),
+        Half::Upper => (0.5, 0.5),
+    };
+    let mut center = z.center().to_vec();
+    let mut eps = z.eps_dense_matrix();
+    for (k, c) in center.iter_mut().enumerate() {
+        let b = eps.at(k, j);
+        *c += b * mid;
+        eps.set(k, j, b * scale);
+    }
+    Zonotope::from_parts(z.rows(), z.cols(), center, z.phi().clone(), eps, z.p())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_core::PNorm;
+    use deept_tensor::Matrix;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_region() -> Zonotope {
+        let center = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let radii = Matrix::from_rows(&[&[0.3, 0.1], &[0.2, 0.4]]);
+        Zonotope::from_box(&center, &radii, PNorm::Linf)
+    }
+
+    #[test]
+    fn halves_cover_the_parent_exactly() {
+        // Every parent point ε_j = e maps to the child point
+        // ε'_j = (e − mid)/half with identical concrete values.
+        let z = sample_region();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for j in 0..z.num_eps() {
+            let lower = restrict_eps(&z, j, Half::Lower);
+            let upper = restrict_eps(&z, j, Half::Upper);
+            for _ in 0..50 {
+                let (phi, mut eps) = z.sample_noise(&mut rng);
+                let parent = z.evaluate(&phi, &eps);
+                let e = eps[j];
+                let (child, mapped) = if e <= 0.0 {
+                    (&lower, 2.0 * e + 1.0)
+                } else {
+                    (&upper, 2.0 * e - 1.0)
+                };
+                eps[j] = mapped;
+                let got = child.evaluate(&phi, &eps);
+                for (a, b) in parent.iter().zip(&got) {
+                    assert!((a - b).abs() <= 1e-12, "parent {a} vs child {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn children_stay_inside_the_parent() {
+        let z = sample_region();
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let (lo, hi) = z.bounds();
+        for j in 0..z.num_eps() {
+            for half in [Half::Lower, Half::Upper] {
+                let child = restrict_eps(&z, j, half);
+                assert_eq!(child.num_eps(), z.num_eps());
+                assert_eq!(child.num_phi(), z.num_phi());
+                for _ in 0..30 {
+                    let (phi, eps) = child.sample_noise(&mut rng);
+                    let v = child.evaluate(&phi, &eps);
+                    for (k, x) in v.iter().enumerate() {
+                        assert!(
+                            *x >= lo[k] - 1e-12 && *x <= hi[k] + 1e-12,
+                            "child point {x} escapes parent [{}, {}]",
+                            lo[k],
+                            hi[k]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_shrinks_the_split_dimension() {
+        let z = sample_region();
+        let child = restrict_eps(&z, 0, Half::Lower);
+        let (zl, zh) = z.bounds_of(0);
+        let (cl, ch) = child.bounds_of(0);
+        assert!(ch - cl < zh - zl, "split must tighten the touched variable");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_symbol_panics() {
+        let z = sample_region();
+        let _ = restrict_eps(&z, z.num_eps(), Half::Lower);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let z = sample_region();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let j = rng.gen_range(0..z.num_eps());
+        let a = restrict_eps(&z, j, Half::Upper);
+        let b = restrict_eps(&z, j, Half::Upper);
+        assert_eq!(a.center(), b.center());
+        assert_eq!(a.bounds(), b.bounds());
+    }
+}

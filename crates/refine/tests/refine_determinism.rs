@@ -1,0 +1,106 @@
+//! Escalation-determinism pin (the `eps_mode_equivalence` guarantee lifted
+//! to the refinement ladder): for a fixed seed and node budget, the branch
+//! tree — every node id, parent, split symbol and margin, in exploration
+//! order — and the final verdict must be identical across
+//! `DEEPT_THREADS ∈ {1, 4}` and `DEEPT_KERNEL ∈ {blocked, simd}` (and the
+//! dense-ε escape hatch). Margins are bitwise reproducible by the PR 2/5/7
+//! kernel guarantees, sampling is ChaCha8-seeded per node, and the queue
+//! breaks ties by node id, so any divergence here is a regression.
+
+use deept_core::eps::set_force_dense;
+use deept_core::PNorm;
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_refine::{refine_certify, RefineConfig, RefineReport};
+use deept_tensor::parallel;
+use deept_tensor::parallel::KernelMode;
+use deept_verifier::Deadline;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(ln: LayerNormKind) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 13,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 12,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: ln,
+        },
+        &mut rng,
+    )
+}
+
+/// One full ladder run that is forced into the branch-and-bound stage
+/// (starved flat passes) under the process-global mode currently in force.
+/// No wall-clock deadline: the deterministic `max_nodes` budget bounds the
+/// search, so the branch tree is a pure function of the inputs.
+fn run_one(ln: LayerNormKind, p: PNorm, radius: f64) -> RefineReport {
+    let model = tiny_model(ln);
+    let tokens = [1usize, 5, 9, 2];
+    let label = model.predict(&tokens);
+    let cfg = RefineConfig {
+        fast_budget: 1,
+        precise_budget: 1,
+        refine_budget: 400,
+        max_nodes: 24,
+        seed: 7,
+        ..RefineConfig::default()
+    };
+    refine_certify(&model, &tokens, 1, radius, p, label, &cfg, Deadline::none())
+}
+
+#[test]
+fn branch_tree_and_verdict_identical_across_modes() {
+    let _guard = parallel::test_lock();
+    let cases = [
+        (LayerNormKind::NoStd, PNorm::Linf, 0.075),
+        (LayerNormKind::NoStd, PNorm::L2, 0.35),
+        (LayerNormKind::Std { epsilon: 1e-6 }, PNorm::Linf, 0.05),
+    ];
+    for (ln, p, radius) in cases {
+        let mut reference: Option<RefineReport> = None;
+        for kernel in [KernelMode::Blocked, KernelMode::Simd] {
+            parallel::set_kernel_mode(Some(kernel));
+            for threads in [1usize, 4] {
+                parallel::set_thread_override(Some(threads));
+                for dense in [true, false] {
+                    set_force_dense(Some(dense));
+                    let got = run_one(ln, p, radius);
+                    match &reference {
+                        None => reference = Some(got),
+                        Some(want) => {
+                            assert_eq!(
+                                want.trace, got.trace,
+                                "branch tree diverged: ln={ln:?} p={p:?} \
+                                 kernel={kernel:?} threads={threads} dense={dense}"
+                            );
+                            assert_eq!(
+                                want.outcome, got.outcome,
+                                "verdict diverged: ln={ln:?} p={p:?} \
+                                 kernel={kernel:?} threads={threads} dense={dense}"
+                            );
+                            assert_eq!(
+                                (want.escalations, want.branches, want.pruned),
+                                (got.escalations, got.branches, got.pruned),
+                                "counters diverged: ln={ln:?} p={p:?} \
+                                 kernel={kernel:?} threads={threads} dense={dense}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        let r = reference.expect("at least one mode ran");
+        assert_eq!(
+            r.escalations, 2,
+            "{ln:?}/{p:?}: the case must reach the refinement stage"
+        );
+    }
+    set_force_dense(None);
+    parallel::set_kernel_mode(None);
+    parallel::set_thread_override(None);
+}

@@ -66,7 +66,8 @@ pub struct CertifyRequest {
     /// `"inf"`/`"linf"`. Defaults to `"l2"`.
     #[serde(default = "default_norm")]
     pub norm: String,
-    /// Verifier variant: `"fast"`, `"precise"` or `"combined"`.
+    /// Verifier variant: `"fast"`, `"precise"`, `"combined"` or
+    /// `"refine"` (the CEGAR escalation ladder; eps queries only).
     /// Defaults to `"fast"`.
     #[serde(default = "default_variant")]
     pub variant: String,
@@ -133,6 +134,9 @@ pub enum Variant {
     Precise,
     /// Fast in all layers except the last, Precise in the last.
     Combined,
+    /// The CEGAR escalation ladder (`crates/refine`): Fast → Precise →
+    /// deadline-aware branch-and-bound refinement with attack pruning.
+    Refine,
 }
 
 impl Variant {
@@ -142,6 +146,7 @@ impl Variant {
             "fast" => Some(Variant::Fast),
             "precise" => Some(Variant::Precise),
             "combined" => Some(Variant::Combined),
+            "refine" => Some(Variant::Refine),
             _ => None,
         }
     }
@@ -153,6 +158,7 @@ impl std::fmt::Display for Variant {
             Variant::Fast => "fast",
             Variant::Precise => "precise",
             Variant::Combined => "combined",
+            Variant::Refine => "refine",
         })
     }
 }
@@ -266,6 +272,21 @@ pub enum CertifyResult {
         radius: f64,
         /// Number of certification queries the search issued.
         queries: usize,
+    },
+    /// Refine-ladder query: the escalation verdict. Only *final* verdicts
+    /// are ever cached — a ladder cut short by the deadline returns a
+    /// timeout error instead (the PR 3 rule).
+    Refined {
+        /// `"certified"`, `"falsified"` or `"unknown"`.
+        verdict: String,
+        /// Sound margin lower bound (`certified`/`unknown`); `null` for
+        /// falsified queries.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        margin: Option<f64>,
+        /// Ladder level that decided: `"fast"`, `"precise"` or `"refine"`.
+        level: String,
+        /// Branch-and-bound nodes explored (0 when a flat pass decided).
+        nodes: usize,
     },
 }
 
@@ -532,7 +553,12 @@ mod tests {
 
     #[test]
     fn variant_parses_and_displays() {
-        for v in [Variant::Fast, Variant::Precise, Variant::Combined] {
+        for v in [
+            Variant::Fast,
+            Variant::Precise,
+            Variant::Combined,
+            Variant::Refine,
+        ] {
             assert_eq!(Variant::parse(&v.to_string()), Some(v));
         }
         assert_eq!(Variant::parse("turbo"), None);

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use deept_core::PNorm;
 use deept_metrics::PhaseProfiler;
+use deept_refine::{refine_certify_probed, RefineConfig, RefineOutcome};
 use deept_telemetry::{NoopProbe, Probe, TraceCollector};
 use deept_verifier::deadline::{Deadline, DeadlineExceeded};
 use deept_verifier::deept::{certify_deadline_probed, DeepTConfig};
@@ -295,7 +296,7 @@ impl Server {
             return error(
                 ErrorCode::BadRequest,
                 &format!(
-                    "unknown variant {:?} (expected fast, precise or combined)",
+                    "unknown variant {:?} (expected fast, precise, combined or refine)",
                     req.variant
                 ),
             );
@@ -323,6 +324,12 @@ impl Server {
                 );
             }
         };
+        if variant == Variant::Refine && matches!(query, Query::RadiusSearch(_)) {
+            return error(
+                ErrorCode::BadRequest,
+                "variant \"refine\" supports eps queries only",
+            );
+        }
         let Some(entry) = self.inner.registry.get(&req.model_id) else {
             return error(
                 ErrorCode::UnknownModel,
@@ -579,6 +586,9 @@ fn verifier_config(variant: Variant, reduction_budget: usize) -> DeepTConfig {
         Variant::Fast => DeepTConfig::fast(reduction_budget),
         Variant::Precise => DeepTConfig::precise(reduction_budget),
         Variant::Combined => DeepTConfig::combined(reduction_budget),
+        // The refinement ladder manages its own per-level budgets and
+        // never goes through a single flat config.
+        Variant::Refine => unreachable!("refine jobs bypass the flat verifier config"),
     }
 }
 
@@ -607,7 +617,6 @@ fn worker_loop(inner: &Inner) {
 fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
     let label = entry.model.predict(&spec.tokens);
     let emb = entry.model.embed(&spec.tokens);
-    let cfg = verifier_config(spec.variant, inner.cfg.reduction_budget);
     let collector = spec.want_trace.then(TraceCollector::new);
     // Trace requests get the full collector; otherwise the span stream
     // feeds the sampling self-profiler, unless metrics are disabled
@@ -617,47 +626,98 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
         None if deept_metrics::enabled() => &inner.profiler,
         None => &NoopProbe,
     };
-    let outcome: Result<CertifyResult, String> = match spec.query {
-        Query::Eps(eps) => {
-            let region = t1_region(&emb, spec.position, eps, spec.norm);
-            match certify_deadline_probed(&entry.net, &region, label, &cfg, spec.deadline, probe) {
-                Ok(res) => Ok(CertifyResult::Fixed {
-                    certified: res.certified,
-                    margins: res.margins,
-                }),
-                Err(DeadlineExceeded) => Err("certification deadline exceeded".to_string()),
-            }
+    let outcome: Result<CertifyResult, String> = if spec.variant == Variant::Refine {
+        // `handle_certify` rejects refine radius searches up front.
+        let Query::Eps(eps) = spec.query else {
+            unreachable!("refine radius searches are rejected at validation")
+        };
+        let report = refine_certify_probed(
+            &entry.model,
+            &spec.tokens,
+            spec.position,
+            eps,
+            spec.norm,
+            label,
+            &RefineConfig::default(),
+            spec.deadline,
+            probe,
+        );
+        if report.timed_out {
+            // A ladder cut short by the deadline yields a timeout error,
+            // never a cached partial verdict (the PR 3 rule).
+            Err(format!(
+                "refinement deadline exceeded after {} nodes at the {} level",
+                report.nodes_explored,
+                report.level.as_str()
+            ))
+        } else {
+            let margin = match &report.outcome {
+                RefineOutcome::Certified { margin } => Some(*margin),
+                RefineOutcome::Unknown { lower_bound } if lower_bound.is_finite() => {
+                    Some(*lower_bound)
+                }
+                _ => None,
+            };
+            Ok(CertifyResult::Refined {
+                verdict: report.outcome.verdict().to_string(),
+                margin,
+                level: report.level.as_str().to_string(),
+                nodes: report.nodes_explored,
+            })
         }
-        Query::RadiusSearch(search) => {
-            let mut queries = 0usize;
-            let outcome = max_certified_radius_deadline(
-                |radius| -> Result<bool, DeadlineExceeded> {
-                    queries += 1;
-                    let region = t1_region(&emb, spec.position, radius, spec.norm);
-                    let res = certify_deadline_probed(
-                        &entry.net,
-                        &region,
-                        label,
-                        &cfg,
-                        spec.deadline,
-                        probe,
-                    )?;
-                    Ok(res.certified)
-                },
-                search.start,
-                search.iters,
-                spec.deadline,
-                probe,
-            );
-            match outcome {
-                RadiusOutcome::Completed(radius) => Ok(CertifyResult::Radius { radius, queries }),
-                RadiusOutcome::TimedOut {
-                    lower_bound,
-                    queries,
-                } => Err(format!(
-                    "radius search deadline exceeded after {queries} queries; \
+    } else {
+        let cfg = verifier_config(spec.variant, inner.cfg.reduction_budget);
+        match spec.query {
+            Query::Eps(eps) => {
+                let region = t1_region(&emb, spec.position, eps, spec.norm);
+                match certify_deadline_probed(
+                    &entry.net,
+                    &region,
+                    label,
+                    &cfg,
+                    spec.deadline,
+                    probe,
+                ) {
+                    Ok(res) => Ok(CertifyResult::Fixed {
+                        certified: res.certified,
+                        margins: res.margins,
+                    }),
+                    Err(DeadlineExceeded) => Err("certification deadline exceeded".to_string()),
+                }
+            }
+            Query::RadiusSearch(search) => {
+                let mut queries = 0usize;
+                let outcome = max_certified_radius_deadline(
+                    |radius| -> Result<bool, DeadlineExceeded> {
+                        queries += 1;
+                        let region = t1_region(&emb, spec.position, radius, spec.norm);
+                        let res = certify_deadline_probed(
+                            &entry.net,
+                            &region,
+                            label,
+                            &cfg,
+                            spec.deadline,
+                            probe,
+                        )?;
+                        Ok(res.certified)
+                    },
+                    search.start,
+                    search.iters,
+                    spec.deadline,
+                    probe,
+                );
+                match outcome {
+                    RadiusOutcome::Completed(radius) => {
+                        Ok(CertifyResult::Radius { radius, queries })
+                    }
+                    RadiusOutcome::TimedOut {
+                        lower_bound,
+                        queries,
+                    } => Err(format!(
+                        "radius search deadline exceeded after {queries} queries; \
                      largest certified radius so far {lower_bound}"
-                )),
+                    )),
+                }
             }
         }
     };

@@ -76,6 +76,20 @@ fn radius_request(start: f64, iters: usize, deadline_ms: Option<u64>) -> Request
     })
 }
 
+fn refine_request(eps: f64, deadline_ms: Option<u64>) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3],
+        position: 0,
+        norm: "inf".into(),
+        variant: "refine".into(),
+        eps: Some(eps),
+        radius_search: None,
+        deadline_ms,
+        trace: false,
+    })
+}
+
 /// The `result` payload serialized, for bitwise-identity assertions.
 fn result_json(resp: &Response) -> String {
     match resp {
@@ -309,6 +323,107 @@ fn timed_out_radius_search_is_never_cached_as_final() {
     if timed_out {
         assert!(server.stats().deadline_aborts >= 1);
     }
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn refine_variant_round_trips_and_caches_final_verdicts() {
+    let (_server, addr, handle) = start_server(ServeConfig::default(), 2);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    // A tiny ℓ∞ ball certifies at the fast level of the ladder.
+    let first = client.send(&refine_request(1e-4, None)).expect("send");
+    match &first {
+        Response::Certify { result, cached, .. } => {
+            assert!(!cached, "first refine answer must be a fresh computation");
+            match result {
+                CertifyResult::Refined {
+                    verdict,
+                    margin,
+                    level,
+                    ..
+                } => {
+                    assert_eq!(verdict, "certified");
+                    assert_eq!(level, "fast");
+                    assert!(margin.expect("certified margin") > 0.0);
+                }
+                other => panic!("expected refined result, got {other:?}"),
+            }
+        }
+        other => panic!("expected certify response, got {other:?}"),
+    }
+
+    // The final verdict is cached and replays bitwise.
+    let replay = client.send(&refine_request(1e-4, None)).expect("send");
+    assert!(is_cached(&replay), "final refine verdict must be cached");
+    assert_eq!(result_json(&replay), result_json(&first));
+
+    // The ladder answers eps queries only; radius searches are rejected.
+    let rejected = client
+        .send(&Request::Certify(CertifyRequest {
+            model_id: "toy".into(),
+            tokens: vec![1, 2, 3],
+            position: 0,
+            norm: "inf".into(),
+            variant: "refine".into(),
+            eps: None,
+            radius_search: Some(RadiusSearchSpec {
+                start: 0.01,
+                iters: 4,
+            }),
+            deadline_ms: None,
+            trace: false,
+        }))
+        .expect("send");
+    match rejected {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected bad-request error, got {other:?}"),
+    }
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// The PR 3 deadline/cache rule carried over to the refinement ladder: a
+/// refine request cut short by its deadline yields a timeout error, and
+/// its partial verdict must never be cached as final.
+#[test]
+fn timed_out_refine_is_never_cached_as_final() {
+    let (server, addr, handle) = start_server(ServeConfig::default(), 2);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    // A zero budget is already expired when the worker picks the job up,
+    // so the ladder times out deterministically inside the fast pass.
+    let bounded = client.send(&refine_request(1e-4, Some(0))).expect("send");
+    match &bounded {
+        Response::Error { code, message, .. } => {
+            assert_eq!(*code, ErrorCode::Timeout, "{message}");
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    assert!(server.stats().deadline_aborts >= 1);
+
+    // The identical query without a deadline: had the timeout been cached,
+    // this would be a (partial!) cache hit — it must be a fresh, complete
+    // computation instead.
+    let full = client.send(&refine_request(1e-4, None)).expect("send");
+    match &full {
+        Response::Certify { cached, result, .. } => {
+            assert!(!cached, "timed-out refine query must not have been cached");
+            assert!(
+                matches!(result, CertifyResult::Refined { .. }),
+                "expected refined result, got {result:?}"
+            );
+        }
+        other => panic!("expected certify response, got {other:?}"),
+    }
+
+    // Only the complete verdict is cached, and it replays bitwise.
+    let replay = client.send(&refine_request(1e-4, None)).expect("send");
+    assert!(is_cached(&replay), "complete refine verdict must be cached");
+    assert_eq!(result_json(&replay), result_json(&full));
 
     client.send(&Request::Shutdown).expect("shutdown");
     handle.join().expect("server thread");

@@ -12,6 +12,8 @@ use crate::microcheck::{
     check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
 };
 use crate::precision::{check_f32_nesting, PrecisionViolation};
+use crate::refine_check::{check_refined_certificates, RefineViolation};
+use deept_refine::RefineConfig;
 
 /// Parameters of one fuzzing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +50,10 @@ pub struct FuzzReport {
     pub precision_instances: usize,
     /// f32-mode logit intervals that failed to contain the f64 reference.
     pub precision_violations: Vec<PrecisionViolation>,
+    /// Queries driven through the full refinement ladder.
+    pub refine_instances: usize,
+    /// Refined verdicts contradicted by concrete evidence.
+    pub refine_violations: Vec<RefineViolation>,
 }
 
 impl FuzzReport {
@@ -58,6 +64,7 @@ impl FuzzReport {
             + self.containment_violations.len()
             + self.attack_violations.len()
             + self.precision_violations.len()
+            + self.refine_violations.len()
     }
 
     /// One-paragraph human-readable summary.
@@ -65,7 +72,8 @@ impl FuzzReport {
         format!(
             "seed {}: relaxations {}/{} cases violated, transformers {}/{} cases violated, \
              containment {} violations over {} samples, attacks-below-certified {} over {} \
-             instances, f32-nesting {} violations over {} instances",
+             instances, f32-nesting {} violations over {} instances, refined-verdicts {} \
+             violations over {} instances",
             self.seed,
             self.relaxation_violations.len(),
             self.relaxation_cases,
@@ -77,6 +85,8 @@ impl FuzzReport {
             self.attack_instances,
             self.precision_violations.len(),
             self.precision_instances,
+            self.refine_violations.len(),
+            self.refine_instances,
         )
     }
 }
@@ -166,6 +176,36 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
         report.precision_instances += 1;
         report.precision_violations.extend(check_f32_nesting(
             &model, &tokens, position, radius, *p, vcfg,
+        ));
+    }
+
+    // Refined-verdict gate: the escalation ladder with deliberately starved
+    // flat budgets, so the queries actually reach the branch-and-bound
+    // stage and its split/snapshot machinery is what gets falsified. Radii
+    // near the tiny models' certification frontier keep all three verdicts
+    // (certified / falsified / unknown) in play across seeds.
+    let refine_combos: [(LayerNormKind, PNorm); 3] = [
+        (LayerNormKind::NoStd, PNorm::Linf),
+        (LayerNormKind::NoStd, PNorm::L2),
+        (LayerNormKind::Std { epsilon: 1e-5 }, PNorm::Linf),
+    ];
+    let rcfg = RefineConfig {
+        fast_budget: 1,
+        precise_budget: 1,
+        refine_budget: 400,
+        max_nodes: 32,
+        seed: cfg.seed,
+        ..RefineConfig::default()
+    };
+    for (i, (ln, p)) in refine_combos.iter().enumerate() {
+        let model = fuzz_model(*ln, 2, cfg.seed.wrapping_add(16 + i as u64));
+        let len = rng.gen_range(3..=5usize);
+        let tokens: Vec<usize> = (0..len).map(|_| rng.gen_range(0..13usize)).collect();
+        let position = rng.gen_range(0..len);
+        let radius = [0.02, 0.05, 0.075][rng.gen_range(0..3usize)];
+        report.refine_instances += 1;
+        report.refine_violations.extend(check_refined_certificates(
+            &model, &tokens, position, radius, *p, &rcfg, samples, 200, &mut rng,
         ));
     }
     report

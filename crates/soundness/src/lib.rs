@@ -20,6 +20,12 @@
 //!   softmax transformers, including the adversarial regimes that broke
 //!   early versions: `l == u`, `u − l < 1e-12`, endpoints at or near `0`
 //!   for reciprocal/√, and ±1-ulp endpoint nudges.
+//! * [`refine_check`] — refined-certificate gate. Every `Certified` verdict
+//!   of the branch-and-bound refinement ladder gets concrete-point
+//!   containment probes and randomized attacks at and below the certified
+//!   radius (an attack success there is a hard failure); `Falsified`
+//!   verdicts must carry counterexamples the concrete model actually
+//!   misclassifies.
 //! * [`precision`] — `f32` storage nesting. Each instance is propagated
 //!   with `f64` and with `f32` generator storage (`DEEPT_PREC=f32`); the
 //!   `f32` logits interval must contain the `f64` reference interval,
@@ -37,6 +43,7 @@ pub mod containment;
 pub mod fuzz;
 pub mod microcheck;
 pub mod precision;
+pub mod refine_check;
 
 pub use attack_check::{check_attack_consistency, AttackViolation};
 pub use containment::{check_containment, ContainmentViolation, SnapshotCollector};
@@ -45,3 +52,4 @@ pub use microcheck::{
     check_relaxations, check_transformers, RelaxationViolation, TransformerViolation,
 };
 pub use precision::{check_f32_nesting, PrecisionViolation};
+pub use refine_check::{check_refined_certificates, RefineViolation, RefineViolationKind};

@@ -1,0 +1,208 @@
+//! Refined-certificate gate: the branch-and-bound ladder's verdicts under
+//! the same falsification pressure as the flat verifiers.
+//!
+//! The refinement ladder ([`deept_refine`]) certifies queries the flat
+//! passes lose by splitting noise symbols and re-propagating suffixes from
+//! layer snapshots — exactly the machinery where a subtle bug (a split that
+//! fails to cover the parent, a snapshot resumed with the wrong prefix)
+//! would produce a *plausible but unsound* certificate. This module attacks
+//! refined verdicts directly:
+//!
+//! * every `Certified { margin }` answer gets a concrete-point containment
+//!   check — perturbed embeddings sampled inside the certified ℓp ball must
+//!   classify as the certified label *and* achieve at least the claimed
+//!   margin (up to float tolerance);
+//! * the randomized attack is launched at and below the certified radius —
+//!   an attack success there is a hard soundness failure, not a precision
+//!   question;
+//! * every `Falsified` answer must carry a genuine counterexample — an
+//!   adversarial embedding the concrete model actually misclassifies.
+
+use deept_core::PNorm;
+use deept_nn::transformer::TransformerClassifier;
+use deept_refine::{refine_certify, RefineConfig, RefineOutcome};
+use deept_tensor::Matrix;
+use deept_verifier::attack::attack_t1;
+use deept_verifier::deadline::Deadline;
+use deept_verifier::network::{t1_region, VerifiableTransformer};
+use rand::Rng;
+
+/// A refined verdict contradicted by concrete evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineViolation {
+    /// The certified (or falsified) query radius.
+    pub radius: f64,
+    /// The ladder level that produced the verdict.
+    pub level: String,
+    /// What went wrong.
+    pub kind: RefineViolationKind,
+}
+
+/// The concrete evidence contradicting a refined verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefineViolationKind {
+    /// A sampled in-ball embedding misclassified despite a `Certified`
+    /// verdict — hard unsoundness.
+    ConcreteEscape {
+        /// The sample's concrete margin (negative: misclassified).
+        concrete_margin: f64,
+        /// The margin the certificate claimed as a lower bound.
+        certified_margin: f64,
+    },
+    /// A sampled in-ball embedding classified correctly but undercut the
+    /// claimed margin lower bound beyond float tolerance.
+    MarginOverclaim {
+        /// The sample's concrete margin.
+        concrete_margin: f64,
+        /// The claimed (larger) lower bound.
+        certified_margin: f64,
+    },
+    /// The randomized attack flipped the label at or below a certified
+    /// radius — hard unsoundness.
+    AttackBreaksCertificate {
+        /// The radius at which the attack succeeded.
+        attack_radius: f64,
+    },
+    /// A `Falsified` verdict whose adversarial embedding the concrete
+    /// model does *not* misclassify.
+    SpuriousCounterexample,
+}
+
+/// Concrete margin of `logits` (row 0) for `label`: `y_label − max_{j≠label}`.
+fn concrete_margin(logits: &Matrix, label: usize) -> f64 {
+    let row = logits.row(0);
+    let worst = row
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| *j != label)
+        .map(|(_, &v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    row[label] - worst
+}
+
+/// Runs one embedding through the concrete encoder and classifier head.
+fn forward_from_embedding(
+    model: &TransformerClassifier,
+    net: &VerifiableTransformer,
+    x0: Matrix,
+) -> Matrix {
+    let mut x = x0;
+    for layer in &net.layers {
+        x = layer.forward(&x, net.layer_norm, net.head_dim);
+    }
+    model.classify(&x)
+}
+
+/// Runs the refinement ladder on one query and fuzzes its verdict.
+///
+/// `Certified` answers get `samples` concrete containment probes
+/// (alternating interior and extreme noise points) plus randomized attacks
+/// with `attack_samples` probes at several fractions of the certified
+/// radius; `Falsified` answers must carry a genuine counterexample.
+/// `Unknown` answers claim nothing falsifiable here and are vacuously
+/// consistent. Returns every violation found.
+#[allow(clippy::too_many_arguments)]
+pub fn check_refined_certificates(
+    model: &TransformerClassifier,
+    tokens: &[usize],
+    position: usize,
+    radius: f64,
+    p: PNorm,
+    cfg: &RefineConfig,
+    samples: usize,
+    attack_samples: usize,
+    rng: &mut impl Rng,
+) -> Vec<RefineViolation> {
+    let label = model.predict(tokens);
+    let report = refine_certify(
+        model,
+        tokens,
+        position,
+        radius,
+        p,
+        label,
+        cfg,
+        Deadline::none(),
+    );
+    let level = report.level.as_str().to_string();
+    let mut violations = Vec::new();
+    match report.outcome {
+        RefineOutcome::Certified { margin } => {
+            let net = VerifiableTransformer::from(model);
+            let emb = model.embed(tokens);
+            let region = t1_region(&emb, position, radius, p);
+            for s in 0..samples {
+                let (phi, eps) = if s % 2 == 0 {
+                    region.sample_extreme_noise(rng)
+                } else {
+                    region.sample_noise(rng)
+                };
+                let x0 = Matrix::from_vec(emb.rows(), emb.cols(), region.evaluate(&phi, &eps))
+                    .expect("evaluate yields rows*cols values");
+                let logits = forward_from_embedding(model, &net, x0);
+                let cm = concrete_margin(&logits, label);
+                // The certified margin is a sound lower bound in real
+                // arithmetic; concrete forward passes round differently,
+                // so allow the usual relative float slack.
+                let tol = 1e-7 * (1.0 + cm.abs());
+                if cm < 0.0 {
+                    violations.push(RefineViolation {
+                        radius,
+                        level: level.clone(),
+                        kind: RefineViolationKind::ConcreteEscape {
+                            concrete_margin: cm,
+                            certified_margin: margin,
+                        },
+                    });
+                } else if cm < margin - tol {
+                    violations.push(RefineViolation {
+                        radius,
+                        level: level.clone(),
+                        kind: RefineViolationKind::MarginOverclaim {
+                            concrete_margin: cm,
+                            certified_margin: margin,
+                        },
+                    });
+                }
+            }
+            for frac in [0.5, 0.9, 0.99] {
+                let attack_radius = frac * radius;
+                if attack_t1(
+                    model,
+                    tokens,
+                    position,
+                    attack_radius,
+                    p,
+                    attack_samples,
+                    rng,
+                )
+                .is_some()
+                {
+                    violations.push(RefineViolation {
+                        radius,
+                        level: level.clone(),
+                        kind: RefineViolationKind::AttackBreaksCertificate { attack_radius },
+                    });
+                }
+            }
+        }
+        RefineOutcome::Falsified {
+            adversarial_example,
+        } => {
+            let net = VerifiableTransformer::from(model);
+            let logits = forward_from_embedding(model, &net, adversarial_example);
+            // A strictly positive margin means the true label still wins —
+            // the "counterexample" does not misclassify. (An exact tie is
+            // argmax-order dependent and not flagged.)
+            if concrete_margin(&logits, label) > 0.0 {
+                violations.push(RefineViolation {
+                    radius,
+                    level,
+                    kind: RefineViolationKind::SpuriousCounterexample,
+                });
+            }
+        }
+        RefineOutcome::Unknown { .. } => {}
+    }
+    violations
+}

@@ -39,6 +39,9 @@ pub enum SpanKind {
     RadiusSearch,
     /// One certification query of the radius search (0-based).
     RadiusIter(usize),
+    /// One branch-and-bound node of the abstraction-refinement ladder
+    /// (`crates/refine`), numbered in exploration order.
+    RefineNode(usize),
 }
 
 impl SpanKind {
@@ -56,6 +59,7 @@ impl SpanKind {
             SpanKind::Pooling => "pooling",
             SpanKind::RadiusSearch => "radius_search",
             SpanKind::RadiusIter(_) => "radius_iter",
+            SpanKind::RefineNode(_) => "refine_node",
         }
     }
 
@@ -64,6 +68,7 @@ impl SpanKind {
         match self {
             SpanKind::EncoderLayer(i) => format!("encoder_layer[{i}]"),
             SpanKind::RadiusIter(i) => format!("radius_iter[{i}]"),
+            SpanKind::RefineNode(i) => format!("refine_node[{i}]"),
             other => other.group().to_string(),
         }
     }
@@ -71,7 +76,9 @@ impl SpanKind {
     /// The instance index, if this kind carries one.
     pub fn index(&self) -> Option<usize> {
         match self {
-            SpanKind::EncoderLayer(i) | SpanKind::RadiusIter(i) => Some(*i),
+            SpanKind::EncoderLayer(i) | SpanKind::RadiusIter(i) | SpanKind::RefineNode(i) => {
+                Some(*i)
+            }
             _ => None,
         }
     }

@@ -127,6 +127,25 @@ pub fn propagate_with_snapshots(
     }
 }
 
+/// [`propagate_with_snapshots`] with a cooperative [`Deadline`], polled
+/// between encoder layers. Used by the refinement ladder (`crates/refine`)
+/// to capture resumable layer-boundary states during a deadline-bounded
+/// pass. A run that completes is bitwise identical to
+/// [`propagate_with_snapshots`].
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired between layers.
+pub fn propagate_snapshots_deadline(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    deadline: Deadline,
+    snap: &mut dyn SoundnessProbe,
+) -> Result<Zonotope, DeadlineExceeded> {
+    propagate_inner(net, input, cfg, deadline, &NoopProbe, snap)
+}
+
 /// [`propagate`] with telemetry: every encoder layer, abstract transformer
 /// and noise-symbol reduction reports a span to `probe`, with zonotope
 /// precision stats and thread-pool counters (workers, tasks, busy time)
@@ -163,9 +182,47 @@ pub fn propagate_deadline_probed(
     deadline: Deadline,
     probe: &dyn Probe,
 ) -> Result<Zonotope, DeadlineExceeded> {
+    propagate_suffix_deadline_probed(net, input, cfg, 0, 0, deadline, probe)
+}
+
+/// [`propagate_deadline_probed`] generalized for abstraction refinement
+/// (`crates/refine`): propagation starts at encoder layer `start_layer`
+/// (`0` runs the whole network; `k` resumes from a state snapshotted after
+/// layer `k - 1`, as captured by [`propagate_with_snapshots`]), and the
+/// first `protect_eps` noise-symbol columns of `input` are protected from
+/// every per-layer reduction, so their column indices survive unchanged all
+/// the way to the logits. The protected prefix lets a refinement loop read
+/// per-symbol margin gradients directly off the output zonotope.
+///
+/// With `start_layer = 0` and `protect_eps = 0` this is bitwise identical
+/// to [`propagate_deadline_probed`]. The effective reduction budget is
+/// raised to at least `protect_eps` (the reducer cannot drop below the
+/// protected prefix).
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired between layers.
+pub fn propagate_suffix_deadline_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    start_layer: usize,
+    protect_eps: usize,
+    deadline: Deadline,
+    probe: &dyn Probe,
+) -> Result<Zonotope, DeadlineExceeded> {
     probe.span_enter(SpanKind::Propagate);
     let par = probe.enabled().then(parallel::snapshot);
-    let out = propagate_inner(net, input, cfg, deadline, probe, &mut NoSnapshots);
+    let out = propagate_inner_from(
+        net,
+        input,
+        cfg,
+        start_layer,
+        protect_eps,
+        deadline,
+        probe,
+        &mut NoSnapshots,
+    );
     if let Some(before) = par {
         probe.parallel(parallel_stats_since(&before));
     }
@@ -185,10 +242,24 @@ fn propagate_inner(
     probe: &dyn Probe,
     snap: &mut dyn SoundnessProbe,
 ) -> Result<Zonotope, DeadlineExceeded> {
+    propagate_inner_from(net, input, cfg, 0, 0, deadline, probe, snap)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn propagate_inner_from(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    start_layer: usize,
+    protect: usize,
+    deadline: Deadline,
+    probe: &dyn Probe,
+    snap: &mut dyn SoundnessProbe,
+) -> Result<Zonotope, DeadlineExceeded> {
     let mut x = input.clone();
     snap.input(&x);
     let last = net.layers.len().saturating_sub(1);
-    for (i, layer) in net.layers.iter().enumerate() {
+    for (i, layer) in net.layers.iter().enumerate().skip(start_layer) {
         // Cancellation checkpoint: between layers, never mid-transformer,
         // so a completed run is unaffected by the deadline's presence.
         deadline.check()?;
@@ -206,9 +277,10 @@ fn propagate_inner(
         let par = probe.enabled().then(parallel::snapshot);
         let eps_before = probe.enabled().then(deept_core::eps::snapshot);
         // Noise-symbol reduction at every layer input, before the residual
-        // branch splits (§5.1).
+        // branch splits (§5.1). The budget can never drop below the
+        // protected prefix (reduce_eps requires protect ≤ budget).
         if let Some(budget) = cfg.reduction_budget {
-            x = reduce_eps_probed(&x, budget.max(1), 0, probe).0;
+            x = reduce_eps_probed(&x, budget.max(1).max(protect), protect, probe).0;
         }
         let eps_in = x.num_eps();
         x = encoder_layer(
@@ -647,6 +719,79 @@ mod tests {
         )
         .expect("generous deadline must not expire");
         assert_eq!(plain, limited);
+    }
+
+    #[test]
+    fn suffix_entry_with_zero_offsets_matches_propagate_bitwise() {
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let cfg = DeepTConfig::fast(60);
+        for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+            let region = crate::network::t1_region(&emb, 1, 0.03, p);
+            let plain = propagate(&net, &region, &cfg);
+            let suffix = propagate_suffix_deadline_probed(
+                &net,
+                &region,
+                &cfg,
+                0,
+                0,
+                Deadline::none(),
+                &NoopProbe,
+            )
+            .expect("Deadline::none() never expires");
+            let (pl, pu) = plain.bounds();
+            let (sl, su) = suffix.bounds();
+            assert_eq!(pl, sl, "{p:?}: lower bounds diverged");
+            assert_eq!(pu, su, "{p:?}: upper bounds diverged");
+        }
+    }
+
+    #[test]
+    fn protected_prefix_still_sound_and_keeps_region_symbols() {
+        // Propagating with the input region's ε columns protected must keep
+        // those columns addressable at the logits and stay sound (protection
+        // only changes *which* symbols a reduction folds away).
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let region = crate::network::t1_region(&emb, 1, 0.05, PNorm::Linf);
+        let protect = region.num_eps();
+        assert!(protect > 0, "Linf region must carry input ε symbols");
+        let cfg = DeepTConfig::fast(16);
+        let logits = propagate_suffix_deadline_probed(
+            &net,
+            &region,
+            &cfg,
+            0,
+            protect,
+            Deadline::none(),
+            &NoopProbe,
+        )
+        .expect("Deadline::none() never expires");
+        assert!(
+            logits.num_eps() >= protect,
+            "protected region symbols must survive to the logits"
+        );
+        let (lo, hi) = logits.bounds();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..40 {
+            let (phi, eps) = region.sample_noise(&mut rng);
+            let x = region.evaluate(&phi, &eps);
+            let xm = Matrix::from_vec(emb.rows(), emb.cols(), x).expect("shape");
+            let out = model.classify(&model.encode(&xm));
+            for c in 0..2 {
+                assert!(
+                    out.at(0, c) >= lo[c] - 1e-7 && out.at(0, c) <= hi[c] + 1e-7,
+                    "logit {c} = {} outside [{}, {}]",
+                    out.at(0, c),
+                    lo[c],
+                    hi[c]
+                );
+            }
+        }
     }
 
     #[test]

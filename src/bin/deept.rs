@@ -4,8 +4,8 @@
 //! ```text
 //! deept train   --out model.json [--layers 2] [--yelp] [--std-ln] [--epochs 6]
 //! deept certify --model model.json --sentence "pos0_1 neu3 not0 neg2_0" \
-//!               [--position 1] [--norm l2] [--radius 0.05] [--trace trace.json] \
-//!               [--timeout-ms 5000]
+//!               [--position 1] [--norm l2] [--radius 0.05] [--refine] \
+//!               [--trace trace.json] [--timeout-ms 5000]
 //! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
 //! deept export-model [--out artifacts/models/toy.json] [--layers 1] [--epochs 2]
 //! deept serve   [--addr 127.0.0.1:7878 | --stdio] [--workers 2] [--queue 16] \
@@ -21,13 +21,20 @@
 //!               [--eps 1e-3] [--cached] [--out BENCH_6.json]
 //! deept bench-metrics [--repeats 7] [--max-ratio 1.02] [--out bench_metrics.json]
 //! deept fuzz-soundness [--seed N | --seed A..B] [--cases M]
+//! deept bench-refine [--out BENCH_8.json] [--deadline-ms 2000] [--queries N]
 //! deept --trace trace.json
 //! ```
 //!
 //! `train` produces a JSON bundle (model + vocabulary); `certify` reports
 //! the classification, then either checks one radius or binary-searches the
 //! maximum certified radius (`--timeout-ms` bounds the search with a
-//! cooperative deadline); `synonyms` certifies threat model T2 against
+//! cooperative deadline). With `--refine` (requires `--radius`) the query
+//! runs the [`deept::refine`] escalation ladder instead: Fast, then
+//! Precise, then deadline-aware branch-and-bound refinement, returning
+//! certified / falsified / a sound partial bound. `bench-refine` measures
+//! the certified-rate gain of that ladder over the flat passes on a set of
+//! frontier queries and writes `BENCH_8.json`; `synonyms` certifies threat
+//! model T2 against
 //! embedding-space nearest-neighbour substitutions and cross-checks with
 //! bounded enumeration.
 //!
@@ -85,11 +92,13 @@ fn main() -> ExitCode {
         Some("fuzz-soundness") => cmd_fuzz_soundness(&args[1..]),
         Some("bench-eps") => cmd_bench_eps(&args[1..]),
         Some("bench-kernels") => cmd_bench_kernels(&args[1..]),
+        Some("bench-refine") => cmd_bench_refine(&args[1..]),
         Some("--trace") => cmd_demo_trace(&args),
         _ => {
             eprintln!(
                 "usage: deept <train|certify|synonyms|export-model|serve|request|loadgen\
-                 |bench-metrics|fuzz-soundness|bench-eps|bench-kernels> [options] | \
+                 |bench-metrics|fuzz-soundness|bench-eps|bench-kernels|bench-refine> \
+                 [options] | \
                  deept --trace <path>  (see --help in source)"
             );
             return ExitCode::from(2);
@@ -276,7 +285,46 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
         None => &NoopProbe,
     };
     let mut timed_out = false;
-    if let Some(radius) = flag(args, "--radius") {
+    let refine = has(args, "--refine");
+    if refine {
+        let radius: f64 = flag(args, "--radius")
+            .ok_or("--refine requires --radius (the ladder answers eps queries only)")?
+            .parse()
+            .map_err(|_| "--radius must be a number")?;
+        let report = deept::refine::refine_certify_probed(
+            &bundle.model,
+            &tokens,
+            position,
+            radius,
+            p,
+            label,
+            &deept::refine::RefineConfig::default(),
+            deadline,
+            probe,
+        );
+        println!(
+            "radius {radius} ({p}) at position {position}: {} at the {} level \
+             ({} nodes, {} branches, {} pruned, {} escalations)",
+            report.outcome.verdict(),
+            report.level.as_str(),
+            report.nodes_explored,
+            report.branches,
+            report.pruned,
+            report.escalations,
+        );
+        match &report.outcome {
+            deept::refine::RefineOutcome::Certified { margin } => {
+                println!("  certified margin lower bound: {margin:.6}");
+            }
+            deept::refine::RefineOutcome::Falsified { .. } => {
+                println!("  concrete adversarial embedding found inside the ball");
+            }
+            deept::refine::RefineOutcome::Unknown { lower_bound } => {
+                println!("  sound partial margin lower bound: {lower_bound:.6}");
+            }
+        }
+        timed_out = report.timed_out;
+    } else if let Some(radius) = flag(args, "--radius") {
         let radius: f64 = radius.parse().map_err(|_| "--radius must be a number")?;
         let region = t1_region(&emb, position, radius, p);
         match certify_deadline_probed(&net, &region, label, &cfg, deadline, probe) {
@@ -313,7 +361,10 @@ fn cmd_certify(args: &[String]) -> Result<(), String> {
     }
     if let (Some(path), Some(collector)) = (trace_path, collector) {
         let mut trace = collector.finish();
-        trace.set_meta("verifier", "DeepT-Fast");
+        trace.set_meta(
+            "verifier",
+            if refine { "DeepT-Refine" } else { "DeepT-Fast" },
+        );
         trace.set_meta("norm", &p.to_string());
         trace.set_meta("position", &position.to_string());
         trace.set_meta("tokens", &tokens.len().to_string());
@@ -862,6 +913,9 @@ fn cmd_fuzz_soundness(args: &[String]) -> Result<(), String> {
         for v in &report.precision_violations {
             println!("  f32-nesting violation: {v:?}");
         }
+        for v in &report.refine_violations {
+            println!("  refined-verdict violation: {v:?}");
+        }
         total += report.total_violations();
     }
     if total > 0 {
@@ -1358,6 +1412,225 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
     println!(
         "kernel bench ({isa}): best micro speedup {best_micro:.2}x, end-to-end \
          {e2e_speedup:.2}x, f32 memory ratio {mem_ratio:.2}x"
+    );
+    println!("bench written to {out_path}");
+    Ok(())
+}
+
+/// `deept bench-refine [--out BENCH_8.json] [--deadline-ms 2000]
+/// [--models N] [--nodes K]`
+///
+/// Measures what the refinement ladder buys over the flat passes on *hard*
+/// queries. For each of `--models` seeded tiny transformers the bench
+/// first finds the flat certification frontier (the maximum radius
+/// DeepT-Precise certifies, by bisection), then poses ℓ∞ queries at radii
+/// just above it — queries the flat passes lose by construction. Each
+/// query runs three ways under the same fresh per-query deadline:
+/// DeepT-Fast only, DeepT-Precise, and the full escalation ladder. The
+/// JSON reports per-method certified counts and the *recovery rate*: the
+/// fraction of queries left unknown by both flat passes that refinement
+/// certifies. CI gates on `recovery_rate >= 0.2`.
+fn cmd_bench_refine(args: &[String]) -> Result<(), String> {
+    use deept::refine::{refine_certify, RefineConfig, RefineOutcome};
+    use deept::verifier::deept::certify;
+    use deept::verifier::radius::max_certified_radius;
+    use std::time::Instant;
+
+    let out_path = flag(args, "--out").unwrap_or_else(|| "BENCH_8.json".into());
+    let deadline_ms: u64 = flag(args, "--deadline-ms")
+        .map(|s| s.parse().map_err(|_| "--deadline-ms must be a number"))
+        .transpose()?
+        .unwrap_or(2000);
+    let models: usize = flag(args, "--models")
+        .map(|s| s.parse().map_err(|_| "--models must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let nodes: usize = flag(args, "--nodes")
+        .map(|s| s.parse().map_err(|_| "--nodes must be a number"))
+        .transpose()?
+        .unwrap_or(256);
+
+    // Radii as multiples of the flat frontier: barely above it (where
+    // branch-and-bound has the best shot) through clearly above it.
+    let factors = [1.02, 1.10, 1.25];
+    let rcfg = RefineConfig {
+        refine_budget: 400,
+        max_nodes: nodes,
+        ..RefineConfig::default()
+    };
+
+    struct Row {
+        model_seed: u64,
+        radius: f64,
+        frontier: f64,
+        fast_certified: bool,
+        precise_certified: bool,
+        refine_verdict: &'static str,
+        refine_nodes: usize,
+        fast_ms: f64,
+        precise_ms: f64,
+        refine_ms: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for m in 0..models {
+        let seed = 40 + m as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = TransformerClassifier::new(
+            TransformerConfig {
+                vocab_size: 13,
+                max_len: 6,
+                embed_dim: 8,
+                num_heads: 2,
+                hidden_dim: 12,
+                num_layers: 2,
+                num_classes: 2,
+                layer_norm: LayerNormKind::NoStd,
+            },
+            &mut rng,
+        );
+        let tokens: Vec<usize> = (0..4).map(|i| 1 + (i * 3 + m) % 12).collect();
+        let position = 1usize;
+        let label = model.predict(&tokens);
+        let net = VerifiableTransformer::from(&model);
+        let emb = model.embed(&tokens);
+        let precise_cfg = DeepTConfig::precise(500);
+        let fast_cfg = DeepTConfig::fast(2000);
+        // The flat frontier: everything below this radius the flat passes
+        // already certify, so the interesting queries start just above.
+        let frontier = max_certified_radius(
+            |r| {
+                let region = t1_region(&emb, position, r, PNorm::Linf);
+                certify(&net, &region, label, &precise_cfg).certified
+            },
+            0.01,
+            14,
+        );
+        if frontier <= 0.0 {
+            continue;
+        }
+        for f in factors {
+            let radius = frontier * f;
+            let region = t1_region(&emb, position, radius, PNorm::Linf);
+
+            let t0 = Instant::now();
+            let fast_certified = certify_deadline_probed(
+                &net,
+                &region,
+                label,
+                &fast_cfg,
+                Deadline::after_ms(Some(deadline_ms)),
+                &NoopProbe,
+            )
+            .map(|r| r.certified)
+            .unwrap_or(false);
+            let fast_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t0 = Instant::now();
+            let precise_certified = certify_deadline_probed(
+                &net,
+                &region,
+                label,
+                &precise_cfg,
+                Deadline::after_ms(Some(deadline_ms)),
+                &NoopProbe,
+            )
+            .map(|r| r.certified)
+            .unwrap_or(false);
+            let precise_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t0 = Instant::now();
+            let report = refine_certify(
+                &model,
+                &tokens,
+                position,
+                radius,
+                PNorm::Linf,
+                label,
+                &rcfg,
+                Deadline::after_ms(Some(deadline_ms)),
+            );
+            let refine_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let refine_verdict = match report.outcome {
+                RefineOutcome::Certified { .. } => "certified",
+                RefineOutcome::Falsified { .. } => "falsified",
+                RefineOutcome::Unknown { .. } => "unknown",
+            };
+            rows.push(Row {
+                model_seed: seed,
+                radius,
+                frontier,
+                fast_certified,
+                precise_certified,
+                refine_verdict,
+                refine_nodes: report.nodes_explored,
+                fast_ms,
+                precise_ms,
+                refine_ms,
+            });
+        }
+    }
+
+    let queries = rows.len();
+    let fast_certified = rows.iter().filter(|r| r.fast_certified).count();
+    let precise_certified = rows.iter().filter(|r| r.precise_certified).count();
+    let refine_certified = rows
+        .iter()
+        .filter(|r| r.refine_verdict == "certified")
+        .count();
+    let hard: Vec<&Row> = rows
+        .iter()
+        .filter(|r| !r.fast_certified && !r.precise_certified)
+        .collect();
+    let recovered = hard
+        .iter()
+        .filter(|r| r.refine_verdict == "certified")
+        .count();
+    let recovery_rate = if hard.is_empty() {
+        0.0
+    } else {
+        recovered as f64 / hard.len() as f64
+    };
+
+    let row_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"model_seed\": {}, \"radius\": {:.6}, \"frontier\": {:.6}, \
+                 \"fast_certified\": {}, \"precise_certified\": {}, \
+                 \"refine_verdict\": \"{}\", \"refine_nodes\": {}, \
+                 \"fast_ms\": {:.2}, \"precise_ms\": {:.2}, \"refine_ms\": {:.2}}}",
+                r.model_seed,
+                r.radius,
+                r.frontier,
+                r.fast_certified,
+                r.precise_certified,
+                r.refine_verdict,
+                r.refine_nodes,
+                r.fast_ms,
+                r.precise_ms,
+                r.refine_ms,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"config\": {{\"deadline_ms\": {deadline_ms}, \"models\": {models}, \
+         \"max_nodes\": {nodes}, \"factors\": [1.02, 1.10, 1.25]}},\n  \"queries\": [\n{row_json}\n  ],\n  \
+         \"totals\": {{\"queries\": {queries}, \"fast_certified\": {fast_certified}, \
+         \"precise_certified\": {precise_certified}, \"refine_certified\": {refine_certified}, \
+         \"hard_queries\": {}, \"refine_recovered\": {recovered}, \
+         \"recovery_rate\": {recovery_rate:.3}}}\n}}\n",
+        hard.len(),
+    );
+    std::fs::write(&out_path, &json).map_err(|e| format!("could not write {out_path}: {e}"))?;
+    println!("{json}");
+    println!(
+        "refine bench: {queries} frontier queries, fast {fast_certified} certified, \
+         precise {precise_certified}, refine {refine_certified}; refinement recovered \
+         {recovered}/{} flat-unknown queries ({:.0}%)",
+        hard.len(),
+        recovery_rate * 100.0,
     );
     println!("bench written to {out_path}");
     Ok(())

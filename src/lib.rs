@@ -12,6 +12,10 @@
 //!   enumeration baselines;
 //! * [`lp`] — a dense simplex solver;
 //! * [`geocert`] — complete ReLU-MLP verification (GeoCert role);
+//! * [`refine`] — the CEGAR escalation ladder: Fast → Precise →
+//!   deadline-aware branch-and-bound over noise-symbol splits, with
+//!   concrete-attack pruning (`deept certify --refine`, serve variant
+//!   `refine`);
 //! * [`telemetry`] — verification spans, precision metrics and structured
 //!   traces (the [`telemetry::Probe`] trait accepted by every `*_probed`
 //!   verifier entry point);
@@ -61,6 +65,7 @@ pub use deept_geocert as geocert;
 pub use deept_lp as lp;
 pub use deept_metrics as metrics;
 pub use deept_nn as nn;
+pub use deept_refine as refine;
 pub use deept_serve as serve;
 pub use deept_soundness as soundness;
 pub use deept_telemetry as telemetry;
