@@ -399,6 +399,36 @@ impl RegistrySnapshot {
         self.help.dedup_by(|a, b| a.0 == b.0);
     }
 
+    /// Returns the snapshot with `(key, value)` added to every sample's
+    /// label set (replacing an existing `key` label), keeping per-name
+    /// label sort order. This is how a shard router distinguishes the N
+    /// per-shard copies of the same metric family before merging them into
+    /// one scrape: `snap.with_label("shard", "0")`.
+    #[must_use]
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        fn relabel(labels: &mut Vec<(String, String)>, key: &str, value: &str) {
+            labels.retain(|(k, _)| k != key);
+            labels.push((key.to_string(), value.to_string()));
+            labels.sort();
+        }
+        for c in &mut self.counters {
+            relabel(&mut c.labels, key, value);
+        }
+        for g in &mut self.gauges {
+            relabel(&mut g.labels, key, value);
+        }
+        for h in &mut self.histograms {
+            relabel(&mut h.labels, key, value);
+        }
+        self.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        self
+    }
+
     /// Looks up a counter sample by name (first match, any labels).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.counters
@@ -495,5 +525,44 @@ mod tests {
         assert_eq!(snap.counter_value("a_total"), Some(1));
         assert_eq!(snap.counter_value("b_total"), Some(5));
         assert_eq!(snap.help.len(), 2);
+    }
+
+    #[test]
+    fn with_label_distinguishes_shards_before_merging() {
+        // Two shards with the same metric families; relabelling lets one
+        // scrape hold both without the samples colliding.
+        let mk = |n: u64| {
+            let reg = Registry::new();
+            reg.counter("done_total", "Done.").add(n);
+            reg.counter_with("hits", &[("model", "a")], "Hits.").inc();
+            reg.histogram("lat", "Latency.").observe(0.5);
+            reg.snapshot()
+        };
+        let mut snap = mk(1).with_label("shard", "0");
+        snap.merge(mk(7).with_label("shard", "1"));
+        assert_eq!(snap.counters.len(), 4);
+        let shard_of = |c: &CounterSample| {
+            c.labels
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+        };
+        let done: Vec<_> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "done_total")
+            .collect();
+        assert_eq!(done.len(), 2);
+        assert_eq!(shard_of(done[0]), Some("0".into()));
+        assert_eq!(done[0].value, 1);
+        assert_eq!(shard_of(done[1]), Some("1".into()));
+        assert_eq!(done[1].value, 7);
+        // Pre-existing labels survive next to the shard label, sorted.
+        let hits = snap.counters.iter().find(|c| c.name == "hits").unwrap();
+        assert_eq!(hits.labels.len(), 2);
+        assert_eq!(snap.histograms.len(), 2);
+        // Relabelling an existing key replaces, not duplicates.
+        let re = mk(1).with_label("shard", "0").with_label("shard", "9");
+        assert_eq!(shard_of(&re.counters[0]), Some("9".into()));
     }
 }

@@ -1,0 +1,652 @@
+//! A nonblocking, poll-based connection front end: **one** I/O thread
+//! multiplexes every client connection, so the server spends zero threads
+//! per connection and never busy-sleeps in an accept loop.
+//!
+//! # Shape
+//!
+//! The loop owns the listener and all connection sockets, all in
+//! nonblocking mode, and blocks in `poll(2)` until something is ready
+//! (`std` already links the platform libc, so the raw `extern "C"`
+//! declaration adds no dependency; non-unix builds fall back to a short
+//! timed sleep with the same level-triggered semantics). Three event
+//! sources feed it:
+//!
+//! * the **listener** — accepted sockets become [`Conn`] entries;
+//! * **connection sockets** — readable bytes are split into JSON lines and
+//!   dispatched through [`Frontend::dispatch`]; writable sockets drain
+//!   their output buffer;
+//! * the **self-pipe** — worker threads finishing a queued job send a
+//!   [`Completion`] over an mpsc channel and write one byte into the pipe,
+//!   which wakes the loop out of `poll` immediately.
+//!
+//! # Ordering and backpressure
+//!
+//! Responses go back in request order per connection: every parsed request
+//! claims a FIFO slot, inline answers fill their slot immediately, queued
+//! certifications fill it whenever their worker finishes, and only the
+//! filled prefix is serialized to the socket. All per-connection buffers
+//! are bounded: an unterminated request line beyond [`MAX_LINE_BYTES`]
+//! answers `bad_request` and closes, more than [`MAX_PIPELINE`] pipelined
+//! requests answer `overloaded`, and a connection whose unflushed output
+//! exceeds [`WRITE_BACKPRESSURE_BYTES`] stops being *read* until the peer
+//! drains — a slow consumer throttles itself, not the server.
+//!
+//! # Shutdown
+//!
+//! Once [`Frontend::shutting_down`] turns true the loop stops accepting
+//! and stops reading, finishes every pending slot (queued jobs drain to
+//! workers and complete), flushes, closes all connections and returns.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+
+use crate::protocol::{self, ErrorCode, Request, Response};
+
+/// Bound on a single buffered request line (bytes without a newline).
+const MAX_LINE_BYTES: usize = 1 << 20;
+/// Bound on requests awaiting a response per connection (pipeline depth).
+const MAX_PIPELINE: usize = 128;
+/// Stop reading a connection whose unflushed output exceeds this.
+const WRITE_BACKPRESSURE_BYTES: usize = 256 << 10;
+/// Poll timeout: only a safety net for noticing an externally initiated
+/// drain; all normal work is readiness- or waker-driven.
+const POLL_TIMEOUT_MS: i32 = 100;
+
+/// What the event loop needs from a request handler. Implemented by
+/// [`crate::server::Server`] and [`crate::router::Router`].
+pub(crate) trait Frontend {
+    /// Handles one request. `Some(response)` answers inline (cache hits,
+    /// status, errors); `None` means the response arrives later through
+    /// `reply`.
+    fn dispatch(&self, req: Request, reply: ReplyHandle) -> Option<Response>;
+    /// When true the loop drains: no new connections, no new reads.
+    fn shutting_down(&self) -> bool;
+}
+
+/// A finished asynchronous response, addressed to one request slot of one
+/// connection.
+pub(crate) struct Completion {
+    conn: u64,
+    seq: u64,
+    response: Response,
+}
+
+/// Write end of the loop's self-pipe; waking is cheap and idempotent.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    #[cfg(unix)]
+    pipe: std::sync::Arc<std::os::unix::net::UnixStream>,
+}
+
+impl Waker {
+    pub fn wake(&self) {
+        // A full pipe means a wake is already pending — dropping the byte
+        // (or any error here) is fine.
+        #[cfg(unix)]
+        {
+            let _ = (&*self.pipe).write(&[1u8]);
+        }
+    }
+}
+
+/// Where a worker delivers the response for a queued request. Cloneable so
+/// coalesced waiters can each hold their own slot address.
+#[derive(Clone)]
+pub(crate) struct ReplyHandle {
+    tx: mpsc::Sender<Completion>,
+    waker: Waker,
+    conn: u64,
+    seq: u64,
+}
+
+impl ReplyHandle {
+    /// Delivers the response to its slot and wakes the loop. Infallible
+    /// from the caller's view: a gone loop or connection just drops it.
+    pub fn send(&self, response: Response) {
+        let _ = self.tx.send(Completion {
+            conn: self.conn,
+            seq: self.seq,
+            response,
+        });
+        self.waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) plumbing
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    pub type Fd = std::os::fd::RawFd;
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: Fd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        /// POSIX `poll(2)`; `std` links libc already, so no new dependency.
+        pub fn poll(
+            fds: *mut PollFd,
+            nfds: core::ffi::c_ulong,
+            timeout: core::ffi::c_int,
+        ) -> core::ffi::c_int;
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub type Fd = i32;
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: Fd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+}
+
+/// Blocks until a registered fd is ready or `timeout_ms` elapses, filling
+/// `revents`. The non-unix fallback sleeps briefly and reports everything
+/// ready — level-triggered semantics plus `WouldBlock` handling keep that
+/// correct, just less efficient.
+fn poll_readiness(fds: &mut [sys::PollFd], timeout_ms: i32) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        loop {
+            let rc = unsafe {
+                sys::poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as core::ffi::c_ulong,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        std::thread::sleep(std::time::Duration::from_millis(
+            2.min(timeout_ms.max(0) as u64),
+        ));
+        for f in fds.iter_mut() {
+            f.revents = f.events;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::fd::AsRawFd>(s: &T) -> sys::Fd {
+    s.as_raw_fd()
+}
+
+fn readable(revents: i16) -> bool {
+    revents & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0
+}
+
+fn writable(revents: i16) -> bool {
+    revents & (sys::POLLOUT | sys::POLLERR | sys::POLLHUP) != 0
+}
+
+fn errored(revents: i16) -> bool {
+    revents & sys::POLLNVAL != 0
+}
+
+/// Waits up to `timeout_ms` for `listener` to have an acceptable
+/// connection. Used by the metrics scrape listener so it blocks in the
+/// kernel instead of busy-polling accept with a sleep.
+pub(crate) fn wait_acceptable(listener: &TcpListener, timeout_ms: i32) -> io::Result<bool> {
+    #[cfg(unix)]
+    {
+        let mut fds = [sys::PollFd {
+            fd: raw_fd(listener),
+            events: sys::POLLIN,
+            revents: 0,
+        }];
+        poll_readiness(&mut fds, timeout_ms)?;
+        Ok(readable(fds[0].revents))
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = listener;
+        std::thread::sleep(std::time::Duration::from_millis(timeout_ms.max(1) as u64));
+        Ok(true)
+    }
+}
+
+/// The self-pipe: read end polled by the loop, write end shared by workers
+/// through [`Waker`].
+struct WakePipe {
+    #[cfg(unix)]
+    rx: std::os::unix::net::UnixStream,
+    waker: Waker,
+}
+
+impl WakePipe {
+    fn new() -> io::Result<WakePipe> {
+        #[cfg(unix)]
+        {
+            let (rx, tx) = std::os::unix::net::UnixStream::pair()?;
+            rx.set_nonblocking(true)?;
+            tx.set_nonblocking(true)?;
+            Ok(WakePipe {
+                rx,
+                waker: Waker {
+                    pipe: std::sync::Arc::new(tx),
+                },
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(WakePipe { waker: Waker {} })
+        }
+    }
+
+    fn drain(&mut self) {
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 64];
+            while matches!(self.rx.read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection state
+// ---------------------------------------------------------------------------
+
+/// A response slot; filled slots at the front of the queue serialize out.
+struct Slot {
+    seq: u64,
+    response: Option<Response>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes (at most one partial line).
+    inbuf: Vec<u8>,
+    /// Serialized responses not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    out_pos: usize,
+    /// In-order response slots for requests read off this connection.
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    /// Peer sent EOF (or we decided to close after flushing).
+    eof: bool,
+    /// Socket failed; close without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    fn unflushed(&self) -> usize {
+        self.outbuf.len() - self.out_pos
+    }
+
+    fn wants_read(&self, draining: bool) -> bool {
+        !self.dead
+            && !self.eof
+            && !draining
+            && self.pending.len() < MAX_PIPELINE
+            && self.unflushed() < WRITE_BACKPRESSURE_BYTES
+    }
+
+    fn wants_write(&self) -> bool {
+        !self.dead && self.unflushed() > 0
+    }
+
+    /// Whether the connection is finished and can be dropped.
+    fn closed(&self, draining: bool) -> bool {
+        self.dead || ((self.eof || draining) && self.pending.is_empty() && self.unflushed() == 0)
+    }
+
+    /// Fills the slot `seq` and serializes any now-complete prefix.
+    fn complete(&mut self, seq: u64, response: Response) {
+        if let Some(slot) = self.pending.iter_mut().find(|s| s.seq == seq) {
+            slot.response = Some(response);
+        }
+        self.flush_ready();
+    }
+
+    fn flush_ready(&mut self) {
+        while matches!(self.pending.front(), Some(slot) if slot.response.is_some()) {
+            let slot = self.pending.pop_front().expect("front checked");
+            let response = slot.response.expect("response checked");
+            // Vec<u8> writes are infallible.
+            let _ = protocol::write_line(&mut self.outbuf, &response);
+        }
+    }
+
+    /// Pulls everything readable off the socket and dispatches complete
+    /// lines.
+    fn read_ready<F: Frontend>(
+        &mut self,
+        frontend: &F,
+        tx: &mpsc::Sender<Completion>,
+        waker: &Waker,
+        conn_id: u64,
+    ) {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&buf[..n]);
+                    self.dispatch_lines(frontend, tx, waker, conn_id, false);
+                    if self.eof
+                        || self.pending.len() >= MAX_PIPELINE
+                        || self.unflushed() >= WRITE_BACKPRESSURE_BYTES
+                    {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.eof && !self.dead {
+            // A missing trailing newline still forms a final request,
+            // matching the blocking front end's EOF behaviour.
+            self.dispatch_lines(frontend, tx, waker, conn_id, true);
+        }
+    }
+
+    fn dispatch_lines<F: Frontend>(
+        &mut self,
+        frontend: &F,
+        tx: &mpsc::Sender<Completion>,
+        waker: &Waker,
+        conn_id: u64,
+        at_eof: bool,
+    ) {
+        while let Some(end) = self.inbuf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.inbuf.drain(..=end).collect();
+            self.dispatch_line(&line, frontend, tx, waker, conn_id);
+        }
+        if at_eof && !self.inbuf.is_empty() {
+            let line = std::mem::take(&mut self.inbuf);
+            self.dispatch_line(&line, frontend, tx, waker, conn_id);
+        } else if self.inbuf.len() > MAX_LINE_BYTES {
+            self.inline_response(protocol_error(
+                ErrorCode::BadRequest,
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+            self.inbuf = Vec::new();
+            self.eof = true; // close after the error flushes
+        }
+    }
+
+    fn dispatch_line<F: Frontend>(
+        &mut self,
+        line: &[u8],
+        frontend: &F,
+        tx: &mpsc::Sender<Completion>,
+        waker: &Waker,
+        conn_id: u64,
+    ) {
+        if line.iter().all(|b| b.is_ascii_whitespace()) {
+            return;
+        }
+        if self.pending.len() >= MAX_PIPELINE {
+            self.inline_response(protocol_error(
+                ErrorCode::Overloaded,
+                &format!("more than {MAX_PIPELINE} pipelined requests"),
+            ));
+            return;
+        }
+        let text = String::from_utf8_lossy(line);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back(Slot {
+            seq,
+            response: None,
+        });
+        match protocol::parse_request(&text) {
+            Ok(req) => {
+                let reply = ReplyHandle {
+                    tx: tx.clone(),
+                    waker: waker.clone(),
+                    conn: conn_id,
+                    seq,
+                };
+                if let Some(response) = frontend.dispatch(req, reply) {
+                    self.complete(seq, response);
+                }
+            }
+            Err(e) => {
+                self.complete(
+                    seq,
+                    protocol_error(ErrorCode::BadRequest, &format!("malformed request: {e}")),
+                );
+            }
+        }
+    }
+
+    /// Appends a loop-generated response in arrival order (its own slot).
+    fn inline_response(&mut self, response: Response) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back(Slot {
+            seq,
+            response: None,
+        });
+        self.complete(seq, response);
+    }
+
+    /// Pushes buffered output into the socket without blocking.
+    fn write_ready(&mut self) {
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.out_pos >= self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_pos = 0;
+        }
+    }
+}
+
+fn protocol_error(code: ErrorCode, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+        request_id: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The loop
+// ---------------------------------------------------------------------------
+
+/// Runs the event loop on `listener` until `frontend` starts shutting
+/// down, then drains pending responses, closes every connection and
+/// returns. Does **not** call any drain/join on the frontend — the caller
+/// owns that.
+pub(crate) fn run<F: Frontend>(frontend: &F, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    if let Ok(addr) = listener.local_addr() {
+        deept_telemetry::info!("serve", "event loop listening on {addr}");
+    }
+    let (tx, completions) = mpsc::channel::<Completion>();
+    let mut wake = WakePipe::new()?;
+    let waker = wake.waker.clone();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn_id: u64 = 0;
+    loop {
+        let draining = frontend.shutting_down();
+        if draining && conns.is_empty() {
+            break;
+        }
+
+        // Register interest. fds[0] = self-pipe, fds[1] = listener (while
+        // accepting), then one entry per connection (aligned with `order`).
+        let mut fds: Vec<sys::PollFd> = Vec::with_capacity(conns.len() + 2);
+        #[cfg(unix)]
+        fds.push(sys::PollFd {
+            fd: raw_fd(&wake.rx),
+            events: sys::POLLIN,
+            revents: 0,
+        });
+        #[cfg(not(unix))]
+        fds.push(sys::PollFd {
+            fd: 0,
+            events: 0,
+            revents: 0,
+        });
+        let listener_idx = if draining {
+            None
+        } else {
+            #[cfg(unix)]
+            fds.push(sys::PollFd {
+                fd: raw_fd(&listener),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            #[cfg(not(unix))]
+            fds.push(sys::PollFd {
+                fd: 0,
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            Some(fds.len() - 1)
+        };
+        let conn_base = fds.len();
+        let mut order: Vec<u64> = Vec::with_capacity(conns.len());
+        for (&id, conn) in conns.iter() {
+            let mut events = 0i16;
+            if conn.wants_read(draining) {
+                events |= sys::POLLIN;
+            }
+            if conn.wants_write() {
+                events |= sys::POLLOUT;
+            }
+            #[cfg(unix)]
+            fds.push(sys::PollFd {
+                fd: raw_fd(&conn.stream),
+                events,
+                revents: 0,
+            });
+            #[cfg(not(unix))]
+            fds.push(sys::PollFd {
+                fd: 0,
+                events,
+                revents: 0,
+            });
+            order.push(id);
+        }
+
+        poll_readiness(&mut fds, POLL_TIMEOUT_MS)?;
+
+        if readable(fds[0].revents) {
+            wake.drain();
+        }
+        // Deliver finished jobs into their slots (channel is drained every
+        // iteration regardless of the wake byte, so nothing is ever lost).
+        while let Ok(done) = completions.try_recv() {
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                conn.complete(done.seq, done.response);
+            }
+        }
+
+        if let Some(i) = listener_idx {
+            if readable(fds[i].revents) {
+                accept_ready(&listener, &mut conns, &mut next_conn_id);
+            }
+        }
+
+        for (i, &id) in order.iter().enumerate() {
+            let revents = fds[conn_base + i].revents;
+            let conn = conns.get_mut(&id).expect("conn ids are stable");
+            if errored(revents) {
+                conn.dead = true;
+                continue;
+            }
+            if readable(revents) && conn.wants_read(draining) {
+                conn.read_ready(frontend, &tx, &waker, id);
+            } else if revents & sys::POLLHUP != 0 {
+                conn.eof = true;
+            }
+            if conn.wants_write() && (writable(revents) || conn.unflushed() > 0) {
+                conn.write_ready();
+            }
+        }
+        conns.retain(|_, c| !c.closed(draining));
+    }
+    Ok(())
+}
+
+fn accept_ready(listener: &TcpListener, conns: &mut HashMap<u64, Conn>, next_id: &mut u64) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                conns.insert(*next_id, Conn::new(stream));
+                *next_id += 1;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                // Transient accept failures (fd exhaustion and friends)
+                // must not kill the server; keep serving live connections.
+                deept_telemetry::warn!("serve", "accept failed: {e}");
+                break;
+            }
+        }
+    }
+}

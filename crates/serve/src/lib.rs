@@ -65,11 +65,13 @@
 
 pub mod cache;
 pub mod client;
+mod event_loop;
 pub mod loadgen;
 mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
+pub mod router;
 pub mod server;
 mod sync;
 

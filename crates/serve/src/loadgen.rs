@@ -15,7 +15,11 @@
 //! process-unique counter added to the ε bit pattern), so every query is a
 //! distinct cache key and the generator exercises the full verification
 //! path rather than the result cache. Pass `unique_eps: false` to measure
-//! cache-hit serving instead.
+//! cache-hit serving instead. `wave > 1` divides the counter by the wave
+//! size, so groups of `wave` consecutive requests share one ε and collide
+//! as identical *in-flight* keys — the workload that exercises the
+//! server's request coalescing and batch fusion (concurrent clients issue
+//! the same query before any of them has a cached result).
 //!
 //! Latency is measured client-side per request (send → parsed reply).
 //! Around the run, the generator issues `metrics` requests and differences
@@ -63,6 +67,10 @@ pub struct LoadgenConfig {
     pub rate: Option<f64>,
     /// Make every request a distinct cache key (see the module docs).
     pub unique_eps: bool,
+    /// Consecutive requests sharing one ε (and hence one cache key);
+    /// `<= 1` keeps every request distinct. Only meaningful with
+    /// `unique_eps`.
+    pub wave: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -80,6 +88,7 @@ impl Default for LoadgenConfig {
             requests: None,
             rate: None,
             unique_eps: true,
+            wave: 1,
         }
     }
 }
@@ -348,7 +357,13 @@ fn loadgen_thread(
             next_send += interval;
         }
         let eps = if cfg.unique_eps {
-            f64::from_bits(cfg.eps.to_bits() + eps_nonce.fetch_add(1, Ordering::Relaxed))
+            let nonce = eps_nonce.fetch_add(1, Ordering::Relaxed);
+            let group = if cfg.wave > 1 {
+                nonce / cfg.wave as u64
+            } else {
+                nonce
+            };
+            f64::from_bits(cfg.eps.to_bits() + group)
         } else {
             cfg.eps
         };

@@ -27,6 +27,16 @@ pub(crate) struct ServeMetrics {
     pub deadline_timeouts: Counter,
     /// `deept_serve_overloaded_total`: submissions bounced off a full queue.
     pub overloaded: Counter,
+    /// `deept_serve_fused_batches_total`: lockstep batches of ≥ 2 members.
+    pub fused_batches: Counter,
+    /// `deept_serve_fused_members_total`: jobs executed inside a fused batch.
+    pub fused_members: Counter,
+    /// `deept_serve_coalesced_total`: requests answered by attaching to an
+    /// identical in-flight computation instead of running their own.
+    pub coalesced: Counter,
+    /// `deept_serve_fused_requeued_total`: coalesced stragglers re-dispatched
+    /// individually after their fused leader timed out.
+    pub fused_requeued: Counter,
     /// `deept_serve_queue_depth` gauge.
     pub queue_depth: Gauge,
     /// `deept_serve_in_flight` gauge.
@@ -71,6 +81,22 @@ impl ServeMetrics {
             "deept_serve_overloaded_total",
             "Requests rejected because the job queue was full.",
         );
+        let fused_batches = registry.counter(
+            "deept_serve_fused_batches_total",
+            "Lockstep fused batches of at least two members.",
+        );
+        let fused_members = registry.counter(
+            "deept_serve_fused_members_total",
+            "Certification jobs executed inside a fused batch.",
+        );
+        let coalesced = registry.counter(
+            "deept_serve_coalesced_total",
+            "Requests answered by an identical in-flight computation.",
+        );
+        let fused_requeued = registry.counter(
+            "deept_serve_fused_requeued_total",
+            "Coalesced stragglers re-dispatched after a fused leader timeout.",
+        );
         let queue_depth = registry.gauge(
             "deept_serve_queue_depth",
             "Jobs currently waiting in the queue.",
@@ -108,6 +134,10 @@ impl ServeMetrics {
             cache_misses,
             deadline_timeouts,
             overloaded,
+            fused_batches,
+            fused_members,
+            coalesced,
+            fused_requeued,
             queue_depth,
             in_flight,
             uptime,

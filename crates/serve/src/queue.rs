@@ -113,6 +113,41 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Removes and returns up to `max` waiting jobs matching `pred`,
+    /// preserving the relative order of both the taken and the remaining
+    /// jobs. Used by workers to drain fusible siblings of a job they just
+    /// dequeued into one batched propagation.
+    pub fn take_matching<F: FnMut(&T) -> bool>(&self, max: usize, mut pred: F) -> Vec<T> {
+        let mut taken = Vec::new();
+        if max == 0 {
+            return taken;
+        }
+        let mut state = lock(&self.inner.state);
+        let mut rest = VecDeque::with_capacity(state.jobs.len());
+        while let Some(job) = state.jobs.pop_front() {
+            if taken.len() < max && pred(&job) {
+                taken.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        state.jobs = rest;
+        taken
+    }
+
+    /// Re-admits an already-accepted job at the back of the queue,
+    /// bypassing both the capacity check and the closed flag: a request
+    /// that was admitted once must drain to a worker even during shutdown
+    /// (used when a coalesced straggler is re-dispatched after its fused
+    /// leader timed out). Only workers call this, from inside their own
+    /// dequeue loop, so the job is always picked up again.
+    pub fn requeue(&self, job: T) {
+        let mut state = lock(&self.inner.state);
+        state.jobs.push_back(job);
+        drop(state);
+        self.inner.available.notify_one();
+    }
+
     /// Refuses new submissions; queued jobs still drain through
     /// [`next`](Self::next). Idempotent.
     pub fn close(&self) {
@@ -184,6 +219,36 @@ mod tests {
         assert_eq!(q.next(), Some(2));
         assert_eq!(q.next(), None);
         assert_eq!(q.next(), None); // stays terminated
+    }
+
+    #[test]
+    fn take_matching_preserves_order_and_caps() {
+        let q = JobQueue::new(8);
+        for j in [1u32, 12, 2, 13, 3, 14, 15] {
+            q.submit(j).unwrap();
+        }
+        // Take at most two jobs >= 10; the rest keep their relative order.
+        assert_eq!(q.take_matching(2, |&j| j >= 10), vec![12, 13]);
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.next(), Some(2));
+        assert_eq!(q.next(), Some(3));
+        assert_eq!(q.next(), Some(14));
+        assert_eq!(q.next(), Some(15));
+        assert_eq!(q.take_matching(0, |_| true), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_and_close() {
+        let q = JobQueue::new(1);
+        q.submit(1).unwrap();
+        assert_eq!(q.submit(2), Err(SubmitError::Overloaded));
+        q.requeue(2); // over capacity, still admitted
+        q.close();
+        q.requeue(3); // closed, still admitted: accepted work must drain
+        assert_eq!(q.next(), Some(1));
+        assert_eq!(q.next(), Some(2));
+        assert_eq!(q.next(), Some(3));
+        assert_eq!(q.next(), None);
     }
 
     #[test]

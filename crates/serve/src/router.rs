@@ -1,0 +1,674 @@
+//! A thin, stateless shard router speaking the JSON-lines protocol.
+//!
+//! `deept serve --shards N` forks `N` worker processes, each a full
+//! [`Server`](crate::server::Server) owning the models routed to it, and
+//! runs a [`Router`] in front. The router holds **no model state**: a
+//! checkpoint belongs to the shard selected by
+//! [`shard_for`]`(fingerprint, N)` — an FNV-1a 64 hash of the content
+//! fingerprint modulo the shard count — so a given model always lands on
+//! the same shard regardless of load order, and repeated requests for
+//! one model hit one result cache.
+//!
+//! Clients speak the unchanged protocol to the router:
+//!
+//! * `load_model` — the router peeks the checkpoint envelope for its
+//!   fingerprint (without deserializing the weights), forwards the load
+//!   to the owning shard and records the `model_id → shard` assignment;
+//! * `certify` — forwarded to the assigned shard over a persistent
+//!   connection;
+//! * `status` / `metrics` — aggregated across every shard: counters are
+//!   summed, per-shard metric families are relabeled with a `shard`
+//!   label and merged, so one Prometheus scrape of the router sees the
+//!   whole fleet;
+//! * `shutdown` — broadcast to every shard; each drains its queue, then
+//!   the router itself drains and exits.
+//!
+//! The router reuses the nonblocking [`event_loop`] front end: one I/O
+//! thread multiplexes client connections while a small pool of forwarder
+//! threads does the blocking shard round-trips. Per-shard queue-depth
+//! gauges and latency histograms (`deept_router_shard_*{shard="i"}`)
+//! expose routing imbalance.
+
+use std::collections::HashMap;
+use std::io::{self};
+use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use deept_metrics::{Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+use serde::Deserialize;
+
+use crate::client::Client;
+use crate::event_loop::{self, ReplyHandle};
+use crate::protocol::{ErrorCode, Request, Response, StatusReport};
+use crate::queue::{JobQueue, SubmitError};
+use crate::server::{error, spawn_scrape_listener, ReplySink, ScrapeSource};
+use crate::sync::lock;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses (`host:port`), one per worker process. The shard
+    /// index in this vector is the routing target of [`shard_for`].
+    pub shards: Vec<String>,
+    /// Forwarder threads doing the blocking shard round-trips.
+    pub forwarders: usize,
+    /// Bounded forward-queue capacity; submissions beyond it are
+    /// rejected with `overloaded`, mirroring the single-server queue.
+    pub queue_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: Vec::new(),
+            forwarders: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The shard owning `fingerprint` among `shards` workers: FNV-1a 64 of
+/// the fingerprint string, modulo the shard count. Deterministic, so a
+/// checkpoint always routes to the same shard.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn shard_for(fingerprint: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (deept_nn::checkpoint::fnv1a_64(fingerprint.as_bytes()) % shards as u64) as usize
+}
+
+/// The checkpoint envelope's cheap prefix: format tag and fingerprint,
+/// with the (large) model payload parsed but not materialized.
+#[derive(Deserialize)]
+struct EnvelopePeek {
+    format: String,
+    fingerprint: String,
+}
+
+/// Reads just the routing fingerprint out of a checkpoint file.
+///
+/// # Errors
+///
+/// Returns an error when the file is unreadable, not JSON, or not a
+/// `deept-checkpoint-v1` envelope.
+pub fn peek_fingerprint(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| format!("could not read checkpoint {path}: {e}"))?;
+    let peek: EnvelopePeek = serde_json::from_str(&text)
+        .map_err(|e| format!("checkpoint {path} is not a valid envelope: {e}"))?;
+    if peek.format != "deept-checkpoint-v1" {
+        return Err(format!(
+            "checkpoint {path} has format tag {:?}, expected \"deept-checkpoint-v1\"",
+            peek.format
+        ));
+    }
+    Ok(peek.fingerprint)
+}
+
+/// Where a forwarded request goes.
+enum Target {
+    /// One shard, by index.
+    Shard(usize),
+    /// Every shard, aggregating the responses (status/metrics/shutdown).
+    Broadcast,
+}
+
+struct ForwardJob {
+    target: Target,
+    request: Request,
+    request_id: u64,
+    arrival: Instant,
+    reply: ReplySink,
+}
+
+struct RouterMetrics {
+    registry: Registry,
+    started: Instant,
+    received: Counter,
+    forwarded: Counter,
+    forward_errors: Counter,
+    overloaded: Counter,
+    /// Per-shard jobs queued or in flight toward that shard.
+    shard_depth: Vec<Gauge>,
+    /// Per-shard round-trip latency (send → response).
+    shard_latency: Vec<Histogram>,
+}
+
+impl RouterMetrics {
+    fn new(shards: usize) -> RouterMetrics {
+        let registry = Registry::new();
+        let received = registry.counter(
+            "deept_router_requests_total",
+            "Requests read off router connections.",
+        );
+        let forwarded = registry.counter(
+            "deept_router_forwarded_total",
+            "Requests forwarded to a shard (broadcasts count once per shard).",
+        );
+        let forward_errors = registry.counter(
+            "deept_router_forward_errors_total",
+            "Shard round-trips that failed after one reconnect attempt.",
+        );
+        let overloaded = registry.counter(
+            "deept_router_overloaded_total",
+            "Requests rejected because the forward queue was full.",
+        );
+        let mut shard_depth = Vec::with_capacity(shards);
+        let mut shard_latency = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let label = i.to_string();
+            shard_depth.push(registry.gauge_with(
+                "deept_router_shard_queue_depth",
+                &[("shard", &label)],
+                "Requests queued or in flight toward this shard.",
+            ));
+            shard_latency.push(registry.histogram_with(
+                "deept_router_shard_latency_seconds",
+                &[("shard", &label)],
+                "Shard round-trip latency, send to response.",
+            ));
+        }
+        RouterMetrics {
+            registry,
+            started: Instant::now(),
+            received,
+            forwarded,
+            forward_errors,
+            overloaded,
+            shard_depth,
+            shard_latency,
+        }
+    }
+}
+
+struct RouterInner {
+    cfg: RouterConfig,
+    /// `model_id → shard index`, recorded on successful `load_model`.
+    assignments: Mutex<HashMap<String, usize>>,
+    queue: JobQueue<ForwardJob>,
+    metrics: RouterMetrics,
+    next_request_id: AtomicU64,
+    shutdown: AtomicBool,
+    forwarders: Mutex<Vec<JoinHandle<()>>>,
+    service_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running shard router; clones share the same instance.
+pub struct Router {
+    inner: Arc<RouterInner>,
+}
+
+impl Clone for Router {
+    fn clone(&self) -> Self {
+        Router {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Router {
+    /// Starts the forwarder pool and returns the router.
+    ///
+    /// Like the worker pool, forwarders that fail to spawn degrade the
+    /// pool instead of panicking; with zero forwarders the queue is
+    /// closed so requests fail fast instead of hanging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is empty — a router with nothing behind it
+    /// is a configuration error, not a runtime state.
+    pub fn new(cfg: RouterConfig) -> Router {
+        assert!(!cfg.shards.is_empty(), "router needs at least one shard");
+        let forwarders = cfg.forwarders.max(1);
+        let queue_capacity = cfg.queue_capacity.max(1);
+        let shards = cfg.shards.len();
+        let router = Router {
+            inner: Arc::new(RouterInner {
+                assignments: Mutex::new(HashMap::new()),
+                queue: JobQueue::new(queue_capacity),
+                metrics: RouterMetrics::new(shards),
+                next_request_id: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                forwarders: Mutex::new(Vec::new()),
+                service_threads: Mutex::new(Vec::new()),
+                cfg,
+            }),
+        };
+        let mut handles = Vec::with_capacity(forwarders);
+        for i in 0..forwarders {
+            let inner = Arc::clone(&router.inner);
+            match thread::Builder::new()
+                .name(format!("deept-forward-{i}"))
+                .spawn(move || forwarder_loop(&inner))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(e) => deept_telemetry::warn!(
+                    "router",
+                    "could not spawn forwarder {i}: {e}; continuing with {} forwarder(s)",
+                    handles.len()
+                ),
+            }
+        }
+        if handles.is_empty() {
+            deept_telemetry::warn!(
+                "router",
+                "no forwarder threads could be spawned; requests will be refused"
+            );
+            router.inner.queue.close();
+        }
+        *lock(&router.inner.forwarders) = handles;
+        router
+    }
+
+    /// Shard addresses this router fronts, in index order.
+    pub fn shards(&self) -> &[String] {
+        &self.inner.cfg.shards
+    }
+
+    /// The shard index a model id is currently assigned to, if loaded.
+    pub fn assignment(&self, model_id: &str) -> Option<usize> {
+        lock(&self.inner.assignments).get(model_id).copied()
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The router's own registry snapshot (no shard contact); the
+    /// `metrics` request additionally merges relabeled shard snapshots.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.inner.metrics.registry.snapshot()
+    }
+
+    /// Handles one request synchronously (used by tests and stdio).
+    pub fn handle(&self, req: Request) -> Response {
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.received.inc();
+        let (tx, rx) = mpsc::channel();
+        let mut response = match self.route(req, id, ReplySink::Sync(tx)) {
+            Some(inline) => inline,
+            None => match rx.recv() {
+                Ok(response) => response,
+                Err(_) => error(ErrorCode::Internal, "forwarder dropped the reply channel"),
+            },
+        };
+        response.set_request_id(id);
+        response
+    }
+
+    /// Routes one request: `Some` when answered inline (validation
+    /// failures, overload), `None` when queued for a forwarder.
+    fn route(&self, req: Request, request_id: u64, reply: ReplySink) -> Option<Response> {
+        if self.shutting_down() && !matches!(req, Request::Shutdown) {
+            return Some(error(ErrorCode::ShuttingDown, "router is draining"));
+        }
+        let target = match &req {
+            Request::Certify(c) => match self.assignment(&c.model_id) {
+                Some(shard) => Target::Shard(shard),
+                None => {
+                    return Some(error(
+                        ErrorCode::UnknownModel,
+                        &format!("no model {:?} loaded through this router", c.model_id),
+                    ));
+                }
+            },
+            Request::LoadModel { path, .. } => match peek_fingerprint(path) {
+                Ok(fingerprint) => {
+                    let shard = shard_for(&fingerprint, self.inner.cfg.shards.len());
+                    deept_telemetry::debug!(
+                        "router",
+                        "req-{request_id}: fingerprint {fingerprint} routes to shard {shard}"
+                    );
+                    Target::Shard(shard)
+                }
+                Err(e) => return Some(error(ErrorCode::BadRequest, &e)),
+            },
+            Request::Status | Request::Metrics | Request::Shutdown => Target::Broadcast,
+        };
+        if matches!(req, Request::Shutdown) {
+            // Start draining immediately: the event loop stops accepting
+            // while the broadcast job tells every shard to drain.
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+        }
+        let depth_shard = match target {
+            Target::Shard(shard) => Some(shard),
+            Target::Broadcast => None,
+        };
+        if let Some(shard) = depth_shard {
+            self.inner.metrics.shard_depth[shard].add(1.0);
+        }
+        let job = ForwardJob {
+            target,
+            request: req,
+            request_id,
+            arrival: Instant::now(),
+            reply,
+        };
+        match self.inner.queue.submit(job) {
+            Ok(()) => None,
+            Err(e) => {
+                // Undo the depth bump for refused jobs.
+                if let Some(shard) = depth_shard {
+                    self.inner.metrics.shard_depth[shard].sub(1.0);
+                }
+                Some(match e {
+                    SubmitError::Overloaded => {
+                        self.inner.metrics.overloaded.inc();
+                        error(
+                            ErrorCode::Overloaded,
+                            "router forward queue is full; retry later",
+                        )
+                    }
+                    SubmitError::Closed => error(ErrorCode::ShuttingDown, "router is draining"),
+                })
+            }
+        }
+    }
+
+    /// Serves an already-bound listener with the nonblocking event loop
+    /// until a `shutdown` request has been broadcast, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if polling fails; the router is
+    /// drained either way.
+    pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
+        let result = event_loop::run(self, listener);
+        self.drain();
+        result
+    }
+
+    /// Binds `addr` and serves until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding or polling fails.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<()> {
+        self.serve_listener(TcpListener::bind(addr)?)
+    }
+
+    /// Stops intake and joins the forwarder pool. Idempotent.
+    pub fn drain(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue.close();
+        let forwarders = std::mem::take(&mut *lock(&self.inner.forwarders));
+        for handle in forwarders {
+            let _ = handle.join();
+        }
+        let service = std::mem::take(&mut *lock(&self.inner.service_threads));
+        for handle in service {
+            let _ = handle.join();
+        }
+    }
+
+    /// Binds an HTTP/1.0 scrape listener that exposes the aggregated
+    /// fleet metrics (`GET /metrics`) — the router's own registry merged
+    /// with every shard's snapshot relabeled by shard index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding or spawning fails.
+    pub fn spawn_metrics_listener(&self, addr: &str) -> io::Result<SocketAddr> {
+        let done = {
+            let router = self.clone();
+            move || router.shutting_down()
+        };
+        let metrics = {
+            let router = self.clone();
+            move || router.aggregate_metrics().to_prometheus()
+        };
+        let source = ScrapeSource {
+            done: Box::new(done),
+            metrics: Box::new(metrics),
+            profile: Box::new(String::new),
+        };
+        let (bound, handle) = spawn_scrape_listener(addr, source)?;
+        let mut handles = lock(&self.inner.service_threads);
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
+        Ok(bound)
+    }
+
+    /// The router registry merged with every reachable shard's snapshot,
+    /// each shard's samples relabeled with `shard="<index>"`. Uses its
+    /// own transient shard connections (scrapes are infrequent) so it
+    /// never contends with the forwarder pool.
+    pub fn aggregate_metrics(&self) -> RegistrySnapshot {
+        let mut conns = ShardConns::new();
+        self.inner
+            .metrics
+            .registry
+            .snapshot()
+            .merge_shards(&self.inner, &mut conns)
+    }
+}
+
+impl event_loop::Frontend for Router {
+    fn dispatch(&self, req: Request, reply: ReplyHandle) -> Option<Response> {
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.received.inc();
+        self.route(req, id, ReplySink::Async(reply)).map(|mut r| {
+            r.set_request_id(id);
+            r
+        })
+    }
+
+    fn shutting_down(&self) -> bool {
+        Router::shutting_down(self)
+    }
+}
+
+/// Merge helper so `aggregate_metrics` reads naturally.
+trait MergeShards {
+    fn merge_shards(self, inner: &RouterInner, conns: &mut ShardConns) -> RegistrySnapshot;
+}
+
+impl MergeShards for RegistrySnapshot {
+    fn merge_shards(mut self, inner: &RouterInner, conns: &mut ShardConns) -> RegistrySnapshot {
+        for shard in 0..inner.cfg.shards.len() {
+            match exchange(inner, conns, shard, &Request::Metrics) {
+                Ok(Response::Metrics { snapshot, .. }) => {
+                    self.merge(snapshot.with_label("shard", &shard.to_string()));
+                }
+                Ok(_) | Err(_) => {
+                    inner.metrics.forward_errors.inc();
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Per-caller persistent shard connections, keyed by shard index. Each
+/// forwarder thread owns its own set, so round-trips to one shard from
+/// different forwarders overlap instead of serializing on a shared
+/// connection — that overlap is what lets identical in-flight requests
+/// actually collide (and coalesce) at the shard.
+type ShardConns = HashMap<usize, Client>;
+
+/// One round-trip to `shard` over the caller's persistent connection,
+/// lazily connecting and retrying once with a fresh connection on I/O
+/// failure (the previous one may have idled out).
+fn exchange(
+    inner: &RouterInner,
+    conns: &mut ShardConns,
+    shard: usize,
+    request: &Request,
+) -> io::Result<Response> {
+    let started = Instant::now();
+    let mut last_err: Option<io::Error> = None;
+    for _attempt in 0..2 {
+        let client = match conns.entry(shard) {
+            std::collections::hash_map::Entry::Occupied(slot) => slot.into_mut(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                match Client::connect(&inner.cfg.shards[shard]) {
+                    Ok(client) => slot.insert(client),
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                }
+            }
+        };
+        match client.send(request) {
+            Ok(response) => {
+                inner.metrics.forwarded.inc();
+                inner.metrics.shard_latency[shard].observe(started.elapsed().as_secs_f64());
+                return Ok(response);
+            }
+            Err(e) => {
+                // Drop the broken connection; the next attempt redials.
+                conns.remove(&shard);
+                last_err = Some(e);
+            }
+        }
+    }
+    inner.metrics.forward_errors.inc();
+    Err(last_err.unwrap_or_else(|| io::Error::other("shard exchange failed")))
+}
+
+fn forwarder_loop(inner: &RouterInner) {
+    let mut conns = ShardConns::new();
+    while let Some(job) = inner.queue.next() {
+        let response = match job.target {
+            Target::Shard(shard) => {
+                let response = match exchange(inner, &mut conns, shard, &job.request) {
+                    Ok(response) => response,
+                    Err(e) => error(
+                        ErrorCode::Internal,
+                        &format!("shard {shard} unreachable: {e}"),
+                    ),
+                };
+                inner.metrics.shard_depth[shard].sub(1.0);
+                // Record a fresh assignment on successful loads.
+                if let (Request::LoadModel { model_id, .. }, Response::ModelLoaded { .. }) =
+                    (&job.request, &response)
+                {
+                    lock(&inner.assignments).insert(model_id.clone(), shard);
+                    deept_telemetry::info!(
+                        "router",
+                        "req-{}: model {model_id:?} assigned to shard {shard}",
+                        job.request_id
+                    );
+                }
+                response
+            }
+            Target::Broadcast => broadcast(inner, &mut conns, &job),
+        };
+        deept_telemetry::debug!(
+            "router",
+            "req-{}: forwarded in {:.1} ms",
+            job.request_id,
+            job.arrival.elapsed().as_secs_f64() * 1e3
+        );
+        let mut response = response;
+        response.set_request_id(job.request_id);
+        job.reply.send(response);
+    }
+}
+
+/// Fans a status/metrics/shutdown request out to every shard and folds
+/// the responses into one.
+fn broadcast(inner: &RouterInner, conns: &mut ShardConns, job: &ForwardJob) -> Response {
+    match &job.request {
+        Request::Status => {
+            let mut report = StatusReport {
+                workers: 0,
+                queue_capacity: inner.queue.capacity(),
+                uptime_seconds: inner.metrics.started.elapsed().as_secs_f64(),
+                received: inner.metrics.received.value(),
+                overloaded: inner.metrics.overloaded.value(),
+                ..StatusReport::default()
+            };
+            for shard in 0..inner.cfg.shards.len() {
+                match exchange(inner, conns, shard, &Request::Status) {
+                    Ok(Response::Status(s)) => {
+                        report.completed += s.completed;
+                        report.cache_hits += s.cache_hits;
+                        report.cache_misses += s.cache_misses;
+                        report.deadline_aborts += s.deadline_aborts;
+                        report.overloaded += s.overloaded;
+                        report.queue_depth += s.queue_depth;
+                        report.in_flight += s.in_flight;
+                        report.workers += s.workers;
+                        report.models.extend(s.models);
+                    }
+                    Ok(_) | Err(_) => inner.metrics.forward_errors.inc(),
+                }
+            }
+            report.models.sort();
+            Response::Status(report)
+        }
+        Request::Metrics => Response::Metrics {
+            snapshot: inner.metrics.registry.snapshot().merge_shards(inner, conns),
+            request_id: None,
+        },
+        Request::Shutdown => {
+            let mut pending = inner.queue.len() as u64;
+            for shard in 0..inner.cfg.shards.len() {
+                match exchange(inner, conns, shard, &Request::Shutdown) {
+                    Ok(Response::ShuttingDown { pending: p, .. }) => pending += p,
+                    Ok(_) | Err(_) => inner.metrics.forward_errors.inc(),
+                }
+            }
+            // Close after the broadcast: queued jobs still drain, new
+            // submissions bounce with `shutting_down`.
+            inner.queue.close();
+            deept_telemetry::info!(
+                "router",
+                "req-{}: shutdown broadcast to {} shard(s)",
+                job.request_id,
+                inner.cfg.shards.len()
+            );
+            Response::ShuttingDown {
+                pending,
+                request_id: None,
+            }
+        }
+        _ => error(ErrorCode::Internal, "unexpected broadcast request"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_for_is_deterministic_and_in_range() {
+        for shards in 1..8 {
+            for fp in ["91ab", "0000000000000000", "deadbeefdeadbeef"] {
+                let s = shard_for(fp, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(fp, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_for_spreads_distinct_fingerprints() {
+        // Not a uniformity proof — just that routing is not constant.
+        let hits: std::collections::HashSet<usize> = (0..64)
+            .map(|i| shard_for(&format!("{i:016x}"), 4))
+            .collect();
+        assert!(hits.len() > 1, "all fingerprints routed to one shard");
+    }
+
+    #[test]
+    fn peek_fingerprint_rejects_non_checkpoints() {
+        assert!(peek_fingerprint("/nonexistent/path.json").is_err());
+        let dir = std::env::temp_dir().join("deept-router-peek-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"format\":\"other\",\"fingerprint\":\"ab\"}").unwrap();
+        let err = peek_fingerprint(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("format tag"), "unexpected error: {err}");
+    }
+}

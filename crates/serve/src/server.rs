@@ -1,16 +1,18 @@
-//! The certification server: worker pool, request handling, and the TCP /
-//! stdio connection loops.
+//! The certification server: worker pool, request handling, batch fusion
+//! and the transport glue for the event-loop / stdio front ends.
 //!
 //! # Lifecycle
 //!
 //! [`Server::new`] spawns the worker pool immediately; requests can then
-//! be fed from any transport. [`Server::serve_listener`] accepts TCP
-//! connections (one thread each, JSON lines in both directions);
-//! [`Server::serve_stdio`] speaks the same protocol over any
-//! `BufRead`/`Write` pair, which is how CI exercises the server without a
-//! socket. A `shutdown` request (or stdio EOF) stops intake; already
-//! queued and in-flight jobs drain to completion before the workers exit,
-//! so no accepted request is ever dropped.
+//! be fed from any transport. [`Server::serve_listener`] runs the
+//! nonblocking [`event_loop`](crate::event_loop) — one I/O thread
+//! multiplexing every connection over `poll(2)`, no per-connection
+//! threads and no accept backoff sleep. [`Server::serve_stdio`] speaks
+//! the same protocol over any `BufRead`/`Write` pair, which is how CI
+//! exercises the server without a socket. A `shutdown` request (or stdio
+//! EOF) stops intake; already queued and in-flight jobs drain to
+//! completion before the workers exit, so no accepted request is ever
+//! dropped.
 //!
 //! # Request flow
 //!
@@ -23,6 +25,29 @@
 //! queue counts against the budget; workers poll it cooperatively between
 //! radius-search iterations, encoder layers and margin queries, and an
 //! expired request yields a `timeout` error instead of hanging a worker.
+//!
+//! # Batch fusion
+//!
+//! Two mechanisms share work between concurrent identical or related
+//! requests, both preserving bitwise-identical answers:
+//!
+//! - **Coalescing**: a certify request whose [`CacheKey`] matches a job
+//!   already admitted but not yet finished attaches to that leader
+//!   instead of queueing its own copy. The leader's successful response
+//!   is shared verbatim (results are deterministic, so this is the exact
+//!   response the waiter's own run would have produced). If the leader
+//!   times out, waiters whose own deadlines still have budget are
+//!   re-dispatched individually — the fused-deadline rule: shared work
+//!   runs under the leader's deadline, stragglers finish on their own.
+//! - **Lockstep batching**: a worker that dequeues a fusible eps query
+//!   drains up to `fuse_max - 1` same-group siblings (same checkpoint
+//!   fingerprint, tokens, position, norm and variant) from the queue and
+//!   runs them through
+//!   [`certify_batch_deadline_probed`](deept_verifier::deept::certify_batch_deadline_probed),
+//!   sharing the prediction, the embedding and the per-layer sweep while
+//!   executing each member's abstract-transformer calls verbatim — the
+//!   batched results are bitwise identical to serial runs, and each
+//!   member keeps its own deadline.
 
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -36,11 +61,14 @@ use deept_metrics::PhaseProfiler;
 use deept_refine::{refine_certify_probed, RefineConfig, RefineOutcome};
 use deept_telemetry::{NoopProbe, Probe, TraceCollector};
 use deept_verifier::deadline::{Deadline, DeadlineExceeded};
-use deept_verifier::deept::{certify_deadline_probed, DeepTConfig};
+use deept_verifier::deept::{
+    certify_batch_deadline_probed, certify_deadline_probed, BatchQuery, DeepTConfig,
+};
 use deept_verifier::network::t1_region;
 use deept_verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
 
 use crate::cache::{CacheKey, LruCache, QueryKey};
+use crate::event_loop::{self, ReplyHandle};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
     self, CertifyRequest, CertifyResult, ErrorCode, RadiusSearchSpec, Request, Response,
@@ -49,6 +77,7 @@ use crate::protocol::{
 use crate::queue::{JobQueue, SubmitError};
 use crate::registry::{ModelEntry, ModelRegistry};
 use crate::sync::lock;
+use std::collections::HashMap;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +94,10 @@ pub struct ServeConfig {
     /// Deadline applied to requests that do not carry their own
     /// `deadline_ms`; `None` means unlimited.
     pub default_deadline_ms: Option<u64>,
+    /// Maximum members in one fused lockstep batch (and the switch for
+    /// in-flight coalescing). Values `<= 1` disable fusion entirely:
+    /// every request runs its own serial propagation.
+    pub fuse_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +108,7 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             reduction_budget: 2000,
             default_deadline_ms: None,
+            fuse_max: 8,
         }
     }
 }
@@ -100,12 +134,44 @@ struct JobSpec {
     key: CacheKey,
 }
 
+/// Where a finished job's response goes: a blocking caller parked on a
+/// channel (stdio / in-process `handle`) or an event-loop completion slot.
+pub(crate) enum ReplySink {
+    Sync(mpsc::Sender<Response>),
+    Async(ReplyHandle),
+}
+
+impl ReplySink {
+    pub(crate) fn send(&self, response: Response) {
+        match self {
+            // The requester may have disconnected; dropping the reply is
+            // fine in both transports.
+            ReplySink::Sync(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplySink::Async(handle) => handle.send(response),
+        }
+    }
+}
+
 struct Job {
     entry: Arc<ModelEntry>,
     spec: JobSpec,
+    /// When the request arrived; measures end-to-end latency at finish.
+    arrival: Instant,
     /// When the job entered the queue; measures queue wait at dequeue.
     submitted: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
+}
+
+/// How `submit_certify` resolved a request.
+enum Submitted {
+    /// Answered without touching the queue (cache hit, validation error,
+    /// overload, draining).
+    Inline(Response),
+    /// Admitted; the reply sink receives the response when a worker (or a
+    /// fused leader) finishes.
+    Queued,
 }
 
 struct Inner {
@@ -116,9 +182,16 @@ struct Inner {
     profiler: PhaseProfiler,
     next_request_id: AtomicU64,
     queue: JobQueue<Job>,
+    /// Cache keys admitted but not yet finished, each with the waiters
+    /// coalesced onto that leader. Leaders insert their key (empty vec)
+    /// while holding this lock across the queue submit, so a waiter can
+    /// never attach to a key whose submission failed.
+    inflight: Mutex<HashMap<CacheKey, Vec<Job>>>,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    connections: Mutex<Vec<JoinHandle<()>>>,
+    /// Auxiliary service threads (metrics listener); finished handles are
+    /// reaped on every push so the vector stays bounded.
+    service_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A running certification server; clones share the same instance.
@@ -137,6 +210,11 @@ impl Clone for Server {
 impl Server {
     /// Starts the worker pool and returns the server, ready to handle
     /// requests from any transport.
+    ///
+    /// Worker threads that fail to spawn degrade the pool instead of
+    /// panicking: the server keeps running with the workers it got, and
+    /// if none could be spawned the queue is closed so certify requests
+    /// fail fast with `shutting_down` rather than hanging forever.
     pub fn new(cfg: ServeConfig) -> Server {
         let workers = cfg.workers.max(1);
         let queue_capacity = cfg.queue_capacity.max(1);
@@ -150,20 +228,34 @@ impl Server {
                 profiler: PhaseProfiler::new(),
                 next_request_id: AtomicU64::new(1),
                 queue: JobQueue::new(queue_capacity),
+                inflight: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 workers: Mutex::new(Vec::new()),
-                connections: Mutex::new(Vec::new()),
+                service_threads: Mutex::new(Vec::new()),
             }),
         };
-        let handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&server.inner);
-                thread::Builder::new()
-                    .name(format!("deept-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let inner = Arc::clone(&server.inner);
+            match thread::Builder::new()
+                .name(format!("deept-worker-{i}"))
+                .spawn(move || worker_loop(&inner))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(e) => deept_telemetry::warn!(
+                    "serve",
+                    "could not spawn worker {i}: {e}; continuing with {} worker(s)",
+                    handles.len()
+                ),
+            }
+        }
+        if handles.is_empty() {
+            deept_telemetry::warn!(
+                "serve",
+                "no worker threads could be spawned; certify requests will be refused"
+            );
+            server.inner.queue.close();
+        }
         *lock(&server.inner.workers) = handles;
         server
     }
@@ -197,6 +289,12 @@ impl Server {
         self.inner.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Auxiliary service threads currently tracked (finished handles are
+    /// reaped whenever a new one is pushed). Exposed for leak tests.
+    pub fn tracked_thread_handles(&self) -> usize {
+        lock(&self.inner.service_threads).len()
+    }
+
     /// Handles one request synchronously. Certify misses block until a
     /// worker delivers the result; everything else answers inline.
     ///
@@ -215,10 +313,46 @@ impl Server {
             },
             Request::LoadModel { model_id, path } => self.handle_load(&model_id, &path, id),
             Request::Shutdown => self.handle_shutdown(id),
-            Request::Certify(c) => self.handle_certify(c, id, arrival),
+            Request::Certify(c) => {
+                let (tx, rx) = mpsc::channel();
+                match self.submit_certify(c, id, arrival, ReplySink::Sync(tx)) {
+                    Submitted::Inline(response) => response,
+                    Submitted::Queued => match rx.recv() {
+                        Ok(response) => response,
+                        Err(_) => error(ErrorCode::Internal, "worker dropped the reply channel"),
+                    },
+                }
+            }
         };
         response.set_request_id(id);
         response
+    }
+
+    /// Handles one request from the event loop. Returns `Some` when the
+    /// response is ready inline; `None` when the request was queued, in
+    /// which case the [`ReplyHandle`] delivers the response later.
+    pub(crate) fn handle_async(&self, req: Request, reply: ReplyHandle) -> Option<Response> {
+        let id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let arrival = Instant::now();
+        self.inner.metrics.received.inc();
+        let inline = match req {
+            Request::Status => Response::Status(self.status_report()),
+            Request::Metrics => Response::Metrics {
+                snapshot: self.metrics_snapshot(),
+                request_id: None,
+            },
+            Request::LoadModel { model_id, path } => self.handle_load(&model_id, &path, id),
+            Request::Shutdown => self.handle_shutdown(id),
+            Request::Certify(c) => {
+                match self.submit_certify(c, id, arrival, ReplySink::Async(reply)) {
+                    Submitted::Inline(response) => response,
+                    Submitted::Queued => return None,
+                }
+            }
+        };
+        let mut response = inline;
+        response.set_request_id(id);
+        Some(response)
     }
 
     fn status_report(&self) -> StatusReport {
@@ -282,89 +416,108 @@ impl Server {
         }
     }
 
-    fn handle_certify(&self, req: CertifyRequest, request_id: u64, arrival: Instant) -> Response {
+    /// How many waiters may coalesce onto one in-flight leader before
+    /// further identical requests bounce with `overloaded`. Scales with
+    /// the queue so coalesced demand stays bounded like queued demand.
+    fn waiter_cap(&self) -> usize {
+        self.inner.queue.capacity().saturating_mul(4).max(16)
+    }
+
+    /// Validates a certify request and resolves it inline (cache hit or
+    /// error) or admits it: onto an identical in-flight leader when
+    /// fusion is enabled, otherwise onto the job queue.
+    fn submit_certify(
+        &self,
+        req: CertifyRequest,
+        request_id: u64,
+        arrival: Instant,
+        reply: ReplySink,
+    ) -> Submitted {
         if self.shutting_down() {
-            return error(ErrorCode::ShuttingDown, "server is draining");
+            return Submitted::Inline(error(ErrorCode::ShuttingDown, "server is draining"));
         }
         let Some(norm) = PNorm::parse(&req.norm) else {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!("unknown norm {:?} (expected 1, 2 or inf)", req.norm),
-            );
+            ));
         };
         let Some(variant) = Variant::parse(&req.variant) else {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!(
                     "unknown variant {:?} (expected fast, precise, combined or refine)",
                     req.variant
                 ),
-            );
+            ));
         };
         let query = match (req.eps, req.radius_search) {
             (Some(eps), None) => {
                 if !(eps.is_finite() && eps >= 0.0) {
-                    return error(ErrorCode::BadRequest, "eps must be finite and non-negative");
+                    return Submitted::Inline(error(
+                        ErrorCode::BadRequest,
+                        "eps must be finite and non-negative",
+                    ));
                 }
                 Query::Eps(eps)
             }
             (None, Some(spec)) => {
                 if !(spec.start.is_finite() && spec.start > 0.0) {
-                    return error(
+                    return Submitted::Inline(error(
                         ErrorCode::BadRequest,
                         "radius_search.start must be finite and positive",
-                    );
+                    ));
                 }
                 Query::RadiusSearch(spec)
             }
             _ => {
-                return error(
+                return Submitted::Inline(error(
                     ErrorCode::BadRequest,
                     "specify exactly one of eps and radius_search",
-                );
+                ));
             }
         };
         if variant == Variant::Refine && matches!(query, Query::RadiusSearch(_)) {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 "variant \"refine\" supports eps queries only",
-            );
+            ));
         }
         let Some(entry) = self.inner.registry.get(&req.model_id) else {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::UnknownModel,
                 &format!("no model {:?} in the registry", req.model_id),
-            );
+            ));
         };
         let config = &entry.model.config;
         if req.tokens.is_empty() || req.tokens.len() > config.max_len {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!(
                     "token count must be in 1..={} (got {})",
                     config.max_len,
                     req.tokens.len()
                 ),
-            );
+            ));
         }
         if let Some(&bad) = req.tokens.iter().find(|&&t| t >= config.vocab_size) {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!(
                     "token id {bad} outside vocabulary of size {}",
                     config.vocab_size
                 ),
-            );
+            ));
         }
         if req.position >= req.tokens.len() {
-            return error(
+            return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!(
                     "position {} outside token sequence of length {}",
                     req.position,
                     req.tokens.len()
                 ),
-            );
+            ));
         }
         // The budget starts at arrival: queue wait counts against it.
         let deadline = Deadline::after_ms(req.deadline_ms.or(self.inner.cfg.default_deadline_ms));
@@ -391,7 +544,7 @@ impl Server {
             m.cache_hits.inc();
             m.total.observe(arrival.elapsed().as_secs_f64());
             deept_telemetry::debug!("serve", "req-{request_id}: cache hit");
-            return Response::Certify {
+            return Submitted::Inline(Response::Certify {
                 model_id: req.model_id,
                 fingerprint: entry.fingerprint.clone(),
                 label,
@@ -399,9 +552,8 @@ impl Server {
                 cached: true,
                 trace: None,
                 request_id: None,
-            };
+            });
         }
-        let (reply, result_rx) = mpsc::channel();
         let job = Job {
             entry,
             spec: JobSpec {
@@ -414,37 +566,82 @@ impl Server {
                 query,
                 deadline,
                 want_trace: req.trace,
-                key,
+                key: key.clone(),
             },
+            arrival,
             submitted: Instant::now(),
             reply,
         };
-        match self.inner.queue.submit(job) {
-            Ok(()) => {
+        // Trace requests never coalesce (their response is unique to
+        // them) and never lead a coalescing group.
+        let coalescable = self.inner.cfg.fuse_max > 1 && !job.spec.want_trace;
+        if coalescable {
+            let mut inflight = lock(&self.inner.inflight);
+            if let Some(waiters) = inflight.get_mut(&key) {
+                if waiters.len() >= self.waiter_cap() {
+                    m.overloaded.inc();
+                    return Submitted::Inline(error(
+                        ErrorCode::Overloaded,
+                        "too many requests coalesced on one in-flight computation; retry later",
+                    ));
+                }
                 m.cache_misses.inc();
-                m.queue_depth.add(1.0);
-                deept_telemetry::debug!("serve", "req-{request_id}: queued");
+                m.coalesced.inc();
+                deept_telemetry::debug!(
+                    "serve",
+                    "req-{request_id}: coalesced onto in-flight identical computation"
+                );
+                waiters.push(job);
+                return Submitted::Queued;
             }
-            Err(SubmitError::Overloaded) => {
-                m.overloaded.inc();
-                return error(
+            // Become the leader. The inflight lock is held across the
+            // submit so no waiter can attach before admission is decided.
+            // The depth gauge is bumped *before* the submit: the worker's
+            // decrement at dequeue must never run first, or its
+            // saturating `sub` pins the gauge one too high forever.
+            m.queue_depth.add(1.0);
+            match self.inner.queue.submit(job) {
+                Ok(()) => {
+                    inflight.insert(key, Vec::new());
+                    m.cache_misses.inc();
+                    deept_telemetry::debug!("serve", "req-{request_id}: queued (fusion leader)");
+                    Submitted::Queued
+                }
+                Err(e) => {
+                    m.queue_depth.sub(1.0);
+                    Submitted::Inline(self.submit_refusal(e))
+                }
+            }
+        } else {
+            m.queue_depth.add(1.0);
+            match self.inner.queue.submit(job) {
+                Ok(()) => {
+                    m.cache_misses.inc();
+                    deept_telemetry::debug!("serve", "req-{request_id}: queued");
+                    Submitted::Queued
+                }
+                Err(e) => {
+                    m.queue_depth.sub(1.0);
+                    Submitted::Inline(self.submit_refusal(e))
+                }
+            }
+        }
+    }
+
+    fn submit_refusal(&self, e: SubmitError) -> Response {
+        match e {
+            SubmitError::Overloaded => {
+                self.inner.metrics.overloaded.inc();
+                error(
                     ErrorCode::Overloaded,
                     &format!(
                         "job queue is full ({} waiting); retry later",
                         self.inner.queue.capacity()
                     ),
-                );
+                )
             }
-            Err(SubmitError::Closed) => {
-                return error(ErrorCode::ShuttingDown, "server is draining");
-            }
+            SubmitError::Closed => error(ErrorCode::ShuttingDown, "server is draining"),
         }
-        let response = match result_rx.recv() {
-            Ok(response) => response,
-            Err(_) => error(ErrorCode::Internal, "worker dropped the reply channel"),
-        };
-        m.total.observe(arrival.elapsed().as_secs_f64());
-        response
     }
 
     /// Binds `addr` and serves until a `shutdown` request arrives, then
@@ -452,7 +649,7 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if binding or accepting fails.
+    /// Returns the underlying I/O error if binding or polling fails.
     pub fn serve_tcp(&self, addr: &str) -> io::Result<()> {
         self.serve_listener(TcpListener::bind(addr)?)
     }
@@ -460,33 +657,18 @@ impl Server {
     /// Serves an already-bound listener (useful with an ephemeral port)
     /// until a `shutdown` request arrives, then drains and returns.
     ///
+    /// All connections are multiplexed on the calling thread by the
+    /// `poll(2)` event loop — no thread per connection, bounded buffers
+    /// per connection, backpressure by suspending reads.
+    ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if accepting fails.
+    /// Returns the underlying I/O error if polling fails; the server is
+    /// drained either way.
     pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
-        listener.set_nonblocking(true)?;
-        if let Ok(addr) = listener.local_addr() {
-            deept_telemetry::info!("serve", "listening on {addr}");
-        }
-        while !self.shutting_down() {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    let server = self.clone();
-                    let handle = thread::Builder::new()
-                        .name("deept-conn".to_string())
-                        .spawn(move || serve_connection(&server, stream))
-                        .expect("spawn connection thread");
-                    lock(&self.inner.connections).push(handle);
-                }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
+        let result = event_loop::run(self, listener);
         self.drain();
-        Ok(())
+        result
     }
 
     /// Speaks the protocol over a `BufRead`/`Write` pair: one request per
@@ -517,7 +699,7 @@ impl Server {
     }
 
     /// Stops intake, drains queued and in-flight jobs, joins workers and
-    /// connection threads, and logs the final counter summary. Idempotent.
+    /// service threads, and logs the final counter summary. Idempotent.
     pub fn drain(&self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.queue.close();
@@ -525,11 +707,19 @@ impl Server {
         for handle in workers {
             let _ = handle.join();
         }
-        let connections = std::mem::take(&mut *lock(&self.inner.connections));
-        for handle in connections {
+        let service = std::mem::take(&mut *lock(&self.inner.service_threads));
+        for handle in service {
             let _ = handle.join();
         }
         deept_telemetry::info!("serve", "{}", self.stats().render_summary());
+    }
+
+    /// Tracks a service thread handle, reaping finished handles first so
+    /// the vector cannot grow without bound.
+    fn push_service_handle(&self, handle: JoinHandle<()>) {
+        let mut handles = lock(&self.inner.service_threads);
+        handles.retain(|h| !h.is_finished());
+        handles.push(handle);
     }
 
     /// Binds a plain-TCP HTTP/1.0 scrape listener on `addr` and serves it
@@ -540,40 +730,111 @@ impl Server {
     /// Prometheus text exposition format 0.0.4; `GET /profile` answers with
     /// the self-profiler's collapsed-stack text (flamegraph-compatible).
     ///
+    /// The listener thread blocks in `poll(2)` between connections (no
+    /// busy sleep), logs transient accept failures at warn level and only
+    /// exits on fatal ones.
+    ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error if binding fails.
+    /// Returns the underlying I/O error if binding or spawning the
+    /// listener thread fails (no panic on spawn failure).
     pub fn spawn_metrics_listener(&self, addr: &str) -> io::Result<SocketAddr> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let bound = listener.local_addr()?;
-        deept_telemetry::info!("serve", "metrics listener on http://{bound}/metrics");
         let server = self.clone();
-        let handle = thread::Builder::new()
-            .name("deept-metrics".to_string())
-            .spawn(move || {
-                while !server.shutting_down() {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            // Scrapes are cheap (snapshot + render); handle
-                            // them inline so drain has one thread to join.
-                            let _ = serve_scrape(&server, stream);
-                        }
-                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawn metrics listener thread");
-        lock(&self.inner.connections).push(handle);
+        let source = ScrapeSource {
+            done: Box::new({
+                let server = self.clone();
+                move || server.shutting_down()
+            }),
+            metrics: Box::new({
+                let server = server.clone();
+                move || server.metrics_snapshot().to_prometheus()
+            }),
+            profile: Box::new(move || server.profiler().collapsed()),
+        };
+        let (bound, handle) = spawn_scrape_listener(addr, source)?;
+        self.push_service_handle(handle);
         Ok(bound)
     }
 }
 
-fn error(code: ErrorCode, message: &str) -> Response {
+impl event_loop::Frontend for Server {
+    fn dispatch(&self, req: Request, reply: ReplyHandle) -> Option<Response> {
+        self.handle_async(req, reply)
+    }
+
+    fn shutting_down(&self) -> bool {
+        Server::shutting_down(self)
+    }
+}
+
+/// What an HTTP scrape listener exposes: a shutdown signal plus the two
+/// page renderers. Shared by the server and the shard router.
+pub(crate) struct ScrapeSource {
+    pub done: Box<dyn Fn() -> bool + Send>,
+    pub metrics: Box<dyn Fn() -> String + Send>,
+    pub profile: Box<dyn Fn() -> String + Send>,
+}
+
+/// Whether an accept failure is transient (log and keep serving) rather
+/// than fatal (log and stop). Connection-level failures and descriptor
+/// exhaustion recover; anything else likely means the listener is gone.
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionAborted | ErrorKind::ConnectionReset | ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(code) if code == 23 || code == 24) // ENFILE / EMFILE
+}
+
+/// Binds `addr` and serves HTTP/1.0 scrapes from a named background
+/// thread until `source.done()` reports true.
+pub(crate) fn spawn_scrape_listener(
+    addr: &str,
+    source: ScrapeSource,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    deept_telemetry::info!("serve", "metrics listener on http://{bound}/metrics");
+    let handle = thread::Builder::new()
+        .name("deept-metrics".to_string())
+        .spawn(move || {
+            while !(source.done)() {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Scrapes are cheap (snapshot + render); handle
+                        // them inline so drain has one thread to join.
+                        let _ = serve_scrape(&source, stream);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        // Park in poll(2) until a connection is pending;
+                        // the timeout bounds shutdown latency.
+                        if let Err(e) = event_loop::wait_acceptable(&listener, 250) {
+                            deept_telemetry::warn!(
+                                "serve",
+                                "metrics listener poll failed: {e}; stopping scrape endpoint"
+                            );
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) if is_transient_accept_error(&e) => {
+                        deept_telemetry::warn!("serve", "metrics listener accept failed: {e}");
+                    }
+                    Err(e) => {
+                        deept_telemetry::warn!(
+                            "serve",
+                            "metrics listener accept failed fatally: {e}; \
+                             stopping scrape endpoint"
+                        );
+                        break;
+                    }
+                }
+            }
+        })?;
+    Ok((bound, handle))
+}
+
+pub(crate) fn error(code: ErrorCode, message: &str) -> Response {
     Response::Error {
         code,
         message: message.to_string(),
@@ -592,26 +853,198 @@ fn verifier_config(variant: Variant, reduction_budget: usize) -> DeepTConfig {
     }
 }
 
+/// Whether a job can join a lockstep batch at all: plain eps queries
+/// without tracing. Refine runs its own ladder and radius searches have
+/// data-dependent iteration counts, so both stay serial.
+fn is_fusible(job: &Job) -> bool {
+    matches!(job.spec.query, Query::Eps(_))
+        && job.spec.variant != Variant::Refine
+        && !job.spec.want_trace
+}
+
+/// Whether `candidate` shares `seed`'s fusion group: same checkpoint,
+/// tokens, position, norm and variant (eps may differ — the batch sweep
+/// keeps every member's own input region).
+fn same_fusion_group(seed: &Job, candidate: &Job) -> bool {
+    is_fusible(candidate)
+        && candidate.entry.fingerprint == seed.entry.fingerprint
+        && candidate.spec.tokens == seed.spec.tokens
+        && candidate.spec.position == seed.spec.position
+        && candidate.spec.norm == seed.spec.norm
+        && candidate.spec.variant == seed.spec.variant
+}
+
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.next() {
         let m = &inner.metrics;
         m.queue_depth.sub(1.0);
-        m.queue_wait.observe(job.submitted.elapsed().as_secs_f64());
-        m.in_flight.add(1.0);
+        let mut batch = vec![job];
+        if inner.cfg.fuse_max > 1 && is_fusible(&batch[0]) {
+            let siblings = inner
+                .queue
+                .take_matching(inner.cfg.fuse_max - 1, |j| same_fusion_group(&batch[0], j));
+            m.queue_depth.sub(siblings.len() as f64);
+            batch.extend(siblings);
+        }
+        for job in &batch {
+            m.queue_wait.observe(job.submitted.elapsed().as_secs_f64());
+        }
+        m.in_flight.add(batch.len() as f64);
         let started = Instant::now();
-        let response = run_job(inner, &job.entry, &job.spec);
-        m.propagation.observe(started.elapsed().as_secs_f64());
+        if batch.len() == 1 {
+            let job = batch.pop().expect("batch has exactly one member");
+            let response = run_job(inner, &job.entry, &job.spec);
+            m.propagation.observe(started.elapsed().as_secs_f64());
+            m.in_flight.sub(1.0);
+            m.completed.inc();
+            deept_telemetry::debug!(
+                "serve",
+                "req-{}: completed in {:.1} ms",
+                job.spec.request_id,
+                started.elapsed().as_secs_f64() * 1e3
+            );
+            finish_job(inner, job, response);
+        } else {
+            run_batch(inner, batch, started);
+        }
+    }
+}
+
+/// Runs a fused batch of same-group eps queries through the lockstep
+/// batched propagation: one prediction, one embedding, one layer sweep —
+/// per-member results bitwise identical to serial runs, each member on
+/// its own deadline.
+fn run_batch(inner: &Inner, batch: Vec<Job>, started: Instant) {
+    let m = &inner.metrics;
+    m.fused_batches.inc();
+    m.fused_members.add(batch.len() as u64);
+    let entry = Arc::clone(&batch[0].entry);
+    let spec0 = &batch[0].spec;
+    // Same fingerprint + tokens across the group, so prediction and
+    // embedding are shared; `predict`/`embed` are deterministic, making
+    // this bitwise identical to per-member calls.
+    let label = entry.model.predict(&spec0.tokens);
+    let emb = entry.model.embed(&spec0.tokens);
+    let probe: &dyn Probe = if deept_metrics::enabled() {
+        &inner.profiler
+    } else {
+        &NoopProbe
+    };
+    let cfg = verifier_config(spec0.variant, inner.cfg.reduction_budget);
+    let regions: Vec<_> = batch
+        .iter()
+        .map(|job| {
+            let Query::Eps(eps) = job.spec.query else {
+                unreachable!("fusible jobs are eps queries")
+            };
+            t1_region(&emb, job.spec.position, eps, job.spec.norm)
+        })
+        .collect();
+    let queries: Vec<BatchQuery<'_>> = regions
+        .iter()
+        .zip(&batch)
+        .map(|(region, job)| BatchQuery {
+            input: region,
+            true_label: label,
+            deadline: job.spec.deadline,
+        })
+        .collect();
+    let outcomes = certify_batch_deadline_probed(&entry.net, &queries, &cfg, probe);
+    let elapsed = started.elapsed().as_secs_f64();
+    deept_telemetry::debug!(
+        "serve",
+        "fused batch of {} completed in {:.1} ms",
+        outcomes.len(),
+        elapsed * 1e3
+    );
+    for (job, outcome) in batch.into_iter().zip(outcomes) {
+        // Each member experienced the whole batch wall time.
+        m.propagation.observe(elapsed);
         m.in_flight.sub(1.0);
         m.completed.inc();
-        deept_telemetry::debug!(
-            "serve",
-            "req-{}: completed in {:.1} ms",
-            job.spec.request_id,
-            started.elapsed().as_secs_f64() * 1e3
-        );
-        // The requester may have disconnected; dropping the reply is fine.
-        let _ = job.reply.send(response);
+        let response = match outcome {
+            Ok(res) => {
+                let result = CertifyResult::Fixed {
+                    certified: res.certified,
+                    margins: res.margins,
+                };
+                lock(&inner.cache).insert(job.spec.key.clone(), (label, result.clone()));
+                Response::Certify {
+                    model_id: job.spec.model_id.clone(),
+                    fingerprint: entry.fingerprint.clone(),
+                    label,
+                    result,
+                    cached: false,
+                    trace: None,
+                    request_id: Some(job.spec.request_id),
+                }
+            }
+            Err(DeadlineExceeded) => {
+                m.deadline_timeouts.inc();
+                let mut resp = error(ErrorCode::Timeout, "certification deadline exceeded");
+                resp.set_request_id(job.spec.request_id);
+                resp
+            }
+        };
+        finish_job(inner, job, response);
     }
+}
+
+/// Delivers a finished job's response and resolves any waiters coalesced
+/// onto its cache key.
+///
+/// A successful leader shares its response with every waiter (results
+/// are deterministic, so the shared payload is exactly what the waiter's
+/// own run would have produced; only the `request_id` is restamped and
+/// any trace stripped). On a failed leader the fused-deadline rule
+/// applies: waiters whose own deadline already expired get a timeout,
+/// the rest are re-dispatched individually.
+fn finish_job(inner: &Inner, job: Job, response: Response) {
+    let m = &inner.metrics;
+    let waiters = if inner.cfg.fuse_max > 1 && !job.spec.want_trace {
+        lock(&inner.inflight)
+            .remove(&job.spec.key)
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let succeeded = !matches!(response, Response::Error { .. });
+    for waiter in waiters {
+        if succeeded {
+            let mut shared = response.clone();
+            if let Response::Certify { trace, .. } = &mut shared {
+                *trace = None;
+            }
+            shared.set_request_id(waiter.spec.request_id);
+            m.completed.inc();
+            m.total.observe(waiter.arrival.elapsed().as_secs_f64());
+            waiter.reply.send(shared);
+        } else if waiter.spec.deadline.check().is_err() {
+            m.deadline_timeouts.inc();
+            m.completed.inc();
+            m.total.observe(waiter.arrival.elapsed().as_secs_f64());
+            let mut resp = error(
+                ErrorCode::Timeout,
+                "certification deadline exceeded while coalesced",
+            );
+            resp.set_request_id(waiter.spec.request_id);
+            waiter.reply.send(resp);
+        } else {
+            // Fused-deadline rule: the shared computation ran under the
+            // leader's deadline; this straggler still has budget, so it
+            // finishes individually.
+            m.fused_requeued.inc();
+            m.queue_depth.add(1.0);
+            deept_telemetry::debug!(
+                "serve",
+                "req-{}: re-dispatched individually after fused leader failure",
+                waiter.spec.request_id
+            );
+            inner.queue.requeue(waiter);
+        }
+    }
+    m.total.observe(job.arrival.elapsed().as_secs_f64());
+    job.reply.send(response);
 }
 
 fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
@@ -627,7 +1060,7 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
         None => &NoopProbe,
     };
     let outcome: Result<CertifyResult, String> = if spec.variant == Variant::Refine {
-        // `handle_certify` rejects refine radius searches up front.
+        // `submit_certify` rejects refine radius searches up front.
         let Query::Eps(eps) = spec.query else {
             unreachable!("refine radius searches are rejected at validation")
         };
@@ -771,7 +1204,7 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
 }
 
 /// Answers one HTTP/1.0 scrape request on `stream` and closes it.
-fn serve_scrape(server: &Server, stream: TcpStream) -> io::Result<()> {
+fn serve_scrape(source: &ScrapeSource, stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -793,13 +1226,9 @@ fn serve_scrape(server: &Server, stream: TcpStream) -> io::Result<()> {
             "/metrics" => (
                 "200 OK",
                 "text/plain; version=0.0.4; charset=utf-8",
-                server.metrics_snapshot().to_prometheus(),
+                (source.metrics)(),
             ),
-            "/profile" => (
-                "200 OK",
-                "text/plain; charset=utf-8",
-                server.profiler().collapsed(),
-            ),
+            "/profile" => ("200 OK", "text/plain; charset=utf-8", (source.profile)()),
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
@@ -815,51 +1244,4 @@ fn serve_scrape(server: &Server, stream: TcpStream) -> io::Result<()> {
     )?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
-}
-
-fn serve_connection(server: &Server, stream: TcpStream) {
-    // Connection failures only affect this client; the listener keeps
-    // accepting, so errors are simply dropped here.
-    let _ = serve_connection_io(server, stream);
-}
-
-fn serve_connection_io(server: &Server, stream: TcpStream) -> io::Result<()> {
-    // A finite read timeout lets the thread notice shutdown between
-    // requests; partial lines accumulated across timeouts are preserved
-    // in `line` until the newline arrives.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let n = match reader.read_until(b'\n', &mut line) {
-            Ok(n) => n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if server.shutting_down() {
-                    break;
-                }
-                continue;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => break,
-        };
-        // n == 0 or a missing trailing newline both mean EOF; any bytes
-        // left in `line` form a final unterminated request.
-        let eof = n == 0 || !line.ends_with(b"\n");
-        if line.iter().any(|b| !b.is_ascii_whitespace()) {
-            let text = String::from_utf8_lossy(&line).into_owned();
-            line.clear();
-            let response = match protocol::parse_request(&text) {
-                Ok(req) => server.handle(req),
-                Err(e) => error(ErrorCode::BadRequest, &format!("malformed request: {e}")),
-            };
-            protocol::write_line(&mut writer, &response)?;
-        } else {
-            line.clear();
-        }
-        if eof {
-            break;
-        }
-    }
-    Ok(())
 }

@@ -1,0 +1,274 @@
+//! Batch-fusion and event-loop integration tests: fused lockstep batches
+//! must be bitwise identical to serial certification at every thread
+//! count, identical in-flight queries must coalesce onto one
+//! propagation, and connection churn must not accumulate threads.
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+use std::time::Duration;
+
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_serve::client::Client;
+use deept_serve::protocol::{CertifyRequest, RadiusSearchSpec, Request, Response};
+use deept_serve::server::{ServeConfig, Server};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: 2,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+fn start_server(cfg: ServeConfig) -> (Server, SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::new(cfg);
+    server
+        .registry()
+        .insert("toy", tiny_model(0))
+        .expect("register model");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = server.clone();
+    let handle = thread::spawn(move || acceptor.serve_listener(listener).expect("serve"));
+    (server, addr, handle)
+}
+
+fn eps_request(eps: f64) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3],
+        position: 0,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(eps),
+        radius_search: None,
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+/// A slow radius search used to pin the single worker while fusible jobs
+/// pile up behind it in the queue.
+fn slow_request() -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3, 4, 5, 6],
+        position: 1,
+        norm: "l2".into(),
+        variant: "precise".into(),
+        eps: None,
+        radius_search: Some(RadiusSearchSpec {
+            start: 0.01,
+            iters: 40,
+        }),
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+fn result_json(resp: &Response) -> String {
+    match resp {
+        Response::Certify { result, .. } => serde_json::to_string(result).expect("serialize"),
+        other => panic!("expected certify response, got {other:?}"),
+    }
+}
+
+fn counter(server: &Server, name: &str) -> u64 {
+    match server.handle(Request::Metrics) {
+        Response::Metrics { snapshot, .. } => snapshot.counter_value(name).unwrap_or(0),
+        other => panic!("expected metrics, got {other:?}"),
+    }
+}
+
+/// Fires `eps_list` concurrently against a single-worker fused server
+/// whose worker is pinned by a slow job, so the fusible jobs queue up and
+/// dequeue as one lockstep batch. Returns the result payloads in
+/// submission order.
+fn run_fused(eps_list: &[f64]) -> (Vec<String>, u64) {
+    let (server, addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 32,
+        fuse_max: 8,
+        ..ServeConfig::default()
+    });
+    let addr_str = addr.to_string();
+
+    // Pin the worker, then let the slow job reach it before queueing the
+    // fusible batch behind it.
+    let pin = {
+        let addr = addr_str.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.send(&slow_request()).expect("slow certify")
+        })
+    };
+    thread::sleep(Duration::from_millis(150));
+
+    let members: Vec<_> = eps_list
+        .iter()
+        .map(|&eps| {
+            let addr = addr_str.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.send(&eps_request(eps)).expect("certify")
+            })
+        })
+        .collect();
+    let payloads: Vec<String> = members
+        .into_iter()
+        .map(|m| result_json(&m.join().unwrap()))
+        .collect();
+    assert!(matches!(pin.join().unwrap(), Response::Certify { .. }));
+
+    let fused_members = counter(&server, "deept_serve_fused_members_total");
+    let mut client = Client::connect(&addr_str).expect("connect");
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+    (payloads, fused_members)
+}
+
+/// The same queries, one at a time, with fusion and coalescing disabled:
+/// the serial reference the fused batch must match bitwise.
+fn run_serial(eps_list: &[f64]) -> Vec<String> {
+    let (server, addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        fuse_max: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let payloads = eps_list
+        .iter()
+        .map(|&eps| result_json(&client.send(&eps_request(eps)).expect("certify")))
+        .collect();
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+    drop(server);
+    payloads
+}
+
+/// The soundness contract of batch fusion: a fused lockstep batch runs
+/// the members through the *same* per-member math as serial
+/// certification, so the payloads are bitwise identical — at one worker
+/// thread and at four.
+#[test]
+fn fused_batches_match_serial_bitwise_at_one_and_four_threads() {
+    let eps_list = [1e-4, 2e-4, 3e-4, 4e-4];
+    for threads in [1usize, 4] {
+        let _guard = deept_tensor::parallel::test_lock();
+        deept_tensor::parallel::set_thread_override(Some(threads));
+        let (fused, fused_members) = run_fused(&eps_list);
+        let serial = run_serial(&eps_list);
+        deept_tensor::parallel::set_thread_override(None);
+        assert_eq!(
+            fused, serial,
+            "fused batch diverged from serial at {threads} thread(s)"
+        );
+        // The timing-dependent part is *how many* jobs fused (the worker
+        // may dequeue before every member arrived); at least two must
+        // have shared a batch for the equivalence check to mean anything.
+        assert!(
+            fused_members >= 2,
+            "expected a fused batch of >= 2 members at {threads} thread(s), got {fused_members}"
+        );
+    }
+}
+
+/// Identical queries in flight at the same time coalesce: one leader
+/// propagates, the waiters share its bitwise-identical result.
+#[test]
+fn identical_inflight_queries_coalesce_onto_one_propagation() {
+    let (server, addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        queue_capacity: 32,
+        fuse_max: 8,
+        ..ServeConfig::default()
+    });
+    let addr_str = addr.to_string();
+
+    let pin = {
+        let addr = addr_str.clone();
+        thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.send(&slow_request()).expect("slow certify")
+        })
+    };
+    thread::sleep(Duration::from_millis(150));
+
+    let same: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr_str.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.send(&eps_request(5e-4)).expect("certify")
+            })
+        })
+        .collect();
+    let payloads: Vec<String> = same
+        .into_iter()
+        .map(|m| result_json(&m.join().unwrap()))
+        .collect();
+    pin.join().unwrap();
+
+    for p in &payloads {
+        assert_eq!(p, &payloads[0], "coalesced waiters must share bitwise");
+    }
+    assert!(
+        counter(&server, "deept_serve_coalesced_total") >= 1,
+        "no request coalesced"
+    );
+
+    let mut client = Client::connect(&addr_str).expect("connect");
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// Regression for the serve-layer resource leak: a thousand short-lived
+/// connections must not accumulate per-connection threads (the event
+/// loop multiplexes them on one poller) or leak finished service
+/// handles, and the server must stay responsive throughout.
+#[test]
+fn connection_churn_leaves_no_thread_residue() {
+    let (server, addr, handle) = start_server(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr_str = addr.to_string();
+
+    for i in 0..1000 {
+        let mut stream = std::net::TcpStream::connect(&addr_str).expect("connect");
+        if i % 3 == 0 {
+            // Some connections speak before hanging up; the rest just
+            // connect and vanish.
+            use std::io::Write as _;
+            stream.write_all(b"{\"type\":\"status\"}\n").expect("write");
+        }
+        drop(stream);
+    }
+
+    // No per-connection threads: only long-lived service threads (like a
+    // metrics listener, none here) are ever tracked.
+    assert_eq!(
+        server.tracked_thread_handles(),
+        0,
+        "connection churn must not accumulate thread handles"
+    );
+
+    // Still healthy after the churn.
+    let mut client = Client::connect(&addr_str).expect("connect");
+    let resp = client.send(&eps_request(7e-4)).expect("certify");
+    assert!(matches!(resp, Response::Certify { .. }), "{resp:?}");
+
+    client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}

@@ -1,0 +1,147 @@
+//! Router integration: two in-process shard servers behind a `Router`,
+//! fingerprint-hash routing of `load_model`, certify forwarding to the
+//! owning shard, fleet-wide aggregation, and a shutdown broadcast that
+//! drains both shards.
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_serve::protocol::{CertifyRequest, ErrorCode, Request, Response};
+use deept_serve::router::{peek_fingerprint, shard_for, Router, RouterConfig};
+use deept_serve::server::{ServeConfig, Server};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_model(seed: u64) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: 1,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+fn start_shard() -> (Server, SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = server.clone();
+    let handle = thread::spawn(move || acceptor.serve_listener(listener).expect("serve"));
+    (server, addr, handle)
+}
+
+fn certify_request(model_id: &str) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: model_id.into(),
+        tokens: vec![1, 2, 3],
+        position: 0,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(1e-4),
+        radius_search: None,
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+#[test]
+fn two_shard_router_routes_by_fingerprint_and_drains_on_shutdown() {
+    // A real checkpoint on disk: the router peeks its fingerprint without
+    // loading the weights.
+    let dir = std::env::temp_dir().join(format!("deept-router-int-{}", std::process::id()));
+    let path = dir.join("toy.json");
+    let saved_fp = deept_nn::checkpoint::save(&tiny_model(3), &path).expect("save checkpoint");
+    let path_str = path.to_string_lossy().into_owned();
+    assert_eq!(peek_fingerprint(&path_str).expect("peek"), saved_fp);
+
+    let (shard_a, addr_a, handle_a) = start_shard();
+    let (shard_b, addr_b, handle_b) = start_shard();
+    let shards = [shard_a, shard_b];
+    let router = Router::new(RouterConfig {
+        shards: vec![addr_a.to_string(), addr_b.to_string()],
+        forwarders: 2,
+        queue_capacity: 16,
+    });
+
+    // Certify before load: the router knows no assignment yet.
+    match router.handle(certify_request("toy")) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected unknown_model, got {other:?}"),
+    }
+
+    // Load routes to shard_for(fingerprint, 2) and records the assignment.
+    let expected_shard = shard_for(&saved_fp, 2);
+    match router.handle(Request::LoadModel {
+        model_id: "toy".into(),
+        path: path_str.clone(),
+    }) {
+        Response::ModelLoaded { fingerprint, .. } => assert_eq!(fingerprint, saved_fp),
+        other => panic!("expected model_loaded, got {other:?}"),
+    }
+    assert_eq!(router.assignment("toy"), Some(expected_shard));
+
+    // Certifies now forward to the owning shard — and only to it.
+    for _ in 0..3 {
+        match router.handle(certify_request("toy")) {
+            Response::Certify { .. } => {}
+            other => panic!("expected certify, got {other:?}"),
+        }
+    }
+    assert!(shards[expected_shard].stats().completed >= 1);
+    assert_eq!(
+        shards[1 - expected_shard].stats().completed,
+        0,
+        "the non-owning shard must see no certify traffic"
+    );
+
+    // Status aggregates the fleet: worker counts sum, models union.
+    match router.handle(Request::Status) {
+        Response::Status(report) => {
+            assert_eq!(report.workers, 2, "1 worker per shard, summed");
+            assert_eq!(report.models, vec!["toy".to_string()]);
+            assert!(report.cache_hits + report.cache_misses >= 3);
+        }
+        other => panic!("expected status, got {other:?}"),
+    }
+
+    // The aggregated scrape carries both shards' samples, relabeled.
+    let fleet = router.aggregate_metrics().to_prometheus();
+    assert!(fleet.contains("shard=\"0\""), "missing shard 0:\n{fleet}");
+    assert!(fleet.contains("shard=\"1\""), "missing shard 1:\n{fleet}");
+    assert!(
+        fleet.contains("deept_router_forwarded_total"),
+        "missing router counters:\n{fleet}"
+    );
+
+    // Shutdown broadcasts to every shard; both event loops drain and the
+    // serve threads join.
+    match router.handle(Request::Shutdown) {
+        Response::ShuttingDown { .. } => {}
+        other => panic!("expected shutting_down, got {other:?}"),
+    }
+    handle_a.join().expect("shard 0 serve thread");
+    handle_b.join().expect("shard 1 serve thread");
+    for shard in &shards {
+        assert!(shard.shutting_down(), "shard did not drain");
+    }
+
+    // The router itself refuses new work while draining, then joins.
+    match router.handle(certify_request("toy")) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
+        other => panic!("expected shutting_down error, got {other:?}"),
+    }
+    router.drain();
+    let _ = std::fs::remove_dir_all(dir);
+}

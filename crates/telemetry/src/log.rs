@@ -1,9 +1,10 @@
 //! Leveled stderr logging gated by the `DEEPT_LOG` environment variable.
 //!
-//! Levels: `off` < `info` < `debug`. The variable is read once (first log
-//! call) and cached. An unset variable defaults to `info` so progress
-//! messages from the bench harness keep appearing exactly as before;
-//! `DEEPT_LOG=off` silences them and `DEEPT_LOG=debug` adds detail.
+//! Levels: `off` < `warn` < `info` < `debug`. The variable is read once
+//! (first log call) and cached. An unset variable defaults to `info` so
+//! progress messages from the bench harness keep appearing exactly as
+//! before; `DEEPT_LOG=off` silences them and `DEEPT_LOG=debug` adds
+//! detail. Warnings print at every level except `off`.
 //!
 //! Use through the [`info!`](crate::info) / [`debug!`](crate::debug) macros:
 //!
@@ -18,6 +19,8 @@ use std::sync::OnceLock;
 pub enum LogLevel {
     /// No output.
     Off,
+    /// Recoverable degradations (never silenced except by `off`).
+    Warn,
     /// Progress messages (the default).
     Info,
     /// Per-stage detail.
@@ -29,6 +32,7 @@ impl LogLevel {
     pub fn parse(s: &str) -> Option<LogLevel> {
         match s.trim().to_ascii_lowercase().as_str() {
             "off" | "none" | "0" => Some(LogLevel::Off),
+            "warn" | "warning" => Some(LogLevel::Warn),
             "info" | "1" => Some(LogLevel::Info),
             "debug" | "trace" | "2" => Some(LogLevel::Debug),
             _ => None,
@@ -38,6 +42,7 @@ impl LogLevel {
     fn tag(self) -> &'static str {
         match self {
             LogLevel::Off => "off",
+            LogLevel::Warn => "warn",
             LogLevel::Info => "info",
             LogLevel::Debug => "debug",
         }
@@ -84,6 +89,20 @@ macro_rules! info {
     };
 }
 
+/// Logs a recoverable degradation at [`LogLevel::Warn`].
+///
+/// Warnings are emitted at every verbosity except `off`: they report
+/// conditions the process survives but an operator should know about
+/// (failed accepts, unspawnable threads, degraded pools).
+#[macro_export]
+macro_rules! warn {
+    ($module:expr, $($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Warn) {
+            $crate::log($crate::LogLevel::Warn, $module, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
 /// Logs a detail message at [`LogLevel::Debug`].
 #[macro_export]
 macro_rules! debug {
@@ -114,8 +133,17 @@ mod tests {
 
     #[test]
     fn levels_are_ordered() {
-        assert!(LogLevel::Off < LogLevel::Info);
+        assert!(LogLevel::Off < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
         assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn warn_parses_and_is_below_info() {
+        assert_eq!(LogLevel::parse("warn"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("Warning"), Some(LogLevel::Warn));
+        // At the default info threshold, warnings are emitted.
+        assert!(log_enabled(LogLevel::Warn) || max_level() == LogLevel::Off);
     }
 
     #[test]

@@ -263,59 +263,92 @@ fn propagate_inner_from(
         // Cancellation checkpoint: between layers, never mid-transformer,
         // so a completed run is unaffected by the deadline's presence.
         deadline.check()?;
-        let dot = if cfg.precise_last_layer_only && i != last {
-            DotConfig {
-                variant: DotVariant::Fast,
-                ..cfg.dot
-            }
-        } else {
-            cfg.dot
-        };
-        // The layer span also covers the input reduction, so per-layer
-        // telemetry attributes dropped symbols to the layer they feed.
-        probe.span_enter(SpanKind::EncoderLayer(i));
-        let par = probe.enabled().then(parallel::snapshot);
-        let eps_before = probe.enabled().then(deept_core::eps::snapshot);
-        // Noise-symbol reduction at every layer input, before the residual
-        // branch splits (§5.1). The budget can never drop below the
-        // protected prefix (reduce_eps requires protect ≤ budget).
-        if let Some(budget) = cfg.reduction_budget {
-            x = reduce_eps_probed(&x, budget.max(1).max(protect), protect, probe).0;
-        }
-        let eps_in = x.num_eps();
-        x = encoder_layer(
-            &x,
-            layer,
-            net.layer_norm,
-            net.head_dim,
-            dot,
-            cfg.softmax,
-            probe,
-        );
-        let created = x.num_eps().saturating_sub(eps_in);
-        if let Some(before) = par {
-            probe.parallel(parallel_stats_since(&before));
-        }
-        if let Some(eps_before) = eps_before {
-            probe.eps_storage(deept_core::eps::storage_stats_since(
-                &eps_before,
-                x.eps_store(),
-            ));
-        }
-        let stats = probe.enabled().then(|| x.telemetry_stats());
-        probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
+        x = layer_step(net, layer, x, i, last, cfg, protect, probe);
         snap.layer_output(i, &x);
         if x.has_non_finite() {
-            // Bounds blew up (e.g. exp overflow): report unbounded logits so
-            // certification fails gracefully.
-            let inf = Matrix::full(1, net.num_classes, f64::INFINITY);
-            let unbounded = Zonotope::constant(&inf, x.p());
+            let unbounded = unbounded_logits(net, &x);
             snap.logits(&unbounded);
             return Ok(unbounded);
         }
     }
     deadline.check()?;
-    // Pooling: first output embedding only (Figure 2).
+    let logits = pool_logits(net, &x, probe);
+    snap.logits(&logits);
+    Ok(logits)
+}
+
+/// One encoder layer worth of abstract propagation — input reduction plus
+/// the layer's transformers, with per-layer telemetry. Shared verbatim by
+/// the serial sweep ([`propagate_inner_from`]) and the lockstep batched
+/// sweep ([`certify_batch_deadline_probed`]), which is what makes a fused
+/// batch member bitwise identical to its serially-certified twin.
+#[allow(clippy::too_many_arguments)]
+fn layer_step(
+    net: &VerifiableTransformer,
+    layer: &EncoderLayer,
+    x: Zonotope,
+    i: usize,
+    last: usize,
+    cfg: &DeepTConfig,
+    protect: usize,
+    probe: &dyn Probe,
+) -> Zonotope {
+    let dot = if cfg.precise_last_layer_only && i != last {
+        DotConfig {
+            variant: DotVariant::Fast,
+            ..cfg.dot
+        }
+    } else {
+        cfg.dot
+    };
+    // The layer span also covers the input reduction, so per-layer
+    // telemetry attributes dropped symbols to the layer they feed.
+    probe.span_enter(SpanKind::EncoderLayer(i));
+    let par = probe.enabled().then(parallel::snapshot);
+    let eps_before = probe.enabled().then(deept_core::eps::snapshot);
+    // Noise-symbol reduction at every layer input, before the residual
+    // branch splits (§5.1). The budget can never drop below the
+    // protected prefix (reduce_eps requires protect ≤ budget).
+    let x = if let Some(budget) = cfg.reduction_budget {
+        reduce_eps_probed(&x, budget.max(1).max(protect), protect, probe).0
+    } else {
+        x
+    };
+    let eps_in = x.num_eps();
+    let x = encoder_layer(
+        &x,
+        layer,
+        net.layer_norm,
+        net.head_dim,
+        dot,
+        cfg.softmax,
+        probe,
+    );
+    let created = x.num_eps().saturating_sub(eps_in);
+    if let Some(before) = par {
+        probe.parallel(parallel_stats_since(&before));
+    }
+    if let Some(eps_before) = eps_before {
+        probe.eps_storage(deept_core::eps::storage_stats_since(
+            &eps_before,
+            x.eps_store(),
+        ));
+    }
+    let stats = probe.enabled().then(|| x.telemetry_stats());
+    probe.span_exit(SpanKind::EncoderLayer(i), stats, created);
+    x
+}
+
+/// Bounds blew up (e.g. exp overflow): unbounded logits so certification
+/// fails gracefully instead of propagating NaN arithmetic further.
+fn unbounded_logits(net: &VerifiableTransformer, x: &Zonotope) -> Zonotope {
+    let inf = Matrix::full(1, net.num_classes, f64::INFINITY);
+    Zonotope::constant(&inf, x.p())
+}
+
+/// Pooling: first output embedding only (Figure 2), then the classifier
+/// head.
+fn pool_logits(net: &VerifiableTransformer, x: &Zonotope, probe: &dyn Probe) -> Zonotope {
     probe.span_enter(SpanKind::Pooling);
     let par = probe.enabled().then(parallel::snapshot);
     let pooled = x.select_rows(&[0]);
@@ -331,8 +364,7 @@ fn propagate_inner_from(
     }
     let stats = probe.enabled().then(|| logits.telemetry_stats());
     probe.span_exit(SpanKind::Pooling, stats, 0);
-    snap.logits(&logits);
-    Ok(logits)
+    logits
 }
 
 /// Certifies that every point of the input region classifies as
@@ -396,6 +428,96 @@ pub fn certify_deadline_probed(
     let logits = propagate_deadline_probed(net, input, cfg, deadline, probe)?;
     let margins = margins_from_zonotope_deadline(&logits, true_label, deadline)?;
     Ok(CertResult::from_margins(margins))
+}
+
+/// One member of a fused certification batch: an input region over the same
+/// network, its own `true_label`, and its own cooperative [`Deadline`].
+pub struct BatchQuery<'a> {
+    /// The input region for this member.
+    pub input: &'a Zonotope,
+    /// The class every point of the region must classify as.
+    pub true_label: usize,
+    /// Per-member deadline, polled at every layer boundary.
+    pub deadline: Deadline,
+}
+
+/// Certifies a batch of queries against the same network in one lockstep
+/// layer sweep: the outer loop walks encoder layers, the inner loop walks
+/// batch members, so the whole batch traverses each layer's weights
+/// together (one pass over the model per layer instead of one per member).
+///
+/// Every member runs exactly the serial per-layer pipeline
+/// (reduction → encoder layer, then pooling and per-class margins), so a
+/// member's result is **bitwise identical** to
+/// [`certify_deadline_probed`] on the same query — members never exchange
+/// abstract state, only the sweep order changes. Deadlines stay
+/// per-request: each member's deadline is polled at the same layer
+/// boundaries as the serial path, and an expired member drops out of the
+/// sweep with [`DeadlineExceeded`] while the stragglers finish
+/// individually.
+pub fn certify_batch_deadline_probed(
+    net: &VerifiableTransformer,
+    queries: &[BatchQuery<'_>],
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+) -> Vec<Result<CertResult, DeadlineExceeded>> {
+    let n = queries.len();
+    // Abstract state per member while it is still propagating; a member
+    // leaves the sweep by timing out (slot -> None, result recorded) or by
+    // reaching its logits (slot -> None, logits recorded).
+    let mut states: Vec<Option<Zonotope>> = Vec::with_capacity(n);
+    let mut logits: Vec<Option<Zonotope>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<CertResult, DeadlineExceeded>>> =
+        (0..n).map(|_| None).collect();
+    // Mirrors the serial entry check in `certify_deadline_probed`.
+    for q in queries {
+        states.push(match q.deadline.check() {
+            Ok(()) => Some(q.input.clone()),
+            Err(DeadlineExceeded) => None,
+        });
+    }
+    for (state, result) in states.iter().zip(results.iter_mut()) {
+        if state.is_none() {
+            *result = Some(Err(DeadlineExceeded));
+        }
+    }
+    probe.span_enter(SpanKind::Propagate);
+    let last = net.layers.len().saturating_sub(1);
+    for (i, layer) in net.layers.iter().enumerate() {
+        for (m, q) in queries.iter().enumerate() {
+            let Some(x) = states[m].take() else { continue };
+            if q.deadline.check().is_err() {
+                results[m] = Some(Err(DeadlineExceeded));
+                continue;
+            }
+            let x = layer_step(net, layer, x, i, last, cfg, 0, probe);
+            if x.has_non_finite() {
+                logits[m] = Some(unbounded_logits(net, &x));
+            } else {
+                states[m] = Some(x);
+            }
+        }
+    }
+    for (m, q) in queries.iter().enumerate() {
+        let Some(x) = states[m].take() else { continue };
+        if q.deadline.check().is_err() {
+            results[m] = Some(Err(DeadlineExceeded));
+            continue;
+        }
+        logits[m] = Some(pool_logits(net, &x, probe));
+    }
+    probe.span_exit(SpanKind::Propagate, None, 0);
+    for (m, q) in queries.iter().enumerate() {
+        let Some(z) = logits[m].take() else { continue };
+        results[m] = Some(
+            margins_from_zonotope_deadline(&z, q.true_label, q.deadline)
+                .map(CertResult::from_margins),
+        );
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every batch member resolves to a result"))
+        .collect()
 }
 
 /// One encoder layer in the abstract domain.
@@ -792,6 +914,80 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_lockstep_matches_serial_bitwise() {
+        // The fused serve path leans on this: a batch member's result must
+        // equal the serially-certified result exactly, for every config and
+        // norm, with per-member deadlines honoured independently.
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        for cfg in [
+            DeepTConfig::fast(60),
+            DeepTConfig::precise(500),
+            DeepTConfig::combined(500),
+        ] {
+            for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+                let regions: Vec<_> = [0.001, 0.01, 0.05]
+                    .iter()
+                    .map(|&eps| crate::network::t1_region(&emb, 1, eps, p))
+                    .collect();
+                let queries: Vec<BatchQuery<'_>> = regions
+                    .iter()
+                    .map(|r| BatchQuery {
+                        input: r,
+                        true_label: pred,
+                        deadline: Deadline::none(),
+                    })
+                    .collect();
+                let batched = certify_batch_deadline_probed(&net, &queries, &cfg, &NoopProbe);
+                for (region, got) in regions.iter().zip(&batched) {
+                    let serial = certify(&net, region, pred, &cfg);
+                    assert_eq!(
+                        got.as_ref().expect("no deadline in play"),
+                        &serial,
+                        "{p:?}: fused result diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_member_deadlines_are_independent() {
+        let model = tiny_model(LayerNormKind::NoStd, 2);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 2, 3];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        let cfg = DeepTConfig::fast(4000);
+        let live = crate::network::t1_region(&emb, 0, 0.01, PNorm::L2);
+        let dead = crate::network::t1_region(&emb, 0, 0.02, PNorm::L2);
+        let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let queries = [
+            BatchQuery {
+                input: &dead,
+                true_label: pred,
+                deadline: expired,
+            },
+            BatchQuery {
+                input: &live,
+                true_label: pred,
+                deadline: Deadline::none(),
+            },
+        ];
+        let out = certify_batch_deadline_probed(&net, &queries, &cfg, &NoopProbe);
+        assert_eq!(out[0], Err(DeadlineExceeded));
+        let serial = certify(&net, &live, pred, &cfg);
+        assert_eq!(
+            out[1].as_ref().expect("unlimited member must finish"),
+            &serial,
+            "an expired sibling must not perturb a live member"
+        );
     }
 
     #[test]

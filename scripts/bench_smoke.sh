@@ -298,3 +298,77 @@ print(f"phase-decomposition gate: phases sum to {ratio:.1%} of end-to-end")
 EOF
 
 echo "loadgen smoke written to BENCH_6.json"
+
+# ---------------------------------------------------------------------------
+# Batch-fusion smoke: the identical wave-structured closed-loop load driven
+# at a server with request coalescing and batch fusion disabled (--no-fuse),
+# then at the default fused pipeline. The wave shape — groups of identical
+# requests in flight together — is the workload fusion exists for: the
+# fused server answers each group with one propagation where the unfused
+# one runs them all. The gate requires the fused server to certify at
+# least 1.3x more queries per second; results land in BENCH_9.json.
+# ---------------------------------------------------------------------------
+FUSE_ADDR="${DEEPT_FUSE_ADDR:-127.0.0.1:17982}"
+
+echo "== batch-fusion smoke ($FUSE_ADDR, DEEPT_THREADS=$THREADS) =="
+
+fusion_run() { # $1: extra serve flags, $2: loadgen report path
+  # shellcheck disable=SC2086  # $1 is deliberately word-split flags
+  target/release/deept serve --addr "$FUSE_ADDR" --workers "$THREADS" \
+    --model smoke=artifacts/models/bench_smoke.json $1 &
+  local serve_pid=$!
+  for _ in $(seq 50); do
+    target/release/deept request --addr "$FUSE_ADDR" --status >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  target/release/deept loadgen --addr "$FUSE_ADDR" --model-id smoke \
+    --tokens "1 2 3 4" --concurrency 6 --wave 6 --requests 120 \
+    --out "$2" >/dev/null
+  target/release/deept request --addr "$FUSE_ADDR" --shutdown >/dev/null
+  wait "$serve_pid"
+}
+
+fusion_run "--no-fuse" bench_fusion_unfused.json
+fusion_run "" bench_fusion_fused.json
+
+python3 - "$THREADS" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+threads = int(sys.argv[1])
+unfused = json.loads(Path("bench_fusion_unfused.json").read_text())
+fused = json.loads(Path("bench_fusion_fused.json").read_text())
+for name, run in (("unfused", unfused), ("fused", fused)):
+    assert run["ok"] == run["sent"], f"{name} run lost requests: {run}"
+
+def digest(run):
+    lat = run["latency"]
+    return {
+        "certified_queries_per_sec": round(run["certified_queries_per_sec"], 1),
+        "cached": run["cached"],
+        "p50_ms": round(lat["p50_s"] * 1e3, 3),
+        "p95_ms": round(lat["p95_s"] * 1e3, 3),
+        "p99_ms": round(lat["p99_s"] * 1e3, 3),
+    }
+
+speedup = fused["certified_queries_per_sec"] / unfused["certified_queries_per_sec"]
+out = {
+    "threads": threads,
+    "requests": 120,
+    "concurrency": 6,
+    "wave": 6,
+    "unfused": digest(unfused),
+    "fused": digest(fused),
+    "speedup_fused_vs_unfused": round(speedup, 3),
+}
+Path("BENCH_9.json").write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+print(json.dumps(out, indent=2, sort_keys=True))
+assert speedup >= 1.3, (
+    f"fused throughput {fused['certified_queries_per_sec']:.1f} q/s is only "
+    f"{speedup:.2f}x the unfused {unfused['certified_queries_per_sec']:.1f} q/s (need >= 1.3x)"
+)
+print(f"fusion gate: fused serving is {speedup:.2f}x unfused on wave load")
+EOF
+
+echo "fusion smoke written to BENCH_9.json"

@@ -10,6 +10,7 @@
 //! deept export-model [--out artifacts/models/toy.json] [--layers 1] [--epochs 2]
 //! deept serve   [--addr 127.0.0.1:7878 | --stdio] [--workers 2] [--queue 16] \
 //!               [--cache 256] [--deadline-ms N] [--metrics-addr 127.0.0.1:9090] \
+//!               [--fuse-max 8 | --no-fuse] [--shards N] \
 //!               [--model id=ckpt.json]...
 //! deept request --addr 127.0.0.1:7878 (--status | --metrics | --shutdown |
 //!               --load-model id=path |
@@ -18,7 +19,7 @@
 //!               [--variant fast] [--deadline-ms N] [--trace-response])
 //! deept loadgen --addr 127.0.0.1:7878 --model-id id [--tokens "1 2 3"] \
 //!               [--concurrency 2] [--duration-s 5 | --requests N] [--rate R] \
-//!               [--eps 1e-3] [--cached] [--out BENCH_6.json]
+//!               [--eps 1e-3] [--cached] [--wave K] [--out BENCH_6.json]
 //! deept bench-metrics [--repeats 7] [--max-ratio 1.02] [--out bench_metrics.json]
 //! deept fuzz-soundness [--seed N | --seed A..B] [--cases M]
 //! deept bench-refine [--out BENCH_8.json] [--deadline-ms 2000] [--queries N]
@@ -560,8 +561,8 @@ fn cmd_export_model(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the certification server over TCP or stdio.
-fn cmd_serve(args: &[String]) -> Result<(), String> {
+/// Parses the worker tuning flags shared by single-server and shard mode.
+fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig::default();
     if let Some(v) = flag(args, "--workers") {
         cfg.workers = v.parse().map_err(|_| "--workers must be a number")?;
@@ -578,14 +579,41 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag(args, "--deadline-ms") {
         cfg.default_deadline_ms = Some(v.parse().map_err(|_| "--deadline-ms must be a number")?);
     }
-    let preloads: Vec<(String, String)> = flag_all(args, "--model")
+    if let Some(v) = flag(args, "--fuse-max") {
+        cfg.fuse_max = v.parse().map_err(|_| "--fuse-max must be a number")?;
+    }
+    if has(args, "--no-fuse") {
+        cfg.fuse_max = 1;
+    }
+    Ok(cfg)
+}
+
+fn parse_preloads(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    flag_all(args, "--model")
         .into_iter()
         .map(|spec| {
             spec.split_once('=')
                 .map(|(id, path)| (id.to_string(), path.to_string()))
-                .ok_or("--model takes id=path, e.g. --model toy=artifacts/models/toy.json")
+                .ok_or_else(|| {
+                    "--model takes id=path, e.g. --model toy=artifacts/models/toy.json".to_string()
+                })
         })
-        .collect::<Result<_, _>>()?;
+        .collect()
+}
+
+/// Runs the certification server over TCP or stdio; with `--shards N`,
+/// forks `N` single-shard worker processes and fronts them with the
+/// fingerprint-hash router.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let shards: usize = flag(args, "--shards")
+        .map(|v| v.parse().map_err(|_| "--shards must be a number"))
+        .transpose()?
+        .unwrap_or(0);
+    if shards > 1 {
+        return cmd_serve_sharded(args, shards);
+    }
+    let cfg = serve_config(args)?;
+    let preloads = parse_preloads(args)?;
     let server = Server::new(cfg);
     for (id, path) in preloads {
         let fingerprint = server
@@ -608,11 +636,135 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     } else {
         let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
-        eprintln!("serving on {addr} (send {{\"type\":\"shutdown\"}} to stop)");
-        server.serve_tcp(&addr).map_err(|e| e.to_string())?;
+        let listener = std::net::TcpListener::bind(&addr)
+            .map_err(|e| format!("could not bind {addr}: {e}"))?;
+        let bound = listener.local_addr().map_err(|e| e.to_string())?;
+        if has(args, "--announce") {
+            // Shard workers bind an ephemeral port and hand it to the
+            // parent router over stdout; one line, then silence.
+            println!("DEEPT_SHARD_ADDR {bound}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        eprintln!("serving on {bound} (send {{\"type\":\"shutdown\"}} to stop)");
+        server.serve_listener(listener).map_err(|e| e.to_string())?;
     }
     eprintln!("{}", server.stats().render_summary());
     Ok(())
+}
+
+/// Forks `shards` single-shard `deept serve --announce` worker processes
+/// on ephemeral ports and serves the shard router in front of them.
+/// Models route to shards by checkpoint-fingerprint hash; `status`,
+/// `metrics` and `shutdown` aggregate or broadcast across the fleet.
+fn cmd_serve_sharded(args: &[String], shards: usize) -> Result<(), String> {
+    use deept::serve::router::{Router, RouterConfig};
+    use std::io::BufRead as _;
+    use std::process::{Child, Command, Stdio};
+
+    if has(args, "--stdio") {
+        return Err("--stdio and --shards are mutually exclusive".into());
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    // Tuning flags every shard inherits verbatim.
+    let passthrough = [
+        "--workers",
+        "--queue",
+        "--cache",
+        "--budget",
+        "--deadline-ms",
+        "--fuse-max",
+    ];
+    let mut shard_args: Vec<String> = vec![
+        "serve".into(),
+        "--announce".into(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+    ];
+    for name in passthrough {
+        if let Some(v) = flag(args, name) {
+            shard_args.push(name.into());
+            shard_args.push(v);
+        }
+    }
+    if has(args, "--no-fuse") {
+        shard_args.push("--no-fuse".into());
+    }
+    let mut children: Vec<Child> = Vec::with_capacity(shards);
+    let mut addrs: Vec<String> = Vec::with_capacity(shards);
+    let spawn_result = (|| -> Result<(), String> {
+        for i in 0..shards {
+            let mut child = Command::new(&exe)
+                .args(&shard_args)
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped())
+                .spawn()
+                .map_err(|e| format!("could not fork shard {i}: {e}"))?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| format!("shard {i} stdout not captured"))?;
+            children.push(child);
+            let mut line = String::new();
+            std::io::BufReader::new(stdout)
+                .read_line(&mut line)
+                .map_err(|e| format!("shard {i} died before announcing its address: {e}"))?;
+            let addr = line
+                .trim()
+                .strip_prefix("DEEPT_SHARD_ADDR ")
+                .ok_or_else(|| format!("shard {i} announced {line:?}, expected DEEPT_SHARD_ADDR"))?
+                .to_string();
+            eprintln!("shard {i} on {addr}");
+            addrs.push(addr);
+        }
+        Ok(())
+    })();
+    if let Err(e) = spawn_result {
+        // Don't leave half a fleet running behind a failed startup.
+        for mut child in children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        return Err(e);
+    }
+    let router = Router::new(RouterConfig {
+        shards: addrs,
+        ..RouterConfig::default()
+    });
+    for (id, path) in parse_preloads(args)? {
+        match router.handle(deept::serve::protocol::Request::LoadModel {
+            model_id: id.clone(),
+            path: path.clone(),
+        }) {
+            Response::ModelLoaded { fingerprint, .. } => {
+                let shard = router.assignment(&id).unwrap_or(0);
+                eprintln!(
+                    "preloaded model {id} from {path} onto shard {shard} \
+                     (fingerprint {fingerprint})"
+                );
+            }
+            other => return Err(format!("could not preload {id} from {path}: {other:?}")),
+        }
+    }
+    if let Some(metrics_addr) = flag(args, "--metrics-addr") {
+        let bound = router
+            .spawn_metrics_listener(&metrics_addr)
+            .map_err(|e| format!("could not bind metrics listener on {metrics_addr}: {e}"))?;
+        eprintln!("aggregated metrics on http://{bound}/metrics");
+    }
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    eprintln!("routing {shards} shards on {addr} (send {{\"type\":\"shutdown\"}} to stop)");
+    let served = router.serve_tcp(&addr).map_err(|e| e.to_string());
+    // The shutdown broadcast told every shard to drain; reap the worker
+    // processes so none are left behind.
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("shard {i} exited with {status}"),
+            Err(e) => eprintln!("could not reap shard {i}: {e}"),
+        }
+    }
+    served
 }
 
 /// One-shot client: sends a single request and prints the JSON response.
@@ -736,6 +888,9 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     }
     if has(args, "--cached") {
         cfg.unique_eps = false;
+    }
+    if let Some(v) = flag(args, "--wave") {
+        cfg.wave = v.parse().map_err(|_| "--wave must be a number")?;
     }
     let report = loadgen::run(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
     let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;

@@ -57,6 +57,7 @@ fn checkpoint_to_server_to_cache_to_timeout() {
         cache_capacity: 64,
         reduction_budget: 2000,
         default_deadline_ms: None,
+        fuse_max: 8,
     });
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr").to_string();
