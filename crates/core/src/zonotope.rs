@@ -248,6 +248,15 @@ impl Zonotope {
         self.eps.row(k)
     }
 
+    /// Resident heap bytes of this zonotope's payload (centre + `φ`
+    /// coefficients + the `ε` store's actual storage, which for blocked
+    /// storage is far less than the logical dense matrix). Byte-budgeted
+    /// caches use this to account layer snapshots.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<f64>() * (self.center().len() + self.phi().len())
+            + self.eps.resident_bytes()
+    }
+
     /// One logical `ε` coefficient.
     pub fn eps_at(&self, k: usize, j: usize) -> f64 {
         self.eps.at(k, j)

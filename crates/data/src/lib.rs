@@ -31,5 +31,5 @@ pub mod synonyms;
 pub mod vocab;
 
 pub use sentiment::SentimentDataset;
-pub use synonyms::SynonymSets;
+pub use synonyms::{SynonymArtifact, SynonymSets};
 pub use vocab::{TokenKind, Vocab, VocabSpec};

@@ -5,6 +5,9 @@
 //! embedding space, subject to a distance threshold. The planted vocabulary
 //! groups make these neighbourhoods non-trivial after training.
 
+use std::io;
+use std::path::{Path, PathBuf};
+
 use deept_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +144,70 @@ impl SynonymSets {
     }
 }
 
+/// A persisted synonym-set artifact, keyed by the checkpoint fingerprint
+/// and the construction parameters.
+///
+/// [`SynonymSets::from_embeddings`] is an O(V²) scan over the embedding
+/// table — cheap to do once per checkpoint, wasteful per invocation. The
+/// CLI computes the sets the first time a checkpoint is queried, saves
+/// them here, and both the CLI and `deept-serve` reuse the artifact (or
+/// an in-memory memo) afterwards. The fingerprint, `k` and `dist` fields
+/// are validated on load, so a stale artifact for a retrained checkpoint
+/// can never be served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynonymArtifact {
+    /// Content fingerprint of the checkpoint the sets were computed from.
+    pub fingerprint: String,
+    /// `k` passed to [`SynonymSets::from_embeddings`].
+    pub k: usize,
+    /// `max_dist` passed to [`SynonymSets::from_embeddings`].
+    pub dist: f64,
+    /// The computed sets.
+    pub sets: SynonymSets,
+}
+
+impl SynonymArtifact {
+    /// Canonical file name for one `(fingerprint, k, dist)` combination;
+    /// `dist` is keyed by bit pattern so nearby thresholds never alias.
+    pub fn file_name(fingerprint: &str, k: usize, dist: f64) -> String {
+        format!("{fingerprint}-k{k}-d{:016x}.json", dist.to_bits())
+    }
+
+    /// The artifact's path inside `dir`.
+    pub fn path_in(dir: &Path, fingerprint: &str, k: usize, dist: f64) -> PathBuf {
+        dir.join(Self::file_name(fingerprint, k, dist))
+    }
+
+    /// Writes the artifact into `dir` (created if missing) under its
+    /// canonical name and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created or the file cannot be written.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_in(dir, &self.fingerprint, self.k, self.dist);
+        let json = serde_json::to_string(self).map_err(io::Error::other)?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Loads the artifact for `(fingerprint, k, dist)` from `dir`,
+    /// validating that its recorded key fields match. Any failure —
+    /// missing file, parse error, key mismatch — yields `None`, and the
+    /// caller recomputes from the embeddings.
+    pub fn load(dir: &Path, fingerprint: &str, k: usize, dist: f64) -> Option<SynonymArtifact> {
+        let path = Self::path_in(dir, fingerprint, k, dist);
+        let json = std::fs::read_to_string(path).ok()?;
+        let artifact: SynonymArtifact = serde_json::from_str(&json).ok()?;
+        (artifact.fingerprint == fingerprint
+            && artifact.k == k
+            && artifact.dist.to_bits() == dist.to_bits())
+        .then_some(artifact)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +298,31 @@ mod tests {
         let snapshot = emb.row(neutral).to_vec();
         counter_fit(&mut emb, &v, 0.5);
         assert_eq!(emb.row(neutral), &snapshot[..]);
+    }
+
+    #[test]
+    fn artifact_round_trips_and_validates_key_fields() {
+        let emb = Matrix::from_rows(&[&[0.0], &[0.01], &[0.02], &[5.0]]);
+        let artifact = SynonymArtifact {
+            fingerprint: "cafe1234".into(),
+            k: 2,
+            dist: 0.1,
+            sets: SynonymSets::from_embeddings(&emb, 2, 0.1),
+        };
+        let dir = std::env::temp_dir().join(format!("deept-syn-test-{}", std::process::id()));
+        let path = artifact.save(&dir).expect("save artifact");
+        assert!(path.ends_with(SynonymArtifact::file_name("cafe1234", 2, 0.1)));
+        let loaded = SynonymArtifact::load(&dir, "cafe1234", 2, 0.1).expect("load artifact");
+        assert_eq!(loaded, artifact);
+        // Key mismatches refuse to load: wrong fingerprint, k or dist.
+        assert!(SynonymArtifact::load(&dir, "beef5678", 2, 0.1).is_none());
+        assert!(SynonymArtifact::load(&dir, "cafe1234", 3, 0.1).is_none());
+        assert!(SynonymArtifact::load(&dir, "cafe1234", 2, 0.2).is_none());
+        // A tampered payload (fingerprint renamed on disk) is rejected.
+        let stale = dir.join(SynonymArtifact::file_name("beef5678", 2, 0.1));
+        std::fs::copy(&path, &stale).unwrap();
+        assert!(SynonymArtifact::load(&dir, "beef5678", 2, 0.1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub enum QueryKey {
     Eps(u64),
     /// Radius search with `(start.to_bits(), iters)`.
     RadiusSearch(u64, usize),
+    /// T2 synonym sweep with `(dist.to_bits(), k)` — the synonym-set
+    /// parameters fully determine the sets for a given checkpoint, and
+    /// the fingerprint is already part of the key.
+    Synonyms(u64, usize),
 }
 
 struct Entry<V> {
@@ -76,7 +80,10 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
         self.clock
     }
 
-    /// Looks up `key`, freshening it on a hit.
+    /// Looks up `key`, freshening it on a hit. The value is *cloned* —
+    /// fine for the small result payloads this cache holds, wrong for
+    /// multi-megabyte layer snapshots, which live in the `Arc`-sharing
+    /// [`crate::state_cache::StateCache`] instead.
     pub fn get(&mut self, key: &K) -> Option<V> {
         let stamp = self.tick();
         let entry = self.entries.get_mut(key)?;

@@ -11,6 +11,11 @@
 //! * [`cache`] — an LRU result cache keyed by (model fingerprint, tokens,
 //!   ε, norm, verifier variant, position); hits reproduce the original
 //!   result bit for bit;
+//! * [`state_cache`] — a byte-budgeted LRU of per-layer zonotope
+//!   snapshots keyed by (fingerprint, input-region hash, config hash,
+//!   norm, layer): a warm query whose region *exactly* matches a cached
+//!   cold run resumes propagation mid-stack, bitwise identical to a cold
+//!   start;
 //! * [`registry`] — named models loaded from fingerprinted checkpoints
 //!   ([`deept_nn::checkpoint`]);
 //! * [`server`] — the worker pool and connection loops, with per-request
@@ -73,7 +78,9 @@ pub mod queue;
 pub mod registry;
 pub mod router;
 pub mod server;
+pub mod state_cache;
 mod sync;
+mod synonyms;
 
 pub use cache::{CacheKey, LruCache};
 pub use client::Client;
@@ -82,3 +89,4 @@ pub use protocol::{CertifyRequest, ErrorCode, Request, Response, Variant};
 pub use queue::{JobQueue, SubmitError};
 pub use registry::ModelRegistry;
 pub use server::{ServeConfig, Server};
+pub use state_cache::{StateCache, StateEntry, StateKey};

@@ -21,6 +21,16 @@
 //! server's request coalescing and batch fusion (concurrent clients issue
 //! the same query before any of them has a cached result).
 //!
+//! **Edit-stream mode** (`edit_stream: true`) replays the workload of an
+//! interactive editing session instead: requests cycle through blocks of
+//! eight — four fresh ε queries, three retries of ε values issued earlier
+//! in the same block, and one T2 synonym sweep. The sequence is a pure
+//! function of the shared request counter, so two identical invocations
+//! issue byte-identical request streams: the first run populates the
+//! server's zonotope state cache cold, the second resumes every query
+//! from cached layer snapshots — the cold-vs-warm comparison behind
+//! `BENCH_10.json`. `unique_eps` and `wave` are ignored in this mode.
+//!
 //! Latency is measured client-side per request (send → parsed reply).
 //! Around the run, the generator issues `metrics` requests and differences
 //! the server's histograms, yielding the per-phase decomposition (queue
@@ -71,6 +81,10 @@ pub struct LoadgenConfig {
     /// `<= 1` keeps every request distinct. Only meaningful with
     /// `unique_eps`.
     pub wave: usize,
+    /// Replay an interactive editing session (fresh queries, retries and
+    /// synonym sweeps in a deterministic mix — see the module docs).
+    /// Overrides `unique_eps` / `wave`.
+    pub edit_stream: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -89,6 +103,7 @@ impl Default for LoadgenConfig {
             rate: None,
             unique_eps: true,
             wave: 1,
+            edit_stream: false,
         }
     }
 }
@@ -326,6 +341,42 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     })
 }
 
+/// The next request a loadgen thread should issue.
+#[derive(Debug, PartialEq)]
+enum PlannedQuery {
+    Eps(f64),
+    Synonyms,
+}
+
+/// Derives the next request from the shared counter. Pure in the counter
+/// value, so two identical invocations replay identical request streams
+/// (the property the cold-vs-warm edit-stream bench relies on).
+fn plan_request(cfg: &LoadgenConfig, eps_nonce: &AtomicU64) -> PlannedQuery {
+    let nonce = eps_nonce.fetch_add(1, Ordering::Relaxed);
+    if cfg.edit_stream {
+        // Blocks of 8: four fresh ε queries, three retries of this
+        // block's first three ε values, one synonym sweep.
+        let block = nonce / 8;
+        let kind = nonce % 8;
+        return match kind {
+            7 => PlannedQuery::Synonyms,
+            4..=6 => PlannedQuery::Eps(f64::from_bits(cfg.eps.to_bits() + block * 4 + (kind - 4))),
+            k => PlannedQuery::Eps(f64::from_bits(cfg.eps.to_bits() + block * 4 + k)),
+        };
+    }
+    let eps = if cfg.unique_eps {
+        let group = if cfg.wave > 1 {
+            nonce / cfg.wave as u64
+        } else {
+            nonce
+        };
+        f64::from_bits(cfg.eps.to_bits() + group)
+    } else {
+        cfg.eps
+    };
+    PlannedQuery::Eps(eps)
+}
+
 fn loadgen_thread(
     cfg: &LoadgenConfig,
     stop: &AtomicBool,
@@ -356,27 +407,31 @@ fn loadgen_thread(
             }
             next_send += interval;
         }
-        let eps = if cfg.unique_eps {
-            let nonce = eps_nonce.fetch_add(1, Ordering::Relaxed);
-            let group = if cfg.wave > 1 {
-                nonce / cfg.wave as u64
-            } else {
-                nonce
-            };
-            f64::from_bits(cfg.eps.to_bits() + group)
-        } else {
-            cfg.eps
-        };
-        let req = Request::Certify(CertifyRequest {
-            model_id: cfg.model_id.clone(),
-            tokens: cfg.tokens.clone(),
-            position: cfg.position,
-            norm: cfg.norm.clone(),
-            variant: cfg.variant.clone(),
-            eps: Some(eps),
-            radius_search: None::<RadiusSearchSpec>,
-            deadline_ms: None,
-            trace: false,
+        let req = Request::Certify(match plan_request(cfg, eps_nonce) {
+            PlannedQuery::Eps(eps) => CertifyRequest {
+                model_id: cfg.model_id.clone(),
+                tokens: cfg.tokens.clone(),
+                position: cfg.position,
+                norm: cfg.norm.clone(),
+                variant: cfg.variant.clone(),
+                eps: Some(eps),
+                radius_search: None::<RadiusSearchSpec>,
+                synonyms: None,
+                deadline_ms: None,
+                trace: false,
+            },
+            PlannedQuery::Synonyms => CertifyRequest {
+                model_id: cfg.model_id.clone(),
+                tokens: cfg.tokens.clone(),
+                position: cfg.position,
+                norm: cfg.norm.clone(),
+                variant: "synonyms".to_string(),
+                eps: None,
+                radius_search: None::<RadiusSearchSpec>,
+                synonyms: None, // server applies the default (k, dist)
+                deadline_ms: None,
+                trace: false,
+            },
         });
         let sent_at = Instant::now();
         out.sent += 1;
@@ -426,6 +481,35 @@ mod tests {
     #[test]
     fn empty_samples_yield_no_summary() {
         assert_eq!(LatencySummary::from_samples(Vec::new()), None);
+    }
+
+    #[test]
+    fn edit_stream_plan_replays_and_mixes() {
+        let cfg = LoadgenConfig {
+            edit_stream: true,
+            ..Default::default()
+        };
+        let counter = AtomicU64::new(0);
+        let first: Vec<_> = (0..16).map(|_| plan_request(&cfg, &counter)).collect();
+        let counter = AtomicU64::new(0);
+        let replay: Vec<_> = (0..16).map(|_| plan_request(&cfg, &counter)).collect();
+        // Identical invocations issue byte-identical request streams.
+        assert_eq!(first, replay);
+        for block in [0usize, 8] {
+            // Kinds 4..=6 retry this block's first three ε values.
+            assert_eq!(first[block + 4], first[block]);
+            assert_eq!(first[block + 5], first[block + 1]);
+            assert_eq!(first[block + 6], first[block + 2]);
+            assert_eq!(first[block + 7], PlannedQuery::Synonyms);
+            // The four fresh ε values are pairwise distinct.
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert_ne!(first[block + i], first[block + j]);
+                }
+            }
+        }
+        // Fresh values never repeat across blocks.
+        assert_ne!(first[0], first[8]);
     }
 
     #[test]

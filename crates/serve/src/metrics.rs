@@ -37,6 +37,20 @@ pub(crate) struct ServeMetrics {
     /// `deept_serve_fused_requeued_total`: coalesced stragglers re-dispatched
     /// individually after their fused leader timed out.
     pub fused_requeued: Counter,
+    /// `deept_state_cache_hits_total`: warm queries resumed mid-stack from
+    /// a cached layer snapshot.
+    pub state_hits: Counter,
+    /// `deept_state_cache_misses_total`: eligible queries that found no
+    /// exactly-matching snapshot and ran cold.
+    pub state_misses: Counter,
+    /// `deept_state_cache_evictions_total`: snapshots evicted by the byte
+    /// budget.
+    pub state_evictions: Counter,
+    /// `deept_state_cache_resumed_layers_total`: encoder layers skipped by
+    /// warm resumes (the work the cache saved).
+    pub state_resumed_layers: Counter,
+    /// `deept_state_cache_resident_bytes` gauge.
+    pub state_resident_bytes: Gauge,
     /// `deept_serve_queue_depth` gauge.
     pub queue_depth: Gauge,
     /// `deept_serve_in_flight` gauge.
@@ -97,6 +111,26 @@ impl ServeMetrics {
             "deept_serve_fused_requeued_total",
             "Coalesced stragglers re-dispatched after a fused leader timeout.",
         );
+        let state_hits = registry.counter(
+            "deept_state_cache_hits_total",
+            "Warm queries resumed mid-stack from a cached layer snapshot.",
+        );
+        let state_misses = registry.counter(
+            "deept_state_cache_misses_total",
+            "Eligible queries with no exactly-matching snapshot (ran cold).",
+        );
+        let state_evictions = registry.counter(
+            "deept_state_cache_evictions_total",
+            "Layer snapshots evicted by the state-cache byte budget.",
+        );
+        let state_resumed_layers = registry.counter(
+            "deept_state_cache_resumed_layers_total",
+            "Encoder layers skipped by warm resumes.",
+        );
+        let state_resident_bytes = registry.gauge(
+            "deept_state_cache_resident_bytes",
+            "Bytes of layer snapshots resident in the state cache.",
+        );
         let queue_depth = registry.gauge(
             "deept_serve_queue_depth",
             "Jobs currently waiting in the queue.",
@@ -138,6 +172,11 @@ impl ServeMetrics {
             fused_members,
             coalesced,
             fused_requeued,
+            state_hits,
+            state_misses,
+            state_evictions,
+            state_resumed_layers,
+            state_resident_bytes,
             queue_depth,
             in_flight,
             uptime,

@@ -6,6 +6,7 @@
 //! ```json
 //! {"type":"certify","model_id":"toy","tokens":[1,2,3],"eps":0.01,"norm":"l2"}
 //! {"type":"certify","model_id":"toy","tokens":[1,2,3],"radius_search":{"iters":16}}
+//! {"type":"certify","model_id":"toy","tokens":[1,2,3],"variant":"synonyms"}
 //! {"type":"load_model","model_id":"toy","path":"artifacts/models/toy.json"}
 //! {"type":"status"}
 //! {"type":"metrics"}
@@ -77,6 +78,11 @@ pub struct CertifyRequest {
     /// Binary-search the maximum certified radius instead.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub radius_search: Option<RadiusSearchSpec>,
+    /// Synonym-set parameters for `variant: "synonyms"` (threat model T2).
+    /// Optional — the variant applies the defaults when absent; invalid
+    /// with every other variant.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub synonyms: Option<SynonymSpec>,
     /// Per-request deadline in milliseconds; overrides the server default.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub deadline_ms: Option<u64>,
@@ -123,6 +129,38 @@ fn default_iters() -> usize {
     16
 }
 
+/// Parameters of a T2 synonym-substitution certification
+/// (`variant: "synonyms"`): how the per-checkpoint synonym sets are built.
+/// Sets are computed once per `(checkpoint, k, dist)` and reused across
+/// requests (the O(V²) embedding scan never runs per request).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct SynonymSpec {
+    /// Maximum synonyms per token (nearest embeddings first).
+    #[serde(default = "default_syn_k")]
+    pub k: usize,
+    /// Maximum ℓ2 embedding distance for two tokens to count as synonyms.
+    #[serde(default = "default_syn_dist")]
+    pub dist: f64,
+}
+
+impl Default for SynonymSpec {
+    fn default() -> Self {
+        SynonymSpec {
+            k: default_syn_k(),
+            dist: default_syn_dist(),
+        }
+    }
+}
+
+fn default_syn_k() -> usize {
+    4
+}
+
+fn default_syn_dist() -> f64 {
+    0.8
+}
+
 /// Verifier variant selector (§6: DeepT-Fast / DeepT-Precise, plus the
 /// Combined verifier of Appendix A.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -137,6 +175,10 @@ pub enum Variant {
     /// The CEGAR escalation ladder (`crates/refine`): Fast → Precise →
     /// deadline-aware branch-and-bound refinement with attack pruning.
     Refine,
+    /// Threat model T2 (§6.7): certify the sentence against every
+    /// combination of per-token synonym substitutions. Takes neither `eps`
+    /// nor `radius_search`; tuned by the optional `synonyms` spec.
+    Synonyms,
 }
 
 impl Variant {
@@ -147,6 +189,7 @@ impl Variant {
             "precise" => Some(Variant::Precise),
             "combined" => Some(Variant::Combined),
             "refine" => Some(Variant::Refine),
+            "synonyms" => Some(Variant::Synonyms),
             _ => None,
         }
     }
@@ -159,6 +202,7 @@ impl std::fmt::Display for Variant {
             Variant::Precise => "precise",
             Variant::Combined => "combined",
             Variant::Refine => "refine",
+            Variant::Synonyms => "synonyms",
         })
     }
 }
@@ -288,6 +332,22 @@ pub enum CertifyResult {
         /// Branch-and-bound nodes explored (0 when a flat pass decided).
         nodes: usize,
     },
+    /// T2 synonym-substitution query (`variant: "synonyms"`): one box
+    /// over all simultaneous substitutions, plus a per-position sweep.
+    Synonyms {
+        /// Whether the *joint* substitution box (every position perturbed
+        /// at once) was certified — the paper's T2 verdict.
+        certified: bool,
+        /// Per-position verdicts: position `i` certified against its own
+        /// synonym set alone (positions with no synonyms are vacuously
+        /// certified).
+        positions: Vec<bool>,
+        /// Margins of the joint substitution box.
+        margins: Vec<f64>,
+        /// Size of the attacked combination space (decimal string — the
+        /// product overflows u64 on long sentences).
+        combinations: String,
+    },
 }
 
 /// Machine-readable failure classes.
@@ -336,6 +396,21 @@ pub struct StatusReport {
     /// Seconds since the server started.
     #[serde(default)]
     pub uptime_seconds: f64,
+    /// Warm queries resumed mid-stack from the zonotope state cache.
+    #[serde(default)]
+    pub state_cache_hits: u64,
+    /// Eligible queries that found no exactly-matching snapshot.
+    #[serde(default)]
+    pub state_cache_misses: u64,
+    /// Snapshots evicted by the state-cache byte budget.
+    #[serde(default)]
+    pub state_cache_evictions: u64,
+    /// Bytes of layer snapshots resident in the state cache.
+    #[serde(default)]
+    pub state_cache_resident_bytes: u64,
+    /// Encoder layers skipped by warm resumes since start.
+    #[serde(default)]
+    pub state_cache_resumed_layers: u64,
     /// Server-assigned request id of the `status` request itself.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub request_id: Option<u64>,
@@ -357,13 +432,17 @@ impl StatusReport {
         };
         format!(
             "served {} requests ({} completed, {} overloaded, {} deadline-aborted); \
-             cache {} hits / {} misses ({hit_rate}); {} queued, {} in flight",
+             cache {} hits / {} misses ({hit_rate}); state cache {} hits / {} misses, \
+             {} layers resumed; {} queued, {} in flight",
             self.received,
             self.completed,
             self.overloaded,
             self.deadline_aborts,
             self.cache_hits,
             self.cache_misses,
+            self.state_cache_hits,
+            self.state_cache_misses,
+            self.state_cache_resumed_layers,
             self.queue_depth,
             self.in_flight,
         )
@@ -558,10 +637,72 @@ mod tests {
             Variant::Precise,
             Variant::Combined,
             Variant::Refine,
+            Variant::Synonyms,
         ] {
             assert_eq!(Variant::parse(&v.to_string()), Some(v));
         }
         assert_eq!(Variant::parse("turbo"), None);
+    }
+
+    #[test]
+    fn synonyms_request_round_trips_with_defaults() {
+        let req = parse_request(
+            r#"{"type":"certify","model_id":"toy","tokens":[1,2],"variant":"synonyms"}"#,
+        )
+        .unwrap();
+        match &req {
+            Request::Certify(c) => {
+                assert_eq!(c.variant, "synonyms");
+                assert!(c.synonyms.is_none());
+                assert!(c.eps.is_none());
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let req = parse_request(
+            r#"{"type":"certify","model_id":"toy","tokens":[1,2],
+                "variant":"synonyms","synonyms":{"k":2}}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Certify(c) => {
+                let spec = c.synonyms.unwrap();
+                assert_eq!(spec.k, 2);
+                assert!((spec.dist - 0.8).abs() < 1e-12);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synonyms_result_round_trips() {
+        let resp = Response::Certify {
+            model_id: "m".into(),
+            fingerprint: "abcd".into(),
+            label: 0,
+            result: CertifyResult::Synonyms {
+                certified: true,
+                positions: vec![true, false, true],
+                margins: vec![f64::INFINITY, 0.125],
+                combinations: "96".into(),
+            },
+            cached: false,
+            trace: None,
+            request_id: None,
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"kind\":\"synonyms\""), "{json}");
+        assert_eq!(parse_response(&json).unwrap(), resp);
+    }
+
+    #[test]
+    fn status_report_state_cache_fields_default() {
+        // Old-format reports (no state-cache fields) must still parse.
+        let old = r#"{"received":1,"completed":1,"cache_hits":0,"cache_misses":1,
+            "deadline_aborts":0,"overloaded":0,"queue_depth":0,"in_flight":0,
+            "workers":2,"queue_capacity":16,"models":[]}"#;
+        let report: StatusReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.state_cache_hits, 0);
+        assert_eq!(report.state_cache_resident_bytes, 0);
     }
 
     #[test]

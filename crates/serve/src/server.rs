@@ -56,28 +56,34 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use deept_core::PNorm;
+use deept_core::{PNorm, Zonotope};
 use deept_metrics::PhaseProfiler;
 use deept_refine::{refine_certify_probed, RefineConfig, RefineOutcome};
 use deept_telemetry::{NoopProbe, Probe, TraceCollector};
 use deept_verifier::deadline::{Deadline, DeadlineExceeded};
 use deept_verifier::deept::{
-    certify_batch_deadline_probed, certify_deadline_probed, BatchQuery, DeepTConfig,
+    certify_batch_resumable, certify_deadline_probed, propagate_suffix_snapshots_deadline_probed,
+    BatchQuery, BatchSnapshotSink, DeepTConfig, NoBatchSnapshots, SoundnessProbe,
 };
-use deept_verifier::network::t1_region;
+use deept_verifier::network::{margins_from_zonotope_deadline, t1_region, t2_region, CertResult};
 use deept_verifier::radius::{max_certified_radius_deadline, RadiusOutcome};
+use deept_verifier::statehash::{config_hash, region_hash};
+use deept_verifier::synonym;
 
 use crate::cache::{CacheKey, LruCache, QueryKey};
 use crate::event_loop::{self, ReplyHandle};
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
     self, CertifyRequest, CertifyResult, ErrorCode, RadiusSearchSpec, Request, Response,
-    StatusReport, Variant,
+    StatusReport, SynonymSpec, Variant,
 };
 use crate::queue::{JobQueue, SubmitError};
 use crate::registry::{ModelEntry, ModelRegistry};
+use crate::state_cache::{StateCache, StateEntry, StateKey};
 use crate::sync::lock;
+use crate::synonyms::SynonymCatalog;
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -98,6 +104,13 @@ pub struct ServeConfig {
     /// in-flight coalescing). Values `<= 1` disable fusion entirely:
     /// every request runs its own serial propagation.
     pub fuse_max: usize,
+    /// Byte budget for the cross-request zonotope [`StateCache`]; zero
+    /// disables snapshot capture and resume entirely.
+    pub state_cache_bytes: usize,
+    /// Directory of persisted synonym-set artifacts (as written by
+    /// `deept synonyms`); `None` computes sets in-process and keeps them
+    /// only in memory.
+    pub synonym_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +122,8 @@ impl Default for ServeConfig {
             reduction_budget: 2000,
             default_deadline_ms: None,
             fuse_max: 8,
+            state_cache_bytes: 32 << 20,
+            synonym_dir: None,
         }
     }
 }
@@ -118,6 +133,7 @@ impl Default for ServeConfig {
 enum Query {
     Eps(f64),
     RadiusSearch(RadiusSearchSpec),
+    Synonyms(SynonymSpec),
 }
 
 /// Everything a worker needs to run one certification.
@@ -187,6 +203,10 @@ struct Inner {
     /// while holding this lock across the queue submit, so a waiter can
     /// never attach to a key whose submission failed.
     inflight: Mutex<HashMap<CacheKey, Vec<Job>>>,
+    /// Cross-request per-layer zonotope snapshots for mid-stack resume.
+    state_cache: Mutex<StateCache>,
+    /// Memoized synonym sets per (fingerprint, k, dist).
+    synonyms: SynonymCatalog,
     shutdown: AtomicBool,
     workers: Mutex<Vec<JoinHandle<()>>>,
     /// Auxiliary service threads (metrics listener); finished handles are
@@ -219,6 +239,8 @@ impl Server {
         let workers = cfg.workers.max(1);
         let queue_capacity = cfg.queue_capacity.max(1);
         let cache_capacity = cfg.cache_capacity;
+        let state_cache_bytes = cfg.state_cache_bytes;
+        let synonym_dir = cfg.synonym_dir.clone();
         let server = Server {
             inner: Arc::new(Inner {
                 cfg,
@@ -229,6 +251,8 @@ impl Server {
                 next_request_id: AtomicU64::new(1),
                 queue: JobQueue::new(queue_capacity),
                 inflight: Mutex::new(HashMap::new()),
+                state_cache: Mutex::new(StateCache::new(state_cache_bytes)),
+                synonyms: SynonymCatalog::new(synonym_dir),
                 shutdown: AtomicBool::new(false),
                 workers: Mutex::new(Vec::new()),
                 service_threads: Mutex::new(Vec::new()),
@@ -363,6 +387,11 @@ impl Server {
             cache_hits: m.cache_hits.value(),
             cache_misses: m.cache_misses.value(),
             deadline_aborts: m.deadline_timeouts.value(),
+            state_cache_hits: m.state_hits.value(),
+            state_cache_misses: m.state_misses.value(),
+            state_cache_evictions: m.state_evictions.value(),
+            state_cache_resident_bytes: m.state_resident_bytes.value() as u64,
+            state_cache_resumed_layers: m.state_resumed_layers.value(),
             overloaded: m.overloaded.value(),
             queue_depth: m.queue_depth.value() as u64,
             in_flight: m.in_flight.value() as u64,
@@ -446,35 +475,72 @@ impl Server {
             return Submitted::Inline(error(
                 ErrorCode::BadRequest,
                 &format!(
-                    "unknown variant {:?} (expected fast, precise, combined or refine)",
+                    "unknown variant {:?} (expected fast, precise, combined, refine or synonyms)",
                     req.variant
                 ),
             ));
         };
-        let query = match (req.eps, req.radius_search) {
-            (Some(eps), None) => {
-                if !(eps.is_finite() && eps >= 0.0) {
-                    return Submitted::Inline(error(
-                        ErrorCode::BadRequest,
-                        "eps must be finite and non-negative",
-                    ));
-                }
-                Query::Eps(eps)
-            }
-            (None, Some(spec)) => {
-                if !(spec.start.is_finite() && spec.start > 0.0) {
-                    return Submitted::Inline(error(
-                        ErrorCode::BadRequest,
-                        "radius_search.start must be finite and positive",
-                    ));
-                }
-                Query::RadiusSearch(spec)
-            }
-            _ => {
+        // A T2 synonym sweep perturbs every position inside per-position
+        // ℓ∞ boxes spanning the substitution embeddings; the request's
+        // `norm` field does not apply, so the key is normalized to ℓ∞ and
+        // `eps` / `radius_search` are rejected.
+        let norm = if variant == Variant::Synonyms {
+            PNorm::Linf
+        } else {
+            norm
+        };
+        let query = if variant == Variant::Synonyms {
+            if req.eps.is_some() || req.radius_search.is_some() {
                 return Submitted::Inline(error(
                     ErrorCode::BadRequest,
-                    "specify exactly one of eps and radius_search",
+                    "variant \"synonyms\" takes neither eps nor radius_search",
                 ));
+            }
+            let spec = req.synonyms.unwrap_or_default();
+            if spec.k == 0 {
+                return Submitted::Inline(error(
+                    ErrorCode::BadRequest,
+                    "synonyms.k must be at least 1",
+                ));
+            }
+            if !(spec.dist.is_finite() && spec.dist > 0.0) {
+                return Submitted::Inline(error(
+                    ErrorCode::BadRequest,
+                    "synonyms.dist must be finite and positive",
+                ));
+            }
+            Query::Synonyms(spec)
+        } else if req.synonyms.is_some() {
+            return Submitted::Inline(error(
+                ErrorCode::BadRequest,
+                "a synonyms spec requires variant \"synonyms\"",
+            ));
+        } else {
+            match (req.eps, req.radius_search) {
+                (Some(eps), None) => {
+                    if !(eps.is_finite() && eps >= 0.0) {
+                        return Submitted::Inline(error(
+                            ErrorCode::BadRequest,
+                            "eps must be finite and non-negative",
+                        ));
+                    }
+                    Query::Eps(eps)
+                }
+                (None, Some(spec)) => {
+                    if !(spec.start.is_finite() && spec.start > 0.0) {
+                        return Submitted::Inline(error(
+                            ErrorCode::BadRequest,
+                            "radius_search.start must be finite and positive",
+                        ));
+                    }
+                    Query::RadiusSearch(spec)
+                }
+                _ => {
+                    return Submitted::Inline(error(
+                        ErrorCode::BadRequest,
+                        "specify exactly one of eps and radius_search",
+                    ));
+                }
             }
         };
         if variant == Variant::Refine && matches!(query, Query::RadiusSearch(_)) {
@@ -532,6 +598,7 @@ impl Server {
                 Query::RadiusSearch(spec) => {
                     QueryKey::RadiusSearch(spec.start.to_bits(), spec.iters)
                 }
+                Query::Synonyms(spec) => QueryKey::Synonyms(spec.dist.to_bits(), spec.k),
             },
         };
         let m = &self.inner.metrics;
@@ -847,10 +914,178 @@ fn verifier_config(variant: Variant, reduction_budget: usize) -> DeepTConfig {
         Variant::Fast => DeepTConfig::fast(reduction_budget),
         Variant::Precise => DeepTConfig::precise(reduction_budget),
         Variant::Combined => DeepTConfig::combined(reduction_budget),
+        // A synonym sweep batches many boxes through the cheap pass (the
+        // same configuration `deept synonyms` uses offline).
+        Variant::Synonyms => DeepTConfig::fast(reduction_budget),
         // The refinement ladder manages its own per-level budgets and
         // never goes through a single flat config.
         Variant::Refine => unreachable!("refine jobs bypass the flat verifier config"),
     }
+}
+
+/// Collects every post-layer state of a serial propagation so the worker
+/// can publish them to the [`StateCache`] afterwards.
+#[derive(Default)]
+struct SnapshotCollector {
+    states: Vec<(usize, Zonotope)>,
+}
+
+impl SoundnessProbe for SnapshotCollector {
+    fn layer_output(&mut self, i: usize, z: &Zonotope) {
+        self.states.push((i, z.clone()));
+    }
+}
+
+/// Per-member snapshot collector for the lockstep batched sweep.
+struct BatchCollector {
+    states: Vec<Vec<(usize, Zonotope)>>,
+}
+
+impl BatchSnapshotSink for BatchCollector {
+    fn layer_output(&mut self, member: usize, layer: usize, z: &Zonotope) {
+        self.states[member].push((layer, z.clone()));
+    }
+}
+
+/// `(region_hash, config_hash)` of one query, computed once and shared by
+/// the probe and the publish steps.
+type StateHashes = (u64, u64);
+
+/// The deepest usable snapshot for `region`, as `(resume_layer, entry)`
+/// where `resume_layer` is the first encoder layer still to run. Probes
+/// deepest-first; a hit is witness-verified inside the cache (exact
+/// `PartialEq` on region and config — a hash collision is a miss, never a
+/// wrong resume). Returns `None` on a cold region.
+fn deepest_snapshot(
+    inner: &Inner,
+    entry: &ModelEntry,
+    norm: PNorm,
+    region: &Zonotope,
+    cfg: &DeepTConfig,
+    hashes: StateHashes,
+) -> Option<(usize, Arc<StateEntry>)> {
+    let n_layers = entry.net.layers.len();
+    if inner.cfg.state_cache_bytes == 0 || n_layers == 0 {
+        return None;
+    }
+    let (r_hash, c_hash) = hashes;
+    let mut key = StateKey {
+        fingerprint: entry.fingerprint.clone(),
+        norm,
+        cfg_hash: c_hash,
+        region_hash: r_hash,
+        layer: 0,
+    };
+    let mut cache = lock(&inner.state_cache);
+    for layer in (0..n_layers).rev() {
+        key.layer = layer;
+        if let Some(hit) = cache.get(&key, region, cfg) {
+            return Some((layer + 1, hit));
+        }
+    }
+    None
+}
+
+/// Publishes the layer snapshots of a finished (or deadline-cut) run.
+/// Publishing on timeout is deliberate: the completed prefix is still
+/// valid, which is exactly what makes the retry of a timed-out request
+/// cheap. Non-finite states certify nothing downstream and are skipped.
+fn publish_snapshots(
+    inner: &Inner,
+    entry: &ModelEntry,
+    norm: PNorm,
+    region: &Zonotope,
+    cfg: &DeepTConfig,
+    hashes: StateHashes,
+    states: Vec<(usize, Zonotope)>,
+) {
+    if inner.cfg.state_cache_bytes == 0 || states.is_empty() {
+        return;
+    }
+    let (r_hash, c_hash) = hashes;
+    let mut cache = lock(&inner.state_cache);
+    let evictions_before = cache.evictions();
+    for (layer, state) in states {
+        if state.has_non_finite() {
+            continue;
+        }
+        let key = StateKey {
+            fingerprint: entry.fingerprint.clone(),
+            norm,
+            cfg_hash: c_hash,
+            region_hash: r_hash,
+            layer,
+        };
+        cache.insert(
+            key,
+            Arc::new(StateEntry {
+                region: region.clone(),
+                cfg: *cfg,
+                state,
+            }),
+        );
+    }
+    let m = &inner.metrics;
+    m.state_evictions.add(cache.evictions() - evictions_before);
+    m.state_resident_bytes.set(cache.resident_bytes() as f64);
+}
+
+/// [`certify_deadline_probed`] with cross-request state-cache resume: a
+/// witness-verified hit skips the cached prefix (bitwise identical to the
+/// cold run — the sweep replays the remaining layers on the exact state
+/// the cold run produced), and whatever layers this run executed are
+/// published back, even when the deadline expires mid-stack. Returns the
+/// outcome plus the layer the run resumed from (`0` = cold start).
+#[allow(clippy::too_many_arguments)]
+fn certify_eps_resumable(
+    inner: &Inner,
+    entry: &ModelEntry,
+    norm: PNorm,
+    region: &Zonotope,
+    label: usize,
+    cfg: &DeepTConfig,
+    deadline: Deadline,
+    probe: &dyn Probe,
+) -> (Result<CertResult, DeadlineExceeded>, usize) {
+    if inner.cfg.state_cache_bytes == 0 {
+        return (
+            certify_deadline_probed(&entry.net, region, label, cfg, deadline, probe),
+            0,
+        );
+    }
+    let hashes = (region_hash(region), config_hash(cfg));
+    let m = &inner.metrics;
+    let resumed = deepest_snapshot(inner, entry, norm, region, cfg, hashes);
+    let (start, input) = match &resumed {
+        Some((start, hit)) => {
+            m.state_hits.inc();
+            m.state_resumed_layers.add(*start as u64);
+            (*start, &hit.state)
+        }
+        None => {
+            m.state_misses.inc();
+            (0, region)
+        }
+    };
+    let outcome = (|| {
+        deadline.check()?;
+        let mut collector = SnapshotCollector::default();
+        let run = propagate_suffix_snapshots_deadline_probed(
+            &entry.net,
+            input,
+            cfg,
+            start,
+            0,
+            deadline,
+            probe,
+            &mut collector,
+        );
+        publish_snapshots(inner, entry, norm, region, cfg, hashes, collector.states);
+        let logits = run?;
+        let margins = margins_from_zonotope_deadline(&logits, label, deadline)?;
+        Ok(CertResult::from_margins(margins))
+    })();
+    (outcome, start)
 }
 
 /// Whether a job can join a lockstep batch at all: plain eps queries
@@ -931,6 +1166,7 @@ fn run_batch(inner: &Inner, batch: Vec<Job>, started: Instant) {
         &NoopProbe
     };
     let cfg = verifier_config(spec0.variant, inner.cfg.reduction_budget);
+    let norm = spec0.norm;
     let regions: Vec<_> = batch
         .iter()
         .map(|job| {
@@ -940,16 +1176,62 @@ fn run_batch(inner: &Inner, batch: Vec<Job>, started: Instant) {
             t1_region(&emb, job.spec.position, eps, job.spec.norm)
         })
         .collect();
+    // State-cache resume per member: a warm member joins the lockstep
+    // sweep at its snapshot's layer; the sweep skips it below that layer.
+    let use_cache = inner.cfg.state_cache_bytes > 0;
+    let c_hash = if use_cache { config_hash(&cfg) } else { 0 };
+    let mut starts = vec![0usize; regions.len()];
+    let mut hits: Vec<Option<Arc<StateEntry>>> = vec![None; regions.len()];
+    let mut hashes: Vec<StateHashes> = Vec::with_capacity(regions.len());
+    if use_cache {
+        for (idx, region) in regions.iter().enumerate() {
+            let h = (region_hash(region), c_hash);
+            hashes.push(h);
+            match deepest_snapshot(inner, &entry, norm, region, &cfg, h) {
+                Some((start, hit)) => {
+                    m.state_hits.inc();
+                    m.state_resumed_layers.add(start as u64);
+                    starts[idx] = start;
+                    hits[idx] = Some(hit);
+                }
+                None => m.state_misses.inc(),
+            }
+        }
+    }
     let queries: Vec<BatchQuery<'_>> = regions
         .iter()
+        .zip(&hits)
         .zip(&batch)
-        .map(|(region, job)| BatchQuery {
-            input: region,
+        .map(|((region, hit), job)| BatchQuery {
+            input: match hit {
+                Some(h) => &h.state,
+                None => region,
+            },
             true_label: label,
             deadline: job.spec.deadline,
         })
         .collect();
-    let outcomes = certify_batch_deadline_probed(&entry.net, &queries, &cfg, probe);
+    let mut sink = BatchCollector {
+        states: vec![Vec::new(); regions.len()],
+    };
+    let mut drop_sink = NoBatchSnapshots;
+    let sink_ref: &mut dyn BatchSnapshotSink = if use_cache { &mut sink } else { &mut drop_sink };
+    let outcomes =
+        certify_batch_resumable(&entry.net, &queries, Some(&starts), &cfg, probe, sink_ref);
+    drop(queries);
+    if use_cache {
+        for (idx, states) in sink.states.into_iter().enumerate() {
+            publish_snapshots(
+                inner,
+                &entry,
+                norm,
+                &regions[idx],
+                &cfg,
+                hashes[idx],
+                states,
+            );
+        }
+    }
     let elapsed = started.elapsed().as_secs_f64();
     deept_telemetry::debug!(
         "serve",
@@ -1059,6 +1341,9 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
         None if deept_metrics::enabled() => &inner.profiler,
         None => &NoopProbe,
     };
+    // First encoder layer this run actually executed (0 = cold start);
+    // stamped into the trace meta as `resumed_from_layer`.
+    let mut resumed_from = 0usize;
     let outcome: Result<CertifyResult, String> = if spec.variant == Variant::Refine {
         // `submit_certify` rejects refine radius searches up front.
         let Query::Eps(eps) = spec.query else {
@@ -1103,20 +1388,29 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
         match spec.query {
             Query::Eps(eps) => {
                 let region = t1_region(&emb, spec.position, eps, spec.norm);
-                match certify_deadline_probed(
-                    &entry.net,
+                let (res, start) = certify_eps_resumable(
+                    inner,
+                    entry,
+                    spec.norm,
                     &region,
                     label,
                     &cfg,
                     spec.deadline,
                     probe,
-                ) {
+                );
+                resumed_from = start;
+                match res {
                     Ok(res) => Ok(CertifyResult::Fixed {
                         certified: res.certified,
                         margins: res.margins,
                     }),
                     Err(DeadlineExceeded) => Err("certification deadline exceeded".to_string()),
                 }
+            }
+            Query::Synonyms(syn) => {
+                let (res, start) = run_synonyms(inner, entry, spec, syn, label, &emb, &cfg, probe);
+                resumed_from = start;
+                res
             }
             Query::RadiusSearch(search) => {
                 let mut queries = 0usize;
@@ -1182,6 +1476,7 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
                         "f64"
                     },
                 );
+                t.set_meta("resumed_from_layer", &resumed_from.to_string());
                 serde_json::from_str(&t.to_json()).unwrap_or(serde_json::Value::Null)
             });
             Response::Certify {
@@ -1201,6 +1496,126 @@ fn run_job(inner: &Inner, entry: &ModelEntry, spec: &JobSpec) -> Response {
             resp
         }
     }
+}
+
+/// Runs a first-class T2 synonym sweep: member 0 is the full region
+/// (every position simultaneously free to substitute — the paper's T2
+/// verdict), members 1.. are the per-position regions behind the
+/// `positions` breakdown. All members go through the resumable lockstep
+/// sweep, sharing the layer loop and any state-cache prefix; repeating or
+/// extending a sweep over the same sentence resumes every unchanged
+/// member mid-stack. Returns the result plus the full-region member's
+/// resume layer (`0` = cold).
+///
+/// Timeouts are all-or-nothing (the PR 3 rule): any expired member fails
+/// the whole sweep and nothing reaches the result cache — though the
+/// completed layer prefixes stay in the state cache, so the retry is
+/// cheap.
+#[allow(clippy::too_many_arguments)]
+fn run_synonyms(
+    inner: &Inner,
+    entry: &ModelEntry,
+    spec: &JobSpec,
+    syn: SynonymSpec,
+    label: usize,
+    emb: &deept_tensor::Matrix,
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+) -> (Result<CertifyResult, String>, usize) {
+    let sets = inner.synonyms.get_or_build(entry, syn.k, syn.dist);
+    let alts = synonym::alternatives(&entry.model, &spec.tokens, &sets);
+    let n_tokens = spec.tokens.len();
+    let mut regions = vec![t2_region(emb, &alts)];
+    let mut member_pos: Vec<Option<usize>> = vec![None];
+    for (i, a) in alts.iter().enumerate() {
+        if a.is_empty() {
+            continue; // no synonyms at this position: vacuously robust
+        }
+        let mut only: Vec<Vec<Vec<f64>>> = vec![Vec::new(); n_tokens];
+        only[i] = a.clone();
+        regions.push(t2_region(emb, &only));
+        member_pos.push(Some(i));
+    }
+    let m = &inner.metrics;
+    let use_cache = inner.cfg.state_cache_bytes > 0;
+    let c_hash = if use_cache { config_hash(cfg) } else { 0 };
+    let mut starts = vec![0usize; regions.len()];
+    let mut hits: Vec<Option<Arc<StateEntry>>> = vec![None; regions.len()];
+    let mut hashes: Vec<StateHashes> = Vec::with_capacity(regions.len());
+    if use_cache {
+        for (idx, region) in regions.iter().enumerate() {
+            let h = (region_hash(region), c_hash);
+            hashes.push(h);
+            match deepest_snapshot(inner, entry, PNorm::Linf, region, cfg, h) {
+                Some((start, hit)) => {
+                    m.state_hits.inc();
+                    m.state_resumed_layers.add(start as u64);
+                    starts[idx] = start;
+                    hits[idx] = Some(hit);
+                }
+                None => m.state_misses.inc(),
+            }
+        }
+    }
+    let queries: Vec<BatchQuery<'_>> = regions
+        .iter()
+        .zip(&hits)
+        .map(|(region, hit)| BatchQuery {
+            input: match hit {
+                Some(h) => &h.state,
+                None => region,
+            },
+            true_label: label,
+            deadline: spec.deadline,
+        })
+        .collect();
+    let mut sink = BatchCollector {
+        states: vec![Vec::new(); regions.len()],
+    };
+    let mut drop_sink = NoBatchSnapshots;
+    let sink_ref: &mut dyn BatchSnapshotSink = if use_cache { &mut sink } else { &mut drop_sink };
+    let outcomes =
+        certify_batch_resumable(&entry.net, &queries, Some(&starts), cfg, probe, sink_ref);
+    drop(queries);
+    if use_cache {
+        for (idx, states) in sink.states.into_iter().enumerate() {
+            publish_snapshots(
+                inner,
+                entry,
+                PNorm::Linf,
+                &regions[idx],
+                cfg,
+                hashes[idx],
+                states,
+            );
+        }
+    }
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        match outcome {
+            Ok(res) => results.push(res),
+            Err(DeadlineExceeded) => {
+                return (
+                    Err("synonym sweep deadline exceeded".to_string()),
+                    starts[0],
+                );
+            }
+        }
+    }
+    let full = &results[0];
+    let mut positions = vec![true; n_tokens];
+    for (res, pos) in results.iter().zip(&member_pos) {
+        if let Some(i) = pos {
+            positions[*i] = res.certified;
+        }
+    }
+    let result = CertifyResult::Synonyms {
+        certified: full.certified,
+        positions,
+        margins: full.margins.clone(),
+        combinations: sets.combinations(&spec.tokens).to_string(),
+    };
+    (Ok(result), starts[0])
 }
 
 /// Answers one HTTP/1.0 scrape request on `stream` and closes it.

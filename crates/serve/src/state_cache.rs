@@ -1,0 +1,319 @@
+//! Cross-request zonotope state cache: per-layer propagation snapshots,
+//! keyed by `(checkpoint fingerprint, input-region hash, DeepTConfig hash,
+//! norm, layer index)`, held in a byte-budgeted LRU.
+//!
+//! A warm query whose input region, config, norm and checkpoint *exactly*
+//! match a cached cold run resumes propagation after the deepest cached
+//! layer instead of from layer 0 — retried queries (deadline retries,
+//! escalations, synonym sweeps over the same base sentence) reuse the
+//! shared prefix for free, and the resumed result is bitwise identical to
+//! a cold start (pinned by `resume_identity` tests and the
+//! `fuzz-soundness` resume family).
+//!
+//! # Soundness discipline
+//!
+//! The key embeds *hashes* of the region and config, but a hash match is
+//! never trusted: every entry stores the exact input region and config it
+//! was computed from, and [`StateCache::get`] re-checks both with
+//! `PartialEq` before handing out a snapshot. A collision is a miss, not
+//! a wrong certificate. There is deliberately **no** token-prefix reuse:
+//! self-attention mixes all positions at the first encoder layer, so a
+//! snapshot is only valid for a query whose *entire* input region is
+//! identical (see DESIGN.md, "Resume soundness").
+//!
+//! # Sharing discipline
+//!
+//! Entries are [`Arc`]-shared: a hit clones the `Arc`, never the
+//! multi-megabyte snapshot itself (the regression test below pins this —
+//! the general-purpose [`crate::cache::LruCache`] clones values on `get`,
+//! which is fine for small results and wrong here).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use deept_core::{PNorm, Zonotope};
+use deept_verifier::deept::DeepTConfig;
+use deept_verifier::statehash::{config_hash, region_hash};
+
+/// Cache key of one layer-boundary snapshot. `region` and `cfg` are
+/// content hashes; exact equality against the entry's witnesses is
+/// re-checked on every hit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateKey {
+    /// Checkpoint content fingerprint (pins weights and architecture).
+    pub fingerprint: String,
+    /// Perturbation norm of the input region.
+    pub norm: PNorm,
+    /// [`config_hash`] of the verifier configuration.
+    pub cfg_hash: u64,
+    /// [`region_hash`] of the input region.
+    pub region_hash: u64,
+    /// The snapshot is the abstract state *after* encoder layer `layer`;
+    /// propagation resumes at `layer + 1`.
+    pub layer: usize,
+}
+
+impl StateKey {
+    /// Builds the key for layer `layer` of a run over `region` with `cfg`.
+    pub fn for_layer(
+        fingerprint: &str,
+        norm: PNorm,
+        region: &Zonotope,
+        cfg: &DeepTConfig,
+        layer: usize,
+    ) -> StateKey {
+        StateKey {
+            fingerprint: fingerprint.to_string(),
+            norm,
+            cfg_hash: config_hash(cfg),
+            region_hash: region_hash(region),
+            layer,
+        }
+    }
+}
+
+/// One cached snapshot plus the exact-match witnesses that make resuming
+/// from it sound.
+#[derive(Debug)]
+pub struct StateEntry {
+    /// The input region the cold run started from (witness, compared with
+    /// `PartialEq` on every hit).
+    pub region: Zonotope,
+    /// The verifier configuration of the cold run (witness).
+    pub cfg: DeepTConfig,
+    /// The abstract state after encoder layer `key.layer`.
+    pub state: Zonotope,
+}
+
+impl StateEntry {
+    /// Resident bytes of the payload (snapshot + witness region).
+    fn bytes(&self) -> usize {
+        self.state.resident_bytes() + self.region.resident_bytes()
+    }
+}
+
+struct Slot {
+    entry: Arc<StateEntry>,
+    bytes: usize,
+    /// Logical timestamp of the last hit or insert (LRU victim = min).
+    stamp: u64,
+}
+
+/// Byte-budgeted LRU of [`Arc`]-shared layer snapshots. Not synchronized;
+/// the server wraps it in a `Mutex`.
+pub struct StateCache {
+    entries: HashMap<StateKey, Slot>,
+    budget: usize,
+    resident: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StateCache {
+    /// A cache that holds at most `budget` resident bytes; `0` disables
+    /// caching entirely (every `get` misses, every `insert` is dropped).
+    pub fn new(budget: usize) -> StateCache {
+        StateCache {
+            entries: HashMap::new(),
+            budget,
+            resident: 0,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the snapshot for `key`, verifying the entry's witnesses
+    /// against the *exact* region and config of the new query. Returns an
+    /// `Arc` clone — the snapshot itself is never copied.
+    pub fn get(
+        &mut self,
+        key: &StateKey,
+        region: &Zonotope,
+        cfg: &DeepTConfig,
+    ) -> Option<Arc<StateEntry>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            // Hash equality got us here; only full equality of the
+            // witnesses permits a resume.
+            Some(slot) if slot.entry.cfg == *cfg && slot.entry.region == *region => {
+                slot.stamp = clock;
+                self.hits += 1;
+                Some(Arc::clone(&slot.entry))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a snapshot, evicting least-recently-used entries until the
+    /// payload fits the byte budget. Snapshots larger than the whole
+    /// budget are dropped (never evict the world for one entry).
+    pub fn insert(&mut self, key: StateKey, entry: Arc<StateEntry>) {
+        let bytes = entry.bytes();
+        if bytes > self.budget {
+            return;
+        }
+        self.clock += 1;
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident -= old.bytes;
+        }
+        while self.resident + bytes > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(slot) = self.entries.remove(&victim) {
+                self.resident -= slot.bytes;
+                self.evictions += 1;
+            }
+        }
+        self.resident += bytes;
+        self.entries.insert(
+            key,
+            Slot {
+                entry,
+                bytes,
+                stamp: self.clock,
+            },
+        );
+    }
+
+    /// Resident payload bytes currently held.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of cached snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_tensor::Matrix;
+
+    fn region(seed: f64) -> Zonotope {
+        let center = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f64 * 0.1 + seed);
+        Zonotope::from_lp_ball(&center, 0.05, PNorm::L2, &[1])
+    }
+
+    fn entry(seed: f64, cfg: DeepTConfig) -> Arc<StateEntry> {
+        let r = region(seed);
+        Arc::new(StateEntry {
+            state: r.clone(),
+            region: r,
+            cfg,
+        })
+    }
+
+    fn key(seed: f64, cfg: &DeepTConfig, layer: usize) -> StateKey {
+        StateKey::for_layer("fp", PNorm::L2, &region(seed), cfg, layer)
+    }
+
+    #[test]
+    fn hit_shares_the_arc_instead_of_deep_copying() {
+        // The satellite-6 regression: `LruCache::get` clones the value on
+        // every hit; the state cache must hand out the same allocation.
+        let cfg = DeepTConfig::fast(100);
+        let mut cache = StateCache::new(1 << 20);
+        let e = entry(0.0, cfg);
+        cache.insert(key(0.0, &cfg, 0), Arc::clone(&e));
+        let hit = cache
+            .get(&key(0.0, &cfg, 0), &region(0.0), &cfg)
+            .expect("hit");
+        assert!(Arc::ptr_eq(&hit, &e), "hit must share the cached Arc");
+        // Original + cache slot + hit: no hidden deep copies.
+        assert_eq!(Arc::strong_count(&e), 3);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn hash_match_without_exact_equality_is_a_miss() {
+        // Force the collision case: same StateKey, different witness
+        // region. The exact-equality check must refuse the resume.
+        let cfg = DeepTConfig::fast(100);
+        let mut cache = StateCache::new(1 << 20);
+        let k = key(0.0, &cfg, 0);
+        cache.insert(k.clone(), entry(0.0, cfg));
+        assert!(
+            cache.get(&k, &region(1.0), &cfg).is_none(),
+            "colliding key with a different region must miss"
+        );
+        // Different config under the same key must miss too.
+        let other = DeepTConfig::precise(100);
+        assert!(cache.get(&k, &region(0.0), &other).is_none());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let cfg = DeepTConfig::fast(100);
+        let one = entry(0.0, cfg).bytes();
+        // Room for exactly two entries.
+        let mut cache = StateCache::new(2 * one + one / 2);
+        cache.insert(key(0.0, &cfg, 0), entry(0.0, cfg));
+        cache.insert(key(0.0, &cfg, 1), entry(0.0, cfg));
+        assert_eq!(cache.len(), 2);
+        // Touch layer 0 so layer 1 is the LRU victim.
+        assert!(cache.get(&key(0.0, &cfg, 0), &region(0.0), &cfg).is_some());
+        cache.insert(key(0.0, &cfg, 2), entry(0.0, cfg));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&key(0.0, &cfg, 0), &region(0.0), &cfg).is_some());
+        assert!(cache.get(&key(0.0, &cfg, 1), &region(0.0), &cfg).is_none());
+        assert!(cache.get(&key(0.0, &cfg, 2), &region(0.0), &cfg).is_some());
+        assert!(cache.resident_bytes() <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let cfg = DeepTConfig::fast(100);
+        let mut cache = StateCache::new(0);
+        cache.insert(key(0.0, &cfg, 0), entry(0.0, cfg));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0.0, &cfg, 0), &region(0.0), &cfg).is_none());
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_accounting() {
+        let cfg = DeepTConfig::fast(100);
+        let mut cache = StateCache::new(1 << 20);
+        cache.insert(key(0.0, &cfg, 0), entry(0.0, cfg));
+        let before = cache.resident_bytes();
+        cache.insert(key(0.0, &cfg, 0), entry(0.0, cfg));
+        assert_eq!(cache.resident_bytes(), before);
+        assert_eq!(cache.len(), 1);
+    }
+}

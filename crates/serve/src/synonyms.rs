@@ -1,0 +1,91 @@
+//! Serve-side synonym-set catalog: [`SynonymSets`] memoized per
+//! `(checkpoint fingerprint, k, dist)` so a T2 request never pays the
+//! O(V²) embedding scan of [`SynonymSets::from_embeddings`] itself.
+//!
+//! Resolution order: in-memory memo → persisted [`SynonymArtifact`] in the
+//! configured directory (as exported by `deept synonyms` /
+//! `deept export-synonyms`) → compute from the checkpoint's embedding
+//! table and, when a directory is configured, persist for the next
+//! process. Entries are `Arc`-shared; concurrent first requests may race
+//! the computation, but `from_embeddings` is deterministic so the loser's
+//! result is identical and simply dropped.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use deept_data::{SynonymArtifact, SynonymSets};
+
+use crate::registry::ModelEntry;
+use crate::sync::lock;
+
+/// Memo key: checkpoint fingerprint plus the construction parameters
+/// (`dist` by bit pattern, like every radius key in the serve layer).
+type CatalogKey = (String, usize, u64);
+
+pub(crate) struct SynonymCatalog {
+    /// Directory of persisted artifacts; `None` disables load/persist.
+    dir: Option<PathBuf>,
+    entries: Mutex<HashMap<CatalogKey, Arc<SynonymSets>>>,
+}
+
+impl SynonymCatalog {
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        SynonymCatalog {
+            dir,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The synonym sets for `entry`'s checkpoint under `(k, dist)`,
+    /// computing and memoizing them on first use.
+    pub fn get_or_build(&self, entry: &ModelEntry, k: usize, dist: f64) -> Arc<SynonymSets> {
+        let key: CatalogKey = (entry.fingerprint.clone(), k, dist.to_bits());
+        if let Some(sets) = lock(&self.entries).get(&key) {
+            return Arc::clone(sets);
+        }
+        // Compute (or load) outside the lock: the scan is O(V²) and must
+        // not block unrelated requests resolving their own sets.
+        let sets = Arc::new(self.load_or_compute(entry, k, dist));
+        lock(&self.entries)
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&sets))
+            .clone()
+    }
+
+    fn load_or_compute(&self, entry: &ModelEntry, k: usize, dist: f64) -> SynonymSets {
+        if let Some(dir) = &self.dir {
+            if let Some(artifact) = SynonymArtifact::load(dir, &entry.fingerprint, k, dist) {
+                deept_telemetry::debug!(
+                    "serve",
+                    "synonym sets for {} (k={k}, dist={dist}) loaded from {}",
+                    entry.fingerprint,
+                    dir.display()
+                );
+                return artifact.sets;
+            }
+        }
+        let sets = SynonymSets::from_embeddings(&entry.model.token_embed, k, dist);
+        deept_telemetry::debug!(
+            "serve",
+            "synonym sets for {} (k={k}, dist={dist}) computed from embeddings",
+            entry.fingerprint
+        );
+        if let Some(dir) = &self.dir {
+            let artifact = SynonymArtifact {
+                fingerprint: entry.fingerprint.clone(),
+                k,
+                dist,
+                sets: sets.clone(),
+            };
+            if let Err(e) = artifact.save(dir) {
+                deept_telemetry::warn!(
+                    "serve",
+                    "could not persist synonym sets to {}: {e}",
+                    dir.display()
+                );
+            }
+        }
+        sets
+    }
+}

@@ -53,6 +53,7 @@ fn eps_request(eps: f64) -> Request {
         variant: "fast".into(),
         eps: Some(eps),
         radius_search: None,
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     })
@@ -72,6 +73,7 @@ fn slow_request() -> Request {
             start: 0.01,
             iters: 40,
         }),
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     })

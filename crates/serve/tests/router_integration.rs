@@ -51,6 +51,7 @@ fn certify_request(model_id: &str) -> Request {
         variant: "fast".into(),
         eps: Some(1e-4),
         radius_search: None,
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     })

@@ -57,6 +57,7 @@ fn eps_request(eps: f64) -> Request {
         variant: "fast".into(),
         eps: Some(eps),
         radius_search: None,
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     })
@@ -71,6 +72,7 @@ fn radius_request(start: f64, iters: usize, deadline_ms: Option<u64>) -> Request
         variant: "precise".into(),
         eps: None,
         radius_search: Some(RadiusSearchSpec { start, iters }),
+        synonyms: None,
         deadline_ms,
         trace: false,
     })
@@ -85,6 +87,7 @@ fn refine_request(eps: f64, deadline_ms: Option<u64>) -> Request {
         variant: "refine".into(),
         eps: Some(eps),
         radius_search: None,
+        synonyms: None,
         deadline_ms,
         trace: false,
     })
@@ -373,6 +376,7 @@ fn refine_variant_round_trips_and_caches_final_verdicts() {
                 start: 0.01,
                 iters: 4,
             }),
+            synonyms: None,
             deadline_ms: None,
             trace: false,
         }))
@@ -620,6 +624,7 @@ fn base_certify() -> CertifyRequest {
         variant: "fast".into(),
         eps: Some(1e-4),
         radius_search: None,
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     }

@@ -1,0 +1,268 @@
+//! End-to-end tests of the cross-request zonotope state cache and the
+//! first-class T2 synonym variant: warm requests must be bitwise
+//! identical to cold starts, the `status`/scrape counters must record the
+//! resume, and a served synonym sweep must agree with the offline
+//! `synonym::certify_deept` certifier.
+
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+
+use deept_data::SynonymSets;
+use deept_nn::transformer::{LayerNormKind, TransformerClassifier, TransformerConfig};
+use deept_serve::client::Client;
+use deept_serve::protocol::{CertifyRequest, CertifyResult, Request, Response, SynonymSpec};
+use deept_serve::server::{ServeConfig, Server};
+use deept_verifier::deept::DeepTConfig;
+use deept_verifier::synonym;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const LAYERS: usize = 2;
+
+fn tiny_model(seed: u64) -> TransformerClassifier {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    TransformerClassifier::new(
+        TransformerConfig {
+            vocab_size: 12,
+            max_len: 6,
+            embed_dim: 8,
+            num_heads: 2,
+            hidden_dim: 16,
+            num_layers: LAYERS,
+            num_classes: 2,
+            layer_norm: LayerNormKind::NoStd,
+        },
+        &mut rng,
+    )
+}
+
+/// A server with the *result* cache off, so a repeated request exercises
+/// the state cache instead of replaying a stored payload.
+fn start_server(cfg: ServeConfig) -> (Server, SocketAddr, thread::JoinHandle<()>) {
+    let server = Server::new(cfg);
+    server
+        .registry()
+        .insert("toy", tiny_model(0))
+        .expect("register model");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr");
+    let acceptor = server.clone();
+    let handle = thread::spawn(move || acceptor.serve_listener(listener).expect("serve"));
+    (server, addr, handle)
+}
+
+fn no_result_cache() -> ServeConfig {
+    ServeConfig {
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    }
+}
+
+fn eps_request(eps: f64, trace: bool) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3, 4],
+        position: 1,
+        norm: "l2".into(),
+        variant: "fast".into(),
+        eps: Some(eps),
+        radius_search: None,
+        synonyms: None,
+        deadline_ms: None,
+        trace,
+    })
+}
+
+fn synonyms_request(spec: Option<SynonymSpec>) -> Request {
+    Request::Certify(CertifyRequest {
+        model_id: "toy".into(),
+        tokens: vec![1, 2, 3, 4],
+        position: 0,
+        norm: "l2".into(), // ignored: synonym sweeps are ℓ∞ by construction
+        variant: "synonyms".into(),
+        eps: None,
+        radius_search: None,
+        synonyms: spec,
+        deadline_ms: None,
+        trace: false,
+    })
+}
+
+fn result_json(resp: &Response) -> String {
+    match resp {
+        Response::Certify { result, .. } => serde_json::to_string(result).expect("serialize"),
+        other => panic!("expected certify response, got {other:?}"),
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: thread::JoinHandle<()>) {
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let _ = client.send(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn warm_resume_is_bitwise_identical_and_counted() {
+    let (server, addr, handle) = start_server(no_result_cache());
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let cold = client.send(&eps_request(1e-3, false)).expect("cold");
+    let warm = client.send(&eps_request(1e-3, false)).expect("warm");
+    // Both ran the verifier (the result cache is off)…
+    assert!(!matches!(cold, Response::Certify { cached: true, .. }));
+    assert!(!matches!(warm, Response::Certify { cached: true, .. }));
+    // …and the warm result is bitwise identical to the cold one.
+    assert_eq!(result_json(&cold), result_json(&warm));
+
+    let stats = server.stats();
+    assert_eq!(stats.state_cache_misses, 1, "first request is cold");
+    assert_eq!(stats.state_cache_hits, 1, "second request resumes");
+    assert_eq!(
+        stats.state_cache_resumed_layers, LAYERS as u64,
+        "the deepest snapshot skips the whole encoder stack"
+    );
+    assert!(stats.state_cache_resident_bytes > 0);
+
+    // A traced warm request records where it resumed from.
+    let traced = client.send(&eps_request(1e-3, true)).expect("traced");
+    let Response::Certify {
+        trace: Some(trace), ..
+    } = &traced
+    else {
+        panic!("expected a traced certify response, got {traced:?}");
+    };
+    assert_eq!(
+        trace["meta"]["resumed_from_layer"],
+        serde_json::Value::Str(LAYERS.to_string())
+    );
+    // A different ε is a different region: cold again, no false sharing.
+    let other = client.send(&eps_request(2e-3, false)).expect("other eps");
+    assert_ne!(result_json(&cold), result_json(&other));
+    let stats = server.stats();
+    assert_eq!(stats.state_cache_misses, 2);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn state_cache_counters_reach_the_prometheus_scrape() {
+    let (server, addr, handle) = start_server(no_result_cache());
+    let scrape_addr = server
+        .spawn_metrics_listener("127.0.0.1:0")
+        .expect("bind scrape listener");
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let _ = client.send(&eps_request(1e-3, false)).expect("cold");
+    let _ = client.send(&eps_request(1e-3, false)).expect("warm");
+
+    use std::io::{Read as _, Write as _};
+    let mut http = std::net::TcpStream::connect(scrape_addr).expect("connect scrape");
+    http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("GET");
+    let mut body = String::new();
+    http.read_to_string(&mut body).expect("read scrape");
+    for metric in [
+        "deept_state_cache_hits_total 1",
+        "deept_state_cache_misses_total 1",
+        "deept_state_cache_evictions_total 0",
+        "deept_state_cache_resumed_layers_total 2",
+    ] {
+        assert!(
+            body.contains(metric),
+            "scrape is missing {metric:?}:\n{body}"
+        );
+    }
+    assert!(body.contains("deept_state_cache_resident_bytes"));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn zero_budget_disables_resume_without_changing_results() {
+    let (server, addr, handle) = start_server(ServeConfig {
+        cache_capacity: 0,
+        state_cache_bytes: 0,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let cold = client.send(&eps_request(1e-3, false)).expect("cold");
+    let again = client.send(&eps_request(1e-3, false)).expect("again");
+    assert_eq!(result_json(&cold), result_json(&again));
+    let stats = server.stats();
+    assert_eq!(stats.state_cache_hits, 0);
+    assert_eq!(stats.state_cache_misses, 0, "a disabled cache never probes");
+    assert_eq!(stats.state_cache_resident_bytes, 0);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn synonym_sweep_matches_offline_certifier_and_resumes_warm() {
+    let cfg = no_result_cache();
+    let budget = cfg.reduction_budget;
+    let (server, addr, handle) = start_server(cfg);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let spec = SynonymSpec { k: 3, dist: 1.5 };
+    let first = client
+        .send(&synonyms_request(Some(spec)))
+        .expect("synonyms");
+    let Response::Certify {
+        result:
+            CertifyResult::Synonyms {
+                certified,
+                positions,
+                margins,
+                combinations,
+            },
+        label,
+        ..
+    } = &first
+    else {
+        panic!("expected a synonyms result, got {first:?}");
+    };
+
+    // The served verdict must agree with the offline T2 certifier over
+    // the same synonym sets and verifier configuration.
+    let model = tiny_model(0);
+    let tokens = vec![1usize, 2, 3, 4];
+    let sets = SynonymSets::from_embeddings(&model.token_embed, spec.k, spec.dist);
+    let offline = synonym::certify_deept(
+        &model,
+        &tokens,
+        &sets,
+        model.predict(&tokens),
+        &DeepTConfig::fast(budget),
+    );
+    assert_eq!(*label, model.predict(&tokens));
+    assert_eq!(*certified, offline.certified);
+    assert_eq!(margins, &offline.margins, "full-region margins are bitwise");
+    assert_eq!(positions.len(), tokens.len());
+    assert_eq!(*combinations, sets.combinations(&tokens).to_string());
+    // The full verdict can never be certified while a position fails.
+    if *certified {
+        assert!(positions.iter().all(|&p| p));
+    }
+
+    // Replaying the sweep resumes every member from cached snapshots and
+    // reproduces the result bitwise.
+    let replay = client
+        .send(&synonyms_request(Some(spec)))
+        .expect("synonyms replay");
+    assert_eq!(result_json(&first), result_json(&replay));
+    let stats = server.stats();
+    assert!(
+        stats.state_cache_hits > 0,
+        "replayed sweep must resume from the state cache: {stats:?}"
+    );
+
+    // The default spec (k = 4, dist = 0.8) also round-trips.
+    let defaulted = client.send(&synonyms_request(None)).expect("default spec");
+    assert!(matches!(
+        defaulted,
+        Response::Certify {
+            result: CertifyResult::Synonyms { .. },
+            ..
+        }
+    ));
+
+    shutdown(addr, handle);
+}

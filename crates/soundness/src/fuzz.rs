@@ -13,6 +13,7 @@ use crate::microcheck::{
 };
 use crate::precision::{check_f32_nesting, PrecisionViolation};
 use crate::refine_check::{check_refined_certificates, RefineViolation};
+use crate::resume_check::{check_resume_identity, ResumeViolation};
 use deept_refine::RefineConfig;
 
 /// Parameters of one fuzzing run.
@@ -54,6 +55,10 @@ pub struct FuzzReport {
     pub refine_instances: usize,
     /// Refined verdicts contradicted by concrete evidence.
     pub refine_violations: Vec<RefineViolation>,
+    /// Cold/warm propagation pairs checked for resume identity.
+    pub resume_instances: usize,
+    /// Warm resumes that failed to reproduce their cold run bitwise.
+    pub resume_violations: Vec<ResumeViolation>,
 }
 
 impl FuzzReport {
@@ -65,6 +70,7 @@ impl FuzzReport {
             + self.attack_violations.len()
             + self.precision_violations.len()
             + self.refine_violations.len()
+            + self.resume_violations.len()
     }
 
     /// One-paragraph human-readable summary.
@@ -73,7 +79,7 @@ impl FuzzReport {
             "seed {}: relaxations {}/{} cases violated, transformers {}/{} cases violated, \
              containment {} violations over {} samples, attacks-below-certified {} over {} \
              instances, f32-nesting {} violations over {} instances, refined-verdicts {} \
-             violations over {} instances",
+             violations over {} instances, resume-identity {} violations over {} instances",
             self.seed,
             self.relaxation_violations.len(),
             self.relaxation_cases,
@@ -87,6 +93,8 @@ impl FuzzReport {
             self.precision_instances,
             self.refine_violations.len(),
             self.refine_instances,
+            self.resume_violations.len(),
+            self.resume_instances,
         )
     }
 }
@@ -206,6 +214,38 @@ pub fn run(cfg: &FuzzConfig) -> FuzzReport {
         report.refine_instances += 1;
         report.refine_violations.extend(check_refined_certificates(
             &model, &tokens, position, radius, *p, &rcfg, samples, 200, &mut rng,
+        ));
+    }
+
+    // Resume-identity gate: every snapshot depth of a cold propagation is
+    // replayed as a warm resume and must reproduce the cold logits bitwise
+    // (the serving layer's cross-request state cache stands on exactly this
+    // identity). Three-layer models give the resume loop a real suffix to
+    // replay; the matrix covers both layer-norm flavours, all norms, and
+    // Fast/Precise/Combined dot products.
+    let resume_combos: [(LayerNormKind, PNorm, DeepTConfig); 4] = [
+        (LayerNormKind::NoStd, PNorm::Linf, DeepTConfig::fast(4000)),
+        (LayerNormKind::NoStd, PNorm::L2, DeepTConfig::precise(500)),
+        (
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::L1,
+            DeepTConfig::combined(500),
+        ),
+        (
+            LayerNormKind::Std { epsilon: 1e-5 },
+            PNorm::Linf,
+            DeepTConfig::fast(16),
+        ),
+    ];
+    for (i, (ln, p, vcfg)) in resume_combos.iter().enumerate() {
+        let model = fuzz_model(*ln, 3, cfg.seed.wrapping_add(32 + i as u64));
+        let len = rng.gen_range(3..=5usize);
+        let tokens: Vec<usize> = (0..len).map(|_| rng.gen_range(0..13usize)).collect();
+        let position = rng.gen_range(0..len);
+        let radius = [0.01, 0.05, 0.2][rng.gen_range(0..3usize)];
+        report.resume_instances += 1;
+        report.resume_violations.extend(check_resume_identity(
+            &model, &tokens, position, radius, *p, vcfg,
         ));
     }
     report

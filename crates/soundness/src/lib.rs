@@ -26,6 +26,12 @@
 //!   radius (an attack success there is a hard failure); `Falsified`
 //!   verdicts must carry counterexamples the concrete model actually
 //!   misclassifies.
+//! * [`resume_check`] — resume-identity gate. A cold propagation captures
+//!   every layer-boundary snapshot; warm runs resumed from each snapshot
+//!   (the serving layer's cross-request state cache in action) must
+//!   reproduce the remaining snapshots and the final logits bitwise —
+//!   `f64::to_bits` equality, the exact guarantee `crates/serve` promises
+//!   for warm requests.
 //! * [`precision`] — `f32` storage nesting. Each instance is propagated
 //!   with `f64` and with `f32` generator storage (`DEEPT_PREC=f32`); the
 //!   `f32` logits interval must contain the `f64` reference interval,
@@ -44,6 +50,7 @@ pub mod fuzz;
 pub mod microcheck;
 pub mod precision;
 pub mod refine_check;
+pub mod resume_check;
 
 pub use attack_check::{check_attack_consistency, AttackViolation};
 pub use containment::{check_containment, ContainmentViolation, SnapshotCollector};
@@ -53,3 +60,4 @@ pub use microcheck::{
 };
 pub use precision::{check_f32_nesting, PrecisionViolation};
 pub use refine_check::{check_refined_certificates, RefineViolation, RefineViolationKind};
+pub use resume_check::{check_resume_identity, ResumeViolation, ResumeViolationKind};

@@ -211,6 +211,41 @@ pub fn propagate_suffix_deadline_probed(
     deadline: Deadline,
     probe: &dyn Probe,
 ) -> Result<Zonotope, DeadlineExceeded> {
+    propagate_suffix_snapshots_deadline_probed(
+        net,
+        input,
+        cfg,
+        start_layer,
+        protect_eps,
+        deadline,
+        probe,
+        &mut NoSnapshots,
+    )
+}
+
+/// [`propagate_suffix_deadline_probed`] with per-stage zonotope snapshots
+/// delivered to `snap` (see [`SoundnessProbe`]). This is the state-cache
+/// entry point of `crates/serve`: a cold run captures every layer-boundary
+/// state through `snap`, and a warm run resumes from a cached state by
+/// passing it as `input` with `start_layer` set to the layer after the
+/// snapshot. Because `snap` only reads, and `start_layer = k + 1` replays
+/// exactly the layers the cold run had left, the logits are bitwise
+/// identical to the cold-start result.
+///
+/// # Errors
+///
+/// Returns [`DeadlineExceeded`] if the deadline expired between layers.
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_suffix_snapshots_deadline_probed(
+    net: &VerifiableTransformer,
+    input: &Zonotope,
+    cfg: &DeepTConfig,
+    start_layer: usize,
+    protect_eps: usize,
+    deadline: Deadline,
+    probe: &dyn Probe,
+    snap: &mut dyn SoundnessProbe,
+) -> Result<Zonotope, DeadlineExceeded> {
     probe.span_enter(SpanKind::Propagate);
     let par = probe.enabled().then(parallel::snapshot);
     let out = propagate_inner_from(
@@ -221,7 +256,7 @@ pub fn propagate_suffix_deadline_probed(
         protect_eps,
         deadline,
         probe,
-        &mut NoSnapshots,
+        snap,
     );
     if let Some(before) = par {
         probe.parallel(parallel_stats_since(&before));
@@ -461,7 +496,62 @@ pub fn certify_batch_deadline_probed(
     cfg: &DeepTConfig,
     probe: &dyn Probe,
 ) -> Vec<Result<CertResult, DeadlineExceeded>> {
+    certify_batch_resumable(net, queries, None, cfg, probe, &mut NoBatchSnapshots)
+}
+
+/// Observer of per-member layer-boundary states during a lockstep batched
+/// sweep — the batched counterpart of [`SoundnessProbe`], used by the serve
+/// state cache to capture resumable snapshots from fused runs. Hooks only
+/// read, so batch results are bitwise identical with or without a sink.
+pub trait BatchSnapshotSink {
+    /// The abstract state of batch member `member` after encoder layer
+    /// `layer` (also called on a non-finite state, right before the member
+    /// exits with unbounded logits).
+    fn layer_output(&mut self, _member: usize, _layer: usize, _z: &Zonotope) {}
+}
+
+/// A [`BatchSnapshotSink`] that drops every snapshot (the default path).
+pub struct NoBatchSnapshots;
+
+impl BatchSnapshotSink for NoBatchSnapshots {}
+
+/// [`certify_batch_deadline_probed`] generalized for mid-stack resume: when
+/// `starts` is provided, member `m` joins the lockstep sweep at encoder
+/// layer `starts[m]` — its `input` must then be the state snapshotted after
+/// layer `starts[m] - 1` (as captured by a [`SoundnessProbe`] or a
+/// [`BatchSnapshotSink`] on an earlier run over the same region and
+/// configuration). `starts[m] = net.layers.len()` skips straight to pooling.
+/// With `starts = None` (all zeros) and [`NoBatchSnapshots`] this is exactly
+/// [`certify_batch_deadline_probed`].
+///
+/// Soundness: a resumed member replays precisely the layers the cold run
+/// had left, through the same [`layer_step`] pipeline, so its margins are
+/// **bitwise identical** to a cold start from layer 0 — provided the caller
+/// resumes only from a snapshot of the *exact same* input region, network
+/// and config (the serve state cache enforces this by full equality, not
+/// hash equality).
+///
+/// # Panics
+///
+/// Panics if `starts` is provided with a length different from `queries`,
+/// or if any entry exceeds `net.layers.len()`.
+pub fn certify_batch_resumable(
+    net: &VerifiableTransformer,
+    queries: &[BatchQuery<'_>],
+    starts: Option<&[usize]>,
+    cfg: &DeepTConfig,
+    probe: &dyn Probe,
+    sink: &mut dyn BatchSnapshotSink,
+) -> Vec<Result<CertResult, DeadlineExceeded>> {
     let n = queries.len();
+    if let Some(starts) = starts {
+        assert_eq!(starts.len(), n, "one start layer per batch member");
+        assert!(
+            starts.iter().all(|&s| s <= net.layers.len()),
+            "start layer out of range"
+        );
+    }
+    let start_of = |m: usize| starts.map_or(0, |s| s[m]);
     // Abstract state per member while it is still propagating; a member
     // leaves the sweep by timing out (slot -> None, result recorded) or by
     // reaching its logits (slot -> None, logits recorded).
@@ -485,12 +575,19 @@ pub fn certify_batch_deadline_probed(
     let last = net.layers.len().saturating_sub(1);
     for (i, layer) in net.layers.iter().enumerate() {
         for (m, q) in queries.iter().enumerate() {
+            if i < start_of(m) {
+                // Resumed member: its input already is the post-layer-i
+                // state of an earlier identical run; it joins the sweep at
+                // its start layer.
+                continue;
+            }
             let Some(x) = states[m].take() else { continue };
             if q.deadline.check().is_err() {
                 results[m] = Some(Err(DeadlineExceeded));
                 continue;
             }
             let x = layer_step(net, layer, x, i, last, cfg, 0, probe);
+            sink.layer_output(m, i, &x);
             if x.has_non_finite() {
                 logits[m] = Some(unbounded_logits(net, &x));
             } else {
@@ -867,6 +964,152 @@ mod tests {
             let (sl, su) = suffix.bounds();
             assert_eq!(pl, sl, "{p:?}: lower bounds diverged");
             assert_eq!(pu, su, "{p:?}: upper bounds diverged");
+        }
+    }
+
+    /// Collects every layer-boundary state, as the serve state cache does.
+    struct CollectStates {
+        states: Vec<Zonotope>,
+    }
+
+    impl SoundnessProbe for CollectStates {
+        fn layer_output(&mut self, i: usize, z: &Zonotope) {
+            assert_eq!(i, self.states.len(), "layer outputs arrive in order");
+            self.states.push(z.clone());
+        }
+    }
+
+    #[test]
+    fn resume_from_every_layer_matches_cold_bitwise() {
+        // The state-cache contract: resuming from the snapshot taken after
+        // layer k, with start_layer = k + 1, reproduces the cold logits
+        // bit for bit — for every layer, config and norm.
+        let model = tiny_model(LayerNormKind::NoStd, 3);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        for cfg in [
+            DeepTConfig::fast(60),
+            DeepTConfig::precise(500),
+            DeepTConfig::combined(500),
+        ] {
+            for p in [PNorm::L1, PNorm::L2, PNorm::Linf] {
+                let region = crate::network::t1_region(&emb, 1, 0.03, p);
+                let mut snap = CollectStates { states: Vec::new() };
+                let cold = propagate_with_snapshots(&net, &region, &cfg, &mut snap);
+                assert_eq!(snap.states.len(), net.layers.len());
+                let (cl, cu) = cold.bounds();
+                for (k, state) in snap.states.iter().enumerate() {
+                    let warm = propagate_suffix_deadline_probed(
+                        &net,
+                        state,
+                        &cfg,
+                        k + 1,
+                        0,
+                        Deadline::none(),
+                        &NoopProbe,
+                    )
+                    .expect("Deadline::none() never expires");
+                    let (wl, wu) = warm.bounds();
+                    assert_eq!(cl, wl, "{p:?} layer {k}: lower bounds diverged");
+                    assert_eq!(cu, wu, "{p:?} layer {k}: upper bounds diverged");
+                }
+            }
+        }
+    }
+
+    /// Records per-member snapshots from a batched sweep.
+    struct CollectBatchStates {
+        states: Vec<Vec<(usize, Zonotope)>>,
+    }
+
+    impl BatchSnapshotSink for CollectBatchStates {
+        fn layer_output(&mut self, member: usize, layer: usize, z: &Zonotope) {
+            self.states[member].push((layer, z.clone()));
+        }
+    }
+
+    #[test]
+    fn resumable_batch_mid_stack_matches_serial_bitwise() {
+        // A fused synonym sweep resumes every member from a shared cached
+        // state; each member's margins must equal the cold serial result
+        // exactly, whatever layer it joins at.
+        let model = tiny_model(LayerNormKind::NoStd, 3);
+        let net = VerifiableTransformer::from(&model);
+        let tokens = [1usize, 5, 9, 2];
+        let emb = model.embed(&tokens);
+        let pred = model.predict(&tokens);
+        let cfg = DeepTConfig::fast(60);
+        for p in [PNorm::L2, PNorm::Linf] {
+            let regions: Vec<_> = [0.001, 0.01, 0.05]
+                .iter()
+                .map(|&eps| crate::network::t1_region(&emb, 1, eps, p))
+                .collect();
+            // Cold pass, capturing per-member layer states through the sink.
+            let queries: Vec<BatchQuery<'_>> = regions
+                .iter()
+                .map(|r| BatchQuery {
+                    input: r,
+                    true_label: pred,
+                    deadline: Deadline::none(),
+                })
+                .collect();
+            let mut sink = CollectBatchStates {
+                states: vec![Vec::new(); regions.len()],
+            };
+            let cold = certify_batch_resumable(&net, &queries, None, &cfg, &NoopProbe, &mut sink);
+            // Resume each member from a different depth (0 = cold re-run,
+            // 1..=layers = snapshot states), in one batch.
+            let n_layers = net.layers.len();
+            let starts: Vec<usize> = (0..regions.len())
+                .map(|m| (m + 1) % (n_layers + 1))
+                .collect();
+            let inputs: Vec<Zonotope> = starts
+                .iter()
+                .enumerate()
+                .map(|(m, &s)| {
+                    if s == 0 {
+                        regions[m].clone()
+                    } else {
+                        let (layer, z) = &sink.states[m][s - 1];
+                        assert_eq!(*layer, s - 1);
+                        z.clone()
+                    }
+                })
+                .collect();
+            let warm_queries: Vec<BatchQuery<'_>> = inputs
+                .iter()
+                .map(|r| BatchQuery {
+                    input: r,
+                    true_label: pred,
+                    deadline: Deadline::none(),
+                })
+                .collect();
+            let warm = certify_batch_resumable(
+                &net,
+                &warm_queries,
+                Some(&starts),
+                &cfg,
+                &NoopProbe,
+                &mut NoBatchSnapshots,
+            );
+            for (m, (c, w)) in cold.iter().zip(&warm).enumerate() {
+                assert_eq!(
+                    c.as_ref().expect("no deadline"),
+                    w.as_ref().expect("no deadline"),
+                    "{p:?} member {m} (start {}): warm diverged from cold",
+                    starts[m]
+                );
+            }
+            // The serial snapshot collector and the batched sink see the
+            // same states for the same query.
+            let mut serial = CollectStates { states: Vec::new() };
+            let _ = propagate_with_snapshots(&net, &regions[0], &cfg, &mut serial);
+            assert_eq!(serial.states.len(), sink.states[0].len());
+            for (k, (layer, z)) in sink.states[0].iter().enumerate() {
+                assert_eq!(*layer, k);
+                assert_eq!(&serial.states[k], z, "{p:?}: sink state {k} diverged");
+            }
         }
     }
 

@@ -59,6 +59,7 @@ pub mod deadline;
 pub mod deept;
 pub mod network;
 pub mod radius;
+pub mod statehash;
 pub mod synonym;
 
 pub use deadline::{Deadline, DeadlineExceeded};

@@ -1,0 +1,150 @@
+//! Content hashing for the cross-request zonotope state cache
+//! (`crates/serve`).
+//!
+//! The hashes here are an *index*, never an authority: resuming a
+//! propagation from a cached layer state is sound only if the cached run's
+//! input region, verifier configuration, network and norm are exactly the
+//! ones of the new query, so the serve cache stores the full region and
+//! config next to every snapshot and re-checks them with `PartialEq` on
+//! every hit. A hash collision therefore costs a cache miss, not a wrong
+//! certificate.
+//!
+//! Hashing is over the *bit patterns* of every `f64` (`to_bits`), matching
+//! the bitwise-identity discipline of the warm path: two regions hash (and
+//! compare) equal exactly when cold propagation from either is bit-for-bit
+//! the same computation. `-0.0` vs `0.0` and distinct NaN payloads hash
+//! differently — deliberately, since they are different inputs to the
+//! float pipeline.
+
+use deept_core::{PNorm, Zonotope};
+
+use crate::deept::DeepTConfig;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over 8-byte words: tiny, dependency-free, deterministic across
+/// processes (unlike `DefaultHasher`, whose keys are randomized per
+/// process), so hashes can be persisted or compared across shard processes.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Folds one 64-bit word, byte by byte.
+    pub fn write_u64(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn norm_tag(p: PNorm) -> u64 {
+    match p {
+        PNorm::L1 => 1,
+        PNorm::L2 => 2,
+        PNorm::Linf => 3,
+    }
+}
+
+/// Content hash of an input region: shape, norm, and the bit patterns of
+/// the centre, `φ` and logical `ε` coefficients. Regions that compare
+/// equal (`PartialEq`) hash equal; the converse is checked by the cache,
+/// not assumed.
+pub fn region_hash(z: &Zonotope) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(z.rows() as u64);
+    h.write_u64(z.cols() as u64);
+    h.write_u64(z.num_phi() as u64);
+    h.write_u64(z.num_eps() as u64);
+    h.write_u64(norm_tag(z.p()));
+    for &v in z.center() {
+        h.write_u64(v.to_bits());
+    }
+    for &v in z.phi().as_slice() {
+        h.write_u64(v.to_bits());
+    }
+    // The logical ε matrix, not the storage layout: dense and blocked
+    // stores of the same coefficients must hash identically, because
+    // propagation from them is identical.
+    for &v in z.eps_dense_matrix().as_slice() {
+        h.write_u64(v.to_bits());
+    }
+    h.finish()
+}
+
+/// Content hash of a verifier configuration. `DeepTConfig` is a small
+/// `Copy` struct of enums, flags and an optional budget; its `Debug`
+/// rendering is a faithful, deterministic serialization of every field, so
+/// hashing it covers exactly the inputs that select the abstract
+/// transformers. As with [`region_hash`], equality is re-checked by the
+/// cache with `PartialEq`.
+pub fn config_hash(cfg: &DeepTConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(format!("{cfg:?}").as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deept_tensor::Matrix;
+
+    fn region(bump: f64, p: PNorm) -> Zonotope {
+        let center = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64 + bump);
+        Zonotope::from_lp_ball(&center, 0.5, p, &[1])
+    }
+
+    #[test]
+    fn equal_regions_hash_equal() {
+        assert_eq!(
+            region_hash(&region(0.0, PNorm::L2)),
+            region_hash(&region(0.0, PNorm::L2))
+        );
+    }
+
+    #[test]
+    fn distinct_regions_hash_differently() {
+        let base = region_hash(&region(0.0, PNorm::L2));
+        assert_ne!(base, region_hash(&region(1e-12, PNorm::L2)));
+        assert_ne!(base, region_hash(&region(0.0, PNorm::Linf)));
+    }
+
+    #[test]
+    fn sign_of_zero_is_significant() {
+        let a = Zonotope::constant(&Matrix::full(1, 2, 0.0), PNorm::L2);
+        let b = Zonotope::constant(&Matrix::full(1, 2, -0.0), PNorm::L2);
+        assert_ne!(region_hash(&a), region_hash(&b));
+    }
+
+    #[test]
+    fn config_hash_separates_variants() {
+        let fast = config_hash(&DeepTConfig::fast(1000));
+        assert_eq!(fast, config_hash(&DeepTConfig::fast(1000)));
+        assert_ne!(fast, config_hash(&DeepTConfig::fast(1001)));
+        assert_ne!(fast, config_hash(&DeepTConfig::precise(1000)));
+        assert_ne!(fast, config_hash(&DeepTConfig::combined(1000)));
+    }
+}

@@ -372,3 +372,92 @@ print(f"fusion gate: fused serving is {speedup:.2f}x unfused on wave load")
 EOF
 
 echo "fusion smoke written to BENCH_9.json"
+
+# ---------------------------------------------------------------------------
+# State-cache smoke (incremental certification): an interactive editing
+# session — fresh queries, immediate retries and synonym sweeps, generated
+# deterministically by `loadgen --edit-stream` — replayed twice against a
+# server with the result cache OFF (--cache 0), so every request runs the
+# verifier. Run 1 starts cold and populates the cross-request zonotope
+# state cache; run 2 replays the byte-identical stream and resumes every
+# propagation from cached layer snapshots. The gate requires the warm
+# replay to certify at least 2x more queries per second; results land in
+# BENCH_10.json together with the server's state-cache counters.
+# ---------------------------------------------------------------------------
+STATE_ADDR="${DEEPT_STATE_ADDR:-127.0.0.1:17983}"
+
+echo "== state-cache smoke ($STATE_ADDR, DEEPT_THREADS=$THREADS) =="
+target/release/deept export-model \
+  --out artifacts/models/bench_state.json --layers 3 --epochs 1 --seed 11
+
+target/release/deept serve --addr "$STATE_ADDR" --workers "$THREADS" \
+  --cache 0 --state-cache-mb 64 \
+  --model smoke=artifacts/models/bench_state.json &
+STATE_SERVE_PID=$!
+for _ in $(seq 50); do
+  target/release/deept request --addr "$STATE_ADDR" --status >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+state_run() { # $1: loadgen report path
+  target/release/deept loadgen --addr "$STATE_ADDR" --model-id smoke \
+    --tokens "1 2 3 4" --concurrency "$THREADS" --edit-stream --requests 120 \
+    --out "$1" >/dev/null
+}
+
+state_run bench_state_cold.json   # run 1: cold start, fills the state cache
+state_run bench_state_warm.json   # run 2: identical stream, resumes warm
+
+target/release/deept request --addr "$STATE_ADDR" --status > bench_state_status.json
+target/release/deept request --addr "$STATE_ADDR" --shutdown >/dev/null
+wait "$STATE_SERVE_PID"
+
+python3 - "$THREADS" <<'EOF'
+import json
+import sys
+from pathlib import Path
+
+threads = int(sys.argv[1])
+cold = json.loads(Path("bench_state_cold.json").read_text())
+warm = json.loads(Path("bench_state_warm.json").read_text())
+status = json.loads(Path("bench_state_status.json").read_text())
+for name, run in (("cold", cold), ("warm", warm)):
+    assert run["ok"] == run["sent"], f"{name} run lost requests: {run}"
+    assert run["cached"] == 0, f"{name} run hit the result cache (must be off): {run}"
+
+def digest(run):
+    lat = run["latency"]
+    return {
+        "certified_queries_per_sec": round(run["certified_queries_per_sec"], 1),
+        "p50_ms": round(lat["p50_s"] * 1e3, 3),
+        "p95_ms": round(lat["p95_s"] * 1e3, 3),
+        "p99_ms": round(lat["p99_s"] * 1e3, 3),
+    }
+
+speedup = warm["certified_queries_per_sec"] / cold["certified_queries_per_sec"]
+out = {
+    "threads": threads,
+    "requests": 120,
+    "cold": digest(cold),
+    "warm": digest(warm),
+    "speedup_warm_vs_cold": round(speedup, 3),
+    "state_cache": {
+        "hits": status["state_cache_hits"],
+        "misses": status["state_cache_misses"],
+        "evictions": status["state_cache_evictions"],
+        "resident_bytes": status["state_cache_resident_bytes"],
+        "resumed_layers": status["state_cache_resumed_layers"],
+    },
+}
+Path("BENCH_10.json").write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+print(json.dumps(out, indent=2, sort_keys=True))
+assert status["state_cache_hits"] > 0, "warm replay never hit the state cache"
+assert status["state_cache_resumed_layers"] > 0, "warm replay never resumed a layer"
+assert speedup >= 2.0, (
+    f"warm replay {warm['certified_queries_per_sec']:.1f} q/s is only "
+    f"{speedup:.2f}x the cold {cold['certified_queries_per_sec']:.1f} q/s (need >= 2x)"
+)
+print(f"state-cache gate: warm serving is {speedup:.2f}x cold on an edit stream")
+EOF
+
+echo "state-cache smoke written to BENCH_10.json"

@@ -6,20 +6,25 @@
 //! deept certify --model model.json --sentence "pos0_1 neu3 not0 neg2_0" \
 //!               [--position 1] [--norm l2] [--radius 0.05] [--refine] \
 //!               [--trace trace.json] [--timeout-ms 5000]
-//! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8]
+//! deept synonyms --model model.json --sentence "..." [--k 4] [--dist 0.8] \
+//!               [--syn-dir artifacts/synonyms]
 //! deept export-model [--out artifacts/models/toy.json] [--layers 1] [--epochs 2]
 //! deept serve   [--addr 127.0.0.1:7878 | --stdio] [--workers 2] [--queue 16] \
 //!               [--cache 256] [--deadline-ms N] [--metrics-addr 127.0.0.1:9090] \
 //!               [--fuse-max 8 | --no-fuse] [--shards N] \
+//!               [--state-cache-mb 32] [--syn-dir DIR] \
 //!               [--model id=ckpt.json]...
 //! deept request --addr 127.0.0.1:7878 (--status | --metrics | --shutdown |
 //!               --load-model id=path |
 //!               --certify --model-id id --tokens "1 2 3" [--eps 1e-4 | --radius-search]
 //!               [--start 0.01] [--iters 16] [--position 0] [--norm l2]
-//!               [--variant fast] [--deadline-ms N] [--trace-response])
+//!               [--variant fast|precise|combined|refine|synonyms]
+//!               [--syn-k 4] [--syn-dist 0.8]
+//!               [--deadline-ms N] [--trace-response])
 //! deept loadgen --addr 127.0.0.1:7878 --model-id id [--tokens "1 2 3"] \
 //!               [--concurrency 2] [--duration-s 5 | --requests N] [--rate R] \
-//!               [--eps 1e-3] [--cached] [--wave K] [--out BENCH_6.json]
+//!               [--eps 1e-3] [--cached] [--wave K] [--edit-stream] \
+//!               [--out BENCH_6.json]
 //! deept bench-metrics [--repeats 7] [--max-ratio 1.02] [--out bench_metrics.json]
 //! deept fuzz-soundness [--seed N | --seed A..B] [--cases M]
 //! deept bench-refine [--out BENCH_8.json] [--deadline-ms 2000] [--queries N]
@@ -54,11 +59,11 @@
 use std::process::ExitCode;
 
 use deept::data::sentiment;
-use deept::data::{SynonymSets, Vocab};
+use deept::data::{SynonymArtifact, SynonymSets, Vocab};
 use deept::nn::train::{accuracy, train, TrainConfig};
 use deept::nn::{LayerNormKind, TransformerClassifier, TransformerConfig};
 use deept::serve::client::request_once;
-use deept::serve::protocol::{CertifyRequest, RadiusSearchSpec, Request, Response};
+use deept::serve::protocol::{CertifyRequest, RadiusSearchSpec, Request, Response, SynonymSpec};
 use deept::serve::server::{ServeConfig, Server};
 use deept::telemetry::{NoopProbe, Probe, TraceCollector, VerificationTrace};
 use deept::verifier::deadline::{Deadline, DeadlineExceeded};
@@ -458,7 +463,36 @@ fn cmd_synonyms(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "--dist must be a number"))
         .transpose()?
         .unwrap_or(0.8);
-    let synonyms = SynonymSets::from_embeddings(&bundle.model.token_embed, k, dist);
+    // The O(V²) embedding scan runs once per (model fingerprint, k, dist)
+    // and is persisted as an artifact; later invocations — and the serve
+    // synonym catalog — load it instead of rescanning.
+    let syn_dir = flag(args, "--syn-dir").unwrap_or_else(|| "artifacts/synonyms".into());
+    let dir = std::path::Path::new(&syn_dir);
+    let fingerprint =
+        deept::nn::checkpoint::fingerprint(&bundle.model).map_err(|e| e.to_string())?;
+    let synonyms = match SynonymArtifact::load(dir, &fingerprint, k, dist) {
+        Some(artifact) => {
+            eprintln!(
+                "synonym sets loaded from {}",
+                SynonymArtifact::path_in(dir, &fingerprint, k, dist).display()
+            );
+            artifact.sets
+        }
+        None => {
+            let sets = SynonymSets::from_embeddings(&bundle.model.token_embed, k, dist);
+            let artifact = SynonymArtifact {
+                fingerprint: fingerprint.clone(),
+                k,
+                dist,
+                sets,
+            };
+            match artifact.save(dir) {
+                Ok(path) => eprintln!("synonym sets persisted to {}", path.display()),
+                Err(e) => eprintln!("warning: could not persist synonym sets: {e}"),
+            }
+            artifact.sets
+        }
+    };
     let label = bundle.model.predict(&tokens);
     println!(
         "prediction: {label}, {} synonym combinations",
@@ -585,6 +619,13 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, String> {
     if has(args, "--no-fuse") {
         cfg.fuse_max = 1;
     }
+    if let Some(v) = flag(args, "--state-cache-mb") {
+        let mb: usize = v.parse().map_err(|_| "--state-cache-mb must be a number")?;
+        cfg.state_cache_bytes = mb << 20;
+    }
+    if let Some(v) = flag(args, "--syn-dir") {
+        cfg.synonym_dir = Some(std::path::PathBuf::from(v));
+    }
     Ok(cfg)
 }
 
@@ -674,6 +715,8 @@ fn cmd_serve_sharded(args: &[String], shards: usize) -> Result<(), String> {
         "--budget",
         "--deadline-ms",
         "--fuse-max",
+        "--state-cache-mb",
+        "--syn-dir",
     ];
     let mut shard_args: Vec<String> = vec![
         "serve".into(),
@@ -805,6 +848,19 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
         } else {
             None
         };
+        let synonyms = match (flag(args, "--syn-k"), flag(args, "--syn-dist")) {
+            (None, None) => None,
+            (k, dist) => {
+                let mut spec = SynonymSpec::default();
+                if let Some(v) = k {
+                    spec.k = v.parse().map_err(|_| "--syn-k must be a number")?;
+                }
+                if let Some(v) = dist {
+                    spec.dist = v.parse().map_err(|_| "--syn-dist must be a number")?;
+                }
+                Some(spec)
+            }
+        };
         Request::Certify(CertifyRequest {
             model_id: flag(args, "--model-id").ok_or("--model-id is required with --certify")?,
             tokens,
@@ -816,6 +872,7 @@ fn cmd_request(args: &[String]) -> Result<(), String> {
             variant: flag(args, "--variant").unwrap_or_else(|| "fast".into()),
             eps,
             radius_search,
+            synonyms,
             deadline_ms: flag(args, "--deadline-ms")
                 .map(|s| s.parse().map_err(|_| "--deadline-ms must be a number"))
                 .transpose()?,
@@ -891,6 +948,9 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
     }
     if let Some(v) = flag(args, "--wave") {
         cfg.wave = v.parse().map_err(|_| "--wave must be a number")?;
+    }
+    if has(args, "--edit-stream") {
+        cfg.edit_stream = true;
     }
     let report = loadgen::run(&cfg).map_err(|e| format!("loadgen failed: {e}"))?;
     let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;

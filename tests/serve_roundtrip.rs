@@ -38,6 +38,7 @@ fn eps_certify(eps: f64) -> Request {
         variant: "fast".into(),
         eps: Some(eps),
         radius_search: None,
+        synonyms: None,
         deadline_ms: None,
         trace: false,
     })
@@ -58,6 +59,7 @@ fn checkpoint_to_server_to_cache_to_timeout() {
         reduction_budget: 2000,
         default_deadline_ms: None,
         fuse_max: 8,
+        ..ServeConfig::default()
     });
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr").to_string();
@@ -123,6 +125,7 @@ fn checkpoint_to_server_to_cache_to_timeout() {
                 start: 0.001,
                 iters: 64,
             }),
+            synonyms: None,
             deadline_ms: Some(1),
             trace: false,
         }))
